@@ -1,0 +1,145 @@
+// Ablations of the storage-side design choices DESIGN.md calls out,
+// complementing the headline experiments:
+//   A1: compression on/off — file size, I/O volume and scan time for a
+//       selective date-range query (the "keep the engine I/O-balanced"
+//       argument of paper Sec. A);
+//   A2: min-max stripe skipping on/off — stripes actually decoded for a
+//       narrow date range (the X100 MinMax indexes);
+//   A3: buffer pool size sweep — cold/warm scan behavior.
+
+#include "bench/bench_util.h"
+#include "common/date.h"
+#include "exec/scan.h"
+#include "exec/select.h"
+#include "tpch/queries.h"
+#include "tpch/schema.h"
+
+namespace vwise::bench {
+namespace {
+
+using namespace vwise::tpch::col;
+
+// Orderkey range scan: lineitem is naturally clustered on l_orderkey, so
+// stripe min-max values are tight — the favorable zone-map case.
+double ScanKeyRange(Database* db, bool use_minmax, int64_t lo, int64_t hi,
+                    size_t* stripes_read, uint64_t* bytes_read,
+                    size_t* rows_out) {
+  Config cfg = db->config();
+  cfg.enable_minmax_skipping = use_minmax;
+  db->buffers()->EvictAll();
+  db->device()->stats().Reset();
+  auto snap = db->txn_manager()->GetSnapshot("lineitem");
+  VWISE_CHECK(snap.ok());
+  double secs = TimeSec([&] {
+    ScanOperator::Options opts;
+    opts.ranges.push_back(ScanRange{l::kOrderkey, lo, hi});
+    auto scan = std::make_unique<ScanOperator>(
+        *snap,
+        std::vector<uint32_t>{l::kOrderkey, l::kExtendedprice, l::kDiscount},
+        cfg, opts);
+    ScanOperator* scan_ptr = scan.get();
+    std::vector<FilterPtr> fs;
+    fs.push_back(e::Ge(e::Col(0, DataType::Int64()), e::I64(lo)));
+    fs.push_back(e::Le(e::Col(0, DataType::Int64()), e::I64(hi)));
+    SelectOperator select(std::move(scan), e::And(std::move(fs)), cfg);
+    auto r = CollectRows(&select, cfg.vector_size);
+    VWISE_CHECK(r.ok());
+    *rows_out = r->rows.size();
+    *stripes_read = scan_ptr->stripes_read();
+  });
+  *bytes_read = db->device()->stats().bytes_read.load();
+  return secs;
+}
+
+}  // namespace
+}  // namespace vwise::bench
+
+int main() {
+  using namespace vwise;
+  using namespace vwise::bench;
+  const double sf = 0.02;
+
+  // ---- A1: compression on/off ---------------------------------------------
+  std::printf("== A1: compression ablation (lineitem, SF %.2f) ==\n", sf);
+  std::printf("%-14s %14s %14s %12s\n", "compression", "file MB", "scan MB read",
+              "scan time(s)");
+  for (bool comp : {true, false}) {
+    Config cfg;
+    cfg.stripe_rows = 4096;
+    cfg.enable_compression = comp;
+    cfg.sim_io_bandwidth_bytes_per_sec = 300ull << 20;  // 300 MB/s device
+    cfg.buffer_pool_bytes = 1 << 20;  // force reads from "disk"
+    TempDb db(comp ? "abl_comp" : "abl_nocomp", cfg);
+    LoadTpch(db.get(), sf);
+    // Full-column scan of the Q6 inputs.
+    db->buffers()->EvictAll();
+    db->device()->stats().Reset();
+    auto snap = db->txn_manager()->GetSnapshot("lineitem");
+    VWISE_CHECK(snap.ok());
+    double secs = TimeSec([&] {
+      ScanOperator scan(*snap,
+                        {tpch::col::l::kQuantity, tpch::col::l::kExtendedprice,
+                         tpch::col::l::kDiscount, tpch::col::l::kShipdate},
+                        cfg);
+      auto r = CollectRows(&scan, cfg.vector_size);
+      VWISE_CHECK(r.ok());
+    });
+    // Approximate "file size" via total bytes of all lineitem group blobs.
+    uint64_t file_bytes = 0;
+    for (size_t s = 0; s < snap->stable->stripe_count(); s++) {
+      for (size_t g = 0; g < snap->stable->groups().groups.size(); g++) {
+        file_bytes += snap->stable->stripe(s).group_size[g];
+      }
+    }
+    std::printf("%-14s %14.2f %14.2f %12.3f\n", comp ? "on" : "off",
+                file_bytes / 1e6,
+                db->device()->stats().bytes_read.load() / 1e6, secs);
+  }
+
+  // ---- A2/A3 on one database -----------------------------------------------
+  Config cfg;
+  cfg.stripe_rows = 4096;
+  cfg.sim_io_bandwidth_bytes_per_sec = 300ull << 20;
+  cfg.sim_io_seek_us = 100;
+  cfg.buffer_pool_bytes = 1 << 20;
+  TempDb db("abl_minmax", cfg);
+  LoadTpch(db.get(), sf);
+
+  std::printf("\n== A2: min-max stripe skipping (10%% l_orderkey band; "
+              "lineitem is clustered on orderkey) ==\n");
+  std::printf("%-10s %14s %14s %12s %10s\n", "minmax", "stripes read",
+              "MB read", "time(s)", "rows");
+  {
+    tpch::Generator gen(sf);
+    int64_t lo = gen.num_orders() / 2;
+    int64_t hi = lo + gen.num_orders() / 10;
+    size_t rows_on = 0, rows_off = 0;
+    for (bool mm : {false, true}) {
+      size_t stripes = 0, rows = 0;
+      uint64_t bytes = 0;
+      double secs =
+          ScanKeyRange(db.get(), mm, lo, hi, &stripes, &bytes, &rows);
+      (mm ? rows_on : rows_off) = rows;
+      std::printf("%-10s %14zu %14.2f %12.3f %10zu\n", mm ? "on" : "off",
+                  stripes, bytes / 1e6, secs, rows);
+    }
+    VWISE_CHECK(rows_on == rows_off);  // skipping must not change results
+  }
+
+  std::printf("\n== A3: buffer pool sweep (repeated Q6) ==\n");
+  std::printf("%12s %12s %12s\n", "pool KB", "cold(s)", "warm(s)");
+  for (size_t pool_kb : {64u, 512u, 4096u, 65536u}) {
+    Config c2 = cfg;
+    c2.buffer_pool_bytes = pool_kb * 1024;
+    TempDb db2("abl_pool", c2);
+    LoadTpch(db2.get(), 0.01);
+    auto run = [&] {
+      auto r = tpch::RunQuery(6, db2->txn_manager(), c2);
+      VWISE_CHECK(r.ok());
+    };
+    double cold = TimeSec(run);
+    double warm = TimeSec(run);
+    std::printf("%12zu %12.4f %12.4f\n", pool_kb, cold, warm);
+  }
+  return 0;
+}

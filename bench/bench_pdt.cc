@@ -1,0 +1,195 @@
+// Experiments E8 + E12 (paper Sec. B, PDTs [5]; Sec. C update effort):
+//  1. update throughput into a growing PDT (append / random delete / random
+//     modify), the operational cost of differential updates;
+//  2. scan-merge overhead as deltas accumulate — the price queries pay
+//     before a checkpoint;
+//  3. positional vs value-based (key-matching) merge: the PDT's advantage
+//     is that merging needs no key columns; the baseline scans the key
+//     column and probes a hash table of updated keys.
+
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "exec/scan.h"
+#include "pdt/pdt.h"
+
+namespace vwise::bench {
+namespace {
+
+std::vector<Value> MakeRow(int64_t i) {
+  return {Value::Int(i), Value::Int(i * 3), Value::String("payload")};
+}
+
+void UpdateThroughput() {
+  std::printf("== E8a: PDT update throughput ==\n");
+  std::printf("%12s %12s %14s %14s\n", "existing", "op", "ops/sec", "PDT MB");
+  for (size_t base : {0u, 100000u, 1000000u}) {
+    Pdt pdt;
+    uint64_t visible = 2000000;  // stable rows
+    // Pre-populate `base` deltas.
+    Rng rng(base + 1);
+    for (size_t i = 0; i < base; i++) {
+      VWISE_CHECK(pdt.Insert(rng.Uniform(0, visible), MakeRow(i)).ok());
+      visible++;
+    }
+    const size_t ops = 50000;
+    Rng r2(7);
+    double ta = TimeSec([&] {
+      for (size_t i = 0; i < ops; i++) {
+        VWISE_CHECK(pdt.Insert(visible++, MakeRow(i)).ok());
+      }
+    });
+    double tm = TimeSec([&] {
+      for (size_t i = 0; i < ops; i++) {
+        VWISE_CHECK(pdt.Modify(r2.Uniform(0, visible - 1), 1,
+                               Value::Int(static_cast<int64_t>(i))).ok());
+      }
+    });
+    double td = TimeSec([&] {
+      for (size_t i = 0; i < ops; i++) {
+        VWISE_CHECK(pdt.Delete(r2.Uniform(0, visible - 1)).ok());
+        visible--;
+      }
+    });
+    std::printf("%12zu %12s %14.0f %14.2f\n", base, "append", ops / ta,
+                pdt.ApproxBytes() / 1e6);
+    std::printf("%12zu %12s %14.0f\n", base, "modify", ops / tm);
+    std::printf("%12zu %12s %14.0f\n", base, "delete", ops / td);
+  }
+}
+
+void ScanMergeOverhead() {
+  std::printf("\n== E8b: scan-merge overhead vs accumulated deltas ==\n");
+  Config cfg;
+  cfg.stripe_rows = 65536;
+  TempDb db("pdt_scan", cfg);
+  VWISE_CHECK(db->CreateTable(TableSchema(
+                  "t", {ColumnDef("k", DataType::Int64()),
+                        ColumnDef("v", DataType::Int64())})).ok());
+  const int64_t rows = 1000000;
+  VWISE_CHECK(db->BulkLoad("t", [&](TableWriter* w) -> Status {
+    for (int64_t i = 0; i < rows; i++) {
+      VWISE_RETURN_IF_ERROR(w->AppendRow({Value::Int(i), Value::Int(i)}));
+    }
+    return Status::OK();
+  }).ok());
+
+  std::printf("%10s %12s %14s %12s\n", "deltas", "scan(s)", "Mrows/s", "overhead");
+  double base_time = 0;
+  size_t applied = 0;
+  for (size_t target : {0u, 1000u, 10000u, 100000u}) {
+    // Apply additional deltas to reach `target`.
+    if (target > applied) {
+      auto txn = db->Begin();
+      Rng rng(target);
+      for (size_t i = applied; i < target; i++) {
+        uint64_t pos = rng.Uniform(0, rows - 1);
+        switch (i % 3) {
+          case 0:
+            VWISE_CHECK(txn->Modify("t", pos, 1, Value::Int(-1)).ok());
+            break;
+          case 1:
+            VWISE_CHECK(txn->Append("t", {Value::Int(-2), Value::Int(-2)}).ok());
+            break;
+          case 2:
+            VWISE_CHECK(txn->Delete("t", pos).ok());
+            break;
+        }
+      }
+      VWISE_CHECK(db->Commit(txn.get()).ok());
+      applied = target;
+    }
+    auto snap = db->txn_manager()->GetSnapshot("t");
+    VWISE_CHECK(snap.ok());
+    double secs = 1e9;
+    uint64_t seen = 0;
+    for (int rep = 0; rep < 3; rep++) {
+      secs = std::min(secs, TimeSec([&] {
+        ScanOperator scan(*snap, {0, 1}, db->config());
+        VWISE_CHECK(scan.Open().ok());
+        DataChunk chunk;
+        chunk.Init(scan.OutputTypes(), db->config().vector_size);
+        seen = 0;
+        while (true) {
+          chunk.Reset();
+          VWISE_CHECK(scan.Next(&chunk).ok());
+          if (chunk.ActiveCount() == 0) break;
+          seen += chunk.ActiveCount();
+        }
+        scan.Close();
+      }));
+    }
+    if (target == 0) base_time = secs;
+    std::printf("%10zu %12.4f %14.1f %11.2fx  (%llu rows)\n", target, secs,
+                seen / secs / 1e6, secs / base_time,
+                static_cast<unsigned long long>(seen));
+  }
+}
+
+void PositionalVsValueBased() {
+  std::printf("\n== E8c: positional vs value-based delta merge ==\n");
+  // Stable image: key + value arrays. `n_mods` rows are modified.
+  const size_t rows = 2000000;
+  std::vector<int64_t> keys(rows), vals(rows);
+  for (size_t i = 0; i < rows; i++) {
+    keys[i] = static_cast<int64_t>(i * 7 + 1);  // non-positional key values
+    vals[i] = static_cast<int64_t>(i);
+  }
+  std::printf("%10s %18s %18s %9s\n", "mods", "positional(s)", "value-based(s)",
+              "ratio");
+  for (size_t n_mods : {1000u, 10000u, 100000u}) {
+    Rng rng(n_mods);
+    // Positional: a PDT keyed by row position.
+    Pdt pdt;
+    std::unordered_map<int64_t, int64_t> by_key;
+    for (size_t i = 0; i < n_mods; i++) {
+      uint64_t pos = rng.Uniform(0, rows - 1);
+      VWISE_CHECK(pdt.Modify(pos, 1, Value::Int(-7)).ok());
+      by_key[keys[pos]] = -7;
+    }
+    // Positional merge: no key column needed — walk merge events.
+    int64_t sum_pos = 0;
+    double t_pos = TimeSec([&] {
+      Pdt::MergeScanner scanner(pdt, rows);
+      Pdt::MergeEvent ev;
+      sum_pos = 0;
+      while (scanner.Next(&ev, 1u << 20)) {
+        switch (ev.kind) {
+          case Pdt::MergeEvent::kStableRun:
+            for (uint64_t i = 0; i < ev.count; i++) sum_pos += vals[ev.sid + i];
+            break;
+          case Pdt::MergeEvent::kModifiedRow:
+            sum_pos += ev.rec->mods.begin()->second.AsInt();
+            break;
+          default:
+            break;
+        }
+      }
+    });
+    // Value-based: must read the key column for EVERY row and probe.
+    int64_t sum_val = 0;
+    double t_val = TimeSec([&] {
+      sum_val = 0;
+      for (size_t i = 0; i < rows; i++) {
+        auto it = by_key.find(keys[i]);  // key column scan + probe
+        sum_val += it == by_key.end() ? vals[i] : it->second;
+      }
+    });
+    VWISE_CHECK(sum_pos == sum_val);
+    std::printf("%10zu %18.4f %18.4f %8.1fx\n", n_mods, t_pos, t_val,
+                t_val / t_pos);
+  }
+  std::printf("# paper: positional deltas merge faster and need no key-column scan\n");
+}
+
+}  // namespace
+}  // namespace vwise::bench
+
+int main() {
+  vwise::bench::UpdateThroughput();
+  vwise::bench::ScanMergeOverhead();
+  vwise::bench::PositionalVsValueBased();
+  return 0;
+}

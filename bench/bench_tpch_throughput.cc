@@ -1,0 +1,122 @@
+// Experiments E2 + E12 (paper Sec. C): the QphH throughput component —
+// concurrent query streams plus a refresh stream. Refreshes are
+// PDT-buffered transactions through the WAL (RF1 appends new orders +
+// lineitems; RF2 deletes the rows a previous refresh inserted), running
+// interleaved with query streams. Reported: queries/hour-style rate with
+// and without the concurrent update load, refresh latency, and PDT growth.
+//
+// The paper notes update speed "was especially relevant in the throughput
+// runs" — the with-updates column shows queries absorbing merge overhead
+// while refreshes commit.
+
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "tpch/generator.h"
+
+namespace vwise::bench {
+namespace {
+
+constexpr int kStreams = 2;
+const int kQuerySet[] = {1, 3, 6, 12, 14};  // one "stream" = this set
+
+double RunStreams(Database* db, bool with_refresh, double sf,
+                  double* refresh_secs, uint64_t* deltas) {
+  Config cfg = db->config();
+  std::atomic<bool> stop{false};
+  double rf_total = 0;
+  uint64_t n_deltas = 0;
+
+  std::thread refresher;
+  if (with_refresh) {
+    refresher = std::thread([&] {
+      tpch::Generator gen(sf);
+      int round = 0;
+      while (!stop.load()) {
+        // RF1: insert a batch of new orders + lineitems.
+        auto txn = db->Begin();
+        std::vector<uint64_t> order_rows, line_rows;
+        Status s = gen.RefreshOrders(
+            round, 150,
+            [&](const std::vector<Value>& row) {
+              return txn->Append("orders", row);
+            },
+            [&](const std::vector<Value>& row) {
+              return txn->Append("lineitem", row);
+            });
+        VWISE_CHECK(s.ok());
+        rf_total += TimeSec([&] { VWISE_CHECK(db->Commit(txn.get()).ok()); });
+        // RF2: delete what the previous round inserted (tail rows).
+        if (round > 0) {
+          auto del = db->Begin();
+          for (int i = 0; i < 150; i++) {
+            auto view = del->GetView("orders");
+            VWISE_CHECK(view.ok());
+            VWISE_CHECK(del->Delete("orders", view->visible_rows() - 1).ok());
+          }
+          rf_total += TimeSec([&] { VWISE_CHECK(db->Commit(del.get()).ok()); });
+        }
+        round++;
+      }
+    });
+  }
+
+  int queries_done = 0;
+  double elapsed = TimeSec([&] {
+    for (int s = 0; s < kStreams; s++) {
+      for (int q : kQuerySet) {
+        auto r = tpch::RunQuery(q, db->txn_manager(), cfg);
+        VWISE_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+        queries_done++;
+      }
+    }
+  });
+  stop.store(true);
+  if (refresher.joinable()) refresher.join();
+
+  auto snap = db->txn_manager()->GetSnapshot("lineitem");
+  *deltas = snap->deltas ? snap->deltas->record_count() : 0;
+  auto osnap = db->txn_manager()->GetSnapshot("orders");
+  *deltas += osnap->deltas ? osnap->deltas->record_count() : 0;
+  *refresh_secs = rf_total;
+  return queries_done / elapsed * 3600.0;  // queries per hour
+}
+
+}  // namespace
+}  // namespace vwise::bench
+
+int main() {
+  using namespace vwise;
+  using namespace vwise::bench;
+  const double sf = 0.01;
+
+  std::printf("%-24s %14s %16s %12s\n", "mode", "queries/hour",
+              "refresh time(s)", "PDT deltas");
+  {
+    TempDb db("thr_a");
+    LoadTpch(db.get(), sf);
+    double rf = 0;
+    uint64_t deltas = 0;
+    double qph = RunStreams(db.get(), false, sf, &rf, &deltas);
+    std::printf("%-24s %14.0f %16s %12llu\n", "queries only", qph, "-",
+                static_cast<unsigned long long>(deltas));
+  }
+  {
+    TempDb db("thr_b");
+    LoadTpch(db.get(), sf);
+    double rf = 0;
+    uint64_t deltas = 0;
+    double qph = RunStreams(db.get(), true, sf, &rf, &deltas);
+    std::printf("%-24s %14.0f %16.3f %12llu\n", "queries + refresh", qph, rf,
+                static_cast<unsigned long long>(deltas));
+    // After a checkpoint the deltas are merged into storage and queries see
+    // a clean image again.
+    VWISE_CHECK(db->Checkpoint().ok());
+    auto snap = db->txn_manager()->GetSnapshot("lineitem");
+    VWISE_CHECK(!snap->deltas || snap->deltas->empty());
+    std::printf("%-24s %14s %16s %12s\n", "after checkpoint", "-", "-", "0");
+  }
+  std::printf("# 2 streams x {Q1,Q3,Q6,Q12,Q14}; refreshes are PDT commits "
+              "through the WAL, merged into scans positionally\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+#ifndef VWISE_BENCH_BENCH_UTIL_H_
+#define VWISE_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "api/database.h"
+#include "tpch/generator.h"
+#include "tpch/queries.h"
+
+namespace vwise::bench {
+
+// Wall-clock seconds of `fn()`.
+template <typename F>
+double TimeSec(F&& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// A scratch database directory, deleted on destruction.
+class TempDb {
+ public:
+  explicit TempDb(const std::string& tag, const Config& config = Config()) {
+    dir_ = std::filesystem::temp_directory_path() / ("vwise_bench_" + tag);
+    std::filesystem::remove_all(dir_);
+    auto db = Database::Open(dir_.string(), config);
+    VWISE_CHECK_MSG(db.ok(), db.status().ToString().c_str());
+    db_ = std::move(*db);
+  }
+  ~TempDb() {
+    db_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  Database* operator->() { return db_.get(); }
+  Database* get() { return db_.get(); }
+
+ private:
+  std::filesystem::path dir_;
+  std::unique_ptr<Database> db_;
+};
+
+// Loads TPC-H at `sf` into the database, printing progress.
+inline void LoadTpch(Database* db, double sf) {
+  tpch::Generator gen(sf);
+  double secs = TimeSec([&] {
+    Status s = gen.LoadAll(db->txn_manager());
+    VWISE_CHECK_MSG(s.ok(), s.ToString().c_str());
+  });
+  std::printf("# loaded TPC-H SF %.3g in %.2fs (%lld orders)\n", sf, secs,
+              static_cast<long long>(gen.num_orders()));
+}
+
+}  // namespace vwise::bench
+
+#endif  // VWISE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,88 @@
+// ACID updates demo: positional updates buffered in Positional Delta Trees,
+// committed through the write-ahead log, surviving a "crash" (reopen
+// without checkpoint), with optimistic concurrency control rejecting
+// conflicting writers.
+//
+//   $ ./acid_updates [db_dir]
+
+#include <cstdio>
+#include <filesystem>
+
+#include "api/database.h"
+
+using namespace vwise;  // NOLINT: example code
+
+namespace {
+
+int64_t BalanceOf(Database* db, int64_t row) {
+  PlanBuilder q = db->NewPlan();
+  if (!q.Scan("accounts", {0, 1}).ok()) return -1;
+  q.Select(e::Eq(q.Col(0), e::I64(row)));
+  auto r = db->Run(&q);
+  return r.ok() && !r->rows.empty() ? r->rows[0][1].AsInt() : -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : "/tmp/vwise_acid_demo";
+  std::filesystem::remove_all(dir);
+
+  Config config;
+  config.wal_sync_on_commit = true;  // durability demo: sync the WAL
+  {
+    auto db = std::move(Database::Open(dir, config)).value();
+    TableSchema accounts("accounts", {ColumnDef("id", DataType::Int64()),
+                                      ColumnDef("balance", DataType::Int64())});
+    VWISE_CHECK(db->CreateTable(accounts).ok());
+    VWISE_CHECK(db->BulkLoad("accounts", [](TableWriter* w) -> Status {
+      for (int64_t i = 0; i < 100; i++) {
+        VWISE_RETURN_IF_ERROR(w->AppendRow({Value::Int(i), Value::Int(1000)}));
+      }
+      return Status::OK();
+    }).ok());
+
+    // A committed transfer: both sides move or neither does.
+    auto txn = db->Begin();
+    VWISE_CHECK(txn->Modify("accounts", 3, 1, Value::Int(1000 - 250)).ok());
+    VWISE_CHECK(txn->Modify("accounts", 7, 1, Value::Int(1000 + 250)).ok());
+    VWISE_CHECK(db->Commit(txn.get()).ok());
+    std::printf("after transfer:  acct 3 = %lld, acct 7 = %lld\n",
+                (long long)BalanceOf(db.get(), 3), (long long)BalanceOf(db.get(), 7));
+
+    // An aborted transaction leaves no trace.
+    auto bad = db->Begin();
+    VWISE_CHECK(bad->Modify("accounts", 5, 1, Value::Int(0)).ok());
+    db->Abort(bad.get());
+    std::printf("after abort:     acct 5 = %lld (unchanged)\n",
+                (long long)BalanceOf(db.get(), 5));
+
+    // Optimistic concurrency: two writers on the same row -> first committer
+    // wins, the second aborts with a conflict.
+    auto t1 = db->Begin();
+    auto t2 = db->Begin();
+    VWISE_CHECK(t1->Modify("accounts", 9, 1, Value::Int(111)).ok());
+    VWISE_CHECK(t2->Modify("accounts", 9, 1, Value::Int(222)).ok());
+    VWISE_CHECK(db->Commit(t1.get()).ok());
+    Status conflict = db->Commit(t2.get());
+    std::printf("conflicting txn: %s\n", conflict.ToString().c_str());
+    // db goes out of scope WITHOUT a checkpoint: the table file still holds
+    // the original data; only the WAL knows about our commits.
+  }
+
+  // "Crash recovery": reopen and replay the WAL.
+  {
+    auto db = std::move(Database::Open(dir, config)).value();
+    std::printf("after recovery:  acct 3 = %lld, acct 7 = %lld, acct 9 = %lld\n",
+                (long long)BalanceOf(db.get(), 3), (long long)BalanceOf(db.get(), 7),
+                (long long)BalanceOf(db.get(), 9));
+    // Checkpoint merges the PDT deltas into a fresh table version and
+    // truncates the WAL.
+    VWISE_CHECK(db->Checkpoint().ok());
+    std::printf("after checkpoint: acct 3 = %lld (now in stable storage)\n",
+                (long long)BalanceOf(db.get(), 3));
+  }
+  std::filesystem::remove_all(dir);
+  std::printf("acid_updates OK\n");
+  return 0;
+}

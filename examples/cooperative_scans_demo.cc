@@ -1,0 +1,84 @@
+// Cooperative Scans demo: several concurrent full-table scans share one
+// stream of disk transfers instead of each thrashing the buffer pool.
+//
+//   $ ./cooperative_scans_demo
+
+#include <cstdio>
+#include <filesystem>
+
+#include "api/database.h"
+#include "exec/scan.h"
+#include "scan/scan_scheduler.h"
+
+using namespace vwise;  // NOLINT: example code
+
+namespace {
+
+uint64_t RunScans(Database* db, ScanPolicy policy, int n_scans) {
+  db->buffers()->EvictAll();
+  db->buffers()->ResetStats();
+  ScanScheduler sched(policy, db->buffers());
+  auto snap = *db->txn_manager()->GetSnapshot("events");
+
+  std::vector<std::unique_ptr<ScanOperator>> scans;
+  std::vector<DataChunk> chunks(n_scans);
+  for (int i = 0; i < n_scans; i++) {
+    ScanOperator::Options opts;
+    opts.scheduler = &sched;
+    scans.push_back(std::make_unique<ScanOperator>(
+        snap, std::vector<uint32_t>{0}, db->config(), opts));
+    VWISE_CHECK(scans[i]->Open().ok());
+    chunks[i].Init(scans[i]->OutputTypes(), db->config().vector_size);
+  }
+  // Staggered starts: scan i begins once scan i-1 is well ahead.
+  int active = 1;
+  std::vector<bool> done(n_scans, false);
+  int remaining = n_scans;
+  size_t step = 0;
+  while (remaining > 0) {
+    if (active < n_scans && ++step % 20 == 0) active++;
+    for (int i = 0; i < active; i++) {
+      if (done[i]) continue;
+      chunks[i].Reset();
+      VWISE_CHECK(scans[i]->Next(&chunks[i]).ok());
+      if (chunks[i].ActiveCount() == 0) {
+        done[i] = true;
+        scans[i]->Close();
+        remaining--;
+      }
+    }
+  }
+  return db->buffers()->stats().misses;
+}
+
+}  // namespace
+
+int main() {
+  std::string dir = "/tmp/vwise_coop_demo";
+  std::filesystem::remove_all(dir);
+  Config config;
+  config.stripe_rows = 2000;
+  config.enable_compression = false;
+  config.buffer_pool_bytes = 96 * 1024;  // deliberately tiny
+  auto db = std::move(Database::Open(dir, config)).value();
+  VWISE_CHECK(db->CreateTable(TableSchema(
+                  "events", {ColumnDef("id", DataType::Int64())})).ok());
+  VWISE_CHECK(db->BulkLoad("events", [](TableWriter* w) -> Status {
+    for (int64_t i = 0; i < 100000; i++) {
+      VWISE_RETURN_IF_ERROR(w->AppendRow({Value::Int(i)}));
+    }
+    return Status::OK();
+  }).ok());
+
+  std::printf("4 staggered concurrent scans of a 50-stripe table, tiny pool:\n");
+  uint64_t lru = RunScans(db.get(), ScanPolicy::kLru, 4);
+  uint64_t coop = RunScans(db.get(), ScanPolicy::kCooperative, 4);
+  std::printf("  classic LRU scans:   %llu stripe loads\n",
+              static_cast<unsigned long long>(lru));
+  std::printf("  cooperative scans:   %llu stripe loads\n",
+              static_cast<unsigned long long>(coop));
+  std::printf("  -> one transfer serves many readers (paper [4])\n");
+  db.reset();
+  std::filesystem::remove_all(dir);
+  return 0;
+}

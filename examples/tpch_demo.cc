@@ -1,0 +1,51 @@
+// TPC-H demo: generate the benchmark database at a small scale factor, then
+// run selected queries (or all 22) and print their results.
+//
+//   $ ./tpch_demo [scale_factor] [query_number]
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "api/database.h"
+#include "tpch/generator.h"
+#include "tpch/queries.h"
+
+using namespace vwise;  // NOLINT: example code
+
+int main(int argc, char** argv) {
+  double sf = argc > 1 ? std::atof(argv[1]) : 0.01;
+  int only = argc > 2 ? std::atoi(argv[2]) : 0;
+
+  std::string dir = "/tmp/vwise_tpch_demo";
+  std::filesystem::remove_all(dir);
+  Config config;
+  auto db = Database::Open(dir, config);
+  if (!db.ok()) return 1;
+
+  std::printf("loading TPC-H SF %.3g ...\n", sf);
+  tpch::Generator gen(sf);
+  Status s = gen.LoadAll((*db)->txn_manager());
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  auto run = [&](int q) {
+    auto result = tpch::RunQuery(q, (*db)->txn_manager(), config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "Q%d failed: %s\n", q, result.status().ToString().c_str());
+      return;
+    }
+    std::printf("\n--- Q%d (%zu rows) ---\n%s", q, result->rows.size(),
+                result->ToString(8).c_str());
+  };
+
+  if (only >= 1 && only <= 22) {
+    run(only);
+  } else {
+    for (int q : {1, 3, 5, 6, 10, 13, 18}) run(q);
+  }
+  std::filesystem::remove_all(dir);
+  return 0;
+}

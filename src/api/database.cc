@@ -1,0 +1,42 @@
+#include "api/database.h"
+
+namespace vwise {
+
+Database::~Database() = default;
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
+                                                 const Config& config) {
+  auto db = std::unique_ptr<Database>(new Database());
+  db->config_ = config;
+  db->device_ = std::make_unique<IoDevice>(config);
+  db->buffers_ = std::make_unique<BufferManager>(config.buffer_pool_bytes);
+  db->scheduler_ = std::make_unique<ScanScheduler>(ScanPolicy::kCooperative,
+                                                   db->buffers_.get());
+  VWISE_ASSIGN_OR_RETURN(
+      db->tm_, TransactionManager::Open(dir, config, db->device_.get(),
+                                        db->buffers_.get()));
+  return db;
+}
+
+Status Database::CreateTable(const TableSchema& schema) {
+  return tm_->CreateTable(schema, ColumnGroups::Dsm(schema.num_columns()));
+}
+
+Status Database::CreateTable(const TableSchema& schema,
+                             const ColumnGroups& groups) {
+  return tm_->CreateTable(schema, groups);
+}
+
+Status Database::BulkLoad(const std::string& table,
+                          const std::function<Status(TableWriter*)>& fill) {
+  return tm_->BulkLoad(table, fill);
+}
+
+Result<QueryResult> Database::Run(PlanBuilder* plan,
+                                  std::vector<std::string> column_names) {
+  OperatorPtr root = plan->Build();
+  if (root == nullptr) return Status::InvalidArgument("empty plan");
+  return CollectRows(root.get(), config_.vector_size, std::move(column_names));
+}
+
+}  // namespace vwise

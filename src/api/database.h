@@ -1,0 +1,66 @@
+#ifndef VWISE_API_DATABASE_H_
+#define VWISE_API_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "planner/plan_builder.h"
+#include "scan/scan_scheduler.h"
+#include "txn/transaction_manager.h"
+
+namespace vwise {
+
+// The top-level embedded-database facade: one directory on disk, ACID
+// positional updates via PDTs + WAL, vectorized analytical queries via the
+// plan builder.
+//
+//   auto db = Database::Open("/tmp/mydb", Config()).value();
+//   db->CreateTable(schema);
+//   db->BulkLoad("t", ...);
+//   PlanBuilder q = db->NewPlan();
+//   q.Scan("t", {0, 1});
+//   q.Select(e::Gt(q.Col(1), e::I64(10)));
+//   auto result = db->Run(&q);
+class Database {
+ public:
+  static Result<std::unique_ptr<Database>> Open(const std::string& dir,
+                                                const Config& config);
+  ~Database();
+
+  // --- DDL / load -----------------------------------------------------------
+  Status CreateTable(const TableSchema& schema);
+  Status CreateTable(const TableSchema& schema, const ColumnGroups& groups);
+  Status BulkLoad(const std::string& table,
+                  const std::function<Status(TableWriter*)>& fill);
+
+  // --- transactions ----------------------------------------------------------
+  std::unique_ptr<Transaction> Begin() { return tm_->Begin(); }
+  Status Commit(Transaction* txn) { return tm_->Commit(txn); }
+  void Abort(Transaction* txn) { tm_->Abort(txn); }
+  Status Checkpoint() { return tm_->Checkpoint(); }
+
+  // --- queries ---------------------------------------------------------------
+  PlanBuilder NewPlan() { return PlanBuilder(tm_.get(), config_); }
+  Result<QueryResult> Run(PlanBuilder* plan,
+                          std::vector<std::string> column_names = {});
+
+  // --- plumbing ---------------------------------------------------------------
+  TransactionManager* txn_manager() { return tm_.get(); }
+  BufferManager* buffers() { return buffers_.get(); }
+  IoDevice* device() { return device_.get(); }
+  ScanScheduler* scan_scheduler() { return scheduler_.get(); }
+  const Config& config() const { return config_; }
+
+ private:
+  Database() = default;
+
+  Config config_;
+  std::unique_ptr<IoDevice> device_;
+  std::unique_ptr<BufferManager> buffers_;
+  std::unique_ptr<ScanScheduler> scheduler_;
+  std::unique_ptr<TransactionManager> tm_;
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_API_DATABASE_H_

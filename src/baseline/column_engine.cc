@@ -1,0 +1,94 @@
+#include "baseline/column_engine.h"
+
+namespace vwise::baseline {
+
+std::vector<uint32_t> ColumnEngine::SelectRange(const std::vector<int64_t>& col,
+                                                int64_t lo, int64_t hi) {
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < col.size(); i++) {
+    if (col[i] >= lo && col[i] <= hi) out.push_back(i);
+  }
+  Charge(out);
+  return out;
+}
+
+std::vector<uint32_t> ColumnEngine::SelectRange(const std::vector<int64_t>& col,
+                                                const std::vector<uint32_t>& cand,
+                                                int64_t lo, int64_t hi) {
+  std::vector<uint32_t> out;
+  for (uint32_t i : cand) {
+    if (col[i] >= lo && col[i] <= hi) out.push_back(i);
+  }
+  Charge(out);
+  return out;
+}
+
+std::vector<int64_t> ColumnEngine::Gather(const std::vector<int64_t>& col,
+                                          const std::vector<uint32_t>& idx) {
+  std::vector<int64_t> out(idx.size());
+  for (size_t i = 0; i < idx.size(); i++) out[i] = col[idx[i]];
+  Charge(out);
+  return out;
+}
+
+std::vector<double> ColumnEngine::GatherF(const std::vector<double>& col,
+                                          const std::vector<uint32_t>& idx) {
+  std::vector<double> out(idx.size());
+  for (size_t i = 0; i < idx.size(); i++) out[i] = col[idx[i]];
+  Charge(out);
+  return out;
+}
+
+std::vector<double> ColumnEngine::CentsToDouble(const std::vector<int64_t>& col) {
+  std::vector<double> out(col.size());
+  for (size_t i = 0; i < col.size(); i++) out[i] = col[i] / 100.0;
+  Charge(out);
+  return out;
+}
+
+std::vector<double> ColumnEngine::Mul(const std::vector<double>& a,
+                                      const std::vector<double>& b) {
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); i++) out[i] = a[i] * b[i];
+  Charge(out);
+  return out;
+}
+
+std::vector<double> ColumnEngine::Add(const std::vector<double>& a,
+                                      const std::vector<double>& b) {
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); i++) out[i] = a[i] + b[i];
+  Charge(out);
+  return out;
+}
+
+std::vector<double> ColumnEngine::RSub(double scalar, const std::vector<double>& a) {
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); i++) out[i] = scalar - a[i];
+  Charge(out);
+  return out;
+}
+
+std::vector<double> ColumnEngine::RAdd(double scalar, const std::vector<double>& a) {
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); i++) out[i] = scalar + a[i];
+  Charge(out);
+  return out;
+}
+
+double ColumnEngine::Sum(const std::vector<double>& a) {
+  double s = 0;
+  for (double v : a) s += v;
+  return s;
+}
+
+std::vector<double> ColumnEngine::SumGrouped(const std::vector<double>& a,
+                                             const std::vector<uint32_t>& groups,
+                                             size_t n_groups) {
+  std::vector<double> out(n_groups, 0.0);
+  for (size_t i = 0; i < a.size(); i++) out[groups[i]] += a[i];
+  Charge(out);
+  return out;
+}
+
+}  // namespace vwise::baseline

@@ -1,0 +1,62 @@
+#ifndef VWISE_BASELINE_COLUMN_ENGINE_H_
+#define VWISE_BASELINE_COLUMN_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vwise::baseline {
+
+// A MonetDB-style column-at-a-time engine: every operator materializes its
+// full result before the next one runs (the "full materialization" the
+// paper's Sec. I-A contrasts against). A byte counter tracks intermediate
+// materialization volume — the resource the vectorized model avoids
+// spending.
+class ColumnEngine {
+ public:
+  ColumnEngine() = default;
+
+  uint64_t bytes_materialized() const { return bytes_; }
+  void ResetStats() { bytes_ = 0; }
+
+  // Selection: positions where lo <= col[i] <= hi.
+  std::vector<uint32_t> SelectRange(const std::vector<int64_t>& col, int64_t lo,
+                                    int64_t hi);
+  // Refine an existing candidate list.
+  std::vector<uint32_t> SelectRange(const std::vector<int64_t>& col,
+                                    const std::vector<uint32_t>& cand,
+                                    int64_t lo, int64_t hi);
+
+  // Positional gather (the materialization join of column stores).
+  std::vector<int64_t> Gather(const std::vector<int64_t>& col,
+                              const std::vector<uint32_t>& idx);
+  std::vector<double> GatherF(const std::vector<double>& col,
+                              const std::vector<uint32_t>& idx);
+
+  // Full-column maps.
+  std::vector<double> CentsToDouble(const std::vector<int64_t>& col);
+  std::vector<double> Mul(const std::vector<double>& a,
+                          const std::vector<double>& b);
+  std::vector<double> Add(const std::vector<double>& a,
+                          const std::vector<double>& b);
+  std::vector<double> RSub(double scalar, const std::vector<double>& a);
+  std::vector<double> RAdd(double scalar, const std::vector<double>& a);
+
+  double Sum(const std::vector<double>& a);
+  // Grouped sum: group ids in [0, n_groups).
+  std::vector<double> SumGrouped(const std::vector<double>& a,
+                                 const std::vector<uint32_t>& groups,
+                                 size_t n_groups);
+
+ private:
+  template <typename T>
+  void Charge(const std::vector<T>& v) {
+    bytes_ += v.size() * sizeof(T);
+  }
+
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace vwise::baseline
+
+#endif  // VWISE_BASELINE_COLUMN_ENGINE_H_

@@ -1,0 +1,199 @@
+#include "baseline/tuple_engine.h"
+
+namespace vwise::baseline {
+
+namespace rex {
+
+namespace {
+
+class ColE final : public RExpr {
+ public:
+  explicit ColE(size_t i) : i_(i) {}
+  Value Eval(const Row& row) const override { return row[i_]; }
+
+ private:
+  size_t i_;
+};
+
+class ConstE final : public RExpr {
+ public:
+  explicit ConstE(Value v) : v_(std::move(v)) {}
+  Value Eval(const Row&) const override { return v_; }
+
+ private:
+  Value v_;
+};
+
+enum class Op { kAdd, kSub, kMul, kDiv, kEq, kLe, kLt, kGe, kAnd };
+
+class BinE final : public RExpr {
+ public:
+  BinE(Op op, RExprPtr l, RExprPtr r)
+      : op_(op), l_(std::move(l)), r_(std::move(r)) {}
+  Value Eval(const Row& row) const override {
+    Value a = l_->Eval(row);
+    Value b = r_->Eval(row);
+    switch (op_) {
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv: {
+        // Numeric tower: stay integral when both sides are Int.
+        if (a.kind() == Value::Kind::kInt && b.kind() == Value::Kind::kInt) {
+          int64_t x = a.AsInt(), y = b.AsInt();
+          switch (op_) {
+            case Op::kAdd:
+              return Value::Int(x + y);
+            case Op::kSub:
+              return Value::Int(x - y);
+            case Op::kMul:
+              return Value::Int(x * y);
+            default:
+              return Value::Int(y == 0 ? 0 : x / y);
+          }
+        }
+        double x = a.AsDouble(), y = b.AsDouble();
+        switch (op_) {
+          case Op::kAdd:
+            return Value::Double(x + y);
+          case Op::kSub:
+            return Value::Double(x - y);
+          case Op::kMul:
+            return Value::Double(x * y);
+          default:
+            return Value::Double(x / y);
+        }
+      }
+      case Op::kEq:
+        if (a.kind() == Value::Kind::kString || b.kind() == Value::Kind::kString) {
+          return Value::Int(a.AsString() == b.AsString());
+        }
+        return Value::Int(a.AsDouble() == b.AsDouble());
+      case Op::kLe:
+        return Value::Int(a.AsDouble() <= b.AsDouble());
+      case Op::kLt:
+        return Value::Int(a.AsDouble() < b.AsDouble());
+      case Op::kGe:
+        return Value::Int(a.AsDouble() >= b.AsDouble());
+      case Op::kAnd:
+        return Value::Int(a.AsInt() != 0 && b.AsInt() != 0);
+    }
+    return Value::Null();
+  }
+
+ private:
+  Op op_;
+  RExprPtr l_, r_;
+};
+
+class CentsE final : public RExpr {
+ public:
+  explicit CentsE(RExprPtr x) : x_(std::move(x)) {}
+  Value Eval(const Row& row) const override {
+    return Value::Double(x_->Eval(row).AsInt() / 100.0);
+  }
+
+ private:
+  RExprPtr x_;
+};
+
+}  // namespace
+
+RExprPtr Col(size_t i) { return std::make_unique<ColE>(i); }
+RExprPtr Const(Value v) { return std::make_unique<ConstE>(std::move(v)); }
+RExprPtr Add(RExprPtr l, RExprPtr r) {
+  return std::make_unique<BinE>(Op::kAdd, std::move(l), std::move(r));
+}
+RExprPtr Sub(RExprPtr l, RExprPtr r) {
+  return std::make_unique<BinE>(Op::kSub, std::move(l), std::move(r));
+}
+RExprPtr Mul(RExprPtr l, RExprPtr r) {
+  return std::make_unique<BinE>(Op::kMul, std::move(l), std::move(r));
+}
+RExprPtr Div(RExprPtr l, RExprPtr r) {
+  return std::make_unique<BinE>(Op::kDiv, std::move(l), std::move(r));
+}
+RExprPtr Eq(RExprPtr l, RExprPtr r) {
+  return std::make_unique<BinE>(Op::kEq, std::move(l), std::move(r));
+}
+RExprPtr Le(RExprPtr l, RExprPtr r) {
+  return std::make_unique<BinE>(Op::kLe, std::move(l), std::move(r));
+}
+RExprPtr Lt(RExprPtr l, RExprPtr r) {
+  return std::make_unique<BinE>(Op::kLt, std::move(l), std::move(r));
+}
+RExprPtr Ge(RExprPtr l, RExprPtr r) {
+  return std::make_unique<BinE>(Op::kGe, std::move(l), std::move(r));
+}
+RExprPtr And(RExprPtr l, RExprPtr r) {
+  return std::make_unique<BinE>(Op::kAnd, std::move(l), std::move(r));
+}
+RExprPtr CentsToDouble(RExprPtr x) { return std::make_unique<CentsE>(std::move(x)); }
+
+}  // namespace rex
+
+void TupleAgg::Open() {
+  child_->Open();
+  groups_.clear();
+  consumed_ = false;
+  Row row;
+  while (child_->Next(&row)) {
+    std::vector<std::string> key;
+    Row key_row;
+    for (size_t c : group_cols_) {
+      key.push_back(row[c].ToString());
+      key_row.push_back(row[c]);
+    }
+    auto [it, inserted] = groups_.try_emplace(std::move(key));
+    if (inserted) {
+      it->second.first = std::move(key_row);
+      it->second.second.sums.assign(aggs_.size(), 0);
+      it->second.second.counts.assign(aggs_.size(), 0);
+    }
+    State& st = it->second.second;
+    for (size_t a = 0; a < aggs_.size(); a++) {
+      if (aggs_[a].fn != Fn::kCount) st.sums[a] += row[aggs_[a].col].AsDouble();
+      st.counts[a]++;
+    }
+  }
+  if (group_cols_.empty() && groups_.empty()) {
+    auto& slot = groups_[{}];
+    slot.second.sums.assign(aggs_.size(), 0);
+    slot.second.counts.assign(aggs_.size(), 0);
+  }
+  emit_ = groups_.begin();
+  consumed_ = true;
+}
+
+bool TupleAgg::Next(Row* row) {
+  if (!consumed_ || emit_ == groups_.end()) return false;
+  row->clear();
+  for (const Value& v : emit_->second.first) row->push_back(v);
+  const State& st = emit_->second.second;
+  for (size_t a = 0; a < aggs_.size(); a++) {
+    switch (aggs_[a].fn) {
+      case Fn::kSum:
+        row->push_back(Value::Double(st.sums[a]));
+        break;
+      case Fn::kCount:
+        row->push_back(Value::Int(st.counts[a]));
+        break;
+      case Fn::kAvg:
+        row->push_back(Value::Double(
+            st.counts[a] == 0 ? 0.0 : st.sums[a] / static_cast<double>(st.counts[a])));
+        break;
+    }
+  }
+  ++emit_;
+  return true;
+}
+
+std::vector<Row> TupleCollect(TupleOperator* root) {
+  std::vector<Row> out;
+  root->Open();
+  Row row;
+  while (root->Next(&row)) out.push_back(row);
+  return out;
+}
+
+}  // namespace vwise::baseline

@@ -1,0 +1,143 @@
+#ifndef VWISE_BASELINE_TUPLE_ENGINE_H_
+#define VWISE_BASELINE_TUPLE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace vwise::baseline {
+
+// A deliberately classic tuple-at-a-time Volcano engine — the "pipelined
+// query engines" of the paper's >10x claim (Sec. I-A). One virtual Next()
+// call per tuple, one virtual Eval() per expression node per tuple, values
+// boxed as Value. This is an independent implementation used both as the
+// performance baseline (bench E3) and as a second opinion in tests.
+
+using Row = std::vector<Value>;
+
+// --- row expressions ---------------------------------------------------------
+
+class RExpr {
+ public:
+  virtual ~RExpr() = default;
+  virtual Value Eval(const Row& row) const = 0;
+};
+using RExprPtr = std::unique_ptr<RExpr>;
+
+namespace rex {
+RExprPtr Col(size_t i);
+RExprPtr Const(Value v);
+// Arithmetic on Int/Double values (Int op Double promotes to Double).
+RExprPtr Add(RExprPtr l, RExprPtr r);
+RExprPtr Sub(RExprPtr l, RExprPtr r);
+RExprPtr Mul(RExprPtr l, RExprPtr r);
+RExprPtr Div(RExprPtr l, RExprPtr r);
+// Comparisons evaluate to Int 0/1.
+RExprPtr Eq(RExprPtr l, RExprPtr r);
+RExprPtr Le(RExprPtr l, RExprPtr r);
+RExprPtr Lt(RExprPtr l, RExprPtr r);
+RExprPtr Ge(RExprPtr l, RExprPtr r);
+RExprPtr And(RExprPtr l, RExprPtr r);
+// Scaled-decimal (cents) column to double units.
+RExprPtr CentsToDouble(RExprPtr x);
+}  // namespace rex
+
+// --- operators ----------------------------------------------------------------
+
+class TupleOperator {
+ public:
+  virtual ~TupleOperator() = default;
+  virtual void Open() = 0;
+  // One tuple per call; false at end of stream.
+  virtual bool Next(Row* row) = 0;
+};
+using TupleOperatorPtr = std::unique_ptr<TupleOperator>;
+
+// Scans a pre-materialized table (rows owned by the caller).
+class TupleScan final : public TupleOperator {
+ public:
+  explicit TupleScan(const std::vector<Row>* rows) : rows_(rows) {}
+  void Open() override { pos_ = 0; }
+  bool Next(Row* row) override {
+    if (pos_ >= rows_->size()) return false;
+    *row = (*rows_)[pos_++];
+    return true;
+  }
+
+ private:
+  const std::vector<Row>* rows_;
+  size_t pos_ = 0;
+};
+
+class TupleSelect final : public TupleOperator {
+ public:
+  TupleSelect(TupleOperatorPtr child, RExprPtr pred)
+      : child_(std::move(child)), pred_(std::move(pred)) {}
+  void Open() override { child_->Open(); }
+  bool Next(Row* row) override {
+    while (child_->Next(row)) {
+      if (pred_->Eval(*row).AsInt() != 0) return true;
+    }
+    return false;
+  }
+
+ private:
+  TupleOperatorPtr child_;
+  RExprPtr pred_;
+};
+
+class TupleProject final : public TupleOperator {
+ public:
+  TupleProject(TupleOperatorPtr child, std::vector<RExprPtr> exprs)
+      : child_(std::move(child)), exprs_(std::move(exprs)) {}
+  void Open() override { child_->Open(); }
+  bool Next(Row* row) override {
+    Row in;
+    if (!child_->Next(&in)) return false;
+    row->clear();
+    for (const auto& e : exprs_) row->push_back(e->Eval(in));
+    return true;
+  }
+
+ private:
+  TupleOperatorPtr child_;
+  std::vector<RExprPtr> exprs_;
+};
+
+// Hash aggregation with boxed keys.
+class TupleAgg final : public TupleOperator {
+ public:
+  enum class Fn { kSum, kCount, kAvg };
+  struct Spec {
+    Fn fn;
+    size_t col;
+  };
+  TupleAgg(TupleOperatorPtr child, std::vector<size_t> group_cols,
+           std::vector<Spec> aggs)
+      : child_(std::move(child)), group_cols_(std::move(group_cols)),
+        aggs_(std::move(aggs)) {}
+  void Open() override;
+  bool Next(Row* row) override;
+
+ private:
+  struct State {
+    std::vector<double> sums;
+    std::vector<int64_t> counts;
+  };
+  TupleOperatorPtr child_;
+  std::vector<size_t> group_cols_;
+  std::vector<Spec> aggs_;
+  std::map<std::vector<std::string>, std::pair<Row, State>> groups_;
+  std::map<std::vector<std::string>, std::pair<Row, State>>::iterator emit_;
+  bool consumed_ = false;
+};
+
+// Runs a pipeline to completion.
+std::vector<Row> TupleCollect(TupleOperator* root);
+
+}  // namespace vwise::baseline
+
+#endif  // VWISE_BASELINE_TUPLE_ENGINE_H_

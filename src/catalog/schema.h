@@ -1,0 +1,91 @@
+#ifndef VWISE_CATALOG_SCHEMA_H_
+#define VWISE_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "vector/types.h"
+
+namespace vwise {
+
+// One column of a table. NULLable columns are physically stored as two
+// columns (paper Sec. I-B): the value column (with a type-appropriate "safe"
+// value in NULL slots) and a u8 indicator column placed in the same PAX
+// group; the rewriter decomposes expressions accordingly.
+struct ColumnDef {
+  std::string name;
+  DataType type;
+  bool nullable = false;
+
+  ColumnDef(std::string n, DataType t, bool null = false)
+      : name(std::move(n)), type(t), nullable(null) {}
+};
+
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<ColumnDef> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  // Index of column `name`, or -1.
+  int FindColumn(const std::string& name) const {
+    for (size_t i = 0; i < columns_.size(); i++) {
+      if (columns_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  std::vector<TypeId> PhysicalTypes() const {
+    std::vector<TypeId> out;
+    out.reserve(columns_.size());
+    for (const auto& c : columns_) out.push_back(c.type.physical());
+    return out;
+  }
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+};
+
+// Assignment of columns to storage groups: each group is one I/O unit per
+// stripe. Singleton groups give DSM (pure columnar); multi-column groups
+// give PAX (columns co-located in a block). The hybrid is the paper's
+// PAX/DSM storage [3].
+struct ColumnGroups {
+  std::vector<std::vector<uint32_t>> groups;
+
+  // One group per column (DSM).
+  static ColumnGroups Dsm(size_t num_columns) {
+    ColumnGroups g;
+    for (uint32_t i = 0; i < num_columns; i++) g.groups.push_back({i});
+    return g;
+  }
+  // All columns in one group (full PAX).
+  static ColumnGroups Pax(size_t num_columns) {
+    ColumnGroups g;
+    g.groups.emplace_back();
+    for (uint32_t i = 0; i < num_columns; i++) g.groups[0].push_back(i);
+    return g;
+  }
+
+  // Group containing column `col`.
+  uint32_t GroupOf(uint32_t col) const {
+    for (uint32_t g = 0; g < groups.size(); g++) {
+      for (uint32_t c : groups[g]) {
+        if (c == col) return g;
+      }
+    }
+    VWISE_CHECK_MSG(false, "column not in any group");
+    return 0;
+  }
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_CATALOG_SCHEMA_H_

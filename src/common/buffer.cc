@@ -1,0 +1,30 @@
+#include "common/buffer.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "common/macros.h"
+
+namespace vwise {
+
+std::shared_ptr<Buffer> Buffer::Allocate(size_t capacity) {
+  // Round up so aligned_alloc's size requirement (multiple of alignment)
+  // is always met, and so zero-capacity buffers still get a valid pointer.
+  size_t alloc_size = ((capacity + kAlignment - 1) / kAlignment) * kAlignment;
+  if (alloc_size == 0) alloc_size = kAlignment;
+  void* p = std::aligned_alloc(kAlignment, alloc_size);
+  VWISE_CHECK_MSG(p != nullptr, "out of memory");
+  return std::shared_ptr<Buffer>(
+      new Buffer(static_cast<uint8_t*>(p), capacity));
+}
+
+std::shared_ptr<Buffer> Buffer::AllocateZeroed(size_t capacity) {
+  auto buf = Allocate(capacity);
+  std::memset(buf->data(), 0, capacity);
+  return buf;
+}
+
+Buffer::~Buffer() { std::free(data_); }
+
+}  // namespace vwise

@@ -1,0 +1,49 @@
+#ifndef VWISE_COMMON_BUFFER_H_
+#define VWISE_COMMON_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace vwise {
+
+// A cache-line-aligned, fixed-capacity byte buffer. Vectors, storage blocks
+// and hash-table payloads all live in Buffers; alignment keeps vectorized
+// kernels free of unaligned-access penalties.
+class Buffer {
+ public:
+  static constexpr size_t kAlignment = 64;
+
+  // Allocates an uninitialized buffer of `capacity` bytes (zero allowed).
+  static std::shared_ptr<Buffer> Allocate(size_t capacity);
+  // Allocates and zero-fills.
+  static std::shared_ptr<Buffer> AllocateZeroed(size_t capacity);
+
+  ~Buffer();
+
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  size_t capacity() const { return capacity_; }
+
+  template <typename T>
+  T* As() {
+    return reinterpret_cast<T*>(data_);
+  }
+  template <typename T>
+  const T* As() const {
+    return reinterpret_cast<const T*>(data_);
+  }
+
+ private:
+  Buffer(uint8_t* data, size_t capacity) : data_(data), capacity_(capacity) {}
+
+  uint8_t* data_;
+  size_t capacity_;
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_COMMON_BUFFER_H_

@@ -1,0 +1,50 @@
+#ifndef VWISE_COMMON_CONFIG_H_
+#define VWISE_COMMON_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vwise {
+
+// Engine-wide tuning knobs. A Config is plumbed from the Database facade down
+// to storage and execution; benches override individual fields to run the
+// paper's ablations (vector size, buffer pool size, scan policy, ...).
+struct Config {
+  // --- Execution -----------------------------------------------------------
+  // Values per vector. 1 degenerates to tuple-at-a-time; very large values
+  // approximate full materialization (the MonetDB regime). Paper default ~1K.
+  size_t vector_size = 1024;
+  // Worker threads for Xchg-parallelized plans (1 = no parallelism).
+  int num_threads = 1;
+  // Bound on chunks buffered per Xchg queue.
+  size_t xchg_queue_capacity = 8;
+
+  // --- Storage --------------------------------------------------------------
+  // Rows per storage stripe (the cooperative-scan "chunk" granularity).
+  size_t stripe_rows = 16384;
+  // Buffer-pool capacity in bytes.
+  size_t buffer_pool_bytes = 256ull << 20;
+  // Enable per-column-chunk automatic compression (PFOR family).
+  bool enable_compression = true;
+  // Use min-max sparse indexes to skip stripes during scans.
+  bool enable_minmax_skipping = true;
+
+  // --- Simulated I/O device -------------------------------------------------
+  // When >0, block reads sleep to model a device with this bandwidth, making
+  // bandwidth-sharing effects (Cooperative Scans) observable even when the
+  // OS page cache is warm. 0 disables the simulation.
+  uint64_t sim_io_bandwidth_bytes_per_sec = 0;
+  // Fixed per-request latency of the simulated device, microseconds.
+  uint64_t sim_io_seek_us = 0;
+
+  // --- Transactions ---------------------------------------------------------
+  // fsync the WAL on commit (off by default: benches measure engine cost, not
+  // device sync latency; crash tests enable it).
+  bool wal_sync_on_commit = false;
+  // Consolidate committed PDT layers once this many stack on a table.
+  size_t pdt_consolidate_threshold = 8;
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_COMMON_CONFIG_H_

@@ -1,0 +1,15 @@
+#ifndef VWISE_COMMON_CRC32_H_
+#define VWISE_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vwise {
+
+// CRC-32 (ISO-HDLC polynomial, same as zlib). Used to detect torn or
+// corrupted WAL records and storage footers.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace vwise
+
+#endif  // VWISE_COMMON_CRC32_H_

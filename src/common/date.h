@@ -1,0 +1,79 @@
+#ifndef VWISE_COMMON_DATE_H_
+#define VWISE_COMMON_DATE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace vwise::date {
+
+// Civil-date <-> day-number conversions (proleptic Gregorian, days since
+// 1970-01-01). Algorithms from Howard Hinnant's date library notes.
+
+// Days since epoch for y-m-d.
+inline int32_t FromYMD(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);             // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;   // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;            // [0, 146096]
+  return era * 146097 + static_cast<int>(doe) - 719468;
+}
+
+struct YMD {
+  int year;
+  int month;
+  int day;
+};
+
+inline YMD ToYMD(int32_t days) {
+  int32_t z = days + 719468;
+  const int era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);           // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int y = static_cast<int>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);           // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                                // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                        // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                             // [1, 12]
+  return YMD{y + (m <= 2), static_cast<int>(m), static_cast<int>(d)};
+}
+
+// Parses "YYYY-MM-DD"; no validation beyond shape (internal use with
+// literals and generated data).
+inline int32_t Parse(const char* s) {
+  int y = (s[0] - '0') * 1000 + (s[1] - '0') * 100 + (s[2] - '0') * 10 + (s[3] - '0');
+  int m = (s[5] - '0') * 10 + (s[6] - '0');
+  int d = (s[8] - '0') * 10 + (s[9] - '0');
+  return FromYMD(y, m, d);
+}
+
+inline int ExtractYear(int32_t days) { return ToYMD(days).year; }
+inline int ExtractMonth(int32_t days) { return ToYMD(days).month; }
+
+// "YYYY-MM-DD".
+inline std::string ToString(int32_t days) {
+  YMD ymd = ToYMD(days);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", ymd.year, ymd.month, ymd.day);
+  return std::string(buf);
+}
+
+// date + n months (clamping the day), for TPC-H interval arithmetic.
+inline int32_t AddMonths(int32_t days, int months) {
+  YMD ymd = ToYMD(days);
+  int m0 = ymd.year * 12 + (ymd.month - 1) + months;
+  int y = m0 / 12;
+  int m = m0 % 12 + 1;
+  static const int kDim[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  int dim = kDim[m - 1];
+  if (m == 2 && ((y % 4 == 0 && y % 100 != 0) || y % 400 == 0)) dim = 29;
+  int d = ymd.day < dim ? ymd.day : dim;
+  return FromYMD(y, m, d);
+}
+
+inline int32_t AddYears(int32_t days, int years) { return AddMonths(days, years * 12); }
+
+}  // namespace vwise::date
+
+#endif  // VWISE_COMMON_DATE_H_

@@ -1,0 +1,38 @@
+#ifndef VWISE_COMMON_HASH_H_
+#define VWISE_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace vwise {
+
+// 64-bit finalizer from MurmurHash3; good avalanche for integer keys.
+inline uint64_t HashInt(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  // boost::hash_combine recipe widened to 64 bits.
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+// FNV-1a over bytes; fine for short analytic strings (flags, names).
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; i++) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace vwise
+
+#endif  // VWISE_COMMON_HASH_H_

@@ -1,0 +1,61 @@
+#ifndef VWISE_COMMON_MACROS_H_
+#define VWISE_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Branch-prediction hints for hot loops.
+#define VWISE_LIKELY(x) __builtin_expect(!!(x), 1)
+#define VWISE_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+// Always-on invariant check. Used for cheap checks guarding memory safety;
+// failures indicate a bug in vwise itself, never bad user input (user input
+// errors are reported through Status).
+#define VWISE_CHECK(cond)                                                     \
+  do {                                                                        \
+    if (VWISE_UNLIKELY(!(cond))) {                                            \
+      ::std::fprintf(stderr, "vwise: CHECK failed at %s:%d: %s\n", __FILE__,  \
+                     __LINE__, #cond);                                        \
+      ::std::abort();                                                         \
+    }                                                                         \
+  } while (0)
+
+#define VWISE_CHECK_MSG(cond, msg)                                            \
+  do {                                                                        \
+    if (VWISE_UNLIKELY(!(cond))) {                                            \
+      ::std::fprintf(stderr, "vwise: CHECK failed at %s:%d: %s (%s)\n",       \
+                     __FILE__, __LINE__, #cond, msg);                         \
+      ::std::abort();                                                         \
+    }                                                                         \
+  } while (0)
+
+// Debug-only check, compiled out in NDEBUG builds; used on per-value hot
+// paths where an always-on check would be measurable.
+#ifdef NDEBUG
+#define VWISE_DCHECK(cond) ((void)0)
+#else
+#define VWISE_DCHECK(cond) VWISE_CHECK(cond)
+#endif
+
+// Propagate a non-OK Status from an expression returning Status.
+#define VWISE_RETURN_IF_ERROR(expr)                    \
+  do {                                                 \
+    ::vwise::Status _st = (expr);                      \
+    if (VWISE_UNLIKELY(!_st.ok())) return _st;         \
+  } while (0)
+
+// Assign the value of a Result<T> expression to `lhs`, or propagate its
+// error. `lhs` may include a declaration, e.g.
+//   VWISE_ASSIGN_OR_RETURN(auto block, ReadBlock(id));
+#define VWISE_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
+  auto var = (expr);                                \
+  if (VWISE_UNLIKELY(!var.ok())) return var.status(); \
+  lhs = std::move(var).value();
+
+#define VWISE_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define VWISE_ASSIGN_OR_RETURN_NAME(a, b) VWISE_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define VWISE_ASSIGN_OR_RETURN(lhs, expr) \
+  VWISE_ASSIGN_OR_RETURN_IMPL(            \
+      VWISE_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, expr)
+
+#endif  // VWISE_COMMON_MACROS_H_

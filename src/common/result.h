@@ -1,0 +1,51 @@
+#ifndef VWISE_COMMON_RESULT_H_
+#define VWISE_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace vwise {
+
+// A value of type T or an error Status. Mirrors absl::StatusOr / arrow::Result.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from value and from Status keeps call sites terse:
+  //   Result<int> F() { if (bad) return Status::IOError("..."); return 42; }
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    VWISE_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    VWISE_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    VWISE_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    VWISE_CHECK_MSG(ok(), status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_COMMON_RESULT_H_

@@ -1,0 +1,35 @@
+#ifndef VWISE_COMMON_RNG_H_
+#define VWISE_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace vwise {
+
+// SplitMix64: tiny, fast, deterministic PRNG. Used by the TPC-H generator
+// (seeded per table/column/row for reproducibility) and by property tests.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_COMMON_RNG_H_

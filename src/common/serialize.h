@@ -1,0 +1,107 @@
+#ifndef VWISE_COMMON_SERIALIZE_H_
+#define VWISE_COMMON_SERIALIZE_H_
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace vwise::ser {
+
+// Little helpers for the small binary formats vwise persists (WAL records,
+// catalog, manifests). All little-endian, host-order (single-node system).
+
+inline void PutBytes(std::vector<uint8_t>* out, const void* p, size_t n) {
+  const uint8_t* b = static_cast<const uint8_t*>(p);
+  out->insert(out->end(), b, b + n);
+}
+
+template <typename T>
+void Put(std::vector<uint8_t>* out, T v) {
+  PutBytes(out, &v, sizeof(T));
+}
+
+inline void PutString(std::vector<uint8_t>* out, const std::string& s) {
+  Put<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  PutBytes(out, s.data(), s.size());
+}
+
+inline void PutValue(std::vector<uint8_t>* out, const Value& v) {
+  Put<uint8_t>(out, static_cast<uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      break;
+    case Value::Kind::kInt:
+      Put<int64_t>(out, v.AsInt());
+      break;
+    case Value::Kind::kDouble:
+      Put<double>(out, v.AsDouble());
+      break;
+    case Value::Kind::kString:
+      PutString(out, v.AsString());
+      break;
+  }
+}
+
+class Reader {
+ public:
+  Reader(const uint8_t* p, size_t n) : p_(p), end_(p + n) {}
+
+  template <typename T>
+  Status Get(T* out) {
+    if (p_ + sizeof(T) > end_) return Status::Corruption("record truncated");
+    std::memcpy(out, p_, sizeof(T));
+    p_ += sizeof(T);
+    return Status::OK();
+  }
+
+  Status GetString(std::string* out) {
+    uint32_t n;
+    VWISE_RETURN_IF_ERROR(Get(&n));
+    if (p_ + n > end_) return Status::Corruption("string truncated");
+    out->assign(reinterpret_cast<const char*>(p_), n);
+    p_ += n;
+    return Status::OK();
+  }
+
+  Status GetValue(Value* out) {
+    uint8_t kind;
+    VWISE_RETURN_IF_ERROR(Get(&kind));
+    switch (static_cast<Value::Kind>(kind)) {
+      case Value::Kind::kNull:
+        *out = Value::Null();
+        return Status::OK();
+      case Value::Kind::kInt: {
+        int64_t v;
+        VWISE_RETURN_IF_ERROR(Get(&v));
+        *out = Value::Int(v);
+        return Status::OK();
+      }
+      case Value::Kind::kDouble: {
+        double v;
+        VWISE_RETURN_IF_ERROR(Get(&v));
+        *out = Value::Double(v);
+        return Status::OK();
+      }
+      case Value::Kind::kString: {
+        std::string s;
+        VWISE_RETURN_IF_ERROR(GetString(&s));
+        *out = Value::String(std::move(s));
+        return Status::OK();
+      }
+    }
+    return Status::Corruption("bad value kind");
+  }
+
+  bool AtEnd() const { return p_ == end_; }
+
+ private:
+  const uint8_t* p_;
+  const uint8_t* end_;
+};
+
+}  // namespace vwise::ser
+
+#endif  // VWISE_COMMON_SERIALIZE_H_

@@ -1,0 +1,97 @@
+#ifndef VWISE_COMMON_STATUS_H_
+#define VWISE_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace vwise {
+
+// Error category carried by Status. vwise does not use C++ exceptions; all
+// fallible operations return Status (or Result<T>, see result.h).
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kIOError = 4,
+  kCorruption = 5,
+  kNotImplemented = 6,
+  kInternal = 7,
+  kTransactionConflict = 8,
+  kResourceExhausted = 9,
+};
+
+// Returns a human-readable name for `code`, e.g. "Corruption".
+const char* StatusCodeToString(StatusCode code);
+
+// A cheap, copyable success-or-error value. OK status carries no allocation.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(Rep{code, std::move(message)})) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status TransactionConflict(std::string msg) {
+    return Status(StatusCode::kTransactionConflict, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsConflict() const {
+    return code() == StatusCode::kTransactionConflict;
+  }
+
+  // "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_COMMON_STATUS_H_

@@ -1,0 +1,24 @@
+#include "common/value.h"
+
+#include <cstdio>
+
+namespace vwise {
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "NULL";
+    case Kind::kInt:
+      return std::to_string(i_);
+    case Kind::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.4f", d_);
+      return buf;
+    }
+    case Kind::kString:
+      return s_;
+  }
+  return "?";
+}
+
+}  // namespace vwise

@@ -1,0 +1,81 @@
+#ifndef VWISE_COMMON_VALUE_H_
+#define VWISE_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+#include "vector/types.h"
+
+namespace vwise {
+
+// Boundary value type used at the API surface (query results, test oracles,
+// literal constants). Never used on the hot execution path.
+class Value {
+ public:
+  enum class Kind : uint8_t { kNull, kInt, kDouble, kString };
+
+  Value() : kind_(Kind::kNull) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) {
+    Value r;
+    r.kind_ = Kind::kInt;
+    r.i_ = v;
+    return r;
+  }
+  static Value Double(double v) {
+    Value r;
+    r.kind_ = Kind::kDouble;
+    r.d_ = v;
+    return r;
+  }
+  static Value String(std::string v) {
+    Value r;
+    r.kind_ = Kind::kString;
+    r.s_ = std::move(v);
+    return r;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  int64_t AsInt() const {
+    VWISE_CHECK(kind_ == Kind::kInt);
+    return i_;
+  }
+  double AsDouble() const {
+    VWISE_CHECK(kind_ == Kind::kDouble || kind_ == Kind::kInt);
+    return kind_ == Kind::kDouble ? d_ : static_cast<double>(i_);
+  }
+  const std::string& AsString() const {
+    VWISE_CHECK(kind_ == Kind::kString);
+    return s_;
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.kind_ != b.kind_) return false;
+    switch (a.kind_) {
+      case Kind::kNull:
+        return true;
+      case Kind::kInt:
+        return a.i_ == b.i_;
+      case Kind::kDouble:
+        return a.d_ == b.d_;
+      case Kind::kString:
+        return a.s_ == b.s_;
+    }
+    return false;
+  }
+
+ private:
+  Kind kind_;
+  int64_t i_ = 0;
+  double d_ = 0;
+  std::string s_;
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_COMMON_VALUE_H_

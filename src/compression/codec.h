@@ -1,0 +1,70 @@
+#ifndef VWISE_COMPRESSION_CODEC_H_
+#define VWISE_COMPRESSION_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "vector/string_heap.h"
+#include "vector/types.h"
+
+namespace vwise {
+
+// Compression schemes from "Super-Scalar RAM-CPU Cache Compression"
+// (Zukowski et al., ICDE 2006), the storage substrate of Vectorwise:
+//
+//  * kPfor       — Patched Frame-of-Reference: values minus a frame base,
+//                  bit-packed at a width chosen to minimize total size;
+//                  values that do not fit are stored as patch "exceptions".
+//  * kPforDelta  — PFOR over zigzag-encoded deltas; wins on sorted or
+//                  clustered columns (dates, foreign keys).
+//  * kRle        — run-length encoding for low-cardinality runs.
+//  * kPdict      — dictionary encoding for strings, codes bit-packed.
+//  * kPlain      — verbatim fallback.
+enum class Codec : uint8_t {
+  kPlain = 0,
+  kPfor = 1,
+  kPforDelta = 2,
+  kRle = 3,
+  kPdict = 4,
+};
+
+const char* CodecToString(Codec c);
+
+// One compressed column chunk. `data` is a self-describing blob in the
+// codec's format; `count` values of physical type `type` decode from it.
+struct CompressedSegment {
+  Codec codec = Codec::kPlain;
+  TypeId type = TypeId::kI64;
+  uint32_t count = 0;
+  std::vector<uint8_t> data;
+
+  size_t byte_size() const { return data.size() + 16; }
+};
+
+namespace compression {
+
+// Encodes with a specific codec. Returns InvalidArgument if the codec does
+// not apply to the type (e.g. PFOR on strings). `values` points at `n`
+// contiguous values of `type` (StringVal for kStr).
+Result<CompressedSegment> Encode(Codec codec, TypeId type, const void* values,
+                                 size_t n);
+
+// Tries every applicable codec and returns the smallest encoding.
+CompressedSegment EncodeBest(TypeId type, const void* values, size_t n);
+
+// Decodes all values into `out` (capacity >= count values). String bytes are
+// copied into `heap`, which must outlive the decoded StringVals.
+Status Decode(const CompressedSegment& seg, void* out, StringHeap* heap);
+
+// Same, decoding straight from a storage blob without copying it into a
+// CompressedSegment first (used by the table reader on pinned buffers).
+Status DecodeRaw(Codec codec, TypeId type, uint32_t count, const uint8_t* data,
+                 size_t size, void* out, StringHeap* heap);
+
+}  // namespace compression
+
+}  // namespace vwise
+
+#endif  // VWISE_COMPRESSION_CODEC_H_

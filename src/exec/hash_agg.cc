@@ -1,0 +1,403 @@
+#include "exec/hash_agg.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/bitutil.h"
+#include "common/hash.h"
+
+namespace vwise {
+
+namespace {
+
+constexpr uint32_t kEmptySlot = 0xffffffffu;
+
+uint64_t HashAt(const Vector& vec, sel_t pos) {
+  switch (vec.type()) {
+    case TypeId::kU8:
+      return HashInt(vec.Data<uint8_t>()[pos]);
+    case TypeId::kI32:
+      return HashInt(static_cast<uint64_t>(vec.Data<int32_t>()[pos]));
+    case TypeId::kI64:
+      return HashInt(static_cast<uint64_t>(vec.Data<int64_t>()[pos]));
+    case TypeId::kF64:
+      return HashInt(static_cast<uint64_t>(vec.Data<double>()[pos]));
+    case TypeId::kStr: {
+      const StringVal& s = vec.Data<StringVal>()[pos];
+      return HashBytes(s.ptr, s.len);
+    }
+  }
+  return 0;
+}
+
+bool KeyEquals(const Vector& vec, sel_t pos, const ColumnStore& store,
+               size_t group) {
+  switch (vec.type()) {
+    case TypeId::kU8:
+      return vec.Data<uint8_t>()[pos] == store.Get<uint8_t>(group);
+    case TypeId::kI32:
+      return vec.Data<int32_t>()[pos] == store.Get<int32_t>(group);
+    case TypeId::kI64:
+      return vec.Data<int64_t>()[pos] == store.Get<int64_t>(group);
+    case TypeId::kF64:
+      return vec.Data<double>()[pos] == store.Get<double>(group);
+    case TypeId::kStr:
+      return vec.Data<StringVal>()[pos] == store.Strs()[group];
+  }
+  return false;
+}
+
+// Numeric value of column `vec` at `pos` widened to double / int64.
+double F64At(const Vector& vec, sel_t pos) {
+  switch (vec.type()) {
+    case TypeId::kU8:
+      return vec.Data<uint8_t>()[pos];
+    case TypeId::kI32:
+      return vec.Data<int32_t>()[pos];
+    case TypeId::kI64:
+      return static_cast<double>(vec.Data<int64_t>()[pos]);
+    case TypeId::kF64:
+      return vec.Data<double>()[pos];
+    case TypeId::kStr:
+      break;
+  }
+  return 0;
+}
+
+int64_t I64At(const Vector& vec, sel_t pos) {
+  switch (vec.type()) {
+    case TypeId::kU8:
+      return vec.Data<uint8_t>()[pos];
+    case TypeId::kI32:
+      return vec.Data<int32_t>()[pos];
+    case TypeId::kI64:
+      return vec.Data<int64_t>()[pos];
+    case TypeId::kF64:
+      return static_cast<int64_t>(vec.Data<double>()[pos]);
+    case TypeId::kStr:
+      break;
+  }
+  return 0;
+}
+
+bool IntFamily(TypeId t) {
+  return t == TypeId::kU8 || t == TypeId::kI32 || t == TypeId::kI64;
+}
+
+}  // namespace
+
+HashAggOperator::HashAggOperator(OperatorPtr child,
+                                 std::vector<size_t> group_cols,
+                                 std::vector<AggSpec> aggs,
+                                 const Config& config)
+    : child_(std::move(child)),
+      group_cols_(std::move(group_cols)),
+      aggs_(std::move(aggs)),
+      config_(config) {
+  const auto& in_types = child_->OutputTypes();
+  for (size_t c : group_cols_) out_types_.push_back(in_types[c]);
+  for (const AggSpec& a : aggs_) {
+    switch (a.fn) {
+      case AggSpec::Fn::kSum:
+        out_types_.push_back(IntFamily(in_types[a.col]) ? TypeId::kI64
+                                                        : TypeId::kF64);
+        break;
+      case AggSpec::Fn::kMin:
+      case AggSpec::Fn::kMax:
+        out_types_.push_back(in_types[a.col] == TypeId::kF64 ? TypeId::kF64
+                             : in_types[a.col] == TypeId::kI32 ? TypeId::kI32
+                                                               : TypeId::kI64);
+        break;
+      case AggSpec::Fn::kCount:
+      case AggSpec::Fn::kCountStar:
+        out_types_.push_back(TypeId::kI64);
+        break;
+      case AggSpec::Fn::kAvg:
+        out_types_.push_back(TypeId::kF64);
+        break;
+    }
+  }
+}
+
+Status HashAggOperator::Open() {
+  VWISE_RETURN_IF_ERROR(child_->Open());
+  const auto& in_types = child_->OutputTypes();
+  key_stores_.clear();
+  for (size_t c : group_cols_) key_stores_.emplace_back(in_types[c]);
+  states_.assign(aggs_.size(), AggState{});
+  for (size_t i = 0; i < aggs_.size(); i++) {
+    states_[i].in_type =
+        aggs_[i].fn == AggSpec::Fn::kCountStar ? TypeId::kI64 : in_types[aggs_[i].col];
+  }
+  ResizeTable(1024);
+  n_groups_ = 0;
+  group_hashes_.clear();
+  consumed_ = false;
+  emit_cursor_ = 0;
+  hash_scratch_.resize(config_.vector_size);
+  group_idx_.resize(config_.vector_size);
+  return Status::OK();
+}
+
+void HashAggOperator::ResizeTable(size_t buckets) {
+  slots_.assign(buckets, kEmptySlot);
+  slot_mask_ = buckets - 1;
+  for (uint32_t g = 0; g < n_groups_; g++) {
+    uint64_t s = group_hashes_[g] & slot_mask_;
+    while (slots_[s] != kEmptySlot) s = (s + 1) & slot_mask_;
+    slots_[s] = g;
+  }
+}
+
+uint32_t HashAggOperator::FindOrCreateGroup(const DataChunk& chunk, sel_t pos,
+                                            uint64_t hash) {
+  uint64_t s = hash & slot_mask_;
+  while (true) {
+    uint32_t g = slots_[s];
+    if (g == kEmptySlot) break;
+    if (group_hashes_[g] == hash) {
+      bool equal = true;
+      for (size_t k = 0; k < group_cols_.size(); k++) {
+        if (!KeyEquals(chunk.column(group_cols_[k]), pos, key_stores_[k], g)) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) return g;
+    }
+    s = (s + 1) & slot_mask_;
+  }
+  // New group.
+  uint32_t g = static_cast<uint32_t>(n_groups_++);
+  slots_[s] = g;
+  group_hashes_.push_back(hash);
+  for (size_t k = 0; k < group_cols_.size(); k++) {
+    key_stores_[k].AppendOne(chunk.column(group_cols_[k]), pos);
+  }
+  for (size_t i = 0; i < aggs_.size(); i++) {
+    AggState& st = states_[i];
+    switch (aggs_[i].fn) {
+      case AggSpec::Fn::kSum:
+        if (IntFamily(st.in_type)) {
+          st.i64.push_back(0);
+        } else {
+          st.f64.push_back(0);
+        }
+        break;
+      case AggSpec::Fn::kMin:
+      case AggSpec::Fn::kMax:
+        if (st.in_type == TypeId::kF64) {
+          st.f64.push_back(0);
+        } else {
+          st.i64.push_back(0);
+        }
+        st.count.push_back(0);  // first-touch marker
+        break;
+      case AggSpec::Fn::kCount:
+      case AggSpec::Fn::kCountStar:
+        st.i64.push_back(0);
+        break;
+      case AggSpec::Fn::kAvg:
+        st.f64.push_back(0);
+        st.count.push_back(0);
+        break;
+    }
+  }
+  if (n_groups_ * 10 > slots_.size() * 7) {
+    ResizeTable(slots_.size() * 2);
+  }
+  return g;
+}
+
+Status HashAggOperator::ProcessChunk(const DataChunk& chunk) {
+  size_t n = chunk.ActiveCount();
+  const sel_t* sel = chunk.sel();
+  // 1. Hash the group keys, a column at a time.
+  std::fill(hash_scratch_.begin(), hash_scratch_.begin() + n, 0);
+  for (size_t k = 0; k < group_cols_.size(); k++) {
+    const Vector& key = chunk.column(group_cols_[k]);
+    for (size_t i = 0; i < n; i++) {
+      sel_t pos = sel ? sel[i] : static_cast<sel_t>(i);
+      hash_scratch_[i] = HashCombine(hash_scratch_[i], HashAt(key, pos));
+    }
+  }
+  // 2. Resolve group indices.
+  for (size_t i = 0; i < n; i++) {
+    sel_t pos = sel ? sel[i] : static_cast<sel_t>(i);
+    group_idx_[i] = FindOrCreateGroup(chunk, pos, hash_scratch_[i]);
+  }
+  // 3. Per-aggregate update loops.
+  for (size_t a = 0; a < aggs_.size(); a++) {
+    AggState& st = states_[a];
+    const AggSpec& spec = aggs_[a];
+    switch (spec.fn) {
+      case AggSpec::Fn::kSum:
+        if (IntFamily(st.in_type)) {
+          const Vector& in = chunk.column(spec.col);
+          for (size_t i = 0; i < n; i++) {
+            sel_t pos = sel ? sel[i] : static_cast<sel_t>(i);
+            st.i64[group_idx_[i]] += I64At(in, pos);
+          }
+        } else {
+          const Vector& in = chunk.column(spec.col);
+          for (size_t i = 0; i < n; i++) {
+            sel_t pos = sel ? sel[i] : static_cast<sel_t>(i);
+            st.f64[group_idx_[i]] += F64At(in, pos);
+          }
+        }
+        break;
+      case AggSpec::Fn::kMin:
+      case AggSpec::Fn::kMax: {
+        const Vector& in = chunk.column(spec.col);
+        bool is_min = spec.fn == AggSpec::Fn::kMin;
+        for (size_t i = 0; i < n; i++) {
+          sel_t pos = sel ? sel[i] : static_cast<sel_t>(i);
+          uint32_t g = group_idx_[i];
+          if (st.in_type == TypeId::kF64) {
+            double v = F64At(in, pos);
+            if (!st.count[g] || (is_min ? v < st.f64[g] : v > st.f64[g])) {
+              st.f64[g] = v;
+            }
+          } else {
+            int64_t v = I64At(in, pos);
+            if (!st.count[g] || (is_min ? v < st.i64[g] : v > st.i64[g])) {
+              st.i64[g] = v;
+            }
+          }
+          st.count[g] = 1;
+        }
+        break;
+      }
+      case AggSpec::Fn::kCount:
+      case AggSpec::Fn::kCountStar:
+        for (size_t i = 0; i < n; i++) st.i64[group_idx_[i]]++;
+        break;
+      case AggSpec::Fn::kAvg: {
+        const Vector& in = chunk.column(spec.col);
+        for (size_t i = 0; i < n; i++) {
+          sel_t pos = sel ? sel[i] : static_cast<sel_t>(i);
+          uint32_t g = group_idx_[i];
+          st.f64[g] += F64At(in, pos);
+          st.count[g]++;
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status HashAggOperator::ConsumeInput() {
+  DataChunk chunk;
+  chunk.Init(child_->OutputTypes(), config_.vector_size);
+  while (true) {
+    chunk.Reset();
+    VWISE_RETURN_IF_ERROR(child_->Next(&chunk));
+    if (chunk.ActiveCount() == 0) break;
+    VWISE_RETURN_IF_ERROR(ProcessChunk(chunk));
+  }
+  child_->Close();
+  // An ungrouped aggregate always emits one row, even on empty input.
+  if (group_cols_.empty() && n_groups_ == 0) {
+    DataChunk empty;
+    empty.Init(child_->OutputTypes(), 1);
+    // Materialize the single global group with zero-initialized states by
+    // touching the table with a synthetic hash (no key columns to compare).
+    group_hashes_.push_back(0);
+    slots_[0] = 0;
+    n_groups_ = 1;
+    for (size_t i = 0; i < aggs_.size(); i++) {
+      AggState& st = states_[i];
+      switch (aggs_[i].fn) {
+        case AggSpec::Fn::kSum:
+          if (IntFamily(st.in_type)) {
+            st.i64.push_back(0);
+          } else {
+            st.f64.push_back(0);
+          }
+          break;
+        case AggSpec::Fn::kMin:
+        case AggSpec::Fn::kMax:
+          if (st.in_type == TypeId::kF64) {
+            st.f64.push_back(0);
+          } else {
+            st.i64.push_back(0);
+          }
+          st.count.push_back(0);
+          break;
+        case AggSpec::Fn::kCount:
+        case AggSpec::Fn::kCountStar:
+          st.i64.push_back(0);
+          break;
+        case AggSpec::Fn::kAvg:
+          st.f64.push_back(0);
+          st.count.push_back(0);
+          break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status HashAggOperator::Next(DataChunk* out) {
+  if (!consumed_) {
+    VWISE_RETURN_IF_ERROR(ConsumeInput());
+    consumed_ = true;
+    emit_cursor_ = 0;
+  }
+  size_t batch = std::min(out->capacity(), n_groups_ - emit_cursor_);
+  if (batch == 0) {
+    out->SetCount(0);
+    return Status::OK();
+  }
+  std::vector<uint32_t> idx(batch);
+  for (size_t i = 0; i < batch; i++) idx[i] = static_cast<uint32_t>(emit_cursor_ + i);
+  for (size_t k = 0; k < group_cols_.size(); k++) {
+    key_stores_[k].Gather(idx.data(), batch, &out->column(k));
+  }
+  for (size_t a = 0; a < aggs_.size(); a++) {
+    Vector& dst = out->column(group_cols_.size() + a);
+    const AggState& st = states_[a];
+    for (size_t i = 0; i < batch; i++) {
+      size_t g = emit_cursor_ + i;
+      switch (aggs_[a].fn) {
+        case AggSpec::Fn::kSum:
+          if (IntFamily(st.in_type)) {
+            dst.Data<int64_t>()[i] = st.i64[g];
+          } else {
+            dst.Data<double>()[i] = st.f64[g];
+          }
+          break;
+        case AggSpec::Fn::kMin:
+        case AggSpec::Fn::kMax:
+          if (st.in_type == TypeId::kF64) {
+            dst.Data<double>()[i] = st.f64[g];
+          } else if (dst.type() == TypeId::kI32) {
+            dst.Data<int32_t>()[i] = static_cast<int32_t>(st.i64[g]);
+          } else {
+            dst.Data<int64_t>()[i] = st.i64[g];
+          }
+          break;
+        case AggSpec::Fn::kCount:
+        case AggSpec::Fn::kCountStar:
+          dst.Data<int64_t>()[i] = st.i64[g];
+          break;
+        case AggSpec::Fn::kAvg:
+          dst.Data<double>()[i] =
+              st.count[g] == 0 ? 0.0 : st.f64[g] / static_cast<double>(st.count[g]);
+          break;
+      }
+    }
+  }
+  out->SetCount(batch);
+  emit_cursor_ += batch;
+  return Status::OK();
+}
+
+void HashAggOperator::Close() {
+  key_stores_.clear();
+  states_.clear();
+  slots_.clear();
+}
+
+}  // namespace vwise

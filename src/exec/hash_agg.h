@@ -1,0 +1,83 @@
+#ifndef VWISE_EXEC_HASH_AGG_H_
+#define VWISE_EXEC_HASH_AGG_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/column_store.h"
+#include "exec/operator.h"
+
+namespace vwise {
+
+// One aggregate function over an input column.
+struct AggSpec {
+  enum class Fn : uint8_t { kSum, kMin, kMax, kCount, kCountStar, kAvg };
+  Fn fn;
+  size_t col = 0;  // ignored for kCountStar
+
+  static AggSpec Sum(size_t col) { return {Fn::kSum, col}; }
+  static AggSpec Min(size_t col) { return {Fn::kMin, col}; }
+  static AggSpec Max(size_t col) { return {Fn::kMax, col}; }
+  static AggSpec Count(size_t col) { return {Fn::kCount, col}; }
+  static AggSpec CountStar() { return {Fn::kCountStar, 0}; }
+  static AggSpec Avg(size_t col) { return {Fn::kAvg, col}; }
+};
+
+// Vectorized hash aggregation (grouped or, with no group columns, a single
+// global group). Hashes are computed a vector at a time; group resolution
+// fills a per-chunk group-index array that the per-aggregate update loops
+// then consume — no per-row function dispatch.
+//
+// Output: group columns, then one column per aggregate (sum keeps the input
+// physical type for i64, widens to f64 otherwise; count is i64; avg is f64;
+// min/max keep the input type).
+class HashAggOperator final : public Operator {
+ public:
+  HashAggOperator(OperatorPtr child, std::vector<size_t> group_cols,
+                  std::vector<AggSpec> aggs, const Config& config);
+
+  const std::vector<TypeId>& OutputTypes() const override { return out_types_; }
+  Status Open() override;
+  Status Next(DataChunk* out) override;
+  void Close() override;
+
+  size_t num_groups() const { return n_groups_; }
+
+ private:
+  Status ConsumeInput();
+  Status ProcessChunk(const DataChunk& chunk);
+  void ResizeTable(size_t buckets);
+  uint32_t FindOrCreateGroup(const DataChunk& chunk, sel_t pos, uint64_t hash);
+
+  OperatorPtr child_;
+  std::vector<size_t> group_cols_;
+  std::vector<AggSpec> aggs_;
+  Config config_;
+  std::vector<TypeId> out_types_;
+
+  // Group keys (owned copies) + open-addressing table of group indices.
+  std::vector<ColumnStore> key_stores_;
+  std::vector<uint64_t> group_hashes_;
+  std::vector<uint32_t> slots_;
+  uint64_t slot_mask_ = 0;
+  size_t n_groups_ = 0;
+
+  // Aggregate states, one entry per group.
+  struct AggState {
+    TypeId in_type;      // physical type of the input column
+    std::vector<int64_t> i64;
+    std::vector<double> f64;
+    std::vector<int64_t> count;  // avg / first-touch tracking for min/max
+  };
+  std::vector<AggState> states_;
+
+  // Scratch.
+  std::vector<uint64_t> hash_scratch_;
+  std::vector<uint32_t> group_idx_;
+  bool consumed_ = false;
+  size_t emit_cursor_ = 0;
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_EXEC_HASH_AGG_H_

@@ -1,0 +1,401 @@
+#include "exec/hash_join.h"
+
+#include <cstring>
+
+#include "common/bitutil.h"
+#include "common/hash.h"
+
+namespace vwise {
+
+namespace {
+
+constexpr uint32_t kNoRow = 0xffffffffu;  // unmatched-probe sentinel
+
+uint64_t HashVectorValue(const Vector& vec, sel_t pos) {
+  switch (vec.type()) {
+    case TypeId::kU8:
+      return HashInt(vec.Data<uint8_t>()[pos]);
+    case TypeId::kI32:
+      return HashInt(static_cast<uint64_t>(vec.Data<int32_t>()[pos]));
+    case TypeId::kI64:
+      return HashInt(static_cast<uint64_t>(vec.Data<int64_t>()[pos]));
+    case TypeId::kF64:
+      return HashInt(static_cast<uint64_t>(vec.Data<double>()[pos]));
+    case TypeId::kStr: {
+      const StringVal& s = vec.Data<StringVal>()[pos];
+      return HashBytes(s.ptr, s.len);
+    }
+  }
+  return 0;
+}
+
+uint64_t HashStoreValue(const ColumnStore& col, size_t row) {
+  switch (col.type()) {
+    case TypeId::kU8:
+      return HashInt(col.Get<uint8_t>(row));
+    case TypeId::kI32:
+      return HashInt(static_cast<uint64_t>(col.Get<int32_t>(row)));
+    case TypeId::kI64:
+      return HashInt(static_cast<uint64_t>(col.Get<int64_t>(row)));
+    case TypeId::kF64:
+      return HashInt(static_cast<uint64_t>(col.Get<double>(row)));
+    case TypeId::kStr: {
+      const StringVal& s = col.Strs()[row];
+      return HashBytes(s.ptr, s.len);
+    }
+  }
+  return 0;
+}
+
+bool ValueEquals(const Vector& vec, sel_t pos, const ColumnStore& col,
+                 size_t row) {
+  switch (vec.type()) {
+    case TypeId::kU8:
+      return vec.Data<uint8_t>()[pos] == col.Get<uint8_t>(row);
+    case TypeId::kI32:
+      return vec.Data<int32_t>()[pos] == col.Get<int32_t>(row);
+    case TypeId::kI64:
+      return vec.Data<int64_t>()[pos] == col.Get<int64_t>(row);
+    case TypeId::kF64:
+      return vec.Data<double>()[pos] == col.Get<double>(row);
+    case TypeId::kStr:
+      return vec.Data<StringVal>()[pos] == col.Strs()[row];
+  }
+  return false;
+}
+
+// Gathers probe-side column values at pair positions into `out`.
+void GatherProbe(const Vector& src, const std::vector<sel_t>& positions,
+                 Vector* out) {
+  size_t n = positions.size();
+  switch (src.type()) {
+    case TypeId::kU8: {
+      uint8_t* d = out->Data<uint8_t>();
+      for (size_t i = 0; i < n; i++) d[i] = src.Data<uint8_t>()[positions[i]];
+      break;
+    }
+    case TypeId::kI32: {
+      int32_t* d = out->Data<int32_t>();
+      for (size_t i = 0; i < n; i++) d[i] = src.Data<int32_t>()[positions[i]];
+      break;
+    }
+    case TypeId::kI64: {
+      int64_t* d = out->Data<int64_t>();
+      for (size_t i = 0; i < n; i++) d[i] = src.Data<int64_t>()[positions[i]];
+      break;
+    }
+    case TypeId::kF64: {
+      double* d = out->Data<double>();
+      for (size_t i = 0; i < n; i++) d[i] = src.Data<double>()[positions[i]];
+      break;
+    }
+    case TypeId::kStr: {
+      StringVal* d = out->Data<StringVal>();
+      for (size_t i = 0; i < n; i++) d[i] = src.Data<StringVal>()[positions[i]];
+      out->AddHeapsFrom(src);
+      break;
+    }
+  }
+}
+
+void ZeroFill(Vector* out, size_t i) {
+  switch (out->type()) {
+    case TypeId::kU8:
+      out->Data<uint8_t>()[i] = 0;
+      break;
+    case TypeId::kI32:
+      out->Data<int32_t>()[i] = 0;
+      break;
+    case TypeId::kI64:
+      out->Data<int64_t>()[i] = 0;
+      break;
+    case TypeId::kF64:
+      out->Data<double>()[i] = 0;
+      break;
+    case TypeId::kStr:
+      out->Data<StringVal>()[i] = StringVal();
+      break;
+  }
+}
+
+}  // namespace
+
+HashJoinOperator::HashJoinOperator(OperatorPtr probe, OperatorPtr build,
+                                   Spec spec, const Config& config)
+    : probe_(std::move(probe)),
+      build_(std::move(build)),
+      spec_(std::move(spec)),
+      config_(config) {
+  out_types_ = probe_->OutputTypes();
+  if (spec_.type == JoinType::kInner || spec_.type == JoinType::kLeftOuter) {
+    for (size_t c : spec_.build_payload) {
+      out_types_.push_back(build_->OutputTypes()[c]);
+    }
+    if (spec_.type == JoinType::kLeftOuter) out_types_.push_back(TypeId::kU8);
+  }
+}
+
+HashJoinOperator::~HashJoinOperator() = default;
+
+Status HashJoinOperator::Open() {
+  VWISE_RETURN_IF_ERROR(probe_->Open());
+  VWISE_RETURN_IF_ERROR(build_->Open());
+  for (size_t c : spec_.build_keys) {
+    build_key_cols_.emplace_back(build_->OutputTypes()[c]);
+  }
+  for (size_t c : spec_.build_payload) {
+    build_payload_cols_.emplace_back(build_->OutputTypes()[c]);
+  }
+  VWISE_RETURN_IF_ERROR(ConsumeBuildSide());
+  input_.Init(probe_->OutputTypes(), config_.vector_size);
+  input_exhausted_ = false;
+  pair_cursor_ = 0;
+  pairs_.clear();
+  if (spec_.residual) {
+    VWISE_RETURN_IF_ERROR(spec_.residual->Prepare(config_.vector_size));
+    // The residual sees [probe columns..., build payload...].
+    std::vector<TypeId> types = probe_->OutputTypes();
+    for (size_t c : spec_.build_payload) types.push_back(build_->OutputTypes()[c]);
+    residual_scratch_.Init(types, config_.vector_size);
+  }
+  return Status::OK();
+}
+
+Status HashJoinOperator::ConsumeBuildSide() {
+  DataChunk chunk;
+  chunk.Init(build_->OutputTypes(), config_.vector_size);
+  while (true) {
+    chunk.Reset();
+    VWISE_RETURN_IF_ERROR(build_->Next(&chunk));
+    size_t n = chunk.ActiveCount();
+    if (n == 0) break;
+    const sel_t* sel = chunk.sel();
+    for (size_t k = 0; k < spec_.build_keys.size(); k++) {
+      build_key_cols_[k].AppendFrom(chunk.column(spec_.build_keys[k]), sel, n);
+    }
+    for (size_t k = 0; k < spec_.build_payload.size(); k++) {
+      build_payload_cols_[k].AppendFrom(chunk.column(spec_.build_payload[k]), sel, n);
+    }
+    build_rows_ += n;
+  }
+  build_->Close();
+  // Chained hash table over the stored rows.
+  size_t buckets = bit::NextPowerOfTwo(build_rows_ * 2 + 1);
+  bucket_heads_.assign(buckets, kNoRow);
+  bucket_mask_ = buckets - 1;
+  chain_next_.assign(build_rows_, kNoRow);
+  for (size_t row = 0; row < build_rows_; row++) {
+    uint64_t h = HashBuildRow(row) & bucket_mask_;
+    chain_next_[row] = bucket_heads_[h];
+    bucket_heads_[h] = static_cast<uint32_t>(row);
+  }
+  return Status::OK();
+}
+
+uint64_t HashJoinOperator::HashBuildRow(size_t row) const {
+  uint64_t h = 0;
+  for (const ColumnStore& col : build_key_cols_) {
+    h = HashCombine(h, HashStoreValue(col, row));
+  }
+  return h;
+}
+
+uint64_t HashJoinOperator::HashProbeRow(const DataChunk& chunk,
+                                        sel_t pos) const {
+  uint64_t h = 0;
+  for (size_t k = 0; k < spec_.probe_keys.size(); k++) {
+    h = HashCombine(h, HashVectorValue(chunk.column(spec_.probe_keys[k]), pos));
+  }
+  return h;
+}
+
+bool HashJoinOperator::KeysEqual(const DataChunk& chunk, sel_t pos,
+                                 size_t build_row) const {
+  for (size_t k = 0; k < spec_.probe_keys.size(); k++) {
+    if (!ValueEquals(chunk.column(spec_.probe_keys[k]), pos,
+                     build_key_cols_[k], build_row)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status HashJoinOperator::ProcessProbeChunk() {
+  pairs_.clear();
+  pair_cursor_ = 0;
+  size_t n = input_.ActiveCount();
+  const sel_t* sel = input_.sel();
+  probe_match_.assign(input_.count(), 0);
+
+  // 1. Candidate pairs by hash + key equality.
+  std::vector<Pair> candidates;
+  for (size_t i = 0; i < n; i++) {
+    sel_t pos = sel ? sel[i] : static_cast<sel_t>(i);
+    if (build_rows_ > 0) {
+      uint64_t h = HashProbeRow(input_, pos) & bucket_mask_;
+      for (uint32_t row = bucket_heads_[h]; row != kNoRow; row = chain_next_[row]) {
+        if (KeysEqual(input_, pos, row)) candidates.push_back(Pair{pos, row});
+      }
+    }
+  }
+
+  // 2. Residual predicate over the combined pair rows, in vector batches.
+  if (spec_.residual && !candidates.empty()) {
+    size_t n_probe_cols = input_.num_columns();
+    std::vector<sel_t> probe_pos;
+    std::vector<uint32_t> build_rows;
+    std::vector<sel_t> out_sel(config_.vector_size);
+    for (size_t base = 0; base < candidates.size(); base += config_.vector_size) {
+      size_t batch = std::min(config_.vector_size, candidates.size() - base);
+      probe_pos.clear();
+      build_rows.clear();
+      for (size_t i = 0; i < batch; i++) {
+        probe_pos.push_back(candidates[base + i].probe_pos);
+        build_rows.push_back(candidates[base + i].build_row);
+      }
+      residual_scratch_.Reset();
+      for (size_t c = 0; c < n_probe_cols; c++) {
+        GatherProbe(input_.column(c), probe_pos, &residual_scratch_.column(c));
+      }
+      for (size_t k = 0; k < build_payload_cols_.size(); k++) {
+        build_payload_cols_[k].Gather(build_rows.data(), batch,
+                                      &residual_scratch_.column(n_probe_cols + k));
+      }
+      residual_scratch_.SetCount(batch);
+      size_t kept = 0;
+      VWISE_RETURN_IF_ERROR(spec_.residual->Select(residual_scratch_, nullptr,
+                                                   batch, out_sel.data(), &kept));
+      for (size_t i = 0; i < kept; i++) pairs_.push_back(candidates[base + out_sel[i]]);
+    }
+  } else {
+    pairs_ = std::move(candidates);
+  }
+
+  for (const Pair& p : pairs_) probe_match_[p.probe_pos] = 1;
+
+  // Semi/anti joins consume only the match flags; leaving the pairs around
+  // would make the emit loop treat them as inner-join output.
+  if (spec_.type == JoinType::kLeftSemi || spec_.type == JoinType::kLeftAnti) {
+    pairs_.clear();
+    pair_cursor_ = 0;
+  }
+
+  // 3. Left outer: append unmatched probe rows as sentinel pairs, keeping
+  // the overall probe order stable enough for tests.
+  if (spec_.type == JoinType::kLeftOuter) {
+    for (size_t i = 0; i < n; i++) {
+      sel_t pos = sel ? sel[i] : static_cast<sel_t>(i);
+      if (!probe_match_[pos]) pairs_.push_back(Pair{pos, kNoRow});
+    }
+  }
+  return Status::OK();
+}
+
+void HashJoinOperator::EmitPairs(DataChunk* out) {
+  size_t batch = std::min(out->capacity(), pairs_.size() - pair_cursor_);
+  std::vector<sel_t> probe_pos(batch);
+  std::vector<uint32_t> build_rows(batch);
+  for (size_t i = 0; i < batch; i++) {
+    probe_pos[i] = pairs_[pair_cursor_ + i].probe_pos;
+    build_rows[i] = pairs_[pair_cursor_ + i].build_row;
+  }
+  pair_cursor_ += batch;
+  size_t n_probe_cols = input_.num_columns();
+  for (size_t c = 0; c < n_probe_cols; c++) {
+    GatherProbe(input_.column(c), probe_pos, &out->column(c));
+  }
+  // Payload: sentinel rows (unmatched outer) get zero/empty values.
+  bool has_sentinel = false;
+  for (uint32_t r : build_rows) has_sentinel |= (r == kNoRow);
+  for (size_t k = 0; k < build_payload_cols_.size(); k++) {
+    Vector& dst = out->column(n_probe_cols + k);
+    if (!has_sentinel) {
+      build_payload_cols_[k].Gather(build_rows.data(), batch, &dst);
+    } else {
+      const ColumnStore& store = build_payload_cols_[k];
+      for (size_t i = 0; i < batch; i++) {
+        if (build_rows[i] == kNoRow) {
+          ZeroFill(&dst, i);
+          continue;
+        }
+        size_t row = build_rows[i];
+        switch (dst.type()) {
+          case TypeId::kU8:
+            dst.Data<uint8_t>()[i] = store.Get<uint8_t>(row);
+            break;
+          case TypeId::kI32:
+            dst.Data<int32_t>()[i] = store.Get<int32_t>(row);
+            break;
+          case TypeId::kI64:
+            dst.Data<int64_t>()[i] = store.Get<int64_t>(row);
+            break;
+          case TypeId::kF64:
+            dst.Data<double>()[i] = store.Get<double>(row);
+            break;
+          case TypeId::kStr:
+            dst.Data<StringVal>()[i] = store.Strs()[row];
+            break;
+        }
+      }
+      if (store.heap()) dst.AddStringHeapRef(store.heap());
+    }
+  }
+  if (spec_.type == JoinType::kLeftOuter) {
+    uint8_t* flag = out->column(out_types_.size() - 1).Data<uint8_t>();
+    for (size_t i = 0; i < batch; i++) flag[i] = build_rows[i] != kNoRow;
+  }
+  out->SetCount(batch);
+}
+
+Status HashJoinOperator::EmitSemiAnti(DataChunk* out) {
+  size_t n = input_.ActiveCount();
+  const sel_t* sel = input_.sel();
+  bool want_match = spec_.type == JoinType::kLeftSemi;
+  for (size_t c = 0; c < input_.num_columns(); c++) {
+    out->column(c).Reference(input_.column(c));
+  }
+  out->SetCount(input_.count());
+  sel_t* out_sel = out->MutableSel();
+  size_t k = 0;
+  for (size_t i = 0; i < n; i++) {
+    sel_t pos = sel ? sel[i] : static_cast<sel_t>(i);
+    if (static_cast<bool>(probe_match_[pos]) == want_match) out_sel[k++] = pos;
+  }
+  out->SetSelection(k);
+  return Status::OK();
+}
+
+Status HashJoinOperator::Next(DataChunk* out) {
+  while (true) {
+    if (pair_cursor_ < pairs_.size()) {
+      EmitPairs(out);
+      return Status::OK();
+    }
+    if (input_exhausted_) {
+      out->SetCount(0);
+      return Status::OK();
+    }
+    input_.Reset();
+    VWISE_RETURN_IF_ERROR(probe_->Next(&input_));
+    if (input_.ActiveCount() == 0) {
+      input_exhausted_ = true;
+      continue;
+    }
+    VWISE_RETURN_IF_ERROR(ProcessProbeChunk());
+    if (spec_.type == JoinType::kLeftSemi || spec_.type == JoinType::kLeftAnti) {
+      VWISE_RETURN_IF_ERROR(EmitSemiAnti(out));
+      if (out->ActiveCount() == 0) continue;  // nothing qualified: next chunk
+      return Status::OK();
+    }
+  }
+}
+
+void HashJoinOperator::Close() {
+  probe_->Close();
+  build_key_cols_.clear();
+  build_payload_cols_.clear();
+  bucket_heads_.clear();
+  chain_next_.clear();
+}
+
+}  // namespace vwise

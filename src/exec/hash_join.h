@@ -1,0 +1,89 @@
+#ifndef VWISE_EXEC_HASH_JOIN_H_
+#define VWISE_EXEC_HASH_JOIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/column_store.h"
+#include "exec/operator.h"
+#include "expr/expression.h"
+
+namespace vwise {
+
+enum class JoinType : uint8_t {
+  kInner = 0,
+  kLeftSemi = 1,   // emit probe rows with >= 1 match
+  kLeftAnti = 2,   // emit probe rows with no match
+  kLeftOuter = 3,  // inner matches plus unmatched probe rows
+};
+
+// Vectorized hash join. The build child is consumed fully at Open() into an
+// owned columnar build side with a chained hash table; probing computes
+// hashes a vector at a time, gathers candidate (probe, build) pairs, applies
+// the optional residual predicate, and emits gathered output chunks.
+//
+// Output layout: all probe columns, then `build_payload` columns; kLeftOuter
+// additionally appends a u8 "matched" flag column (1 for joined rows, 0 for
+// padded unmatched probe rows whose payload is zero/empty). The residual
+// filter is evaluated against that combined layout.
+class HashJoinOperator final : public Operator {
+ public:
+  struct Spec {
+    JoinType type = JoinType::kInner;
+    std::vector<size_t> probe_keys;
+    std::vector<size_t> build_keys;
+    std::vector<size_t> build_payload;
+    FilterPtr residual;
+  };
+
+  HashJoinOperator(OperatorPtr probe, OperatorPtr build, Spec spec,
+                   const Config& config);
+  ~HashJoinOperator() override;
+
+  const std::vector<TypeId>& OutputTypes() const override { return out_types_; }
+  Status Open() override;
+  Status Next(DataChunk* out) override;
+  void Close() override;
+
+  size_t build_rows() const { return build_rows_; }
+
+ private:
+  Status ConsumeBuildSide();
+  Status ProcessProbeChunk();  // fills pairs_ / probe_match_ for input_
+  void EmitPairs(DataChunk* out);
+  Status EmitSemiAnti(DataChunk* out);
+
+  uint64_t HashBuildRow(size_t row) const;
+  uint64_t HashProbeRow(const DataChunk& chunk, sel_t pos) const;
+  bool KeysEqual(const DataChunk& chunk, sel_t pos, size_t build_row) const;
+
+  OperatorPtr probe_;
+  OperatorPtr build_;
+  Spec spec_;
+  Config config_;
+  std::vector<TypeId> out_types_;
+
+  // Build side.
+  std::vector<ColumnStore> build_key_cols_;
+  std::vector<ColumnStore> build_payload_cols_;
+  std::vector<uint32_t> bucket_heads_;
+  std::vector<uint32_t> chain_next_;
+  size_t build_rows_ = 0;
+  uint64_t bucket_mask_ = 0;
+
+  // Probe state.
+  DataChunk input_;
+  bool input_exhausted_ = false;
+  struct Pair {
+    sel_t probe_pos;
+    uint32_t build_row;
+  };
+  std::vector<Pair> pairs_;        // surviving pairs for current input chunk
+  size_t pair_cursor_ = 0;
+  std::vector<uint8_t> probe_match_;  // per probe position: any match
+  DataChunk residual_scratch_;
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_EXEC_HASH_JOIN_H_

@@ -1,0 +1,106 @@
+#include "exec/operator.h"
+
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace vwise {
+
+void DeepCopyChunk(const DataChunk& src, DataChunk* dst) {
+  size_t n = src.ActiveCount();
+  VWISE_CHECK(dst->num_columns() == src.num_columns());
+  VWISE_CHECK(dst->capacity() >= n);
+  const sel_t* sel = src.sel();
+  for (size_t c = 0; c < src.num_columns(); c++) {
+    const Vector& in = src.column(c);
+    Vector& out = dst->column(c);
+    switch (in.type()) {
+      case TypeId::kU8: {
+        const uint8_t* s = in.Data<uint8_t>();
+        uint8_t* d = out.Data<uint8_t>();
+        for (size_t i = 0; i < n; i++) d[i] = s[sel ? sel[i] : i];
+        break;
+      }
+      case TypeId::kI32: {
+        const int32_t* s = in.Data<int32_t>();
+        int32_t* d = out.Data<int32_t>();
+        for (size_t i = 0; i < n; i++) d[i] = s[sel ? sel[i] : i];
+        break;
+      }
+      case TypeId::kI64: {
+        const int64_t* s = in.Data<int64_t>();
+        int64_t* d = out.Data<int64_t>();
+        for (size_t i = 0; i < n; i++) d[i] = s[sel ? sel[i] : i];
+        break;
+      }
+      case TypeId::kF64: {
+        const double* s = in.Data<double>();
+        double* d = out.Data<double>();
+        for (size_t i = 0; i < n; i++) d[i] = s[sel ? sel[i] : i];
+        break;
+      }
+      case TypeId::kStr: {
+        const StringVal* s = in.Data<StringVal>();
+        StringVal* d = out.Data<StringVal>();
+        StringHeap* heap = out.GetStringHeap();
+        for (size_t i = 0; i < n; i++) d[i] = heap->Add(s[sel ? sel[i] : i].view());
+        break;
+      }
+    }
+  }
+  dst->SetCount(n);
+  dst->ClearSelection();
+}
+
+Result<QueryResult> CollectRows(Operator* root, size_t vector_size,
+                                std::vector<std::string> names,
+                                std::vector<DataType> types) {
+  QueryResult result;
+  result.column_names = std::move(names);
+  result.column_types = std::move(types);
+  VWISE_RETURN_IF_ERROR(root->Open());
+  DataChunk chunk;
+  chunk.Init(root->OutputTypes(), vector_size);
+  while (true) {
+    chunk.Reset();
+    VWISE_RETURN_IF_ERROR(root->Next(&chunk));
+    size_t n = chunk.ActiveCount();
+    if (n == 0) break;
+    for (size_t i = 0; i < n; i++) {
+      std::vector<Value> row;
+      row.reserve(chunk.num_columns());
+      for (size_t c = 0; c < chunk.num_columns(); c++) {
+        const DataType* t =
+            c < result.column_types.size() ? &result.column_types[c] : nullptr;
+        row.push_back(chunk.GetValue(c, i, t));
+      }
+      result.rows.push_back(std::move(row));
+    }
+  }
+  root->Close();
+  return result;
+}
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  for (size_t c = 0; c < column_names.size(); c++) {
+    if (c > 0) os << " | ";
+    os << column_names[c];
+  }
+  if (!column_names.empty()) os << "\n";
+  size_t shown = 0;
+  for (const auto& row : rows) {
+    if (shown++ >= max_rows) {
+      os << "... (" << rows.size() << " rows total)\n";
+      break;
+    }
+    for (size_t c = 0; c < row.size(); c++) {
+      if (c > 0) os << " | ";
+      os << row[c].ToString();
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace vwise

@@ -1,0 +1,65 @@
+#ifndef VWISE_EXEC_OPERATOR_H_
+#define VWISE_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "vector/chunk.h"
+
+namespace vwise {
+
+// A physical vectorized operator (X100 execution model). Pull-based:
+// Next() fills the caller's chunk; an empty chunk (ActiveCount() == 0)
+// signals end of stream.
+//
+// Data contract: the vectors written by Next() remain valid only until the
+// next call to Next() (or Close()) on the same operator — they may alias
+// storage buffers or the operator's scratch. Operators that buffer input
+// across calls (join build, aggregation, sort, exchange) must deep-copy,
+// including string bytes.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  // Physical column types this operator emits.
+  virtual const std::vector<TypeId>& OutputTypes() const = 0;
+
+  // Recursively prepares the pipeline. Must be called once before Next().
+  virtual Status Open() = 0;
+  virtual Status Next(DataChunk* out) = 0;
+  virtual void Close() = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+// Shared per-query execution settings.
+struct ExecContext {
+  Config config;
+};
+
+// Deep copy `src`'s active rows densely into `dst` (which must have been
+// Init'ed with matching types and capacity >= src.ActiveCount()). String
+// bytes are copied into dst's own heaps so dst owns everything it points to.
+void DeepCopyChunk(const DataChunk& src, DataChunk* dst);
+
+// Materialized query output (API boundary / tests).
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<DataType> column_types;
+  std::vector<std::vector<Value>> rows;
+
+  std::string ToString(size_t max_rows = 25) const;
+};
+
+// Runs a pipeline to completion, materializing every row.
+Result<QueryResult> CollectRows(Operator* root, size_t vector_size,
+                                std::vector<std::string> names = {},
+                                std::vector<DataType> types = {});
+
+}  // namespace vwise
+
+#endif  // VWISE_EXEC_OPERATOR_H_

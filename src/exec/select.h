@@ -1,0 +1,34 @@
+#ifndef VWISE_EXEC_SELECT_H_
+#define VWISE_EXEC_SELECT_H_
+
+#include <memory>
+
+#include "exec/operator.h"
+#include "expr/expression.h"
+
+namespace vwise {
+
+// Filters the child stream by narrowing the selection vector — no data is
+// copied or moved (X100 selection-vector semantics). Columns pass through by
+// reference.
+class SelectOperator final : public Operator {
+ public:
+  SelectOperator(OperatorPtr child, FilterPtr filter, const Config& config);
+
+  const std::vector<TypeId>& OutputTypes() const override {
+    return child_->OutputTypes();
+  }
+  Status Open() override;
+  Status Next(DataChunk* out) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  FilterPtr filter_;
+  Config config_;
+  DataChunk input_;
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_EXEC_SELECT_H_

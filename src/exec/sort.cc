@@ -1,0 +1,148 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+namespace vwise {
+
+SortOperator::SortOperator(OperatorPtr child, std::vector<SortKey> keys,
+                           const Config& config, size_t limit, size_t offset)
+    : child_(std::move(child)),
+      keys_(std::move(keys)),
+      config_(config),
+      limit_(limit),
+      offset_(offset) {}
+
+Status SortOperator::Open() {
+  VWISE_RETURN_IF_ERROR(child_->Open());
+  data_.clear();
+  for (TypeId t : child_->OutputTypes()) data_.emplace_back(t);
+  order_.clear();
+  cursor_ = 0;
+  sorted_ = false;
+  return Status::OK();
+}
+
+bool SortOperator::RowLess(uint32_t a, uint32_t b) const {
+  for (const SortKey& key : keys_) {
+    const ColumnStore& col = data_[key.col];
+    int cmp = 0;
+    switch (col.type()) {
+      case TypeId::kU8: {
+        auto va = col.Get<uint8_t>(a), vb = col.Get<uint8_t>(b);
+        cmp = va < vb ? -1 : va > vb ? 1 : 0;
+        break;
+      }
+      case TypeId::kI32: {
+        auto va = col.Get<int32_t>(a), vb = col.Get<int32_t>(b);
+        cmp = va < vb ? -1 : va > vb ? 1 : 0;
+        break;
+      }
+      case TypeId::kI64: {
+        auto va = col.Get<int64_t>(a), vb = col.Get<int64_t>(b);
+        cmp = va < vb ? -1 : va > vb ? 1 : 0;
+        break;
+      }
+      case TypeId::kF64: {
+        auto va = col.Get<double>(a), vb = col.Get<double>(b);
+        cmp = va < vb ? -1 : va > vb ? 1 : 0;
+        break;
+      }
+      case TypeId::kStr: {
+        const StringVal& va = col.Strs()[a];
+        const StringVal& vb = col.Strs()[b];
+        cmp = va < vb ? -1 : vb < va ? 1 : 0;
+        break;
+      }
+    }
+    if (cmp != 0) return key.ascending ? cmp < 0 : cmp > 0;
+  }
+  return a < b;  // stable tie-break on input order
+}
+
+Status SortOperator::ConsumeAndSort() {
+  DataChunk chunk;
+  chunk.Init(child_->OutputTypes(), config_.vector_size);
+  while (true) {
+    chunk.Reset();
+    VWISE_RETURN_IF_ERROR(child_->Next(&chunk));
+    size_t n = chunk.ActiveCount();
+    if (n == 0) break;
+    const sel_t* sel = chunk.sel();
+    for (size_t c = 0; c < chunk.num_columns(); c++) {
+      data_[c].AppendFrom(chunk.column(c), sel, n);
+    }
+  }
+  child_->Close();
+  size_t rows = data_.empty() ? 0 : data_[0].size();
+  order_.resize(rows);
+  std::iota(order_.begin(), order_.end(), 0);
+  auto less = [this](uint32_t a, uint32_t b) { return RowLess(a, b); };
+  size_t want = limit_ == SIZE_MAX ? rows
+                                   : std::min(rows, offset_ + limit_);
+  if (want < rows) {
+    std::partial_sort(order_.begin(), order_.begin() + want, order_.end(), less);
+    order_.resize(want);
+  } else {
+    std::sort(order_.begin(), order_.end(), less);
+  }
+  cursor_ = std::min(offset_, order_.size());
+  sorted_ = true;
+  return Status::OK();
+}
+
+Status SortOperator::Next(DataChunk* out) {
+  if (!sorted_) VWISE_RETURN_IF_ERROR(ConsumeAndSort());
+  size_t end = order_.size();
+  if (limit_ != SIZE_MAX) end = std::min(end, offset_ + limit_);
+  size_t batch = cursor_ < end ? std::min(out->capacity(), end - cursor_) : 0;
+  if (batch == 0) {
+    out->SetCount(0);
+    return Status::OK();
+  }
+  for (size_t c = 0; c < data_.size(); c++) {
+    data_[c].Gather(order_.data() + cursor_, batch, &out->column(c));
+  }
+  out->SetCount(batch);
+  cursor_ += batch;
+  return Status::OK();
+}
+
+void SortOperator::Close() {
+  data_.clear();
+  order_.clear();
+}
+
+Status LimitOperator::Next(DataChunk* out) {
+  while (emitted_ < limit_) {
+    out->Reset();
+    VWISE_RETURN_IF_ERROR(child_->Next(out));
+    size_t n = out->ActiveCount();
+    if (n == 0) return Status::OK();
+    // Skip offset rows, cap at the limit.
+    size_t skip = seen_ < offset_ ? std::min(offset_ - seen_, n) : 0;
+    seen_ += n;
+    size_t take = std::min(n - skip, limit_ - emitted_);
+    if (take == 0) continue;
+    if (out->has_selection()) {
+      // Shift the selection window.
+      sel_t* sel = out->MutableSel();
+      if (skip > 0) std::memmove(sel, sel + skip, take * sizeof(sel_t));
+      out->SetSelection(take);
+    } else if (skip > 0) {
+      sel_t* sel = out->MutableSel();
+      for (size_t i = 0; i < take; i++) sel[i] = static_cast<sel_t>(skip + i);
+      out->SetSelection(take);
+    } else {
+      // Dense prefix: simply shrink the count.
+      out->SetCount(take);
+    }
+    emitted_ += take;
+    return Status::OK();
+  }
+  out->SetCount(0);
+  return Status::OK();
+}
+
+}  // namespace vwise

@@ -1,0 +1,76 @@
+#ifndef VWISE_EXEC_SORT_H_
+#define VWISE_EXEC_SORT_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/column_store.h"
+#include "exec/operator.h"
+
+namespace vwise {
+
+struct SortKey {
+  size_t col;
+  bool ascending = true;
+};
+
+// ORDER BY [LIMIT/OFFSET]: materializes the child, sorts an index array with
+// a multi-key comparator, and emits gathered chunks. With a limit, only the
+// top offset+limit rows are ordered (partial sort — the TopN of X100 plans).
+class SortOperator final : public Operator {
+ public:
+  SortOperator(OperatorPtr child, std::vector<SortKey> keys,
+               const Config& config, size_t limit = SIZE_MAX,
+               size_t offset = 0);
+
+  const std::vector<TypeId>& OutputTypes() const override {
+    return child_->OutputTypes();
+  }
+  Status Open() override;
+  Status Next(DataChunk* out) override;
+  void Close() override;
+
+ private:
+  Status ConsumeAndSort();
+  bool RowLess(uint32_t a, uint32_t b) const;
+
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  Config config_;
+  size_t limit_;
+  size_t offset_;
+
+  std::vector<ColumnStore> data_;
+  std::vector<uint32_t> order_;
+  size_t cursor_ = 0;
+  bool sorted_ = false;
+};
+
+// LIMIT/OFFSET without ordering.
+class LimitOperator final : public Operator {
+ public:
+  LimitOperator(OperatorPtr child, size_t limit, size_t offset = 0)
+      : child_(std::move(child)), limit_(limit), offset_(offset) {}
+
+  const std::vector<TypeId>& OutputTypes() const override {
+    return child_->OutputTypes();
+  }
+  Status Open() override {
+    seen_ = 0;
+    emitted_ = 0;
+    return child_->Open();
+  }
+  Status Next(DataChunk* out) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  size_t limit_;
+  size_t offset_;
+  size_t seen_ = 0;
+  size_t emitted_ = 0;
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_EXEC_SORT_H_

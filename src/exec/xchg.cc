@@ -1,0 +1,106 @@
+#include "exec/xchg.h"
+
+namespace vwise {
+
+XchgOperator::XchgOperator(FragmentFactory factory, int num_workers,
+                           std::vector<TypeId> types, const Config& config)
+    : factory_(std::move(factory)),
+      num_workers_(num_workers),
+      types_(std::move(types)),
+      config_(config) {}
+
+XchgOperator::~XchgOperator() { Close(); }
+
+Status XchgOperator::Open() {
+  cancelled_ = false;
+  first_error_ = Status::OK();
+  producers_running_ = num_workers_;
+  for (int w = 0; w < num_workers_; w++) {
+    threads_.emplace_back([this, w] { ProducerLoop(w); });
+  }
+  return Status::OK();
+}
+
+void XchgOperator::PushChunk(DataChunk chunk) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [this] {
+    return queue_.size() < config_.xchg_queue_capacity || cancelled_;
+  });
+  if (cancelled_) return;
+  queue_.push_back(std::move(chunk));
+  not_empty_.notify_one();
+}
+
+void XchgOperator::ProducerLoop(int worker) {
+  auto finish = [this](const Status& status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!status.ok() && first_error_.ok()) first_error_ = status;
+    producers_running_--;
+    not_empty_.notify_all();
+  };
+
+  auto fragment = factory_(worker, num_workers_);
+  if (!fragment.ok()) {
+    finish(fragment.status());
+    return;
+  }
+  OperatorPtr op = std::move(*fragment);
+  Status status = op->Open();
+  if (status.ok()) {
+    DataChunk chunk;
+    chunk.Init(op->OutputTypes(), config_.vector_size);
+    while (!cancelled_) {
+      chunk.Reset();
+      status = op->Next(&chunk);
+      if (!status.ok() || chunk.ActiveCount() == 0) break;
+      // Deep copy: the producer's chunk aliases fragment-internal buffers
+      // that are invalid once the fragment advances or closes.
+      DataChunk owned;
+      owned.Init(op->OutputTypes(), chunk.ActiveCount());
+      DeepCopyChunk(chunk, &owned);
+      PushChunk(std::move(owned));
+    }
+    op->Close();
+  }
+  finish(status);
+}
+
+Status XchgOperator::Next(DataChunk* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] {
+    return !queue_.empty() || producers_running_ == 0;
+  });
+  if (!queue_.empty()) {
+    DataChunk chunk = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    lock.unlock();
+    // Move the producer's columns into the caller's chunk by reference.
+    size_t n = chunk.ActiveCount();
+    for (size_t c = 0; c < chunk.num_columns(); c++) {
+      out->column(c).Reference(chunk.column(c));
+    }
+    out->SetCount(n);
+    return Status::OK();
+  }
+  // All producers done.
+  VWISE_RETURN_IF_ERROR(first_error_);
+  out->SetCount(0);
+  return Status::OK();
+}
+
+void XchgOperator::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  queue_.clear();
+}
+
+}  // namespace vwise

@@ -1,0 +1,58 @@
+#ifndef VWISE_EXEC_XCHG_H_
+#define VWISE_EXEC_XCHG_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace vwise {
+
+// Volcano-style exchange operator — the unit the rewriter's parallelization
+// rule injects (paper Sec. I-B: "a Volcano-style query parallellizer").
+// Each worker thread runs its own plan fragment (typically a partitioned
+// scan + pipeline) and pushes deep-copied chunks into a bounded queue that
+// the consumer drains; the operator tree above the Xchg stays serial.
+class XchgOperator final : public Operator {
+ public:
+  // Builds worker `w`'s fragment (0 <= w < num_workers).
+  using FragmentFactory =
+      std::function<Result<OperatorPtr>(int worker, int num_workers)>;
+
+  XchgOperator(FragmentFactory factory, int num_workers,
+               std::vector<TypeId> types, const Config& config);
+  ~XchgOperator() override;
+
+  const std::vector<TypeId>& OutputTypes() const override { return types_; }
+  Status Open() override;
+  Status Next(DataChunk* out) override;
+  void Close() override;
+
+ private:
+  void ProducerLoop(int worker);
+  void PushChunk(DataChunk chunk);
+
+  FragmentFactory factory_;
+  int num_workers_;
+  std::vector<TypeId> types_;
+  Config config_;
+
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<DataChunk> queue_;
+  int producers_running_ = 0;
+  std::atomic<bool> cancelled_{false};
+  Status first_error_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_EXEC_XCHG_H_

@@ -1,0 +1,912 @@
+#include "expr/expression.h"
+
+#include <cstring>
+
+#include "common/date.h"
+#include "expr/primitives.h"
+
+namespace vwise {
+
+// ---------------------------------------------------------------------------
+// Expr base
+// ---------------------------------------------------------------------------
+
+Status Expr::Prepare(size_t capacity) {
+  capacity_ = capacity;
+  scratch_.Init(physical(), capacity);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ColRefExpr
+// ---------------------------------------------------------------------------
+
+Status ColRefExpr::Prepare(size_t capacity) {
+  capacity_ = capacity;  // no scratch needed
+  return Status::OK();
+}
+
+Status ColRefExpr::Eval(DataChunk& in, const sel_t* sel, size_t n,
+                        Vector** out) {
+  (void)sel;
+  (void)n;
+  if (index_ >= in.num_columns()) {
+    return Status::Internal("column reference out of range");
+  }
+  if (in.column(index_).type() != physical()) {
+    return Status::Internal("column reference type mismatch");
+  }
+  *out = &in.column(index_);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ConstExpr
+// ---------------------------------------------------------------------------
+
+Status ConstExpr::Prepare(size_t capacity) {
+  VWISE_RETURN_IF_ERROR(Expr::Prepare(capacity));
+  switch (physical()) {
+    case TypeId::kU8: {
+      uint8_t v = static_cast<uint8_t>(value_.AsInt());
+      std::memset(scratch_.Data<uint8_t>(), v, capacity);
+      break;
+    }
+    case TypeId::kI32: {
+      int32_t v = static_cast<int32_t>(value_.AsInt());
+      int32_t* d = scratch_.Data<int32_t>();
+      for (size_t i = 0; i < capacity; i++) d[i] = v;
+      break;
+    }
+    case TypeId::kI64: {
+      int64_t v = value_.AsInt();
+      int64_t* d = scratch_.Data<int64_t>();
+      for (size_t i = 0; i < capacity; i++) d[i] = v;
+      break;
+    }
+    case TypeId::kF64: {
+      double v = value_.AsDouble();
+      double* d = scratch_.Data<double>();
+      for (size_t i = 0; i < capacity; i++) d[i] = v;
+      break;
+    }
+    case TypeId::kStr: {
+      // value_ owns the bytes for the lifetime of this node.
+      str_ = StringVal(value_.AsString());
+      StringVal* d = scratch_.Data<StringVal>();
+      for (size_t i = 0; i < capacity; i++) d[i] = str_;
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status ConstExpr::Eval(DataChunk& in, const sel_t* sel, size_t n,
+                       Vector** out) {
+  (void)in;
+  (void)sel;
+  (void)n;
+  *out = &scratch_;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ArithExpr
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename T>
+T ConstScalar(const Expr* node);
+
+template <>
+int64_t ConstScalar<int64_t>(const Expr* node) {
+  return static_cast<const ConstExpr*>(node)->AsI64();
+}
+template <>
+double ConstScalar<double>(const Expr* node) {
+  return static_cast<const ConstExpr*>(node)->AsF64();
+}
+
+template <typename T, typename OP>
+void ArithKernel(Expr* left, Vector* lv, Expr* right, Vector* rv, Vector* out,
+                 const sel_t* sel, size_t n) {
+  T* o = out->Data<T>();
+  if (left->IsConstant() && right->IsConstant()) {
+    // Constant folding at evaluation time (the builder does not fold).
+    T v = OP()(ConstScalar<T>(left), ConstScalar<T>(right));
+    if (sel == nullptr) {
+      for (size_t i = 0; i < n; i++) o[i] = v;
+    } else {
+      for (size_t i = 0; i < n; i++) o[sel[i]] = v;
+    }
+  } else if (left->IsConstant()) {
+    prim::MapValCol<T, T, T, OP>(ConstScalar<T>(left), rv->Data<T>(), o, sel, n);
+  } else if (right->IsConstant()) {
+    prim::MapColVal<T, T, T, OP>(lv->Data<T>(), ConstScalar<T>(right), o, sel, n);
+  } else {
+    prim::MapColCol<T, T, T, OP>(lv->Data<T>(), rv->Data<T>(), o, sel, n);
+  }
+}
+
+template <typename T>
+void ArithDispatch(ArithOp op, Expr* left, Vector* lv, Expr* right, Vector* rv,
+                   Vector* out, const sel_t* sel, size_t n) {
+  switch (op) {
+    case ArithOp::kAdd:
+      ArithKernel<T, prim::OpAdd>(left, lv, right, rv, out, sel, n);
+      break;
+    case ArithOp::kSub:
+      ArithKernel<T, prim::OpSub>(left, lv, right, rv, out, sel, n);
+      break;
+    case ArithOp::kMul:
+      ArithKernel<T, prim::OpMul>(left, lv, right, rv, out, sel, n);
+      break;
+    case ArithOp::kDiv:
+      ArithKernel<T, prim::OpDiv>(left, lv, right, rv, out, sel, n);
+      break;
+  }
+}
+
+DataType ArithResultType(const ExprPtr& l, const ExprPtr& r) {
+  // Children have been cast to a common physical type by the builder; the
+  // logical result follows the left child (decimals are cast to double
+  // before arithmetic, so scales never mix).
+  (void)r;
+  return l->type();
+}
+
+}  // namespace
+
+ArithExpr::ArithExpr(ArithOp op, ExprPtr left, ExprPtr right)
+    : Expr(ArithResultType(left, right)),
+      op_(op),
+      left_(std::move(left)),
+      right_(std::move(right)) {
+  VWISE_CHECK_MSG(left_->physical() == right_->physical(),
+                  "arith children must share a physical type");
+  VWISE_CHECK_MSG(
+      left_->physical() == TypeId::kI64 || left_->physical() == TypeId::kF64,
+      "arith only defined on i64/f64");
+}
+
+Status ArithExpr::Prepare(size_t capacity) {
+  VWISE_RETURN_IF_ERROR(Expr::Prepare(capacity));
+  VWISE_RETURN_IF_ERROR(left_->Prepare(capacity));
+  return right_->Prepare(capacity);
+}
+
+Status ArithExpr::Eval(DataChunk& in, const sel_t* sel, size_t n,
+                       Vector** out) {
+  Vector* lv = nullptr;
+  Vector* rv = nullptr;
+  if (!left_->IsConstant()) VWISE_RETURN_IF_ERROR(left_->Eval(in, sel, n, &lv));
+  if (!right_->IsConstant()) VWISE_RETURN_IF_ERROR(right_->Eval(in, sel, n, &rv));
+  if (physical() == TypeId::kI64) {
+    ArithDispatch<int64_t>(op_, left_.get(), lv, right_.get(), rv, &scratch_, sel, n);
+  } else {
+    ArithDispatch<double>(op_, left_.get(), lv, right_.get(), rv, &scratch_, sel, n);
+  }
+  *out = &scratch_;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// CastExpr
+// ---------------------------------------------------------------------------
+
+CastExpr::CastExpr(ExprPtr input, DataType to) : Expr(to), input_(std::move(input)) {
+  if (input_->type().kind == LType::kDecimal && to.kind == LType::kDouble) {
+    decimal_factor_ = 1.0;
+    for (int i = 0; i < input_->type().scale; i++) decimal_factor_ *= 10.0;
+  }
+}
+
+Status CastExpr::Prepare(size_t capacity) {
+  VWISE_RETURN_IF_ERROR(Expr::Prepare(capacity));
+  return input_->Prepare(capacity);
+}
+
+namespace {
+
+struct OpI32ToI64 {
+  int64_t operator()(int32_t v) const { return v; }
+};
+struct OpI32ToF64 {
+  double operator()(int32_t v) const { return v; }
+};
+struct OpI64ToF64 {
+  double operator()(int64_t v) const { return static_cast<double>(v); }
+};
+struct OpU8ToI64 {
+  int64_t operator()(uint8_t v) const { return v; }
+};
+
+}  // namespace
+
+Status CastExpr::Eval(DataChunk& in, const sel_t* sel, size_t n, Vector** out) {
+  Vector* iv = nullptr;
+  VWISE_RETURN_IF_ERROR(input_->Eval(in, sel, n, &iv));
+  TypeId from = input_->physical();
+  TypeId to = physical();
+  if (from == to) {
+    // Logical-only cast (e.g. DATE -> INT32 reinterpretation).
+    scratch_.Reference(*iv);
+    *out = &scratch_;
+    return Status::OK();
+  }
+  if (from == TypeId::kI32 && to == TypeId::kI64) {
+    prim::MapUnary<int64_t, int32_t, OpI32ToI64>(iv->Data<int32_t>(),
+                                                 scratch_.Data<int64_t>(), sel, n);
+  } else if (from == TypeId::kI32 && to == TypeId::kF64) {
+    prim::MapUnary<double, int32_t, OpI32ToF64>(iv->Data<int32_t>(),
+                                                scratch_.Data<double>(), sel, n);
+  } else if (from == TypeId::kI64 && to == TypeId::kF64) {
+    if (decimal_factor_ != 1.0) {
+      prim::MapColVal<double, int64_t, double, prim::OpDiv>(
+          iv->Data<int64_t>(), decimal_factor_, scratch_.Data<double>(), sel, n);
+    } else {
+      prim::MapUnary<double, int64_t, OpI64ToF64>(iv->Data<int64_t>(),
+                                                  scratch_.Data<double>(), sel, n);
+    }
+  } else if (from == TypeId::kU8 && to == TypeId::kI64) {
+    prim::MapUnary<int64_t, uint8_t, OpU8ToI64>(iv->Data<uint8_t>(),
+                                                scratch_.Data<int64_t>(), sel, n);
+  } else {
+    return Status::NotImplemented("unsupported cast");
+  }
+  *out = &scratch_;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// YearExpr
+// ---------------------------------------------------------------------------
+
+YearExpr::YearExpr(ExprPtr input) : Expr(DataType::Int64()), input_(std::move(input)) {
+  VWISE_CHECK_MSG(input_->physical() == TypeId::kI32, "YEAR requires a date input");
+}
+
+Status YearExpr::Prepare(size_t capacity) {
+  VWISE_RETURN_IF_ERROR(Expr::Prepare(capacity));
+  return input_->Prepare(capacity);
+}
+
+namespace {
+struct OpYear {
+  int64_t operator()(int32_t days) const { return date::ExtractYear(days); }
+};
+}  // namespace
+
+Status YearExpr::Eval(DataChunk& in, const sel_t* sel, size_t n, Vector** out) {
+  Vector* iv = nullptr;
+  VWISE_RETURN_IF_ERROR(input_->Eval(in, sel, n, &iv));
+  prim::MapUnary<int64_t, int32_t, OpYear>(iv->Data<int32_t>(),
+                                           scratch_.Data<int64_t>(), sel, n);
+  *out = &scratch_;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// SubstrExpr
+// ---------------------------------------------------------------------------
+
+SubstrExpr::SubstrExpr(ExprPtr input, size_t start, size_t len)
+    : Expr(DataType::Varchar()), input_(std::move(input)), start_(start), len_(len) {
+  VWISE_CHECK_MSG(start_ >= 1, "SUBSTRING start is 1-based");
+}
+
+Status SubstrExpr::Prepare(size_t capacity) {
+  VWISE_RETURN_IF_ERROR(Expr::Prepare(capacity));
+  return input_->Prepare(capacity);
+}
+
+Status SubstrExpr::Eval(DataChunk& in, const sel_t* sel, size_t n, Vector** out) {
+  Vector* iv = nullptr;
+  VWISE_RETURN_IF_ERROR(input_->Eval(in, sel, n, &iv));
+  const StringVal* src = iv->Data<StringVal>();
+  StringVal* dst = scratch_.Data<StringVal>();
+  size_t off = start_ - 1;
+  auto one = [&](sel_t p) {
+    const StringVal& s = src[p];
+    if (off >= s.len) {
+      dst[p] = StringVal(s.ptr, 0);
+    } else {
+      uint32_t avail = s.len - static_cast<uint32_t>(off);
+      uint32_t take = static_cast<uint32_t>(len_) < avail
+                          ? static_cast<uint32_t>(len_)
+                          : avail;
+      dst[p] = StringVal(s.ptr + off, take);  // zero copy into source bytes
+    }
+  };
+  if (sel == nullptr) {
+    for (size_t i = 0; i < n; i++) one(static_cast<sel_t>(i));
+  } else {
+    for (size_t i = 0; i < n; i++) one(sel[i]);
+  }
+  // The result aliases the input's bytes; carry its heap references along.
+  scratch_.AddHeapsFrom(*iv);
+  *out = &scratch_;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// CaseExpr
+// ---------------------------------------------------------------------------
+
+CaseExpr::CaseExpr(std::unique_ptr<Filter> cond, ExprPtr then_expr, ExprPtr else_expr)
+    : Expr(then_expr->type()),
+      cond_(std::move(cond)),
+      then_(std::move(then_expr)),
+      else_(std::move(else_expr)) {
+  VWISE_CHECK_MSG(then_->physical() == else_->physical(),
+                  "CASE branches must share a type");
+}
+
+CaseExpr::~CaseExpr() = default;
+
+Status CaseExpr::Prepare(size_t capacity) {
+  VWISE_RETURN_IF_ERROR(Expr::Prepare(capacity));
+  VWISE_RETURN_IF_ERROR(cond_->Prepare(capacity));
+  VWISE_RETURN_IF_ERROR(then_->Prepare(capacity));
+  VWISE_RETURN_IF_ERROR(else_->Prepare(capacity));
+  cond_sel_ = Buffer::Allocate(capacity * sizeof(sel_t));
+  return Status::OK();
+}
+
+namespace {
+
+template <typename T>
+void CopyAtPositions(const Vector& src, Vector* dst, const sel_t* sel, size_t n) {
+  const T* s = src.Data<T>();
+  T* d = dst->Data<T>();
+  if (sel == nullptr) {
+    for (size_t i = 0; i < n; i++) d[i] = s[i];
+  } else {
+    for (size_t i = 0; i < n; i++) {
+      sel_t p = sel[i];
+      d[p] = s[p];
+    }
+  }
+}
+
+void CopyAtPositionsDispatch(const Vector& src, Vector* dst, const sel_t* sel,
+                             size_t n) {
+  switch (src.type()) {
+    case TypeId::kU8:
+      CopyAtPositions<uint8_t>(src, dst, sel, n);
+      break;
+    case TypeId::kI32:
+      CopyAtPositions<int32_t>(src, dst, sel, n);
+      break;
+    case TypeId::kI64:
+      CopyAtPositions<int64_t>(src, dst, sel, n);
+      break;
+    case TypeId::kF64:
+      CopyAtPositions<double>(src, dst, sel, n);
+      break;
+    case TypeId::kStr:
+      CopyAtPositions<StringVal>(src, dst, sel, n);
+      break;
+  }
+}
+
+}  // namespace
+
+Status CaseExpr::Eval(DataChunk& in, const sel_t* sel, size_t n, Vector** out) {
+  // 1. ELSE branch everywhere active.
+  Vector* ev = nullptr;
+  VWISE_RETURN_IF_ERROR(else_->Eval(in, sel, n, &ev));
+  CopyAtPositionsDispatch(*ev, &scratch_, sel, n);
+  // 2. THEN branch overwrites the condition-selected positions.
+  sel_t* csel = cond_sel_->As<sel_t>();
+  size_t k = 0;
+  VWISE_RETURN_IF_ERROR(cond_->Select(in, sel, n, csel, &k));
+  if (k > 0) {
+    Vector* tv = nullptr;
+    VWISE_RETURN_IF_ERROR(then_->Eval(in, csel, k, &tv));
+    CopyAtPositionsDispatch(*tv, &scratch_, csel, k);
+  }
+  if (physical() == TypeId::kStr) {
+    // StringVals may point into either branch's bytes; keep both alive by
+    // copying into our own heap (CASE over strings is rare and cold).
+    StringHeap* heap = scratch_.GetStringHeap();
+    StringVal* d = scratch_.Data<StringVal>();
+    auto copy_one = [&](sel_t p) { d[p] = heap->Add(d[p].view()); };
+    if (sel == nullptr) {
+      for (size_t i = 0; i < n; i++) copy_one(static_cast<sel_t>(i));
+    } else {
+      for (size_t i = 0; i < n; i++) copy_one(sel[i]);
+    }
+  }
+  *out = &scratch_;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Filter base
+// ---------------------------------------------------------------------------
+
+Status Filter::Prepare(size_t capacity) {
+  capacity_ = capacity;
+  tmp_sel_a_ = Buffer::Allocate(capacity * sizeof(sel_t));
+  tmp_sel_b_ = Buffer::Allocate(capacity * sizeof(sel_t));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// CmpFilter
+// ---------------------------------------------------------------------------
+
+CmpFilter::CmpFilter(CmpOp op, ExprPtr left, ExprPtr right)
+    : op_(op), left_(std::move(left)), right_(std::move(right)) {
+  VWISE_CHECK_MSG(left_->physical() == right_->physical(),
+                  "comparison children must share a physical type");
+}
+
+Status CmpFilter::Prepare(size_t capacity) {
+  VWISE_RETURN_IF_ERROR(Filter::Prepare(capacity));
+  VWISE_RETURN_IF_ERROR(left_->Prepare(capacity));
+  return right_->Prepare(capacity);
+}
+
+namespace {
+
+template <typename T>
+T ConstCmpScalar(const Expr* node);
+
+template <>
+uint8_t ConstCmpScalar<uint8_t>(const Expr* node) {
+  return static_cast<uint8_t>(static_cast<const ConstExpr*>(node)->AsI64());
+}
+template <>
+int32_t ConstCmpScalar<int32_t>(const Expr* node) {
+  return static_cast<int32_t>(static_cast<const ConstExpr*>(node)->AsI64());
+}
+template <>
+int64_t ConstCmpScalar<int64_t>(const Expr* node) {
+  return static_cast<const ConstExpr*>(node)->AsI64();
+}
+template <>
+double ConstCmpScalar<double>(const Expr* node) {
+  return static_cast<const ConstExpr*>(node)->AsF64();
+}
+template <>
+StringVal ConstCmpScalar<StringVal>(const Expr* node) {
+  return StringVal(static_cast<const ConstExpr*>(node)->value().AsString());
+}
+
+template <typename T, typename OP>
+size_t CmpKernel(Expr* left, Vector* lv, Expr* right, Vector* rv,
+                 const sel_t* sel, size_t n, sel_t* out_sel) {
+  // The left side is always materialized (constants pre-fill their scratch
+  // vector at Prepare), so only the right side needs a val fast path.
+  (void)left;
+  if (right->IsConstant()) {
+    return prim::SelectColVal<T, T, OP>(lv->Data<T>(), ConstCmpScalar<T>(right),
+                                        sel, n, out_sel);
+  }
+  return prim::SelectColCol<T, T, OP>(lv->Data<T>(), rv->Data<T>(), sel, n, out_sel);
+}
+
+template <typename T>
+size_t CmpDispatchOp(CmpOp op, Expr* left, Vector* lv, Expr* right, Vector* rv,
+                     const sel_t* sel, size_t n, sel_t* out_sel) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CmpKernel<T, prim::OpEq>(left, lv, right, rv, sel, n, out_sel);
+    case CmpOp::kNe:
+      return CmpKernel<T, prim::OpNe>(left, lv, right, rv, sel, n, out_sel);
+    case CmpOp::kLt:
+      return CmpKernel<T, prim::OpLt>(left, lv, right, rv, sel, n, out_sel);
+    case CmpOp::kLe:
+      return CmpKernel<T, prim::OpLe>(left, lv, right, rv, sel, n, out_sel);
+    case CmpOp::kGt:
+      return CmpKernel<T, prim::OpGt>(left, lv, right, rv, sel, n, out_sel);
+    case CmpOp::kGe:
+      return CmpKernel<T, prim::OpGe>(left, lv, right, rv, sel, n, out_sel);
+  }
+  return 0;
+}
+
+CmpOp MirrorOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return CmpOp::kGt;
+    case CmpOp::kLe:
+      return CmpOp::kGe;
+    case CmpOp::kGt:
+      return CmpOp::kLt;
+    case CmpOp::kGe:
+      return CmpOp::kLe;
+    default:
+      return op;
+  }
+}
+
+}  // namespace
+
+Status CmpFilter::Select(DataChunk& in, const sel_t* sel, size_t n,
+                         sel_t* out_sel, size_t* out_n) {
+  // Normalize "const OP col" to "col OP' const" so kernels only need the
+  // col x val fast path on the right.
+  Expr* l = left_.get();
+  Expr* r = right_.get();
+  CmpOp op = op_;
+  if (l->IsConstant() && !r->IsConstant()) {
+    std::swap(l, r);
+    op = MirrorOp(op);
+  }
+  // Evaluate the left side unconditionally: for a (rare) constant left with
+  // constant right, ConstExpr's pre-filled scratch serves as the "column".
+  Vector* lv = nullptr;
+  Vector* rv = nullptr;
+  VWISE_RETURN_IF_ERROR(l->Eval(in, sel, n, &lv));
+  if (!r->IsConstant()) VWISE_RETURN_IF_ERROR(r->Eval(in, sel, n, &rv));
+  switch (l->physical()) {
+    case TypeId::kU8:
+      *out_n = CmpDispatchOp<uint8_t>(op, l, lv, r, rv, sel, n, out_sel);
+      break;
+    case TypeId::kI32:
+      *out_n = CmpDispatchOp<int32_t>(op, l, lv, r, rv, sel, n, out_sel);
+      break;
+    case TypeId::kI64:
+      *out_n = CmpDispatchOp<int64_t>(op, l, lv, r, rv, sel, n, out_sel);
+      break;
+    case TypeId::kF64:
+      *out_n = CmpDispatchOp<double>(op, l, lv, r, rv, sel, n, out_sel);
+      break;
+    case TypeId::kStr:
+      *out_n = CmpDispatchOp<StringVal>(op, l, lv, r, rv, sel, n, out_sel);
+      break;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// AndFilter / OrFilter / NotFilter
+// ---------------------------------------------------------------------------
+
+AndFilter::AndFilter(std::vector<FilterPtr> children)
+    : children_(std::move(children)) {
+  VWISE_CHECK(!children_.empty());
+}
+
+Status AndFilter::Prepare(size_t capacity) {
+  VWISE_RETURN_IF_ERROR(Filter::Prepare(capacity));
+  for (auto& c : children_) VWISE_RETURN_IF_ERROR(c->Prepare(capacity));
+  return Status::OK();
+}
+
+Status AndFilter::Select(DataChunk& in, const sel_t* sel, size_t n,
+                         sel_t* out_sel, size_t* out_n) {
+  // Apply children in order, each narrowing the active set. Ping-pong
+  // between a scratch buffer and out_sel so the final result lands in
+  // out_sel regardless of child count.
+  sel_t* bufs[2] = {tmp_sel_a_->As<sel_t>(), out_sel};
+  const sel_t* cur_sel = sel;
+  size_t cur_n = n;
+  // Choose starting buffer so the last write hits out_sel.
+  int idx = (children_.size() % 2 == 0) ? 0 : 1;
+  for (auto& c : children_) {
+    size_t k = 0;
+    VWISE_RETURN_IF_ERROR(c->Select(in, cur_sel, cur_n, bufs[idx], &k));
+    cur_sel = bufs[idx];
+    cur_n = k;
+    idx ^= 1;
+    if (cur_n == 0) break;
+  }
+  if (cur_sel != out_sel && cur_n > 0) {
+    std::memcpy(out_sel, cur_sel, cur_n * sizeof(sel_t));
+  }
+  *out_n = cur_n;
+  return Status::OK();
+}
+
+OrFilter::OrFilter(std::vector<FilterPtr> children)
+    : children_(std::move(children)) {
+  VWISE_CHECK(!children_.empty());
+}
+
+Status OrFilter::Prepare(size_t capacity) {
+  VWISE_RETURN_IF_ERROR(Filter::Prepare(capacity));
+  for (auto& c : children_) VWISE_RETURN_IF_ERROR(c->Prepare(capacity));
+  return Status::OK();
+}
+
+Status OrFilter::Select(DataChunk& in, const sel_t* sel, size_t n,
+                        sel_t* out_sel, size_t* out_n) {
+  // Union of children's qualifying positions: evaluate each child against
+  // the full active set and merge the ascending results.
+  sel_t* acc = tmp_sel_a_->As<sel_t>();
+  sel_t* child_buf = tmp_sel_b_->As<sel_t>();
+  size_t acc_n = 0;
+  VWISE_RETURN_IF_ERROR(children_[0]->Select(in, sel, n, acc, &acc_n));
+  std::vector<sel_t> merged;  // reused across children via assign
+  for (size_t ci = 1; ci < children_.size(); ci++) {
+    size_t k = 0;
+    VWISE_RETURN_IF_ERROR(children_[ci]->Select(in, sel, n, child_buf, &k));
+    merged.clear();
+    merged.reserve(acc_n + k);
+    size_t i = 0, j = 0;
+    while (i < acc_n && j < k) {
+      if (acc[i] < child_buf[j]) {
+        merged.push_back(acc[i++]);
+      } else if (acc[i] > child_buf[j]) {
+        merged.push_back(child_buf[j++]);
+      } else {
+        merged.push_back(acc[i]);
+        i++;
+        j++;
+      }
+    }
+    while (i < acc_n) merged.push_back(acc[i++]);
+    while (j < k) merged.push_back(child_buf[j++]);
+    acc_n = merged.size();
+    std::memcpy(acc, merged.data(), acc_n * sizeof(sel_t));
+  }
+  std::memcpy(out_sel, acc, acc_n * sizeof(sel_t));
+  *out_n = acc_n;
+  return Status::OK();
+}
+
+NotFilter::NotFilter(FilterPtr child) : child_(std::move(child)) {}
+
+Status NotFilter::Prepare(size_t capacity) {
+  VWISE_RETURN_IF_ERROR(Filter::Prepare(capacity));
+  return child_->Prepare(capacity);
+}
+
+Status NotFilter::Select(DataChunk& in, const sel_t* sel, size_t n,
+                         sel_t* out_sel, size_t* out_n) {
+  sel_t* hit = tmp_sel_a_->As<sel_t>();
+  size_t k = 0;
+  VWISE_RETURN_IF_ERROR(child_->Select(in, sel, n, hit, &k));
+  // Complement within (sel, n): both lists are ascending.
+  size_t o = 0, j = 0;
+  for (size_t i = 0; i < n; i++) {
+    sel_t p = sel ? sel[i] : static_cast<sel_t>(i);
+    if (j < k && hit[j] == p) {
+      j++;
+    } else {
+      out_sel[o++] = p;
+    }
+  }
+  *out_n = o;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// InFilter
+// ---------------------------------------------------------------------------
+
+InFilter::InFilter(ExprPtr input, std::vector<Value> values, bool negate)
+    : input_(std::move(input)), values_(std::move(values)), negate_(negate) {
+  for (const Value& v : values_) {
+    if (v.kind() == Value::Kind::kString) {
+      strings_.push_back(v.AsString());
+    } else {
+      ints_.push_back(v.AsInt());
+    }
+  }
+}
+
+Status InFilter::Prepare(size_t capacity) {
+  VWISE_RETURN_IF_ERROR(Filter::Prepare(capacity));
+  return input_->Prepare(capacity);
+}
+
+Status InFilter::Select(DataChunk& in, const sel_t* sel, size_t n,
+                        sel_t* out_sel, size_t* out_n) {
+  Vector* iv = nullptr;
+  VWISE_RETURN_IF_ERROR(input_->Eval(in, sel, n, &iv));
+  size_t k = 0;
+  auto emit = [&](sel_t p, bool member) {
+    out_sel[k] = p;
+    k += (member != negate_);
+  };
+  switch (input_->physical()) {
+    case TypeId::kStr: {
+      const StringVal* d = iv->Data<StringVal>();
+      for (size_t i = 0; i < n; i++) {
+        sel_t p = sel ? sel[i] : static_cast<sel_t>(i);
+        bool member = false;
+        for (const std::string& s : strings_) {
+          if (d[p].view() == s) {
+            member = true;
+            break;
+          }
+        }
+        emit(p, member);
+      }
+      break;
+    }
+    case TypeId::kI32: {
+      const int32_t* d = iv->Data<int32_t>();
+      for (size_t i = 0; i < n; i++) {
+        sel_t p = sel ? sel[i] : static_cast<sel_t>(i);
+        bool member = false;
+        for (int64_t v : ints_) {
+          if (d[p] == v) {
+            member = true;
+            break;
+          }
+        }
+        emit(p, member);
+      }
+      break;
+    }
+    case TypeId::kI64: {
+      const int64_t* d = iv->Data<int64_t>();
+      for (size_t i = 0; i < n; i++) {
+        sel_t p = sel ? sel[i] : static_cast<sel_t>(i);
+        bool member = false;
+        for (int64_t v : ints_) {
+          if (d[p] == v) {
+            member = true;
+            break;
+          }
+        }
+        emit(p, member);
+      }
+      break;
+    }
+    default:
+      return Status::NotImplemented("IN on this type");
+  }
+  *out_n = k;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// LikeFilter
+// ---------------------------------------------------------------------------
+
+LikeFilter::LikeFilter(ExprPtr input, std::string pattern, bool negate)
+    : input_(std::move(input)), pattern_(std::move(pattern)), negate_(negate) {
+  VWISE_CHECK_MSG(input_->physical() == TypeId::kStr, "LIKE requires a string");
+}
+
+Status LikeFilter::Prepare(size_t capacity) {
+  VWISE_RETURN_IF_ERROR(Filter::Prepare(capacity));
+  return input_->Prepare(capacity);
+}
+
+bool LikeFilter::Match(std::string_view s, std::string_view pattern) {
+  // Iterative wildcard match with single-level backtracking: on mismatch,
+  // retry from the last '%' with the string position advanced.
+  size_t si = 0, pi = 0;
+  size_t star_p = std::string_view::npos, star_s = 0;
+  while (si < s.size()) {
+    if (pi < pattern.size() && (pattern[pi] == '_' || pattern[pi] == s[si])) {
+      si++;
+      pi++;
+    } else if (pi < pattern.size() && pattern[pi] == '%') {
+      star_p = pi++;
+      star_s = si;
+    } else if (star_p != std::string_view::npos) {
+      pi = star_p + 1;
+      si = ++star_s;
+    } else {
+      return false;
+    }
+  }
+  while (pi < pattern.size() && pattern[pi] == '%') pi++;
+  return pi == pattern.size();
+}
+
+Status LikeFilter::Select(DataChunk& in, const sel_t* sel, size_t n,
+                          sel_t* out_sel, size_t* out_n) {
+  Vector* iv = nullptr;
+  VWISE_RETURN_IF_ERROR(input_->Eval(in, sel, n, &iv));
+  const StringVal* d = iv->Data<StringVal>();
+  size_t k = 0;
+  for (size_t i = 0; i < n; i++) {
+    sel_t p = sel ? sel[i] : static_cast<sel_t>(i);
+    out_sel[k] = p;
+    k += (Match(d[p].view(), pattern_) != negate_);
+  }
+  *out_n = k;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Builder helpers
+// ---------------------------------------------------------------------------
+
+namespace e {
+
+ExprPtr Col(size_t index, DataType type) {
+  return std::make_unique<ColRefExpr>(index, type);
+}
+ExprPtr I64(int64_t v) {
+  return std::make_unique<ConstExpr>(Value::Int(v), DataType::Int64());
+}
+ExprPtr F64(double v) {
+  return std::make_unique<ConstExpr>(Value::Double(v), DataType::Double());
+}
+ExprPtr Str(std::string v) {
+  return std::make_unique<ConstExpr>(Value::String(std::move(v)),
+                                     DataType::Varchar());
+}
+ExprPtr DateLit(const char* ymd) {
+  return std::make_unique<ConstExpr>(Value::Int(date::Parse(ymd)),
+                                     DataType::Date());
+}
+ExprPtr Dec(double v, uint8_t scale) {
+  double factor = 1.0;
+  for (int i = 0; i < scale; i++) factor *= 10.0;
+  int64_t scaled = static_cast<int64_t>(v * factor + (v >= 0 ? 0.5 : -0.5));
+  return std::make_unique<ConstExpr>(Value::Int(scaled), DataType::Decimal(scale));
+}
+ExprPtr Add(ExprPtr l, ExprPtr r) {
+  return std::make_unique<ArithExpr>(ArithOp::kAdd, std::move(l), std::move(r));
+}
+ExprPtr Sub(ExprPtr l, ExprPtr r) {
+  return std::make_unique<ArithExpr>(ArithOp::kSub, std::move(l), std::move(r));
+}
+ExprPtr Mul(ExprPtr l, ExprPtr r) {
+  return std::make_unique<ArithExpr>(ArithOp::kMul, std::move(l), std::move(r));
+}
+ExprPtr Div(ExprPtr l, ExprPtr r) {
+  return std::make_unique<ArithExpr>(ArithOp::kDiv, std::move(l), std::move(r));
+}
+ExprPtr Cast(ExprPtr x, DataType to) {
+  return std::make_unique<CastExpr>(std::move(x), to);
+}
+ExprPtr ToF64(ExprPtr x) {
+  return std::make_unique<CastExpr>(std::move(x), DataType::Double());
+}
+ExprPtr Year(ExprPtr x) { return std::make_unique<YearExpr>(std::move(x)); }
+ExprPtr Substr(ExprPtr x, size_t start, size_t len) {
+  return std::make_unique<SubstrExpr>(std::move(x), start, len);
+}
+ExprPtr Case(FilterPtr cond, ExprPtr then_expr, ExprPtr else_expr) {
+  return std::make_unique<CaseExpr>(std::move(cond), std::move(then_expr),
+                                    std::move(else_expr));
+}
+
+FilterPtr Cmp(CmpOp op, ExprPtr l, ExprPtr r) {
+  return std::make_unique<CmpFilter>(op, std::move(l), std::move(r));
+}
+FilterPtr Eq(ExprPtr l, ExprPtr r) {
+  return Cmp(CmpOp::kEq, std::move(l), std::move(r));
+}
+FilterPtr Ne(ExprPtr l, ExprPtr r) {
+  return Cmp(CmpOp::kNe, std::move(l), std::move(r));
+}
+FilterPtr Lt(ExprPtr l, ExprPtr r) {
+  return Cmp(CmpOp::kLt, std::move(l), std::move(r));
+}
+FilterPtr Le(ExprPtr l, ExprPtr r) {
+  return Cmp(CmpOp::kLe, std::move(l), std::move(r));
+}
+FilterPtr Gt(ExprPtr l, ExprPtr r) {
+  return Cmp(CmpOp::kGt, std::move(l), std::move(r));
+}
+FilterPtr Ge(ExprPtr l, ExprPtr r) {
+  return Cmp(CmpOp::kGe, std::move(l), std::move(r));
+}
+FilterPtr And(std::vector<FilterPtr> children) {
+  return std::make_unique<AndFilter>(std::move(children));
+}
+FilterPtr Or(std::vector<FilterPtr> children) {
+  return std::make_unique<OrFilter>(std::move(children));
+}
+FilterPtr Not(FilterPtr f) { return std::make_unique<NotFilter>(std::move(f)); }
+FilterPtr In(ExprPtr x, std::vector<Value> values) {
+  return std::make_unique<InFilter>(std::move(x), std::move(values));
+}
+FilterPtr NotIn(ExprPtr x, std::vector<Value> values) {
+  return std::make_unique<InFilter>(std::move(x), std::move(values), true);
+}
+FilterPtr Like(ExprPtr x, std::string pattern) {
+  return std::make_unique<LikeFilter>(std::move(x), std::move(pattern));
+}
+FilterPtr NotLike(ExprPtr x, std::string pattern) {
+  return std::make_unique<LikeFilter>(std::move(x), std::move(pattern), true);
+}
+
+}  // namespace e
+
+}  // namespace vwise

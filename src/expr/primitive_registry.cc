@@ -1,0 +1,128 @@
+#include "expr/primitive_registry.h"
+
+#include "expr/primitives.h"
+
+namespace vwise {
+
+namespace {
+
+// Type-erased adapters over the template kernels in expr/primitives.h.
+
+template <typename T, typename OP>
+void MapColCol(const void* a, const void* b, void* out, const sel_t* sel,
+               size_t n) {
+  prim::MapColCol<T, T, T, OP>(static_cast<const T*>(a),
+                               static_cast<const T*>(b), static_cast<T*>(out),
+                               sel, n);
+}
+
+template <typename T, typename OP>
+void MapColVal(const void* a, const void* b, void* out, const sel_t* sel,
+               size_t n) {
+  prim::MapColVal<T, T, T, OP>(static_cast<const T*>(a),
+                               *static_cast<const T*>(b), static_cast<T*>(out),
+                               sel, n);
+}
+
+template <typename T, typename OP>
+void MapValCol(const void* a, const void* b, void* out, const sel_t* sel,
+               size_t n) {
+  prim::MapValCol<T, T, T, OP>(*static_cast<const T*>(a),
+                               static_cast<const T*>(b), static_cast<T*>(out),
+                               sel, n);
+}
+
+template <typename T, typename OP>
+size_t SelColVal(const void* a, const void* b, const sel_t* sel, size_t n,
+                 sel_t* out_sel) {
+  return prim::SelectColVal<T, T, OP>(static_cast<const T*>(a),
+                                      *static_cast<const T*>(b), sel, n,
+                                      out_sel);
+}
+
+template <typename T, typename OP>
+size_t SelColCol(const void* a, const void* b, const sel_t* sel, size_t n,
+                 sel_t* out_sel) {
+  return prim::SelectColCol<T, T, OP>(static_cast<const T*>(a),
+                                      static_cast<const T*>(b), sel, n,
+                                      out_sel);
+}
+
+const char* TypeToken(TypeId t) { return TypeIdToString(t); }
+
+}  // namespace
+
+PrimitiveRegistry::PrimitiveRegistry() {
+  // ---- map primitives: {add,sub,mul,div} x {i64,f64} x operand kinds ------
+  auto reg_map_type = [&](auto type_tag, TypeId id) {
+    using T = decltype(type_tag);
+    auto reg_op = [&](const char* op, auto op_tag) {
+      using OP = decltype(op_tag);
+      std::string base = std::string("map_") + op + "_" + TypeToken(id);
+      maps_[base + "_col_" + TypeToken(id) + "_col"] = &MapColCol<T, OP>;
+      maps_[base + "_col_" + TypeToken(id) + "_val"] = &MapColVal<T, OP>;
+      maps_[base + "_val_" + TypeToken(id) + "_col"] = &MapValCol<T, OP>;
+    };
+    reg_op("add", prim::OpAdd{});
+    reg_op("sub", prim::OpSub{});
+    reg_op("mul", prim::OpMul{});
+    reg_op("div", prim::OpDiv{});
+  };
+  reg_map_type(int64_t{}, TypeId::kI64);
+  reg_map_type(double{}, TypeId::kF64);
+
+  // ---- select primitives: 6 comparisons x 5 types x {col_val, col_col} ----
+  auto reg_sel_type = [&](auto type_tag, TypeId id) {
+    using T = decltype(type_tag);
+    auto reg_op = [&](const char* op, auto op_tag) {
+      using OP = decltype(op_tag);
+      std::string base = std::string("sel_") + op + "_" + TypeToken(id);
+      selects_[base + "_col_" + TypeToken(id) + "_val"] = &SelColVal<T, OP>;
+      selects_[base + "_col_" + TypeToken(id) + "_col"] = &SelColCol<T, OP>;
+    };
+    reg_op("eq", prim::OpEq{});
+    reg_op("ne", prim::OpNe{});
+    reg_op("lt", prim::OpLt{});
+    reg_op("le", prim::OpLe{});
+    reg_op("gt", prim::OpGt{});
+    reg_op("ge", prim::OpGe{});
+  };
+  reg_sel_type(uint8_t{}, TypeId::kU8);
+  reg_sel_type(int32_t{}, TypeId::kI32);
+  reg_sel_type(int64_t{}, TypeId::kI64);
+  reg_sel_type(double{}, TypeId::kF64);
+  reg_sel_type(StringVal{}, TypeId::kStr);
+}
+
+const PrimitiveRegistry& PrimitiveRegistry::Instance() {
+  static const PrimitiveRegistry* registry = new PrimitiveRegistry();
+  return *registry;
+}
+
+PrimitiveRegistry::MapBinaryFn PrimitiveRegistry::FindMap(
+    const std::string& name) const {
+  auto it = maps_.find(name);
+  return it == maps_.end() ? nullptr : it->second;
+}
+
+PrimitiveRegistry::SelectFn PrimitiveRegistry::FindSelect(
+    const std::string& name) const {
+  auto it = selects_.find(name);
+  return it == selects_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> PrimitiveRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(size());
+  for (const auto& [name, fn] : maps_) {
+    (void)fn;
+    out.push_back(name);
+  }
+  for (const auto& [name, fn] : selects_) {
+    (void)fn;
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace vwise

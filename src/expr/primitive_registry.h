@@ -1,0 +1,52 @@
+#ifndef VWISE_EXPR_PRIMITIVE_REGISTRY_H_
+#define VWISE_EXPR_PRIMITIVE_REGISTRY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vector/types.h"
+
+namespace vwise {
+
+// The X100 execution model exposes its kernels as a flat catalog of *named
+// primitives* — `map_add_i64_col_i64_col`, `sel_lt_f64_col_f64_val`, ... —
+// one specialized loop per (operation, type, operand-kind) combination
+// (Boncz et al., CIDR'05; paper Sec. I-A). The expression layer normally
+// binds kernels statically via templates; this registry exposes the same
+// instantiations by name for introspection, testing, and the micro-bench
+// harness (exactly how MonetDB/X100 enumerated its primitive table).
+//
+// Signatures are type-erased: operands are raw column pointers (or a
+// pointer to a single value for `val` kinds), results are written at the
+// active positions, following the engine-wide selection-vector discipline.
+
+class PrimitiveRegistry {
+ public:
+  // out[p] = op(a[p], b[p])  /  op(a[p], *b)  /  op(*a, b[p])
+  using MapBinaryFn = void (*)(const void* a, const void* b, void* out,
+                               const sel_t* sel, size_t n);
+  // Writes qualifying positions to out_sel, returns how many.
+  using SelectFn = size_t (*)(const void* a, const void* b, const sel_t* sel,
+                              size_t n, sel_t* out_sel);
+
+  static const PrimitiveRegistry& Instance();
+
+  // nullptr if the name is not registered.
+  MapBinaryFn FindMap(const std::string& name) const;
+  SelectFn FindSelect(const std::string& name) const;
+
+  // All registered primitive names, sorted (map_* then sel_*).
+  std::vector<std::string> Names() const;
+  size_t size() const { return maps_.size() + selects_.size(); }
+
+ private:
+  PrimitiveRegistry();
+
+  std::map<std::string, MapBinaryFn> maps_;
+  std::map<std::string, SelectFn> selects_;
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_EXPR_PRIMITIVE_REGISTRY_H_

@@ -1,0 +1,438 @@
+#include "pdt/pdt.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace vwise {
+
+// ---------------------------------------------------------------------------
+// Fenwick tree over per-leaf displacement sums
+// ---------------------------------------------------------------------------
+
+void Pdt::RebuildFenwick() {
+  size_t n = leaves_.size();
+  fenwick_.assign(n + 1, 0);
+  for (size_t i = 0; i < n; i++) {
+    size_t j = i + 1;
+    fenwick_[j] += leaves_[i].disp;
+    size_t parent = j + (j & (~j + 1));
+    if (parent <= n) fenwick_[parent] += fenwick_[j];
+  }
+}
+
+int64_t Pdt::FenwickPrefix(size_t leaf_count) const {
+  int64_t sum = 0;
+  for (size_t i = leaf_count; i > 0; i -= i & (~i + 1)) sum += fenwick_[i];
+  return sum;
+}
+
+void Pdt::FenwickAdd(size_t leaf, int64_t delta) {
+  for (size_t i = leaf + 1; i < fenwick_.size(); i += i & (~i + 1)) {
+    fenwick_[i] += delta;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Record location primitives
+// ---------------------------------------------------------------------------
+
+const PdtRecord* Pdt::RecordAt(const Location& loc) const {
+  if (loc.leaf >= leaves_.size()) return nullptr;
+  const Leaf& leaf = leaves_[loc.leaf];
+  if (loc.idx >= leaf.records.size()) {
+    // Normalized end-of-leaf: the record is the head of the next leaf.
+    if (loc.leaf + 1 >= leaves_.size()) return nullptr;
+    return &leaves_[loc.leaf + 1].records[0];
+  }
+  return &leaf.records[loc.idx];
+}
+
+bool Pdt::NextRecord(Location* loc) const {
+  const PdtRecord* rec = RecordAt(*loc);
+  if (rec == nullptr) return false;
+  loc->disp += rec->displacement();
+  // Normalize first if idx points past this leaf.
+  if (loc->idx >= leaves_[loc->leaf].records.size()) {
+    loc->leaf++;
+    loc->idx = 0;
+  }
+  loc->idx++;
+  if (loc->idx >= leaves_[loc->leaf].records.size() &&
+      loc->leaf + 1 < leaves_.size()) {
+    loc->leaf++;
+    loc->idx = 0;
+  }
+  return true;
+}
+
+Pdt::Location Pdt::FindByRid(uint64_t rid, Bound bound) const {
+  if (leaves_.empty()) return Location{0, 0, 0};
+  auto pred = [&](int64_t r) {
+    return bound == Bound::kLower ? r >= static_cast<int64_t>(rid)
+                                  : r > static_cast<int64_t>(rid);
+  };
+  // Binary search for the first leaf whose head record satisfies pred.
+  size_t lo = 0, hi = leaves_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    int64_t r0 = static_cast<int64_t>(leaves_[mid].records[0].sid) +
+                 FenwickPrefix(mid);
+    if (pred(r0)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  // Records satisfying pred start inside leaf lo-1 (after its head) or at
+  // the head of leaf lo.
+  size_t scan_leaf = lo == 0 ? 0 : lo - 1;
+  Location loc{scan_leaf, 0, FenwickPrefix(scan_leaf)};
+  const Leaf& leaf = leaves_[scan_leaf];
+  for (size_t i = 0; i < leaf.records.size(); i++) {
+    int64_t r = static_cast<int64_t>(leaf.records[i].sid) + loc.disp;
+    if (pred(r)) {
+      loc.idx = i;
+      return loc;
+    }
+    loc.disp += leaf.records[i].displacement();
+  }
+  // Everything in scan_leaf precedes: answer is the head of leaf `lo` (or
+  // the end).
+  if (lo >= leaves_.size()) {
+    return Location{leaves_.size(), 0, loc.disp};
+  }
+  return Location{lo, 0, loc.disp};
+}
+
+// ---------------------------------------------------------------------------
+// Structural mutation
+// ---------------------------------------------------------------------------
+
+void Pdt::InsertRecordAt(const Location& loc, PdtRecord rec) {
+  int d = rec.displacement();
+  if (leaves_.empty()) {
+    leaves_.emplace_back();
+    leaves_[0].records.push_back(std::move(rec));
+    leaves_[0].disp = d;
+    record_count_ = 1;
+    total_disp_ = d;
+    RebuildFenwick();
+    return;
+  }
+  size_t l = loc.leaf;
+  size_t idx = loc.idx;
+  if (l >= leaves_.size()) {  // end: append to the last leaf
+    l = leaves_.size() - 1;
+    idx = leaves_[l].records.size();
+  } else if (idx >= leaves_[l].records.size() && l + 1 < leaves_.size()) {
+    // Normalized end-of-leaf boundary: appending to leaf l is equivalent.
+    idx = leaves_[l].records.size();
+  }
+  Leaf& leaf = leaves_[l];
+  leaf.records.insert(leaf.records.begin() + idx, std::move(rec));
+  leaf.disp += d;
+  record_count_++;
+  total_disp_ += d;
+  if (leaf.records.size() > kLeafCap) {
+    // Split in half; Fenwick indices shift, so rebuild.
+    Leaf right;
+    size_t half = leaf.records.size() / 2;
+    right.records.assign(std::make_move_iterator(leaf.records.begin() + half),
+                         std::make_move_iterator(leaf.records.end()));
+    leaf.records.resize(half);
+    leaf.disp = 0;
+    for (const auto& r : leaf.records) leaf.disp += r.displacement();
+    right.disp = 0;
+    for (const auto& r : right.records) right.disp += r.displacement();
+    leaves_.insert(leaves_.begin() + l + 1, std::move(right));
+    RebuildFenwick();
+  } else {
+    FenwickAdd(l, d);
+  }
+}
+
+void Pdt::RemoveRecordAt(const Location& loc) {
+  size_t l = loc.leaf;
+  size_t idx = loc.idx;
+  VWISE_CHECK(l < leaves_.size());
+  if (idx >= leaves_[l].records.size()) {
+    VWISE_CHECK(l + 1 < leaves_.size());
+    l++;
+    idx = 0;
+  }
+  Leaf& leaf = leaves_[l];
+  int d = leaf.records[idx].displacement();
+  leaf.records.erase(leaf.records.begin() + idx);
+  leaf.disp -= d;
+  record_count_--;
+  total_disp_ -= d;
+  if (leaf.records.empty()) {
+    leaves_.erase(leaves_.begin() + l);
+    RebuildFenwick();
+  } else {
+    FenwickAdd(l, -d);
+  }
+}
+
+void Pdt::UpdateDisp(size_t leaf, int64_t delta) {
+  leaves_[leaf].disp += delta;
+  total_disp_ += delta;
+  FenwickAdd(leaf, delta);
+}
+
+// ---------------------------------------------------------------------------
+// Public operations (RID space)
+// ---------------------------------------------------------------------------
+
+Status Pdt::Insert(uint64_t rid, std::vector<Value> row,
+                   ResolvedRow* resolved) {
+  Location loc = FindByRid(rid, Bound::kLower);
+  PdtRecord rec;
+  rec.kind = PdtOpKind::kIns;
+  rec.sid = rid - loc.disp;
+  rec.row = std::move(row);
+  InsertRecordAt(loc, std::move(rec));
+  if (resolved != nullptr) *resolved = ResolvedRow{true, 0};
+  return Status::OK();
+}
+
+Status Pdt::Delete(uint64_t rid, ResolvedRow* resolved) {
+  Location cur = FindByRid(rid, Bound::kLower);
+  while (true) {
+    const PdtRecord* rec = RecordAt(cur);
+    if (rec == nullptr ||
+        static_cast<int64_t>(rec->sid) + cur.disp != static_cast<int64_t>(rid)) {
+      break;
+    }
+    if (rec->kind == PdtOpKind::kIns) {
+      // Deleting a row this PDT inserted: drop the insert record.
+      if (resolved != nullptr) *resolved = ResolvedRow{true, 0};
+      RemoveRecordAt(cur);
+      return Status::OK();
+    }
+    if (rec->kind == PdtOpKind::kMod) {
+      // The modified stable row is the visible target: MOD becomes DEL.
+      uint64_t sid = rec->sid;
+      size_t l = cur.leaf;
+      size_t idx = cur.idx;
+      if (idx >= leaves_[l].records.size()) {
+        l++;
+        idx = 0;
+      }
+      PdtRecord& mut = leaves_[l].records[idx];
+      mut.kind = PdtOpKind::kDel;
+      mut.mods.clear();
+      UpdateDisp(l, -1);
+      if (resolved != nullptr) *resolved = ResolvedRow{false, sid};
+      return Status::OK();
+    }
+    // kDel: that stable row is already invisible; keep scanning.
+    if (!NextRecord(&cur)) break;
+  }
+  // Target is an untouched stable row.
+  PdtRecord rec;
+  rec.kind = PdtOpKind::kDel;
+  rec.sid = rid - cur.disp;
+  uint64_t sid = rec.sid;
+  InsertRecordAt(cur, std::move(rec));
+  if (resolved != nullptr) *resolved = ResolvedRow{false, sid};
+  return Status::OK();
+}
+
+Status Pdt::Modify(uint64_t rid, uint32_t col, Value value,
+                   ResolvedRow* resolved) {
+  Location cur = FindByRid(rid, Bound::kLower);
+  while (true) {
+    const PdtRecord* rec = RecordAt(cur);
+    if (rec == nullptr ||
+        static_cast<int64_t>(rec->sid) + cur.disp != static_cast<int64_t>(rid)) {
+      break;
+    }
+    size_t l = cur.leaf;
+    size_t idx = cur.idx;
+    if (idx >= leaves_[l].records.size()) {
+      l++;
+      idx = 0;
+    }
+    if (rec->kind == PdtOpKind::kIns) {
+      PdtRecord& mut = leaves_[l].records[idx];
+      if (col >= mut.row.size()) {
+        return Status::InvalidArgument("modify column out of range");
+      }
+      mut.row[col] = std::move(value);
+      if (resolved != nullptr) *resolved = ResolvedRow{true, 0};
+      return Status::OK();
+    }
+    if (rec->kind == PdtOpKind::kMod) {
+      PdtRecord& mut = leaves_[l].records[idx];
+      mut.mods[col] = std::move(value);
+      if (resolved != nullptr) *resolved = ResolvedRow{false, mut.sid};
+      return Status::OK();
+    }
+    if (!NextRecord(&cur)) break;
+  }
+  PdtRecord rec;
+  rec.kind = PdtOpKind::kMod;
+  rec.sid = rid - cur.disp;
+  rec.mods[col] = std::move(value);
+  uint64_t sid = rec.sid;
+  InsertRecordAt(cur, std::move(rec));
+  if (resolved != nullptr) *resolved = ResolvedRow{false, sid};
+  return Status::OK();
+}
+
+Status Pdt::Apply(const PdtLogOp& op, ResolvedRow* resolved) {
+  switch (op.kind) {
+    case PdtOpKind::kIns:
+      return Insert(op.rid, op.row, resolved);
+    case PdtOpKind::kDel:
+      return Delete(op.rid, resolved);
+    case PdtOpKind::kMod:
+      return Modify(op.rid, op.col, op.value, resolved);
+  }
+  return Status::InvalidArgument("unknown PDT op");
+}
+
+ResolvedRow Pdt::Resolve(uint64_t rid) const {
+  Location cur = FindByRid(rid, Bound::kLower);
+  while (true) {
+    const PdtRecord* rec = RecordAt(cur);
+    if (rec == nullptr ||
+        static_cast<int64_t>(rec->sid) + cur.disp != static_cast<int64_t>(rid)) {
+      break;
+    }
+    if (rec->kind == PdtOpKind::kIns) return ResolvedRow{true, 0};
+    if (rec->kind == PdtOpKind::kMod) return ResolvedRow{false, rec->sid};
+    if (!NextRecord(&cur)) break;
+  }
+  return ResolvedRow{false, rid - cur.disp};
+}
+
+int64_t Pdt::DisplacementThrough(uint64_t rid) const {
+  return FindByRid(rid, Bound::kUpper).disp;
+}
+
+uint64_t Pdt::RidOfStableRow(uint64_t sid) const {
+  if (leaves_.empty()) return sid;
+  // Records are sid-ordered; sum displacement of every record with
+  // record.sid <= sid (inserts before the row, deletes of earlier rows).
+  size_t lo = 0, hi = leaves_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (leaves_[mid].records[0].sid > sid) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  // All leaves before `lo` start at sid' <= sid; records with sid' > sid can
+  // only begin inside leaf lo-1.
+  if (lo == 0) return sid;
+  size_t scan_leaf = lo - 1;
+  int64_t disp = FenwickPrefix(scan_leaf);
+  for (const PdtRecord& rec : leaves_[scan_leaf].records) {
+    if (rec.sid > sid) break;
+    disp += rec.displacement();
+  }
+  return sid + static_cast<uint64_t>(disp);
+}
+
+std::unique_ptr<Pdt> Pdt::Clone() const {
+  auto copy = std::make_unique<Pdt>();
+  copy->leaves_.reserve(leaves_.size());
+  for (const auto& leaf : leaves_) {
+    Leaf l;
+    l.records = leaf.records;
+    l.disp = leaf.disp;
+    copy->leaves_.push_back(std::move(l));
+  }
+  copy->fenwick_ = fenwick_;
+  copy->record_count_ = record_count_;
+  copy->total_disp_ = total_disp_;
+  return copy;
+}
+
+size_t Pdt::ApproxBytes() const {
+  return record_count_ * (sizeof(PdtRecord) + 48) +
+         leaves_.size() * sizeof(Leaf) + fenwick_.size() * 8;
+}
+
+// ---------------------------------------------------------------------------
+// MergeScanner
+// ---------------------------------------------------------------------------
+
+Pdt::MergeScanner::MergeScanner(const Pdt& pdt, uint64_t stable_rows,
+                                uint64_t start_sid, uint64_t end_sid,
+                                bool include_end_inserts)
+    : pdt_(pdt),
+      stable_rows_(std::min(stable_rows, end_sid)),
+      end_sid_(end_sid),
+      include_end_inserts_(include_end_inserts),
+      next_sid_(start_sid) {
+  // Position at the first record anchored at sid >= start_sid.
+  while (leaf_ < pdt_.leaves_.size()) {
+    const auto& records = pdt_.leaves_[leaf_].records;
+    if (!records.empty() && records.back().sid >= start_sid) {
+      while (idx_ < records.size() && records[idx_].sid < start_sid) idx_++;
+      break;
+    }
+    leaf_++;
+  }
+}
+
+bool Pdt::MergeScanner::Next(MergeEvent* ev, uint64_t max_run) {
+  // Skip exhausted leaves.
+  while (leaf_ < pdt_.leaves_.size() &&
+         idx_ >= pdt_.leaves_[leaf_].records.size()) {
+    leaf_++;
+    idx_ = 0;
+  }
+  const PdtRecord* rec = leaf_ < pdt_.leaves_.size()
+                             ? &pdt_.leaves_[leaf_].records[idx_]
+                             : nullptr;
+  if (rec != nullptr) {
+    // Range end: records anchored past end_sid belong to later partitions,
+    // as do inserts anchored exactly at end_sid unless we own the tail.
+    bool past_end =
+        rec->sid > end_sid_ ||
+        (rec->sid == end_sid_ && !(include_end_inserts_ && rec->kind == PdtOpKind::kIns));
+    if (past_end) rec = nullptr;
+  }
+  if (rec != nullptr && rec->sid <= next_sid_) {
+    VWISE_DCHECK(rec->sid == next_sid_);
+    idx_++;
+    switch (rec->kind) {
+      case PdtOpKind::kIns:
+        ev->kind = MergeEvent::kInsertedRow;
+        ev->sid = next_sid_;
+        ev->rec = rec;
+        return true;
+      case PdtOpKind::kDel:
+        ev->kind = MergeEvent::kDeletedRow;
+        ev->sid = next_sid_;
+        ev->rec = rec;
+        next_sid_++;
+        return true;
+      case PdtOpKind::kMod:
+        ev->kind = MergeEvent::kModifiedRow;
+        ev->sid = next_sid_;
+        ev->rec = rec;
+        next_sid_++;
+        return true;
+    }
+  }
+  // No delta at next_sid_: emit a clean stable run up to the next delta.
+  uint64_t run_end = rec != nullptr ? std::min<uint64_t>(rec->sid, stable_rows_)
+                                    : stable_rows_;
+  if (next_sid_ >= run_end) return false;  // merge complete
+  uint64_t run = std::min(run_end - next_sid_, max_run);
+  ev->kind = MergeEvent::kStableRun;
+  ev->sid = next_sid_;
+  ev->count = run;
+  ev->rec = nullptr;
+  next_sid_ += run;
+  return true;
+}
+
+}  // namespace vwise

@@ -1,0 +1,201 @@
+#ifndef VWISE_PDT_PDT_H_
+#define VWISE_PDT_PDT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace vwise {
+
+// A Positional Delta Tree (Héman et al., SIGMOD 2010; paper Sec. I-B):
+// differential updates against an immutable, positionally-addressed table
+// image. Deltas are annotated by *position*, not key, so scans merge them in
+// without reading key columns.
+//
+// Spaces:
+//  * SID — position in the stable input image (the table version on disk,
+//    or the output of a lower PDT layer).
+//  * RID — position in this PDT's visible output.
+//
+// All mutating operations take RIDs (positions in the *current* visible
+// image); the structure resolves them to SID-anchored delta records.
+//
+// Internally: records ordered by (sid, application order) in leaf blocks,
+// with a Fenwick tree over per-leaf displacement sums so RID <-> record
+// location queries are O(log n + leaf).
+
+// The kind of one delta record.
+enum class PdtOpKind : uint8_t { kIns = 0, kDel = 1, kMod = 2 };
+
+struct PdtRecord {
+  PdtOpKind kind;
+  uint64_t sid;                     // anchor position in the input image
+  std::vector<Value> row;           // kIns: full row values
+  std::map<uint32_t, Value> mods;   // kMod: column -> new value
+
+  int displacement() const {
+    return kind == PdtOpKind::kIns ? 1 : kind == PdtOpKind::kDel ? -1 : 0;
+  }
+};
+
+// One operation as issued by a transaction, in visible-row (RID) space.
+// Serialized to the WAL; replayed for commit application and recovery.
+// The resolution metadata lets a commit re-anchor the operation exactly when
+// concurrent (non-conflicting) transactions committed in between:
+//  * kDel/kMod carry the stable row (table-image SID) they touched, so the
+//    replay recomputes the row's current position;
+//  * kIns records whether it appended at the table end (the dominant insert
+//    pattern, e.g. TPC-H RF1), replayed as an append.
+struct PdtLogOp {
+  PdtOpKind kind;
+  uint64_t rid = 0;
+  uint32_t col = 0;           // kMod
+  Value value;                // kMod
+  std::vector<Value> row;     // kIns
+  bool is_append = false;     // kIns: rid was the visible row count
+  bool has_sid = false;       // kDel/kMod: touched a stable row
+  uint64_t sid = 0;           // table-image position of that row
+};
+
+// What a mutating operation touched: either a stable input row (sid valid)
+// or a delta row created by this same PDT (is_delta). Used for optimistic
+// conflict validation.
+struct ResolvedRow {
+  bool is_delta = false;
+  uint64_t sid = 0;
+};
+
+class Pdt {
+ public:
+  Pdt() = default;
+  Pdt(const Pdt&) = delete;
+  Pdt& operator=(const Pdt&) = delete;
+
+  std::unique_ptr<Pdt> Clone() const;
+
+  uint64_t record_count() const { return record_count_; }
+  // Output rows minus input rows (inserts minus deletes).
+  int64_t net_displacement() const { return total_disp_; }
+  bool empty() const { return record_count_ == 0; }
+  // Approximate heap footprint (bench E8 reports it).
+  size_t ApproxBytes() const;
+
+  // Inserts `row` so it becomes visible at position `rid` (0 <= rid <=
+  // current visible count; caller validates the upper bound).
+  Status Insert(uint64_t rid, std::vector<Value> row,
+                ResolvedRow* resolved = nullptr);
+  // Deletes the visible row at `rid`.
+  Status Delete(uint64_t rid, ResolvedRow* resolved = nullptr);
+  // Sets column `col` of the visible row at `rid`.
+  Status Modify(uint64_t rid, uint32_t col, Value value,
+                ResolvedRow* resolved = nullptr);
+  // Applies a logged operation (commit replay, WAL recovery).
+  Status Apply(const PdtLogOp& op, ResolvedRow* resolved = nullptr);
+
+  // Resolves the visible row at `rid` without mutating.
+  ResolvedRow Resolve(uint64_t rid) const;
+
+  // Net displacement contributed by records whose application position is
+  // <= rid; used to rebase a concurrent transaction's positions across this
+  // delta (optimistic concurrency, paper Sec. I-B).
+  int64_t DisplacementThrough(uint64_t rid) const;
+
+  // Visible position (RID) of stable input row `sid`. Undefined if that row
+  // is deleted by this PDT (callers guarantee it is not: conflict validation
+  // rejects concurrent deletes of the same stable row).
+  uint64_t RidOfStableRow(uint64_t sid) const;
+
+  // --- merge-scan ----------------------------------------------------------
+
+  // Events yielded in visible-row order; the vectorized scan consumes them
+  // to merge deltas into the stable stream.
+  struct MergeEvent {
+    enum Kind {
+      kStableRun,   // `count` untouched stable rows starting at `sid`
+      kModifiedRow, // stable row `sid` with `rec->mods` applied
+      kDeletedRow,  // stable row `sid` skipped
+      kInsertedRow, // `rec->row` emitted (not from the stable image)
+    };
+    Kind kind;
+    uint64_t sid = 0;
+    uint64_t count = 0;
+    const PdtRecord* rec = nullptr;
+  };
+
+  class MergeScanner {
+   public:
+    // Scans the merge of `stable_rows` input rows with `pdt`'s deltas. The
+    // PDT must not be mutated during the scan.
+    MergeScanner(const Pdt& pdt, uint64_t stable_rows)
+        : MergeScanner(pdt, stable_rows, 0, stable_rows, true) {}
+
+    // Range variant for partitioned scans: covers stable rows
+    // [start_sid, end_sid) and the deltas anchored there. Inserts anchored
+    // exactly at end_sid belong to the *next* partition unless
+    // `include_end_inserts` (set on the final partition, where trailing
+    // appends anchor at end_sid == stable_rows).
+    MergeScanner(const Pdt& pdt, uint64_t stable_rows, uint64_t start_sid,
+                 uint64_t end_sid, bool include_end_inserts);
+
+    // Next event; stable runs are capped at `max_run`. Returns false at end.
+    bool Next(MergeEvent* ev, uint64_t max_run);
+
+   private:
+    const Pdt& pdt_;
+    uint64_t stable_rows_;
+    uint64_t end_sid_;
+    bool include_end_inserts_;
+    uint64_t next_sid_ = 0;
+    size_t leaf_ = 0;
+    size_t idx_ = 0;
+  };
+
+ private:
+  friend class MergeScanner;
+
+  static constexpr size_t kLeafCap = 128;
+
+  struct Leaf {
+    std::vector<PdtRecord> records;
+    int64_t disp = 0;  // sum of displacements in this leaf
+  };
+
+  struct Location {
+    size_t leaf;
+    size_t idx;       // may equal leaf size (== begin of next leaf)
+    int64_t disp;     // displacement of all records strictly before
+  };
+
+  // First record whose application position r = sid + disp(before) is
+  // >= rid (kLower) or > rid (kUpper).
+  enum class Bound { kLower, kUpper };
+  Location FindByRid(uint64_t rid, Bound bound) const;
+
+  // Advances loc to the next record (possibly crossing leaves) accounting
+  // displacement. Returns false at end.
+  bool NextRecord(Location* loc) const;
+  const PdtRecord* RecordAt(const Location& loc) const;
+
+  void InsertRecordAt(const Location& loc, PdtRecord rec);
+  void RemoveRecordAt(const Location& loc);
+  // Record's displacement changed by `delta` (MOD -> DEL conversion).
+  void UpdateDisp(size_t leaf, int64_t delta);
+
+  void RebuildFenwick();
+  int64_t FenwickPrefix(size_t leaf_count) const;  // sum of first N leaves
+  void FenwickAdd(size_t leaf, int64_t delta);
+
+  std::vector<Leaf> leaves_;
+  std::vector<int64_t> fenwick_;
+  uint64_t record_count_ = 0;
+  int64_t total_disp_ = 0;
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_PDT_PDT_H_

@@ -1,0 +1,136 @@
+#ifndef VWISE_PLANNER_PLAN_BUILDER_H_
+#define VWISE_PLANNER_PLAN_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/hash_agg.h"
+#include "exec/hash_join.h"
+#include "exec/project.h"
+#include "exec/scan.h"
+#include "exec/select.h"
+#include "exec/sort.h"
+#include "exec/xchg.h"
+#include "expr/expression.h"
+#include "txn/transaction_manager.h"
+
+namespace vwise {
+
+// Fluent physical-plan builder — the public face of the "planner": it plays
+// the role of the Ingres-to-X100 cross compiler [7], producing X100-algebra
+// operator trees. TPC-H queries and the examples are written against it.
+class PlanBuilder {
+ public:
+  PlanBuilder(TransactionManager* mgr, const Config& config)
+      : mgr_(mgr), config_(config) {}
+
+  // -- sources ----------------------------------------------------------------
+
+  Status Scan(const std::string& table, std::vector<uint32_t> cols,
+              std::vector<ScanRange> ranges = {}) {
+    VWISE_ASSIGN_OR_RETURN(TableSnapshot snap, mgr_->GetSnapshot(table));
+    // Remember output DataTypes for Col() helpers.
+    types_.clear();
+    for (uint32_t c : cols) types_.push_back(snap.schema->column(c).type);
+    ScanOperator::Options opts;
+    opts.ranges = std::move(ranges);
+    op_ = std::make_unique<ScanOperator>(snap, std::move(cols), config_, opts);
+    return Status::OK();
+  }
+
+  // -- unary operators ---------------------------------------------------------
+
+  PlanBuilder& Select(FilterPtr f) {
+    op_ = std::make_unique<SelectOperator>(std::move(op_), std::move(f), config_);
+    return *this;
+  }
+
+  // Projection; caller provides the logical type of each expression result.
+  PlanBuilder& Project(std::vector<ExprPtr> exprs, std::vector<DataType> types) {
+    op_ = std::make_unique<ProjectOperator>(std::move(op_), std::move(exprs), config_);
+    types_ = std::move(types);
+    return *this;
+  }
+
+  PlanBuilder& Agg(std::vector<size_t> group_cols, std::vector<AggSpec> aggs,
+          std::vector<DataType> out_types) {
+    op_ = std::make_unique<HashAggOperator>(std::move(op_), std::move(group_cols),
+                                            std::move(aggs), config_);
+    types_ = std::move(out_types);
+    return *this;
+  }
+
+  PlanBuilder& Sort(std::vector<SortKey> keys, size_t limit = SIZE_MAX, size_t offset = 0) {
+    op_ = std::make_unique<SortOperator>(std::move(op_), std::move(keys), config_,
+                                         limit, offset);
+    return *this;
+  }
+
+  // -- joins --------------------------------------------------------------------
+
+  // this = probe side; `build` is consumed. Output: probe cols + payload
+  // (+ match flag for left outer).
+  PlanBuilder& Join(PlanBuilder&& build, JoinType type, std::vector<size_t> probe_keys,
+           std::vector<size_t> build_keys, std::vector<size_t> payload = {},
+           FilterPtr residual = nullptr) {
+    HashJoinOperator::Spec spec;
+    spec.type = type;
+    spec.probe_keys = std::move(probe_keys);
+    spec.build_keys = std::move(build_keys);
+    spec.build_payload = std::move(payload);
+    spec.residual = std::move(residual);
+    std::vector<DataType> new_types = types_;
+    if (type == JoinType::kInner || type == JoinType::kLeftOuter) {
+      for (size_t c : spec.build_payload) new_types.push_back(build.types_[c]);
+      if (type == JoinType::kLeftOuter) new_types.push_back(DataType::Bool());
+    }
+    op_ = std::make_unique<HashJoinOperator>(std::move(op_), std::move(build.op_),
+                                             std::move(spec), config_);
+    types_ = std::move(new_types);
+    return *this;
+  }
+
+  // -- expression helpers (positional, against this node's output) -------------
+
+  ExprPtr Col(size_t i) const { return e::Col(i, types_[i]); }
+  // DECIMAL/INT column cast to f64 (decimals divide by scale).
+  ExprPtr F(size_t i) const { return e::ToF64(Col(i)); }
+
+  const DataType& TypeOf(size_t i) const { return types_[i]; }
+  const std::vector<DataType>& types() const { return types_; }
+  const Config& config() const { return config_; }
+  TransactionManager* mgr() { return mgr_; }
+
+  OperatorPtr Build() { return std::move(op_); }
+
+ private:
+  TransactionManager* mgr_;
+  Config config_;
+  OperatorPtr op_;
+  std::vector<DataType> types_;
+};
+
+// The standard TPC-H revenue term extendedprice * (1 - discount), as f64.
+inline ExprPtr Revenue(const PlanBuilder& q, size_t price, size_t discount) {
+  return e::Mul(q.F(price), e::Sub(e::F64(1.0), q.F(discount)));
+}
+
+template <typename... T>
+std::vector<FilterPtr> Fs(T... parts) {
+  std::vector<FilterPtr> v;
+  (v.push_back(std::move(parts)), ...);
+  return v;
+}
+
+template <typename... T>
+std::vector<ExprPtr> Es(T... parts) {
+  std::vector<ExprPtr> v;
+  (v.push_back(std::move(parts)), ...);
+  return v;
+}
+
+}  // namespace vwise
+
+#endif  // VWISE_PLANNER_PLAN_BUILDER_H_

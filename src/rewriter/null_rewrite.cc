@@ -1,0 +1,73 @@
+#include "rewriter/null_rewrite.h"
+
+namespace vwise::rewriter {
+
+namespace {
+// u8 literal matching the indicator column's physical type.
+ExprPtr BoolLit(int64_t v) {
+  return std::make_unique<ConstExpr>(Value::Int(v), DataType::Bool());
+}
+}  // namespace
+
+FilterPtr RewriteNullableCmp(CmpOp op, const NullableRef& x, ExprPtr literal) {
+  std::vector<FilterPtr> conj;
+  conj.push_back(e::Eq(e::Col(x.ind_col, DataType::Bool()), BoolLit(0)));
+  conj.push_back(e::Cmp(op, e::Col(x.val_col, x.type), std::move(literal)));
+  return e::And(std::move(conj));
+}
+
+FilterPtr RewriteIsNull(const NullableRef& x) {
+  return e::Ne(e::Col(x.ind_col, DataType::Bool()), BoolLit(0));
+}
+
+FilterPtr RewriteIsNotNull(const NullableRef& x) {
+  return e::Eq(e::Col(x.ind_col, DataType::Bool()), BoolLit(0));
+}
+
+NullablePair RewriteNullableArith(ArithOp op, const NullableRef& a,
+                                  const NullableRef& b) {
+  NullablePair out;
+  out.value = std::make_unique<ArithExpr>(op, e::Col(a.val_col, a.type),
+                                          e::Col(b.val_col, b.type));
+  out.indicator =
+      e::Add(e::Cast(e::Col(a.ind_col, DataType::Bool()), DataType::Int64()),
+             e::Cast(e::Col(b.ind_col, DataType::Bool()), DataType::Int64()));
+  return out;
+}
+
+Status NullAwareCmpFilter::Select(DataChunk& in, const sel_t* sel, size_t n,
+                                  sel_t* out_sel, size_t* out_n) {
+  const int64_t* val = in.column(val_col_).Data<int64_t>();
+  const uint8_t* ind = in.column(ind_col_).Data<uint8_t>();
+  size_t k = 0;
+  for (size_t i = 0; i < n; i++) {
+    sel_t p = sel ? sel[i] : static_cast<sel_t>(i);
+    if (ind[p]) continue;  // the per-value NULL branch the rewrite removes
+    bool hit = false;
+    switch (op_) {
+      case CmpOp::kEq:
+        hit = val[p] == literal_;
+        break;
+      case CmpOp::kNe:
+        hit = val[p] != literal_;
+        break;
+      case CmpOp::kLt:
+        hit = val[p] < literal_;
+        break;
+      case CmpOp::kLe:
+        hit = val[p] <= literal_;
+        break;
+      case CmpOp::kGt:
+        hit = val[p] > literal_;
+        break;
+      case CmpOp::kGe:
+        hit = val[p] >= literal_;
+        break;
+    }
+    if (hit) out_sel[k++] = p;
+  }
+  *out_n = k;
+  return Status::OK();
+}
+
+}  // namespace vwise::rewriter

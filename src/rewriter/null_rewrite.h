@@ -1,0 +1,61 @@
+#ifndef VWISE_REWRITER_NULL_REWRITE_H_
+#define VWISE_REWRITER_NULL_REWRITE_H_
+
+#include <memory>
+
+#include "expr/expression.h"
+
+namespace vwise::rewriter {
+
+// NULL decomposition rule (paper Sec. I-B): Vectorwise represents a NULLable
+// column as two standard columns — the value column (holding a type-safe
+// dummy in NULL slots) and a u8 indicator column (1 = NULL) stored together
+// in PAX. The rewriter turns operations on NULLable inputs into equivalent
+// operations on the two standard columns, so execution primitives stay
+// NULL-oblivious (and branch-free).
+
+struct NullableRef {
+  size_t val_col;
+  size_t ind_col;
+  DataType type;
+};
+
+// "x CMP literal" under SQL semantics (NULL never qualifies):
+//    ind == 0  AND  val CMP literal.
+FilterPtr RewriteNullableCmp(CmpOp op, const NullableRef& x, ExprPtr literal);
+
+// "x IS NULL" / "x IS NOT NULL".
+FilterPtr RewriteIsNull(const NullableRef& x);
+FilterPtr RewriteIsNotNull(const NullableRef& x);
+
+// Arithmetic "a OP b" over nullables: the value column computes on the safe
+// values unconditionally; the result's indicator is nonzero iff either input
+// was NULL (indicator columns are summed, so any nonzero means NULL).
+struct NullablePair {
+  ExprPtr value;
+  ExprPtr indicator;  // i64, 0 = not NULL
+};
+NullablePair RewriteNullableArith(ArithOp op, const NullableRef& a,
+                                  const NullableRef& b);
+
+// The ablation baseline (bench E9): a NULL-aware comparison that checks the
+// indicator per value inside the selection loop — the branchy "make every
+// operator NULL-aware" design the paper's rewrite avoids. i64 values only.
+class NullAwareCmpFilter final : public Filter {
+ public:
+  NullAwareCmpFilter(CmpOp op, size_t val_col, size_t ind_col, int64_t literal)
+      : op_(op), val_col_(val_col), ind_col_(ind_col), literal_(literal) {}
+
+  Status Select(DataChunk& in, const sel_t* sel, size_t n, sel_t* out_sel,
+                size_t* out_n) override;
+
+ private:
+  CmpOp op_;
+  size_t val_col_;
+  size_t ind_col_;
+  int64_t literal_;
+};
+
+}  // namespace vwise::rewriter
+
+#endif  // VWISE_REWRITER_NULL_REWRITE_H_

@@ -1,0 +1,39 @@
+#include "rewriter/parallelize.h"
+
+namespace vwise::rewriter {
+
+Result<OperatorPtr> ParallelizeScanAgg(ParallelAggSpec spec,
+                                       const Config& config) {
+  int workers = config.num_threads > 0 ? config.num_threads : 1;
+  auto shared = std::make_shared<ParallelAggSpec>(std::move(spec));
+  Config cfg = config;
+
+  if (workers == 1) {
+    // No rewrite: plain serial pipeline plus the combining aggregate (kept
+    // so serial and parallel plans compute identical shapes).
+    auto scan = std::make_unique<ScanOperator>(shared->snapshot,
+                                               shared->scan_cols, cfg);
+    VWISE_ASSIGN_OR_RETURN(OperatorPtr partial,
+                           shared->build_pipeline(std::move(scan)));
+    return OperatorPtr(std::make_unique<HashAggOperator>(
+        std::move(partial), shared->final_group_cols, shared->final_aggs, cfg));
+  }
+
+  size_t n_stripes = shared->snapshot.stable->stripe_count();
+  auto factory = [shared, cfg, n_stripes](
+                     int w, int n) -> Result<OperatorPtr> {
+    ScanOperator::Options opts;
+    opts.ranges = shared->ranges;
+    opts.stripe_begin = n_stripes * w / n;
+    opts.stripe_end = n_stripes * (w + 1) / n;
+    auto scan = std::make_unique<ScanOperator>(shared->snapshot,
+                                               shared->scan_cols, cfg, opts);
+    return shared->build_pipeline(std::move(scan));
+  };
+  auto xchg = std::make_unique<XchgOperator>(factory, workers,
+                                             shared->partial_types, cfg);
+  return OperatorPtr(std::make_unique<HashAggOperator>(
+      std::move(xchg), shared->final_group_cols, shared->final_aggs, cfg));
+}
+
+}  // namespace vwise::rewriter

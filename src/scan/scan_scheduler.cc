@@ -1,0 +1,79 @@
+#include "scan/scan_scheduler.h"
+
+#include <algorithm>
+
+namespace vwise {
+
+std::unique_ptr<ScanScheduler::Handle> ScanScheduler::Register(
+    const TableFile* file, std::vector<size_t> stripes) {
+  auto handle = std::make_unique<Handle>();
+  handle->file = file;
+  handle->remaining = std::move(stripes);
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.push_back(handle.get());
+  return handle;
+}
+
+void ScanScheduler::Finish(Handle* handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.erase(std::remove(active_.begin(), active_.end(), handle),
+                active_.end());
+}
+
+bool ScanScheduler::StripeResident(const TableFile* file,
+                                   size_t stripe) const {
+  // A stripe is "resident" if every group blob of it is cached; scans of a
+  // subset of groups still benefit, so checking group 0 is a practical
+  // approximation (DSM scans key their I/O per column anyway).
+  for (uint32_t g = 0; g < file->groups().groups.size(); g++) {
+    if (buffers_->Cached(file->file_id(), file->GroupBlobOffset(stripe, g))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t ScanScheduler::SharedDemand(const Handle* self, const TableFile* file,
+                                   size_t stripe) const {
+  size_t demand = 0;
+  for (const Handle* h : active_) {
+    if (h == self || h->file != file) continue;
+    if (std::find(h->remaining.begin(), h->remaining.end(), stripe) !=
+        h->remaining.end()) {
+      demand++;
+    }
+  }
+  return demand;
+}
+
+std::optional<size_t> ScanScheduler::Next(Handle* handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (handle->remaining.empty()) return std::nullopt;
+
+  size_t chosen_idx = 0;
+  if (policy_ == ScanPolicy::kLru) {
+    // File order; `remaining` is kept sorted by construction.
+    chosen_idx = 0;
+  } else {
+    // Relevance: resident stripes first (any transfer already paid for);
+    // otherwise the stripe most scans are waiting for, so the one load
+    // serves all of them.
+    int best_score = -1;
+    for (size_t i = 0; i < handle->remaining.size(); i++) {
+      size_t stripe = handle->remaining[i];
+      bool resident = StripeResident(handle->file, stripe);
+      size_t demand = SharedDemand(handle, handle->file, stripe);
+      int score = (resident ? 1000000 : 0) + static_cast<int>(demand);
+      if (score > best_score) {
+        best_score = score;
+        chosen_idx = i;
+        if (resident && demand + 1 >= active_.size()) break;  // can't do better
+      }
+    }
+  }
+  size_t stripe = handle->remaining[chosen_idx];
+  handle->remaining.erase(handle->remaining.begin() + chosen_idx);
+  return stripe;
+}
+
+}  // namespace vwise

@@ -1,0 +1,67 @@
+#ifndef VWISE_SCAN_SCAN_SCHEDULER_H_
+#define VWISE_SCAN_SCAN_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "storage/buffer_manager.h"
+#include "storage/table_file.h"
+
+namespace vwise {
+
+// Decides the order in which concurrent scans consume table stripes — the
+// Cooperative Scans "Active Buffer Manager" of paper [4]. Scans that do not
+// care about row order register their remaining stripe set and repeatedly
+// ask which stripe to process next:
+//
+//  * kLru        — classic behavior: every scan reads its stripes in file
+//                  order, relying on LRU buffering (the baseline in [4]).
+//  * kCooperative— relevance-based: prefer stripes already resident in the
+//                  buffer pool; when loading is unavoidable, load the stripe
+//                  wanted by the most concurrent scans, so one transfer
+//                  serves many readers.
+enum class ScanPolicy { kLru, kCooperative };
+
+class ScanScheduler {
+ public:
+  ScanScheduler(ScanPolicy policy, BufferManager* buffers)
+      : policy_(policy), buffers_(buffers) {}
+
+  // Opaque per-scan registration.
+  class Handle {
+   private:
+    friend class ScanScheduler;
+    const TableFile* file = nullptr;
+    std::vector<size_t> remaining;   // stripes not yet delivered
+    size_t cursor = 0;               // kLru: next index in `remaining`
+  };
+
+  // Registers a scan over `stripes` of `file`. `group` is the column group
+  // whose blob residency is checked (scans key their I/O on it).
+  std::unique_ptr<Handle> Register(const TableFile* file,
+                                   std::vector<size_t> stripes);
+
+  // Picks the stripe this scan should process next (and removes it from the
+  // scan's remaining set). nullopt when the scan is done.
+  std::optional<size_t> Next(Handle* handle);
+
+  void Finish(Handle* handle);
+
+ private:
+  bool StripeResident(const TableFile* file, size_t stripe) const;
+  // Number of *other* active scans of `file` still needing `stripe`.
+  size_t SharedDemand(const Handle* self, const TableFile* file,
+                      size_t stripe) const;
+
+  ScanPolicy policy_;
+  BufferManager* buffers_;
+  mutable std::mutex mu_;
+  std::vector<Handle*> active_;
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_SCAN_SCAN_SCHEDULER_H_

@@ -1,0 +1,77 @@
+#include "storage/buffer_manager.h"
+
+namespace vwise {
+
+Result<std::shared_ptr<Buffer>> BufferManager::Fetch(IoFile* file,
+                                                     uint64_t offset,
+                                                     uint64_t size) {
+  Key key{file->id(), offset};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      stats_.hits++;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.buffer;
+    }
+    stats_.misses++;
+  }
+  // Read outside the lock so a slow (simulated) device doesn't serialize
+  // cache hits. A racing fetch of the same blob may duplicate the read;
+  // the second insert wins harmlessly.
+  auto buffer = Buffer::Allocate(size);
+  VWISE_RETURN_IF_ERROR(file->Read(offset, size, buffer->data()));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      lru_.push_front(key);
+      entries_[key] = Entry{buffer, lru_.begin()};
+      bytes_cached_ += size;
+      EvictLocked();
+    }
+  }
+  return buffer;
+}
+
+bool BufferManager::Cached(uint64_t file_id, uint64_t offset) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(Key{file_id, offset}) > 0;
+}
+
+void BufferManager::EvictLocked() {
+  while (bytes_cached_ > capacity_bytes_ && !lru_.empty()) {
+    // Find the least-recently-used unpinned entry.
+    bool evicted = false;
+    for (auto it = std::prev(lru_.end());; --it) {
+      auto eit = entries_.find(*it);
+      VWISE_CHECK(eit != entries_.end());
+      if (eit->second.buffer.use_count() == 1) {  // only the cache holds it
+        bytes_cached_ -= eit->second.buffer->capacity();
+        stats_.evictions++;
+        entries_.erase(eit);
+        lru_.erase(it);
+        evicted = true;
+        break;
+      }
+      if (it == lru_.begin()) break;
+    }
+    if (!evicted) break;  // everything pinned: tolerate temporary overflow
+  }
+}
+
+void BufferManager::EvictAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    auto eit = entries_.find(*it);
+    if (eit->second.buffer.use_count() > 1) {
+      ++it;
+      continue;
+    }
+    bytes_cached_ -= eit->second.buffer->capacity();
+    entries_.erase(eit);
+    it = lru_.erase(it);
+  }
+}
+
+}  // namespace vwise

@@ -1,0 +1,87 @@
+#ifndef VWISE_STORAGE_BUFFER_MANAGER_H_
+#define VWISE_STORAGE_BUFFER_MANAGER_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/buffer.h"
+#include "common/result.h"
+#include "storage/io_file.h"
+
+namespace vwise {
+
+// Caches storage blobs (one blob = one column-group x stripe, the I/O unit)
+// in a fixed byte budget with LRU replacement. Pins are shared_ptr<Buffer>:
+// an entry whose pin count is >1 is never evicted. The cooperative-scan
+// scheduler asks Cached() to prefer stripes already resident.
+class BufferManager {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  explicit BufferManager(size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  // Returns the blob at (file, offset, size), reading it if absent.
+  Result<std::shared_ptr<Buffer>> Fetch(IoFile* file, uint64_t offset,
+                                        uint64_t size);
+
+  // True if the blob is resident (used by scan scheduling policies).
+  bool Cached(uint64_t file_id, uint64_t offset) const;
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  size_t bytes_cached() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_cached_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = Stats();
+  }
+
+  // Drops every unpinned entry (tests, table drops).
+  void EvictAll();
+
+ private:
+  struct Key {
+    uint64_t file_id;
+    uint64_t offset;
+    bool operator==(const Key& o) const {
+      return file_id == o.file_id && offset == o.offset;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(k.file_id * 0x9e3779b97f4a7c15ULL ^ k.offset);
+    }
+  };
+  struct Entry {
+    std::shared_ptr<Buffer> buffer;
+    std::list<Key>::iterator lru_it;
+  };
+
+  // Evicts unpinned LRU entries until under budget. Caller holds mu_.
+  void EvictLocked();
+
+  size_t capacity_bytes_;
+  mutable std::mutex mu_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::list<Key> lru_;  // front = most recent
+  size_t bytes_cached_ = 0;
+  Stats stats_;
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_STORAGE_BUFFER_MANAGER_H_

@@ -1,0 +1,125 @@
+#include "storage/io_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/macros.h"
+
+namespace vwise {
+
+std::atomic<uint64_t> IoFile::next_id_{1};
+
+void IoDevice::ChargeRead(uint64_t bytes) {
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_read.fetch_add(bytes, std::memory_order_relaxed);
+  if (bandwidth_ == 0 && seek_us_ == 0) return;
+  // Hold the device mutex while "transferring": concurrent readers queue,
+  // which is exactly the contention Cooperative Scans exploit.
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t us = seek_us_;
+  if (bandwidth_ > 0) us += bytes * 1000000 / bandwidth_;
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+void IoDevice::ChargeWrite(uint64_t bytes) {
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+IoFile::IoFile(int fd, std::string path, uint64_t size, IoDevice* device)
+    : fd_(fd), path_(std::move(path)), size_(size), device_(device),
+      id_(next_id_.fetch_add(1)) {}
+
+IoFile::~IoFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<IoFile>> IoFile::Create(const std::string& path,
+                                               IoDevice* device) {
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
+  if (fd < 0) {
+    return Status::IOError("create " + path + ": " + std::strerror(errno));
+  }
+  return std::unique_ptr<IoFile>(new IoFile(fd, path, 0, device));
+}
+
+Result<std::unique_ptr<IoFile>> IoFile::OpenRead(const std::string& path,
+                                                 IoDevice* device) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  return std::unique_ptr<IoFile>(
+      new IoFile(fd, path, static_cast<uint64_t>(size), device));
+}
+
+Result<std::unique_ptr<IoFile>> IoFile::OpenAppend(const std::string& path,
+                                                   IoDevice* device) {
+  int fd = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  return std::unique_ptr<IoFile>(
+      new IoFile(fd, path, static_cast<uint64_t>(size), device));
+}
+
+Status IoFile::Read(uint64_t offset, uint64_t size, void* out) {
+  if (device_ != nullptr) device_->ChargeRead(size);
+  uint8_t* dst = static_cast<uint8_t*>(out);
+  uint64_t done = 0;
+  while (done < size) {
+    ssize_t n = ::pread(fd_, dst + done, size - done,
+                        static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pread " + path_ + ": " + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IOError("pread " + path_ + ": unexpected EOF");
+    }
+    done += static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+Status IoFile::Append(const void* data, uint64_t size, uint64_t* offset) {
+  if (device_ != nullptr) device_->ChargeWrite(size);
+  if (offset != nullptr) *offset = size_;
+  const uint8_t* src = static_cast<const uint8_t*>(data);
+  uint64_t done = 0;
+  while (done < size) {
+    ssize_t n = ::pwrite(fd_, src + done, size - done,
+                         static_cast<off_t>(size_ + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pwrite " + path_ + ": " + std::strerror(errno));
+    }
+    done += static_cast<uint64_t>(n);
+  }
+  size_ += size;
+  return Status::OK();
+}
+
+Status IoFile::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("fsync " + path_ + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status IoFile::Truncate(uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Status::IOError("ftruncate " + path_ + ": " + std::strerror(errno));
+  }
+  size_ = size;
+  return Status::OK();
+}
+
+}  // namespace vwise

@@ -1,0 +1,93 @@
+#ifndef VWISE_STORAGE_IO_FILE_H_
+#define VWISE_STORAGE_IO_FILE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/config.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace vwise {
+
+// Counters for the I/O layer; read by benches (E7 reports logical I/O volume,
+// which is hardware-independent) and by cooperative-scan tests.
+struct IoStats {
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> bytes_written{0};
+
+  void Reset() {
+    reads = 0;
+    bytes_read = 0;
+    writes = 0;
+    bytes_written = 0;
+  }
+};
+
+// Models the disk beneath the buffer manager. Real reads go through pread;
+// optionally, a bandwidth/seek model serializes requests and sleeps, so
+// bandwidth-sharing behavior (Cooperative Scans, paper [4]) is measurable on
+// a machine whose page cache is warm. One IoDevice is shared by all files of
+// a database.
+class IoDevice {
+ public:
+  explicit IoDevice(const Config& config)
+      : bandwidth_(config.sim_io_bandwidth_bytes_per_sec),
+        seek_us_(config.sim_io_seek_us) {}
+
+  // Accounts (and possibly sleeps for) a read of `bytes`.
+  void ChargeRead(uint64_t bytes);
+  void ChargeWrite(uint64_t bytes);
+
+  IoStats& stats() { return stats_; }
+
+ private:
+  uint64_t bandwidth_;
+  uint64_t seek_us_;
+  std::mutex mu_;  // a disk serves one request at a time
+  IoStats stats_;
+};
+
+// A file opened for positional reads and appends.
+class IoFile {
+ public:
+  static Result<std::unique_ptr<IoFile>> Create(const std::string& path,
+                                                IoDevice* device);
+  static Result<std::unique_ptr<IoFile>> OpenRead(const std::string& path,
+                                                  IoDevice* device);
+  // Opens read-write, positioned for appends at the current end (WAL reuse).
+  static Result<std::unique_ptr<IoFile>> OpenAppend(const std::string& path,
+                                                    IoDevice* device);
+
+  ~IoFile();
+  IoFile(const IoFile&) = delete;
+  IoFile& operator=(const IoFile&) = delete;
+
+  Status Read(uint64_t offset, uint64_t size, void* out);
+  // Appends `size` bytes; returns the offset they were written at.
+  Status Append(const void* data, uint64_t size, uint64_t* offset = nullptr);
+  Status Sync();
+  Status Truncate(uint64_t size);
+  uint64_t size() const { return size_; }
+  uint64_t id() const { return id_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  IoFile(int fd, std::string path, uint64_t size, IoDevice* device);
+
+  int fd_;
+  std::string path_;
+  uint64_t size_;
+  IoDevice* device_;
+  uint64_t id_;
+  static std::atomic<uint64_t> next_id_;
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_STORAGE_IO_FILE_H_

@@ -1,0 +1,339 @@
+#include "tpch/generator.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "catalog/schema.h"
+#include "common/date.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "tpch/schema.h"
+
+namespace vwise::tpch {
+
+namespace {
+
+// --- vocabulary -------------------------------------------------------------
+
+const char* kRegions[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                           "MIDDLE EAST"};
+
+struct NationDef {
+  const char* name;
+  int region;
+};
+const NationDef kNations[25] = {
+    {"ALGERIA", 0},    {"ARGENTINA", 1}, {"BRAZIL", 1},     {"CANADA", 1},
+    {"EGYPT", 4},      {"ETHIOPIA", 0},  {"FRANCE", 3},     {"GERMANY", 3},
+    {"INDIA", 2},      {"INDONESIA", 2}, {"IRAN", 4},       {"IRAQ", 4},
+    {"JAPAN", 2},      {"JORDAN", 4},    {"KENYA", 0},      {"MOROCCO", 0},
+    {"MOZAMBIQUE", 0}, {"PERU", 1},      {"CHINA", 2},      {"ROMANIA", 3},
+    {"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},     {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+const char* kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                            "MACHINERY"};
+const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                              "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipmodes[7] = {"AIR", "AIR REG", "FOB", "MAIL", "RAIL", "SHIP",
+                             "TRUCK"};
+const char* kInstructs[4] = {"COLLECT COD", "DELIVER IN PERSON", "NONE",
+                             "TAKE BACK RETURN"};
+const char* kTypeSyl1[6] = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                            "PROMO"};
+const char* kTypeSyl2[5] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                            "BRUSHED"};
+const char* kTypeSyl3[5] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kContainerSyl1[5] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+const char* kContainerSyl2[8] = {"CASE", "BOX", "BAG", "JAR", "PKG", "PACK",
+                                 "CAN", "DRUM"};
+
+const char* kColors[40] = {
+    "almond",   "antique",  "aquamarine", "azure",    "beige",    "bisque",
+    "black",    "blanched", "blue",       "blush",    "brown",    "burlywood",
+    "burnished", "chartreuse", "chiffon", "chocolate", "coral",   "cornflower",
+    "cream",    "cyan",     "dark",       "deep",     "dim",      "dodger",
+    "drab",     "firebrick", "floral",    "forest",   "frosted",  "gainsboro",
+    "ghost",    "goldenrod", "green",     "grey",     "honeydew", "hot",
+    "indian",   "ivory",    "khaki",      "lace"};
+
+const char* kWords[24] = {
+    "carefully", "quickly",  "furiously", "slyly",    "blithely", "ideas",
+    "packages",  "deposits", "accounts",  "theodolites", "pinto",  "beans",
+    "foxes",     "instructions", "platelets", "requests", "excuses", "dolphins",
+    "asymptotes", "courts",  "dependencies", "waters",  "sauternes", "warhorses"};
+
+std::string Words(Rng* rng, int count) {
+  std::string out;
+  for (int i = 0; i < count; i++) {
+    if (i > 0) out += ' ';
+    out += kWords[rng->Uniform(0, 23)];
+  }
+  return out;
+}
+
+std::string Phone(Rng* rng, int64_t nation) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%02d-%03d-%03d-%04d",
+                static_cast<int>(10 + nation),
+                static_cast<int>(rng->Uniform(100, 999)),
+                static_cast<int>(rng->Uniform(100, 999)),
+                static_cast<int>(rng->Uniform(1000, 9999)));
+  return buf;
+}
+
+std::string KeyedName(const char* prefix, int64_t key) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s#%09lld", prefix,
+                static_cast<long long>(key));
+  return buf;
+}
+
+// Spec formula: p_retailprice in cents.
+int64_t RetailPriceCents(int64_t partkey) {
+  return 90000 + (partkey / 10) % 20001 + 100 * (partkey % 1000);
+}
+
+uint64_t Seed(uint64_t table, uint64_t row) {
+  return HashCombine(HashInt(table * 0x9e3779b9u + 17), HashInt(row));
+}
+
+Value VInt(int64_t v) { return Value::Int(v); }
+Value VStr(std::string s) { return Value::String(std::move(s)); }
+
+constexpr int64_t kCentsPerUnit = 100;
+
+}  // namespace
+
+Generator::Generator(double scale_factor) : sf_(scale_factor) {
+  num_supplier_ = std::max<int64_t>(10, static_cast<int64_t>(10000 * sf_));
+  num_part_ = std::max<int64_t>(200, static_cast<int64_t>(200000 * sf_));
+  num_customer_ = std::max<int64_t>(150, static_cast<int64_t>(150000 * sf_));
+  num_orders_ = num_customer_ * 10;
+}
+
+Status Generator::Region(const RowSink& sink) const {
+  for (int64_t r = 0; r < 5; r++) {
+    Rng rng(Seed(1, r));
+    VWISE_RETURN_IF_ERROR(sink({VInt(r), VStr(kRegions[r]), VStr(Words(&rng, 4))}));
+  }
+  return Status::OK();
+}
+
+Status Generator::Nation(const RowSink& sink) const {
+  for (int64_t n = 0; n < 25; n++) {
+    Rng rng(Seed(2, n));
+    VWISE_RETURN_IF_ERROR(sink({VInt(n), VStr(kNations[n].name),
+                                VInt(kNations[n].region), VStr(Words(&rng, 4))}));
+  }
+  return Status::OK();
+}
+
+Status Generator::Supplier(const RowSink& sink) const {
+  for (int64_t k = 1; k <= num_supplier_; k++) {
+    Rng rng(Seed(3, k));
+    int64_t nation = rng.Uniform(0, 24);
+    std::string comment = Words(&rng, 5);
+    // ~1 in 200 suppliers carries the Q16 complaint marker.
+    if (rng.Uniform(0, 199) == 0) comment += " Customer Complaints";
+    VWISE_RETURN_IF_ERROR(
+        sink({VInt(k), VStr(KeyedName("Supplier", k)), VStr(Words(&rng, 2)),
+              VInt(nation), VStr(Phone(&rng, nation)),
+              VInt(rng.Uniform(-99999, 999999)),  // s_acctbal cents
+              VStr(comment)}));
+  }
+  return Status::OK();
+}
+
+Status Generator::Part(const RowSink& sink) const {
+  for (int64_t k = 1; k <= num_part_; k++) {
+    Rng rng(Seed(4, k));
+    // p_name: 5 distinct-ish color words.
+    std::string name;
+    for (int i = 0; i < 5; i++) {
+      if (i > 0) name += ' ';
+      name += kColors[rng.Uniform(0, 39)];
+    }
+    int m = static_cast<int>(rng.Uniform(1, 5));
+    std::string mfgr = "Manufacturer#" + std::to_string(m);
+    std::string brand =
+        "Brand#" + std::to_string(m) + std::to_string(rng.Uniform(1, 5));
+    std::string type = std::string(kTypeSyl1[rng.Uniform(0, 5)]) + " " +
+                       kTypeSyl2[rng.Uniform(0, 4)] + " " +
+                       kTypeSyl3[rng.Uniform(0, 4)];
+    std::string container = std::string(kContainerSyl1[rng.Uniform(0, 4)]) +
+                            " " + kContainerSyl2[rng.Uniform(0, 7)];
+    VWISE_RETURN_IF_ERROR(sink({VInt(k), VStr(name), VStr(mfgr), VStr(brand),
+                                VStr(type), VInt(rng.Uniform(1, 50)),
+                                VStr(container), VInt(RetailPriceCents(k)),
+                                VStr(Words(&rng, 3))}));
+  }
+  return Status::OK();
+}
+
+Status Generator::Partsupp(const RowSink& sink) const {
+  for (int64_t p = 1; p <= num_part_; p++) {
+    for (int i = 0; i < 4; i++) {
+      Rng rng(Seed(5, p * 4 + i));
+      // Spec supplier spreading: each part supplied by 4 suppliers.
+      int64_t s = (p + i * (num_supplier_ / 4 + (p - 1) / num_supplier_)) %
+                      num_supplier_ + 1;
+      VWISE_RETURN_IF_ERROR(
+          sink({VInt(p), VInt(s), VInt(rng.Uniform(1, 9999)),
+                VInt(rng.Uniform(100, 100000)),  // ps_supplycost cents
+                VStr(Words(&rng, 4))}));
+    }
+  }
+  return Status::OK();
+}
+
+Status Generator::Customer(const RowSink& sink) const {
+  for (int64_t k = 1; k <= num_customer_; k++) {
+    Rng rng(Seed(6, k));
+    int64_t nation = rng.Uniform(0, 24);
+    VWISE_RETURN_IF_ERROR(
+        sink({VInt(k), VStr(KeyedName("Customer", k)), VStr(Words(&rng, 2)),
+              VInt(nation), VStr(Phone(&rng, nation)),
+              VInt(rng.Uniform(-99999, 999999)),  // c_acctbal cents
+              VStr(kSegments[rng.Uniform(0, 4)]), VStr(Words(&rng, 6))}));
+  }
+  return Status::OK();
+}
+
+void Generator::GenOrderRow(int64_t key_seq, uint64_t seed_salt,
+                            std::vector<Value>* order,
+                            std::vector<std::vector<Value>>* its_lines) const {
+  Rng rng(Seed(7 + seed_salt, key_seq));
+  int64_t orderkey = key_seq;
+  // Only 2/3 of customers have orders (spec: custkey % 3 != 0).
+  int64_t custkey = rng.Uniform(1, num_customer_);
+  if (custkey % 3 == 0) custkey = custkey == num_customer_ ? 1 : custkey + 1;
+  if (custkey % 3 == 0) custkey = custkey == num_customer_ ? 2 : custkey + 1;
+  int32_t lo = date::Parse("1992-01-01");
+  int32_t hi = date::Parse("1998-08-02");
+  int32_t orderdate = static_cast<int32_t>(rng.Uniform(lo, hi));
+
+  int n_lines = static_cast<int>(rng.Uniform(1, 7));
+  int64_t totalprice = 0;
+  int n_f = 0, n_o = 0;
+  its_lines->clear();
+  for (int ln = 1; ln <= n_lines; ln++) {
+    int64_t partkey = rng.Uniform(1, num_part_);
+    int supp_i = static_cast<int>(rng.Uniform(0, 3));
+    int64_t suppkey =
+        (partkey + supp_i * (num_supplier_ / 4 + (partkey - 1) / num_supplier_)) %
+            num_supplier_ + 1;
+    int64_t quantity = rng.Uniform(1, 50);
+    int64_t extprice = quantity * RetailPriceCents(partkey);  // cents
+    int64_t discount = rng.Uniform(0, 10);  // percent
+    int64_t tax = rng.Uniform(0, 8);        // percent
+    int32_t shipdate = orderdate + static_cast<int32_t>(rng.Uniform(1, 121));
+    int32_t commitdate = orderdate + static_cast<int32_t>(rng.Uniform(30, 90));
+    int32_t receiptdate = shipdate + static_cast<int32_t>(rng.Uniform(1, 30));
+    int32_t cutoff = date::Parse("1995-06-17");
+    std::string returnflag =
+        receiptdate <= cutoff ? (rng.Uniform(0, 1) ? "R" : "A") : "N";
+    std::string linestatus = shipdate > cutoff ? "O" : "F";
+    if (linestatus == "F") {
+      n_f++;
+    } else {
+      n_o++;
+    }
+    totalprice += extprice * (100 - discount) / 100 * (100 + tax) / 100;
+    its_lines->push_back(
+        {VInt(orderkey), VInt(partkey), VInt(suppkey), VInt(ln),
+         VInt(quantity * kCentsPerUnit), VInt(extprice), VInt(discount),
+         VInt(tax), VStr(returnflag), VStr(linestatus), VInt(shipdate),
+         VInt(commitdate), VInt(receiptdate), VStr(kInstructs[rng.Uniform(0, 3)]),
+         VStr(kShipmodes[rng.Uniform(0, 6)]), VStr(Words(&rng, 3))});
+  }
+  std::string status = n_o == 0 ? "F" : n_f == 0 ? "O" : "P";
+  std::string comment = Words(&rng, 5);
+  // ~1% of orders carry the Q13 "special ... requests" pattern.
+  if (rng.Uniform(0, 99) == 0) comment += " special packages requests";
+  *order = {VInt(orderkey),
+            VInt(custkey),
+            VStr(status),
+            VInt(totalprice),
+            VInt(orderdate),
+            VStr(kPriorities[rng.Uniform(0, 4)]),
+            VStr(KeyedName("Clerk", rng.Uniform(1, std::max<int64_t>(1, num_orders_ / 1000)))),
+            VInt(0),
+            VStr(comment)};
+}
+
+Status Generator::OrdersAndLineitem(const RowSink& orders,
+                                    const RowSink& lines) const {
+  std::vector<Value> order;
+  std::vector<std::vector<Value>> its_lines;
+  for (int64_t k = 1; k <= num_orders_; k++) {
+    GenOrderRow(k, 0, &order, &its_lines);
+    VWISE_RETURN_IF_ERROR(orders(order));
+    for (const auto& line : its_lines) {
+      VWISE_RETURN_IF_ERROR(lines(line));
+    }
+  }
+  return Status::OK();
+}
+
+Status Generator::RefreshOrders(int round, int64_t count, const RowSink& orders,
+                                const RowSink& lines) const {
+  std::vector<Value> order;
+  std::vector<std::vector<Value>> its_lines;
+  int64_t base = num_orders_ + 1 + static_cast<int64_t>(round) * count;
+  for (int64_t k = base; k < base + count; k++) {
+    GenOrderRow(k, 1000, &order, &its_lines);
+    VWISE_RETURN_IF_ERROR(orders(order));
+    for (const auto& line : its_lines) {
+      VWISE_RETURN_IF_ERROR(lines(line));
+    }
+  }
+  return Status::OK();
+}
+
+Status Generator::LoadAll(TransactionManager* mgr) const {
+  struct TableGen {
+    TableSchema schema;
+    std::function<Status(const RowSink&)> gen;
+  };
+  auto load = [&](const TableSchema& schema,
+                  const std::function<Status(const RowSink&)>& gen) -> Status {
+    if (!mgr->HasTable(schema.name())) {
+      VWISE_RETURN_IF_ERROR(
+          mgr->CreateTable(schema, ColumnGroups::Dsm(schema.num_columns())));
+    }
+    return mgr->BulkLoad(schema.name(), [&](TableWriter* w) {
+      return gen([&](const std::vector<Value>& row) { return w->AppendRow(row); });
+    });
+  };
+  VWISE_RETURN_IF_ERROR(load(RegionSchema(), [this](const RowSink& s) { return Region(s); }));
+  VWISE_RETURN_IF_ERROR(load(NationSchema(), [this](const RowSink& s) { return Nation(s); }));
+  VWISE_RETURN_IF_ERROR(load(SupplierSchema(), [this](const RowSink& s) { return Supplier(s); }));
+  VWISE_RETURN_IF_ERROR(load(PartSchema(), [this](const RowSink& s) { return Part(s); }));
+  VWISE_RETURN_IF_ERROR(load(PartsuppSchema(), [this](const RowSink& s) { return Partsupp(s); }));
+  VWISE_RETURN_IF_ERROR(load(CustomerSchema(), [this](const RowSink& s) { return Customer(s); }));
+
+  // Orders and lineitem stream together into two writers.
+  if (!mgr->HasTable("orders")) {
+    VWISE_RETURN_IF_ERROR(mgr->CreateTable(OrdersSchema(), ColumnGroups::Dsm(9)));
+  }
+  if (!mgr->HasTable("lineitem")) {
+    VWISE_RETURN_IF_ERROR(mgr->CreateTable(LineitemSchema(), ColumnGroups::Dsm(16)));
+  }
+  // BulkLoad loads one table at a time; buffer lineitem rows per batch is
+  // avoided by doing two generation passes (generation is cheap and
+  // deterministic).
+  VWISE_RETURN_IF_ERROR(mgr->BulkLoad("orders", [&](TableWriter* w) {
+    return OrdersAndLineitem(
+        [&](const std::vector<Value>& row) { return w->AppendRow(row); },
+        [](const std::vector<Value>&) { return Status::OK(); });
+  }));
+  VWISE_RETURN_IF_ERROR(mgr->BulkLoad("lineitem", [&](TableWriter* w) {
+    return OrdersAndLineitem(
+        [](const std::vector<Value>&) { return Status::OK(); },
+        [&](const std::vector<Value>& row) { return w->AppendRow(row); });
+  }));
+  return Status::OK();
+}
+
+}  // namespace vwise::tpch

@@ -1,0 +1,67 @@
+#ifndef VWISE_TPCH_GENERATOR_H_
+#define VWISE_TPCH_GENERATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "txn/transaction_manager.h"
+
+namespace vwise::tpch {
+
+// Deterministic dbgen-style data generator (substitute for the official
+// TPC-H dbgen tool, see DESIGN.md). Cardinalities, value domains, key
+// relationships and the distributions the 22 queries select on follow the
+// specification shapes; text fields are simplified but preserve the
+// substrings the queries match (PROMO%, %BRASS, forest%, Customer
+// Complaints, special ... requests, ...).
+//
+// Every row is generated from an Rng seeded by (table, row), so any row can
+// be regenerated independently and repeated runs are identical.
+class Generator {
+ public:
+  using RowSink = std::function<Status(const std::vector<Value>&)>;
+
+  explicit Generator(double scale_factor);
+
+  double scale_factor() const { return sf_; }
+  int64_t num_supplier() const { return num_supplier_; }
+  int64_t num_part() const { return num_part_; }
+  int64_t num_customer() const { return num_customer_; }
+  int64_t num_orders() const { return num_orders_; }
+
+  Status Region(const RowSink& sink) const;
+  Status Nation(const RowSink& sink) const;
+  Status Supplier(const RowSink& sink) const;
+  Status Part(const RowSink& sink) const;
+  Status Partsupp(const RowSink& sink) const;
+  Status Customer(const RowSink& sink) const;
+  // Orders and their lineitems are generated together (o_totalprice is the
+  // sum over the order's lines).
+  Status OrdersAndLineitem(const RowSink& orders, const RowSink& lines) const;
+
+  // RF1: `count` brand-new orders (keys above the base population) for
+  // refresh round `round`, with their lineitems.
+  Status RefreshOrders(int round, int64_t count, const RowSink& orders,
+                       const RowSink& lines) const;
+
+  // Creates and bulk-loads all 8 tables into `mgr` (PAX group for the
+  // NULLable-style pairs is not needed: TPC-H columns are NOT NULL).
+  Status LoadAll(TransactionManager* mgr) const;
+
+ private:
+  void GenOrderRow(int64_t key_seq, uint64_t seed_salt,
+                   std::vector<Value>* order,
+                   std::vector<std::vector<Value>>* its_lines) const;
+
+  double sf_;
+  int64_t num_supplier_;
+  int64_t num_part_;
+  int64_t num_customer_;
+  int64_t num_orders_;
+};
+
+}  // namespace vwise::tpch
+
+#endif  // VWISE_TPCH_GENERATOR_H_

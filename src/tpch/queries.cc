@@ -1,0 +1,525 @@
+#include "tpch/queries.h"
+
+#include "common/date.h"
+#include "tpch/queries_internal.h"
+
+namespace vwise::tpch {
+
+using namespace vwise::tpch::col;  // NOLINT: positional plan construction
+
+namespace internal {
+
+namespace {
+
+const DataType I64 = DataType::Int64();
+const DataType F64 = DataType::Double();
+const DataType VC = DataType::Varchar();
+const DataType DT = DataType::Date();
+const DataType D2 = DataType::Decimal(2);
+
+void SetInfo(QueryInfo* info, std::vector<std::string> names) {
+  if (info != nullptr) info->column_names = std::move(names);
+}
+
+// Quantities/prices are scale-2 decimals: value v is stored as round(100*v).
+int64_t Cents(double v) { return static_cast<int64_t>(v * 100 + (v >= 0 ? 0.5 : -0.5)); }
+
+}  // namespace
+
+Result<double> InferScaleFactor(TransactionManager* mgr) {
+  VWISE_ASSIGN_OR_RETURN(TableSnapshot s, mgr->GetSnapshot("supplier"));
+  return static_cast<double>(s.visible_rows()) / 10000.0;
+}
+
+// ---------------------------------------------------------------------------
+// Q1 — pricing summary report
+// ---------------------------------------------------------------------------
+Result<OperatorPtr> BuildQ1(TransactionManager* mgr, const Config& cfg,
+                            QueryInfo* info) {
+  Qb q(mgr, cfg);
+  int64_t cutoff = date::Parse("1998-09-02");  // 1998-12-01 - 90 days
+  VWISE_RETURN_IF_ERROR(q.Scan(
+      "lineitem",
+      {l::kQuantity, l::kExtendedprice, l::kDiscount, l::kTax, l::kReturnflag,
+       l::kLinestatus, l::kShipdate},
+      {ScanRange{l::kShipdate, INT64_MIN, cutoff}}));
+  // 0 qty, 1 ext, 2 disc, 3 tax, 4 rf, 5 ls, 6 shipdate
+  q.Select(e::Le(q.Col(6), e::DateLit("1998-09-02")));
+  q.Project(Es(q.Col(4), q.Col(5), q.F(0), q.F(1), Revenue(q, 1, 2),
+               e::Mul(Revenue(q, 1, 2), e::Add(e::F64(1.0), q.F(3))), q.F(2)),
+            {VC, VC, F64, F64, F64, F64, F64});
+  // 0 rf, 1 ls, 2 qty, 3 price, 4 disc_price, 5 charge, 6 disc
+  q.Agg({0, 1},
+        {AggSpec::Sum(2), AggSpec::Sum(3), AggSpec::Sum(4), AggSpec::Sum(5),
+         AggSpec::Avg(2), AggSpec::Avg(3), AggSpec::Avg(6), AggSpec::CountStar()},
+        {VC, VC, F64, F64, F64, F64, F64, F64, F64, I64});
+  q.Sort({{0, true}, {1, true}});
+  SetInfo(info, {"l_returnflag", "l_linestatus", "sum_qty", "sum_base_price",
+                 "sum_disc_price", "sum_charge", "avg_qty", "avg_price",
+                 "avg_disc", "count_order"});
+  return q.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q2 — minimum cost supplier (EUROPE, size 15, %BRASS)
+// ---------------------------------------------------------------------------
+namespace {
+
+// partsupp restricted to suppliers of a region, with optional supplier
+// detail payload. Output: 0 ps_partkey, 1 ps_suppkey, 2 ps_supplycost
+// [, 3 s_name, 4 s_address, 5 s_phone, 6 s_acctbal, 7 s_comment, 8 n_name].
+Result<Qb> EuropePartsupp(TransactionManager* mgr, const Config& cfg,
+                          bool with_detail) {
+  Qb n(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(n.Scan("nation", {n::kNationkey, n::kName, n::kRegionkey}));
+  Qb r(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(r.Scan("region", {r::kRegionkey, r::kName}));
+  r.Select(e::Eq(r.Col(1), e::Str("EUROPE")));
+  n.Join(std::move(r), JoinType::kLeftSemi, {2}, {0});
+
+  Qb s(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(s.Scan("supplier",
+                               {s::kSuppkey, s::kName, s::kAddress, s::kNationkey,
+                                s::kPhone, s::kAcctbal, s::kComment}));
+  s.Join(std::move(n), JoinType::kInner, {3}, {0}, {1});
+  // s: 0 skey, 1 sname, 2 saddr, 3 snat, 4 sphone, 5 sacct, 6 scomment, 7 nname
+
+  Qb ps(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(
+      ps.Scan("partsupp", {ps::kPartkey, ps::kSuppkey, ps::kSupplycost}));
+  if (with_detail) {
+    ps.Join(std::move(s), JoinType::kInner, {1}, {0}, {1, 2, 4, 5, 6, 7});
+  } else {
+    ps.Join(std::move(s), JoinType::kLeftSemi, {1}, {0});
+  }
+  return ps;
+}
+
+}  // namespace
+
+Result<OperatorPtr> BuildQ2(TransactionManager* mgr, const Config& cfg,
+                            QueryInfo* info) {
+  VWISE_ASSIGN_OR_RETURN(Qb main, EuropePartsupp(mgr, cfg, true));
+  // main: 0 pk, 1 sk, 2 cost, 3 sname, 4 saddr, 5 sphone, 6 sacct,
+  //       7 scomment, 8 nname
+  Qb p(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(p.Scan("part", {p::kPartkey, p::kMfgr, p::kSize, p::kType}));
+  p.Select(e::And(Fs(e::Eq(p.Col(2), e::I64(15)), e::Like(p.Col(3), "%BRASS"))));
+  main.Join(std::move(p), JoinType::kInner, {0}, {0}, {1});  // + p_mfgr @9
+
+  VWISE_ASSIGN_OR_RETURN(Qb for_min, EuropePartsupp(mgr, cfg, false));
+  for_min.Agg({0}, {AggSpec::Min(2)}, {I64, D2});  // (pk, mincost)
+  main.Join(std::move(for_min), JoinType::kInner, {0}, {0}, {1},
+            e::Eq(e::Col(2, D2), e::Col(10, D2)));  // cost == min(cost) @10
+
+  main.Project(Es(main.Col(6), main.Col(3), main.Col(8), main.Col(0),
+                  main.Col(9), main.Col(4), main.Col(5), main.Col(7)),
+               {D2, VC, VC, I64, VC, VC, VC, VC});
+  main.Sort({{0, false}, {2, true}, {1, true}, {3, true}}, 100);
+  SetInfo(info, {"s_acctbal", "s_name", "n_name", "p_partkey", "p_mfgr",
+                 "s_address", "s_phone", "s_comment"});
+  return main.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q3 — shipping priority
+// ---------------------------------------------------------------------------
+Result<OperatorPtr> BuildQ3(TransactionManager* mgr, const Config& cfg,
+                            QueryInfo* info) {
+  Qb c(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(c.Scan("customer", {c::kCustkey, c::kMktsegment}));
+  c.Select(e::Eq(c.Col(1), e::Str("BUILDING")));
+
+  Qb o(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(o.Scan(
+      "orders", {o::kOrderkey, o::kCustkey, o::kOrderdate, o::kShippriority}));
+  o.Select(e::Lt(o.Col(2), e::DateLit("1995-03-15")));
+  o.Join(std::move(c), JoinType::kLeftSemi, {1}, {0});
+
+  Qb li(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(li.Scan(
+      "lineitem", {l::kOrderkey, l::kExtendedprice, l::kDiscount, l::kShipdate},
+      {ScanRange{l::kShipdate, date::Parse("1995-03-16"), INT64_MAX}}));
+  li.Select(e::Gt(li.Col(3), e::DateLit("1995-03-15")));
+  li.Join(std::move(o), JoinType::kInner, {0}, {0}, {2, 3});
+  // 0 okey, 1 ext, 2 disc, 3 ship, 4 odate, 5 shippri
+  li.Project(Es(li.Col(0), Revenue(li, 1, 2), li.Col(4), li.Col(5)),
+             {I64, F64, DT, I64});
+  li.Agg({0, 2, 3}, {AggSpec::Sum(1)}, {I64, DT, I64, F64});
+  li.Sort({{3, false}, {1, true}}, 10);
+  li.Project(Es(li.Col(0), li.Col(3), li.Col(1), li.Col(2)), {I64, F64, DT, I64});
+  SetInfo(info, {"l_orderkey", "revenue", "o_orderdate", "o_shippriority"});
+  return li.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q4 — order priority checking
+// ---------------------------------------------------------------------------
+Result<OperatorPtr> BuildQ4(TransactionManager* mgr, const Config& cfg,
+                            QueryInfo* info) {
+  Qb li(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(
+      li.Scan("lineitem", {l::kOrderkey, l::kCommitdate, l::kReceiptdate}));
+  li.Select(e::Lt(li.Col(1), li.Col(2)));
+
+  Qb o(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(
+      o.Scan("orders", {o::kOrderkey, o::kOrderdate, o::kOrderpriority}));
+  o.Select(e::And(Fs(e::Ge(o.Col(1), e::DateLit("1993-07-01")),
+                     e::Lt(o.Col(1), e::DateLit("1993-10-01")))));
+  o.Join(std::move(li), JoinType::kLeftSemi, {0}, {0});
+  o.Agg({2}, {AggSpec::CountStar()}, {VC, I64});
+  o.Sort({{0, true}});
+  SetInfo(info, {"o_orderpriority", "order_count"});
+  return o.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q5 — local supplier volume (ASIA, 1994)
+// ---------------------------------------------------------------------------
+Result<OperatorPtr> BuildQ5(TransactionManager* mgr, const Config& cfg,
+                            QueryInfo* info) {
+  Qb r(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(r.Scan("region", {r::kRegionkey, r::kName}));
+  r.Select(e::Eq(r.Col(1), e::Str("ASIA")));
+  Qb n(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(n.Scan("nation", {n::kNationkey, n::kName, n::kRegionkey}));
+  n.Join(std::move(r), JoinType::kLeftSemi, {2}, {0});  // (nkey, nname, rkey)
+
+  Qb c(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(c.Scan("customer", {c::kCustkey, c::kNationkey}));
+  c.Join(std::move(n), JoinType::kInner, {1}, {0}, {1});  // (ckey, cnat, nname)
+
+  Qb o(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(o.Scan("orders", {o::kOrderkey, o::kCustkey, o::kOrderdate}));
+  o.Select(e::And(Fs(e::Ge(o.Col(2), e::DateLit("1994-01-01")),
+                     e::Lt(o.Col(2), e::DateLit("1995-01-01")))));
+  o.Join(std::move(c), JoinType::kInner, {1}, {0}, {1, 2});
+  // o: 0 okey, 1 ockey, 2 odate, 3 cnat, 4 nname
+
+  Qb li(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(li.Scan(
+      "lineitem", {l::kOrderkey, l::kSuppkey, l::kExtendedprice, l::kDiscount}));
+  li.Join(std::move(o), JoinType::kInner, {0}, {0}, {3, 4});
+  // li: 0 okey, 1 skey, 2 ext, 3 disc, 4 cnat, 5 nname
+
+  Qb s(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(s.Scan("supplier", {s::kSuppkey, s::kNationkey}));
+  li.Join(std::move(s), JoinType::kInner, {1}, {0}, {1},
+          e::Eq(e::Col(4, I64), e::Col(6, I64)));  // s_nationkey == c_nationkey
+  li.Project(Es(li.Col(5), Revenue(li, 2, 3)), {VC, F64});
+  li.Agg({0}, {AggSpec::Sum(1)}, {VC, F64});
+  li.Sort({{1, false}});
+  SetInfo(info, {"n_name", "revenue"});
+  return li.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q6 — forecasting revenue change
+// ---------------------------------------------------------------------------
+Result<OperatorPtr> BuildQ6(TransactionManager* mgr, const Config& cfg,
+                            QueryInfo* info) {
+  Qb q(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(q.Scan(
+      "lineitem", {l::kShipdate, l::kDiscount, l::kQuantity, l::kExtendedprice},
+      {ScanRange{l::kShipdate, date::Parse("1994-01-01"),
+                 date::Parse("1994-12-31")}}));
+  q.Select(e::And(Fs(e::Ge(q.Col(0), e::DateLit("1994-01-01")),
+                     e::Lt(q.Col(0), e::DateLit("1995-01-01")),
+                     e::Ge(q.Col(1), e::I64(5)), e::Le(q.Col(1), e::I64(7)),
+                     e::Lt(q.Col(2), e::I64(Cents(24))))));
+  q.Project(Es(e::Mul(q.F(3), q.F(1))), {F64});
+  q.Agg({}, {AggSpec::Sum(0)}, {F64});
+  SetInfo(info, {"revenue"});
+  return q.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q7 — volume shipping (FRANCE <-> GERMANY)
+// ---------------------------------------------------------------------------
+namespace {
+
+// (key, nation_name) for suppliers/customers of FRANCE or GERMANY.
+Result<Qb> KeyedNation(TransactionManager* mgr, const Config& cfg,
+                       const char* table, uint32_t key_col, uint32_t nat_col) {
+  Qb n(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(n.Scan("nation", {n::kNationkey, n::kName}));
+  n.Select(e::In(n.Col(1), {Value::String("FRANCE"), Value::String("GERMANY")}));
+  Qb t(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(t.Scan(table, {key_col, nat_col}));
+  t.Join(std::move(n), JoinType::kInner, {1}, {0}, {1});  // (key, nat, nname)
+  return t;
+}
+
+}  // namespace
+
+Result<OperatorPtr> BuildQ7(TransactionManager* mgr, const Config& cfg,
+                            QueryInfo* info) {
+  VWISE_ASSIGN_OR_RETURN(Qb supp,
+                         KeyedNation(mgr, cfg, "supplier", s::kSuppkey, s::kNationkey));
+  VWISE_ASSIGN_OR_RETURN(Qb cust,
+                         KeyedNation(mgr, cfg, "customer", c::kCustkey, c::kNationkey));
+
+  Qb li(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(li.Scan(
+      "lineitem",
+      {l::kOrderkey, l::kSuppkey, l::kExtendedprice, l::kDiscount, l::kShipdate},
+      {ScanRange{l::kShipdate, date::Parse("1995-01-01"),
+                 date::Parse("1996-12-31")}}));
+  li.Select(e::And(Fs(e::Ge(li.Col(4), e::DateLit("1995-01-01")),
+                      e::Le(li.Col(4), e::DateLit("1996-12-31")))));
+  li.Join(std::move(supp), JoinType::kInner, {1}, {0}, {2});  // + supp_nation @5
+
+  Qb o(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(o.Scan("orders", {o::kOrderkey, o::kCustkey}));
+  li.Join(std::move(o), JoinType::kInner, {0}, {0}, {1});  // + o_custkey @6
+
+  li.Join(std::move(cust), JoinType::kInner, {6}, {0}, {2},
+          e::Ne(e::Col(5, VC), e::Col(7, VC)));  // + cust_nation @7
+  li.Project(Es(li.Col(5), li.Col(7), e::Year(li.Col(4)), Revenue(li, 2, 3)),
+             {VC, VC, I64, F64});
+  li.Agg({0, 1, 2}, {AggSpec::Sum(3)}, {VC, VC, I64, F64});
+  li.Sort({{0, true}, {1, true}, {2, true}});
+  SetInfo(info, {"supp_nation", "cust_nation", "l_year", "revenue"});
+  return li.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q8 — national market share (BRAZIL in AMERICA)
+// ---------------------------------------------------------------------------
+Result<OperatorPtr> BuildQ8(TransactionManager* mgr, const Config& cfg,
+                            QueryInfo* info) {
+  Qb p(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(p.Scan("part", {p::kPartkey, p::kType}));
+  p.Select(e::Eq(p.Col(1), e::Str("ECONOMY ANODIZED STEEL")));
+
+  Qb li(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(li.Scan(
+      "lineitem",
+      {l::kOrderkey, l::kPartkey, l::kSuppkey, l::kExtendedprice, l::kDiscount}));
+  li.Join(std::move(p), JoinType::kLeftSemi, {1}, {0});
+
+  Qb sn(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(sn.Scan("supplier", {s::kSuppkey, s::kNationkey}));
+  Qb nat(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(nat.Scan("nation", {n::kNationkey, n::kName}));
+  sn.Join(std::move(nat), JoinType::kInner, {1}, {0}, {1});  // (skey, snat, nname)
+  li.Join(std::move(sn), JoinType::kInner, {2}, {0}, {2});   // + supp_nation @5
+
+  Qb o(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(o.Scan("orders", {o::kOrderkey, o::kCustkey, o::kOrderdate}));
+  o.Select(e::And(Fs(e::Ge(o.Col(2), e::DateLit("1995-01-01")),
+                     e::Le(o.Col(2), e::DateLit("1996-12-31")))));
+  li.Join(std::move(o), JoinType::kInner, {0}, {0}, {1, 2});  // + ockey @6, odate @7
+
+  Qb r(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(r.Scan("region", {r::kRegionkey, r::kName}));
+  r.Select(e::Eq(r.Col(1), e::Str("AMERICA")));
+  Qb n2(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(n2.Scan("nation", {n::kNationkey, n::kName, n::kRegionkey}));
+  n2.Join(std::move(r), JoinType::kLeftSemi, {2}, {0});
+  Qb cust(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(cust.Scan("customer", {c::kCustkey, c::kNationkey}));
+  cust.Join(std::move(n2), JoinType::kLeftSemi, {1}, {0});
+  li.Join(std::move(cust), JoinType::kLeftSemi, {6}, {0});
+
+  li.Project(Es(e::Year(li.Col(7)), Revenue(li, 3, 4),
+                e::Case(e::Eq(e::Col(5, VC), e::Str("BRAZIL")), Revenue(li, 3, 4),
+                        e::F64(0.0))),
+             {I64, F64, F64});
+  li.Agg({0}, {AggSpec::Sum(2), AggSpec::Sum(1)}, {I64, F64, F64});
+  li.Project(Es(li.Col(0), e::Div(li.Col(1), li.Col(2))), {I64, F64});
+  li.Sort({{0, true}});
+  SetInfo(info, {"o_year", "mkt_share"});
+  return li.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q9 — product type profit measure (%green%)
+// ---------------------------------------------------------------------------
+Result<OperatorPtr> BuildQ9(TransactionManager* mgr, const Config& cfg,
+                            QueryInfo* info) {
+  Qb p(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(p.Scan("part", {p::kPartkey, p::kName}));
+  p.Select(e::Like(p.Col(1), "%green%"));
+
+  Qb li(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(li.Scan("lineitem",
+                                {l::kOrderkey, l::kPartkey, l::kSuppkey,
+                                 l::kQuantity, l::kExtendedprice, l::kDiscount}));
+  li.Join(std::move(p), JoinType::kLeftSemi, {1}, {0});
+
+  Qb sn(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(sn.Scan("supplier", {s::kSuppkey, s::kNationkey}));
+  Qb nat(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(nat.Scan("nation", {n::kNationkey, n::kName}));
+  sn.Join(std::move(nat), JoinType::kInner, {1}, {0}, {1});
+  li.Join(std::move(sn), JoinType::kInner, {2}, {0}, {2});  // + nname @6
+
+  Qb psq(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(
+      psq.Scan("partsupp", {ps::kPartkey, ps::kSuppkey, ps::kSupplycost}));
+  li.Join(std::move(psq), JoinType::kInner, {1, 2}, {0, 1}, {2});  // + cost @7
+
+  Qb o(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(o.Scan("orders", {o::kOrderkey, o::kOrderdate}));
+  li.Join(std::move(o), JoinType::kInner, {0}, {0}, {1});  // + odate @8
+
+  li.Project(Es(li.Col(6), e::Year(li.Col(8)),
+                e::Sub(Revenue(li, 4, 5), e::Mul(li.F(7), li.F(3)))),
+             {VC, I64, F64});
+  li.Agg({0, 1}, {AggSpec::Sum(2)}, {VC, I64, F64});
+  li.Sort({{0, true}, {1, false}});
+  SetInfo(info, {"nation", "o_year", "sum_profit"});
+  return li.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q10 — returned item reporting
+// ---------------------------------------------------------------------------
+Result<OperatorPtr> BuildQ10(TransactionManager* mgr, const Config& cfg,
+                             QueryInfo* info) {
+  Qb o(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(o.Scan("orders", {o::kOrderkey, o::kCustkey, o::kOrderdate}));
+  o.Select(e::And(Fs(e::Ge(o.Col(2), e::DateLit("1993-10-01")),
+                     e::Lt(o.Col(2), e::DateLit("1994-01-01")))));
+
+  Qb li(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(li.Scan(
+      "lineitem", {l::kOrderkey, l::kExtendedprice, l::kDiscount, l::kReturnflag}));
+  li.Select(e::Eq(li.Col(3), e::Str("R")));
+  li.Join(std::move(o), JoinType::kInner, {0}, {0}, {1});  // + ockey @4
+
+  Qb cust(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(cust.Scan("customer",
+                                  {c::kCustkey, c::kName, c::kAddress, c::kNationkey,
+                                   c::kPhone, c::kAcctbal, c::kComment}));
+  Qb nat(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(nat.Scan("nation", {n::kNationkey, n::kName}));
+  cust.Join(std::move(nat), JoinType::kInner, {3}, {0}, {1});  // + nname @7
+  li.Join(std::move(cust), JoinType::kInner, {4}, {0}, {0, 1, 2, 4, 5, 6, 7});
+  // li: 0 okey, 1 ext, 2 disc, 3 rf, 4 ockey, 5 ckey, 6 cname, 7 caddr,
+  //     8 cphone, 9 cacct, 10 ccomment, 11 nname
+  li.Project(Es(li.Col(5), li.Col(6), Revenue(li, 1, 2), li.Col(9), li.Col(11),
+                li.Col(7), li.Col(8), li.Col(10)),
+             {I64, VC, F64, D2, VC, VC, VC, VC});
+  li.Agg({0, 1, 3, 4, 5, 6, 7}, {AggSpec::Sum(2)},
+         {I64, VC, D2, VC, VC, VC, VC, F64});
+  li.Sort({{7, false}}, 20);
+  li.Project(Es(li.Col(0), li.Col(1), li.Col(7), li.Col(2), li.Col(3),
+                li.Col(4), li.Col(5), li.Col(6)),
+             {I64, VC, F64, D2, VC, VC, VC, VC});
+  SetInfo(info, {"c_custkey", "c_name", "revenue", "c_acctbal", "n_name",
+                 "c_address", "c_phone", "c_comment"});
+  return li.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q11 — important stock identification (GERMANY)
+// ---------------------------------------------------------------------------
+namespace {
+
+Result<Qb> GermanPartsuppValue(TransactionManager* mgr, const Config& cfg) {
+  Qb nat(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(nat.Scan("nation", {n::kNationkey, n::kName}));
+  nat.Select(e::Eq(nat.Col(1), e::Str("GERMANY")));
+  Qb s(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(s.Scan("supplier", {s::kSuppkey, s::kNationkey}));
+  s.Join(std::move(nat), JoinType::kLeftSemi, {1}, {0});
+  Qb psq(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(psq.Scan(
+      "partsupp", {ps::kPartkey, ps::kSuppkey, ps::kAvailqty, ps::kSupplycost}));
+  psq.Join(std::move(s), JoinType::kLeftSemi, {1}, {0});
+  psq.Project(Es(psq.Col(0), e::Mul(psq.F(3), psq.F(2))), {I64, F64});
+  return psq;  // (partkey, cost*qty)
+}
+
+}  // namespace
+
+Result<OperatorPtr> BuildQ11(TransactionManager* mgr, const Config& cfg,
+                             QueryInfo* info) {
+  VWISE_ASSIGN_OR_RETURN(double sf, InferScaleFactor(mgr));
+  VWISE_ASSIGN_OR_RETURN(Qb parts, GermanPartsuppValue(mgr, cfg));
+  parts.Agg({0}, {AggSpec::Sum(1)}, {I64, F64});  // (pk, value)
+  parts.Project(Es(parts.Col(0), parts.Col(1), e::I64(1)), {I64, F64, I64});
+
+  VWISE_ASSIGN_OR_RETURN(Qb total, GermanPartsuppValue(mgr, cfg));
+  total.Agg({}, {AggSpec::Sum(1)}, {F64});
+  total.Project(Es(e::I64(1), total.Col(0)), {I64, F64});  // (one, total)
+
+  double frac = 0.0001 / sf;
+  parts.Join(std::move(total), JoinType::kInner, {2}, {0}, {1},
+             e::Gt(e::Col(1, F64), e::Mul(e::Col(3, F64), e::F64(frac))));
+  parts.Project(Es(parts.Col(0), parts.Col(1)), {I64, F64});
+  parts.Sort({{1, false}});
+  SetInfo(info, {"ps_partkey", "value"});
+  return parts.Build();
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+Result<OperatorPtr> BuildQuery(int q, TransactionManager* mgr,
+                               const Config& config, QueryInfo* info) {
+  using namespace internal;
+  switch (q) {
+    case 1:
+      return BuildQ1(mgr, config, info);
+    case 2:
+      return BuildQ2(mgr, config, info);
+    case 3:
+      return BuildQ3(mgr, config, info);
+    case 4:
+      return BuildQ4(mgr, config, info);
+    case 5:
+      return BuildQ5(mgr, config, info);
+    case 6:
+      return BuildQ6(mgr, config, info);
+    case 7:
+      return BuildQ7(mgr, config, info);
+    case 8:
+      return BuildQ8(mgr, config, info);
+    case 9:
+      return BuildQ9(mgr, config, info);
+    case 10:
+      return BuildQ10(mgr, config, info);
+    case 11:
+      return BuildQ11(mgr, config, info);
+    case 12:
+      return BuildQ12(mgr, config, info);
+    case 13:
+      return BuildQ13(mgr, config, info);
+    case 14:
+      return BuildQ14(mgr, config, info);
+    case 15:
+      return BuildQ15(mgr, config, info);
+    case 16:
+      return BuildQ16(mgr, config, info);
+    case 17:
+      return BuildQ17(mgr, config, info);
+    case 18:
+      return BuildQ18(mgr, config, info);
+    case 19:
+      return BuildQ19(mgr, config, info);
+    case 20:
+      return BuildQ20(mgr, config, info);
+    case 21:
+      return BuildQ21(mgr, config, info);
+    case 22:
+      return BuildQ22(mgr, config, info);
+    default:
+      return Status::InvalidArgument("TPC-H query number must be 1..22");
+  }
+}
+
+Result<QueryResult> RunQuery(int q, TransactionManager* mgr,
+                             const Config& config) {
+  QueryInfo info;
+  VWISE_ASSIGN_OR_RETURN(OperatorPtr plan, BuildQuery(q, mgr, config, &info));
+  return CollectRows(plan.get(), config.vector_size, info.column_names);
+}
+
+}  // namespace vwise::tpch

@@ -1,0 +1,37 @@
+#ifndef VWISE_TPCH_QUERIES_H_
+#define VWISE_TPCH_QUERIES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/operator.h"
+#include "txn/transaction_manager.h"
+
+namespace vwise::tpch {
+
+// Builders for all 22 TPC-H queries as vectorized physical plans — the
+// plans the Ingres cross compiler [7] would emit for the X100 engine.
+// Parameters use the specification's validation values.
+//
+// `threads` > 1 parallelizes the supported queries (Q1, Q6) with the
+// Volcano Xchg rewrite; other queries run serial regardless.
+
+struct QueryInfo {
+  std::vector<std::string> column_names;
+  std::vector<DataType> column_types;
+};
+
+// Builds query `q` (1-22) against the latest snapshots of `mgr`'s TPC-H
+// tables.
+Result<OperatorPtr> BuildQuery(int q, TransactionManager* mgr,
+                               const Config& config, QueryInfo* info = nullptr);
+
+// Convenience: build + run to completion.
+Result<QueryResult> RunQuery(int q, TransactionManager* mgr,
+                             const Config& config);
+
+}  // namespace vwise::tpch
+
+#endif  // VWISE_TPCH_QUERIES_H_

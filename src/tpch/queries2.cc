@@ -1,0 +1,397 @@
+#include "common/date.h"
+#include "tpch/queries_internal.h"
+
+namespace vwise::tpch::internal {
+
+using namespace vwise::tpch::col;  // NOLINT: positional plan construction
+
+namespace {
+
+const DataType I64 = DataType::Int64();
+const DataType F64 = DataType::Double();
+const DataType VC = DataType::Varchar();
+const DataType DT = DataType::Date();
+const DataType D2 = DataType::Decimal(2);
+
+void SetInfo(QueryInfo* info, std::vector<std::string> names) {
+  if (info != nullptr) info->column_names = std::move(names);
+}
+
+int64_t Cents(double v) {
+  return static_cast<int64_t>(v * 100 + (v >= 0 ? 0.5 : -0.5));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Q12 — shipping modes and order priority
+// ---------------------------------------------------------------------------
+Result<OperatorPtr> BuildQ12(TransactionManager* mgr, const Config& cfg,
+                             QueryInfo* info) {
+  Qb li(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(li.Scan("lineitem",
+                                {l::kOrderkey, l::kShipmode, l::kShipdate,
+                                 l::kCommitdate, l::kReceiptdate}));
+  li.Select(e::And(
+      Fs(e::In(li.Col(1), {Value::String("MAIL"), Value::String("SHIP")}),
+         e::Lt(li.Col(3), li.Col(4)), e::Lt(li.Col(2), li.Col(3)),
+         e::Ge(li.Col(4), e::DateLit("1994-01-01")),
+         e::Lt(li.Col(4), e::DateLit("1995-01-01")))));
+  Qb o(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(o.Scan("orders", {o::kOrderkey, o::kOrderpriority}));
+  li.Join(std::move(o), JoinType::kInner, {0}, {0}, {1});  // + priority @5
+  std::vector<Value> high = {Value::String("1-URGENT"), Value::String("2-HIGH")};
+  li.Project(
+      Es(li.Col(1),
+         e::Case(e::In(li.Col(5), high), e::I64(1), e::I64(0)),
+         e::Case(e::NotIn(li.Col(5), high), e::I64(1), e::I64(0))),
+      {VC, I64, I64});
+  li.Agg({0}, {AggSpec::Sum(1), AggSpec::Sum(2)}, {VC, I64, I64});
+  li.Sort({{0, true}});
+  SetInfo(info, {"l_shipmode", "high_line_count", "low_line_count"});
+  return li.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q13 — customer distribution (left outer join)
+// ---------------------------------------------------------------------------
+Result<OperatorPtr> BuildQ13(TransactionManager* mgr, const Config& cfg,
+                             QueryInfo* info) {
+  Qb o(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(o.Scan("orders", {o::kOrderkey, o::kCustkey, o::kComment}));
+  o.Select(e::NotLike(o.Col(2), "%special%requests%"));
+
+  Qb c(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(c.Scan("customer", {c::kCustkey}));
+  c.Join(std::move(o), JoinType::kLeftOuter, {0}, {1}, {0});
+  // c: 0 ckey, 1 o_orderkey, 2 match flag (u8)
+  c.Project(Es(c.Col(0), e::Cast(c.Col(2), I64)), {I64, I64});
+  c.Agg({0}, {AggSpec::Sum(1)}, {I64, I64});   // (ckey, c_count)
+  c.Agg({1}, {AggSpec::CountStar()}, {I64, I64});  // (c_count, custdist)
+  c.Sort({{1, false}, {0, false}});
+  SetInfo(info, {"c_count", "custdist"});
+  return c.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q14 — promotion effect
+// ---------------------------------------------------------------------------
+Result<OperatorPtr> BuildQ14(TransactionManager* mgr, const Config& cfg,
+                             QueryInfo* info) {
+  Qb li(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(li.Scan(
+      "lineitem", {l::kPartkey, l::kExtendedprice, l::kDiscount, l::kShipdate},
+      {ScanRange{l::kShipdate, date::Parse("1995-09-01"),
+                 date::Parse("1995-09-30")}}));
+  li.Select(e::And(Fs(e::Ge(li.Col(3), e::DateLit("1995-09-01")),
+                      e::Lt(li.Col(3), e::DateLit("1995-10-01")))));
+  Qb p(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(p.Scan("part", {p::kPartkey, p::kType}));
+  li.Join(std::move(p), JoinType::kInner, {0}, {0}, {1});  // + p_type @4
+  li.Project(Es(e::Case(e::Like(li.Col(4), "PROMO%"), Revenue(li, 1, 2), e::F64(0.0)),
+                Revenue(li, 1, 2)),
+             {F64, F64});
+  li.Agg({}, {AggSpec::Sum(0), AggSpec::Sum(1)}, {F64, F64});
+  li.Project(Es(e::Mul(e::F64(100.0), e::Div(li.Col(0), li.Col(1)))), {F64});
+  SetInfo(info, {"promo_revenue"});
+  return li.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q15 — top supplier (revenue view)
+// ---------------------------------------------------------------------------
+namespace {
+
+Result<Qb> RevenueView(TransactionManager* mgr, const Config& cfg) {
+  Qb li(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(li.Scan(
+      "lineitem", {l::kSuppkey, l::kExtendedprice, l::kDiscount, l::kShipdate},
+      {ScanRange{l::kShipdate, date::Parse("1996-01-01"),
+                 date::Parse("1996-03-31")}}));
+  li.Select(e::And(Fs(e::Ge(li.Col(3), e::DateLit("1996-01-01")),
+                      e::Lt(li.Col(3), e::DateLit("1996-04-01")))));
+  li.Project(Es(li.Col(0), Revenue(li, 1, 2)), {I64, F64});
+  li.Agg({0}, {AggSpec::Sum(1)}, {I64, F64});  // (suppkey, total_revenue)
+  return li;
+}
+
+}  // namespace
+
+Result<OperatorPtr> BuildQ15(TransactionManager* mgr, const Config& cfg,
+                             QueryInfo* info) {
+  VWISE_ASSIGN_OR_RETURN(Qb rev, RevenueView(mgr, cfg));
+  rev.Project(Es(rev.Col(0), rev.Col(1), e::I64(1)), {I64, F64, I64});
+
+  VWISE_ASSIGN_OR_RETURN(Qb maxrev, RevenueView(mgr, cfg));
+  maxrev.Agg({}, {AggSpec::Max(1)}, {F64});
+  maxrev.Project(Es(e::I64(1), maxrev.Col(0)), {I64, F64});
+
+  // total_revenue >= max(total_revenue) — identical deterministic sums, so
+  // >= selects exactly the maxima.
+  rev.Join(std::move(maxrev), JoinType::kInner, {2}, {0}, {1},
+           e::Ge(e::Col(1, F64), e::Col(3, F64)));
+
+  Qb s(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(
+      s.Scan("supplier", {s::kSuppkey, s::kName, s::kAddress, s::kPhone}));
+  s.Join(std::move(rev), JoinType::kInner, {0}, {0}, {1});  // + total @4
+  s.Sort({{0, true}});
+  SetInfo(info, {"s_suppkey", "s_name", "s_address", "s_phone", "total_revenue"});
+  return s.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q16 — parts/supplier relationship
+// ---------------------------------------------------------------------------
+Result<OperatorPtr> BuildQ16(TransactionManager* mgr, const Config& cfg,
+                             QueryInfo* info) {
+  Qb p(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(p.Scan("part", {p::kPartkey, p::kBrand, p::kType, p::kSize}));
+  p.Select(e::And(Fs(
+      e::Ne(p.Col(1), e::Str("Brand#45")),
+      e::NotLike(p.Col(2), "MEDIUM POLISHED%"),
+      e::In(p.Col(3), {Value::Int(49), Value::Int(14), Value::Int(23),
+                       Value::Int(45), Value::Int(19), Value::Int(3),
+                       Value::Int(36), Value::Int(9)}))));
+
+  Qb psq(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(psq.Scan("partsupp", {ps::kPartkey, ps::kSuppkey}));
+  psq.Join(std::move(p), JoinType::kInner, {0}, {0}, {1, 2, 3});
+  // psq: 0 pk, 1 sk, 2 brand, 3 type, 4 size
+
+  Qb bad(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(bad.Scan("supplier", {s::kSuppkey, s::kComment}));
+  bad.Select(e::Like(bad.Col(1), "%Customer%Complaints%"));
+  psq.Join(std::move(bad), JoinType::kLeftAnti, {1}, {0});
+
+  // COUNT(DISTINCT ps_suppkey): dedupe (brand,type,size,suppkey) then count.
+  psq.Agg({2, 3, 4, 1}, {}, {VC, VC, I64, I64});
+  psq.Agg({0, 1, 2}, {AggSpec::CountStar()}, {VC, VC, I64, I64});
+  psq.Sort({{3, false}, {0, true}, {1, true}, {2, true}});
+  SetInfo(info, {"p_brand", "p_type", "p_size", "supplier_cnt"});
+  return psq.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q17 — small-quantity-order revenue
+// ---------------------------------------------------------------------------
+Result<OperatorPtr> BuildQ17(TransactionManager* mgr, const Config& cfg,
+                             QueryInfo* info) {
+  Qb avg_q(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(avg_q.Scan("lineitem", {l::kPartkey, l::kQuantity}));
+  avg_q.Agg({0}, {AggSpec::Avg(1)}, {I64, F64});  // (pk, avg qty in cents)
+
+  Qb li(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(
+      li.Scan("lineitem", {l::kPartkey, l::kQuantity, l::kExtendedprice}));
+  Qb p(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(p.Scan("part", {p::kPartkey, p::kBrand, p::kContainer}));
+  p.Select(e::And(Fs(e::Eq(p.Col(1), e::Str("Brand#23")),
+                     e::Eq(p.Col(2), e::Str("MED BOX")))));
+  li.Join(std::move(p), JoinType::kLeftSemi, {0}, {0});
+  // l_quantity < 0.2 * avg(l_quantity); both sides in cents.
+  li.Join(std::move(avg_q), JoinType::kInner, {0}, {0}, {1},
+          e::Lt(e::ToF64(e::Col(1, I64)),
+                e::Mul(e::F64(0.2), e::Col(3, F64))));
+  li.Agg({}, {AggSpec::Sum(2)}, {D2});
+  li.Project(Es(e::Div(li.F(0), e::F64(7.0))), {F64});
+  SetInfo(info, {"avg_yearly"});
+  return li.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q18 — large volume customers
+// ---------------------------------------------------------------------------
+Result<OperatorPtr> BuildQ18(TransactionManager* mgr, const Config& cfg,
+                             QueryInfo* info) {
+  Qb big(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(big.Scan("lineitem", {l::kOrderkey, l::kQuantity}));
+  big.Agg({0}, {AggSpec::Sum(1)}, {I64, D2});
+  big.Select(e::Gt(big.Col(1), e::Dec(300, 2)));
+
+  Qb o(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(o.Scan(
+      "orders", {o::kOrderkey, o::kCustkey, o::kOrderdate, o::kTotalprice}));
+  o.Join(std::move(big), JoinType::kInner, {0}, {0}, {1});  // + sum_qty @4
+
+  Qb c(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(c.Scan("customer", {c::kCustkey, c::kName}));
+  o.Join(std::move(c), JoinType::kInner, {1}, {0}, {1});  // + c_name @5
+
+  o.Project(Es(o.Col(5), o.Col(1), o.Col(0), o.Col(2), o.Col(3), o.F(4)),
+            {VC, I64, I64, DT, D2, F64});
+  o.Sort({{4, false}, {3, true}}, 100);
+  SetInfo(info, {"c_name", "c_custkey", "o_orderkey", "o_orderdate",
+                 "o_totalprice", "sum_qty"});
+  return o.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q19 — discounted revenue (disjunctive brand/container/quantity predicate)
+// ---------------------------------------------------------------------------
+Result<OperatorPtr> BuildQ19(TransactionManager* mgr, const Config& cfg,
+                             QueryInfo* info) {
+  Qb li(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(li.Scan("lineitem",
+                                {l::kPartkey, l::kQuantity, l::kExtendedprice,
+                                 l::kDiscount, l::kShipinstruct, l::kShipmode}));
+  li.Select(e::And(
+      Fs(e::In(li.Col(5), {Value::String("AIR"), Value::String("AIR REG")}),
+         e::Eq(li.Col(4), e::Str("DELIVER IN PERSON")))));
+  Qb p(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(p.Scan("part", {p::kPartkey, p::kBrand, p::kContainer,
+                                        p::kSize}));
+  li.Join(std::move(p), JoinType::kInner, {0}, {0}, {1, 2, 3});
+  // li: ..., 6 brand, 7 container, 8 size
+  auto branch = [&](const char* brand, std::vector<Value> containers,
+                    double qlo, double qhi, int64_t smax) {
+    return e::And(Fs(
+        e::Eq(li.Col(6), e::Str(brand)), e::In(li.Col(7), std::move(containers)),
+        e::Ge(li.Col(1), e::I64(Cents(qlo))), e::Le(li.Col(1), e::I64(Cents(qhi))),
+        e::Ge(li.Col(8), e::I64(1)), e::Le(li.Col(8), e::I64(smax))));
+  };
+  li.Select(e::Or(Fs(
+      branch("Brand#12",
+             {Value::String("SM CASE"), Value::String("SM BOX"),
+              Value::String("SM PACK"), Value::String("SM PKG")},
+             1, 11, 5),
+      branch("Brand#23",
+             {Value::String("MED BAG"), Value::String("MED BOX"),
+              Value::String("MED PKG"), Value::String("MED PACK")},
+             10, 20, 10),
+      branch("Brand#34",
+             {Value::String("LG CASE"), Value::String("LG BOX"),
+              Value::String("LG PACK"), Value::String("LG PKG")},
+             20, 30, 15))));
+  li.Project(Es(Revenue(li, 2, 3)), {F64});
+  li.Agg({}, {AggSpec::Sum(0)}, {F64});
+  SetInfo(info, {"revenue"});
+  return li.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q20 — potential part promotion (forest%, CANADA)
+// ---------------------------------------------------------------------------
+Result<OperatorPtr> BuildQ20(TransactionManager* mgr, const Config& cfg,
+                             QueryInfo* info) {
+  Qb forest(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(forest.Scan("part", {p::kPartkey, p::kName}));
+  forest.Select(e::Like(forest.Col(1), "forest%"));
+
+  Qb l94(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(l94.Scan(
+      "lineitem", {l::kPartkey, l::kSuppkey, l::kQuantity, l::kShipdate},
+      {ScanRange{l::kShipdate, date::Parse("1994-01-01"),
+                 date::Parse("1994-12-31")}}));
+  l94.Select(e::And(Fs(e::Ge(l94.Col(3), e::DateLit("1994-01-01")),
+                       e::Lt(l94.Col(3), e::DateLit("1995-01-01")))));
+  l94.Agg({0, 1}, {AggSpec::Sum(2)}, {I64, I64, D2});  // (pk, sk, qty cents)
+
+  Qb psq(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(
+      psq.Scan("partsupp", {ps::kPartkey, ps::kSuppkey, ps::kAvailqty}));
+  psq.Join(std::move(forest), JoinType::kLeftSemi, {0}, {0});
+  // availqty (units) > 0.5 * sum(qty) (cents / 100).
+  psq.Join(std::move(l94), JoinType::kInner, {0, 1}, {0, 1}, {2},
+           e::Gt(e::ToF64(e::Col(2, I64)),
+                 e::Mul(e::F64(0.005), e::ToF64(e::Col(3, I64)))));
+  psq.Agg({1}, {}, {I64});  // distinct suppkeys
+
+  Qb s(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(
+      s.Scan("supplier", {s::kSuppkey, s::kName, s::kAddress, s::kNationkey}));
+  Qb nat(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(nat.Scan("nation", {n::kNationkey, n::kName}));
+  nat.Select(e::Eq(nat.Col(1), e::Str("CANADA")));
+  s.Join(std::move(nat), JoinType::kLeftSemi, {3}, {0});
+  s.Join(std::move(psq), JoinType::kLeftSemi, {0}, {0});
+  s.Project(Es(s.Col(1), s.Col(2)), {VC, VC});
+  s.Sort({{0, true}});
+  SetInfo(info, {"s_name", "s_address"});
+  return s.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q21 — suppliers who kept orders waiting (SAUDI ARABIA)
+// ---------------------------------------------------------------------------
+Result<OperatorPtr> BuildQ21(TransactionManager* mgr, const Config& cfg,
+                             QueryInfo* info) {
+  Qb sa(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(sa.Scan("supplier", {s::kSuppkey, s::kName, s::kNationkey}));
+  Qb nat(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(nat.Scan("nation", {n::kNationkey, n::kName}));
+  nat.Select(e::Eq(nat.Col(1), e::Str("SAUDI ARABIA")));
+  sa.Join(std::move(nat), JoinType::kLeftSemi, {2}, {0});
+
+  Qb l1(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(l1.Scan(
+      "lineitem", {l::kOrderkey, l::kSuppkey, l::kReceiptdate, l::kCommitdate}));
+  l1.Select(e::Gt(l1.Col(2), l1.Col(3)));
+  l1.Join(std::move(sa), JoinType::kInner, {1}, {0}, {1});  // + s_name @4
+
+  Qb o(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(o.Scan("orders", {o::kOrderkey, o::kOrderstatus}));
+  o.Select(e::Eq(o.Col(1), e::Str("F")));
+  l1.Join(std::move(o), JoinType::kLeftSemi, {0}, {0});
+
+  // EXISTS another lineitem of the same order from a different supplier.
+  Qb l2(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(l2.Scan("lineitem", {l::kOrderkey, l::kSuppkey}));
+  l1.Join(std::move(l2), JoinType::kLeftSemi, {0}, {0}, {1},
+          e::Ne(e::Col(1, I64), e::Col(5, I64)));
+
+  // NOT EXISTS a *late* lineitem of the same order from a different supplier.
+  Qb l3(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(l3.Scan(
+      "lineitem", {l::kOrderkey, l::kSuppkey, l::kReceiptdate, l::kCommitdate}));
+  l3.Select(e::Gt(l3.Col(2), l3.Col(3)));
+  l1.Join(std::move(l3), JoinType::kLeftAnti, {0}, {0}, {1},
+          e::Ne(e::Col(1, I64), e::Col(5, I64)));
+
+  l1.Agg({4}, {AggSpec::CountStar()}, {VC, I64});
+  l1.Sort({{1, false}, {0, true}}, 100);
+  SetInfo(info, {"s_name", "numwait"});
+  return l1.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q22 — global sales opportunity
+// ---------------------------------------------------------------------------
+namespace {
+
+Result<Qb> CodedCustomers(TransactionManager* mgr, const Config& cfg) {
+  Qb c(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(c.Scan("customer", {c::kCustkey, c::kPhone, c::kAcctbal}));
+  c.Project(Es(c.Col(0), e::Substr(c.Col(1), 1, 2), c.Col(2)), {I64, VC, D2});
+  c.Select(e::In(c.Col(1),
+                 {Value::String("13"), Value::String("31"), Value::String("23"),
+                  Value::String("29"), Value::String("30"), Value::String("18"),
+                  Value::String("17")}));
+  return c;  // (custkey, cntrycode, acctbal)
+}
+
+}  // namespace
+
+Result<OperatorPtr> BuildQ22(TransactionManager* mgr, const Config& cfg,
+                             QueryInfo* info) {
+  VWISE_ASSIGN_OR_RETURN(Qb avg, CodedCustomers(mgr, cfg));
+  avg.Select(e::Gt(avg.Col(2), e::Dec(0.0, 2)));
+  avg.Agg({}, {AggSpec::Avg(2)}, {F64});      // avg acctbal (cents)
+  avg.Project(Es(e::I64(1), avg.Col(0)), {I64, F64});
+
+  VWISE_ASSIGN_OR_RETURN(Qb c, CodedCustomers(mgr, cfg));
+  c.Project(Es(c.Col(0), c.Col(1), c.Col(2), e::I64(1)), {I64, VC, D2, I64});
+  c.Join(std::move(avg), JoinType::kInner, {3}, {0}, {1},
+         e::Gt(e::ToF64(e::Col(2, I64)), e::Col(4, F64)));
+
+  Qb o(mgr, cfg);
+  VWISE_RETURN_IF_ERROR(o.Scan("orders", {o::kCustkey}));
+  c.Join(std::move(o), JoinType::kLeftAnti, {0}, {0});
+
+  c.Agg({1}, {AggSpec::CountStar(), AggSpec::Sum(2)}, {VC, I64, D2});
+  c.Sort({{0, true}});
+  SetInfo(info, {"cntrycode", "numcust", "totacctbal"});
+  return c.Build();
+}
+
+}  // namespace vwise::tpch::internal

@@ -1,0 +1,42 @@
+#ifndef VWISE_TPCH_QUERIES_INTERNAL_H_
+#define VWISE_TPCH_QUERIES_INTERNAL_H_
+
+#include "tpch/queries.h"
+#include "tpch/query_builder.h"
+
+namespace vwise::tpch::internal {
+
+// One builder per query, split across two translation units.
+#define VWISE_TPCH_DECLARE_Q(n) \
+  Result<OperatorPtr> BuildQ##n(TransactionManager* mgr, const Config& cfg, \
+                                QueryInfo* info);
+VWISE_TPCH_DECLARE_Q(1)
+VWISE_TPCH_DECLARE_Q(2)
+VWISE_TPCH_DECLARE_Q(3)
+VWISE_TPCH_DECLARE_Q(4)
+VWISE_TPCH_DECLARE_Q(5)
+VWISE_TPCH_DECLARE_Q(6)
+VWISE_TPCH_DECLARE_Q(7)
+VWISE_TPCH_DECLARE_Q(8)
+VWISE_TPCH_DECLARE_Q(9)
+VWISE_TPCH_DECLARE_Q(10)
+VWISE_TPCH_DECLARE_Q(11)
+VWISE_TPCH_DECLARE_Q(12)
+VWISE_TPCH_DECLARE_Q(13)
+VWISE_TPCH_DECLARE_Q(14)
+VWISE_TPCH_DECLARE_Q(15)
+VWISE_TPCH_DECLARE_Q(16)
+VWISE_TPCH_DECLARE_Q(17)
+VWISE_TPCH_DECLARE_Q(18)
+VWISE_TPCH_DECLARE_Q(19)
+VWISE_TPCH_DECLARE_Q(20)
+VWISE_TPCH_DECLARE_Q(21)
+VWISE_TPCH_DECLARE_Q(22)
+#undef VWISE_TPCH_DECLARE_Q
+
+// Scale factor inferred from the loaded supplier cardinality.
+Result<double> InferScaleFactor(TransactionManager* mgr);
+
+}  // namespace vwise::tpch::internal
+
+#endif  // VWISE_TPCH_QUERIES_INTERNAL_H_

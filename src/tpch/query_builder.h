@@ -1,0 +1,17 @@
+#ifndef VWISE_TPCH_QUERY_BUILDER_H_
+#define VWISE_TPCH_QUERY_BUILDER_H_
+
+#include "planner/plan_builder.h"
+#include "tpch/schema.h"
+
+namespace vwise::tpch {
+
+// TPC-H plans are written against the generic plan builder.
+using Qb = ::vwise::PlanBuilder;
+using ::vwise::Es;
+using ::vwise::Fs;
+using ::vwise::Revenue;
+
+}  // namespace vwise::tpch
+
+#endif  // VWISE_TPCH_QUERY_BUILDER_H_

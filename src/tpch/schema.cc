@@ -1,0 +1,100 @@
+#include "tpch/schema.h"
+
+namespace vwise::tpch {
+
+namespace {
+DataType Dec2() { return DataType::Decimal(2); }
+}  // namespace
+
+TableSchema RegionSchema() {
+  return TableSchema("region", {{"r_regionkey", DataType::Int64()},
+                                {"r_name", DataType::Varchar()},
+                                {"r_comment", DataType::Varchar()}});
+}
+
+TableSchema NationSchema() {
+  return TableSchema("nation", {{"n_nationkey", DataType::Int64()},
+                                {"n_name", DataType::Varchar()},
+                                {"n_regionkey", DataType::Int64()},
+                                {"n_comment", DataType::Varchar()}});
+}
+
+TableSchema SupplierSchema() {
+  return TableSchema("supplier", {{"s_suppkey", DataType::Int64()},
+                                  {"s_name", DataType::Varchar()},
+                                  {"s_address", DataType::Varchar()},
+                                  {"s_nationkey", DataType::Int64()},
+                                  {"s_phone", DataType::Varchar()},
+                                  {"s_acctbal", Dec2()},
+                                  {"s_comment", DataType::Varchar()}});
+}
+
+TableSchema PartSchema() {
+  return TableSchema("part", {{"p_partkey", DataType::Int64()},
+                              {"p_name", DataType::Varchar()},
+                              {"p_mfgr", DataType::Varchar()},
+                              {"p_brand", DataType::Varchar()},
+                              {"p_type", DataType::Varchar()},
+                              {"p_size", DataType::Int64()},
+                              {"p_container", DataType::Varchar()},
+                              {"p_retailprice", Dec2()},
+                              {"p_comment", DataType::Varchar()}});
+}
+
+TableSchema PartsuppSchema() {
+  return TableSchema("partsupp", {{"ps_partkey", DataType::Int64()},
+                                  {"ps_suppkey", DataType::Int64()},
+                                  {"ps_availqty", DataType::Int64()},
+                                  {"ps_supplycost", Dec2()},
+                                  {"ps_comment", DataType::Varchar()}});
+}
+
+TableSchema CustomerSchema() {
+  return TableSchema("customer", {{"c_custkey", DataType::Int64()},
+                                  {"c_name", DataType::Varchar()},
+                                  {"c_address", DataType::Varchar()},
+                                  {"c_nationkey", DataType::Int64()},
+                                  {"c_phone", DataType::Varchar()},
+                                  {"c_acctbal", Dec2()},
+                                  {"c_mktsegment", DataType::Varchar()},
+                                  {"c_comment", DataType::Varchar()}});
+}
+
+TableSchema OrdersSchema() {
+  return TableSchema("orders", {{"o_orderkey", DataType::Int64()},
+                                {"o_custkey", DataType::Int64()},
+                                {"o_orderstatus", DataType::Varchar()},
+                                {"o_totalprice", Dec2()},
+                                {"o_orderdate", DataType::Date()},
+                                {"o_orderpriority", DataType::Varchar()},
+                                {"o_clerk", DataType::Varchar()},
+                                {"o_shippriority", DataType::Int64()},
+                                {"o_comment", DataType::Varchar()}});
+}
+
+TableSchema LineitemSchema() {
+  return TableSchema("lineitem", {{"l_orderkey", DataType::Int64()},
+                                  {"l_partkey", DataType::Int64()},
+                                  {"l_suppkey", DataType::Int64()},
+                                  {"l_linenumber", DataType::Int64()},
+                                  {"l_quantity", Dec2()},
+                                  {"l_extendedprice", Dec2()},
+                                  {"l_discount", Dec2()},
+                                  {"l_tax", Dec2()},
+                                  {"l_returnflag", DataType::Varchar()},
+                                  {"l_linestatus", DataType::Varchar()},
+                                  {"l_shipdate", DataType::Date()},
+                                  {"l_commitdate", DataType::Date()},
+                                  {"l_receiptdate", DataType::Date()},
+                                  {"l_shipinstruct", DataType::Varchar()},
+                                  {"l_shipmode", DataType::Varchar()},
+                                  {"l_comment", DataType::Varchar()}});
+}
+
+std::vector<TableSchema> AllSchemas() {
+  return {RegionSchema(),   NationSchema(), SupplierSchema(),
+          PartSchema(),     PartsuppSchema(), CustomerSchema(),
+          OrdersSchema(),   LineitemSchema()};
+}
+
+}  // namespace vwise::tpch

@@ -1,0 +1,58 @@
+#ifndef VWISE_TPCH_SCHEMA_H_
+#define VWISE_TPCH_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+
+namespace vwise::tpch {
+
+// Column indices for plan construction. Order matches the schemas below.
+namespace col {
+namespace r {
+enum { kRegionkey = 0, kName, kComment };
+}
+namespace n {
+enum { kNationkey = 0, kName, kRegionkey, kComment };
+}
+namespace s {
+enum { kSuppkey = 0, kName, kAddress, kNationkey, kPhone, kAcctbal, kComment };
+}
+namespace p {
+enum { kPartkey = 0, kName, kMfgr, kBrand, kType, kSize, kContainer,
+       kRetailprice, kComment };
+}
+namespace ps {
+enum { kPartkey = 0, kSuppkey, kAvailqty, kSupplycost, kComment };
+}
+namespace c {
+enum { kCustkey = 0, kName, kAddress, kNationkey, kPhone, kAcctbal,
+       kMktsegment, kComment };
+}
+namespace o {
+enum { kOrderkey = 0, kCustkey, kOrderstatus, kTotalprice, kOrderdate,
+       kOrderpriority, kClerk, kShippriority, kComment };
+}
+namespace l {
+enum { kOrderkey = 0, kPartkey, kSuppkey, kLinenumber, kQuantity,
+       kExtendedprice, kDiscount, kTax, kReturnflag, kLinestatus, kShipdate,
+       kCommitdate, kReceiptdate, kShipinstruct, kShipmode, kComment };
+}
+}  // namespace col
+
+TableSchema RegionSchema();
+TableSchema NationSchema();
+TableSchema SupplierSchema();
+TableSchema PartSchema();
+TableSchema PartsuppSchema();
+TableSchema CustomerSchema();
+TableSchema OrdersSchema();
+TableSchema LineitemSchema();
+
+// All 8 schemas in load order.
+std::vector<TableSchema> AllSchemas();
+
+}  // namespace vwise::tpch
+
+#endif  // VWISE_TPCH_SCHEMA_H_

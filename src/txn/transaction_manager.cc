@@ -1,0 +1,560 @@
+#include "txn/transaction_manager.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/serialize.h"
+
+namespace vwise {
+
+namespace {
+
+constexpr uint32_t kCatalogMagic = 0x56574354;  // "VWCT"
+
+// Converts one value of a decoded column to a boundary Value.
+Value ColumnValue(const DecodedColumn& col, size_t i) {
+  switch (col.type) {
+    case TypeId::kU8:
+      return Value::Int(col.Data<uint8_t>()[i]);
+    case TypeId::kI32:
+      return Value::Int(col.Data<int32_t>()[i]);
+    case TypeId::kI64:
+      return Value::Int(col.Data<int64_t>()[i]);
+    case TypeId::kF64:
+      return Value::Double(col.Data<double>()[i]);
+    case TypeId::kStr:
+      return Value::String(col.Data<StringVal>()[i].ToString());
+  }
+  return Value::Null();
+}
+
+bool SortedIntersects(const std::vector<uint64_t>& a,
+                      const std::vector<uint64_t>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      i++;
+    } else if (a[i] > b[j]) {
+      j++;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Transaction
+// ---------------------------------------------------------------------------
+
+Result<Transaction::PerTable*> Transaction::Touch(const std::string& table) {
+  VWISE_CHECK_MSG(!finished_, "transaction already finished");
+  auto it = tables_.find(table);
+  if (it != tables_.end()) return &it->second;
+  VWISE_ASSIGN_OR_RETURN(TableSnapshot snap, mgr_->GetSnapshot(table));
+  PerTable pt;
+  pt.snapshot_version = snap.version;
+  pt.stable = snap.stable;
+  pt.snapshot_pdt = snap.deltas;
+  pt.view = snap.deltas ? std::shared_ptr<Pdt>(snap.deltas->Clone())
+                        : std::make_shared<Pdt>();
+  pt.visible_rows = snap.visible_rows();
+  return &tables_.emplace(table, std::move(pt)).first->second;
+}
+
+Status Transaction::Insert(const std::string& table, uint64_t rid,
+                           std::vector<Value> row) {
+  VWISE_ASSIGN_OR_RETURN(PerTable * pt, Touch(table));
+  if (rid > pt->visible_rows) {
+    return Status::InvalidArgument("insert position beyond table end");
+  }
+  PdtLogOp op;
+  op.kind = PdtOpKind::kIns;
+  op.rid = rid;
+  op.is_append = rid == pt->visible_rows;
+  op.row = row;
+  VWISE_RETURN_IF_ERROR(pt->view->Insert(rid, std::move(row)));
+  pt->ops.push_back(std::move(op));
+  pt->visible_rows++;
+  return Status::OK();
+}
+
+Status Transaction::Append(const std::string& table, std::vector<Value> row) {
+  VWISE_ASSIGN_OR_RETURN(PerTable * pt, Touch(table));
+  return Insert(table, pt->visible_rows, std::move(row));
+}
+
+Status Transaction::Delete(const std::string& table, uint64_t rid) {
+  VWISE_ASSIGN_OR_RETURN(PerTable * pt, Touch(table));
+  if (rid >= pt->visible_rows) {
+    return Status::InvalidArgument("delete position beyond table end");
+  }
+  ResolvedRow resolved;
+  VWISE_RETURN_IF_ERROR(pt->view->Delete(rid, &resolved));
+  PdtLogOp op;
+  op.kind = PdtOpKind::kDel;
+  op.rid = rid;
+  if (resolved.is_delta) {
+    pt->touched_delta = true;
+  } else {
+    op.has_sid = true;
+    op.sid = resolved.sid;
+    pt->touched_sids.push_back(resolved.sid);
+  }
+  pt->ops.push_back(std::move(op));
+  pt->visible_rows--;
+  return Status::OK();
+}
+
+Status Transaction::Modify(const std::string& table, uint64_t rid,
+                           uint32_t col, Value v) {
+  VWISE_ASSIGN_OR_RETURN(PerTable * pt, Touch(table));
+  if (rid >= pt->visible_rows) {
+    return Status::InvalidArgument("modify position beyond table end");
+  }
+  ResolvedRow resolved;
+  VWISE_RETURN_IF_ERROR(pt->view->Modify(rid, col, v, &resolved));
+  PdtLogOp op;
+  op.kind = PdtOpKind::kMod;
+  op.rid = rid;
+  op.col = col;
+  op.value = std::move(v);
+  if (resolved.is_delta) {
+    pt->touched_delta = true;
+  } else {
+    op.has_sid = true;
+    op.sid = resolved.sid;
+    pt->touched_sids.push_back(resolved.sid);
+  }
+  pt->ops.push_back(std::move(op));
+  return Status::OK();
+}
+
+Result<TableSnapshot> Transaction::GetView(const std::string& table) {
+  VWISE_ASSIGN_OR_RETURN(PerTable * pt, Touch(table));
+  TableSnapshot snap;
+  snap.schema = mgr_->GetSchema(table);
+  snap.stable = pt->stable;
+  snap.deltas = pt->view;
+  snap.version = pt->snapshot_version;
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// TransactionManager: open / catalog
+// ---------------------------------------------------------------------------
+
+TransactionManager::~TransactionManager() = default;
+
+std::string TransactionManager::TableFilePath(const std::string& name,
+                                              uint64_t version) const {
+  return dir_ + "/" + name + ".v" + std::to_string(version);
+}
+std::string TransactionManager::CatalogPath() const { return dir_ + "/CATALOG"; }
+std::string TransactionManager::WalPath() const { return dir_ + "/wal.log"; }
+
+Result<std::unique_ptr<TransactionManager>> TransactionManager::Open(
+    const std::string& dir, const Config& config, IoDevice* device,
+    BufferManager* buffers) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("mkdir " + dir + ": " + std::strerror(errno));
+  }
+  auto mgr = std::unique_ptr<TransactionManager>(
+      new TransactionManager(dir, config, device, buffers));
+  VWISE_RETURN_IF_ERROR(mgr->LoadCatalog());
+  {
+    std::lock_guard<std::mutex> lock(mgr->mu_);
+    for (auto& [name, st] : mgr->tables_) {
+      (void)name;
+      VWISE_RETURN_IF_ERROR(mgr->OpenTableFileLocked(&st));
+    }
+    VWISE_RETURN_IF_ERROR(mgr->RecoverLocked());
+  }
+  VWISE_ASSIGN_OR_RETURN(
+      mgr->wal_, Wal::Open(mgr->WalPath(), device, config.wal_sync_on_commit));
+  return mgr;
+}
+
+Status TransactionManager::OpenTableFileLocked(TableState* st) {
+  VWISE_ASSIGN_OR_RETURN(
+      auto tf, TableFile::Open(TableFilePath(st->schema.name(), st->file_version),
+                               st->schema, device_, buffers_));
+  st->stable = std::shared_ptr<TableFile>(std::move(tf));
+  return Status::OK();
+}
+
+Status TransactionManager::SaveCatalogLocked() {
+  std::vector<uint8_t> buf;
+  ser::Put<uint32_t>(&buf, kCatalogMagic);
+  ser::Put<uint32_t>(&buf, static_cast<uint32_t>(tables_.size()));
+  for (const auto& [name, st] : tables_) {
+    ser::PutString(&buf, name);
+    ser::Put<uint32_t>(&buf, static_cast<uint32_t>(st.schema.num_columns()));
+    for (const auto& col : st.schema.columns()) {
+      ser::PutString(&buf, col.name);
+      ser::Put<uint8_t>(&buf, static_cast<uint8_t>(col.type.kind));
+      ser::Put<uint8_t>(&buf, col.type.scale);
+      ser::Put<uint8_t>(&buf, col.nullable ? 1 : 0);
+    }
+    ser::Put<uint32_t>(&buf, static_cast<uint32_t>(st.groups.groups.size()));
+    for (const auto& g : st.groups.groups) {
+      ser::Put<uint32_t>(&buf, static_cast<uint32_t>(g.size()));
+      for (uint32_t c : g) ser::Put<uint32_t>(&buf, c);
+    }
+    ser::Put<uint64_t>(&buf, st.file_version);
+  }
+  std::string tmp = CatalogPath() + ".tmp";
+  {
+    VWISE_ASSIGN_OR_RETURN(auto file, IoFile::Create(tmp, device_));
+    VWISE_RETURN_IF_ERROR(file->Append(buf.data(), buf.size()));
+    VWISE_RETURN_IF_ERROR(file->Sync());
+  }
+  if (::rename(tmp.c_str(), CatalogPath().c_str()) != 0) {
+    return Status::IOError("rename catalog: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status TransactionManager::LoadCatalog() {
+  struct stat st;
+  if (::stat(CatalogPath().c_str(), &st) != 0) return Status::OK();  // fresh db
+  VWISE_ASSIGN_OR_RETURN(auto file, IoFile::OpenRead(CatalogPath(), device_));
+  std::vector<uint8_t> buf(file->size());
+  VWISE_RETURN_IF_ERROR(file->Read(0, buf.size(), buf.data()));
+  ser::Reader r(buf.data(), buf.size());
+  uint32_t magic, n_tables;
+  VWISE_RETURN_IF_ERROR(r.Get(&magic));
+  if (magic != kCatalogMagic) return Status::Corruption("bad catalog magic");
+  VWISE_RETURN_IF_ERROR(r.Get(&n_tables));
+  for (uint32_t t = 0; t < n_tables; t++) {
+    std::string name;
+    VWISE_RETURN_IF_ERROR(r.GetString(&name));
+    uint32_t n_cols;
+    VWISE_RETURN_IF_ERROR(r.Get(&n_cols));
+    std::vector<ColumnDef> cols;
+    for (uint32_t c = 0; c < n_cols; c++) {
+      std::string cname;
+      uint8_t kind, scale, nullable;
+      VWISE_RETURN_IF_ERROR(r.GetString(&cname));
+      VWISE_RETURN_IF_ERROR(r.Get(&kind));
+      VWISE_RETURN_IF_ERROR(r.Get(&scale));
+      VWISE_RETURN_IF_ERROR(r.Get(&nullable));
+      cols.emplace_back(cname, DataType(static_cast<LType>(kind), scale),
+                        nullable != 0);
+    }
+    TableState ts;
+    ts.schema = TableSchema(name, std::move(cols));
+    uint32_t n_groups;
+    VWISE_RETURN_IF_ERROR(r.Get(&n_groups));
+    ts.groups.groups.resize(n_groups);
+    for (uint32_t g = 0; g < n_groups; g++) {
+      uint32_t sz;
+      VWISE_RETURN_IF_ERROR(r.Get(&sz));
+      ts.groups.groups[g].resize(sz);
+      for (uint32_t i = 0; i < sz; i++) {
+        VWISE_RETURN_IF_ERROR(r.Get(&ts.groups.groups[g][i]));
+      }
+    }
+    VWISE_RETURN_IF_ERROR(r.Get(&ts.file_version));
+    tables_.emplace(name, std::move(ts));
+  }
+  return Status::OK();
+}
+
+Status TransactionManager::RecoverLocked() {
+  VWISE_ASSIGN_OR_RETURN(auto commits, Wal::ReadAll(WalPath(), device_));
+  for (const WalCommit& commit : commits) {
+    for (const auto& [table, ops] : commit.ops) {
+      auto it = tables_.find(table);
+      if (it == tables_.end()) {
+        return Status::Corruption("WAL references unknown table " + table);
+      }
+      TableState& st = it->second;
+      auto pdt = st.committed ? st.committed->Clone() : std::make_unique<Pdt>();
+      for (const PdtLogOp& op : ops) {
+        VWISE_RETURN_IF_ERROR(pdt->Apply(op));
+      }
+      st.committed = std::shared_ptr<const Pdt>(std::move(pdt));
+      st.commit_version = ++next_commit_version_;
+    }
+  }
+  next_txn_id_ = commits.size() + 1;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// DDL / load
+// ---------------------------------------------------------------------------
+
+Status TransactionManager::CreateTable(const TableSchema& schema,
+                                       const ColumnGroups& groups) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.count(schema.name()) > 0) {
+    return Status::AlreadyExists("table " + schema.name());
+  }
+  TableState st;
+  st.schema = schema;
+  st.groups = groups;
+  st.file_version = 0;
+  // Write an empty initial version.
+  TableWriter writer(schema, groups, config_, TableFilePath(schema.name(), 0),
+                     device_);
+  VWISE_RETURN_IF_ERROR(writer.Finish());
+  VWISE_RETURN_IF_ERROR(OpenTableFileLocked(&st));
+  tables_.emplace(schema.name(), std::move(st));
+  return SaveCatalogLocked();
+}
+
+Status TransactionManager::BulkLoad(
+    const std::string& table, const std::function<Status(TableWriter*)>& fill) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table " + table);
+  TableState& st = it->second;
+  if (st.stable->row_count() > 0 || (st.committed && !st.committed->empty())) {
+    return Status::InvalidArgument("bulk load requires an empty table");
+  }
+  uint64_t new_version = st.file_version + 1;
+  std::string path = TableFilePath(table, new_version);
+  TableWriter writer(st.schema, st.groups, config_, path, device_);
+  VWISE_RETURN_IF_ERROR(fill(&writer));
+  VWISE_RETURN_IF_ERROR(writer.Finish());
+  std::string old_path = TableFilePath(table, st.file_version);
+  st.file_version = new_version;
+  VWISE_RETURN_IF_ERROR(OpenTableFileLocked(&st));
+  ::unlink(old_path.c_str());
+  return SaveCatalogLocked();
+}
+
+bool TransactionManager::HasTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.count(name) > 0;
+}
+
+const TableSchema* TransactionManager::GetSchema(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second.schema;
+}
+
+std::vector<std::string> TransactionManager::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, st] : tables_) {
+    (void)st;
+    names.push_back(name);
+  }
+  return names;
+}
+
+Result<TableSnapshot> TransactionManager::GetSnapshot(
+    const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table " + table);
+  const TableState& st = it->second;
+  TableSnapshot snap;
+  snap.schema = &st.schema;
+  snap.stable = st.stable;
+  snap.deltas = st.committed;
+  snap.version = st.commit_version;
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Transaction> TransactionManager::Begin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::unique_ptr<Transaction>(new Transaction(this, next_txn_id_++));
+}
+
+void TransactionManager::Abort(Transaction* txn) {
+  txn->finished_ = true;
+  std::lock_guard<std::mutex> lock(mu_);
+  n_aborts_++;
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  VWISE_CHECK_MSG(!txn->finished_, "transaction already finished");
+  txn->finished_ = true;
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Read-only transactions commit trivially.
+  bool has_writes = false;
+  for (auto& [name, pt] : txn->tables_) {
+    (void)name;
+    if (!pt.ops.empty()) has_writes = true;
+    std::sort(pt.touched_sids.begin(), pt.touched_sids.end());
+  }
+  if (!has_writes) {
+    n_commits_++;
+    return Status::OK();
+  }
+
+  // --- Validate: first-committer-wins on overlapping stable rows. ---------
+  for (auto& [name, pt] : txn->tables_) {
+    if (pt.ops.empty()) continue;
+    TableState& st = tables_.at(name);
+    for (const CommitEntry& entry : st.commit_log) {
+      if (entry.version <= pt.snapshot_version) continue;
+      if (entry.touched_delta && pt.touched_delta) {
+        n_aborts_++;
+        return Status::TransactionConflict(
+            "concurrent transactions touched delta rows of " + name);
+      }
+      if (SortedIntersects(entry.touched_sids, pt.touched_sids)) {
+        n_aborts_++;
+        return Status::TransactionConflict(
+            "concurrent update of the same rows in " + name);
+      }
+    }
+  }
+
+  // --- Re-anchor and apply. -------------------------------------------------
+  std::map<std::string, std::shared_ptr<const Pdt>> new_pdts;
+  WalCommit wc;
+  wc.txn_id = txn->id_;
+  for (auto& [name, pt] : txn->tables_) {
+    if (pt.ops.empty()) continue;
+    TableState& st = tables_.at(name);
+    auto pdt = st.committed ? st.committed->Clone() : std::make_unique<Pdt>();
+    uint64_t visible =
+        static_cast<uint64_t>(static_cast<int64_t>(st.stable->row_count()) +
+                              pdt->net_displacement());
+    bool rebased = st.commit_version != pt.snapshot_version;
+    std::vector<PdtLogOp>& final_ops = wc.ops[name];
+    final_ops.reserve(pt.ops.size());
+    for (const PdtLogOp& op : pt.ops) {
+      PdtLogOp f = op;
+      if (rebased) {
+        if (f.has_sid) {
+          // Exact: recompute the stable row's current position.
+          f.rid = pdt->RidOfStableRow(f.sid);
+        } else if (f.kind == PdtOpKind::kIns && f.is_append) {
+          f.rid = visible;
+        } else {
+          // Positional heuristic for delta-row targets under concurrency;
+          // validation already guaranteed row-level disjointness.
+          if (f.rid > visible) f.rid = visible;
+        }
+      }
+      VWISE_RETURN_IF_ERROR(pdt->Apply(f));
+      if (f.kind == PdtOpKind::kIns) visible++;
+      if (f.kind == PdtOpKind::kDel) visible--;
+      final_ops.push_back(std::move(f));
+    }
+    new_pdts[name] = std::shared_ptr<const Pdt>(std::move(pdt));
+  }
+
+  // --- WAL first, then publish. ----------------------------------------------
+  VWISE_RETURN_IF_ERROR(wal_->AppendCommit(wc));
+  uint64_t version = ++next_commit_version_;
+  for (auto& [name, pt] : txn->tables_) {
+    if (pt.ops.empty()) continue;
+    TableState& st = tables_.at(name);
+    st.committed = new_pdts[name];
+    st.commit_version = version;
+    st.commit_log.push_back(
+        CommitEntry{version, std::move(pt.touched_sids), pt.touched_delta});
+  }
+  n_commits_++;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint
+// ---------------------------------------------------------------------------
+
+Status TransactionManager::CheckpointTableLocked(const std::string& name,
+                                                 TableState* st) {
+  if (!st->committed || st->committed->empty()) {
+    st->commit_log.clear();
+    return Status::OK();
+  }
+  uint64_t new_version = st->file_version + 1;
+  std::string path = TableFilePath(name, new_version);
+  TableWriter writer(st->schema, st->groups, config_, path, device_);
+
+  // Stream the merge of stable + deltas into the new version, decoding the
+  // stable image stripe by stripe.
+  size_t n_cols = st->schema.num_columns();
+  std::vector<DecodedColumn> cols(n_cols);
+  size_t cur_stripe = SIZE_MAX;
+  auto load_stripe_for = [&](uint64_t sid, size_t* local) -> Status {
+    size_t stripe = 0;
+    while (stripe + 1 < st->stable->stripe_count() &&
+           st->stable->stripe_first_row(stripe + 1) <= sid) {
+      stripe++;
+    }
+    if (stripe != cur_stripe) {
+      for (size_t c = 0; c < n_cols; c++) {
+        VWISE_RETURN_IF_ERROR(st->stable->ReadStripeColumn(
+            stripe, static_cast<uint32_t>(c), &cols[c]));
+      }
+      cur_stripe = stripe;
+    }
+    *local = static_cast<size_t>(sid - st->stable->stripe_first_row(stripe));
+    return Status::OK();
+  };
+  auto stable_row = [&](uint64_t sid, std::vector<Value>* row) -> Status {
+    size_t local = 0;
+    VWISE_RETURN_IF_ERROR(load_stripe_for(sid, &local));
+    row->clear();
+    for (size_t c = 0; c < n_cols; c++) row->push_back(ColumnValue(cols[c], local));
+    return Status::OK();
+  };
+
+  Pdt::MergeScanner scanner(*st->committed, st->stable->row_count());
+  Pdt::MergeEvent ev;
+  std::vector<Value> row;
+  while (scanner.Next(&ev, 4096)) {
+    switch (ev.kind) {
+      case Pdt::MergeEvent::kStableRun:
+        for (uint64_t i = 0; i < ev.count; i++) {
+          VWISE_RETURN_IF_ERROR(stable_row(ev.sid + i, &row));
+          VWISE_RETURN_IF_ERROR(writer.AppendRow(row));
+        }
+        break;
+      case Pdt::MergeEvent::kModifiedRow: {
+        VWISE_RETURN_IF_ERROR(stable_row(ev.sid, &row));
+        for (const auto& [col, v] : ev.rec->mods) row[col] = v;
+        VWISE_RETURN_IF_ERROR(writer.AppendRow(row));
+        break;
+      }
+      case Pdt::MergeEvent::kDeletedRow:
+        break;
+      case Pdt::MergeEvent::kInsertedRow:
+        VWISE_RETURN_IF_ERROR(writer.AppendRow(ev.rec->row));
+        break;
+    }
+  }
+  VWISE_RETURN_IF_ERROR(writer.Finish());
+
+  std::string old_path = TableFilePath(name, st->file_version);
+  st->file_version = new_version;
+  VWISE_RETURN_IF_ERROR(OpenTableFileLocked(st));
+  st->committed = nullptr;
+  st->commit_log.clear();
+  ::unlink(old_path.c_str());
+  return Status::OK();
+}
+
+Status TransactionManager::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, st] : tables_) {
+    VWISE_RETURN_IF_ERROR(CheckpointTableLocked(name, &st));
+  }
+  VWISE_RETURN_IF_ERROR(SaveCatalogLocked());
+  return wal_->Reset();
+}
+
+}  // namespace vwise

@@ -1,0 +1,173 @@
+#ifndef VWISE_TXN_TRANSACTION_MANAGER_H_
+#define VWISE_TXN_TRANSACTION_MANAGER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/config.h"
+#include "common/result.h"
+#include "pdt/pdt.h"
+#include "storage/buffer_manager.h"
+#include "storage/table_file.h"
+#include "txn/wal.h"
+
+namespace vwise {
+
+// A consistent view of one table: the immutable stable image plus the PDT
+// deltas visible to the reader. `deltas` may be null (no deltas).
+struct TableSnapshot {
+  const TableSchema* schema = nullptr;
+  std::shared_ptr<TableFile> stable;
+  std::shared_ptr<const Pdt> deltas;
+  uint64_t version = 0;
+
+  uint64_t visible_rows() const {
+    uint64_t n = stable->row_count();
+    if (deltas) n = static_cast<uint64_t>(static_cast<int64_t>(n) + deltas->net_displacement());
+    return n;
+  }
+};
+
+class TransactionManager;
+
+// An interactive transaction: positional updates against a snapshot, with
+// read-your-writes views, validated optimistically at commit (paper Sec.
+// I-B: "optimistic PDT-based concurrency control").
+class Transaction {
+ public:
+  uint64_t id() const { return id_; }
+
+  Status Insert(const std::string& table, uint64_t rid, std::vector<Value> row);
+  // Insert at the end of the visible table.
+  Status Append(const std::string& table, std::vector<Value> row);
+  Status Delete(const std::string& table, uint64_t rid);
+  Status Modify(const std::string& table, uint64_t rid, uint32_t col, Value v);
+
+  // Snapshot including this transaction's own uncommitted writes.
+  Result<TableSnapshot> GetView(const std::string& table);
+
+ private:
+  friend class TransactionManager;
+
+  struct PerTable {
+    uint64_t snapshot_version = 0;
+    std::shared_ptr<TableFile> stable;
+    std::shared_ptr<const Pdt> snapshot_pdt;  // may be null
+    std::shared_ptr<Pdt> view;                // snapshot clone + own ops
+    std::vector<PdtLogOp> ops;
+    std::vector<uint64_t> touched_sids;  // stable rows deleted/modified
+    bool touched_delta = false;          // modified rows born in deltas
+    uint64_t visible_rows = 0;
+  };
+
+  explicit Transaction(TransactionManager* mgr, uint64_t id)
+      : mgr_(mgr), id_(id) {}
+
+  Result<PerTable*> Touch(const std::string& table);
+
+  TransactionManager* mgr_;
+  uint64_t id_;
+  bool finished_ = false;
+  std::map<std::string, PerTable> tables_;
+};
+
+// Owns the catalog, table versions, committed PDTs, the WAL and commit
+// validation. One instance per database directory.
+class TransactionManager {
+ public:
+  // Opens (or initializes) the database in `dir`, replaying the WAL.
+  static Result<std::unique_ptr<TransactionManager>> Open(
+      const std::string& dir, const Config& config, IoDevice* device,
+      BufferManager* buffers);
+
+  ~TransactionManager();
+
+  // Creates an empty table (durably recorded in the catalog).
+  Status CreateTable(const TableSchema& schema, const ColumnGroups& groups);
+
+  // Bulk-loads the initial version of `table` by streaming rows into the
+  // provided writer callback. Only valid while the table is empty.
+  Status BulkLoad(const std::string& table,
+                  const std::function<Status(TableWriter*)>& fill);
+
+  bool HasTable(const std::string& name) const;
+  const TableSchema* GetSchema(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  // Latest committed snapshot (auto-commit reads).
+  Result<TableSnapshot> GetSnapshot(const std::string& table) const;
+
+  std::unique_ptr<Transaction> Begin();
+  // Validates and applies the transaction. On kTransactionConflict the
+  // transaction is rolled back and may be retried by the caller.
+  Status Commit(Transaction* txn);
+  void Abort(Transaction* txn);
+
+  // Merges every table's committed deltas into new version files, then
+  // truncates the WAL.
+  Status Checkpoint();
+
+  const Config& config() const { return config_; }
+  IoDevice* device() { return device_; }
+  BufferManager* buffers() { return buffers_; }
+
+  // Counters for benches/tests.
+  uint64_t commits() const { return n_commits_; }
+  uint64_t aborts() const { return n_aborts_; }
+
+ private:
+  friend class Transaction;
+
+  struct CommitEntry {
+    uint64_t version;
+    std::vector<uint64_t> touched_sids;  // sorted
+    bool touched_delta;
+  };
+
+  struct TableState {
+    TableSchema schema;
+    ColumnGroups groups;
+    uint64_t file_version = 0;  // version number in the file name
+    std::shared_ptr<TableFile> stable;
+    std::shared_ptr<const Pdt> committed;  // may be null (empty)
+    uint64_t commit_version = 0;
+    std::vector<CommitEntry> commit_log;  // since last checkpoint
+  };
+
+  TransactionManager(std::string dir, const Config& config, IoDevice* device,
+                     BufferManager* buffers)
+      : dir_(std::move(dir)), config_(config), device_(device),
+        buffers_(buffers) {}
+
+  std::string TableFilePath(const std::string& name, uint64_t version) const;
+  std::string CatalogPath() const;
+  std::string WalPath() const;
+
+  Status SaveCatalogLocked();
+  Status LoadCatalog();
+  Status RecoverLocked();
+  Status OpenTableFileLocked(TableState* st);
+  Status CheckpointTableLocked(const std::string& name, TableState* st);
+
+  std::string dir_;
+  Config config_;
+  IoDevice* device_;
+  BufferManager* buffers_;
+  std::unique_ptr<Wal> wal_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, TableState> tables_;
+  uint64_t next_txn_id_ = 1;
+  uint64_t next_commit_version_ = 1;
+  uint64_t n_commits_ = 0;
+  uint64_t n_aborts_ = 0;
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_TXN_TRANSACTION_MANAGER_H_

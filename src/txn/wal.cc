@@ -1,0 +1,126 @@
+#include "txn/wal.h"
+
+#include <sys/stat.h>
+
+#include "common/crc32.h"
+#include "common/macros.h"
+#include "common/serialize.h"
+
+namespace vwise {
+
+namespace {
+
+constexpr uint32_t kRecordMagic = 0x57414c52;  // "WALR"
+
+void PutOp(std::vector<uint8_t>* out, const PdtLogOp& op) {
+  uint8_t flags = (op.is_append ? 1 : 0) | (op.has_sid ? 2 : 0);
+  ser::Put<uint8_t>(out, static_cast<uint8_t>(op.kind));
+  ser::Put<uint8_t>(out, flags);
+  ser::Put<uint64_t>(out, op.rid);
+  ser::Put<uint64_t>(out, op.sid);
+  ser::Put<uint32_t>(out, op.col);
+  ser::PutValue(out, op.value);
+  ser::Put<uint32_t>(out, static_cast<uint32_t>(op.row.size()));
+  for (const Value& v : op.row) ser::PutValue(out, v);
+}
+
+Status GetOp(ser::Reader* r, PdtLogOp* op) {
+  uint8_t kind, flags;
+  VWISE_RETURN_IF_ERROR(r->Get(&kind));
+  if (kind > 2) return Status::Corruption("bad op kind");
+  op->kind = static_cast<PdtOpKind>(kind);
+  VWISE_RETURN_IF_ERROR(r->Get(&flags));
+  op->is_append = (flags & 1) != 0;
+  op->has_sid = (flags & 2) != 0;
+  VWISE_RETURN_IF_ERROR(r->Get(&op->rid));
+  VWISE_RETURN_IF_ERROR(r->Get(&op->sid));
+  VWISE_RETURN_IF_ERROR(r->Get(&op->col));
+  VWISE_RETURN_IF_ERROR(r->GetValue(&op->value));
+  uint32_t n;
+  VWISE_RETURN_IF_ERROR(r->Get(&n));
+  op->row.resize(n);
+  for (uint32_t i = 0; i < n; i++) {
+    VWISE_RETURN_IF_ERROR(r->GetValue(&op->row[i]));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
+                                       IoDevice* device, bool sync_on_commit) {
+  VWISE_ASSIGN_OR_RETURN(auto file, IoFile::OpenAppend(path, device));
+  return std::unique_ptr<Wal>(new Wal(std::move(file), sync_on_commit));
+}
+
+Status Wal::AppendCommit(const WalCommit& commit) {
+  std::vector<uint8_t> payload;
+  ser::Put<uint64_t>(&payload, commit.txn_id);
+  ser::Put<uint32_t>(&payload, static_cast<uint32_t>(commit.ops.size()));
+  for (const auto& [table, ops] : commit.ops) {
+    ser::PutString(&payload, table);
+    ser::Put<uint32_t>(&payload, static_cast<uint32_t>(ops.size()));
+    for (const auto& op : ops) PutOp(&payload, op);
+  }
+  std::vector<uint8_t> record;
+  ser::Put<uint32_t>(&record, kRecordMagic);
+  ser::Put<uint32_t>(&record, static_cast<uint32_t>(payload.size()));
+  ser::Put<uint32_t>(&record, Crc32(payload.data(), payload.size()));
+  ser::PutBytes(&record, payload.data(), payload.size());
+  VWISE_RETURN_IF_ERROR(file_->Append(record.data(), record.size()));
+  if (sync_) return file_->Sync();
+  return Status::OK();
+}
+
+Status Wal::Reset() {
+  VWISE_RETURN_IF_ERROR(file_->Truncate(0));
+  return file_->Sync();
+}
+
+Result<std::vector<WalCommit>> Wal::ReadAll(const std::string& path,
+                                            IoDevice* device) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return std::vector<WalCommit>{};  // no log, nothing to replay
+  }
+  VWISE_ASSIGN_OR_RETURN(auto file, IoFile::OpenRead(path, device));
+  std::vector<uint8_t> bytes(file->size());
+  if (!bytes.empty()) {
+    VWISE_RETURN_IF_ERROR(file->Read(0, bytes.size(), bytes.data()));
+  }
+  std::vector<WalCommit> commits;
+  size_t pos = 0;
+  while (pos + 12 <= bytes.size()) {
+    uint32_t magic, len, crc;
+    std::memcpy(&magic, bytes.data() + pos, 4);
+    std::memcpy(&len, bytes.data() + pos + 4, 4);
+    std::memcpy(&crc, bytes.data() + pos + 8, 4);
+    if (magic != kRecordMagic) {
+      return Status::Corruption("WAL record magic mismatch");
+    }
+    if (pos + 12 + len > bytes.size()) break;  // torn tail write: stop here
+    const uint8_t* payload = bytes.data() + pos + 12;
+    if (Crc32(payload, len) != crc) break;  // torn/corrupt tail: stop here
+    ser::Reader r(payload, len);
+    WalCommit commit;
+    VWISE_RETURN_IF_ERROR(r.Get(&commit.txn_id));
+    uint32_t n_tables;
+    VWISE_RETURN_IF_ERROR(r.Get(&n_tables));
+    for (uint32_t t = 0; t < n_tables; t++) {
+      std::string table;
+      VWISE_RETURN_IF_ERROR(r.GetString(&table));
+      uint32_t n_ops;
+      VWISE_RETURN_IF_ERROR(r.Get(&n_ops));
+      auto& ops = commit.ops[table];
+      ops.resize(n_ops);
+      for (uint32_t i = 0; i < n_ops; i++) {
+        VWISE_RETURN_IF_ERROR(GetOp(&r, &ops[i]));
+      }
+    }
+    commits.push_back(std::move(commit));
+    pos += 12 + len;
+  }
+  return commits;
+}
+
+}  // namespace vwise

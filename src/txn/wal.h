@@ -1,0 +1,53 @@
+#ifndef VWISE_TXN_WAL_H_
+#define VWISE_TXN_WAL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "pdt/pdt.h"
+#include "storage/io_file.h"
+
+namespace vwise {
+
+// Write-ahead log of committed PDT deltas (paper Sec. I-B: "a Write Ahead
+// Log that logs PDTs as they are committed"). Each record is
+// length-prefixed and CRC-protected; recovery replays the longest valid
+// prefix, so torn tail writes are tolerated and interior corruption is
+// detected.
+struct WalCommit {
+  uint64_t txn_id = 0;
+  // Per-table operation lists, in application order.
+  std::map<std::string, std::vector<PdtLogOp>> ops;
+};
+
+class Wal {
+ public:
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path,
+                                           IoDevice* device,
+                                           bool sync_on_commit);
+
+  Status AppendCommit(const WalCommit& commit);
+  // Empties the log (after a checkpoint made all deltas durable in table
+  // files).
+  Status Reset();
+
+  uint64_t size_bytes() const { return file_->size(); }
+
+  // Reads every valid commit record from `path`; stops cleanly at a torn or
+  // missing tail, returns Corruption only for interior damage.
+  static Result<std::vector<WalCommit>> ReadAll(const std::string& path,
+                                                IoDevice* device);
+
+ private:
+  Wal(std::unique_ptr<IoFile> file, bool sync) : file_(std::move(file)), sync_(sync) {}
+
+  std::unique_ptr<IoFile> file_;
+  bool sync_;
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_TXN_WAL_H_

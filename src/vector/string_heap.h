@@ -1,0 +1,60 @@
+#ifndef VWISE_VECTOR_STRING_HEAP_H_
+#define VWISE_VECTOR_STRING_HEAP_H_
+
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/buffer.h"
+#include "vector/types.h"
+
+namespace vwise {
+
+// Arena for string bytes produced during execution (concatenation, substring,
+// decompression of string columns, ...). Vectors holding StringVals into a
+// heap keep a shared_ptr to it so the bytes outlive the producing operator.
+class StringHeap {
+ public:
+  static constexpr size_t kChunkSize = 64 * 1024;
+
+  StringHeap() = default;
+  StringHeap(const StringHeap&) = delete;
+  StringHeap& operator=(const StringHeap&) = delete;
+
+  // Copies `sv` into the arena and returns a StringVal pointing at the copy.
+  StringVal Add(std::string_view sv) {
+    char* dst = Reserve(sv.size());
+    std::memcpy(dst, sv.data(), sv.size());
+    return StringVal(dst, static_cast<uint32_t>(sv.size()));
+  }
+
+  // Reserves `n` writable bytes in the arena.
+  char* Reserve(size_t n) {
+    if (used_ + n > cap_) {
+      size_t size = n > kChunkSize ? n : kChunkSize;
+      chunks_.push_back(Buffer::Allocate(size));
+      cap_ = size;
+      used_ = 0;
+    }
+    char* p = chunks_.back()->As<char>() + used_;
+    used_ += n;
+    return p;
+  }
+
+  // Total bytes handed out; used by execution statistics.
+  size_t bytes_used() const {
+    size_t total = used_;
+    for (size_t i = 0; i + 1 < chunks_.size(); i++) total += chunks_[i]->capacity();
+    return total;
+  }
+
+ private:
+  std::vector<std::shared_ptr<Buffer>> chunks_;
+  size_t used_ = 0;
+  size_t cap_ = 0;
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_VECTOR_STRING_HEAP_H_

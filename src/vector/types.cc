@@ -1,0 +1,41 @@
+#include "vector/types.h"
+
+namespace vwise {
+
+const char* TypeIdToString(TypeId t) {
+  switch (t) {
+    case TypeId::kU8:
+      return "u8";
+    case TypeId::kI32:
+      return "i32";
+    case TypeId::kI64:
+      return "i64";
+    case TypeId::kF64:
+      return "f64";
+    case TypeId::kStr:
+      return "str";
+  }
+  return "?";
+}
+
+std::string DataType::ToString() const {
+  switch (kind) {
+    case LType::kBool:
+      return "BOOL";
+    case LType::kInt32:
+      return "INT32";
+    case LType::kInt64:
+      return "INT64";
+    case LType::kDouble:
+      return "DOUBLE";
+    case LType::kDecimal:
+      return "DECIMAL(" + std::to_string(static_cast<int>(scale)) + ")";
+    case LType::kDate:
+      return "DATE";
+    case LType::kVarchar:
+      return "VARCHAR";
+  }
+  return "?";
+}
+
+}  // namespace vwise

@@ -1,0 +1,112 @@
+#include <filesystem>
+
+#include "api/database.h"
+#include "gtest/gtest.h"
+
+namespace vwise {
+namespace {
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/vwise_api_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::remove_all(dir_);
+    Open();
+  }
+  void TearDown() override {
+    db_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+  void Open() {
+    db_.reset();
+    auto db = Database::Open(dir_, Config());
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+  }
+
+  std::string dir_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DatabaseTest, EndToEndQuickstartFlow) {
+  TableSchema sales("sales", {ColumnDef("day", DataType::Date()),
+                              ColumnDef("item", DataType::Varchar()),
+                              ColumnDef("amount", DataType::Decimal(2))});
+  ASSERT_TRUE(db_->CreateTable(sales).ok());
+  ASSERT_TRUE(db_->BulkLoad("sales", [](TableWriter* w) -> Status {
+    const char* items[] = {"apple", "pear", "plum"};
+    for (int64_t i = 0; i < 3000; i++) {
+      VWISE_RETURN_IF_ERROR(w->AppendRow(
+          {Value::Int(8000 + i % 365), Value::String(items[i % 3]),
+           Value::Int(100 + i % 900)}));
+    }
+    return Status::OK();
+  }).ok());
+
+  // SELECT item, count(*), sum(amount) FROM sales WHERE amount >= 5 GROUP BY item.
+  PlanBuilder q = db_->NewPlan();
+  ASSERT_TRUE(q.Scan("sales", {1, 2}).ok());
+  q.Select(e::Ge(q.Col(1), e::Dec(5.0, 2)));
+  q.Agg({0}, {AggSpec::CountStar(), AggSpec::Sum(1)},
+        {DataType::Varchar(), DataType::Int64(), DataType::Decimal(2)});
+  q.Sort({{0, true}});
+  auto result = db_->Run(&q, {"item", "n", "total"});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 3u);
+  EXPECT_EQ(result->rows[0][0].AsString(), "apple");
+  int64_t n = 0;
+  for (const auto& row : result->rows) n += row[1].AsInt();
+  // amounts are (100 + i%900) cents; >= 500 holds for i%900 in [400,900),
+  // i.e. 500 per full cycle of 900, and 3000 rows = 3 full cycles + 300 low.
+  EXPECT_EQ(n, 1500);
+}
+
+TEST_F(DatabaseTest, TransactionsVisibleThroughQueries) {
+  TableSchema t("t", {ColumnDef("k", DataType::Int64()),
+                      ColumnDef("v", DataType::Int64())});
+  ASSERT_TRUE(db_->CreateTable(t).ok());
+  ASSERT_TRUE(db_->BulkLoad("t", [](TableWriter* w) -> Status {
+    for (int64_t i = 0; i < 10; i++) {
+      VWISE_RETURN_IF_ERROR(w->AppendRow({Value::Int(i), Value::Int(0)}));
+    }
+    return Status::OK();
+  }).ok());
+
+  auto txn = db_->Begin();
+  ASSERT_TRUE(txn->Modify("t", 4, 1, Value::Int(99)).ok());
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+
+  PlanBuilder q = db_->NewPlan();
+  ASSERT_TRUE(q.Scan("t", {0, 1}).ok());
+  q.Select(e::Eq(q.Col(1), e::I64(99)));
+  auto result = db_->Run(&q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].AsInt(), 4);
+}
+
+TEST_F(DatabaseTest, SurvivesReopenWithCheckpoint) {
+  TableSchema t("t", {ColumnDef("k", DataType::Int64())});
+  ASSERT_TRUE(db_->CreateTable(t).ok());
+  auto txn = db_->Begin();
+  for (int64_t i = 0; i < 50; i++) {
+    ASSERT_TRUE(txn->Append("t", {Value::Int(i)}).ok());
+  }
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+  ASSERT_TRUE(db_->Checkpoint().ok());
+  Open();  // reopen from disk
+  PlanBuilder q = db_->NewPlan();
+  ASSERT_TRUE(q.Scan("t", {0}).ok());
+  auto result = db_->Run(&q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 50u);
+}
+
+TEST_F(DatabaseTest, RunRejectsEmptyPlan) {
+  PlanBuilder q = db_->NewPlan();
+  EXPECT_FALSE(db_->Run(&q).ok());
+}
+
+}  // namespace
+}  // namespace vwise

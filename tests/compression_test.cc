@@ -1,0 +1,266 @@
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "compression/codec.h"
+#include "gtest/gtest.h"
+
+namespace vwise {
+namespace {
+
+// --- round-trip helpers -----------------------------------------------------
+
+template <typename T>
+std::vector<T> RoundTrip(Codec codec, TypeId type, const std::vector<T>& in) {
+  auto seg = compression::Encode(codec, type, in.data(), in.size());
+  EXPECT_TRUE(seg.ok()) << seg.status().ToString();
+  std::vector<T> out(in.size());
+  StringHeap heap;
+  Status s = compression::Decode(*seg, out.data(), &heap);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return out;
+}
+
+TEST(PforTest, RoundTripSmallRange) {
+  std::vector<int64_t> in;
+  Rng rng(1);
+  for (int i = 0; i < 5000; i++) in.push_back(1000 + rng.Uniform(0, 255));
+  EXPECT_EQ(RoundTrip(Codec::kPfor, TypeId::kI64, in), in);
+}
+
+TEST(PforTest, RoundTripWithOutliers) {
+  std::vector<int64_t> in;
+  Rng rng(2);
+  for (int i = 0; i < 5000; i++) {
+    in.push_back(rng.Uniform(0, 100));
+    if (i % 97 == 0) in.back() = rng.Next() >> 1;  // big positive outlier
+  }
+  EXPECT_EQ(RoundTrip(Codec::kPfor, TypeId::kI64, in), in);
+}
+
+TEST(PforTest, RoundTripNegatives) {
+  std::vector<int64_t> in = {-100, -5, 0, 3, -77, 42, -100000, 99};
+  EXPECT_EQ(RoundTrip(Codec::kPfor, TypeId::kI64, in), in);
+}
+
+TEST(PforTest, RoundTripInt32) {
+  std::vector<int32_t> in;
+  Rng rng(3);
+  for (int i = 0; i < 3000; i++) in.push_back(static_cast<int32_t>(rng.Uniform(-50, 50)));
+  EXPECT_EQ(RoundTrip(Codec::kPfor, TypeId::kI32, in), in);
+}
+
+TEST(PforTest, EmptyAndSingle) {
+  std::vector<int64_t> empty;
+  EXPECT_EQ(RoundTrip(Codec::kPfor, TypeId::kI64, empty), empty);
+  std::vector<int64_t> one = {12345};
+  EXPECT_EQ(RoundTrip(Codec::kPfor, TypeId::kI64, one), one);
+}
+
+TEST(PforTest, CompressesUniformSmallDomain) {
+  std::vector<int64_t> in(10000);
+  Rng rng(4);
+  for (auto& v : in) v = rng.Uniform(0, 15);  // 4 bits
+  auto seg = compression::Encode(Codec::kPfor, TypeId::kI64, in.data(), in.size());
+  ASSERT_TRUE(seg.ok());
+  // 4 bits/value vs 64 bits/value -> better than 8x counting headers.
+  EXPECT_LT(seg->data.size(), in.size() * 8 / 8);
+}
+
+TEST(PforTest, RejectsStrings) {
+  StringVal sv;
+  EXPECT_FALSE(compression::Encode(Codec::kPfor, TypeId::kStr, &sv, 1).ok());
+}
+
+TEST(PforDeltaTest, RoundTripSorted) {
+  std::vector<int64_t> in;
+  Rng rng(5);
+  int64_t v = 0;
+  for (int i = 0; i < 8000; i++) in.push_back(v += rng.Uniform(0, 3));
+  EXPECT_EQ(RoundTrip(Codec::kPforDelta, TypeId::kI64, in), in);
+}
+
+TEST(PforDeltaTest, RoundTripUnsorted) {
+  std::vector<int64_t> in;
+  Rng rng(6);
+  for (int i = 0; i < 2000; i++) in.push_back(rng.Uniform(-1000000, 1000000));
+  EXPECT_EQ(RoundTrip(Codec::kPforDelta, TypeId::kI64, in), in);
+}
+
+TEST(PforDeltaTest, BeatsPforOnSortedKeys) {
+  // Dense ascending keys: deltas are tiny, absolute values are wide.
+  std::vector<int64_t> in;
+  for (int64_t i = 0; i < 10000; i++) in.push_back(1000000000 + i * 4);
+  auto pfor = compression::Encode(Codec::kPfor, TypeId::kI64, in.data(), in.size());
+  auto pford = compression::Encode(Codec::kPforDelta, TypeId::kI64, in.data(), in.size());
+  ASSERT_TRUE(pfor.ok() && pford.ok());
+  EXPECT_LT(pford->data.size(), pfor->data.size());
+}
+
+TEST(RleTest, RoundTripRuns) {
+  std::vector<int64_t> in;
+  for (int r = 0; r < 50; r++) {
+    for (int k = 0; k < 100; k++) in.push_back(r % 3);
+  }
+  EXPECT_EQ(RoundTrip(Codec::kRle, TypeId::kI64, in), in);
+  auto seg = compression::Encode(Codec::kRle, TypeId::kI64, in.data(), in.size());
+  EXPECT_LT(seg->data.size(), 50u * 12u + 16u);
+}
+
+TEST(RleTest, RoundTripDoubles) {
+  std::vector<double> in = {1.5, 1.5, 1.5, -2.25, -2.25, 0.0, 0.0, 0.0, 0.0};
+  EXPECT_EQ(RoundTrip(Codec::kRle, TypeId::kF64, in), in);
+}
+
+TEST(RleTest, RoundTripU8) {
+  std::vector<uint8_t> in(1000, 1);
+  in[500] = 0;
+  EXPECT_EQ(RoundTrip(Codec::kRle, TypeId::kU8, in), in);
+}
+
+std::vector<std::string> MakeStrings(size_t n, int distinct, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> pool;
+  for (int i = 0; i < distinct; i++) pool.push_back("value_" + std::to_string(i));
+  std::vector<std::string> out;
+  for (size_t i = 0; i < n; i++) out.push_back(pool[rng.Uniform(0, distinct - 1)]);
+  return out;
+}
+
+TEST(PdictTest, RoundTripLowCardinality) {
+  auto strs = MakeStrings(5000, 7, 42);
+  std::vector<StringVal> in;
+  for (const auto& s : strs) in.emplace_back(s);
+  auto seg = compression::Encode(Codec::kPdict, TypeId::kStr, in.data(), in.size());
+  ASSERT_TRUE(seg.ok());
+  std::vector<StringVal> out(in.size());
+  StringHeap heap;
+  ASSERT_TRUE(compression::Decode(*seg, out.data(), &heap).ok());
+  for (size_t i = 0; i < in.size(); i++) EXPECT_EQ(out[i].ToString(), strs[i]);
+}
+
+TEST(PdictTest, CompressesLowCardinality) {
+  auto strs = MakeStrings(5000, 4, 43);
+  std::vector<StringVal> in;
+  size_t raw = 0;
+  for (const auto& s : strs) {
+    in.emplace_back(s);
+    raw += s.size();
+  }
+  auto pdict = compression::Encode(Codec::kPdict, TypeId::kStr, in.data(), in.size());
+  ASSERT_TRUE(pdict.ok());
+  EXPECT_LT(pdict->data.size(), raw / 4);
+}
+
+TEST(PlainTest, RoundTripStrings) {
+  std::vector<std::string> strs = {"", "a", "hello world", std::string(1000, 'x')};
+  std::vector<StringVal> in;
+  for (const auto& s : strs) in.emplace_back(s);
+  auto seg = compression::Encode(Codec::kPlain, TypeId::kStr, in.data(), in.size());
+  ASSERT_TRUE(seg.ok());
+  std::vector<StringVal> out(in.size());
+  StringHeap heap;
+  ASSERT_TRUE(compression::Decode(*seg, out.data(), &heap).ok());
+  for (size_t i = 0; i < in.size(); i++) EXPECT_EQ(out[i].ToString(), strs[i]);
+}
+
+TEST(EncodeBestTest, PicksDeltaForSorted) {
+  std::vector<int64_t> in;
+  for (int64_t i = 0; i < 5000; i++) in.push_back(7000000 + i);
+  auto seg = compression::EncodeBest(TypeId::kI64, in.data(), in.size());
+  EXPECT_EQ(seg.codec, Codec::kPforDelta);
+}
+
+TEST(EncodeBestTest, ConstantCompressesToNearNothing) {
+  std::vector<int64_t> in(5000, 99);
+  auto seg = compression::EncodeBest(TypeId::kI64, in.data(), in.size());
+  // Width-0 PFOR and RLE both collapse a constant column; either must win
+  // and shrink 40KB to a few dozen bytes.
+  EXPECT_TRUE(seg.codec == Codec::kPfor || seg.codec == Codec::kRle);
+  EXPECT_LT(seg.data.size(), 64u);
+}
+
+TEST(EncodeBestTest, PicksDictForStrings) {
+  auto strs = MakeStrings(2000, 3, 44);
+  std::vector<StringVal> in;
+  for (const auto& s : strs) in.emplace_back(s);
+  auto seg = compression::EncodeBest(TypeId::kStr, in.data(), in.size());
+  EXPECT_EQ(seg.codec, Codec::kPdict);
+}
+
+TEST(EncodeBestTest, FallsBackToPlainForRandomDoubles) {
+  std::vector<double> in;
+  Rng rng(7);
+  for (int i = 0; i < 1000; i++) in.push_back(rng.NextDouble());
+  auto seg = compression::EncodeBest(TypeId::kF64, in.data(), in.size());
+  EXPECT_EQ(seg.codec, Codec::kPlain);
+  std::vector<double> out(in.size());
+  StringHeap heap;
+  ASSERT_TRUE(compression::Decode(seg, out.data(), &heap).ok());
+  EXPECT_EQ(out, in);
+}
+
+TEST(CorruptionTest, TruncatedSegmentFails) {
+  std::vector<int64_t> in(100, 5);
+  auto seg = compression::Encode(Codec::kPfor, TypeId::kI64, in.data(), in.size());
+  ASSERT_TRUE(seg.ok());
+  CompressedSegment bad = *seg;
+  bad.data.resize(bad.data.size() / 2);
+  std::vector<int64_t> out(100);
+  StringHeap heap;
+  EXPECT_FALSE(compression::Decode(bad, out.data(), &heap).ok());
+}
+
+// --- property sweep: every integer codec round-trips on varied distributions
+
+struct Distribution {
+  const char* name;
+  uint64_t seed;
+  int64_t lo, hi;
+  bool sorted;
+  double outlier_rate;
+};
+
+class CodecPropertyTest : public ::testing::TestWithParam<Distribution> {};
+
+TEST_P(CodecPropertyTest, AllIntCodecsRoundTrip) {
+  const auto& d = GetParam();
+  Rng rng(d.seed);
+  std::vector<int64_t> in;
+  for (int i = 0; i < 4096; i++) {
+    int64_t v = rng.Uniform(d.lo, d.hi);
+    if (d.outlier_rate > 0 && rng.NextDouble() < d.outlier_rate) {
+      v = static_cast<int64_t>(rng.Next() >> 2);
+    }
+    in.push_back(v);
+  }
+  if (d.sorted) std::sort(in.begin(), in.end());
+  for (Codec c : {Codec::kPlain, Codec::kPfor, Codec::kPforDelta, Codec::kRle}) {
+    EXPECT_EQ(RoundTrip(c, TypeId::kI64, in), in) << CodecToString(c) << " on " << d.name;
+  }
+  // And the chooser's pick must round-trip too.
+  auto best = compression::EncodeBest(TypeId::kI64, in.data(), in.size());
+  std::vector<int64_t> out(in.size());
+  StringHeap heap;
+  ASSERT_TRUE(compression::Decode(best, out.data(), &heap).ok());
+  EXPECT_EQ(out, in) << "EncodeBest chose " << CodecToString(best.codec);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, CodecPropertyTest,
+    ::testing::Values(
+        Distribution{"tiny_domain", 11, 0, 7, false, 0},
+        Distribution{"byte_domain", 12, -128, 127, false, 0},
+        Distribution{"wide_uniform", 13, -1000000000, 1000000000, false, 0},
+        Distribution{"sorted_dense", 14, 0, 100000, true, 0},
+        Distribution{"sorted_sparse", 15, -1000000000, 1000000000, true, 0},
+        Distribution{"outliers_1pct", 16, 0, 100, false, 0.01},
+        Distribution{"outliers_10pct", 17, 0, 100, false, 0.10},
+        Distribution{"constant", 18, 5, 5, false, 0},
+        Distribution{"negative_only", 19, -500, -100, false, 0}),
+    [](const ::testing::TestParamInfo<Distribution>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace vwise

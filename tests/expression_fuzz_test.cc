@@ -1,0 +1,155 @@
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "expr/expression.h"
+#include "gtest/gtest.h"
+#include "vector/chunk.h"
+
+namespace vwise {
+namespace {
+
+// Random-expression fuzz: arbitrary arithmetic/filter trees evaluated over
+// the same data must be invariant to (a) the selection pattern they are
+// driven with and (b) chunked vs whole-batch evaluation. This stresses the
+// selection-vector write-at-position discipline of every primitive.
+
+constexpr size_t kRows = 512;
+
+class ExprFuzz {
+ public:
+  explicit ExprFuzz(uint64_t seed) : rng_(seed) {}
+
+  // Random i64 expression over columns {0: i64, 1: i64}.
+  ExprPtr RandomI64Expr(int depth) {
+    if (depth <= 0 || rng_.Uniform(0, 3) == 0) {
+      switch (rng_.Uniform(0, 2)) {
+        case 0:
+          return e::Col(0, DataType::Int64());
+        case 1:
+          return e::Col(1, DataType::Int64());
+        default:
+          return e::I64(rng_.Uniform(-20, 20));
+      }
+    }
+    ExprPtr l = RandomI64Expr(depth - 1);
+    ExprPtr r = RandomI64Expr(depth - 1);
+    switch (rng_.Uniform(0, 2)) {
+      case 0:
+        return e::Add(std::move(l), std::move(r));
+      case 1:
+        return e::Sub(std::move(l), std::move(r));
+      default:
+        return e::Mul(std::move(l), std::move(r));
+    }
+  }
+
+  // Random filter over the same columns.
+  FilterPtr RandomFilter(int depth) {
+    if (depth <= 0 || rng_.Uniform(0, 2) == 0) {
+      CmpOp op = static_cast<CmpOp>(rng_.Uniform(0, 5));
+      return e::Cmp(op, RandomI64Expr(1), RandomI64Expr(1));
+    }
+    std::vector<FilterPtr> kids;
+    kids.push_back(RandomFilter(depth - 1));
+    kids.push_back(RandomFilter(depth - 1));
+    switch (rng_.Uniform(0, 2)) {
+      case 0:
+        return e::And(std::move(kids));
+      case 1:
+        return e::Or(std::move(kids));
+      default:
+        return e::Not(std::move(kids[0]));
+    }
+  }
+
+ private:
+  Rng rng_;
+};
+
+class ExpressionFuzzTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    chunk_.Init({TypeId::kI64, TypeId::kI64}, kRows);
+    Rng rng(GetParam() * 7919 + 13);
+    for (size_t i = 0; i < kRows; i++) {
+      chunk_.column(0).Data<int64_t>()[i] = rng.Uniform(-100, 100);
+      chunk_.column(1).Data<int64_t>()[i] = rng.Uniform(-100, 100);
+    }
+    chunk_.SetCount(kRows);
+  }
+  DataChunk chunk_;
+};
+
+TEST_P(ExpressionFuzzTest, EvalInvariantToSelectionPattern) {
+  ExprFuzz fuzz(GetParam());
+  auto expr = fuzz.RandomI64Expr(4);
+  ASSERT_TRUE(expr->Prepare(kRows).ok());
+
+  // Reference: evaluate densely over all rows.
+  Vector* dense = nullptr;
+  ASSERT_TRUE(expr->Eval(chunk_, nullptr, kRows, &dense).ok());
+  std::vector<int64_t> expect(dense->Data<int64_t>(),
+                              dense->Data<int64_t>() + kRows);
+
+  // Re-evaluate at a strided selection: values at selected positions must
+  // match the dense run exactly.
+  Rng rng(GetParam() + 5);
+  std::vector<sel_t> sel;
+  for (size_t i = 0; i < kRows; i++) {
+    if (rng.Uniform(0, 2) != 0) sel.push_back(static_cast<sel_t>(i));
+  }
+  if (sel.empty()) sel.push_back(0);
+  Vector* sparse = nullptr;
+  ASSERT_TRUE(expr->Eval(chunk_, sel.data(), sel.size(), &sparse).ok());
+  for (sel_t p : sel) {
+    EXPECT_EQ(sparse->Data<int64_t>()[p], expect[p]) << "at " << p;
+  }
+}
+
+TEST_P(ExpressionFuzzTest, FilterDistributesOverSelectionSplit) {
+  ExprFuzz fuzz(GetParam() + 1000);
+  auto filter = fuzz.RandomFilter(3);
+  ASSERT_TRUE(filter->Prepare(kRows).ok());
+
+  // Whole-batch result.
+  std::vector<sel_t> all(kRows);
+  size_t n_all = 0;
+  ASSERT_TRUE(filter->Select(chunk_, nullptr, kRows, all.data(), &n_all).ok());
+  all.resize(n_all);
+
+  // Split the input into two halves via selections; the union of the two
+  // filtered halves must equal the whole-batch result.
+  std::vector<sel_t> lo, hi;
+  for (size_t i = 0; i < kRows / 2; i++) lo.push_back(static_cast<sel_t>(i));
+  for (size_t i = kRows / 2; i < kRows; i++) hi.push_back(static_cast<sel_t>(i));
+  std::vector<sel_t> out_lo(kRows), out_hi(kRows);
+  size_t n_lo = 0, n_hi = 0;
+  ASSERT_TRUE(filter->Select(chunk_, lo.data(), lo.size(), out_lo.data(), &n_lo).ok());
+  ASSERT_TRUE(filter->Select(chunk_, hi.data(), hi.size(), out_hi.data(), &n_hi).ok());
+  ASSERT_EQ(n_lo + n_hi, n_all);
+  out_lo.resize(n_lo);
+  out_hi.resize(n_hi);
+  out_lo.insert(out_lo.end(), out_hi.begin(), out_hi.end());
+  EXPECT_EQ(out_lo, all);
+}
+
+TEST_P(ExpressionFuzzTest, FilterIdempotentOnItsOutput) {
+  ExprFuzz fuzz(GetParam() + 2000);
+  auto filter = fuzz.RandomFilter(3);
+  ASSERT_TRUE(filter->Prepare(kRows).ok());
+  std::vector<sel_t> first(kRows), second(kRows);
+  size_t n1 = 0, n2 = 0;
+  ASSERT_TRUE(filter->Select(chunk_, nullptr, kRows, first.data(), &n1).ok());
+  ASSERT_TRUE(filter->Select(chunk_, first.data(), n1, second.data(), &n2).ok());
+  first.resize(n1);
+  second.resize(n2);
+  EXPECT_EQ(second, first);  // filtering its own output changes nothing
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExpressionFuzzTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace vwise

@@ -1,0 +1,288 @@
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "pdt/pdt.h"
+
+namespace vwise {
+namespace {
+
+using Row = std::vector<Value>;
+
+// Reconstructs the visible table by merge-scanning `pdt` over `stable`.
+std::vector<Row> Materialize(const Pdt& pdt, const std::vector<Row>& stable) {
+  std::vector<Row> out;
+  Pdt::MergeScanner scanner(pdt, stable.size());
+  Pdt::MergeEvent ev;
+  while (scanner.Next(&ev, 7)) {  // small run cap exercises run splitting
+    switch (ev.kind) {
+      case Pdt::MergeEvent::kStableRun:
+        for (uint64_t i = 0; i < ev.count; i++) {
+          out.push_back(stable[ev.sid + i]);
+        }
+        break;
+      case Pdt::MergeEvent::kModifiedRow: {
+        Row r = stable[ev.sid];
+        for (const auto& [col, v] : ev.rec->mods) r[col] = v;
+        out.push_back(std::move(r));
+        break;
+      }
+      case Pdt::MergeEvent::kDeletedRow:
+        break;
+      case Pdt::MergeEvent::kInsertedRow:
+        out.push_back(ev.rec->row);
+        break;
+    }
+  }
+  return out;
+}
+
+Row MakeRow(int64_t a, const std::string& b) {
+  return Row{Value::Int(a), Value::String(b)};
+}
+
+std::vector<Row> MakeStable(size_t n) {
+  std::vector<Row> rows;
+  for (size_t i = 0; i < n; i++) {
+    rows.push_back(MakeRow(static_cast<int64_t>(i), "s" + std::to_string(i)));
+  }
+  return rows;
+}
+
+TEST(PdtBasicTest, EmptyPdtPassesThrough) {
+  Pdt pdt;
+  auto stable = MakeStable(10);
+  EXPECT_EQ(Materialize(pdt, stable), stable);
+  EXPECT_EQ(pdt.net_displacement(), 0);
+  EXPECT_TRUE(pdt.empty());
+}
+
+TEST(PdtBasicTest, InsertAtFront) {
+  Pdt pdt;
+  auto stable = MakeStable(3);
+  ASSERT_TRUE(pdt.Insert(0, MakeRow(100, "new")).ok());
+  auto visible = Materialize(pdt, stable);
+  ASSERT_EQ(visible.size(), 4u);
+  EXPECT_EQ(visible[0][0].AsInt(), 100);
+  EXPECT_EQ(visible[1][0].AsInt(), 0);
+  EXPECT_EQ(pdt.net_displacement(), 1);
+}
+
+TEST(PdtBasicTest, InsertAtEnd) {
+  Pdt pdt;
+  auto stable = MakeStable(3);
+  ASSERT_TRUE(pdt.Insert(3, MakeRow(100, "new")).ok());
+  auto visible = Materialize(pdt, stable);
+  ASSERT_EQ(visible.size(), 4u);
+  EXPECT_EQ(visible[3][0].AsInt(), 100);
+}
+
+TEST(PdtBasicTest, DeleteMiddle) {
+  Pdt pdt;
+  auto stable = MakeStable(5);
+  ASSERT_TRUE(pdt.Delete(2).ok());
+  auto visible = Materialize(pdt, stable);
+  ASSERT_EQ(visible.size(), 4u);
+  EXPECT_EQ(visible[2][0].AsInt(), 3);
+  EXPECT_EQ(pdt.net_displacement(), -1);
+}
+
+TEST(PdtBasicTest, DeleteConsecutive) {
+  Pdt pdt;
+  auto stable = MakeStable(5);
+  // Delete visible rows 1,1,1: removes stable 1,2,3.
+  ASSERT_TRUE(pdt.Delete(1).ok());
+  ASSERT_TRUE(pdt.Delete(1).ok());
+  ASSERT_TRUE(pdt.Delete(1).ok());
+  auto visible = Materialize(pdt, stable);
+  ASSERT_EQ(visible.size(), 2u);
+  EXPECT_EQ(visible[0][0].AsInt(), 0);
+  EXPECT_EQ(visible[1][0].AsInt(), 4);
+}
+
+TEST(PdtBasicTest, ModifyStable) {
+  Pdt pdt;
+  auto stable = MakeStable(4);
+  ASSERT_TRUE(pdt.Modify(2, 1, Value::String("patched")).ok());
+  auto visible = Materialize(pdt, stable);
+  EXPECT_EQ(visible[2][1].AsString(), "patched");
+  EXPECT_EQ(visible[2][0].AsInt(), 2);  // other column untouched
+  EXPECT_EQ(pdt.net_displacement(), 0);
+}
+
+TEST(PdtBasicTest, ModifyThenDeleteCollapses) {
+  Pdt pdt;
+  auto stable = MakeStable(4);
+  ASSERT_TRUE(pdt.Modify(2, 0, Value::Int(99)).ok());
+  ASSERT_TRUE(pdt.Delete(2).ok());
+  auto visible = Materialize(pdt, stable);
+  ASSERT_EQ(visible.size(), 3u);
+  EXPECT_EQ(pdt.record_count(), 1u);  // single DEL record, MOD absorbed
+}
+
+TEST(PdtBasicTest, DeleteOwnInsertLeavesNoTrace) {
+  Pdt pdt;
+  auto stable = MakeStable(4);
+  ASSERT_TRUE(pdt.Insert(2, MakeRow(50, "x")).ok());
+  ASSERT_TRUE(pdt.Delete(2).ok());
+  EXPECT_TRUE(pdt.empty());
+  EXPECT_EQ(Materialize(pdt, stable), stable);
+}
+
+TEST(PdtBasicTest, ModifyOwnInsertUpdatesInPlace) {
+  Pdt pdt;
+  auto stable = MakeStable(2);
+  ASSERT_TRUE(pdt.Insert(1, MakeRow(50, "x")).ok());
+  ASSERT_TRUE(pdt.Modify(1, 1, Value::String("y")).ok());
+  auto visible = Materialize(pdt, stable);
+  EXPECT_EQ(visible[1][1].AsString(), "y");
+  EXPECT_EQ(pdt.record_count(), 1u);
+}
+
+TEST(PdtBasicTest, InsertBeforeDeletedRow) {
+  Pdt pdt;
+  auto stable = MakeStable(3);
+  ASSERT_TRUE(pdt.Delete(0).ok());  // visible: [1, 2]
+  ASSERT_TRUE(pdt.Insert(0, MakeRow(77, "n")).ok());
+  auto visible = Materialize(pdt, stable);
+  ASSERT_EQ(visible.size(), 3u);
+  EXPECT_EQ(visible[0][0].AsInt(), 77);
+  EXPECT_EQ(visible[1][0].AsInt(), 1);
+}
+
+TEST(PdtBasicTest, ResolveDistinguishesDeltaRows) {
+  Pdt pdt;
+  ASSERT_TRUE(pdt.Insert(1, MakeRow(9, "i")).ok());
+  EXPECT_FALSE(pdt.Resolve(0).is_delta);
+  EXPECT_EQ(pdt.Resolve(0).sid, 0u);
+  EXPECT_TRUE(pdt.Resolve(1).is_delta);
+  EXPECT_FALSE(pdt.Resolve(2).is_delta);
+  EXPECT_EQ(pdt.Resolve(2).sid, 1u);
+}
+
+TEST(PdtBasicTest, DisplacementThrough) {
+  Pdt pdt;
+  ASSERT_TRUE(pdt.Insert(2, MakeRow(1, "a")).ok());  // +1 at rid 2
+  ASSERT_TRUE(pdt.Delete(5).ok());                   // -1 at rid 5
+  EXPECT_EQ(pdt.DisplacementThrough(0), 0);
+  EXPECT_EQ(pdt.DisplacementThrough(2), 1);
+  EXPECT_EQ(pdt.DisplacementThrough(4), 1);
+  EXPECT_EQ(pdt.DisplacementThrough(5), 0);
+  EXPECT_EQ(pdt.DisplacementThrough(100), 0);
+}
+
+TEST(PdtBasicTest, CloneIsIndependent) {
+  Pdt pdt;
+  auto stable = MakeStable(3);
+  ASSERT_TRUE(pdt.Modify(1, 0, Value::Int(-1)).ok());
+  auto copy = pdt.Clone();
+  ASSERT_TRUE(copy->Delete(0).ok());
+  EXPECT_EQ(pdt.record_count(), 1u);
+  EXPECT_EQ(copy->record_count(), 2u);
+  EXPECT_EQ(Materialize(pdt, stable).size(), 3u);
+  EXPECT_EQ(Materialize(*copy, stable).size(), 2u);
+}
+
+TEST(PdtBasicTest, ApplyLogOpsMatchesDirectCalls) {
+  Pdt direct, replay;
+  auto stable = MakeStable(6);
+  std::vector<PdtLogOp> log;
+  {
+    PdtLogOp op;
+    op.kind = PdtOpKind::kIns;
+    op.rid = 3;
+    op.row = MakeRow(42, "ins");
+    log.push_back(op);
+  }
+  {
+    PdtLogOp op;
+    op.kind = PdtOpKind::kDel;
+    op.rid = 0;
+    log.push_back(op);
+  }
+  {
+    PdtLogOp op;
+    op.kind = PdtOpKind::kMod;
+    op.rid = 4;
+    op.col = 1;
+    op.value = Value::String("mm");
+    log.push_back(op);
+  }
+  ASSERT_TRUE(direct.Insert(3, MakeRow(42, "ins")).ok());
+  ASSERT_TRUE(direct.Delete(0).ok());
+  ASSERT_TRUE(direct.Modify(4, 1, Value::String("mm")).ok());
+  for (const auto& op : log) ASSERT_TRUE(replay.Apply(op).ok());
+  EXPECT_EQ(Materialize(direct, stable), Materialize(replay, stable));
+}
+
+// ---------------------------------------------------------------------------
+// Model-based property test: random op sequences against a naive vector
+// model, checking materialization, displacement, and Resolve after each
+// batch.
+// ---------------------------------------------------------------------------
+
+struct FuzzParams {
+  const char* name;
+  uint64_t seed;
+  size_t stable_rows;
+  size_t ops;
+  int ins_w, del_w, mod_w;  // op mix weights
+};
+
+class PdtFuzzTest : public ::testing::TestWithParam<FuzzParams> {};
+
+TEST_P(PdtFuzzTest, MatchesNaiveModel) {
+  const auto& p = GetParam();
+  Rng rng(p.seed);
+  auto stable = MakeStable(p.stable_rows);
+  std::vector<Row> model = stable;
+  Pdt pdt;
+  int total_w = p.ins_w + p.del_w + p.mod_w;
+  for (size_t i = 0; i < p.ops; i++) {
+    int pick = static_cast<int>(rng.Uniform(0, total_w - 1));
+    if (pick < p.ins_w || model.empty()) {
+      uint64_t rid = static_cast<uint64_t>(rng.Uniform(0, model.size()));
+      Row row = MakeRow(1000000 + static_cast<int64_t>(i), "ins" + std::to_string(i));
+      ASSERT_TRUE(pdt.Insert(rid, row).ok());
+      model.insert(model.begin() + rid, row);
+    } else if (pick < p.ins_w + p.del_w) {
+      uint64_t rid = static_cast<uint64_t>(rng.Uniform(0, model.size() - 1));
+      ASSERT_TRUE(pdt.Delete(rid).ok());
+      model.erase(model.begin() + rid);
+    } else {
+      uint64_t rid = static_cast<uint64_t>(rng.Uniform(0, model.size() - 1));
+      Value v = Value::Int(rng.Uniform(-1000, 1000));
+      ASSERT_TRUE(pdt.Modify(rid, 0, v).ok());
+      model[rid][0] = v;
+    }
+    if (i % 128 == 0 || i + 1 == p.ops) {
+      auto visible = Materialize(pdt, stable);
+      ASSERT_EQ(visible.size(), model.size()) << "after op " << i;
+      ASSERT_EQ(visible, model) << "after op " << i;
+      ASSERT_EQ(pdt.net_displacement(),
+                static_cast<int64_t>(model.size()) -
+                    static_cast<int64_t>(stable.size()));
+    }
+  }
+  // Clone must materialize identically.
+  auto copy = pdt.Clone();
+  EXPECT_EQ(Materialize(*copy, stable), model);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, PdtFuzzTest,
+    ::testing::Values(
+        FuzzParams{"balanced", 101, 200, 2000, 1, 1, 1},
+        FuzzParams{"insert_heavy", 102, 50, 2000, 8, 1, 1},
+        FuzzParams{"delete_heavy", 103, 2000, 1500, 1, 6, 1},
+        FuzzParams{"modify_heavy", 104, 300, 2000, 1, 1, 8},
+        FuzzParams{"tiny_table", 105, 3, 1500, 2, 2, 2},
+        FuzzParams{"empty_start", 106, 0, 800, 3, 1, 1},
+        FuzzParams{"churn", 107, 100, 4000, 3, 3, 2}),
+    [](const ::testing::TestParamInfo<FuzzParams>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace vwise

@@ -1,0 +1,152 @@
+#include <filesystem>
+#include <numeric>
+
+#include "api/database.h"
+#include "gtest/gtest.h"
+#include "rewriter/null_rewrite.h"
+#include "rewriter/parallelize.h"
+
+namespace vwise {
+namespace {
+
+// --- NULL decomposition -------------------------------------------------------
+
+class NullRewriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Nullable column x decomposed as (val @0, ind @1); plain column y @2.
+    chunk_.Init({TypeId::kI64, TypeId::kU8, TypeId::kI64}, 128);
+    for (int i = 0; i < 100; i++) {
+      chunk_.column(0).Data<int64_t>()[i] = i % 7 == 0 ? 0 : i;  // 0 = safe value
+      chunk_.column(1).Data<uint8_t>()[i] = i % 7 == 0 ? 1 : 0;  // every 7th NULL
+      chunk_.column(2).Data<int64_t>()[i] = 2 * i;
+    }
+    chunk_.SetCount(100);
+  }
+
+  std::vector<sel_t> Apply(Filter* f) {
+    EXPECT_TRUE(f->Prepare(128).ok());
+    std::vector<sel_t> out(128);
+    size_t n = 0;
+    EXPECT_TRUE(f->Select(chunk_, nullptr, 100, out.data(), &n).ok());
+    out.resize(n);
+    return out;
+  }
+
+  DataChunk chunk_;
+};
+
+TEST_F(NullRewriteTest, CmpExcludesNulls) {
+  rewriter::NullableRef x{0, 1, DataType::Int64()};
+  auto f = rewriter::RewriteNullableCmp(CmpOp::kLt, x, e::I64(20));
+  auto sel = Apply(f.get());
+  // i < 20 and i % 7 != 0: 20 values minus {0, 7, 14} = 17.
+  EXPECT_EQ(sel.size(), 17u);
+  for (sel_t p : sel) EXPECT_NE(p % 7, 0u);
+}
+
+TEST_F(NullRewriteTest, IsNullIsNotNullPartition) {
+  rewriter::NullableRef x{0, 1, DataType::Int64()};
+  auto is_null = rewriter::RewriteIsNull(x);
+  auto not_null = rewriter::RewriteIsNotNull(x);
+  EXPECT_EQ(Apply(is_null.get()).size(), 15u);  // ceil(100/7)
+  EXPECT_EQ(Apply(not_null.get()).size(), 85u);
+}
+
+TEST_F(NullRewriteTest, RewrittenCmpMatchesNullAwareBaseline) {
+  rewriter::NullableRef x{0, 1, DataType::Int64()};
+  for (CmpOp op : {CmpOp::kLt, CmpOp::kGe, CmpOp::kEq, CmpOp::kNe}) {
+    auto rewritten = rewriter::RewriteNullableCmp(op, x, e::I64(42));
+    rewriter::NullAwareCmpFilter aware(op, 0, 1, 42);
+    ASSERT_TRUE(aware.Prepare(128).ok());
+    EXPECT_EQ(Apply(rewritten.get()), Apply(&aware));
+  }
+}
+
+TEST_F(NullRewriteTest, ArithPropagatesIndicators) {
+  rewriter::NullableRef a{0, 1, DataType::Int64()};
+  rewriter::NullableRef b{2, 1, DataType::Int64()};  // share indicator for test
+  auto pair = rewriter::RewriteNullableArith(ArithOp::kAdd, a, b);
+  ASSERT_TRUE(pair.value->Prepare(128).ok());
+  ASSERT_TRUE(pair.indicator->Prepare(128).ok());
+  Vector* val = nullptr;
+  Vector* ind = nullptr;
+  ASSERT_TRUE(pair.value->Eval(chunk_, nullptr, 100, &val).ok());
+  ASSERT_TRUE(pair.indicator->Eval(chunk_, nullptr, 100, &ind).ok());
+  EXPECT_EQ(val->Data<int64_t>()[3], 3 + 6);
+  EXPECT_EQ(ind->Data<int64_t>()[3], 0);
+  EXPECT_NE(ind->Data<int64_t>()[7], 0);  // NULL in, NULL out
+}
+
+// --- Volcano parallelization ----------------------------------------------------
+
+class ParallelizeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/vwise_par_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::remove_all(dir_);
+    Config cfg;
+    cfg.stripe_rows = 97;  // odd stripe size: partitions are uneven
+    auto db = Database::Open(dir_, cfg);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    TableSchema t("t", {ColumnDef("g", DataType::Int64()),
+                        ColumnDef("v", DataType::Int64())});
+    ASSERT_TRUE(db_->CreateTable(t).ok());
+    ASSERT_TRUE(db_->BulkLoad("t", [](TableWriter* w) -> Status {
+      for (int64_t i = 0; i < 5000; i++) {
+        VWISE_RETURN_IF_ERROR(w->AppendRow({Value::Int(i % 13), Value::Int(i)}));
+      }
+      return Status::OK();
+    }).ok());
+  }
+  void TearDown() override {
+    db_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string dir_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ParallelizeTest, ParallelMatchesSerialForAnyWorkerCount) {
+  auto run = [&](int threads) {
+    Config cfg = db_->config();
+    cfg.num_threads = threads;
+    auto snap = db_->txn_manager()->GetSnapshot("t");
+    EXPECT_TRUE(snap.ok());
+    rewriter::ParallelAggSpec spec;
+    spec.snapshot = *snap;
+    spec.scan_cols = {0, 1};
+    Config worker_cfg = cfg;
+    spec.build_pipeline = [worker_cfg](OperatorPtr scan) -> Result<OperatorPtr> {
+      return OperatorPtr(std::make_unique<HashAggOperator>(
+          std::move(scan), std::vector<size_t>{0},
+          std::vector<AggSpec>{AggSpec::Sum(1), AggSpec::CountStar()},
+          worker_cfg));
+    };
+    spec.partial_types = {TypeId::kI64, TypeId::kI64, TypeId::kI64};
+    spec.final_group_cols = {0};
+    spec.final_aggs = {AggSpec::Sum(1), AggSpec::Sum(2)};
+    auto plan = rewriter::ParallelizeScanAgg(std::move(spec), cfg);
+    EXPECT_TRUE(plan.ok());
+    auto result = CollectRows(plan->get(), cfg.vector_size);
+    EXPECT_TRUE(result.ok());
+    // Sort rows by group for comparison.
+    std::sort(result->rows.begin(), result->rows.end(),
+              [](const auto& a, const auto& b) { return a[0].AsInt() < b[0].AsInt(); });
+    return result->rows;
+  };
+  auto serial = run(1);
+  ASSERT_EQ(serial.size(), 13u);
+  int64_t total = 0;
+  for (const auto& row : serial) total += row[2].AsInt();
+  EXPECT_EQ(total, 5000);
+  for (int threads : {2, 3, 8}) {
+    EXPECT_EQ(run(threads), serial) << threads << " workers";
+  }
+}
+
+}  // namespace
+}  // namespace vwise

@@ -1,0 +1,333 @@
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "txn/transaction_manager.h"
+
+namespace vwise {
+namespace {
+
+using Row = std::vector<Value>;
+
+class TxnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/vwise_txn_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::remove_all(dir_);
+    config_.stripe_rows = 64;
+    device_ = std::make_unique<IoDevice>(config_);
+    buffers_ = std::make_unique<BufferManager>(config_.buffer_pool_bytes);
+    ReopenManager();
+  }
+  void TearDown() override {
+    mgr_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void ReopenManager() {
+    mgr_.reset();
+    buffers_->EvictAll();
+    auto mgr = TransactionManager::Open(dir_, config_, device_.get(), buffers_.get());
+    ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+    mgr_ = std::move(*mgr);
+  }
+
+  void CreateAccounts(int64_t n) {
+    TableSchema schema("accounts", {ColumnDef("id", DataType::Int64()),
+                                    ColumnDef("balance", DataType::Int64()),
+                                    ColumnDef("owner", DataType::Varchar())});
+    ASSERT_TRUE(mgr_->CreateTable(schema, ColumnGroups::Dsm(3)).ok());
+    ASSERT_TRUE(mgr_
+                    ->BulkLoad("accounts",
+                               [&](TableWriter* w) -> Status {
+                                 for (int64_t i = 0; i < n; i++) {
+                                   VWISE_RETURN_IF_ERROR(w->AppendRow(
+                                       {Value::Int(i), Value::Int(100),
+                                        Value::String("u" + std::to_string(i))}));
+                                 }
+                                 return Status::OK();
+                               })
+                    .ok());
+  }
+
+  // Materializes the visible table of a snapshot through the merge scanner.
+  std::vector<Row> VisibleRows(const TableSnapshot& snap) {
+    std::vector<Row> out;
+    size_t n_cols = snap.schema->num_columns();
+    Pdt empty;
+    const Pdt* pdt = snap.deltas ? snap.deltas.get() : &empty;
+    Pdt::MergeScanner scanner(*pdt, snap.stable->row_count());
+    Pdt::MergeEvent ev;
+    std::vector<DecodedColumn> cols(n_cols);
+    size_t cur_stripe = SIZE_MAX;
+    auto stable_row = [&](uint64_t sid) {
+      size_t stripe = 0;
+      while (stripe + 1 < snap.stable->stripe_count() &&
+             snap.stable->stripe_first_row(stripe + 1) <= sid) {
+        stripe++;
+      }
+      if (stripe != cur_stripe) {
+        for (size_t c = 0; c < n_cols; c++) {
+          EXPECT_TRUE(snap.stable
+                          ->ReadStripeColumn(stripe, static_cast<uint32_t>(c), &cols[c])
+                          .ok());
+        }
+        cur_stripe = stripe;
+      }
+      size_t local = sid - snap.stable->stripe_first_row(stripe);
+      Row row;
+      for (size_t c = 0; c < n_cols; c++) {
+        switch (cols[c].type) {
+          case TypeId::kI64:
+            row.push_back(Value::Int(cols[c].Data<int64_t>()[local]));
+            break;
+          case TypeId::kStr:
+            row.push_back(Value::String(cols[c].Data<StringVal>()[local].ToString()));
+            break;
+          default:
+            row.push_back(Value::Null());
+        }
+      }
+      return row;
+    };
+    while (scanner.Next(&ev, 1024)) {
+      switch (ev.kind) {
+        case Pdt::MergeEvent::kStableRun:
+          for (uint64_t i = 0; i < ev.count; i++) out.push_back(stable_row(ev.sid + i));
+          break;
+        case Pdt::MergeEvent::kModifiedRow: {
+          Row r = stable_row(ev.sid);
+          for (const auto& [col, v] : ev.rec->mods) r[col] = v;
+          out.push_back(std::move(r));
+          break;
+        }
+        case Pdt::MergeEvent::kDeletedRow:
+          break;
+        case Pdt::MergeEvent::kInsertedRow:
+          out.push_back(ev.rec->row);
+          break;
+      }
+    }
+    return out;
+  }
+
+  Config config_;
+  std::string dir_;
+  std::unique_ptr<IoDevice> device_;
+  std::unique_ptr<BufferManager> buffers_;
+  std::unique_ptr<TransactionManager> mgr_;
+};
+
+TEST_F(TxnTest, CreateAndSnapshot) {
+  CreateAccounts(10);
+  auto snap = mgr_->GetSnapshot("accounts");
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->visible_rows(), 10u);
+  EXPECT_EQ(VisibleRows(*snap).size(), 10u);
+}
+
+TEST_F(TxnTest, CommitPublishesWrites) {
+  CreateAccounts(5);
+  auto txn = mgr_->Begin();
+  ASSERT_TRUE(txn->Modify("accounts", 2, 1, Value::Int(250)).ok());
+  ASSERT_TRUE(txn->Append("accounts", {Value::Int(5), Value::Int(7), Value::String("new")}).ok());
+  ASSERT_TRUE(txn->Delete("accounts", 0).ok());
+  ASSERT_TRUE(mgr_->Commit(txn.get()).ok());
+
+  auto snap = mgr_->GetSnapshot("accounts");
+  auto rows = VisibleRows(*snap);
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0][0].AsInt(), 1);      // id 0 deleted
+  EXPECT_EQ(rows[1][1].AsInt(), 250);    // id 2 modified
+  EXPECT_EQ(rows[4][2].AsString(), "new");
+}
+
+TEST_F(TxnTest, SnapshotIsolation) {
+  CreateAccounts(4);
+  auto reader = mgr_->Begin();
+  auto view_before = reader->GetView("accounts");
+  ASSERT_TRUE(view_before.ok());
+
+  auto writer = mgr_->Begin();
+  ASSERT_TRUE(writer->Modify("accounts", 1, 1, Value::Int(999)).ok());
+  ASSERT_TRUE(mgr_->Commit(writer.get()).ok());
+
+  // The reader's view must still see the old balance.
+  auto rows = VisibleRows(*view_before);
+  EXPECT_EQ(rows[1][1].AsInt(), 100);
+  // A fresh snapshot sees the new one.
+  auto fresh = mgr_->GetSnapshot("accounts");
+  EXPECT_EQ(VisibleRows(*fresh)[1][1].AsInt(), 999);
+}
+
+TEST_F(TxnTest, ReadYourOwnWrites) {
+  CreateAccounts(3);
+  auto txn = mgr_->Begin();
+  ASSERT_TRUE(txn->Modify("accounts", 0, 1, Value::Int(1)).ok());
+  auto view = txn->GetView("accounts");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(VisibleRows(*view)[0][1].AsInt(), 1);
+  // Not visible to others before commit.
+  auto other = mgr_->GetSnapshot("accounts");
+  EXPECT_EQ(VisibleRows(*other)[0][1].AsInt(), 100);
+  mgr_->Abort(txn.get());
+}
+
+TEST_F(TxnTest, WriteWriteConflictAborts) {
+  CreateAccounts(4);
+  auto t1 = mgr_->Begin();
+  auto t2 = mgr_->Begin();
+  ASSERT_TRUE(t1->Modify("accounts", 2, 1, Value::Int(10)).ok());
+  ASSERT_TRUE(t2->Modify("accounts", 2, 1, Value::Int(20)).ok());
+  ASSERT_TRUE(mgr_->Commit(t1.get()).ok());
+  Status s = mgr_->Commit(t2.get());
+  EXPECT_TRUE(s.IsConflict()) << s.ToString();
+  EXPECT_EQ(mgr_->aborts(), 1u);
+  auto snap = mgr_->GetSnapshot("accounts");
+  EXPECT_EQ(VisibleRows(*snap)[2][1].AsInt(), 10);  // first committer wins
+}
+
+TEST_F(TxnTest, DisjointConcurrentCommitsBothApply) {
+  CreateAccounts(6);
+  auto t1 = mgr_->Begin();
+  auto t2 = mgr_->Begin();
+  ASSERT_TRUE(t1->Modify("accounts", 1, 1, Value::Int(11)).ok());
+  ASSERT_TRUE(t2->Modify("accounts", 4, 1, Value::Int(44)).ok());
+  ASSERT_TRUE(t2->Delete("accounts", 5).ok());
+  ASSERT_TRUE(mgr_->Commit(t1.get()).ok());
+  ASSERT_TRUE(mgr_->Commit(t2.get()).ok()) << "disjoint rows must not conflict";
+  auto rows = VisibleRows(*mgr_->GetSnapshot("accounts"));
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[1][1].AsInt(), 11);
+  EXPECT_EQ(rows[4][1].AsInt(), 44);
+}
+
+TEST_F(TxnTest, ConcurrentAppendsBothSurvive) {
+  CreateAccounts(2);
+  auto t1 = mgr_->Begin();
+  auto t2 = mgr_->Begin();
+  ASSERT_TRUE(t1->Append("accounts", {Value::Int(10), Value::Int(1), Value::String("a")}).ok());
+  ASSERT_TRUE(t2->Append("accounts", {Value::Int(20), Value::Int(2), Value::String("b")}).ok());
+  ASSERT_TRUE(mgr_->Commit(t1.get()).ok());
+  ASSERT_TRUE(mgr_->Commit(t2.get()).ok());
+  auto rows = VisibleRows(*mgr_->GetSnapshot("accounts"));
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[2][0].AsInt(), 10);
+  EXPECT_EQ(rows[3][0].AsInt(), 20);
+}
+
+TEST_F(TxnTest, DeleteShiftsConcurrentModifyExactly) {
+  CreateAccounts(6);
+  auto t1 = mgr_->Begin();
+  auto t2 = mgr_->Begin();
+  // t1 deletes row 0; t2 modifies visible row 3 (stable sid 3).
+  ASSERT_TRUE(t1->Delete("accounts", 0).ok());
+  ASSERT_TRUE(t2->Modify("accounts", 3, 1, Value::Int(33)).ok());
+  ASSERT_TRUE(mgr_->Commit(t1.get()).ok());
+  ASSERT_TRUE(mgr_->Commit(t2.get()).ok());
+  auto rows = VisibleRows(*mgr_->GetSnapshot("accounts"));
+  ASSERT_EQ(rows.size(), 5u);
+  // Stable row id=3 must carry the modification despite the shift.
+  EXPECT_EQ(rows[2][0].AsInt(), 3);
+  EXPECT_EQ(rows[2][1].AsInt(), 33);
+}
+
+TEST_F(TxnTest, WalRecoveryReplaysCommits) {
+  CreateAccounts(4);
+  auto txn = mgr_->Begin();
+  ASSERT_TRUE(txn->Modify("accounts", 1, 1, Value::Int(777)).ok());
+  ASSERT_TRUE(txn->Append("accounts", {Value::Int(9), Value::Int(9), Value::String("r")}).ok());
+  ASSERT_TRUE(mgr_->Commit(txn.get()).ok());
+
+  // "Crash": reopen without checkpoint. WAL must restore the deltas.
+  ReopenManager();
+  auto rows = VisibleRows(*mgr_->GetSnapshot("accounts"));
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[1][1].AsInt(), 777);
+  EXPECT_EQ(rows[4][2].AsString(), "r");
+}
+
+TEST_F(TxnTest, TornWalTailIgnored) {
+  CreateAccounts(3);
+  auto t1 = mgr_->Begin();
+  ASSERT_TRUE(t1->Modify("accounts", 0, 1, Value::Int(5)).ok());
+  ASSERT_TRUE(mgr_->Commit(t1.get()).ok());
+  auto t2 = mgr_->Begin();
+  ASSERT_TRUE(t2->Modify("accounts", 1, 1, Value::Int(6)).ok());
+  ASSERT_TRUE(mgr_->Commit(t2.get()).ok());
+  mgr_.reset();
+
+  // Tear the last record: truncate a few bytes off the WAL.
+  std::string wal = dir_ + "/wal.log";
+  auto size = std::filesystem::file_size(wal);
+  std::filesystem::resize_file(wal, size - 5);
+
+  ReopenManager();
+  auto rows = VisibleRows(*mgr_->GetSnapshot("accounts"));
+  EXPECT_EQ(rows[0][1].AsInt(), 5);    // first commit survived
+  EXPECT_EQ(rows[1][1].AsInt(), 100);  // torn second commit rolled back
+}
+
+TEST_F(TxnTest, CheckpointMergesAndSurvivesReopen) {
+  CreateAccounts(100);
+  auto txn = mgr_->Begin();
+  // Modify id 50 first, then delete id 10 (order matters: positions shift).
+  ASSERT_TRUE(txn->Modify("accounts", 50, 1, Value::Int(5000)).ok());
+  ASSERT_TRUE(txn->Delete("accounts", 10).ok());
+  ASSERT_TRUE(txn->Append("accounts", {Value::Int(100), Value::Int(1), Value::String("z")}).ok());
+  ASSERT_TRUE(mgr_->Commit(txn.get()).ok());
+  ASSERT_TRUE(mgr_->Checkpoint().ok());
+
+  // After checkpoint the PDT is empty and the file carries the merge.
+  auto snap = mgr_->GetSnapshot("accounts");
+  EXPECT_TRUE(snap->deltas == nullptr || snap->deltas->empty());
+  EXPECT_EQ(snap->stable->row_count(), 100u);
+
+  ReopenManager();
+  auto rows = VisibleRows(*mgr_->GetSnapshot("accounts"));
+  ASSERT_EQ(rows.size(), 100u);
+  EXPECT_EQ(rows[10][0].AsInt(), 11);  // row 10 gone
+  // Row with id 50 now at index 49.
+  EXPECT_EQ(rows[49][0].AsInt(), 50);
+  EXPECT_EQ(rows[49][1].AsInt(), 5000);
+  EXPECT_EQ(rows[99][2].AsString(), "z");
+}
+
+TEST_F(TxnTest, CatalogPersistsSchemas) {
+  CreateAccounts(3);
+  ReopenManager();
+  ASSERT_TRUE(mgr_->HasTable("accounts"));
+  const TableSchema* schema = mgr_->GetSchema("accounts");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->num_columns(), 3u);
+  EXPECT_EQ(schema->column(1).name, "balance");
+}
+
+TEST_F(TxnTest, ReadOnlyTxnAlwaysCommits) {
+  CreateAccounts(2);
+  auto t1 = mgr_->Begin();
+  (void)t1->GetView("accounts");
+  auto t2 = mgr_->Begin();
+  ASSERT_TRUE(t2->Modify("accounts", 0, 1, Value::Int(1)).ok());
+  ASSERT_TRUE(mgr_->Commit(t2.get()).ok());
+  EXPECT_TRUE(mgr_->Commit(t1.get()).ok());
+}
+
+TEST_F(TxnTest, BulkLoadRequiresEmptyTable) {
+  CreateAccounts(2);
+  Status s = mgr_->BulkLoad("accounts", [](TableWriter*) { return Status::OK(); });
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(TxnTest, UnknownTableErrors) {
+  EXPECT_FALSE(mgr_->GetSnapshot("ghost").ok());
+  auto txn = mgr_->Begin();
+  EXPECT_FALSE(txn->Delete("ghost", 0).ok());
+  mgr_->Abort(txn.get());
+}
+
+}  // namespace
+}  // namespace vwise

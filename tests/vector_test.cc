@@ -1,0 +1,144 @@
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "vector/chunk.h"
+#include "vector/string_heap.h"
+#include "vector/vector.h"
+
+namespace vwise {
+namespace {
+
+TEST(TypesTest, PhysicalMapping) {
+  EXPECT_EQ(DataType::Bool().physical(), TypeId::kU8);
+  EXPECT_EQ(DataType::Int32().physical(), TypeId::kI32);
+  EXPECT_EQ(DataType::Date().physical(), TypeId::kI32);
+  EXPECT_EQ(DataType::Int64().physical(), TypeId::kI64);
+  EXPECT_EQ(DataType::Decimal(2).physical(), TypeId::kI64);
+  EXPECT_EQ(DataType::Double().physical(), TypeId::kF64);
+  EXPECT_EQ(DataType::Varchar().physical(), TypeId::kStr);
+}
+
+TEST(TypesTest, Widths) {
+  EXPECT_EQ(TypeWidth(TypeId::kU8), 1u);
+  EXPECT_EQ(TypeWidth(TypeId::kI32), 4u);
+  EXPECT_EQ(TypeWidth(TypeId::kI64), 8u);
+  EXPECT_EQ(TypeWidth(TypeId::kF64), 8u);
+  EXPECT_EQ(TypeWidth(TypeId::kStr), sizeof(StringVal));
+}
+
+TEST(TypesTest, StringValCompare) {
+  std::string a = "apple", b = "banana", a2 = "apple";
+  EXPECT_EQ(StringVal(a), StringVal(a2));
+  EXPECT_NE(StringVal(a), StringVal(b));
+  EXPECT_LT(StringVal(a), StringVal(b));
+  EXPECT_LE(StringVal(a), StringVal(a2));
+  EXPECT_GT(StringVal(b), StringVal(a));
+}
+
+TEST(StringHeapTest, AddCopiesBytes) {
+  StringHeap heap;
+  std::string src = "hello world";
+  StringVal sv = heap.Add(src);
+  src[0] = 'X';  // mutating the source must not affect the heap copy
+  EXPECT_EQ(sv.ToString(), "hello world");
+}
+
+TEST(StringHeapTest, LargeStringsSpanChunks) {
+  StringHeap heap;
+  std::string big(200000, 'z');
+  StringVal sv = heap.Add(big);
+  EXPECT_EQ(sv.len, 200000u);
+  EXPECT_EQ(sv.view().back(), 'z');
+}
+
+TEST(VectorTest, TypedAccess) {
+  Vector v(TypeId::kI64, 128);
+  int64_t* d = v.Data<int64_t>();
+  for (int i = 0; i < 128; i++) d[i] = i * 3;
+  EXPECT_EQ(v.Data<int64_t>()[100], 300);
+  EXPECT_EQ(v.capacity(), 128u);
+}
+
+TEST(VectorTest, ReferenceSharesBuffer) {
+  Vector a(TypeId::kI32, 16);
+  a.Data<int32_t>()[5] = 99;
+  Vector b;
+  b.Reference(a);
+  EXPECT_EQ(b.Data<int32_t>()[5], 99);
+  b.Data<int32_t>()[5] = 7;
+  EXPECT_EQ(a.Data<int32_t>()[5], 7);
+}
+
+class ChunkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    chunk_.Init({TypeId::kI64, TypeId::kF64, TypeId::kStr}, 64);
+    int64_t* a = chunk_.column(0).Data<int64_t>();
+    double* b = chunk_.column(1).Data<double>();
+    StringVal* s = chunk_.column(2).Data<StringVal>();
+    StringHeap* heap = chunk_.column(2).GetStringHeap();
+    for (int i = 0; i < 10; i++) {
+      a[i] = i;
+      b[i] = i * 0.5;
+      s[i] = heap->Add("row" + std::to_string(i));
+    }
+    chunk_.SetCount(10);
+  }
+  DataChunk chunk_;
+};
+
+TEST_F(ChunkTest, ActiveCountWithoutSelection) {
+  EXPECT_EQ(chunk_.ActiveCount(), 10u);
+  EXPECT_FALSE(chunk_.has_selection());
+}
+
+TEST_F(ChunkTest, SelectionRestrictsActive) {
+  sel_t* sel = chunk_.MutableSel();
+  sel[0] = 2;
+  sel[1] = 5;
+  sel[2] = 9;
+  chunk_.SetSelection(3);
+  EXPECT_EQ(chunk_.ActiveCount(), 3u);
+  EXPECT_EQ(chunk_.GetValue(0, 1).AsInt(), 5);
+  EXPECT_EQ(chunk_.GetValue(2, 2).AsString(), "row9");
+}
+
+TEST_F(ChunkTest, FlattenCompacts) {
+  sel_t* sel = chunk_.MutableSel();
+  sel[0] = 1;
+  sel[1] = 4;
+  sel[2] = 7;
+  chunk_.SetSelection(3);
+  chunk_.Flatten();
+  EXPECT_FALSE(chunk_.has_selection());
+  EXPECT_EQ(chunk_.count(), 3u);
+  EXPECT_EQ(chunk_.GetValue(0, 0).AsInt(), 1);
+  EXPECT_EQ(chunk_.GetValue(0, 2).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(chunk_.GetValue(1, 1).AsDouble(), 2.0);
+  EXPECT_EQ(chunk_.GetValue(2, 2).AsString(), "row7");
+}
+
+TEST_F(ChunkTest, FlattenWithoutSelectionIsNoop) {
+  chunk_.Flatten();
+  EXPECT_EQ(chunk_.count(), 10u);
+}
+
+TEST_F(ChunkTest, ResetClears) {
+  chunk_.SetSelection(0);
+  chunk_.Reset();
+  EXPECT_EQ(chunk_.count(), 0u);
+  EXPECT_FALSE(chunk_.has_selection());
+}
+
+TEST_F(ChunkTest, GetValueRendersDates) {
+  DataChunk c;
+  c.Init({TypeId::kI32}, 4);
+  c.column(0).Data<int32_t>()[0] = 0;
+  c.SetCount(1);
+  DataType date = DataType::Date();
+  EXPECT_EQ(c.GetValue(0, 0, &date).AsString(), "1970-01-01");
+}
+
+}  // namespace
+}  // namespace vwise
