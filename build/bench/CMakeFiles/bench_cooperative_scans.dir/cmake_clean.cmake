@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cooperative_scans.dir/bench_cooperative_scans.cc.o"
+  "CMakeFiles/bench_cooperative_scans.dir/bench_cooperative_scans.cc.o.d"
+  "bench_cooperative_scans"
+  "bench_cooperative_scans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cooperative_scans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

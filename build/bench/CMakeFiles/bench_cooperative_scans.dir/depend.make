@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_cooperative_scans.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pdt.dir/bench_pdt.cc.o"
+  "CMakeFiles/bench_pdt.dir/bench_pdt.cc.o.d"
+  "bench_pdt"
+  "bench_pdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

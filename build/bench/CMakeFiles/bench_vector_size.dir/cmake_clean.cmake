@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vector_size.dir/bench_vector_size.cc.o"
+  "CMakeFiles/bench_vector_size.dir/bench_vector_size.cc.o.d"
+  "bench_vector_size"
+  "bench_vector_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vector_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

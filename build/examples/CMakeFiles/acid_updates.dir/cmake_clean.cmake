@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acid_updates.dir/acid_updates.cc.o"
+  "CMakeFiles/acid_updates.dir/acid_updates.cc.o.d"
+  "acid_updates"
+  "acid_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acid_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

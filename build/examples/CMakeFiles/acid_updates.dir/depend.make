@@ -1,0 +1,2 @@
+# Empty dependencies file for acid_updates.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooperative_scans_demo.dir/cooperative_scans_demo.cc.o"
+  "CMakeFiles/cooperative_scans_demo.dir/cooperative_scans_demo.cc.o.d"
+  "cooperative_scans_demo"
+  "cooperative_scans_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooperative_scans_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/database.cc" "src/CMakeFiles/vwise.dir/api/database.cc.o" "gcc" "src/CMakeFiles/vwise.dir/api/database.cc.o.d"
+  "/root/repo/src/baseline/column_engine.cc" "src/CMakeFiles/vwise.dir/baseline/column_engine.cc.o" "gcc" "src/CMakeFiles/vwise.dir/baseline/column_engine.cc.o.d"
+  "/root/repo/src/baseline/tuple_engine.cc" "src/CMakeFiles/vwise.dir/baseline/tuple_engine.cc.o" "gcc" "src/CMakeFiles/vwise.dir/baseline/tuple_engine.cc.o.d"
+  "/root/repo/src/common/bitutil.cc" "src/CMakeFiles/vwise.dir/common/bitutil.cc.o" "gcc" "src/CMakeFiles/vwise.dir/common/bitutil.cc.o.d"
+  "/root/repo/src/common/buffer.cc" "src/CMakeFiles/vwise.dir/common/buffer.cc.o" "gcc" "src/CMakeFiles/vwise.dir/common/buffer.cc.o.d"
+  "/root/repo/src/common/crc32.cc" "src/CMakeFiles/vwise.dir/common/crc32.cc.o" "gcc" "src/CMakeFiles/vwise.dir/common/crc32.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/vwise.dir/common/status.cc.o" "gcc" "src/CMakeFiles/vwise.dir/common/status.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/vwise.dir/common/value.cc.o" "gcc" "src/CMakeFiles/vwise.dir/common/value.cc.o.d"
+  "/root/repo/src/compression/codec.cc" "src/CMakeFiles/vwise.dir/compression/codec.cc.o" "gcc" "src/CMakeFiles/vwise.dir/compression/codec.cc.o.d"
+  "/root/repo/src/exec/hash_agg.cc" "src/CMakeFiles/vwise.dir/exec/hash_agg.cc.o" "gcc" "src/CMakeFiles/vwise.dir/exec/hash_agg.cc.o.d"
+  "/root/repo/src/exec/hash_join.cc" "src/CMakeFiles/vwise.dir/exec/hash_join.cc.o" "gcc" "src/CMakeFiles/vwise.dir/exec/hash_join.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/CMakeFiles/vwise.dir/exec/operator.cc.o" "gcc" "src/CMakeFiles/vwise.dir/exec/operator.cc.o.d"
+  "/root/repo/src/exec/project.cc" "src/CMakeFiles/vwise.dir/exec/project.cc.o" "gcc" "src/CMakeFiles/vwise.dir/exec/project.cc.o.d"
+  "/root/repo/src/exec/scan.cc" "src/CMakeFiles/vwise.dir/exec/scan.cc.o" "gcc" "src/CMakeFiles/vwise.dir/exec/scan.cc.o.d"
+  "/root/repo/src/exec/select.cc" "src/CMakeFiles/vwise.dir/exec/select.cc.o" "gcc" "src/CMakeFiles/vwise.dir/exec/select.cc.o.d"
+  "/root/repo/src/exec/sort.cc" "src/CMakeFiles/vwise.dir/exec/sort.cc.o" "gcc" "src/CMakeFiles/vwise.dir/exec/sort.cc.o.d"
+  "/root/repo/src/exec/xchg.cc" "src/CMakeFiles/vwise.dir/exec/xchg.cc.o" "gcc" "src/CMakeFiles/vwise.dir/exec/xchg.cc.o.d"
+  "/root/repo/src/expr/expression.cc" "src/CMakeFiles/vwise.dir/expr/expression.cc.o" "gcc" "src/CMakeFiles/vwise.dir/expr/expression.cc.o.d"
+  "/root/repo/src/expr/primitive_registry.cc" "src/CMakeFiles/vwise.dir/expr/primitive_registry.cc.o" "gcc" "src/CMakeFiles/vwise.dir/expr/primitive_registry.cc.o.d"
+  "/root/repo/src/pdt/pdt.cc" "src/CMakeFiles/vwise.dir/pdt/pdt.cc.o" "gcc" "src/CMakeFiles/vwise.dir/pdt/pdt.cc.o.d"
+  "/root/repo/src/rewriter/null_rewrite.cc" "src/CMakeFiles/vwise.dir/rewriter/null_rewrite.cc.o" "gcc" "src/CMakeFiles/vwise.dir/rewriter/null_rewrite.cc.o.d"
+  "/root/repo/src/rewriter/parallelize.cc" "src/CMakeFiles/vwise.dir/rewriter/parallelize.cc.o" "gcc" "src/CMakeFiles/vwise.dir/rewriter/parallelize.cc.o.d"
+  "/root/repo/src/scan/scan_scheduler.cc" "src/CMakeFiles/vwise.dir/scan/scan_scheduler.cc.o" "gcc" "src/CMakeFiles/vwise.dir/scan/scan_scheduler.cc.o.d"
+  "/root/repo/src/storage/buffer_manager.cc" "src/CMakeFiles/vwise.dir/storage/buffer_manager.cc.o" "gcc" "src/CMakeFiles/vwise.dir/storage/buffer_manager.cc.o.d"
+  "/root/repo/src/storage/io_file.cc" "src/CMakeFiles/vwise.dir/storage/io_file.cc.o" "gcc" "src/CMakeFiles/vwise.dir/storage/io_file.cc.o.d"
+  "/root/repo/src/storage/table_file.cc" "src/CMakeFiles/vwise.dir/storage/table_file.cc.o" "gcc" "src/CMakeFiles/vwise.dir/storage/table_file.cc.o.d"
+  "/root/repo/src/tpch/generator.cc" "src/CMakeFiles/vwise.dir/tpch/generator.cc.o" "gcc" "src/CMakeFiles/vwise.dir/tpch/generator.cc.o.d"
+  "/root/repo/src/tpch/queries.cc" "src/CMakeFiles/vwise.dir/tpch/queries.cc.o" "gcc" "src/CMakeFiles/vwise.dir/tpch/queries.cc.o.d"
+  "/root/repo/src/tpch/queries2.cc" "src/CMakeFiles/vwise.dir/tpch/queries2.cc.o" "gcc" "src/CMakeFiles/vwise.dir/tpch/queries2.cc.o.d"
+  "/root/repo/src/tpch/schema.cc" "src/CMakeFiles/vwise.dir/tpch/schema.cc.o" "gcc" "src/CMakeFiles/vwise.dir/tpch/schema.cc.o.d"
+  "/root/repo/src/txn/transaction_manager.cc" "src/CMakeFiles/vwise.dir/txn/transaction_manager.cc.o" "gcc" "src/CMakeFiles/vwise.dir/txn/transaction_manager.cc.o.d"
+  "/root/repo/src/txn/wal.cc" "src/CMakeFiles/vwise.dir/txn/wal.cc.o" "gcc" "src/CMakeFiles/vwise.dir/txn/wal.cc.o.d"
+  "/root/repo/src/vector/chunk.cc" "src/CMakeFiles/vwise.dir/vector/chunk.cc.o" "gcc" "src/CMakeFiles/vwise.dir/vector/chunk.cc.o.d"
+  "/root/repo/src/vector/types.cc" "src/CMakeFiles/vwise.dir/vector/types.cc.o" "gcc" "src/CMakeFiles/vwise.dir/vector/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

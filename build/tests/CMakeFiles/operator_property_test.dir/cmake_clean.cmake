@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_property_test.dir/operator_property_test.cc.o"
+  "CMakeFiles/operator_property_test.dir/operator_property_test.cc.o.d"
+  "operator_property_test"
+  "operator_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

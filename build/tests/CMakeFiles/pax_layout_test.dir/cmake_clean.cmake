@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pax_layout_test.dir/pax_layout_test.cc.o"
+  "CMakeFiles/pax_layout_test.dir/pax_layout_test.cc.o.d"
+  "pax_layout_test"
+  "pax_layout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pax_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_test.dir/pdt_test.cc.o"
+  "CMakeFiles/pdt_test.dir/pdt_test.cc.o.d"
+  "pdt_test"
+  "pdt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_scheduler_test.dir/scan_scheduler_test.cc.o"
+  "CMakeFiles/scan_scheduler_test.dir/scan_scheduler_test.cc.o.d"
+  "scan_scheduler_test"
+  "scan_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

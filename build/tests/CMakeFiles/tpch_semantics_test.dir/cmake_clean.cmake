@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_semantics_test.dir/tpch_semantics_test.cc.o"
+  "CMakeFiles/tpch_semantics_test.dir/tpch_semantics_test.cc.o.d"
+  "tpch_semantics_test"
+  "tpch_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

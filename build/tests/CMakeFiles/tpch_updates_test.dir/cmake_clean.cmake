@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_updates_test.dir/tpch_updates_test.cc.o"
+  "CMakeFiles/tpch_updates_test.dir/tpch_updates_test.cc.o.d"
+  "tpch_updates_test"
+  "tpch_updates_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_updates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
