@@ -21,7 +21,7 @@ constexpr int64_t kRows = 200000;
 void Load(Database* db, const char* table, const ColumnGroups& groups) {
   std::vector<ColumnDef> cols;
   for (int c = 0; c < kCols; c++) {
-    cols.emplace_back("c" + std::to_string(c), DataType::Int64());
+    cols.emplace_back(std::string("c") + std::to_string(c), DataType::Int64());
   }
   VWISE_CHECK(db->CreateTable(TableSchema(table, cols), groups).ok());
   VWISE_CHECK(db->BulkLoad(table, [&](TableWriter* w) -> Status {

@@ -25,7 +25,6 @@ double RunStreams(Database* db, bool with_refresh, double sf,
   Config cfg = db->config();
   std::atomic<bool> stop{false};
   double rf_total = 0;
-  uint64_t n_deltas = 0;
 
   std::thread refresher;
   if (with_refresh) {

@@ -3,8 +3,23 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 
 namespace vwise {
+
+namespace detail {
+// Default for Config::check_contracts: the VWISE_CHECK_CONTRACTS environment
+// variable lets a test runner (ctest sets it for every test) turn contract
+// checking on for all Configs constructed in the process, without each test
+// opting in.
+inline bool EnvCheckContracts() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("VWISE_CHECK_CONTRACTS");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  return enabled;
+}
+}  // namespace detail
 
 // Engine-wide tuning knobs. A Config is plumbed from the Database facade down
 // to storage and execution; benches override individual fields to run the
@@ -18,6 +33,10 @@ struct Config {
   int num_threads = 1;
   // Bound on chunks buffered per Xchg queue.
   size_t xchg_queue_capacity = 8;
+  // Interpose a CheckedOperator between every parent/child operator pair,
+  // validating the X100 chunk invariants (see vector/chunk.h) after every
+  // Next(). Debug tooling: on in all tests, off in benchmarks.
+  bool check_contracts = detail::EnvCheckContracts();
 
   // --- Storage --------------------------------------------------------------
   // Rows per storage stripe (the cooperative-scan "chunk" granularity).

@@ -39,6 +39,7 @@ class Reader {
     return Status::OK();
   }
   Status GetBytes(void* out, size_t n) {
+    if (n == 0) return Status::OK();
     if (p_ + n > end_) return Status::Corruption("segment truncated");
     std::memcpy(out, p_, n);
     p_ += n;

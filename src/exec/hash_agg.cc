@@ -5,6 +5,7 @@
 
 #include "common/bitutil.h"
 #include "common/hash.h"
+#include "exec/checked.h"
 
 namespace vwise {
 
@@ -90,7 +91,7 @@ HashAggOperator::HashAggOperator(OperatorPtr child,
                                  std::vector<size_t> group_cols,
                                  std::vector<AggSpec> aggs,
                                  const Config& config)
-    : child_(std::move(child)),
+    : child_(MaybeChecked(std::move(child), config, "hash_agg.child")),
       group_cols_(std::move(group_cols)),
       aggs_(std::move(aggs)),
       config_(config) {

@@ -4,6 +4,8 @@
 
 #include "common/bitutil.h"
 #include "common/hash.h"
+#include "exec/checked.h"
+#include "expr/primitives.h"
 
 namespace vwise {
 
@@ -69,32 +71,27 @@ void GatherProbe(const Vector& src, const std::vector<sel_t>& positions,
                  Vector* out) {
   size_t n = positions.size();
   switch (src.type()) {
-    case TypeId::kU8: {
-      uint8_t* d = out->Data<uint8_t>();
-      for (size_t i = 0; i < n; i++) d[i] = src.Data<uint8_t>()[positions[i]];
+    case TypeId::kU8:
+      prim::Gather<uint8_t>(src.Data<uint8_t>(), positions.data(), n,
+                            out->Data<uint8_t>());
       break;
-    }
-    case TypeId::kI32: {
-      int32_t* d = out->Data<int32_t>();
-      for (size_t i = 0; i < n; i++) d[i] = src.Data<int32_t>()[positions[i]];
+    case TypeId::kI32:
+      prim::Gather<int32_t>(src.Data<int32_t>(), positions.data(), n,
+                            out->Data<int32_t>());
       break;
-    }
-    case TypeId::kI64: {
-      int64_t* d = out->Data<int64_t>();
-      for (size_t i = 0; i < n; i++) d[i] = src.Data<int64_t>()[positions[i]];
+    case TypeId::kI64:
+      prim::Gather<int64_t>(src.Data<int64_t>(), positions.data(), n,
+                            out->Data<int64_t>());
       break;
-    }
-    case TypeId::kF64: {
-      double* d = out->Data<double>();
-      for (size_t i = 0; i < n; i++) d[i] = src.Data<double>()[positions[i]];
+    case TypeId::kF64:
+      prim::Gather<double>(src.Data<double>(), positions.data(), n,
+                           out->Data<double>());
       break;
-    }
-    case TypeId::kStr: {
-      StringVal* d = out->Data<StringVal>();
-      for (size_t i = 0; i < n; i++) d[i] = src.Data<StringVal>()[positions[i]];
+    case TypeId::kStr:
+      prim::Gather<StringVal>(src.Data<StringVal>(), positions.data(), n,
+                              out->Data<StringVal>());
       out->AddHeapsFrom(src);
       break;
-    }
   }
 }
 
@@ -122,8 +119,8 @@ void ZeroFill(Vector* out, size_t i) {
 
 HashJoinOperator::HashJoinOperator(OperatorPtr probe, OperatorPtr build,
                                    Spec spec, const Config& config)
-    : probe_(std::move(probe)),
-      build_(std::move(build)),
+    : probe_(MaybeChecked(std::move(probe), config, "hash_join.probe")),
+      build_(MaybeChecked(std::move(build), config, "hash_join.build")),
       spec_(std::move(spec)),
       config_(config) {
   out_types_ = probe_->OutputTypes();

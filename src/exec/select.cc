@@ -1,10 +1,14 @@
 #include "exec/select.h"
 
+#include "exec/checked.h"
+
 namespace vwise {
 
 SelectOperator::SelectOperator(OperatorPtr child, FilterPtr filter,
                                const Config& config)
-    : child_(std::move(child)), filter_(std::move(filter)), config_(config) {}
+    : child_(MaybeChecked(std::move(child), config, "select.child")),
+      filter_(std::move(filter)),
+      config_(config) {}
 
 Status SelectOperator::Open() {
   VWISE_RETURN_IF_ERROR(child_->Open());

@@ -1,5 +1,7 @@
 #include "exec/xchg.h"
 
+#include "exec/checked.h"
+
 namespace vwise {
 
 XchgOperator::XchgOperator(FragmentFactory factory, int num_workers,
@@ -12,6 +14,10 @@ XchgOperator::XchgOperator(FragmentFactory factory, int num_workers,
 XchgOperator::~XchgOperator() { Close(); }
 
 Status XchgOperator::Open() {
+  // mu_ guards every piece of shared producer/consumer state
+  // (first_error_, producers_running_, queue_); cancelled_ is additionally
+  // atomic because producer loops poll it outside the lock.
+  std::lock_guard<std::mutex> lock(mu_);
   cancelled_ = false;
   first_error_ = Status::OK();
   producers_running_ = num_workers_;
@@ -44,12 +50,12 @@ void XchgOperator::ProducerLoop(int worker) {
     finish(fragment.status());
     return;
   }
-  OperatorPtr op = std::move(*fragment);
+  OperatorPtr op = MaybeChecked(std::move(*fragment), config_, "xchg.fragment");
   Status status = op->Open();
   if (status.ok()) {
     DataChunk chunk;
     chunk.Init(op->OutputTypes(), config_.vector_size);
-    while (!cancelled_) {
+    while (!cancelled_.load(std::memory_order_relaxed)) {
       chunk.Reset();
       status = op->Next(&chunk);
       if (!status.ok() || chunk.ActiveCount() == 0) break;
@@ -68,7 +74,7 @@ void XchgOperator::ProducerLoop(int worker) {
 Status XchgOperator::Next(DataChunk* out) {
   std::unique_lock<std::mutex> lock(mu_);
   not_empty_.wait(lock, [this] {
-    return !queue_.empty() || producers_running_ == 0;
+    return !queue_.empty() || producers_running_ == 0 || cancelled_;
   });
   if (!queue_.empty()) {
     DataChunk chunk = std::move(queue_.front());
@@ -83,23 +89,30 @@ Status XchgOperator::Next(DataChunk* out) {
     out->SetCount(n);
     return Status::OK();
   }
-  // All producers done.
+  // All producers done (or the operator was cancelled under us); report the
+  // first producer error, still under mu_.
   VWISE_RETURN_IF_ERROR(first_error_);
   out->SetCount(0);
   return Status::OK();
 }
 
 void XchgOperator::Close() {
+  // Safe to call twice and concurrently with an in-flight Next(): shared
+  // state is only touched under mu_, and the join set is claimed atomically
+  // so a second Close() (e.g. the destructor after an explicit Close) finds
+  // nothing left to do.
+  std::vector<std::thread> to_join;
   {
     std::lock_guard<std::mutex> lock(mu_);
     cancelled_ = true;
+    to_join.swap(threads_);
     not_full_.notify_all();
     not_empty_.notify_all();
   }
-  for (auto& t : threads_) {
+  for (auto& t : to_join) {
     if (t.joinable()) t.join();
   }
-  threads_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
   queue_.clear();
 }
 

@@ -71,8 +71,10 @@ Status ConstExpr::Prepare(size_t capacity) {
       break;
     }
     case TypeId::kStr: {
-      // value_ owns the bytes for the lifetime of this node.
-      str_ = StringVal(value_.AsString());
+      // Copy the bytes into the scratch vector's own heap so the emitted
+      // vector upholds the string-liveness contract (a chunk referencing
+      // this column carries the heap, not a pointer into this node).
+      str_ = scratch_.GetStringHeap()->Add(value_.AsString());
       StringVal* d = scratch_.Data<StringVal>();
       for (size_t i = 0; i < capacity; i++) d[i] = str_;
       break;
@@ -643,9 +645,9 @@ Status OrFilter::Select(DataChunk& in, const sel_t* sel, size_t n,
     while (i < acc_n) merged.push_back(acc[i++]);
     while (j < k) merged.push_back(child_buf[j++]);
     acc_n = merged.size();
-    std::memcpy(acc, merged.data(), acc_n * sizeof(sel_t));
+    if (acc_n != 0) std::memcpy(acc, merged.data(), acc_n * sizeof(sel_t));
   }
-  std::memcpy(out_sel, acc, acc_n * sizeof(sel_t));
+  if (acc_n != 0) std::memcpy(out_sel, acc, acc_n * sizeof(sel_t));
   *out_n = acc_n;
   return Status::OK();
 }

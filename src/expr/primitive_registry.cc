@@ -48,50 +48,19 @@ size_t SelColCol(const void* a, const void* b, const sel_t* sel, size_t n,
                                       out_sel);
 }
 
-const char* TypeToken(TypeId t) { return TypeIdToString(t); }
-
 }  // namespace
 
 PrimitiveRegistry::PrimitiveRegistry() {
-  // ---- map primitives: {add,sub,mul,div} x {i64,f64} x operand kinds ------
-  auto reg_map_type = [&](auto type_tag, TypeId id) {
-    using T = decltype(type_tag);
-    auto reg_op = [&](const char* op, auto op_tag) {
-      using OP = decltype(op_tag);
-      std::string base = std::string("map_") + op + "_" + TypeToken(id);
-      maps_[base + "_col_" + TypeToken(id) + "_col"] = &MapColCol<T, OP>;
-      maps_[base + "_col_" + TypeToken(id) + "_val"] = &MapColVal<T, OP>;
-      maps_[base + "_val_" + TypeToken(id) + "_col"] = &MapValCol<T, OP>;
-    };
-    reg_op("add", prim::OpAdd{});
-    reg_op("sub", prim::OpSub{});
-    reg_op("mul", prim::OpMul{});
-    reg_op("div", prim::OpDiv{});
-  };
-  reg_map_type(int64_t{}, TypeId::kI64);
-  reg_map_type(double{}, TypeId::kF64);
-
-  // ---- select primitives: 6 comparisons x 5 types x {col_val, col_col} ----
-  auto reg_sel_type = [&](auto type_tag, TypeId id) {
-    using T = decltype(type_tag);
-    auto reg_op = [&](const char* op, auto op_tag) {
-      using OP = decltype(op_tag);
-      std::string base = std::string("sel_") + op + "_" + TypeToken(id);
-      selects_[base + "_col_" + TypeToken(id) + "_val"] = &SelColVal<T, OP>;
-      selects_[base + "_col_" + TypeToken(id) + "_col"] = &SelColCol<T, OP>;
-    };
-    reg_op("eq", prim::OpEq{});
-    reg_op("ne", prim::OpNe{});
-    reg_op("lt", prim::OpLt{});
-    reg_op("le", prim::OpLe{});
-    reg_op("gt", prim::OpGt{});
-    reg_op("ge", prim::OpGe{});
-  };
-  reg_sel_type(uint8_t{}, TypeId::kU8);
-  reg_sel_type(int32_t{}, TypeId::kI32);
-  reg_sel_type(int64_t{}, TypeId::kI64);
-  reg_sel_type(double{}, TypeId::kF64);
-  reg_sel_type(StringVal{}, TypeId::kStr);
+  // The catalog is a flat, explicit list — one line per primitive — so the
+  // lint pass (tools/vwise_lint.py) can statically cross-check every entry
+  // against the kernels and functors in expr/primitives.h.
+#define VWISE_MAP_PRIMITIVE(name, ctype, adapter, functor) \
+  maps_[#name] = &adapter<ctype, prim::functor>;
+#define VWISE_SEL_PRIMITIVE(name, ctype, adapter, functor) \
+  selects_[#name] = &adapter<ctype, prim::functor>;
+#include "expr/primitive_catalog.inc"
+#undef VWISE_MAP_PRIMITIVE
+#undef VWISE_SEL_PRIMITIVE
 }
 
 const PrimitiveRegistry& PrimitiveRegistry::Instance() {

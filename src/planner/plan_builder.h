@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/checked.h"
 #include "exec/hash_agg.h"
 #include "exec/hash_join.h"
 #include "exec/project.h"
@@ -103,7 +104,12 @@ class PlanBuilder {
   const Config& config() const { return config_; }
   TransactionManager* mgr() { return mgr_; }
 
-  OperatorPtr Build() { return std::move(op_); }
+  // The per-operator wrapping happens inside each operator's constructor;
+  // wrapping the finished plan here additionally validates the root's output
+  // stream (the chunks CollectRows and the API layer consume).
+  OperatorPtr Build() {
+    return MaybeChecked(std::move(op_), config_, "plan.root");
+  }
 
  private:
   TransactionManager* mgr_;

@@ -25,7 +25,7 @@ void PutOp(std::vector<uint8_t>* out, const PdtLogOp& op) {
 }
 
 Status GetOp(ser::Reader* r, PdtLogOp* op) {
-  uint8_t kind, flags;
+  uint8_t kind = 0, flags = 0;
   VWISE_RETURN_IF_ERROR(r->Get(&kind));
   if (kind > 2) return Status::Corruption("bad op kind");
   op->kind = static_cast<PdtOpKind>(kind);

@@ -75,6 +75,7 @@ class Vector {
   void SetKeepalive(std::shared_ptr<const void> keepalive) {
     keepalive_ = std::move(keepalive);
   }
+  bool has_keepalive() const { return keepalive_ != nullptr; }
 
   // Registers a heap whose bytes this vector's StringVals may point into.
   // A vector can reference several heaps (e.g. stable storage strings plus

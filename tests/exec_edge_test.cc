@@ -30,7 +30,7 @@ class ExecEdgeTest : public ::testing::Test {
     ASSERT_TRUE(db_->BulkLoad("t", [](TableWriter* w) -> Status {
       for (int64_t i = 0; i < 300; i++) {
         VWISE_RETURN_IF_ERROR(w->AppendRow(
-            {Value::Int(i % 5), Value::String("s" + std::to_string(i % 3))}));
+            {Value::Int(i % 5), Value::String(std::string("s") + std::to_string(i % 3))}));
       }
       return Status::OK();
     }).ok());

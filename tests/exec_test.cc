@@ -61,7 +61,7 @@ class ExecTest : public ::testing::Test {
                                  for (int64_t i = 0; i < 7; i++) {  // cust 7,8,9 missing
                                    VWISE_RETURN_IF_ERROR(w->AppendRow(
                                        {Value::Int(i),
-                                        Value::String("c" + std::to_string(i))}));
+                                        Value::String(std::string("c") + std::to_string(i))}));
                                  }
                                  return Status::OK();
                                })
@@ -232,7 +232,7 @@ TEST_F(ExecTest, HashJoinInner) {
   auto result = Run(&join);
   EXPECT_EQ(result.rows.size(), 700u);  // cust 0..6 have 100 orders each
   for (const auto& row : result.rows) {
-    EXPECT_EQ(row[2].AsString(), "c" + std::to_string(row[1].AsInt()));
+    EXPECT_EQ(row[2].AsString(), std::string("c") + std::to_string(row[1].AsInt()));
   }
 }
 

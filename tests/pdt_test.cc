@@ -45,7 +45,9 @@ Row MakeRow(int64_t a, const std::string& b) {
 std::vector<Row> MakeStable(size_t n) {
   std::vector<Row> rows;
   for (size_t i = 0; i < n; i++) {
-    rows.push_back(MakeRow(static_cast<int64_t>(i), "s" + std::to_string(i)));
+    std::string s = "s";  // += sidesteps a GCC 12 -Wrestrict false positive
+    s += std::to_string(i);
+    rows.push_back(MakeRow(static_cast<int64_t>(i), s));
   }
   return rows;
 }
@@ -243,7 +245,9 @@ TEST_P(PdtFuzzTest, MatchesNaiveModel) {
     int pick = static_cast<int>(rng.Uniform(0, total_w - 1));
     if (pick < p.ins_w || model.empty()) {
       uint64_t rid = static_cast<uint64_t>(rng.Uniform(0, model.size()));
-      Row row = MakeRow(1000000 + static_cast<int64_t>(i), "ins" + std::to_string(i));
+      std::string s = "ins";
+      s += std::to_string(i);
+      Row row = MakeRow(1000000 + static_cast<int64_t>(i), s);
       ASSERT_TRUE(pdt.Insert(rid, row).ok());
       model.insert(model.begin() + rid, row);
     } else if (pick < p.ins_w + p.del_w) {

@@ -198,7 +198,9 @@ TEST_P(TpchAllQueries, VectorSizeInvariance) {
 INSTANTIATE_TEST_SUITE_P(AllQueries, TpchAllQueries,
                          ::testing::Range(1, 23),
                          [](const ::testing::TestParamInfo<int>& info) {
-                           return "Q" + std::to_string(info.param);
+                           std::string name = "Q";
+                           name += std::to_string(info.param);
+                           return name;
                          });
 
 }  // namespace

@@ -108,7 +108,9 @@ TEST_P(TpchUpdatesAllQueries, CheckpointPreservesResults) {
 INSTANTIATE_TEST_SUITE_P(AllQueries, TpchUpdatesAllQueries,
                          ::testing::Values(1, 3, 4, 6, 9, 12, 13, 14, 18, 21, 22),
                          [](const ::testing::TestParamInfo<int>& info) {
-                           return "Q" + std::to_string(info.param);
+                           std::string name = "Q";
+                           name += std::to_string(info.param);
+                           return name;
                          });
 
 TEST_F(TpchUpdatesTest, RefreshChangesAggregates) {

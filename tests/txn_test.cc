@@ -44,9 +44,11 @@ class TxnTest : public ::testing::Test {
                     ->BulkLoad("accounts",
                                [&](TableWriter* w) -> Status {
                                  for (int64_t i = 0; i < n; i++) {
+                                   std::string owner = "u";
+                                   owner += std::to_string(i);
                                    VWISE_RETURN_IF_ERROR(w->AppendRow(
                                        {Value::Int(i), Value::Int(100),
-                                        Value::String("u" + std::to_string(i))}));
+                                        Value::String(owner)}));
                                  }
                                  return Status::OK();
                                })

@@ -1,0 +1,390 @@
+#!/usr/bin/env python3
+"""vwise-specific lint pass, run as a ctest target.
+
+Checks
+------
+1. Primitive catalog (src/expr/primitive_catalog.inc):
+   * every entry obeys the naming grammar
+       map_<op>_<ty>_{col_<ty>_{col,val} | val_<ty>_col}
+       sel_<cmp>_<ty>_col_<ty>_{col,val}
+     with both type tokens equal and matching the entry's C++ type;
+   * the operand-kind suffix matches the registered adapter kernel, and the
+     op token matches the operator functor;
+   * no duplicate names; every (op x type) block is a complete kind grid;
+   * 1:1 consistency with src/expr/primitives.h: each Op* functor declared
+     there is used by the catalog and vice versa; every kernel the catalog
+     references exists there; kernels not in the catalog (e.g. MapUnary,
+     Gather) must be referenced somewhere else under src/;
+   * src/expr/primitive_registry.cc actually expands the catalog (so the
+     .inc is the registry, not a stale copy).
+2. Repo rules over src/:
+   * header guards follow VWISE_<PATH>_H_;
+   * no raw assert() (use VWISE_CHECK / VWISE_DCHECK) and no std::cout
+     (report through Status or stderr);
+   * macro definitions are VWISE_-prefixed.
+
+--self-test seeds deliberate violations (misnamed primitive, catalog /
+primitives.h mismatch, raw assert) into a scratch copy and verifies the lint
+catches each one.
+"""
+
+import argparse
+import os
+import re
+import shutil
+import sys
+import tempfile
+
+TYPE_TOKENS = {
+    "u8": "uint8_t",
+    "i32": "int32_t",
+    "i64": "int64_t",
+    "f64": "double",
+    "str": "StringVal",
+}
+MAP_OPS = {"add": "OpAdd", "sub": "OpSub", "mul": "OpMul", "div": "OpDiv"}
+SEL_OPS = {
+    "eq": "OpEq", "ne": "OpNe", "lt": "OpLt",
+    "le": "OpLe", "gt": "OpGt", "ge": "OpGe",
+}
+# operand-kind suffix (with %s = type token) -> required adapter kernel
+MAP_KINDS = {"col_%s_col": "MapColCol", "col_%s_val": "MapColVal",
+             "val_%s_col": "MapValCol"}
+SEL_KINDS = {"col_%s_val": "SelColVal", "col_%s_col": "SelColCol"}
+# registry adapter -> template kernel in primitives.h
+ADAPTER_TO_KERNEL = {
+    "MapColCol": "MapColCol",
+    "MapColVal": "MapColVal",
+    "MapValCol": "MapValCol",
+    "SelColVal": "SelectColVal",
+    "SelColCol": "SelectColCol",
+}
+
+ENTRY_RE = re.compile(
+    r"^VWISE_(MAP|SEL)_PRIMITIVE\(\s*(\w+)\s*,\s*([\w:]+)\s*,"
+    r"\s*(\w+)\s*,\s*(\w+)\s*\)\s*$")
+MAP_NAME_RE = re.compile(
+    r"^map_(?P<op>[a-z]+)_(?P<ty1>[a-z0-9]+)_"
+    r"(?:col_(?P<ty2c>[a-z0-9]+)_(?P<rhs>col|val)|val_(?P<ty2v>[a-z0-9]+)_col)$")
+SEL_NAME_RE = re.compile(
+    r"^sel_(?P<op>[a-z]+)_(?P<ty1>[a-z0-9]+)_col_(?P<ty2>[a-z0-9]+)_"
+    r"(?P<rhs>col|val)$")
+
+
+class Lint:
+    def __init__(self, repo):
+        self.repo = repo
+        self.errors = []
+
+    def error(self, path, line, msg):
+        self.errors.append(f"{path}:{line}: {msg}")
+
+    # -- catalog ------------------------------------------------------------
+
+    def parse_catalog(self, path):
+        entries = []
+        with open(path, encoding="utf-8") as f:
+            for lineno, raw in enumerate(f, 1):
+                line = raw.strip()
+                if not line or line.startswith("//"):
+                    continue
+                m = ENTRY_RE.match(line)
+                if not m:
+                    self.error(path, lineno, f"unparseable catalog line: {line}")
+                    continue
+                entries.append((lineno, m.group(1), m.group(2), m.group(3),
+                                m.group(4), m.group(5)))
+        return entries
+
+    def check_catalog(self, catalog_path, primitives_path, registry_path,
+                      src_dir):
+        entries = self.parse_catalog(catalog_path)
+        primsrc = open(primitives_path, encoding="utf-8").read()
+        declared_functors = set(re.findall(r"\bstruct\s+(Op\w+)\b", primsrc))
+        declared_kernels = set(
+            re.findall(r"\b(?:void|size_t)\s+(\w+)\s*\(", primsrc))
+
+        seen_names = set()
+        used_functors = set()
+        used_kernels = set()
+        grid = {}
+        for lineno, family, name, ctype, adapter, functor in entries:
+            if name in seen_names:
+                self.error(catalog_path, lineno, f"duplicate primitive {name}")
+                continue
+            seen_names.add(name)
+            used_functors.add(functor)
+
+            name_re = MAP_NAME_RE if family == "MAP" else SEL_NAME_RE
+            ops = MAP_OPS if family == "MAP" else SEL_OPS
+            kinds = MAP_KINDS if family == "MAP" else SEL_KINDS
+            m = name_re.match(name)
+            if not m:
+                self.error(catalog_path, lineno,
+                           f"primitive name '{name}' violates the naming "
+                           "grammar map_<op>_<ty>_col_<ty>_{col,val}")
+                continue
+            op = m.group("op")
+            ty1 = m.group("ty1")
+            ty2 = (m.group("ty2") if family == "SEL"
+                   else m.group("ty2c") or m.group("ty2v"))
+            if op not in ops:
+                self.error(catalog_path, lineno,
+                           f"'{name}': unknown op token '{op}'")
+                continue
+            if ty1 not in TYPE_TOKENS:
+                self.error(catalog_path, lineno,
+                           f"'{name}': unknown type token '{ty1}'")
+                continue
+            if ty1 != ty2:
+                self.error(catalog_path, lineno,
+                           f"'{name}': operand type tokens differ "
+                           f"({ty1} vs {ty2}); mixed-type primitives are not "
+                           "in the catalog grammar")
+            if TYPE_TOKENS[ty1] != ctype:
+                self.error(catalog_path, lineno,
+                           f"'{name}': C++ type {ctype} does not match type "
+                           f"token {ty1} (expected {TYPE_TOKENS[ty1]})")
+            if ops[op] != functor:
+                self.error(catalog_path, lineno,
+                           f"'{name}': functor {functor} does not match op "
+                           f"token '{op}' (expected {ops[op]})")
+            kind_suffix = name[len(f"{'map' if family == 'MAP' else 'sel'}_{op}_{ty1}_"):]
+            kind_fmt = kind_suffix.replace(f"_{ty2}_", "_%s_", 1)
+            expected_adapter = kinds.get(kind_fmt)
+            if expected_adapter is None:
+                self.error(catalog_path, lineno,
+                           f"'{name}': operand kind '{kind_suffix}' is not "
+                           "in the grammar")
+            elif expected_adapter != adapter:
+                self.error(catalog_path, lineno,
+                           f"'{name}': operand kind '{kind_suffix}' requires "
+                           f"adapter {expected_adapter}, catalog says "
+                           f"{adapter}")
+            used_kernels.add(adapter)
+            grid.setdefault((family, op, ty1), set()).add(kind_fmt)
+
+        # Grid completeness: every (op, type) block lists every operand kind.
+        for (family, op, ty), kinds_seen in sorted(grid.items()):
+            want = set(MAP_KINDS if family == "MAP" else SEL_KINDS)
+            missing = want - kinds_seen
+            for kind in sorted(missing):
+                self.error(catalog_path, 0,
+                           f"{family.lower()}_{op} over {ty}: missing operand "
+                           f"kind '{kind % ty}' (incomplete grid)")
+
+        # 1:1 functor consistency with primitives.h.
+        for f in sorted(declared_functors - used_functors):
+            self.error(primitives_path, 0,
+                       f"functor {f} is declared in primitives.h but not "
+                       "used by any catalog entry")
+        for f in sorted(used_functors - declared_functors):
+            self.error(catalog_path, 0,
+                       f"catalog references functor {f} which primitives.h "
+                       "does not declare")
+
+        # Every adapter's underlying kernel exists in primitives.h; kernels
+        # the catalog does not cover must be used elsewhere in src/.
+        catalog_kernels = set()
+        for adapter in used_kernels:
+            kernel = ADAPTER_TO_KERNEL.get(adapter)
+            if kernel is None:
+                self.error(catalog_path, 0,
+                           f"catalog uses unknown adapter {adapter}")
+                continue
+            catalog_kernels.add(kernel)
+            if kernel not in declared_kernels:
+                self.error(catalog_path, 0,
+                           f"catalog adapter {adapter} needs kernel {kernel} "
+                           "which primitives.h does not define")
+        for kernel in sorted(declared_kernels - catalog_kernels):
+            if not self.kernel_used_in_src(kernel, src_dir, primitives_path):
+                self.error(primitives_path, 0,
+                           f"kernel {kernel} is defined in primitives.h but "
+                           "neither the catalog nor any src/ file uses it")
+
+        # The registry must expand the catalog rather than keeping its own
+        # copy of the list.
+        regsrc = open(registry_path, encoding="utf-8").read()
+        if "primitive_catalog.inc" not in regsrc:
+            self.error(registry_path, 0,
+                       "primitive_registry.cc does not include "
+                       "expr/primitive_catalog.inc — registry and catalog "
+                       "can drift")
+
+    def kernel_used_in_src(self, kernel, src_dir, primitives_path):
+        pat = re.compile(r"\b(?:prim::)?" + re.escape(kernel) + r"\s*<")
+        for root, _dirs, files in os.walk(src_dir):
+            for fn in files:
+                if not fn.endswith((".cc", ".h", ".inc")):
+                    continue
+                path = os.path.join(root, fn)
+                if os.path.samefile(path, primitives_path):
+                    continue
+                if pat.search(open(path, encoding="utf-8").read()):
+                    return True
+        return False
+
+    # -- repo rules ---------------------------------------------------------
+
+    def check_repo_rules(self, src_dir):
+        assert_re = re.compile(r"(?<!static_)\bassert\s*\(")
+        cout_re = re.compile(r"\bstd::cout\b")
+        define_re = re.compile(r"^\s*#\s*define\s+([A-Za-z_][A-Za-z0-9_]*)")
+        for root, _dirs, files in os.walk(src_dir):
+            for fn in sorted(files):
+                if not fn.endswith((".cc", ".h", ".inc")):
+                    continue
+                path = os.path.join(root, fn)
+                rel = os.path.relpath(path, src_dir)
+                lines = open(path, encoding="utf-8").read().splitlines()
+                for lineno, line in enumerate(lines, 1):
+                    code = line.split("//", 1)[0]
+                    if assert_re.search(code):
+                        self.error(path, lineno,
+                                   "raw assert() in src/ — use VWISE_CHECK "
+                                   "or VWISE_DCHECK")
+                    if cout_re.search(code):
+                        self.error(path, lineno,
+                                   "std::cout in src/ — report through "
+                                   "Status, or write to stderr in tools")
+                    m = define_re.match(code)
+                    if m and not m.group(1).startswith("VWISE_"):
+                        self.error(path, lineno,
+                                   f"macro {m.group(1)} is not VWISE_-"
+                                   "prefixed")
+                if fn.endswith(".h"):
+                    self.check_header_guard(path, rel, lines)
+
+    def check_header_guard(self, path, rel, lines):
+        expected = "VWISE_" + re.sub(r"[/.]", "_", rel).upper() + "_"
+        ifndef = define = None
+        for lineno, line in enumerate(lines, 1):
+            s = line.strip()
+            if ifndef is None and s.startswith("#ifndef "):
+                ifndef = (lineno, s.split()[1])
+                continue
+            if ifndef is not None and s.startswith("#define "):
+                define = (lineno, s.split()[1])
+                break
+        if ifndef is None or define is None:
+            self.error(path, 1, "missing include guard "
+                       f"(expected {expected})")
+            return
+        if ifndef[1] != expected:
+            self.error(path, ifndef[0],
+                       f"include guard {ifndef[1]} should be {expected}")
+        elif define[1] != ifndef[1]:
+            self.error(path, define[0],
+                       f"include-guard #define {define[1]} does not match "
+                       f"#ifndef {ifndef[1]}")
+
+
+def run_lint(repo):
+    src = os.path.join(repo, "src")
+    lint = Lint(repo)
+    lint.check_catalog(
+        catalog_path=os.path.join(src, "expr", "primitive_catalog.inc"),
+        primitives_path=os.path.join(src, "expr", "primitives.h"),
+        registry_path=os.path.join(src, "expr", "primitive_registry.cc"),
+        src_dir=src)
+    lint.check_repo_rules(src)
+    return lint.errors
+
+
+def self_test(repo):
+    """Seeds violations into a scratch copy; the lint must flag each."""
+    failures = []
+
+    def seeded_errors(patch):
+        with tempfile.TemporaryDirectory(prefix="vwise_lint_") as tmp:
+            shutil.copytree(os.path.join(repo, "src"),
+                            os.path.join(tmp, "src"))
+            patch(tmp)
+            return run_lint(tmp)
+
+    def patch_file(tmp, rel, old, new):
+        path = os.path.join(tmp, "src", rel)
+        text = open(path, encoding="utf-8").read()
+        if old not in text:
+            raise RuntimeError(f"self-test patch anchor missing in {rel}")
+        open(path, "w", encoding="utf-8").write(text.replace(old, new, 1))
+
+    cases = {
+        # Misnamed primitive: type tokens disagree.
+        "misnamed primitive": lambda tmp: patch_file(
+            tmp, os.path.join("expr", "primitive_catalog.inc"),
+            "VWISE_MAP_PRIMITIVE(map_add_i64_col_i64_col, int64_t, "
+            "MapColCol, OpAdd)",
+            "VWISE_MAP_PRIMITIVE(map_add_i64_col_f64_col, int64_t, "
+            "MapColCol, OpAdd)"),
+        # Grammar violation: op token not in the grammar.
+        "unknown op token": lambda tmp: patch_file(
+            tmp, os.path.join("expr", "primitive_catalog.inc"),
+            "VWISE_SEL_PRIMITIVE(sel_eq_u8_col_u8_val, uint8_t, "
+            "SelColVal, OpEq)",
+            "VWISE_SEL_PRIMITIVE(sel_equals_u8_col_u8_val, uint8_t, "
+            "SelColVal, OpEq)"),
+        # primitives.h / catalog drift: a functor disappears.
+        "catalog/primitives.h mismatch": lambda tmp: patch_file(
+            tmp, os.path.join("expr", "primitives.h"),
+            "struct OpAdd", "struct OpAddRenamed"),
+        # Repo rule: raw assert in src/.
+        "raw assert": lambda tmp: patch_file(
+            tmp, os.path.join("vector", "chunk.cc"),
+            "namespace vwise {", "namespace vwise {\nstatic void "
+            "SelfTestSeed() { assert(1 == 1); }"),
+        # Repo rule: broken header guard.
+        "wrong header guard": lambda tmp: patch_file(
+            tmp, os.path.join("common", "config.h"),
+            "#ifndef VWISE_COMMON_CONFIG_H_",
+            "#ifndef VWISE_CONFIG_H_"),
+    }
+    for label, patch in cases.items():
+        errs = seeded_errors(patch)
+        if errs:
+            print(f"self-test [{label}]: caught ({errs[0]})")
+        else:
+            failures.append(label)
+            print(f"self-test [{label}]: NOT caught")
+
+    clean = run_lint(repo)
+    if clean:
+        failures.append("clean tree")
+        print("self-test [clean tree]: unexpected errors:")
+        for e in clean:
+            print("  " + e)
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--repo", default=".", help="repository root")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the lint catches seeded violations")
+    args = ap.parse_args()
+    repo = os.path.abspath(args.repo)
+    if not os.path.isdir(os.path.join(repo, "src")):
+        print(f"vwise_lint: {args.repo!r} is not a vwise repo root (no src/)")
+        return 2
+
+    if args.self_test:
+        failures = self_test(repo)
+        if failures:
+            print(f"vwise_lint self-test FAILED: {', '.join(failures)}")
+            return 1
+        print("vwise_lint self-test passed")
+        return 0
+
+    errors = run_lint(repo)
+    for e in errors:
+        print(e)
+    if errors:
+        print(f"vwise_lint: {len(errors)} error(s)")
+        return 1
+    print("vwise_lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
