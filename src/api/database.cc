@@ -34,7 +34,7 @@ Status Database::BulkLoad(const std::string& table,
 
 Result<QueryResult> Database::Run(PlanBuilder* plan,
                                   std::vector<std::string> column_names) {
-  OperatorPtr root = plan->Build();
+  VWISE_ASSIGN_OR_RETURN(OperatorPtr root, plan->Build());
   if (root == nullptr) return Status::InvalidArgument("empty plan");
   return CollectRows(root.get(), config_.vector_size, std::move(column_names));
 }

@@ -5,7 +5,17 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/value.h"
+
 namespace vwise::baseline {
+
+// Boxed-value column for the materializing surface below. Mirrors CmpOp /
+// ArithOp / AggSpec::Fn without pulling the expression and operator headers
+// into the baseline (the engines must stay independent implementations).
+using MatColumn = std::vector<Value>;
+enum class MatCmp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class MatArith { kAdd, kSub, kMul, kDiv };
+enum class MatAgg { kSum, kSumI64, kMin, kMax, kCount, kAvg };
 
 // A MonetDB-style column-at-a-time engine: every operator materializes its
 // full result before the next one runs (the "full materialization" the
@@ -47,6 +57,65 @@ class ColumnEngine {
   std::vector<double> SumGrouped(const std::vector<double>& a,
                                  const std::vector<uint32_t>& groups,
                                  size_t n_groups);
+
+  // --- boxed materializing surface (differential oracle) --------------------
+  //
+  // Column-at-a-time over boxed Values: each call materializes its complete
+  // result before returning (charged to bytes_, like the typed primitives
+  // above). The differential oracle composes full query plans out of these.
+
+  // Positions i where `col[i] OP v` / `a[i] OP b[i]` (total Value order).
+  std::vector<uint32_t> SelectCmpConst(const MatColumn& col, MatCmp op,
+                                       const Value& v);
+  std::vector<uint32_t> SelectCmpCol(const MatColumn& a, const MatColumn& b,
+                                     MatCmp op);
+  // Boolean combinators over ascending position lists.
+  std::vector<uint32_t> IntersectSorted(const std::vector<uint32_t>& a,
+                                        const std::vector<uint32_t>& b);
+  std::vector<uint32_t> UnionSorted(const std::vector<uint32_t>& a,
+                                    const std::vector<uint32_t>& b);
+  // Complement of `sel` within [0, n).
+  std::vector<uint32_t> ComplementSorted(const std::vector<uint32_t>& sel,
+                                         uint32_t n);
+
+  MatColumn GatherV(const MatColumn& col, const std::vector<uint32_t>& idx);
+
+  // Arithmetic maps with the engine-wide numeric tower: Int x Int stays
+  // exact int64 (Int / 0 yields 0), anything else computes in double.
+  MatColumn MapArith(MatArith op, const MatColumn& a, const MatColumn& b);
+  MatColumn MapArithConst(MatArith op, const MatColumn& a, const Value& v);
+
+  // Group resolution over equal-length key columns: per-row group ids in
+  // first-occurrence order; *rep_rows gets one representative row index per
+  // group (the first row of the group).
+  std::vector<uint32_t> GroupIds(const std::vector<const MatColumn*>& keys,
+                                 size_t* n_groups,
+                                 std::vector<uint32_t>* rep_rows);
+  // One output slot per group. kSumI64 accumulates exact int64; kSum/kAvg
+  // accumulate double in row order; kMin/kMax keep the boxed extreme.
+  // Groups with no rows yield the zero row (Int 0 / Double 0) — mirroring
+  // the vectorized engine's empty global aggregate.
+  MatColumn AggGrouped(MatAgg fn, const MatColumn& col,
+                       const std::vector<uint32_t>& groups, size_t n_groups);
+  MatColumn AggGroupedCount(const std::vector<uint32_t>& groups,
+                            size_t n_groups);
+
+  // Hash join over equal-length key-column lists: inner emits matching
+  // (probe, build) row pairs in probe-major build-order; semi/anti emit
+  // qualifying probe positions.
+  void HashJoinPairs(const std::vector<const MatColumn*>& probe_keys,
+                     const std::vector<const MatColumn*>& build_keys,
+                     std::vector<uint32_t>* probe_idx,
+                     std::vector<uint32_t>* build_idx);
+  std::vector<uint32_t> SemiJoinSel(
+      const std::vector<const MatColumn*>& probe_keys,
+      const std::vector<const MatColumn*>& build_keys, bool anti);
+
+  // Row permutation realizing ORDER BY over `keys` (stable; Value total
+  // order), to be applied with GatherV.
+  std::vector<uint32_t> SortPositions(
+      const std::vector<const MatColumn*>& keys,
+      const std::vector<bool>& ascending);
 
  private:
   template <typename T>

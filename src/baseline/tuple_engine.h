@@ -35,12 +35,17 @@ RExprPtr Add(RExprPtr l, RExprPtr r);
 RExprPtr Sub(RExprPtr l, RExprPtr r);
 RExprPtr Mul(RExprPtr l, RExprPtr r);
 RExprPtr Div(RExprPtr l, RExprPtr r);
-// Comparisons evaluate to Int 0/1.
+// Comparisons evaluate to Int 0/1. Int x Int compares exactly (no double
+// round-trip); String x String compares lexicographically.
 RExprPtr Eq(RExprPtr l, RExprPtr r);
+RExprPtr Ne(RExprPtr l, RExprPtr r);
 RExprPtr Le(RExprPtr l, RExprPtr r);
 RExprPtr Lt(RExprPtr l, RExprPtr r);
 RExprPtr Ge(RExprPtr l, RExprPtr r);
+RExprPtr Gt(RExprPtr l, RExprPtr r);
 RExprPtr And(RExprPtr l, RExprPtr r);
+RExprPtr Or(RExprPtr l, RExprPtr r);
+RExprPtr Not(RExprPtr x);
 // Scaled-decimal (cents) column to double units.
 RExprPtr CentsToDouble(RExprPtr x);
 }  // namespace rex
@@ -108,9 +113,14 @@ class TupleProject final : public TupleOperator {
 };
 
 // Hash aggregation with boxed keys.
+//
+// kSum/kCount/kAvg accumulate in double, the classic boxed-baseline
+// behavior benched by E3. kSumI64 accumulates exactly in int64 and
+// kMin/kMax keep the boxed input value — the forms the differential oracle
+// uses where bit-identical agreement with the vectorized engine is required.
 class TupleAgg final : public TupleOperator {
  public:
-  enum class Fn { kSum, kCount, kAvg };
+  enum class Fn { kSum, kCount, kAvg, kSumI64, kMin, kMax, kCountStar };
   struct Spec {
     Fn fn;
     size_t col;
@@ -125,7 +135,9 @@ class TupleAgg final : public TupleOperator {
  private:
   struct State {
     std::vector<double> sums;
+    std::vector<int64_t> isums;
     std::vector<int64_t> counts;
+    std::vector<Value> extremes;
   };
   TupleOperatorPtr child_;
   std::vector<size_t> group_cols_;
@@ -133,6 +145,62 @@ class TupleAgg final : public TupleOperator {
   std::map<std::vector<std::string>, std::pair<Row, State>> groups_;
   std::map<std::vector<std::string>, std::pair<Row, State>>::iterator emit_;
   bool consumed_ = false;
+};
+
+// Full materializing sort (ORDER BY [LIMIT/OFFSET]) over boxed rows; keys
+// compare with the Value total order (common/value.h).
+class TupleSort final : public TupleOperator {
+ public:
+  struct Key {
+    size_t col;
+    bool ascending = true;
+  };
+  TupleSort(TupleOperatorPtr child, std::vector<Key> keys,
+            size_t limit = SIZE_MAX, size_t offset = 0)
+      : child_(std::move(child)), keys_(std::move(keys)), limit_(limit),
+        offset_(offset) {}
+  void Open() override;
+  bool Next(Row* row) override;
+
+ private:
+  TupleOperatorPtr child_;
+  std::vector<Key> keys_;
+  size_t limit_;
+  size_t offset_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+// Classic tuple-at-a-time hash join; build side fully consumed at Open().
+// Output: probe row + payload columns (inner), probe row only (semi/anti) —
+// mirroring the vectorized HashJoinOperator's layout.
+class TupleHashJoin final : public TupleOperator {
+ public:
+  enum class Type { kInner, kLeftSemi, kLeftAnti };
+  TupleHashJoin(TupleOperatorPtr probe, TupleOperatorPtr build, Type type,
+                std::vector<size_t> probe_keys, std::vector<size_t> build_keys,
+                std::vector<size_t> build_payload)
+      : probe_(std::move(probe)), build_(std::move(build)), type_(type),
+        probe_keys_(std::move(probe_keys)),
+        build_keys_(std::move(build_keys)),
+        build_payload_(std::move(build_payload)) {}
+  void Open() override;
+  bool Next(Row* row) override;
+
+ private:
+  std::string KeyOf(const Row& row, const std::vector<size_t>& cols) const;
+
+  TupleOperatorPtr probe_;
+  TupleOperatorPtr build_;
+  Type type_;
+  std::vector<size_t> probe_keys_;
+  std::vector<size_t> build_keys_;
+  std::vector<size_t> build_payload_;
+
+  std::map<std::string, std::vector<Row>> table_;
+  Row probe_row_;
+  const std::vector<Row>* matches_ = nullptr;
+  size_t match_pos_ = 0;
 };
 
 // Runs a pipeline to completion.

@@ -19,6 +19,17 @@ inline bool EnvCheckContracts() {
   }();
   return enabled;
 }
+
+// Default for Config::verify_plans, same contract as EnvCheckContracts:
+// ctest sets VWISE_VERIFY_PLANS for every test so all plans built in the
+// process pass through the static plan verifier.
+inline bool EnvVerifyPlans() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("VWISE_VERIFY_PLANS");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  return enabled;
+}
 }  // namespace detail
 
 // Engine-wide tuning knobs. A Config is plumbed from the Database facade down
@@ -37,6 +48,12 @@ struct Config {
   // validating the X100 chunk invariants (see vector/chunk.h) after every
   // Next(). Debug tooling: on in all tests, off in benchmarks.
   bool check_contracts = detail::EnvCheckContracts();
+  // Run the static plan verifier (src/planner/plan_verifier.h) over every
+  // plan produced by PlanBuilder::Build() and by the rewriter rules:
+  // bottom-up expression type inference against declared operator output
+  // types, plus plan-property (nullability/ordering/partitioning) checks.
+  // Debug tooling: on in all tests, off in benchmarks.
+  bool verify_plans = detail::EnvVerifyPlans();
 
   // --- Storage --------------------------------------------------------------
   // Rows per storage stripe (the cooperative-scan "chunk" granularity).

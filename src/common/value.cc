@@ -1,6 +1,7 @@
 #include "common/value.h"
 
 #include <cstdio>
+#include <cstring>
 
 namespace vwise {
 
@@ -19,6 +20,41 @@ std::string Value::ToString() const {
       return s_;
   }
   return "?";
+}
+
+namespace {
+
+int KindRank(Value::Kind k) { return static_cast<int>(k); }
+
+// Sign-adjusted bit pattern: orders all doubles (incl. -0.0, NaN) totally,
+// consistent with numeric order where one exists.
+uint64_t DoubleOrderKey(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return (bits & (uint64_t{1} << 63)) != 0 ? ~bits
+                                           : bits | (uint64_t{1} << 63);
+}
+
+}  // namespace
+
+int Compare(const Value& a, const Value& b) {
+  if (a.kind() != b.kind()) {
+    return KindRank(a.kind()) < KindRank(b.kind()) ? -1 : 1;
+  }
+  switch (a.kind()) {
+    case Value::Kind::kNull:
+      return 0;
+    case Value::Kind::kInt:
+      return a.AsInt() < b.AsInt() ? -1 : a.AsInt() > b.AsInt() ? 1 : 0;
+    case Value::Kind::kDouble: {
+      const uint64_t x = DoubleOrderKey(a.AsDouble());
+      const uint64_t y = DoubleOrderKey(b.AsDouble());
+      return x < y ? -1 : x > y ? 1 : 0;
+    }
+    case Value::Kind::kString:
+      return a.AsString().compare(b.AsString());
+  }
+  return 0;
 }
 
 }  // namespace vwise

@@ -76,6 +76,13 @@ class Value {
   std::string s_;
 };
 
+// Total order over values: kind rank first (null < int < double < string),
+// then the value itself; doubles tie-break on the sign-adjusted bit pattern
+// so -0.0 and NaN order deterministically. Used by the baseline engines and
+// the differential oracle for canonical row ordering — never on the hot
+// execution path.
+int Compare(const Value& a, const Value& b);
+
 }  // namespace vwise
 
 #endif  // VWISE_COMMON_VALUE_H_

@@ -51,6 +51,10 @@ class CheckedOperator final : public Operator {
   Status Next(DataChunk* out) override;
   void Close() override;
 
+  // Static-analysis surface: the plan verifier sees through the wrapper.
+  const Operator& child() const { return *child_; }
+  const std::string& label() const { return label_; }
+
  private:
   OperatorPtr child_;
   std::string label_;

@@ -43,6 +43,11 @@ class HashAggOperator final : public Operator {
 
   size_t num_groups() const { return n_groups_; }
 
+  // Static-analysis surface (plan verifier).
+  const Operator& child() const { return *child_; }
+  const std::vector<size_t>& group_cols() const { return group_cols_; }
+  const std::vector<AggSpec>& aggs() const { return aggs_; }
+
  private:
   Status ConsumeInput();
   Status ProcessChunk(const DataChunk& chunk);

@@ -47,6 +47,11 @@ class HashJoinOperator final : public Operator {
 
   size_t build_rows() const { return build_rows_; }
 
+  // Static-analysis surface (plan verifier).
+  const Operator& probe() const { return *probe_; }
+  const Operator& build() const { return *build_; }
+  const Spec& spec() const { return spec_; }
+
  private:
   Status ConsumeBuildSide();
   Status ProcessProbeChunk();  // fills pairs_ / probe_match_ for input_

@@ -22,6 +22,10 @@ class ProjectOperator final : public Operator {
   Status Next(DataChunk* out) override;
   void Close() override { child_->Close(); }
 
+  // Static-analysis surface (plan verifier).
+  const Operator& child() const { return *child_; }
+  const std::vector<ExprPtr>& exprs() const { return exprs_; }
+
  private:
   OperatorPtr child_;
   std::vector<ExprPtr> exprs_;

@@ -48,6 +48,11 @@ class ScanOperator final : public Operator {
   // Stripes actually decoded (tests: min-max skipping, coop scans).
   size_t stripes_read() const { return stripes_read_; }
 
+  // Static-analysis surface (plan verifier).
+  const TableSnapshot& snapshot() const { return snap_; }
+  const std::vector<uint32_t>& columns() const { return columns_; }
+  const Options& options() const { return opts_; }
+
  private:
   Status AdvanceStripe(bool* done);
   bool StripeQualifies(size_t stripe) const;

@@ -22,6 +22,10 @@ class SelectOperator final : public Operator {
   Status Next(DataChunk* out) override;
   void Close() override { child_->Close(); }
 
+  // Static-analysis surface (plan verifier).
+  const Operator& child() const { return *child_; }
+  const Filter& filter() const { return *filter_; }
+
  private:
   OperatorPtr child_;
   FilterPtr filter_;

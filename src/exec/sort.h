@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "exec/checked.h"
 #include "exec/column_store.h"
 #include "exec/operator.h"
 
@@ -30,6 +31,12 @@ class SortOperator final : public Operator {
   Status Next(DataChunk* out) override;
   void Close() override;
 
+  // Static-analysis surface (plan verifier).
+  const Operator& child() const { return *child_; }
+  const std::vector<SortKey>& keys() const { return keys_; }
+  size_t limit() const { return limit_; }
+  size_t offset() const { return offset_; }
+
  private:
   Status ConsumeAndSort();
   bool RowLess(uint32_t a, uint32_t b) const;
@@ -49,8 +56,11 @@ class SortOperator final : public Operator {
 // LIMIT/OFFSET without ordering.
 class LimitOperator final : public Operator {
  public:
-  LimitOperator(OperatorPtr child, size_t limit, size_t offset = 0)
-      : child_(std::move(child)), limit_(limit), offset_(offset) {}
+  LimitOperator(OperatorPtr child, const Config& config, size_t limit,
+                size_t offset = 0)
+      : child_(MaybeChecked(std::move(child), config, "limit.child")),
+        limit_(limit),
+        offset_(offset) {}
 
   const std::vector<TypeId>& OutputTypes() const override {
     return child_->OutputTypes();
@@ -62,6 +72,11 @@ class LimitOperator final : public Operator {
   }
   Status Next(DataChunk* out) override;
   void Close() override { child_->Close(); }
+
+  // Static-analysis surface (plan verifier).
+  const Operator& child() const { return *child_; }
+  size_t limit() const { return limit_; }
+  size_t offset() const { return offset_; }
 
  private:
   OperatorPtr child_;

@@ -34,6 +34,12 @@ class XchgOperator final : public Operator {
   Status Next(DataChunk* out) override;
   void Close() override;
 
+  // Static-analysis surface (plan verifier): the verifier instantiates
+  // fragments through the factory (construction only, no Open) to check
+  // them against the declared types.
+  const FragmentFactory& factory() const { return factory_; }
+  int num_workers() const { return num_workers_; }
+
  private:
   void ProducerLoop(int worker);
   void PushChunk(DataChunk chunk);

@@ -91,6 +91,10 @@ class ArithExpr final : public Expr {
   Status Prepare(size_t capacity) override;
   Status Eval(DataChunk& in, const sel_t* sel, size_t n, Vector** out) override;
 
+  ArithOp op() const { return op_; }
+  const Expr& left() const { return *left_; }
+  const Expr& right() const { return *right_; }
+
  private:
   ArithOp op_;
   ExprPtr left_, right_;
@@ -104,6 +108,8 @@ class CastExpr final : public Expr {
   Status Prepare(size_t capacity) override;
   Status Eval(DataChunk& in, const sel_t* sel, size_t n, Vector** out) override;
 
+  const Expr& input() const { return *input_; }
+
  private:
   ExprPtr input_;
   double decimal_factor_ = 1.0;
@@ -116,6 +122,8 @@ class YearExpr final : public Expr {
   Status Prepare(size_t capacity) override;
   Status Eval(DataChunk& in, const sel_t* sel, size_t n, Vector** out) override;
 
+  const Expr& input() const { return *input_; }
+
  private:
   ExprPtr input_;
 };
@@ -127,6 +135,8 @@ class SubstrExpr final : public Expr {
   SubstrExpr(ExprPtr input, size_t start, size_t len);
   Status Prepare(size_t capacity) override;
   Status Eval(DataChunk& in, const sel_t* sel, size_t n, Vector** out) override;
+
+  const Expr& input() const { return *input_; }
 
  private:
   ExprPtr input_;
@@ -144,6 +154,10 @@ class CaseExpr final : public Expr {
   ~CaseExpr() override;
   Status Prepare(size_t capacity) override;
   Status Eval(DataChunk& in, const sel_t* sel, size_t n, Vector** out) override;
+
+  const Filter& cond() const { return *cond_; }
+  const Expr& then_expr() const { return *then_; }
+  const Expr& else_expr() const { return *else_; }
 
  private:
   std::unique_ptr<Filter> cond_;
@@ -182,6 +196,10 @@ class CmpFilter final : public Filter {
   Status Select(DataChunk& in, const sel_t* sel, size_t n, sel_t* out_sel,
                 size_t* out_n) override;
 
+  CmpOp op() const { return op_; }
+  const Expr& left() const { return *left_; }
+  const Expr& right() const { return *right_; }
+
  private:
   CmpOp op_;
   ExprPtr left_, right_;
@@ -195,6 +213,8 @@ class AndFilter final : public Filter {
   Status Select(DataChunk& in, const sel_t* sel, size_t n, sel_t* out_sel,
                 size_t* out_n) override;
 
+  const std::vector<FilterPtr>& children() const { return children_; }
+
  private:
   std::vector<FilterPtr> children_;
 };
@@ -206,6 +226,8 @@ class OrFilter final : public Filter {
   Status Prepare(size_t capacity) override;
   Status Select(DataChunk& in, const sel_t* sel, size_t n, sel_t* out_sel,
                 size_t* out_n) override;
+
+  const std::vector<FilterPtr>& children() const { return children_; }
 
  private:
   std::vector<FilterPtr> children_;
@@ -219,6 +241,8 @@ class NotFilter final : public Filter {
   Status Select(DataChunk& in, const sel_t* sel, size_t n, sel_t* out_sel,
                 size_t* out_n) override;
 
+  const Filter& child() const { return *child_; }
+
  private:
   FilterPtr child_;
 };
@@ -231,6 +255,10 @@ class InFilter final : public Filter {
   Status Prepare(size_t capacity) override;
   Status Select(DataChunk& in, const sel_t* sel, size_t n, sel_t* out_sel,
                 size_t* out_n) override;
+
+  const Expr& input() const { return *input_; }
+  const std::vector<Value>& values() const { return values_; }
+  bool negate() const { return negate_; }
 
  private:
   ExprPtr input_;
@@ -250,6 +278,10 @@ class LikeFilter final : public Filter {
 
   // Exposed for tests.
   static bool Match(std::string_view s, std::string_view pattern);
+
+  const Expr& input() const { return *input_; }
+  const std::string& pattern() const { return pattern_; }
+  bool negate() const { return negate_; }
 
  private:
   ExprPtr input_;

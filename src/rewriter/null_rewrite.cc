@@ -1,5 +1,10 @@
 #include "rewriter/null_rewrite.h"
 
+#include <algorithm>
+
+#include "common/config.h"
+#include "planner/plan_verifier.h"
+
 namespace vwise::rewriter {
 
 namespace {
@@ -7,21 +12,38 @@ namespace {
 ExprPtr BoolLit(int64_t v) {
   return std::make_unique<ConstExpr>(Value::Int(v), DataType::Bool());
 }
+
+// Rule postcondition (VWISE_VERIFY_PLANS): a rewritten filter that fails the
+// static check is a rewriter bug, not bad user input — abort loudly. The
+// negative tests exercise the Status-returning checkers directly instead.
+void CheckRewrittenFilter(const Filter& f, const NullableRef& x) {
+  if (!detail::EnvVerifyPlans()) return;
+  const size_t width = std::max(x.val_col, x.ind_col) + 1;
+  Status st = VerifyNullRewriteFilter(f, x.val_col, x.type.physical(),
+                                      x.ind_col, width);
+  VWISE_CHECK_MSG(st.ok(), st.ToString().c_str());
+}
 }  // namespace
 
 FilterPtr RewriteNullableCmp(CmpOp op, const NullableRef& x, ExprPtr literal) {
   std::vector<FilterPtr> conj;
   conj.push_back(e::Eq(e::Col(x.ind_col, DataType::Bool()), BoolLit(0)));
   conj.push_back(e::Cmp(op, e::Col(x.val_col, x.type), std::move(literal)));
-  return e::And(std::move(conj));
+  FilterPtr f = e::And(std::move(conj));
+  CheckRewrittenFilter(*f, x);
+  return f;
 }
 
 FilterPtr RewriteIsNull(const NullableRef& x) {
-  return e::Ne(e::Col(x.ind_col, DataType::Bool()), BoolLit(0));
+  FilterPtr f = e::Ne(e::Col(x.ind_col, DataType::Bool()), BoolLit(0));
+  CheckRewrittenFilter(*f, x);
+  return f;
 }
 
 FilterPtr RewriteIsNotNull(const NullableRef& x) {
-  return e::Eq(e::Col(x.ind_col, DataType::Bool()), BoolLit(0));
+  FilterPtr f = e::Eq(e::Col(x.ind_col, DataType::Bool()), BoolLit(0));
+  CheckRewrittenFilter(*f, x);
+  return f;
 }
 
 NullablePair RewriteNullableArith(ArithOp op, const NullableRef& a,
@@ -32,6 +54,14 @@ NullablePair RewriteNullableArith(ArithOp op, const NullableRef& a,
   out.indicator =
       e::Add(e::Cast(e::Col(a.ind_col, DataType::Bool()), DataType::Int64()),
              e::Cast(e::Col(b.ind_col, DataType::Bool()), DataType::Int64()));
+  if (detail::EnvVerifyPlans()) {
+    const size_t width =
+        std::max({a.val_col, a.ind_col, b.val_col, b.ind_col}) + 1;
+    Status st = VerifyNullRewritePair(*out.value, *out.indicator, a.val_col,
+                                      a.ind_col, b.val_col, b.ind_col,
+                                      a.type.physical(), width);
+    VWISE_CHECK_MSG(st.ok(), st.ToString().c_str());
+  }
   return out;
 }
 

@@ -49,6 +49,10 @@ class NullAwareCmpFilter final : public Filter {
   Status Select(DataChunk& in, const sel_t* sel, size_t n, sel_t* out_sel,
                 size_t* out_n) override;
 
+  // Static-analysis surface (plan verifier).
+  size_t val_col() const { return val_col_; }
+  size_t ind_col() const { return ind_col_; }
+
  private:
   CmpOp op_;
   size_t val_col_;

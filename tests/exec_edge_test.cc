@@ -152,12 +152,12 @@ TEST_F(ExecEdgeTest, TopNLargerThanInput) {
 }
 
 TEST_F(ExecEdgeTest, LimitZero) {
-  LimitOperator limit(ScanT({0}), 0);
+  LimitOperator limit(ScanT({0}), config_, 0);
   EXPECT_EQ(Count(&limit), 0u);
 }
 
 TEST_F(ExecEdgeTest, LimitOffsetBeyondEnd) {
-  LimitOperator limit(ScanT({0}), 10, 1000);
+  LimitOperator limit(ScanT({0}), config_, 10, 1000);
   EXPECT_EQ(Count(&limit), 0u);
 }
 

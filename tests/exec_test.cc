@@ -332,7 +332,7 @@ TEST_F(ExecTest, TopNLimitsAndSorts) {
 TEST_F(ExecTest, LimitOffset) {
   auto scan = std::make_unique<ScanOperator>(Snap("orders"),
                                              std::vector<uint32_t>{0}, config_);
-  LimitOperator limit(std::move(scan), 10, 3);
+  LimitOperator limit(std::move(scan), config_, 10, 3);
   auto result = Run(&limit);
   ASSERT_EQ(result.rows.size(), 10u);
   EXPECT_EQ(result.rows[0][0].AsInt(), 3);

@@ -1,6 +1,8 @@
 #include <cmath>
+#include <cstdlib>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "common/rng.h"
 #include "expr/expression.h"
@@ -68,6 +70,23 @@ class ExprFuzz {
   Rng rng_;
 };
 
+// Seed campaign: by default seeds 1..20; override with
+//   VWISE_FUZZ_SEED=<n>   start (and, alone, run just that one seed)
+//   VWISE_FUZZ_ITERS=<n>  number of consecutive seeds to run
+// Every failure carries a "reproduce with VWISE_FUZZ_SEED=..." trace line.
+std::vector<uint64_t> FuzzSeeds() {
+  const char* seed_env = std::getenv("VWISE_FUZZ_SEED");
+  const char* iters_env = std::getenv("VWISE_FUZZ_ITERS");
+  const bool has_seed = seed_env != nullptr && seed_env[0] != '\0';
+  const uint64_t base = has_seed ? std::strtoull(seed_env, nullptr, 10) : 1;
+  const uint64_t iters = iters_env != nullptr && iters_env[0] != '\0'
+                             ? std::strtoull(iters_env, nullptr, 10)
+                             : (has_seed ? 1 : 20);
+  std::vector<uint64_t> seeds;
+  for (uint64_t s = 0; s < iters; s++) seeds.push_back(base + s);
+  return seeds;
+}
+
 class ExpressionFuzzTest : public ::testing::TestWithParam<uint64_t> {
  protected:
   void SetUp() override {
@@ -83,6 +102,9 @@ class ExpressionFuzzTest : public ::testing::TestWithParam<uint64_t> {
 };
 
 TEST_P(ExpressionFuzzTest, EvalInvariantToSelectionPattern) {
+  SCOPED_TRACE(::testing::Message()
+                << "reproduce with VWISE_FUZZ_SEED=" << GetParam()
+                << " VWISE_FUZZ_ITERS=1");
   ExprFuzz fuzz(GetParam());
   auto expr = fuzz.RandomI64Expr(4);
   ASSERT_TRUE(expr->Prepare(kRows).ok());
@@ -109,6 +131,9 @@ TEST_P(ExpressionFuzzTest, EvalInvariantToSelectionPattern) {
 }
 
 TEST_P(ExpressionFuzzTest, FilterDistributesOverSelectionSplit) {
+  SCOPED_TRACE(::testing::Message()
+                << "reproduce with VWISE_FUZZ_SEED=" << GetParam()
+                << " VWISE_FUZZ_ITERS=1");
   ExprFuzz fuzz(GetParam() + 1000);
   auto filter = fuzz.RandomFilter(3);
   ASSERT_TRUE(filter->Prepare(kRows).ok());
@@ -136,6 +161,9 @@ TEST_P(ExpressionFuzzTest, FilterDistributesOverSelectionSplit) {
 }
 
 TEST_P(ExpressionFuzzTest, FilterIdempotentOnItsOutput) {
+  SCOPED_TRACE(::testing::Message()
+                << "reproduce with VWISE_FUZZ_SEED=" << GetParam()
+                << " VWISE_FUZZ_ITERS=1");
   ExprFuzz fuzz(GetParam() + 2000);
   auto filter = fuzz.RandomFilter(3);
   ASSERT_TRUE(filter->Prepare(kRows).ok());
@@ -149,7 +177,7 @@ TEST_P(ExpressionFuzzTest, FilterIdempotentOnItsOutput) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExpressionFuzzTest,
-                         ::testing::Range<uint64_t>(1, 21));
+                         ::testing::ValuesIn(FuzzSeeds()));
 
 }  // namespace
 }  // namespace vwise

@@ -22,10 +22,16 @@ Checks
    * no raw assert() (use VWISE_CHECK / VWISE_DCHECK) and no std::cout
      (report through Status or stderr);
    * macro definitions are VWISE_-prefixed.
+3. Operator-child wrapping: every constructor that takes ownership of a
+   child plan (an OperatorPtr parameter) must route it through
+   MaybeChecked(std::move(child), ...) so the contract checker can
+   interpose between every parent/child pair. CheckedOperator itself (the
+   wrapper) is the one exemption.
 
 --self-test seeds deliberate violations (misnamed primitive, catalog /
-primitives.h mismatch, raw assert) into a scratch copy and verifies the lint
-catches each one.
+primitives.h mismatch, raw assert, a constructor that stores its child
+without MaybeChecked) into a scratch copy and verifies the lint catches
+each one.
 """
 
 import argparse
@@ -225,6 +231,80 @@ class Lint:
                     return True
         return False
 
+    # -- operator-child wrapping --------------------------------------------
+
+    # The wrapper itself stores the raw child; everything else must wrap.
+    CHECKED_EXEMPT = {"CheckedOperator"}
+
+    @staticmethod
+    def balanced_parens(text, open_idx):
+        """Returns (contents, index_after_close) for the paren at open_idx."""
+        depth = 0
+        for i in range(open_idx, len(text)):
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    return text[open_idx + 1:i], i + 1
+        return None, None
+
+    def check_operator_children(self, src_dir):
+        ctor_re = re.compile(
+            r"(?:^|\n)[ \t]*(?:explicit\s+)?([A-Z]\w*)(?:::\1)?\s*\(")
+        found = 0
+        for root, _dirs, files in os.walk(src_dir):
+            for fn in sorted(files):
+                if not fn.endswith((".cc", ".h")):
+                    continue
+                path = os.path.join(root, fn)
+                text = open(path, encoding="utf-8").read()
+                for m in ctor_re.finditer(text):
+                    params, after = self.balanced_parens(text, m.end() - 1)
+                    if params is None or "OperatorPtr" not in params:
+                        continue
+                    # Children are OperatorPtr parameters by value; the \b
+                    # keeps Tuple/column baseline types (TupleOperatorPtr)
+                    # out — the baselines must NOT share the checker.
+                    children = re.findall(r"\bOperatorPtr\s+(\w+)", params)
+                    if not children:
+                        continue
+                    rest = text[after:].lstrip()
+                    if not rest.startswith((":", "{")):
+                        continue  # declaration — the definition is checked
+                    found += 1
+                    name = m.group(1)
+                    if name in self.CHECKED_EXEMPT:
+                        continue
+                    # Scope = init list + body (up to the body's close).
+                    brace = text.find("{", after)
+                    depth = 0
+                    end = len(text)
+                    for i in range(brace, len(text)):
+                        if text[i] == "{":
+                            depth += 1
+                        elif text[i] == "}":
+                            depth -= 1
+                            if depth == 0:
+                                end = i + 1
+                                break
+                    region = text[after:end]
+                    lineno = text.count("\n", 0, m.start() + 1) + 1
+                    for child in children:
+                        wrap = re.compile(r"MaybeChecked\(\s*std::move\(\s*" +
+                                          re.escape(child) + r"\b")
+                        if not wrap.search(region):
+                            self.error(
+                                path, lineno,
+                                f"{name} takes child '{child}' but does not "
+                                "route it through MaybeChecked(std::move("
+                                f"{child}), ...) — the contract checker "
+                                "cannot interpose on this edge")
+        if found == 0:
+            self.error(src_dir, 0,
+                       "operator-child pass matched no constructors — the "
+                       "detection pattern has rotted; update vwise_lint.py")
+
     # -- repo rules ---------------------------------------------------------
 
     def check_repo_rules(self, src_dir):
@@ -289,6 +369,7 @@ def run_lint(repo):
         registry_path=os.path.join(src, "expr", "primitive_registry.cc"),
         src_dir=src)
     lint.check_repo_rules(src)
+    lint.check_operator_children(src)
     return lint.errors
 
 
@@ -339,6 +420,11 @@ def self_test(repo):
             tmp, os.path.join("common", "config.h"),
             "#ifndef VWISE_COMMON_CONFIG_H_",
             "#ifndef VWISE_CONFIG_H_"),
+        # Operator child stored without the contract-checker wrapper.
+        "unwrapped operator child": lambda tmp: patch_file(
+            tmp, os.path.join("exec", "select.cc"),
+            'MaybeChecked(std::move(child), config, "select.child")',
+            "std::move(child)"),
     }
     for label, patch in cases.items():
         errs = seeded_errors(patch)
