@@ -7,8 +7,15 @@
 // the execution model of classic pipelined engines), across scale factors.
 // Reported: per-query times, the geometric-mean Power@Size metric, and the
 // vectorized/tuple ratio (paper claim: >10x raw processing power).
+//
+// Besides the console table, the run appends every (query, sf) cell — with a
+// per-operator profile from an instrumented third run — to
+// BENCH_tpch_power.json (see BenchReport in bench_util.h). Scale factors
+// come from VWISE_BENCH_SF (comma-separated, default "0.01,0.05") so CI can
+// smoke-test at SF 0.01 only.
 
 #include <cmath>
+#include <cstdlib>
 
 #include "bench/bench_util.h"
 
@@ -24,7 +31,18 @@ double PowerMetric(const std::vector<double>& secs, double sf) {
   return 3600.0 * sf / geomean;
 }
 
-void RunPower(double sf) {
+// Instrumented rerun of query `q`: profiled plan, per-operator counters.
+Json ProfiledOperators(Database* db, int q, const Config& base) {
+  Config cfg = base;
+  cfg.profile = true;
+  auto plan = tpch::BuildQuery(q, db->txn_manager(), cfg);
+  VWISE_CHECK_MSG(plan.ok(), plan.status().ToString().c_str());
+  auto r = CollectRows(plan->get(), cfg.vector_size);
+  VWISE_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+  return OperatorsJson(CollectPlanProfile(**plan));
+}
+
+void RunPower(double sf, BenchReport* report) {
   TempDb db("tpch_power");
   LoadTpch(db.get(), sf);
 
@@ -37,9 +55,11 @@ void RunPower(double sf) {
   std::printf("%5s %14s %14s %8s\n", "query", "vectorized(s)", "tuple@1(s)", "ratio");
   std::vector<double> vec_times, tup_times;
   for (int q = 1; q <= 22; q++) {
+    size_t rows = 0;
     double tv = TimeSec([&] {
       auto r = tpch::RunQuery(q, db->txn_manager(), vectorized);
       VWISE_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+      rows = r->rows.size();
     });
     double tt = TimeSec([&] {
       auto r = tpch::RunQuery(q, db->txn_manager(), tuple_cfg);
@@ -48,6 +68,16 @@ void RunPower(double sf) {
     vec_times.push_back(tv);
     tup_times.push_back(tt);
     std::printf("%5d %14.4f %14.4f %7.1fx\n", q, tv, tt, tt / tv);
+
+    Json entry = Json::Object();
+    entry.Set("query", Json::Int(q));
+    entry.Set("sf", Json::Double(sf));
+    entry.Set("wall_ms_vectorized", Json::Double(tv * 1e3));
+    entry.Set("wall_ms_tuple", Json::Double(tt * 1e3));
+    entry.Set("rows", Json::Int(static_cast<int64_t>(rows)));
+    entry.Set("config", ConfigJson(vectorized));
+    entry.Set("operators", ProfiledOperators(db.get(), q, vectorized));
+    report->AddEntry(std::move(entry));
   }
   double pv = PowerMetric(vec_times, sf);
   double pt = PowerMetric(tup_times, sf);
@@ -55,14 +85,42 @@ void RunPower(double sf) {
   std::printf("Power@SF%-6.3g tuple-at-a-time: %6.1f\n", sf, pt);
   std::printf("overall speedup (paper: Vectorwise ~3.4x SQLServer, >10x raw): %.1fx\n",
               pv / pt);
+
+  char key[64];
+  std::snprintf(key, sizeof(key), "power_sf%.3g_vectorized", sf);
+  report->SetMetric(key, Json::Double(pv));
+  std::snprintf(key, sizeof(key), "power_sf%.3g_tuple", sf);
+  report->SetMetric(key, Json::Double(pt));
+}
+
+std::vector<double> ScaleFactors() {
+  const char* env = std::getenv("VWISE_BENCH_SF");
+  std::string spec = (env != nullptr && env[0] != '\0') ? env : "0.01,0.05";
+  std::vector<double> sfs;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string tok = spec.substr(pos, comma - pos);
+    if (!tok.empty()) {
+      double sf = std::atof(tok.c_str());
+      VWISE_CHECK_MSG(sf > 0, "VWISE_BENCH_SF entries must be positive");
+      sfs.push_back(sf);
+    }
+    pos = comma + 1;
+  }
+  VWISE_CHECK_MSG(!sfs.empty(), "VWISE_BENCH_SF parsed to no scale factors");
+  return sfs;
 }
 
 }  // namespace
 }  // namespace vwise::bench
 
 int main() {
-  for (double sf : {0.01, 0.05}) {
-    vwise::bench::RunPower(sf);
+  vwise::bench::BenchReport report("tpch_power");
+  for (double sf : vwise::bench::ScaleFactors()) {
+    vwise::bench::RunPower(sf, &report);
   }
+  report.Write();
   return 0;
 }

@@ -39,6 +39,9 @@ int main(int argc, char** argv) {
     }
     std::printf("\n--- Q%d (%zu rows) ---\n%s", q, result->rows.size(),
                 result->ToString(8).c_str());
+    // Filled when VWISE_PROFILE=1 (Config::profile): EXPLAIN ANALYZE plus the
+    // per-primitive counter table for this query.
+    if (!result->profile.empty()) std::printf("%s", result->profile.c_str());
   };
 
   if (only >= 1 && only <= 22) {

@@ -1,5 +1,8 @@
 #include "api/database.h"
 
+#include "expr/primitive_profiler.h"
+#include "planner/plan_verifier.h"
+
 namespace vwise {
 
 Database::~Database() = default;
@@ -36,7 +39,22 @@ Result<QueryResult> Database::Run(PlanBuilder* plan,
                                   std::vector<std::string> column_names) {
   VWISE_ASSIGN_OR_RETURN(OperatorPtr root, plan->Build());
   if (root == nullptr) return Status::InvalidArgument("empty plan");
-  return CollectRows(root.get(), config_.vector_size, std::move(column_names));
+  if (!config_.profile) {
+    return CollectRows(root.get(), config_.vector_size,
+                       std::move(column_names));
+  }
+  // Profiled run: enable the per-primitive counters for the duration of the
+  // pipeline, then render EXPLAIN ANALYZE (per-operator wrapper stats) plus
+  // the primitive counter delta of this query.
+  PrimitiveProfiler::ScopedEnable enable(true);
+  std::vector<PrimitiveCounters> before = PrimitiveProfiler::Snapshot();
+  VWISE_ASSIGN_OR_RETURN(
+      QueryResult result,
+      CollectRows(root.get(), config_.vector_size, std::move(column_names)));
+  std::vector<PrimitiveCounters> after = PrimitiveProfiler::Snapshot();
+  result.profile =
+      ExplainAnalyzePlan(*root) + RenderPrimitiveProfile(before, after);
+  return result;
 }
 
 }  // namespace vwise

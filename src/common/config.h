@@ -30,6 +30,17 @@ inline bool EnvVerifyPlans() {
   }();
   return enabled;
 }
+
+// Default for Config::profile, same contract: VWISE_PROFILE turns on the
+// per-operator profiling wrapper and the per-primitive cycle counters for
+// every Config constructed in the process.
+inline bool EnvProfile() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("VWISE_PROFILE");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  return enabled;
+}
 }  // namespace detail
 
 // Engine-wide tuning knobs. A Config is plumbed from the Database facade down
@@ -54,6 +65,13 @@ struct Config {
   // types, plus plan-property (nullability/ordering/partitioning) checks.
   // Debug tooling: on in all tests, off in benchmarks.
   bool verify_plans = detail::EnvVerifyPlans();
+  // Interpose a ProfiledOperator between every parent/child operator pair
+  // (wall time, Next() calls, rows/vectors produced per operator) and record
+  // per-primitive call/tuple/cycle counters in the expression dispatch path.
+  // Results surface through QueryResult::profile (EXPLAIN ANALYZE text) and
+  // planner::CollectPlanProfile. Off by default: profiled plans produce
+  // bit-identical results, but the wrappers cost a timer call per Next().
+  bool profile = detail::EnvProfile();
 
   // --- Storage --------------------------------------------------------------
   // Rows per storage stripe (the cooperative-scan "chunk" granularity).

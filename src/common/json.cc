@@ -1,0 +1,192 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace vwise {
+
+Json Json::Bool(bool b) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::Int(int64_t v) {
+  Json j;
+  j.kind_ = Kind::kInt;
+  j.int_ = v;
+  return j;
+}
+
+Json Json::Double(double v) {
+  Json j;
+  j.kind_ = Kind::kDouble;
+  j.double_ = v;
+  return j;
+}
+
+Json Json::Str(std::string s) {
+  Json j;
+  j.kind_ = Kind::kStr;
+  j.str_ = std::move(s);
+  return j;
+}
+
+Json Json::Array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::Object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json& Json::Set(const std::string& key, Json value) {
+  for (auto& m : members_) {
+    if (m.first == key) {
+      m.second = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  for (const auto& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+Json& Json::Append(Json value) {
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void Newline(std::string* out, int indent, int depth) {
+  if (indent <= 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::Render(std::string* out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(int_));
+      *out += buf;
+      return;
+    }
+    case Kind::kDouble: {
+      if (!std::isfinite(double_)) {
+        *out += "null";  // JSON has no NaN/Inf
+        return;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", double_);
+      *out += buf;
+      return;
+    }
+    case Kind::kStr:
+      out->push_back('"');
+      *out += JsonEscape(str_);
+      out->push_back('"');
+      return;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < items_.size(); i++) {
+        if (i > 0) out->push_back(',');
+        Newline(out, indent, depth + 1);
+        items_[i].Render(out, indent, depth + 1);
+      }
+      Newline(out, indent, depth);
+      out->push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); i++) {
+        if (i > 0) out->push_back(',');
+        Newline(out, indent, depth + 1);
+        out->push_back('"');
+        *out += JsonEscape(members_[i].first);
+        *out += indent > 0 ? "\": " : "\":";
+        members_[i].second.Render(out, indent, depth + 1);
+      }
+      Newline(out, indent, depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::ToString(int indent) const {
+  std::string out;
+  Render(&out, indent, 0);
+  return out;
+}
+
+}  // namespace vwise

@@ -5,7 +5,7 @@
 
 #include "common/bitutil.h"
 #include "common/hash.h"
-#include "exec/checked.h"
+#include "exec/profile.h"
 
 namespace vwise {
 
@@ -91,7 +91,7 @@ HashAggOperator::HashAggOperator(OperatorPtr child,
                                  std::vector<size_t> group_cols,
                                  std::vector<AggSpec> aggs,
                                  const Config& config)
-    : child_(MaybeChecked(std::move(child), config, "hash_agg.child")),
+    : child_(InterposeChild(std::move(child), config, "hash_agg.child")),
       group_cols_(std::move(group_cols)),
       aggs_(std::move(aggs)),
       config_(config) {

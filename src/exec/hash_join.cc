@@ -4,7 +4,7 @@
 
 #include "common/bitutil.h"
 #include "common/hash.h"
-#include "exec/checked.h"
+#include "exec/profile.h"
 #include "expr/primitives.h"
 
 namespace vwise {
@@ -119,8 +119,8 @@ void ZeroFill(Vector* out, size_t i) {
 
 HashJoinOperator::HashJoinOperator(OperatorPtr probe, OperatorPtr build,
                                    Spec spec, const Config& config)
-    : probe_(MaybeChecked(std::move(probe), config, "hash_join.probe")),
-      build_(MaybeChecked(std::move(build), config, "hash_join.build")),
+    : probe_(InterposeChild(std::move(probe), config, "hash_join.probe")),
+      build_(InterposeChild(std::move(build), config, "hash_join.build")),
       spec_(std::move(spec)),
       config_(config) {
   out_types_ = probe_->OutputTypes();

@@ -51,6 +51,10 @@ struct QueryResult {
   std::vector<std::string> column_names;
   std::vector<DataType> column_types;
   std::vector<std::vector<Value>> rows;
+  // EXPLAIN ANALYZE text (per-operator runtime annotations plus the
+  // per-primitive counter section). Filled by Database::Run when
+  // Config::profile is set; empty otherwise.
+  std::string profile;
 
   std::string ToString(size_t max_rows = 25) const;
 };

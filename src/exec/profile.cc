@@ -1,0 +1,67 @@
+#include "exec/profile.h"
+
+#include <chrono>
+
+#include "exec/checked.h"
+
+namespace vwise {
+
+namespace {
+
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ProfiledOperator::ProfiledOperator(OperatorPtr child, std::string label)
+    : child_(std::move(child)), label_(std::move(label)) {}
+
+Status ProfiledOperator::Open() {
+  uint64_t t0 = NowNs();
+  Status s = child_->Open();
+  stats_.open_ns += NowNs() - t0;
+  return s;
+}
+
+Status ProfiledOperator::Next(DataChunk* out) {
+  uint64_t t0 = NowNs();
+  Status s = child_->Next(out);
+  stats_.next_ns += NowNs() - t0;
+  stats_.next_calls++;
+  if (s.ok()) {
+    size_t rows = out->ActiveCount();
+    if (rows > 0) {
+      stats_.chunks_out++;
+      stats_.rows_out += rows;
+    }
+  }
+  return s;
+}
+
+void ProfiledOperator::Close() {
+  // Delegate unconditionally: Close() is idempotent for every operator, and
+  // the wrapper must not change that contract.
+  uint64_t t0 = NowNs();
+  child_->Close();
+  stats_.close_ns += NowNs() - t0;
+}
+
+OperatorPtr MaybeProfiled(OperatorPtr op, const Config& config,
+                          const char* label) {
+  if (!config.profile || op == nullptr) return op;
+  return std::make_unique<ProfiledOperator>(std::move(op), label);
+}
+
+OperatorPtr InterposeChild(OperatorPtr op, const Config& config,
+                           const char* label) {
+  // Profiler innermost (its Next() time covers only the child), checker
+  // outermost (it validates what profiled plans hand upward too).
+  return MaybeChecked(MaybeProfiled(std::move(op), config, label), config,
+                      label);
+}
+
+}  // namespace vwise

@@ -2,13 +2,13 @@
 
 #include <cstring>
 
-#include "exec/checked.h"
+#include "exec/profile.h"
 
 namespace vwise {
 
 ProjectOperator::ProjectOperator(OperatorPtr child, std::vector<ExprPtr> exprs,
                                  const Config& config)
-    : child_(MaybeChecked(std::move(child), config, "project.child")),
+    : child_(InterposeChild(std::move(child), config, "project.child")),
       exprs_(std::move(exprs)),
       config_(config) {
   for (const auto& e : exprs_) out_types_.push_back(e->physical());

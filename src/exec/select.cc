@@ -1,12 +1,12 @@
 #include "exec/select.h"
 
-#include "exec/checked.h"
+#include "exec/profile.h"
 
 namespace vwise {
 
 SelectOperator::SelectOperator(OperatorPtr child, FilterPtr filter,
                                const Config& config)
-    : child_(MaybeChecked(std::move(child), config, "select.child")),
+    : child_(InterposeChild(std::move(child), config, "select.child")),
       filter_(std::move(filter)),
       config_(config) {}
 

@@ -4,13 +4,13 @@
 #include <cstring>
 #include <numeric>
 
-#include "exec/checked.h"
+#include "exec/profile.h"
 
 namespace vwise {
 
 SortOperator::SortOperator(OperatorPtr child, std::vector<SortKey> keys,
                            const Config& config, size_t limit, size_t offset)
-    : child_(MaybeChecked(std::move(child), config, "sort.child")),
+    : child_(InterposeChild(std::move(child), config, "sort.child")),
       keys_(std::move(keys)),
       config_(config),
       limit_(limit),

@@ -4,7 +4,7 @@
 #include <memory>
 #include <vector>
 
-#include "exec/checked.h"
+#include "exec/profile.h"
 #include "exec/column_store.h"
 #include "exec/operator.h"
 
@@ -58,7 +58,7 @@ class LimitOperator final : public Operator {
  public:
   LimitOperator(OperatorPtr child, const Config& config, size_t limit,
                 size_t offset = 0)
-      : child_(MaybeChecked(std::move(child), config, "limit.child")),
+      : child_(InterposeChild(std::move(child), config, "limit.child")),
         limit_(limit),
         offset_(offset) {}
 

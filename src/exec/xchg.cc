@@ -1,6 +1,6 @@
 #include "exec/xchg.h"
 
-#include "exec/checked.h"
+#include "exec/profile.h"
 
 namespace vwise {
 
@@ -50,7 +50,7 @@ void XchgOperator::ProducerLoop(int worker) {
     finish(fragment.status());
     return;
   }
-  OperatorPtr op = MaybeChecked(std::move(*fragment), config_, "xchg.fragment");
+  OperatorPtr op = InterposeChild(std::move(*fragment), config_, "xchg.fragment");
   Status status = op->Open();
   if (status.ok()) {
     DataChunk chunk;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/date.h"
+#include "expr/primitive_profiler.h"
 #include "expr/primitives.h"
 
 namespace vwise {
@@ -110,12 +111,38 @@ double ConstScalar<double>(const Expr* node) {
   return static_cast<const ConstExpr*>(node)->AsF64();
 }
 
+// Physical type of a kernel instantiation, for primitive-counter keys.
+template <typename T>
+struct PhysOf;
+template <>
+struct PhysOf<uint8_t> {
+  static constexpr TypeId value = TypeId::kU8;
+};
+template <>
+struct PhysOf<int32_t> {
+  static constexpr TypeId value = TypeId::kI32;
+};
+template <>
+struct PhysOf<int64_t> {
+  static constexpr TypeId value = TypeId::kI64;
+};
+template <>
+struct PhysOf<double> {
+  static constexpr TypeId value = TypeId::kF64;
+};
+template <>
+struct PhysOf<StringVal> {
+  static constexpr TypeId value = TypeId::kStr;
+};
+
 template <typename T, typename OP>
-void ArithKernel(Expr* left, Vector* lv, Expr* right, Vector* rv, Vector* out,
-                 const sel_t* sel, size_t n) {
+void ArithKernel(ArithOp op, Expr* left, Vector* lv, Expr* right, Vector* rv,
+                 Vector* out, const sel_t* sel, size_t n) {
   T* o = out->Data<T>();
+  constexpr TypeId kTy = PhysOf<T>::value;
   if (left->IsConstant() && right->IsConstant()) {
-    // Constant folding at evaluation time (the builder does not fold).
+    // Constant folding at evaluation time (the builder does not fold); no
+    // catalog primitive runs, so nothing is recorded.
     T v = OP()(ConstScalar<T>(left), ConstScalar<T>(right));
     if (sel == nullptr) {
       for (size_t i = 0; i < n; i++) o[i] = v;
@@ -123,10 +150,13 @@ void ArithKernel(Expr* left, Vector* lv, Expr* right, Vector* rv, Vector* out,
       for (size_t i = 0; i < n; i++) o[sel[i]] = v;
     }
   } else if (left->IsConstant()) {
+    PrimProfileScope prof(MapPrimId(static_cast<int>(op), kTy, MapKind::kValCol), n);
     prim::MapValCol<T, T, T, OP>(ConstScalar<T>(left), rv->Data<T>(), o, sel, n);
   } else if (right->IsConstant()) {
+    PrimProfileScope prof(MapPrimId(static_cast<int>(op), kTy, MapKind::kColVal), n);
     prim::MapColVal<T, T, T, OP>(lv->Data<T>(), ConstScalar<T>(right), o, sel, n);
   } else {
+    PrimProfileScope prof(MapPrimId(static_cast<int>(op), kTy, MapKind::kColCol), n);
     prim::MapColCol<T, T, T, OP>(lv->Data<T>(), rv->Data<T>(), o, sel, n);
   }
 }
@@ -136,16 +166,16 @@ void ArithDispatch(ArithOp op, Expr* left, Vector* lv, Expr* right, Vector* rv,
                    Vector* out, const sel_t* sel, size_t n) {
   switch (op) {
     case ArithOp::kAdd:
-      ArithKernel<T, prim::OpAdd>(left, lv, right, rv, out, sel, n);
+      ArithKernel<T, prim::OpAdd>(op, left, lv, right, rv, out, sel, n);
       break;
     case ArithOp::kSub:
-      ArithKernel<T, prim::OpSub>(left, lv, right, rv, out, sel, n);
+      ArithKernel<T, prim::OpSub>(op, left, lv, right, rv, out, sel, n);
       break;
     case ArithOp::kMul:
-      ArithKernel<T, prim::OpMul>(left, lv, right, rv, out, sel, n);
+      ArithKernel<T, prim::OpMul>(op, left, lv, right, rv, out, sel, n);
       break;
     case ArithOp::kDiv:
-      ArithKernel<T, prim::OpDiv>(left, lv, right, rv, out, sel, n);
+      ArithKernel<T, prim::OpDiv>(op, left, lv, right, rv, out, sel, n);
       break;
   }
 }
@@ -479,15 +509,18 @@ StringVal ConstCmpScalar<StringVal>(const Expr* node) {
 }
 
 template <typename T, typename OP>
-size_t CmpKernel(Expr* left, Vector* lv, Expr* right, Vector* rv,
+size_t CmpKernel(CmpOp op, Expr* left, Vector* lv, Expr* right, Vector* rv,
                  const sel_t* sel, size_t n, sel_t* out_sel) {
   // The left side is always materialized (constants pre-fill their scratch
   // vector at Prepare), so only the right side needs a val fast path.
   (void)left;
+  constexpr TypeId kTy = PhysOf<T>::value;
   if (right->IsConstant()) {
+    PrimProfileScope prof(SelPrimId(static_cast<int>(op), kTy, true), n);
     return prim::SelectColVal<T, T, OP>(lv->Data<T>(), ConstCmpScalar<T>(right),
                                         sel, n, out_sel);
   }
+  PrimProfileScope prof(SelPrimId(static_cast<int>(op), kTy, false), n);
   return prim::SelectColCol<T, T, OP>(lv->Data<T>(), rv->Data<T>(), sel, n, out_sel);
 }
 
@@ -496,17 +529,17 @@ size_t CmpDispatchOp(CmpOp op, Expr* left, Vector* lv, Expr* right, Vector* rv,
                      const sel_t* sel, size_t n, sel_t* out_sel) {
   switch (op) {
     case CmpOp::kEq:
-      return CmpKernel<T, prim::OpEq>(left, lv, right, rv, sel, n, out_sel);
+      return CmpKernel<T, prim::OpEq>(op, left, lv, right, rv, sel, n, out_sel);
     case CmpOp::kNe:
-      return CmpKernel<T, prim::OpNe>(left, lv, right, rv, sel, n, out_sel);
+      return CmpKernel<T, prim::OpNe>(op, left, lv, right, rv, sel, n, out_sel);
     case CmpOp::kLt:
-      return CmpKernel<T, prim::OpLt>(left, lv, right, rv, sel, n, out_sel);
+      return CmpKernel<T, prim::OpLt>(op, left, lv, right, rv, sel, n, out_sel);
     case CmpOp::kLe:
-      return CmpKernel<T, prim::OpLe>(left, lv, right, rv, sel, n, out_sel);
+      return CmpKernel<T, prim::OpLe>(op, left, lv, right, rv, sel, n, out_sel);
     case CmpOp::kGt:
-      return CmpKernel<T, prim::OpGt>(left, lv, right, rv, sel, n, out_sel);
+      return CmpKernel<T, prim::OpGt>(op, left, lv, right, rv, sel, n, out_sel);
     case CmpOp::kGe:
-      return CmpKernel<T, prim::OpGe>(left, lv, right, rv, sel, n, out_sel);
+      return CmpKernel<T, prim::OpGe>(op, left, lv, right, rv, sel, n, out_sel);
   }
   return 0;
 }

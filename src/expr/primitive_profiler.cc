@@ -1,0 +1,191 @@
+#include "expr/primitive_profiler.h"
+
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace vwise {
+
+namespace {
+
+// Catalog names in id order, generated from the same X-macro list as the
+// PrimitiveId enum.
+const char* const kPrimitiveNames[] = {
+#define VWISE_MAP_PRIMITIVE(name, ctype, adapter, functor) #name,
+#define VWISE_SEL_PRIMITIVE(name, ctype, adapter, functor) #name,
+#include "expr/primitive_catalog.inc"
+#undef VWISE_MAP_PRIMITIVE
+#undef VWISE_SEL_PRIMITIVE
+};
+static_assert(sizeof(kPrimitiveNames) / sizeof(kPrimitiveNames[0]) ==
+                  kNumPrimitives,
+              "name table out of sync with the PrimitiveId enum");
+
+const char* MapTypeToken(TypeId ty) {
+  switch (ty) {
+    case TypeId::kU8:
+      return "u8";
+    case TypeId::kI32:
+      return "i32";
+    case TypeId::kI64:
+      return "i64";
+    case TypeId::kF64:
+      return "f64";
+    case TypeId::kStr:
+      return "str";
+  }
+  return "?";
+}
+
+// The arithmetic id mapping assumes the catalog's block layout. Compose each
+// name from the grammar and compare against the generated table once, so a
+// reordered catalog fails loudly instead of mis-attributing counters.
+void ValidateLayout() {
+  static const char* const kMapOps[] = {"add", "sub", "mul", "div"};
+  static const TypeId kMapTys[] = {TypeId::kI64, TypeId::kF64};
+  static const char* const kMapKinds[] = {"col_%s_col", "col_%s_val",
+                                          "val_%s_col"};
+  for (int ty = 0; ty < 2; ty++) {
+    for (int op = 0; op < 4; op++) {
+      for (int kind = 0; kind < 3; kind++) {
+        const char* tok = MapTypeToken(kMapTys[ty]);
+        char suffix[32];
+        std::snprintf(suffix, sizeof(suffix), kMapKinds[kind], tok);
+        std::string want = std::string("map_") + kMapOps[op] + "_" + tok +
+                           "_" + suffix;
+        PrimitiveId id =
+            MapPrimId(op, kMapTys[ty], static_cast<MapKind>(kind));
+        VWISE_CHECK_MSG(want == kPrimitiveNames[id],
+                        "primitive_catalog.inc layout drifted from "
+                        "MapPrimId; fix the mapping in primitive_profiler");
+      }
+    }
+  }
+  static const char* const kSelOps[] = {"eq", "ne", "lt", "le", "gt", "ge"};
+  static const TypeId kSelTys[] = {TypeId::kU8, TypeId::kI32, TypeId::kI64,
+                                   TypeId::kF64, TypeId::kStr};
+  for (int ty = 0; ty < 5; ty++) {
+    for (int op = 0; op < 6; op++) {
+      for (int rhs_val = 0; rhs_val < 2; rhs_val++) {
+        const char* tok = MapTypeToken(kSelTys[ty]);
+        std::string want = std::string("sel_") + kSelOps[op] + "_" + tok +
+                           "_col_" + tok + (rhs_val ? "_val" : "_col");
+        PrimitiveId id = SelPrimId(op, kSelTys[ty], rhs_val != 0);
+        VWISE_CHECK_MSG(want == kPrimitiveNames[id],
+                        "primitive_catalog.inc layout drifted from "
+                        "SelPrimId; fix the mapping in primitive_profiler");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PrimitiveId MapPrimId(int op, TypeId ty, MapKind kind) {
+  // Catalog layout: i64 block then f64 block; each block add/sub/mul/div;
+  // each op col_col, col_val, val_col.
+  int ty_block = (ty == TypeId::kI64) ? 0 : 1;
+  return static_cast<PrimitiveId>(kPrim_map_add_i64_col_i64_col +
+                                  ty_block * 12 + op * 3 +
+                                  static_cast<int>(kind));
+}
+
+PrimitiveId SelPrimId(int cmp, TypeId ty, bool rhs_val) {
+  // Catalog layout: u8, i32, i64, f64, str blocks; each block
+  // eq/ne/lt/le/gt/ge; each op the val variant then the col variant.
+  int ty_block;
+  switch (ty) {
+    case TypeId::kU8:
+      ty_block = 0;
+      break;
+    case TypeId::kI32:
+      ty_block = 1;
+      break;
+    case TypeId::kI64:
+      ty_block = 2;
+      break;
+    case TypeId::kF64:
+      ty_block = 3;
+      break;
+    case TypeId::kStr:
+      ty_block = 4;
+      break;
+    default:
+      ty_block = 0;
+      break;
+  }
+  return static_cast<PrimitiveId>(kPrim_sel_eq_u8_col_u8_val + ty_block * 12 +
+                                  cmp * 2 + (rhs_val ? 0 : 1));
+}
+
+std::atomic<bool> PrimitiveProfiler::enabled_{false};
+PrimitiveProfiler::Counters PrimitiveProfiler::counters_[kNumPrimitives];
+
+void PrimitiveProfiler::SetEnabled(bool on) {
+  if (on) {
+    static std::once_flag validated;
+    std::call_once(validated, ValidateLayout);
+  }
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+const char* PrimitiveProfiler::Name(PrimitiveId id) {
+  return id < kNumPrimitives ? kPrimitiveNames[id] : "<invalid>";
+}
+
+std::vector<PrimitiveCounters> PrimitiveProfiler::Snapshot() {
+  std::vector<PrimitiveCounters> out(kNumPrimitives);
+  for (int i = 0; i < kNumPrimitives; i++) {
+    out[i].name = kPrimitiveNames[i];
+    out[i].calls = counters_[i].calls.load(std::memory_order_relaxed);
+    out[i].tuples = counters_[i].tuples.load(std::memory_order_relaxed);
+    out[i].cycles = counters_[i].cycles.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void PrimitiveProfiler::Reset() {
+  for (auto& c : counters_) {
+    c.calls.store(0, std::memory_order_relaxed);
+    c.tuples.store(0, std::memory_order_relaxed);
+    c.cycles.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string RenderPrimitiveProfile(const std::vector<PrimitiveCounters>& before,
+                                   const std::vector<PrimitiveCounters>& after) {
+  std::ostringstream os;
+  bool any = false;
+  for (size_t i = 0; i < after.size(); i++) {
+    uint64_t calls = after[i].calls;
+    uint64_t tuples = after[i].tuples;
+    uint64_t cycles = after[i].cycles;
+    if (i < before.size()) {
+      calls -= before[i].calls;
+      tuples -= before[i].tuples;
+      cycles -= before[i].cycles;
+    }
+    if (calls == 0) continue;
+    if (!any) {
+      os << "primitives:\n";
+      char header[96];
+      std::snprintf(header, sizeof(header), "  %-28s %10s %12s %14s\n",
+                    "name", "calls", "tuples", "cycles/tuple");
+      os << header;
+      any = true;
+    }
+    double cpt = tuples > 0 ? static_cast<double>(cycles) /
+                                  static_cast<double>(tuples)
+                            : 0.0;
+    char line[128];
+    std::snprintf(line, sizeof(line), "  %-28s %10llu %12llu %14.2f\n",
+                  after[i].name, static_cast<unsigned long long>(calls),
+                  static_cast<unsigned long long>(tuples), cpt);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace vwise

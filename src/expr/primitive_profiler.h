@@ -1,0 +1,165 @@
+#ifndef VWISE_EXPR_PRIMITIVE_PROFILER_H_
+#define VWISE_EXPR_PRIMITIVE_PROFILER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vector/types.h"
+
+namespace vwise {
+
+// ---------------------------------------------------------------------------
+// Primitive ids
+// ---------------------------------------------------------------------------
+//
+// One enumerator per catalog entry, in catalog order, generated from the same
+// X-macro file that feeds the registry (expr/primitive_catalog.inc) — the
+// profiler, the registry, and the lint all key off one list. The expression
+// dispatch path maps its (op, type, operand-kind) coordinates onto these ids
+// arithmetically (MapPrimId / SelPrimId below); the layout assumption is
+// validated against the generated name table the first time profiling is
+// enabled.
+
+enum PrimitiveId : uint16_t {
+#define VWISE_MAP_PRIMITIVE(name, ctype, adapter, functor) kPrim_##name,
+#define VWISE_SEL_PRIMITIVE(name, ctype, adapter, functor) kPrim_##name,
+#include "expr/primitive_catalog.inc"
+#undef VWISE_MAP_PRIMITIVE
+#undef VWISE_SEL_PRIMITIVE
+  kNumPrimitives,
+};
+
+// Operand-kind index of a map primitive, in catalog block order.
+enum class MapKind : uint8_t { kColCol = 0, kColVal = 1, kValCol = 2 };
+
+// Maps (ArithOp index, physical type, operand kind) to the catalog id.
+// `op` is the integer value of ArithOp (add=0, sub, mul, div); `ty` must be
+// kI64 or kF64.
+PrimitiveId MapPrimId(int op, TypeId ty, MapKind kind);
+
+// Maps (CmpOp index, physical type, rhs kind) to the catalog id. `cmp` is
+// the integer value of CmpOp (eq=0, ne, lt, le, gt, ge); `rhs_val` selects
+// the col x val variant.
+PrimitiveId SelPrimId(int cmp, TypeId ty, bool rhs_val);
+
+// ---------------------------------------------------------------------------
+// Cycle counter
+// ---------------------------------------------------------------------------
+
+// Raw timestamp counter: TSC on x86-64, the virtual counter on aarch64, and
+// steady_clock ticks elsewhere. Not serializing and not constant-rate-
+// calibrated — good for the relative cycles/tuple the X100 papers report,
+// not for cross-machine absolute numbers (see DESIGN.md "Profiling &
+// benchmarking" for the caveats).
+struct CycleClock {
+  static inline uint64_t Now() {
+#if defined(__x86_64__) || defined(_M_X64)
+    unsigned lo, hi;
+    __asm__ __volatile__("rdtsc" : "=a"(lo), "=d"(hi));
+    return (static_cast<uint64_t>(hi) << 32) | lo;
+#elif defined(__aarch64__)
+    uint64_t v;
+    __asm__ __volatile__("mrs %0, cntvct_el0" : "=r"(v));
+    return v;
+#else
+    return static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Per-primitive counters
+// ---------------------------------------------------------------------------
+
+// A snapshot of one primitive's counters (cumulative since process start or
+// the last Reset()).
+struct PrimitiveCounters {
+  const char* name = nullptr;
+  uint64_t calls = 0;
+  uint64_t tuples = 0;  // active positions processed
+  uint64_t cycles = 0;  // CycleClock ticks inside the kernel
+};
+
+// Process-wide per-primitive profile. Counters are fixed-size atomics indexed
+// by PrimitiveId, so recording is wait-free and safe from Xchg worker
+// threads; when disabled the dispatch path pays one relaxed load + branch.
+class PrimitiveProfiler {
+ public:
+  static bool Enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  // Idempotent; validates the id <-> catalog-name layout on first enable.
+  static void SetEnabled(bool on);
+
+  static void Record(PrimitiveId id, uint64_t tuples, uint64_t cycles) {
+    Counters& c = counters_[id];
+    c.calls.fetch_add(1, std::memory_order_relaxed);
+    c.tuples.fetch_add(tuples, std::memory_order_relaxed);
+    c.cycles.fetch_add(cycles, std::memory_order_relaxed);
+  }
+
+  static const char* Name(PrimitiveId id);
+
+  // All kNumPrimitives counters, in catalog order (calls may be zero).
+  static std::vector<PrimitiveCounters> Snapshot();
+  static void Reset();
+
+  // Enables for a scope (a profiled query run), restoring the previous state.
+  class ScopedEnable {
+   public:
+    explicit ScopedEnable(bool on) : prev_(Enabled()) {
+      if (on) SetEnabled(true);
+    }
+    ~ScopedEnable() { SetEnabled(prev_); }
+    ScopedEnable(const ScopedEnable&) = delete;
+    ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+   private:
+    bool prev_;
+  };
+
+ private:
+  struct Counters {
+    std::atomic<uint64_t> calls{0};
+    std::atomic<uint64_t> tuples{0};
+    std::atomic<uint64_t> cycles{0};
+  };
+  static std::atomic<bool> enabled_;
+  static Counters counters_[kNumPrimitives];
+};
+
+// RAII guard around one kernel invocation in the dispatch path: reads the
+// cycle counter only when profiling is enabled.
+class PrimProfileScope {
+ public:
+  PrimProfileScope(PrimitiveId id, size_t n)
+      : on_(PrimitiveProfiler::Enabled()),
+        id_(id),
+        n_(n),
+        t0_(on_ ? CycleClock::Now() : 0) {}
+  ~PrimProfileScope() {
+    if (on_) PrimitiveProfiler::Record(id_, n_, CycleClock::Now() - t0_);
+  }
+  PrimProfileScope(const PrimProfileScope&) = delete;
+  PrimProfileScope& operator=(const PrimProfileScope&) = delete;
+
+ private:
+  bool on_;
+  PrimitiveId id_;
+  size_t n_;
+  uint64_t t0_;
+};
+
+// "primitives:" section of the EXPLAIN ANALYZE text: every primitive whose
+// counters advanced between the two snapshots, with calls, tuples, and
+// cycles/tuple. Empty string when nothing advanced.
+std::string RenderPrimitiveProfile(const std::vector<PrimitiveCounters>& before,
+                                   const std::vector<PrimitiveCounters>& after);
+
+}  // namespace vwise
+
+#endif  // VWISE_EXPR_PRIMITIVE_PROFILER_H_

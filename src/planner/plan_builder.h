@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
-#include "exec/checked.h"
+#include "exec/profile.h"
 #include "exec/hash_agg.h"
 #include "exec/hash_join.h"
 #include "exec/project.h"
@@ -196,7 +196,7 @@ class PlanBuilder {
       return Status::InvalidArgument(
           "PlanBuilder::Build: empty plan (Scan failed or was never called)");
     }
-    OperatorPtr root = MaybeChecked(std::move(op_), config_, "plan.root");
+    OperatorPtr root = InterposeChild(std::move(op_), config_, "plan.root");
     if (config_.verify_plans) {
       PlanVerifier verifier(config_);
       PlanProperties props;

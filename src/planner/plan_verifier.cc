@@ -1,11 +1,13 @@
 #include "planner/plan_verifier.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <utility>
 
 #include "catalog/schema.h"
 #include "exec/checked.h"
+#include "exec/profile.h"
 #include "exec/hash_agg.h"
 #include "exec/hash_join.h"
 #include "exec/project.h"
@@ -322,13 +324,29 @@ std::string ExplainFilter(const Filter& f) {
 
 namespace {
 
-void ExplainNode(const Operator& op, size_t depth, std::string* out) {
+// Appends a pseudo-line (an Xchg fragment header) — never profiled.
+void PseudoLine(std::string text, size_t depth,
+                std::vector<PlanNodeProfile>* out) {
+  PlanNodeProfile e;
+  e.op = std::move(text);
+  e.depth = depth;
+  out->push_back(std::move(e));
+}
+
+// Pre-order walk producing one PlanNodeProfile per printed line. `prof` is
+// the closest ProfiledOperator peeled off above `op` (its counters describe
+// this node's output stream). Returns the index of the entry created for the
+// unwrapped node, or SIZE_MAX when nothing was appended.
+size_t WalkNode(const Operator& op, size_t depth, const ProfiledOperator* prof,
+                std::vector<PlanNodeProfile>* out) {
   if (auto* ck = dynamic_cast<const CheckedOperator*>(&op)) {
-    ExplainNode(ck->child(), depth, out);  // transparent wrapper
-    return;
+    return WalkNode(ck->child(), depth, prof, out);  // transparent wrapper
+  }
+  if (auto* pf = dynamic_cast<const ProfiledOperator*>(&op)) {
+    // Innermost wrapper wins (there is at most one per edge today).
+    return WalkNode(pf->child(), depth, pf, out);
   }
   std::string line;
-  line.append(depth * 2, ' ');
   const Operator* child0 = nullptr;
   const Operator* child1 = nullptr;
   if (auto* s = dynamic_cast<const ScanOperator*>(&op)) {
@@ -424,44 +442,104 @@ void ExplainNode(const Operator& op, size_t depth, std::string* out) {
     line += " offset=";
     line += std::to_string(lim->offset());
     child0 = &lim->child();
-  } else if (auto* x = dynamic_cast<const XchgOperator*>(&op)) {
-    line += "Xchg workers=";
-    line += std::to_string(x->num_workers());
-    line += " -> ";
-    line += TypesToString(x->OutputTypes());
-    line += "\n";
-    out->append(line);
-    // Show worker 0's fragment as the representative sub-plan.
-    auto frag = x->factory()(0, x->num_workers());
-    if (frag.ok() && frag.value() != nullptr) {
-      std::string frag_line;
-      frag_line.append((depth + 1) * 2, ' ');
-      frag_line += "fragment(0):\n";
-      out->append(frag_line);
-      ExplainNode(*frag.value(), depth + 2, out);
-    } else {
-      std::string frag_line;
-      frag_line.append((depth + 1) * 2, ' ');
-      frag_line += "<fragment unavailable>\n";
-      out->append(frag_line);
-    }
-    return;
   } else {
-    line += "<operator>";
+    auto* x = dynamic_cast<const XchgOperator*>(&op);
+    line += x != nullptr
+                ? "Xchg workers=" + std::to_string(x->num_workers())
+                : "<operator>";
+    line += " -> ";
+    line += TypesToString(op.OutputTypes());
+    PlanNodeProfile e;
+    e.op = std::move(line);
+    e.depth = depth;
+    if (prof != nullptr) {
+      const OperatorStats& st = prof->stats();
+      e.profiled = true;
+      e.next_calls = st.next_calls;
+      e.chunks_out = st.chunks_out;
+      e.rows_out = st.rows_out;
+      e.open_ms = static_cast<double>(st.open_ns) / 1e6;
+      e.next_ms = static_cast<double>(st.next_ns) / 1e6;
+    }
+    out->push_back(std::move(e));
+    size_t idx = out->size() - 1;
+    if (x != nullptr) {
+      // Show worker 0's fragment as the representative sub-plan. The factory
+      // builds a fresh, never-opened instance, so its counters stay zero —
+      // per-worker runtime lives in the Xchg line above it.
+      auto frag = x->factory()(0, x->num_workers());
+      if (frag.ok() && frag.value() != nullptr) {
+        PseudoLine("fragment(0):", depth + 1, out);
+        WalkNode(*frag.value(), depth + 2, nullptr, out);
+      } else {
+        PseudoLine("<fragment unavailable>", depth + 1, out);
+      }
+    }
+    return idx;
   }
   line += " -> ";
   line += TypesToString(op.OutputTypes());
-  line += "\n";
-  out->append(line);
-  if (child0 != nullptr) ExplainNode(*child0, depth + 1, out);
-  if (child1 != nullptr) ExplainNode(*child1, depth + 1, out);
+  PlanNodeProfile e;
+  e.op = std::move(line);
+  e.depth = depth;
+  if (prof != nullptr) {
+    const OperatorStats& st = prof->stats();
+    e.profiled = true;
+    e.next_calls = st.next_calls;
+    e.chunks_out = st.chunks_out;
+    e.rows_out = st.rows_out;
+    e.open_ms = static_cast<double>(st.open_ns) / 1e6;
+    e.next_ms = static_cast<double>(st.next_ns) / 1e6;
+  }
+  out->push_back(std::move(e));
+  size_t idx = out->size() - 1;
+  for (const Operator* c : {child0, child1}) {
+    if (c == nullptr) continue;
+    size_t ci = WalkNode(*c, depth + 1, nullptr, out);
+    if (ci != SIZE_MAX && (*out)[ci].profiled) {
+      (*out)[idx].rows_in += (*out)[ci].rows_out;
+    }
+  }
+  return idx;
 }
 
 }  // namespace
 
+std::vector<PlanNodeProfile> CollectPlanProfile(const Operator& root) {
+  std::vector<PlanNodeProfile> nodes;
+  WalkNode(root, 0, nullptr, &nodes);
+  return nodes;
+}
+
 std::string ExplainPlan(const Operator& root) {
   std::string out;
-  ExplainNode(root, 0, &out);
+  for (const PlanNodeProfile& n : CollectPlanProfile(root)) {
+    out.append(n.depth * 2, ' ');
+    out += n.op;
+    out += "\n";
+  }
+  return out;
+}
+
+std::string ExplainAnalyzePlan(const Operator& root) {
+  std::string out;
+  for (const PlanNodeProfile& n : CollectPlanProfile(root)) {
+    out.append(n.depth * 2, ' ');
+    out += n.op;
+    if (n.profiled) {
+      char ann[160];
+      std::snprintf(ann, sizeof(ann),
+                    " [rows=%llu in=%llu chunks=%llu next_calls=%llu "
+                    "open=%.3fms next=%.3fms]",
+                    static_cast<unsigned long long>(n.rows_out),
+                    static_cast<unsigned long long>(n.rows_in),
+                    static_cast<unsigned long long>(n.chunks_out),
+                    static_cast<unsigned long long>(n.next_calls), n.open_ms,
+                    n.next_ms);
+      out += ann;
+    }
+    out += "\n";
+  }
   return out;
 }
 
@@ -980,6 +1058,9 @@ Status PlanVerifier::VerifyNode(const Operator& op, PlanProperties* out) const {
   if (auto* ck = dynamic_cast<const CheckedOperator*>(&op)) {
     return VerifyNode(ck->child(), out);
   }
+  if (auto* pf = dynamic_cast<const ProfiledOperator*>(&op)) {
+    return VerifyNode(pf->child(), out);
+  }
   if (auto* s = dynamic_cast<const ScanOperator*>(&op)) {
     return VerifyScan(*s, out);
   }
@@ -1260,6 +1341,8 @@ namespace {
 void CollectScans(const Operator& op, std::vector<const ScanOperator*>* out) {
   if (auto* ck = dynamic_cast<const CheckedOperator*>(&op)) {
     CollectScans(ck->child(), out);
+  } else if (auto* pf = dynamic_cast<const ProfiledOperator*>(&op)) {
+    CollectScans(pf->child(), out);
   } else if (auto* s = dynamic_cast<const ScanOperator*>(&op)) {
     out->push_back(s);
   } else if (auto* sel = dynamic_cast<const SelectOperator*>(&op)) {

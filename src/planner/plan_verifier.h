@@ -1,6 +1,7 @@
 #ifndef VWISE_PLANNER_PLAN_VERIFIER_H_
 #define VWISE_PLANNER_PLAN_VERIFIER_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,7 +36,8 @@ namespace vwise {
 //     operator (1 below an Xchg, num_workers above it until a blocking
 //     operator re-serializes).
 //
-// The verifier sees through CheckedOperator wrappers, and descends into
+// The verifier sees through CheckedOperator/ProfiledOperator wrappers, and
+// descends into
 // XchgOperator fragments by instantiating them through the fragment factory
 // (construction only — nothing is opened). Unknown operator types are
 // accepted at their declared types with properties reset.
@@ -114,6 +116,36 @@ Status VerifyNullRewritePair(const Expr& value, const Expr& indicator,
 std::string ExplainPlan(const Operator& root);
 std::string ExplainExpr(const Expr& e);
 std::string ExplainFilter(const Filter& f);
+
+// ---------------------------------------------------------------------------
+// Plan profiles (EXPLAIN ANALYZE)
+// ---------------------------------------------------------------------------
+
+// One rendered plan line in top-down (pre-order) print order: either a real
+// operator node or a pseudo-line (an Xchg "fragment(0):" header). When a
+// ProfiledOperator wraps the node (Config::profile), `profiled` is set and
+// the runtime counters are filled from its stats; otherwise they stay zero.
+// ExplainPlan / ExplainAnalyzePlan are both rendered from this walk, so the
+// two stay line-for-line aligned.
+struct PlanNodeProfile {
+  std::string op;   // rendered text, e.g. "Select l_quantity < 24 -> [...]"
+  size_t depth = 0;  // indentation level (two spaces per level)
+  bool profiled = false;
+  uint64_t next_calls = 0;
+  uint64_t chunks_out = 0;  // Next() calls that produced >= 1 active row
+  uint64_t rows_out = 0;    // active rows handed to the parent
+  uint64_t rows_in = 0;     // sum of profiled immediate children's rows_out
+  double open_ms = 0.0;
+  double next_ms = 0.0;
+};
+
+// Walks the plan (seeing through Checked/Profiled wrappers, descending into
+// Xchg's worker-0 fragment) and returns one entry per printed line.
+std::vector<PlanNodeProfile> CollectPlanProfile(const Operator& root);
+
+// ExplainPlan with per-operator runtime annotations appended to profiled
+// lines: [rows=.. in=.. chunks=.. next_calls=.. open=..ms next=..ms].
+std::string ExplainAnalyzePlan(const Operator& root);
 
 }  // namespace vwise
 

@@ -1,6 +1,8 @@
 #include "tpch/queries.h"
 
 #include "common/date.h"
+#include "expr/primitive_profiler.h"
+#include "planner/plan_verifier.h"
 #include "tpch/queries_internal.h"
 
 namespace vwise::tpch {
@@ -519,7 +521,20 @@ Result<QueryResult> RunQuery(int q, TransactionManager* mgr,
                              const Config& config) {
   QueryInfo info;
   VWISE_ASSIGN_OR_RETURN(OperatorPtr plan, BuildQuery(q, mgr, config, &info));
-  return CollectRows(plan.get(), config.vector_size, info.column_names);
+  if (!config.profile) {
+    return CollectRows(plan.get(), config.vector_size, info.column_names);
+  }
+  // Mirrors Database::Run: counters on for the pipeline, then EXPLAIN
+  // ANALYZE plus this query's primitive-counter delta.
+  PrimitiveProfiler::ScopedEnable enable(true);
+  std::vector<PrimitiveCounters> before = PrimitiveProfiler::Snapshot();
+  VWISE_ASSIGN_OR_RETURN(
+      QueryResult result,
+      CollectRows(plan.get(), config.vector_size, info.column_names));
+  std::vector<PrimitiveCounters> after = PrimitiveProfiler::Snapshot();
+  result.profile =
+      ExplainAnalyzePlan(*plan) + RenderPrimitiveProfile(before, after);
+  return result;
 }
 
 }  // namespace vwise::tpch

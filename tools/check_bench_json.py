@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Validates BENCH_*.json benchmark-trajectory reports (schema version 1).
+
+The benches emit their reports through BenchReport (bench/bench_util.h);
+this checker is the other side of that contract, run by the CI bench-smoke
+job so a bench that silently stops writing (or writes garbage) fails the
+build rather than producing a hole in the trajectory.
+
+Schema v1:
+  {
+    "schema_version": 1,
+    "bench": "<name>",
+    "build": {"compiler": str, "build_type": str, "timestamp_unix": int},
+    "entries": [ {..., "rows": int >= 0, "wall_ms*": number >= 0,
+                  "operators"?: [{"op": str, "depth": int,
+                                  "profiled": bool, ...}]} ],
+    "metrics": {str: number}
+  }
+
+Usage: check_bench_json.py FILE... [--expect-queries N]
+  --expect-queries N requires the union of integer "query" fields across the
+  given files to cover exactly 1..N (the TPC-H power run contract).
+"""
+
+import argparse
+import json
+import numbers
+import sys
+
+SCHEMA_VERSION = 1
+
+
+def fail(path, msg):
+    raise SystemExit(f"check_bench_json: {path}: {msg}")
+
+
+def require(cond, path, msg):
+    if not cond:
+        fail(path, msg)
+
+
+def check_number(path, where, key, value, minimum=None):
+    require(isinstance(value, numbers.Real) and not isinstance(value, bool),
+            path, f"{where}: '{key}' must be a number, got {value!r}")
+    if minimum is not None:
+        require(value >= minimum, path,
+                f"{where}: '{key}' must be >= {minimum}, got {value!r}")
+
+
+def check_operators(path, where, ops):
+    require(isinstance(ops, list), path, f"{where}: 'operators' must be a list")
+    require(len(ops) > 0, path, f"{where}: 'operators' is empty — the "
+            "profiled rerun produced no plan nodes")
+    for i, op in enumerate(ops):
+        w = f"{where}.operators[{i}]"
+        require(isinstance(op, dict), path, f"{w}: must be an object")
+        require(isinstance(op.get("op"), str) and op["op"], path,
+                f"{w}: missing operator text 'op'")
+        require(isinstance(op.get("depth"), int) and op["depth"] >= 0, path,
+                f"{w}: 'depth' must be a non-negative int")
+        require(isinstance(op.get("profiled"), bool), path,
+                f"{w}: 'profiled' must be a bool")
+        if op["profiled"]:
+            for key in ("rows_out", "rows_in", "chunks_out", "next_calls"):
+                require(isinstance(op.get(key), int) and op[key] >= 0, path,
+                        f"{w}: profiled node needs int '{key}' >= 0")
+            for key in ("open_ms", "next_ms"):
+                check_number(path, w, key, op.get(key), minimum=0)
+
+
+def check_entry(path, i, entry):
+    where = f"entries[{i}]"
+    require(isinstance(entry, dict), path, f"{where}: must be an object")
+    saw_time = False
+    for key, value in entry.items():
+        if key.startswith("wall_ms"):
+            check_number(path, where, key, value, minimum=0)
+            saw_time = True
+    require(saw_time, path, f"{where}: no wall_ms* field — an entry without "
+            "a time measurement is not a benchmark result")
+    require(isinstance(entry.get("rows"), int) and entry["rows"] >= 0, path,
+            f"{where}: 'rows' must be an int >= 0")
+    if "query" in entry:
+        require(isinstance(entry["query"], int), path,
+                f"{where}: 'query' must be an int")
+    if "sf" in entry:
+        check_number(path, where, "sf", entry["sf"], minimum=0)
+    if "operators" in entry:
+        check_operators(path, where, entry["operators"])
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"unreadable or invalid JSON: {e}")
+
+    require(isinstance(doc, dict), path, "top level must be an object")
+    require(doc.get("schema_version") == SCHEMA_VERSION, path,
+            f"schema_version must be {SCHEMA_VERSION}, "
+            f"got {doc.get('schema_version')!r}")
+    require(isinstance(doc.get("bench"), str) and doc["bench"], path,
+            "'bench' must be a non-empty string")
+
+    build = doc.get("build")
+    require(isinstance(build, dict), path, "'build' must be an object")
+    for key in ("compiler", "build_type"):
+        require(isinstance(build.get(key), str) and build[key], path,
+                f"build.{key} must be a non-empty string")
+    require(isinstance(build.get("timestamp_unix"), int)
+            and build["timestamp_unix"] > 0, path,
+            "build.timestamp_unix must be a positive int")
+
+    entries = doc.get("entries")
+    require(isinstance(entries, list) and len(entries) > 0, path,
+            "'entries' must be a non-empty list")
+    for i, entry in enumerate(entries):
+        check_entry(path, i, entry)
+
+    metrics = doc.get("metrics", {})
+    require(isinstance(metrics, dict), path, "'metrics' must be an object")
+    for key, value in metrics.items():
+        check_number(path, "metrics", key, value)
+
+    queries = {e["query"] for e in entries if isinstance(e.get("query"), int)}
+    print(f"check_bench_json: {path}: OK "
+          f"(bench={doc['bench']}, {len(entries)} entries)")
+    return queries
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="+", help="BENCH_*.json report files")
+    ap.add_argument("--expect-queries", type=int, metavar="N",
+                    help="require 'query' fields to cover exactly 1..N")
+    args = ap.parse_args()
+
+    queries = set()
+    for path in args.files:
+        queries |= check_file(path)
+
+    if args.expect_queries is not None:
+        want = set(range(1, args.expect_queries + 1))
+        missing = sorted(want - queries)
+        extra = sorted(queries - want)
+        if missing or extra:
+            detail = []
+            if missing:
+                detail.append(f"missing queries {missing}")
+            if extra:
+                detail.append(f"unexpected queries {extra}")
+            raise SystemExit("check_bench_json: query coverage: "
+                             + "; ".join(detail))
+        print(f"check_bench_json: query coverage 1..{args.expect_queries} OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,14 +24,16 @@ Checks
    * macro definitions are VWISE_-prefixed.
 3. Operator-child wrapping: every constructor that takes ownership of a
    child plan (an OperatorPtr parameter) must route it through
-   MaybeChecked(std::move(child), ...) so the contract checker can
-   interpose between every parent/child pair. CheckedOperator itself (the
-   wrapper) is the one exemption.
+   InterposeChild(std::move(child), ...) so both interposition wrappers
+   (contract checker, profiler) can sit on every parent/child pair. The
+   wrappers themselves (CheckedOperator, ProfiledOperator) are the only
+   exemptions. The InterposeChild helper in exec/profile.cc must in turn
+   route through both MaybeChecked and MaybeProfiled, checker outermost.
 
 --self-test seeds deliberate violations (misnamed primitive, catalog /
 primitives.h mismatch, raw assert, a constructor that stores its child
-without MaybeChecked) into a scratch copy and verifies the lint catches
-each one.
+without InterposeChild, a helper that drops one wrapper) into a scratch
+copy and verifies the lint catches each one.
 """
 
 import argparse
@@ -233,8 +235,8 @@ class Lint:
 
     # -- operator-child wrapping --------------------------------------------
 
-    # The wrapper itself stores the raw child; everything else must wrap.
-    CHECKED_EXEMPT = {"CheckedOperator"}
+    # The wrappers themselves store the raw child; everything else must wrap.
+    CHECKED_EXEMPT = {"CheckedOperator", "ProfiledOperator"}
 
     @staticmethod
     def balanced_parens(text, open_idx):
@@ -291,19 +293,69 @@ class Lint:
                     region = text[after:end]
                     lineno = text.count("\n", 0, m.start() + 1) + 1
                     for child in children:
-                        wrap = re.compile(r"MaybeChecked\(\s*std::move\(\s*" +
+                        wrap = re.compile(r"InterposeChild\(\s*std::move\(\s*" +
                                           re.escape(child) + r"\b")
                         if not wrap.search(region):
                             self.error(
                                 path, lineno,
                                 f"{name} takes child '{child}' but does not "
-                                "route it through MaybeChecked(std::move("
-                                f"{child}), ...) — the contract checker "
-                                "cannot interpose on this edge")
+                                "route it through InterposeChild(std::move("
+                                f"{child}), ...) — neither the contract "
+                                "checker nor the profiler can interpose on "
+                                "this edge")
         if found == 0:
             self.error(src_dir, 0,
                        "operator-child pass matched no constructors — the "
                        "detection pattern has rotted; update vwise_lint.py")
+
+    def check_interpose_helper(self, src_dir):
+        """InterposeChild must apply BOTH wrappers, checker outermost.
+
+        The operator-child pass above only proves call sites reach the
+        helper; if the helper silently dropped MaybeProfiled (or
+        MaybeChecked), every edge in every plan would lose that wrapper at
+        once, which no per-call-site check would notice.
+        """
+        path = os.path.join(src_dir, "exec", "profile.cc")
+        if not os.path.isfile(path):
+            self.error(path, 0,
+                       "exec/profile.cc is missing — InterposeChild (the "
+                       "combined interposition helper) must live there")
+            return
+        text = open(path, encoding="utf-8").read()
+        m = re.search(r"OperatorPtr\s+InterposeChild\s*\(", text)
+        if m is None:
+            self.error(path, 0,
+                       "InterposeChild definition not found in "
+                       "exec/profile.cc")
+            return
+        _params, after = self.balanced_parens(text, text.index("(", m.start()))
+        brace = text.find("{", after)
+        depth = 0
+        end = len(text)
+        for i in range(brace, len(text)):
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    end = i + 1
+                    break
+        body = text[brace:end]
+        lineno = text.count("\n", 0, m.start() + 1) + 1
+        checked = body.find("MaybeChecked(")
+        profiled = body.find("MaybeProfiled(")
+        if checked < 0 or profiled < 0:
+            missing = "MaybeChecked" if checked < 0 else "MaybeProfiled"
+            self.error(path, lineno,
+                       f"InterposeChild does not route through {missing} — "
+                       "every plan edge silently loses that wrapper")
+            return
+        if checked > profiled:
+            self.error(path, lineno,
+                       "InterposeChild nests MaybeProfiled outside "
+                       "MaybeChecked — the checker must be outermost so "
+                       "profiled Next() time covers only the child")
 
     # -- repo rules ---------------------------------------------------------
 
@@ -370,6 +422,7 @@ def run_lint(repo):
         src_dir=src)
     lint.check_repo_rules(src)
     lint.check_operator_children(src)
+    lint.check_interpose_helper(src)
     return lint.errors
 
 
@@ -420,11 +473,18 @@ def self_test(repo):
             tmp, os.path.join("common", "config.h"),
             "#ifndef VWISE_COMMON_CONFIG_H_",
             "#ifndef VWISE_CONFIG_H_"),
-        # Operator child stored without the contract-checker wrapper.
+        # Operator child stored without the interposition helper.
         "unwrapped operator child": lambda tmp: patch_file(
             tmp, os.path.join("exec", "select.cc"),
-            'MaybeChecked(std::move(child), config, "select.child")',
+            'InterposeChild(std::move(child), config, "select.child")',
             "std::move(child)"),
+        # Helper silently drops the profiler wrapper: every call site still
+        # lints clean, so only the helper check can catch this.
+        "interpose helper drops profiler": lambda tmp: patch_file(
+            tmp, os.path.join("exec", "profile.cc"),
+            "MaybeChecked(MaybeProfiled(std::move(op), config, label), "
+            "config,\n                      label)",
+            "MaybeChecked(std::move(op), config, label)"),
     }
     for label, patch in cases.items():
         errs = seeded_errors(patch)
