@@ -26,9 +26,9 @@ double ScanKeyRange(Database* db, bool use_minmax, int64_t lo, int64_t hi,
                     size_t* rows_out) {
   Config cfg = db->config();
   cfg.enable_minmax_skipping = use_minmax;
-  db->buffers()->EvictAll();
-  db->device()->stats().Reset();
-  auto snap = db->txn_manager()->GetSnapshot("lineitem");
+  db->Internals().buffers->EvictAll();
+  db->Internals().device->stats().Reset();
+  auto snap = db->Internals().tm->GetSnapshot("lineitem");
   VWISE_CHECK(snap.ok());
   double secs = TimeSec([&] {
     ScanOperator::Options opts;
@@ -47,7 +47,7 @@ double ScanKeyRange(Database* db, bool use_minmax, int64_t lo, int64_t hi,
     *rows_out = r->rows.size();
     *stripes_read = scan_ptr->stripes_read();
   });
-  *bytes_read = db->device()->stats().bytes_read.load();
+  *bytes_read = db->Internals().device->stats().bytes_read.load();
   return secs;
 }
 
@@ -72,9 +72,9 @@ int main() {
     TempDb db(comp ? "abl_comp" : "abl_nocomp", cfg);
     LoadTpch(db.get(), sf);
     // Full-column scan of the Q6 inputs.
-    db->buffers()->EvictAll();
-    db->device()->stats().Reset();
-    auto snap = db->txn_manager()->GetSnapshot("lineitem");
+    db->Internals().buffers->EvictAll();
+    db->Internals().device->stats().Reset();
+    auto snap = db->Internals().tm->GetSnapshot("lineitem");
     VWISE_CHECK(snap.ok());
     double secs = TimeSec([&] {
       ScanOperator scan(*snap,
@@ -93,7 +93,7 @@ int main() {
     }
     std::printf("%-14s %14.2f %14.2f %12.3f\n", comp ? "on" : "off",
                 file_bytes / 1e6,
-                db->device()->stats().bytes_read.load() / 1e6, secs);
+                db->Internals().device->stats().bytes_read.load() / 1e6, secs);
   }
 
   // ---- A2/A3 on one database -----------------------------------------------
@@ -133,8 +133,9 @@ int main() {
     c2.buffer_pool_bytes = pool_kb * 1024;
     TempDb db2("abl_pool", c2);
     LoadTpch(db2.get(), 0.01);
+    auto session = db2->Connect();
     auto run = [&] {
-      auto r = tpch::RunQuery(6, db2->txn_manager(), c2);
+      auto r = tpch::RunQuery(6, session.get(), db2->Internals().tm, c2);
       VWISE_CHECK(r.ok());
     };
     double cold = TimeSec(run);

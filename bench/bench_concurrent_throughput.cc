@@ -1,0 +1,181 @@
+// Concurrent query service throughput: N client sessions (N = 1, 2, 4, 8)
+// issue a TPC-H {Q1, Q6, Q3} mix through the Session/QueryHandle API while
+// the admission controller (Config::max_concurrent_queries slots) and the
+// shared worker pool arbitrate. Reported per concurrency level: queries/sec,
+// p50/p99 query latency, and p50/max admission wait — the time a query spent
+// queued before getting a slot, which is the quantity admission control
+// trades against memory safety.
+//
+// A second experiment isolates the headline claim: eight sessions each
+// running one Q6 concurrently vs one session running eight Q6 back to back.
+// On multi-core hardware the concurrent arrangement approaches
+// min(8, slots, cores)x; the report carries the measured speedup either way.
+//
+// Results append to BENCH_concurrent_throughput.json (BenchReport schema v1).
+
+#include <algorithm>
+#include <cstdlib>
+#include <iterator>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace vwise::bench {
+namespace {
+
+const int kQueryMix[] = {1, 6, 3};
+constexpr int kRoundsPerClient = 3;
+constexpr int kAdmissionSlots = 4;  // half the max client count: forces queuing
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * (v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+struct MixResult {
+  double elapsed_sec = 0;
+  int64_t rows = 0;                  // result rows across all queries
+  std::vector<double> latency_ms;    // per query
+  std::vector<double> admission_ms;  // per query
+};
+
+// `clients` sessions, each running kRoundsPerClient rounds of the mix.
+MixResult RunMix(Database* db, int clients) {
+  MixResult out;
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  out.elapsed_sec = TimeSec([&] {
+    for (int c = 0; c < clients; c++) {
+      threads.emplace_back([&] {
+        auto session = db->Connect();
+        std::vector<double> lat, adm;
+        int64_t rows = 0;
+        for (int round = 0; round < kRoundsPerClient; round++) {
+          for (int q : kQueryMix) {
+            auto prepared = tpch::PrepareQuery(q, session.get(),
+                                               db->Internals().tm,
+                                               session->config());
+            VWISE_CHECK_MSG(prepared.ok(), prepared.status().ToString().c_str());
+            auto handle = (*prepared)->Execute();
+            double secs = TimeSec([&] {
+              const auto& r = handle->Wait();
+              VWISE_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+              rows += static_cast<int64_t>(r->rows.size());
+            });
+            lat.push_back(secs * 1e3);
+            adm.push_back(handle->admission_wait_ns() / 1e6);
+          }
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        out.rows += rows;
+        out.latency_ms.insert(out.latency_ms.end(), lat.begin(), lat.end());
+        out.admission_ms.insert(out.admission_ms.end(), adm.begin(), adm.end());
+      });
+    }
+    for (auto& t : threads) t.join();
+  });
+  return out;
+}
+
+// Eight Q6 executions: `clients` sessions split the work evenly.
+double RunQ6Wave(Database* db, int clients, int total) {
+  std::vector<std::thread> threads;
+  return TimeSec([&] {
+    for (int c = 0; c < clients; c++) {
+      int share = total / clients;
+      threads.emplace_back([&, share] {
+        auto session = db->Connect();
+        for (int i = 0; i < share; i++) {
+          auto r = tpch::RunQuery(6, session.get(), db->Internals().tm,
+                                  session->config());
+          VWISE_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  });
+}
+
+double ScaleFactor() {
+  const char* env = std::getenv("VWISE_BENCH_SF");
+  if (env == nullptr || env[0] == '\0') return 0.01;
+  double sf = std::atof(env);  // first comma-separated token
+  VWISE_CHECK_MSG(sf > 0, "VWISE_BENCH_SF must start with a positive number");
+  return sf;
+}
+
+}  // namespace
+}  // namespace vwise::bench
+
+int main() {
+  using namespace vwise;
+  using namespace vwise::bench;
+  const double sf = ScaleFactor();
+
+  Config cfg;
+  cfg.max_concurrent_queries = kAdmissionSlots;
+  TempDb db("concurrent", cfg);
+  LoadTpch(db.get(), sf);
+
+  BenchReport report("concurrent_throughput");
+  const int queries_per_client =
+      kRoundsPerClient * static_cast<int>(std::size(kQueryMix));
+
+  std::printf("\n== concurrent throughput, SF %.3g, %d admission slots ==\n",
+              sf, kAdmissionSlots);
+  std::printf("%8s %12s %10s %10s %14s %14s\n", "clients", "queries/s",
+              "p50(ms)", "p99(ms)", "adm p50(ms)", "adm max(ms)");
+  for (int clients : {1, 2, 4, 8}) {
+    MixResult r = RunMix(db.get(), clients);
+    double qps = clients * queries_per_client / r.elapsed_sec;
+    double p50 = Percentile(r.latency_ms, 0.50);
+    double p99 = Percentile(r.latency_ms, 0.99);
+    double adm50 = Percentile(r.admission_ms, 0.50);
+    double admmax = Percentile(r.admission_ms, 1.0);
+    std::printf("%8d %12.1f %10.2f %10.2f %14.3f %14.3f\n", clients, qps, p50,
+                p99, adm50, admmax);
+
+    Json entry = Json::Object();
+    entry.Set("clients", Json::Int(clients));
+    entry.Set("sf", Json::Double(sf));
+    entry.Set("queries", Json::Int(clients * queries_per_client));
+    entry.Set("rows", Json::Int(r.rows));
+    entry.Set("wall_ms_total", Json::Double(r.elapsed_sec * 1e3));
+    entry.Set("queries_per_sec", Json::Double(qps));
+    entry.Set("wall_ms_p50", Json::Double(p50));
+    entry.Set("wall_ms_p99", Json::Double(p99));
+    entry.Set("admission_wait_ms_p50", Json::Double(adm50));
+    entry.Set("admission_wait_ms_max", Json::Double(admmax));
+    entry.Set("config", ConfigJson(db->config()));
+    report.AddEntry(std::move(entry));
+
+    char key[48];
+    std::snprintf(key, sizeof(key), "qps_%d_clients", clients);
+    report.SetMetric(key, Json::Double(qps));
+  }
+
+  // Headline: 8 concurrent Q6 sessions vs the same 8 Q6 sequentially.
+  double seq = RunQ6Wave(db.get(), 1, 8);
+  double conc = RunQ6Wave(db.get(), 8, 8);
+  double speedup = seq / conc;
+  std::printf("\n8x Q6 sequential: %.3fs   8 concurrent sessions: %.3fs   "
+              "speedup: %.2fx (slots=%d, cores=%u)\n",
+              seq, conc, speedup, kAdmissionSlots,
+              std::thread::hardware_concurrency());
+  Json q6 = Json::Object();
+  q6.Set("experiment", Json::Str("q6_8x_concurrent_vs_sequential"));
+  q6.Set("query", Json::Int(6));
+  q6.Set("rows", Json::Int(8));  // Q6 returns one aggregate row per run
+  q6.Set("wall_ms_sequential", Json::Double(seq * 1e3));
+  q6.Set("wall_ms_concurrent", Json::Double(conc * 1e3));
+  q6.Set("speedup", Json::Double(speedup));
+  report.AddEntry(std::move(q6));
+  report.SetMetric("q6_concurrent_speedup", Json::Double(speedup));
+
+  report.Write();
+  return 0;
+}

@@ -26,11 +26,11 @@ struct RunResult {
 // reusable at its own position, while the cooperative policy lets it ride
 // along with the stripes the running scans are touching.
 RunResult StaggeredScans(Database* db, ScanPolicy policy, int n_scans) {
-  db->buffers()->EvictAll();
-  db->buffers()->ResetStats();
-  db->device()->stats().Reset();
-  ScanScheduler sched(policy, db->buffers());
-  auto snap = db->txn_manager()->GetSnapshot("big");
+  db->Internals().buffers->EvictAll();
+  db->Internals().buffers->ResetStats();
+  db->Internals().device->stats().Reset();
+  ScanScheduler sched(policy, db->Internals().buffers);
+  auto snap = db->Internals().tm->GetSnapshot("big");
   VWISE_CHECK(snap.ok());
   const Config& cfg = db->config();
 
@@ -74,7 +74,7 @@ RunResult StaggeredScans(Database* db, ScanPolicy policy, int n_scans) {
     }
   });
   for (int i = 1; i < n_scans; i++) VWISE_CHECK(sums[i] == sums[0]);
-  return RunResult{db->buffers()->stats().misses, secs};
+  return RunResult{db->Internals().buffers->stats().misses, secs};
 }
 
 }  // namespace

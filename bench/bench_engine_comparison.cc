@@ -62,10 +62,6 @@ class MemSource final : public Operator {
       : d_(d), vector_size_(vector_size),
         types_{TypeId::kI64, TypeId::kI64, TypeId::kI64, TypeId::kI64} {}
   const std::vector<TypeId>& OutputTypes() const override { return types_; }
-  Status Open() override {
-    pos_ = 0;
-    return Status::OK();
-  }
   Status Next(DataChunk* out) override {
     size_t n = std::min(out->capacity(), d_->qty.size() - pos_);
     if (n > 0) {
@@ -81,6 +77,10 @@ class MemSource final : public Operator {
   void Close() override {}
 
  private:
+  Status OpenImpl() override {
+    pos_ = 0;
+    return Status::OK();
+  }
   const LineitemData* d_;
   size_t vector_size_;
   std::vector<TypeId> types_;

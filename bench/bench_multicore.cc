@@ -23,7 +23,7 @@ using namespace vwise::tpch::col;
 double RunQ1Style(Database* db, int threads, size_t* groups_out) {
   Config cfg = db->config();
   cfg.num_threads = threads;
-  auto snap = db->txn_manager()->GetSnapshot("lineitem");
+  auto snap = db->Internals().tm->GetSnapshot("lineitem");
   VWISE_CHECK(snap.ok());
 
   rewriter::ParallelAggSpec spec;

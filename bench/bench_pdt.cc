@@ -101,7 +101,7 @@ void ScanMergeOverhead() {
       VWISE_CHECK(db->Commit(txn.get()).ok());
       applied = target;
     }
-    auto snap = db->txn_manager()->GetSnapshot("t");
+    auto snap = db->Internals().tm->GetSnapshot("t");
     VWISE_CHECK(snap.ok());
     double secs = 1e9;
     uint64_t seen = 0;

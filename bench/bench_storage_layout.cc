@@ -43,9 +43,9 @@ struct ScanCost {
 };
 
 ScanCost ScanK(Database* db, const char* table, int k) {
-  db->buffers()->EvictAll();
-  db->device()->stats().Reset();
-  auto snap = db->txn_manager()->GetSnapshot(table);
+  db->Internals().buffers->EvictAll();
+  db->Internals().device->stats().Reset();
+  auto snap = db->Internals().tm->GetSnapshot(table);
   VWISE_CHECK(snap.ok());
   std::vector<uint32_t> cols;
   for (int c = 0; c < k; c++) cols.push_back(c);
@@ -64,8 +64,8 @@ ScanCost ScanK(Database* db, const char* table, int k) {
     scan.Close();
   });
   (void)sum;
-  return ScanCost{db->device()->stats().reads.load(),
-                  db->device()->stats().bytes_read.load(), secs};
+  return ScanCost{db->Internals().device->stats().reads.load(),
+                  db->Internals().device->stats().bytes_read.load(), secs};
 }
 
 }  // namespace

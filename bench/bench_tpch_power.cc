@@ -35,7 +35,7 @@ double PowerMetric(const std::vector<double>& secs, double sf) {
 Json ProfiledOperators(Database* db, int q, const Config& base) {
   Config cfg = base;
   cfg.profile = true;
-  auto plan = tpch::BuildQuery(q, db->txn_manager(), cfg);
+  auto plan = tpch::BuildQuery(q, db->Internals().tm, cfg);
   VWISE_CHECK_MSG(plan.ok(), plan.status().ToString().c_str());
   auto r = CollectRows(plan->get(), cfg.vector_size);
   VWISE_CHECK_MSG(r.ok(), r.status().ToString().c_str());
@@ -53,16 +53,17 @@ void RunPower(double sf, BenchReport* report) {
 
   std::printf("\n== TPC-H power run, SF %.3g ==\n", sf);
   std::printf("%5s %14s %14s %8s\n", "query", "vectorized(s)", "tuple@1(s)", "ratio");
+  auto session = db->Connect();
   std::vector<double> vec_times, tup_times;
   for (int q = 1; q <= 22; q++) {
     size_t rows = 0;
     double tv = TimeSec([&] {
-      auto r = tpch::RunQuery(q, db->txn_manager(), vectorized);
+      auto r = tpch::RunQuery(q, session.get(), db->Internals().tm, vectorized);
       VWISE_CHECK_MSG(r.ok(), r.status().ToString().c_str());
       rows = r->rows.size();
     });
     double tt = TimeSec([&] {
-      auto r = tpch::RunQuery(q, db->txn_manager(), tuple_cfg);
+      auto r = tpch::RunQuery(q, session.get(), db->Internals().tm, tuple_cfg);
       VWISE_CHECK_MSG(r.ok(), r.status().ToString().c_str());
     });
     vec_times.push_back(tv);

@@ -60,11 +60,12 @@ double RunStreams(Database* db, bool with_refresh, double sf,
     });
   }
 
+  auto session = db->Connect();
   int queries_done = 0;
   double elapsed = TimeSec([&] {
     for (int s = 0; s < kStreams; s++) {
       for (int q : kQuerySet) {
-        auto r = tpch::RunQuery(q, db->txn_manager(), cfg);
+        auto r = tpch::RunQuery(q, session.get(), db->Internals().tm, cfg);
         VWISE_CHECK_MSG(r.ok(), r.status().ToString().c_str());
         queries_done++;
       }
@@ -73,9 +74,9 @@ double RunStreams(Database* db, bool with_refresh, double sf,
   stop.store(true);
   if (refresher.joinable()) refresher.join();
 
-  auto snap = db->txn_manager()->GetSnapshot("lineitem");
+  auto snap = db->Internals().tm->GetSnapshot("lineitem");
   *deltas = snap->deltas ? snap->deltas->record_count() : 0;
-  auto osnap = db->txn_manager()->GetSnapshot("orders");
+  auto osnap = db->Internals().tm->GetSnapshot("orders");
   *deltas += osnap->deltas ? osnap->deltas->record_count() : 0;
   *refresh_secs = rf_total;
   return queries_done / elapsed * 3600.0;  // queries per hour
@@ -111,7 +112,7 @@ int main() {
     // After a checkpoint the deltas are merged into storage and queries see
     // a clean image again.
     VWISE_CHECK(db->Checkpoint().ok());
-    auto snap = db->txn_manager()->GetSnapshot("lineitem");
+    auto snap = db->Internals().tm->GetSnapshot("lineitem");
     VWISE_CHECK(!snap->deltas || snap->deltas->empty());
     std::printf("%-24s %14s %16s %12s\n", "after checkpoint", "-", "-", "0");
   }

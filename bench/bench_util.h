@@ -70,7 +70,7 @@ class TempDb {
 inline void LoadTpch(Database* db, double sf) {
   tpch::Generator gen(sf);
   double secs = TimeSec([&] {
-    Status s = gen.LoadAll(db->txn_manager());
+    Status s = gen.LoadAll(db->Internals().tm);
     VWISE_CHECK_MSG(s.ok(), s.ToString().c_str());
   });
   std::printf("# loaded TPC-H SF %.3g in %.2fs (%lld orders)\n", sf, secs,

@@ -28,10 +28,6 @@ class MemSource final : public Operator {
   MemSource(const Cols* d, size_t n) : d_(d), n_(n),
       types_{TypeId::kI64, TypeId::kI64, TypeId::kI64, TypeId::kI64} {}
   const std::vector<TypeId>& OutputTypes() const override { return types_; }
-  Status Open() override {
-    pos_ = 0;
-    return Status::OK();
-  }
   Status Next(DataChunk* out) override {
     size_t n = std::min(out->capacity(), n_ - pos_);
     if (n > 0) {
@@ -47,6 +43,10 @@ class MemSource final : public Operator {
   void Close() override {}
 
  private:
+  Status OpenImpl() override {
+    pos_ = 0;
+    return Status::OK();
+  }
   const Cols* d_;
   size_t n_;
   std::vector<TypeId> types_;

@@ -15,10 +15,11 @@ using namespace vwise;  // NOLINT: example code
 namespace {
 
 int64_t BalanceOf(Database* db, int64_t row) {
-  PlanBuilder q = db->NewPlan();
+  auto session = db->Connect();
+  PlanBuilder q = session->NewPlan();
   if (!q.Scan("accounts", {0, 1}).ok()) return -1;
   q.Select(e::Eq(q.Col(0), e::I64(row)));
-  auto r = db->Run(&q);
+  auto r = session->Query(&q);
   return r.ok() && !r->rows.empty() ? r->rows[0][1].AsInt() : -1;
 }
 

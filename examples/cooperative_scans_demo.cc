@@ -15,10 +15,10 @@ using namespace vwise;  // NOLINT: example code
 namespace {
 
 uint64_t RunScans(Database* db, ScanPolicy policy, int n_scans) {
-  db->buffers()->EvictAll();
-  db->buffers()->ResetStats();
-  ScanScheduler sched(policy, db->buffers());
-  auto snap = *db->txn_manager()->GetSnapshot("events");
+  db->Internals().buffers->EvictAll();
+  db->Internals().buffers->ResetStats();
+  ScanScheduler sched(policy, db->Internals().buffers);
+  auto snap = *db->Internals().tm->GetSnapshot("events");
 
   std::vector<std::unique_ptr<ScanOperator>> scans;
   std::vector<DataChunk> chunks(n_scans);
@@ -48,7 +48,7 @@ uint64_t RunScans(Database* db, ScanPolicy policy, int n_scans) {
       }
     }
   }
-  return db->buffers()->stats().misses;
+  return db->Internals().buffers->stats().misses;
 }
 
 }  // namespace

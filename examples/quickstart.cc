@@ -46,12 +46,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // 3. Query: revenue per region for larger sales, sorted by revenue.
+  // 3. Connect a session and query: revenue per region for larger sales,
+  //    sorted by revenue.
   //
   //    SELECT region, count(*), sum(units * price) AS revenue
   //    FROM sales WHERE units >= 3
   //    GROUP BY region ORDER BY revenue DESC;
-  PlanBuilder q = db->NewPlan();
+  auto session = db->Connect();
+  PlanBuilder q = session->NewPlan();
   s = q.Scan("sales", {0, 1, 2});
   if (!s.ok()) return 1;
   q.Select(e::Ge(q.Col(1), e::I64(3)));
@@ -60,7 +62,7 @@ int main(int argc, char** argv) {
   q.Agg({0}, {AggSpec::CountStar(), AggSpec::Sum(1)},
         {DataType::Varchar(), DataType::Int64(), DataType::Double()});
   q.Sort({{2, false}});
-  auto result = db->Run(&q, {"region", "n_sales", "revenue"});
+  auto result = session->Query(&q, {"region", "n_sales", "revenue"});
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;

@@ -25,14 +25,18 @@ int main(int argc, char** argv) {
 
   std::printf("loading TPC-H SF %.3g ...\n", sf);
   tpch::Generator gen(sf);
-  Status s = gen.LoadAll((*db)->txn_manager());
+  Status s = gen.LoadAll((*db)->Internals().tm);
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
 
+  // Queries run through a session: plans are admitted by the query service
+  // and their parallel fragments execute on the shared worker pool.
+  auto session = (*db)->Connect();
   auto run = [&](int q) {
-    auto result = tpch::RunQuery(q, (*db)->txn_manager(), config);
+    auto result = tpch::RunQuery(q, session.get(), (*db)->Internals().tm,
+                                 session->config());
     if (!result.ok()) {
       std::fprintf(stderr, "Q%d failed: %s\n", q, result.status().ToString().c_str());
       return;

@@ -1,7 +1,6 @@
 #include "api/database.h"
 
-#include "expr/primitive_profiler.h"
-#include "planner/plan_verifier.h"
+#include "service/query_service.h"
 
 namespace vwise {
 
@@ -18,7 +17,16 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
   VWISE_ASSIGN_OR_RETURN(
       db->tm_, TransactionManager::Open(dir, config, db->device_.get(),
                                         db->buffers_.get()));
+  db->service_ = std::make_unique<QueryService>(config);
+  // Plans built from this database submit their Xchg fragments to the
+  // service's shared pool.
+  db->config_.worker_pool = db->service_->pool();
   return db;
+}
+
+std::unique_ptr<Session> Database::Connect() {
+  return std::unique_ptr<Session>(
+      new Session(tm_.get(), service_.get(), config_));
 }
 
 Status Database::CreateTable(const TableSchema& schema) {
@@ -37,24 +45,7 @@ Status Database::BulkLoad(const std::string& table,
 
 Result<QueryResult> Database::Run(PlanBuilder* plan,
                                   std::vector<std::string> column_names) {
-  VWISE_ASSIGN_OR_RETURN(OperatorPtr root, plan->Build());
-  if (root == nullptr) return Status::InvalidArgument("empty plan");
-  if (!config_.profile) {
-    return CollectRows(root.get(), config_.vector_size,
-                       std::move(column_names));
-  }
-  // Profiled run: enable the per-primitive counters for the duration of the
-  // pipeline, then render EXPLAIN ANALYZE (per-operator wrapper stats) plus
-  // the primitive counter delta of this query.
-  PrimitiveProfiler::ScopedEnable enable(true);
-  std::vector<PrimitiveCounters> before = PrimitiveProfiler::Snapshot();
-  VWISE_ASSIGN_OR_RETURN(
-      QueryResult result,
-      CollectRows(root.get(), config_.vector_size, std::move(column_names)));
-  std::vector<PrimitiveCounters> after = PrimitiveProfiler::Snapshot();
-  result.profile =
-      ExplainAnalyzePlan(*root) + RenderPrimitiveProfile(before, after);
-  return result;
+  return Connect()->Query(plan, std::move(column_names));
 }
 
 }  // namespace vwise

@@ -6,21 +6,27 @@
 
 #include "planner/plan_builder.h"
 #include "scan/scan_scheduler.h"
+#include "service/session.h"
 #include "txn/transaction_manager.h"
 
 namespace vwise {
 
 // The top-level embedded-database facade: one directory on disk, ACID
-// positional updates via PDTs + WAL, vectorized analytical queries via the
-// plan builder.
+// positional updates via PDTs + WAL, vectorized analytical queries through
+// per-connection Sessions arbitrated by a shared query service (admission
+// control + worker pool, service/query_service.h).
 //
 //   auto db = Database::Open("/tmp/mydb", Config()).value();
 //   db->CreateTable(schema);
 //   db->BulkLoad("t", ...);
-//   PlanBuilder q = db->NewPlan();
+//   auto session = db->Connect();
+//   PlanBuilder q = session->NewPlan();
 //   q.Scan("t", {0, 1});
 //   q.Select(e::Gt(q.Col(1), e::I64(10)));
-//   auto result = db->Run(&q);
+//   auto result = session->Query(&q);
+//
+// Database::Run(&q) remains as a single-shot convenience over a throwaway
+// session.
 class Database {
  public:
   static Result<std::unique_ptr<Database>> Open(const std::string& dir,
@@ -40,16 +46,32 @@ class Database {
   Status Checkpoint() { return tm_->Checkpoint(); }
 
   // --- queries ---------------------------------------------------------------
+  // A new client connection. Sessions are independent and cheap; each is
+  // single-threaded, and concurrent sessions share the admission-controlled
+  // query service.
+  std::unique_ptr<Session> Connect();
   PlanBuilder NewPlan() { return PlanBuilder(tm_.get(), config_); }
+  // Single-shot convenience over a throwaway session.
   Result<QueryResult> Run(PlanBuilder* plan,
                           std::vector<std::string> column_names = {});
 
-  // --- plumbing ---------------------------------------------------------------
-  TransactionManager* txn_manager() { return tm_.get(); }
-  BufferManager* buffers() { return buffers_.get(); }
-  IoDevice* device() { return device_.get(); }
-  ScanScheduler* scan_scheduler() { return scheduler_.get(); }
+  QueryService* query_service() { return service_.get(); }
   const Config& config() const { return config_; }
+
+  // --- internal plumbing ------------------------------------------------------
+  // Engine internals, exposed for tests, benchmarks, and tooling only (white-
+  // box fixtures loading tables through the TransactionManager, scan-policy
+  // benches poking the scheduler). Application code talks to Sessions.
+  struct InternalHandles {
+    TransactionManager* tm;
+    BufferManager* buffers;
+    IoDevice* device;
+    ScanScheduler* scheduler;
+  };
+  InternalHandles Internals() {
+    return InternalHandles{tm_.get(), buffers_.get(), device_.get(),
+                           scheduler_.get()};
+  }
 
  private:
   Database() = default;
@@ -59,6 +81,9 @@ class Database {
   std::unique_ptr<BufferManager> buffers_;
   std::unique_ptr<ScanScheduler> scheduler_;
   std::unique_ptr<TransactionManager> tm_;
+  // Declared last: destroyed first, so in-flight queries (which reference the
+  // managers above) are cancelled and joined before anything else goes away.
+  std::unique_ptr<QueryService> service_;
 };
 
 }  // namespace vwise

@@ -43,6 +43,8 @@ inline bool EnvProfile() {
 }
 }  // namespace detail
 
+class WorkerPool;  // service/worker_pool.h
+
 // Engine-wide tuning knobs. A Config is plumbed from the Database facade down
 // to storage and execution; benches override individual fields to run the
 // paper's ablations (vector size, buffer pool size, scan policy, ...).
@@ -51,10 +53,28 @@ struct Config {
   // Values per vector. 1 degenerates to tuple-at-a-time; very large values
   // approximate full materialization (the MonetDB regime). Paper default ~1K.
   size_t vector_size = 1024;
-  // Worker threads for Xchg-parallelized plans (1 = no parallelism).
+  // Worker threads for Xchg-parallelized plans (1 = no parallelism). This is
+  // per-plan fan-out (how many fragments the rewriter creates), not thread
+  // count: fragments run on the shared worker pool below.
   int num_threads = 1;
   // Bound on chunks buffered per Xchg queue.
   size_t xchg_queue_capacity = 8;
+  // Threads in the process-wide shared worker pool that runs plan fragments
+  // (see service/worker_pool.h). 0 = hardware default. Read once when the
+  // Database (or the global fallback pool) is created.
+  int pool_threads = 0;
+  // The pool Xchg fragments are submitted to. Database::Open points this at
+  // its service's pool; nullptr (embedded/unit-test use) falls back to
+  // WorkerPool::Global().
+  WorkerPool* worker_pool = nullptr;
+  // Queries admitted to run concurrently per Database; queries beyond this
+  // wait in the admission queue (see service/query_service.h).
+  int max_concurrent_queries = 4;
+  // Per-query budget for the memory the pipeline breakers materialize (hash
+  // join build side, aggregation groups, sort runs, exchange queues).
+  // Exceeding it fails the query with Status::ResourceExhausted rather than
+  // OOMing the process. 0 = unlimited.
+  size_t query_memory_budget_bytes = 0;
   // Interpose a CheckedOperator between every parent/child operator pair,
   // validating the X100 chunk invariants (see vector/chunk.h) after every
   // Next(). Debug tooling: on in all tests, off in benchmarks.

@@ -20,6 +20,8 @@ enum class StatusCode : int {
   kInternal = 7,
   kTransactionConflict = 8,
   kResourceExhausted = 9,
+  kCancelled = 10,
+  kDeadlineExceeded = 11,
 };
 
 // Returns a human-readable name for `code`, e.g. "Corruption".
@@ -67,6 +69,12 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -79,6 +87,10 @@ class Status {
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
   bool IsConflict() const {
     return code() == StatusCode::kTransactionConflict;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
   }
 
   // "OK" or "<Code>: <message>".

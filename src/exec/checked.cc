@@ -120,8 +120,8 @@ Status ChunkValidator::ValidateReset(const DataChunk& chunk,
 CheckedOperator::CheckedOperator(OperatorPtr child, std::string label)
     : child_(std::move(child)), label_(std::move(label)) {}
 
-Status CheckedOperator::Open() {
-  VWISE_RETURN_IF_ERROR(child_->Open());
+Status CheckedOperator::OpenImpl() {
+  VWISE_RETURN_IF_ERROR(child_->Open(ctx()));
   open_ = true;
   return Status::OK();
 }

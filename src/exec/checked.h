@@ -47,7 +47,6 @@ class CheckedOperator final : public Operator {
   const std::vector<TypeId>& OutputTypes() const override {
     return child_->OutputTypes();
   }
-  Status Open() override;
   Status Next(DataChunk* out) override;
   void Close() override;
 
@@ -56,6 +55,7 @@ class CheckedOperator final : public Operator {
   const std::string& label() const { return label_; }
 
  private:
+  Status OpenImpl() override;
   OperatorPtr child_;
   std::string label_;
   bool open_ = false;

@@ -120,11 +120,22 @@ HashAggOperator::HashAggOperator(OperatorPtr child,
   }
 }
 
-Status HashAggOperator::Open() {
-  VWISE_RETURN_IF_ERROR(child_->Open());
+Status HashAggOperator::OpenImpl() {
+  VWISE_RETURN_IF_ERROR(child_->Open(ctx()));
   const auto& in_types = child_->OutputTypes();
   key_stores_.clear();
   for (size_t c : group_cols_) key_stores_.emplace_back(in_types[c]);
+  // Budget accounting: estimated footprint of one group row — owned key
+  // copies plus per-aggregate state (i64/f64/count lanes) plus the stored
+  // hash and its open-addressing slot.
+  mem_.Bind(ctx(), "hash aggregation");
+  reserved_groups_ = 0;
+  per_group_bytes_ = 16;  // group_hashes_ entry + table slot
+  for (size_t c : group_cols_) {
+    per_group_bytes_ +=
+        in_types[c] == TypeId::kStr ? 32 : TypeWidth(in_types[c]);
+  }
+  per_group_bytes_ += aggs_.size() * 24;
   states_.assign(aggs_.size(), AggState{});
   for (size_t i = 0; i < aggs_.size(); i++) {
     states_[i].in_type =
@@ -292,10 +303,16 @@ Status HashAggOperator::ConsumeInput() {
   DataChunk chunk;
   chunk.Init(child_->OutputTypes(), config_.vector_size);
   while (true) {
+    VWISE_RETURN_IF_ERROR(ctx()->Check());
     chunk.Reset();
     VWISE_RETURN_IF_ERROR(child_->Next(&chunk));
     if (chunk.ActiveCount() == 0) break;
     VWISE_RETURN_IF_ERROR(ProcessChunk(chunk));
+    if (n_groups_ > reserved_groups_) {
+      VWISE_RETURN_IF_ERROR(
+          mem_.Grow((n_groups_ - reserved_groups_) * per_group_bytes_));
+      reserved_groups_ = n_groups_;
+    }
   }
   child_->Close();
   // An ungrouped aggregate always emits one row, even on empty input.
@@ -396,9 +413,15 @@ Status HashAggOperator::Next(DataChunk* out) {
 }
 
 void HashAggOperator::Close() {
+  // The child is normally closed at the end of ConsumeInput; close it again
+  // here (idempotent) so an error/cancel unwind that skipped the consume
+  // still reaches Xchg fragments running below on pool threads.
+  child_->Close();
   key_stores_.clear();
   states_.clear();
   slots_.clear();
+  mem_.ReleaseAll();
+  reserved_groups_ = 0;
 }
 
 }  // namespace vwise

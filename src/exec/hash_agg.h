@@ -6,6 +6,7 @@
 
 #include "exec/column_store.h"
 #include "exec/operator.h"
+#include "service/query_context.h"
 
 namespace vwise {
 
@@ -37,7 +38,6 @@ class HashAggOperator final : public Operator {
                   std::vector<AggSpec> aggs, const Config& config);
 
   const std::vector<TypeId>& OutputTypes() const override { return out_types_; }
-  Status Open() override;
   Status Next(DataChunk* out) override;
   void Close() override;
 
@@ -49,6 +49,7 @@ class HashAggOperator final : public Operator {
   const std::vector<AggSpec>& aggs() const { return aggs_; }
 
  private:
+  Status OpenImpl() override;
   Status ConsumeInput();
   Status ProcessChunk(const DataChunk& chunk);
   void ResizeTable(size_t buckets);
@@ -81,6 +82,12 @@ class HashAggOperator final : public Operator {
   std::vector<uint32_t> group_idx_;
   bool consumed_ = false;
   size_t emit_cursor_ = 0;
+
+  // Per-query memory budget accounting: grown by the estimated per-group
+  // footprint as groups are created, released in Close().
+  MemoryReservation mem_;
+  size_t per_group_bytes_ = 0;
+  size_t reserved_groups_ = 0;
 };
 
 }  // namespace vwise

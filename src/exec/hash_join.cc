@@ -134,9 +134,10 @@ HashJoinOperator::HashJoinOperator(OperatorPtr probe, OperatorPtr build,
 
 HashJoinOperator::~HashJoinOperator() = default;
 
-Status HashJoinOperator::Open() {
-  VWISE_RETURN_IF_ERROR(probe_->Open());
-  VWISE_RETURN_IF_ERROR(build_->Open());
+Status HashJoinOperator::OpenImpl() {
+  VWISE_RETURN_IF_ERROR(probe_->Open(ctx()));
+  VWISE_RETURN_IF_ERROR(build_->Open(ctx()));
+  mem_.Bind(ctx(), "hash join build side");
   for (size_t c : spec_.build_keys) {
     build_key_cols_.emplace_back(build_->OutputTypes()[c]);
   }
@@ -162,10 +163,12 @@ Status HashJoinOperator::ConsumeBuildSide() {
   DataChunk chunk;
   chunk.Init(build_->OutputTypes(), config_.vector_size);
   while (true) {
+    VWISE_RETURN_IF_ERROR(ctx()->Check());
     chunk.Reset();
     VWISE_RETURN_IF_ERROR(build_->Next(&chunk));
     size_t n = chunk.ActiveCount();
     if (n == 0) break;
+    VWISE_RETURN_IF_ERROR(mem_.Grow(EstimateChunkBytes(chunk)));
     const sel_t* sel = chunk.sel();
     for (size_t k = 0; k < spec_.build_keys.size(); k++) {
       build_key_cols_[k].AppendFrom(chunk.column(spec_.build_keys[k]), sel, n);
@@ -178,6 +181,8 @@ Status HashJoinOperator::ConsumeBuildSide() {
   build_->Close();
   // Chained hash table over the stored rows.
   size_t buckets = bit::NextPowerOfTwo(build_rows_ * 2 + 1);
+  VWISE_RETURN_IF_ERROR(
+      mem_.Grow(buckets * sizeof(uint32_t) + build_rows_ * sizeof(uint32_t)));
   bucket_heads_.assign(buckets, kNoRow);
   bucket_mask_ = buckets - 1;
   chain_next_.assign(build_rows_, kNoRow);
@@ -389,10 +394,14 @@ Status HashJoinOperator::Next(DataChunk* out) {
 
 void HashJoinOperator::Close() {
   probe_->Close();
+  // Normally closed at the end of ConsumeBuildSide; close again (idempotent)
+  // so an error/cancel unwind still reaches fragments below.
+  build_->Close();
   build_key_cols_.clear();
   build_payload_cols_.clear();
   bucket_heads_.clear();
   chain_next_.clear();
+  mem_.ReleaseAll();
 }
 
 }  // namespace vwise

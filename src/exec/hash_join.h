@@ -7,6 +7,7 @@
 #include "exec/column_store.h"
 #include "exec/operator.h"
 #include "expr/expression.h"
+#include "service/query_context.h"
 
 namespace vwise {
 
@@ -41,7 +42,6 @@ class HashJoinOperator final : public Operator {
   ~HashJoinOperator() override;
 
   const std::vector<TypeId>& OutputTypes() const override { return out_types_; }
-  Status Open() override;
   Status Next(DataChunk* out) override;
   void Close() override;
 
@@ -53,6 +53,7 @@ class HashJoinOperator final : public Operator {
   const Spec& spec() const { return spec_; }
 
  private:
+  Status OpenImpl() override;
   Status ConsumeBuildSide();
   Status ProcessProbeChunk();  // fills pairs_ / probe_match_ for input_
   void EmitPairs(DataChunk* out);
@@ -87,6 +88,9 @@ class HashJoinOperator final : public Operator {
   size_t pair_cursor_ = 0;
   std::vector<uint8_t> probe_match_;  // per probe position: any match
   DataChunk residual_scratch_;
+
+  // Per-query memory budget accounting for the owned build side + table.
+  MemoryReservation mem_;
 };
 
 }  // namespace vwise

@@ -3,8 +3,14 @@
 #include <sstream>
 
 #include "common/macros.h"
+#include "service/query_context.h"
 
 namespace vwise {
+
+Status Operator::Open(QueryContext* ctx) {
+  ctx_ = ctx != nullptr ? ctx : QueryContext::Background();
+  return OpenImpl();
+}
 
 void DeepCopyChunk(const DataChunk& src, DataChunk* dst) {
   size_t n = src.ActiveCount();
@@ -52,18 +58,52 @@ void DeepCopyChunk(const DataChunk& src, DataChunk* dst) {
   dst->ClearSelection();
 }
 
-Result<QueryResult> CollectRows(Operator* root, size_t vector_size,
+size_t EstimateChunkBytes(const DataChunk& chunk) {
+  size_t n = chunk.ActiveCount();
+  const sel_t* sel = chunk.sel();
+  size_t bytes = 0;
+  for (size_t c = 0; c < chunk.num_columns(); c++) {
+    const Vector& col = chunk.column(c);
+    if (col.type() == TypeId::kStr) {
+      const StringVal* s = col.Data<StringVal>();
+      bytes += n * sizeof(StringVal);
+      for (size_t i = 0; i < n; i++) {
+        bytes += s[sel ? sel[i] : i].view().size();
+      }
+    } else {
+      bytes += n * TypeWidth(col.type());
+    }
+  }
+  return bytes;
+}
+
+Result<QueryResult> CollectRows(Operator* root, QueryContext* ctx,
+                                size_t vector_size,
                                 std::vector<std::string> names,
                                 std::vector<DataType> types) {
+  if (ctx == nullptr) ctx = QueryContext::Background();
   QueryResult result;
   result.column_names = std::move(names);
   result.column_types = std::move(types);
-  VWISE_RETURN_IF_ERROR(root->Open());
+  // The tree is closed on EVERY exit, including cancellation, deadline
+  // expiry, and Open/Next errors: Xchg fragments on shared pool threads keep
+  // referencing `ctx` until Close() joins them, so skipping the unwind would
+  // let a fragment outlive the query that owns the context. Close() is
+  // idempotent for every operator (see CheckedOperator::Close), so closing a
+  // partially-opened tree is safe.
+  Status status = root->Open(ctx);
+  if (!status.ok()) {
+    root->Close();
+    return status;
+  }
   DataChunk chunk;
   chunk.Init(root->OutputTypes(), vector_size);
   while (true) {
+    status = ctx->Check();
+    if (!status.ok()) break;
     chunk.Reset();
-    VWISE_RETURN_IF_ERROR(root->Next(&chunk));
+    status = root->Next(&chunk);
+    if (!status.ok()) break;
     size_t n = chunk.ActiveCount();
     if (n == 0) break;
     for (size_t i = 0; i < n; i++) {
@@ -78,7 +118,15 @@ Result<QueryResult> CollectRows(Operator* root, size_t vector_size,
     }
   }
   root->Close();
+  if (!status.ok()) return status;
   return result;
+}
+
+Result<QueryResult> CollectRows(Operator* root, size_t vector_size,
+                                std::vector<std::string> names,
+                                std::vector<DataType> types) {
+  return CollectRows(root, nullptr, vector_size, std::move(names),
+                     std::move(types));
 }
 
 std::string QueryResult::ToString(size_t max_rows) const {

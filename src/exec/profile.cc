@@ -20,9 +20,9 @@ inline uint64_t NowNs() {
 ProfiledOperator::ProfiledOperator(OperatorPtr child, std::string label)
     : child_(std::move(child)), label_(std::move(label)) {}
 
-Status ProfiledOperator::Open() {
+Status ProfiledOperator::OpenImpl() {
   uint64_t t0 = NowNs();
-  Status s = child_->Open();
+  Status s = child_->Open(ctx());
   stats_.open_ns += NowNs() - t0;
   return s;
 }

@@ -35,7 +35,6 @@ class ProfiledOperator final : public Operator {
   const std::vector<TypeId>& OutputTypes() const override {
     return child_->OutputTypes();
   }
-  Status Open() override;
   Status Next(DataChunk* out) override;
   void Close() override;
 
@@ -44,6 +43,7 @@ class ProfiledOperator final : public Operator {
   const OperatorStats& stats() const { return stats_; }
 
  private:
+  Status OpenImpl() override;
   OperatorPtr child_;
   std::string label_;
   OperatorStats stats_;

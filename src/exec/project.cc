@@ -14,8 +14,8 @@ ProjectOperator::ProjectOperator(OperatorPtr child, std::vector<ExprPtr> exprs,
   for (const auto& e : exprs_) out_types_.push_back(e->physical());
 }
 
-Status ProjectOperator::Open() {
-  VWISE_RETURN_IF_ERROR(child_->Open());
+Status ProjectOperator::OpenImpl() {
+  VWISE_RETURN_IF_ERROR(child_->Open(ctx()));
   for (auto& e : exprs_) {
     VWISE_RETURN_IF_ERROR(e->Prepare(config_.vector_size));
   }

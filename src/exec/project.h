@@ -18,7 +18,6 @@ class ProjectOperator final : public Operator {
                   const Config& config);
 
   const std::vector<TypeId>& OutputTypes() const override { return out_types_; }
-  Status Open() override;
   Status Next(DataChunk* out) override;
   void Close() override { child_->Close(); }
 
@@ -27,6 +26,7 @@ class ProjectOperator final : public Operator {
   const std::vector<ExprPtr>& exprs() const { return exprs_; }
 
  private:
+  Status OpenImpl() override;
   OperatorPtr child_;
   std::vector<ExprPtr> exprs_;
   Config config_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "service/query_context.h"
+
 namespace vwise {
 
 namespace {
@@ -75,7 +77,7 @@ bool ScanOperator::StripeQualifies(size_t stripe) const {
   return true;
 }
 
-Status ScanOperator::Open() {
+Status ScanOperator::OpenImpl() {
   size_t n_stripes = snap_.stable->stripe_count();
   size_t begin = std::min(opts_.stripe_begin, n_stripes);
   size_t end = std::min(opts_.stripe_end, n_stripes);
@@ -142,6 +144,10 @@ Status ScanOperator::AdvanceStripe(bool* done) {
 }
 
 Status ScanOperator::Next(DataChunk* out) {
+  // The per-vector cancellation/deadline poll for every leaf pipeline: each
+  // Next() emits at most one vector, so a cancel unwinds the plan within one
+  // vector boundary.
+  VWISE_RETURN_IF_ERROR(ctx()->Check());
   size_t cap = out->capacity();
   size_t filled = 0;
   while (true) {

@@ -41,7 +41,6 @@ class ScanOperator final : public Operator {
   ~ScanOperator() override;
 
   const std::vector<TypeId>& OutputTypes() const override { return out_types_; }
-  Status Open() override;
   Status Next(DataChunk* out) override;
   void Close() override;
 
@@ -54,6 +53,7 @@ class ScanOperator final : public Operator {
   const Options& options() const { return opts_; }
 
  private:
+  Status OpenImpl() override;
   Status AdvanceStripe(bool* done);
   bool StripeQualifies(size_t stripe) const;
 

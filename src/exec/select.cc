@@ -10,8 +10,8 @@ SelectOperator::SelectOperator(OperatorPtr child, FilterPtr filter,
       filter_(std::move(filter)),
       config_(config) {}
 
-Status SelectOperator::Open() {
-  VWISE_RETURN_IF_ERROR(child_->Open());
+Status SelectOperator::OpenImpl() {
+  VWISE_RETURN_IF_ERROR(child_->Open(ctx()));
   VWISE_RETURN_IF_ERROR(filter_->Prepare(config_.vector_size));
   input_.Init(child_->OutputTypes(), config_.vector_size);
   return Status::OK();

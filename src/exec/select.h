@@ -18,7 +18,6 @@ class SelectOperator final : public Operator {
   const std::vector<TypeId>& OutputTypes() const override {
     return child_->OutputTypes();
   }
-  Status Open() override;
   Status Next(DataChunk* out) override;
   void Close() override { child_->Close(); }
 
@@ -27,6 +26,7 @@ class SelectOperator final : public Operator {
   const Filter& filter() const { return *filter_; }
 
  private:
+  Status OpenImpl() override;
   OperatorPtr child_;
   FilterPtr filter_;
   Config config_;

@@ -16,8 +16,9 @@ SortOperator::SortOperator(OperatorPtr child, std::vector<SortKey> keys,
       limit_(limit),
       offset_(offset) {}
 
-Status SortOperator::Open() {
-  VWISE_RETURN_IF_ERROR(child_->Open());
+Status SortOperator::OpenImpl() {
+  VWISE_RETURN_IF_ERROR(child_->Open(ctx()));
+  mem_.Bind(ctx(), "sort materialization");
   data_.clear();
   for (TypeId t : child_->OutputTypes()) data_.emplace_back(t);
   order_.clear();
@@ -67,10 +68,12 @@ Status SortOperator::ConsumeAndSort() {
   DataChunk chunk;
   chunk.Init(child_->OutputTypes(), config_.vector_size);
   while (true) {
+    VWISE_RETURN_IF_ERROR(ctx()->Check());
     chunk.Reset();
     VWISE_RETURN_IF_ERROR(child_->Next(&chunk));
     size_t n = chunk.ActiveCount();
     if (n == 0) break;
+    VWISE_RETURN_IF_ERROR(mem_.Grow(EstimateChunkBytes(chunk)));
     const sel_t* sel = chunk.sel();
     for (size_t c = 0; c < chunk.num_columns(); c++) {
       data_[c].AppendFrom(chunk.column(c), sel, n);
@@ -78,6 +81,7 @@ Status SortOperator::ConsumeAndSort() {
   }
   child_->Close();
   size_t rows = data_.empty() ? 0 : data_[0].size();
+  VWISE_RETURN_IF_ERROR(mem_.Grow(rows * sizeof(uint32_t)));
   order_.resize(rows);
   std::iota(order_.begin(), order_.end(), 0);
   auto less = [this](uint32_t a, uint32_t b) { return RowLess(a, b); };
@@ -112,8 +116,12 @@ Status SortOperator::Next(DataChunk* out) {
 }
 
 void SortOperator::Close() {
+  // Normally closed at the end of ConsumeAndSort; close again (idempotent)
+  // so an error/cancel unwind still reaches fragments below.
+  child_->Close();
   data_.clear();
   order_.clear();
+  mem_.ReleaseAll();
 }
 
 Status LimitOperator::Next(DataChunk* out) {

@@ -7,6 +7,7 @@
 #include "exec/profile.h"
 #include "exec/column_store.h"
 #include "exec/operator.h"
+#include "service/query_context.h"
 
 namespace vwise {
 
@@ -27,7 +28,6 @@ class SortOperator final : public Operator {
   const std::vector<TypeId>& OutputTypes() const override {
     return child_->OutputTypes();
   }
-  Status Open() override;
   Status Next(DataChunk* out) override;
   void Close() override;
 
@@ -38,6 +38,7 @@ class SortOperator final : public Operator {
   size_t offset() const { return offset_; }
 
  private:
+  Status OpenImpl() override;
   Status ConsumeAndSort();
   bool RowLess(uint32_t a, uint32_t b) const;
 
@@ -51,6 +52,9 @@ class SortOperator final : public Operator {
   std::vector<uint32_t> order_;
   size_t cursor_ = 0;
   bool sorted_ = false;
+
+  // Per-query memory budget accounting for the materialized input + index.
+  MemoryReservation mem_;
 };
 
 // LIMIT/OFFSET without ordering.
@@ -65,11 +69,6 @@ class LimitOperator final : public Operator {
   const std::vector<TypeId>& OutputTypes() const override {
     return child_->OutputTypes();
   }
-  Status Open() override {
-    seen_ = 0;
-    emitted_ = 0;
-    return child_->Open();
-  }
   Status Next(DataChunk* out) override;
   void Close() override { child_->Close(); }
 
@@ -79,6 +78,11 @@ class LimitOperator final : public Operator {
   size_t offset() const { return offset_; }
 
  private:
+  Status OpenImpl() override {
+    seen_ = 0;
+    emitted_ = 0;
+    return child_->Open(ctx());
+  }
   OperatorPtr child_;
   size_t limit_;
   size_t offset_;

@@ -1,6 +1,8 @@
 #include "exec/xchg.h"
 
 #include "exec/profile.h"
+#include "service/query_context.h"
+#include "service/worker_pool.h"
 
 namespace vwise {
 
@@ -13,27 +15,40 @@ XchgOperator::XchgOperator(FragmentFactory factory, int num_workers,
 
 XchgOperator::~XchgOperator() { Close(); }
 
-Status XchgOperator::Open() {
-  // mu_ guards every piece of shared producer/consumer state
-  // (first_error_, producers_running_, queue_); cancelled_ is additionally
-  // atomic because producer loops poll it outside the lock.
-  std::lock_guard<std::mutex> lock(mu_);
-  cancelled_ = false;
-  first_error_ = Status::OK();
-  producers_running_ = num_workers_;
+Status XchgOperator::OpenImpl() {
+  pool_ = config_.worker_pool != nullptr ? config_.worker_pool
+                                         : WorkerPool::Global();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_ = false;
+    first_error_ = Status::OK();
+    producers_running_ = num_workers_;
+  }
+  // One pool task per fragment, tagged with this operator so Close() can
+  // help-run not-yet-scheduled fragments inline.
   for (int w = 0; w < num_workers_; w++) {
-    threads_.emplace_back([this, w] { ProducerLoop(w); });
+    pool_->Submit(this, [this, w] { ProducerLoop(w); });
   }
   return Status::OK();
 }
 
 void XchgOperator::PushChunk(DataChunk chunk) {
+  size_t bytes = EstimateChunkBytes(chunk);
   std::unique_lock<std::mutex> lock(mu_);
   not_full_.wait(lock, [this] {
     return queue_.size() < config_.xchg_queue_capacity || cancelled_;
   });
   if (cancelled_) return;
-  queue_.push_back(std::move(chunk));
+  Status reserve = ctx()->Reserve(bytes, "exchange queue");
+  if (!reserve.ok()) {
+    // Budget overshoot fails the query: record it and cancel the siblings.
+    if (first_error_.ok()) first_error_ = reserve;
+    cancelled_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+    return;
+  }
+  queue_.push_back(QueuedChunk{std::move(chunk), bytes});
   not_empty_.notify_one();
 }
 
@@ -43,19 +58,30 @@ void XchgOperator::ProducerLoop(int worker) {
     if (!status.ok() && first_error_.ok()) first_error_ = status;
     producers_running_--;
     not_empty_.notify_all();
+    if (producers_running_ == 0) producers_done_.notify_all();
   };
 
+  // Cancelled before the pool scheduled us (or Close() is help-running the
+  // task to drain it): just retire.
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    finish(Status::OK());
+    return;
+  }
   auto fragment = factory_(worker, num_workers_);
   if (!fragment.ok()) {
     finish(fragment.status());
     return;
   }
   OperatorPtr op = InterposeChild(std::move(*fragment), config_, "xchg.fragment");
-  Status status = op->Open();
+  // The fragment runs under the consumer's QueryContext, so cancellation,
+  // deadlines, and the memory budget propagate onto pool threads.
+  Status status = op->Open(ctx());
   if (status.ok()) {
     DataChunk chunk;
     chunk.Init(op->OutputTypes(), config_.vector_size);
     while (!cancelled_.load(std::memory_order_relaxed)) {
+      status = ctx()->Check();
+      if (!status.ok()) break;
       chunk.Reset();
       status = op->Next(&chunk);
       if (!status.ok() || chunk.ActiveCount() == 0) break;
@@ -72,19 +98,21 @@ void XchgOperator::ProducerLoop(int worker) {
 }
 
 Status XchgOperator::Next(DataChunk* out) {
+  VWISE_RETURN_IF_ERROR(ctx()->Check());
   std::unique_lock<std::mutex> lock(mu_);
   not_empty_.wait(lock, [this] {
     return !queue_.empty() || producers_running_ == 0 || cancelled_;
   });
   if (!queue_.empty()) {
-    DataChunk chunk = std::move(queue_.front());
+    QueuedChunk qc = std::move(queue_.front());
     queue_.pop_front();
     not_full_.notify_one();
     lock.unlock();
+    ctx()->Release(qc.bytes);
     // Move the producer's columns into the caller's chunk by reference.
-    size_t n = chunk.ActiveCount();
-    for (size_t c = 0; c < chunk.num_columns(); c++) {
-      out->column(c).Reference(chunk.column(c));
+    size_t n = qc.chunk.ActiveCount();
+    for (size_t c = 0; c < qc.chunk.num_columns(); c++) {
+      out->column(c).Reference(qc.chunk.column(c));
     }
     out->SetCount(n);
     return Status::OK();
@@ -97,22 +125,25 @@ Status XchgOperator::Next(DataChunk* out) {
 }
 
 void XchgOperator::Close() {
-  // Safe to call twice and concurrently with an in-flight Next(): shared
-  // state is only touched under mu_, and the join set is claimed atomically
-  // so a second Close() (e.g. the destructor after an explicit Close) finds
-  // nothing left to do.
-  std::vector<std::thread> to_join;
+  // Safe to call twice and concurrently with in-flight producers: shared
+  // state is only touched under mu_. Cancellation drains in three steps:
+  // wake everything, help-run this operator's own not-yet-scheduled
+  // fragments inline (they observe cancelled_ and retire immediately — this
+  // is what makes Close() deadlock-free even with a saturated pool and a
+  // full 1-slot queue), then wait for running fragments to retire (they
+  // observe cancelled_ within one vector).
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (pool_ == nullptr) return;  // never opened
     cancelled_ = true;
-    to_join.swap(threads_);
     not_full_.notify_all();
     not_empty_.notify_all();
   }
-  for (auto& t : to_join) {
-    if (t.joinable()) t.join();
+  while (pool_->TryRunTagged(this)) {
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  producers_done_.wait(lock, [this] { return producers_running_ == 0; });
+  for (QueuedChunk& qc : queue_) ctx()->Release(qc.bytes);
   queue_.clear();
 }
 

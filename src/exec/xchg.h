@@ -7,7 +7,6 @@
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "exec/operator.h"
@@ -16,9 +15,19 @@ namespace vwise {
 
 // Volcano-style exchange operator — the unit the rewriter's parallelization
 // rule injects (paper Sec. I-B: "a Volcano-style query parallellizer").
-// Each worker thread runs its own plan fragment (typically a partitioned
-// scan + pipeline) and pushes deep-copied chunks into a bounded queue that
-// the consumer drains; the operator tree above the Xchg stays serial.
+// Each worker fragment (typically a partitioned scan + pipeline) is submitted
+// as one task to the shared worker pool (Config::worker_pool, falling back to
+// WorkerPool::Global()); fragments push deep-copied chunks into a bounded
+// queue that the consumer drains. The operator tree above the Xchg stays
+// serial.
+//
+// Liveness: pool tasks block only in PushChunk on a full queue, and every
+// queue is drained by a non-pool thread (the client or a QueryService
+// runner), so fragments never deadlock the pool. Close() cancels, wakes the
+// queue, and help-runs this operator's own not-yet-scheduled fragments
+// inline (WorkerPool::TryRunTagged), so Close() cannot deadlock even when
+// the pool is saturated or the queue is full — the cancellation regression
+// test runs it with a 1-slot queue.
 class XchgOperator final : public Operator {
  public:
   // Builds worker `w`'s fragment (0 <= w < num_workers).
@@ -30,7 +39,6 @@ class XchgOperator final : public Operator {
   ~XchgOperator() override;
 
   const std::vector<TypeId>& OutputTypes() const override { return types_; }
-  Status Open() override;
   Status Next(DataChunk* out) override;
   void Close() override;
 
@@ -41,6 +49,7 @@ class XchgOperator final : public Operator {
   int num_workers() const { return num_workers_; }
 
  private:
+  Status OpenImpl() override;
   void ProducerLoop(int worker);
   void PushChunk(DataChunk chunk);
 
@@ -49,14 +58,22 @@ class XchgOperator final : public Operator {
   std::vector<TypeId> types_;
   Config config_;
 
+  // mu_ guards every piece of shared producer/consumer state
+  // (first_error_, producers_running_, queue_); cancelled_ is additionally
+  // atomic because producer loops poll it outside the lock.
   std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<DataChunk> queue_;
+  std::condition_variable producers_done_;
+  struct QueuedChunk {
+    DataChunk chunk;
+    size_t bytes = 0;  // reserved against the query budget while queued
+  };
+  std::deque<QueuedChunk> queue_;
   int producers_running_ = 0;
   std::atomic<bool> cancelled_{false};
   Status first_error_;
-  std::vector<std::thread> threads_;
+  WorkerPool* pool_ = nullptr;  // bound at Open; needed by Close to help-run
 };
 
 }  // namespace vwise

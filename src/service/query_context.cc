@@ -1,0 +1,34 @@
+#include "service/query_context.h"
+
+#include <string>
+
+namespace vwise {
+
+QueryContext* QueryContext::Background() {
+  // Never destroyed: operators bound to it may outlive any static-teardown
+  // ordering (worker-pool threads drain during process exit).
+  static QueryContext* background = new QueryContext();
+  return background;
+}
+
+Status QueryContext::Reserve(size_t bytes, const char* what) {
+  int64_t delta = static_cast<int64_t>(bytes);
+  int64_t now =
+      reserved_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  if (budget_bytes_ != 0 && now > budget_bytes_) {
+    reserved_.fetch_sub(delta, std::memory_order_relaxed);
+    std::string msg = "query memory budget exceeded: ";
+    msg += what;
+    msg += " needs ";
+    msg += std::to_string(bytes);
+    msg += " more bytes, ";
+    msg += std::to_string(now - delta);
+    msg += " of ";
+    msg += std::to_string(budget_bytes_);
+    msg += " already reserved";
+    return Status::ResourceExhausted(std::move(msg));
+  }
+  return Status::OK();
+}
+
+}  // namespace vwise

@@ -1,0 +1,135 @@
+#ifndef VWISE_SERVICE_QUERY_CONTEXT_H_
+#define VWISE_SERVICE_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace vwise {
+
+// Per-query execution context, threaded through every Operator via
+// Operator::Open(ctx) and shared by all of a query's Xchg fragments. Carries
+// the three cross-cutting execution concerns of the query service:
+//
+//   * cooperative cancellation — Cancel() (from QueryHandle::Cancel or the
+//     service shutting down) flips an atomic flag that operators poll once
+//     per vector, so a running query unwinds with Status::Cancelled within
+//     one vector boundary;
+//   * a deadline — when set, the same per-vector poll turns into
+//     Status::DeadlineExceeded once the clock passes it;
+//   * a memory budget — pipeline breakers (hash join build, aggregation
+//     groups, sort buffers) reserve their buffered bytes against it and fail
+//     with Status::ResourceExhausted instead of silently oversubscribing a
+//     machine shared by many concurrent queries.
+//
+// Thread safety: Cancel/Check/Reserve/Release may be called from any thread
+// (fragments run on shared worker-pool threads). set_deadline and
+// set_memory_budget are configuration and must happen before Open().
+class QueryContext {
+ public:
+  QueryContext() = default;
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  // The process background context: never cancelled, no deadline, unlimited
+  // budget. Operator::Open(nullptr) binds it, so plans run outside the query
+  // service (unit tests, embedded callers) behave exactly as before.
+  static QueryContext* Background();
+
+  // --- cancellation / deadline ----------------------------------------------
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       deadline.time_since_epoch())
+                       .count();
+  }
+  bool has_deadline() const { return deadline_ns_ != 0; }
+
+  // The per-vector poll: OK while the query may keep running, otherwise
+  // Status::Cancelled or Status::DeadlineExceeded. Cheap when no deadline is
+  // set (one relaxed atomic load).
+  Status Check() const {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("query cancelled");
+    }
+    if (deadline_ns_ != 0 && NowNs() >= deadline_ns_) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+  // --- memory budget --------------------------------------------------------
+  // 0 = unlimited (the default; embedded callers keep today's behavior).
+  void set_memory_budget(size_t bytes) {
+    budget_bytes_ = static_cast<int64_t>(bytes);
+  }
+  size_t memory_budget() const { return static_cast<size_t>(budget_bytes_); }
+  size_t reserved_bytes() const {
+    return static_cast<size_t>(reserved_.load(std::memory_order_relaxed));
+  }
+
+  // Reserves `bytes` more against the budget; ResourceExhausted (and no
+  // reservation) when it would overshoot. `what` names the reserving
+  // operator for the error message.
+  Status Reserve(size_t bytes, const char* what);
+  void Release(size_t bytes) {
+    reserved_.fetch_sub(static_cast<int64_t>(bytes),
+                        std::memory_order_relaxed);
+  }
+
+ private:
+  static int64_t NowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::atomic<bool> cancelled_{false};
+  int64_t deadline_ns_ = 0;  // steady_clock ns since epoch; 0 = none
+  int64_t budget_bytes_ = 0;  // 0 = unlimited
+  std::atomic<int64_t> reserved_{0};
+};
+
+// One operator's growing share of the query budget. Bound in OpenImpl (when
+// ctx() is known), grown as input is buffered, released in Close — the
+// destructor backstops operators torn down without a Close.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+  ~MemoryReservation() { ReleaseAll(); }
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+
+  void Bind(QueryContext* ctx, const char* what) {
+    ReleaseAll();
+    ctx_ = ctx;
+    what_ = what;
+  }
+  Status Grow(size_t bytes) {
+    if (ctx_ == nullptr || bytes == 0) return Status::OK();
+    VWISE_RETURN_IF_ERROR(ctx_->Reserve(bytes, what_));
+    bytes_ += bytes;
+    return Status::OK();
+  }
+  void ReleaseAll() {
+    if (ctx_ != nullptr && bytes_ > 0) ctx_->Release(bytes_);
+    bytes_ = 0;
+  }
+  size_t bytes() const { return bytes_; }
+
+ private:
+  QueryContext* ctx_ = nullptr;
+  const char* what_ = "";
+  size_t bytes_ = 0;
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_SERVICE_QUERY_CONTEXT_H_

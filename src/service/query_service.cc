@@ -1,0 +1,154 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace vwise {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Result<QueryResult> QueryService::Job::Take() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+  Result<QueryResult> result = std::move(*result_);
+  result_.reset();
+  return result;
+}
+
+bool QueryService::Job::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+int64_t QueryService::Job::admission_wait_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admit_ns_ == 0 ? 0 : admit_ns_ - submit_ns_;
+}
+
+void QueryService::Job::Finish(Result<QueryResult> result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  result_ = std::move(result);
+  done_ = true;
+  cv_.notify_all();
+}
+
+QueryService::QueryService(const Config& config) : pool_(config.pool_threads) {
+  int n = std::max(1, config.max_concurrent_queries);
+  runners_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; i++) {
+    runners_.emplace_back([this] { RunnerLoop(); });
+  }
+}
+
+QueryService::~QueryService() {
+  std::deque<std::shared_ptr<Job>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    orphaned.swap(queue_);
+    // Running queries unwind cooperatively; their runners then observe
+    // stop_ and exit.
+    for (Job* job : running_) job->ctx_.Cancel();
+  }
+  cv_.notify_all();
+  for (auto& job : orphaned) {
+    job->ctx_.Cancel();
+    job->Finish(Status::Cancelled("query service shutting down"));
+  }
+  for (auto& t : runners_) t.join();
+}
+
+std::shared_ptr<QueryService::Job> QueryService::Submit(
+    Job::RunFn run, int priority,
+    const std::function<void(QueryContext*)>& configure) {
+  auto job = std::make_shared<Job>();
+  job->run_ = std::move(run);
+  job->priority_ = priority;
+  job->submit_ns_ = NowNs();
+  if (configure) configure(&job->ctx_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      job->Finish(Status::Cancelled("query service shutting down"));
+      return job;
+    }
+    job->seq_ = next_seq_++;
+    queue_.push_back(job);
+    stats_.submitted++;
+  }
+  cv_.notify_one();
+  return job;
+}
+
+void QueryService::Cancel(const std::shared_ptr<Job>& job) {
+  job->ctx_.Cancel();
+  bool dequeued = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = std::find(queue_.begin(), queue_.end(), job);
+    if (it != queue_.end()) {
+      queue_.erase(it);
+      stats_.cancelled_in_queue++;
+      dequeued = true;
+    }
+  }
+  // A dequeued job never reaches a runner, so finish it here; a running one
+  // unwinds through its context polls and its runner finishes it.
+  if (dequeued) job->Finish(Status::Cancelled("query cancelled"));
+}
+
+std::shared_ptr<QueryService::Job> QueryService::PopBestLocked() {
+  auto best = queue_.begin();
+  for (auto it = std::next(best); it != queue_.end(); ++it) {
+    if ((*it)->priority_ > (*best)->priority_ ||
+        ((*it)->priority_ == (*best)->priority_ &&
+         (*it)->seq_ < (*best)->seq_)) {
+      best = it;
+    }
+  }
+  std::shared_ptr<Job> job = std::move(*best);
+  queue_.erase(best);
+  return job;
+}
+
+void QueryService::RunnerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with nothing left to admit
+      job = PopBestLocked();
+      running_.push_back(job.get());
+    }
+    {
+      std::lock_guard<std::mutex> lock(job->mu_);
+      job->admit_ns_ = NowNs();
+    }
+    // A job cancelled (or expired) while waiting fails without running.
+    Status pre = job->ctx_.Check();
+    Result<QueryResult> result =
+        pre.ok() ? job->run_(&job->ctx_) : Result<QueryResult>(pre);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_.erase(std::find(running_.begin(), running_.end(), job.get()));
+      stats_.completed++;
+    }
+    job->Finish(std::move(result));
+  }
+}
+
+QueryService::Stats QueryService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace vwise

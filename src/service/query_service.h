@@ -1,0 +1,127 @@
+#ifndef VWISE_SERVICE_QUERY_SERVICE_H_
+#define VWISE_SERVICE_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/config.h"
+#include "exec/operator.h"
+#include "service/query_context.h"
+#include "service/worker_pool.h"
+
+namespace vwise {
+
+// The per-Database concurrent query service behind the Session/QueryHandle
+// API (service/session.h). Two resources, both bounded:
+//
+//   * admission slots — Config::max_concurrent_queries dedicated runner
+//     threads consume a priority + FIFO wait queue of submitted queries, so
+//     at most that many queries execute at once and the rest wait (their
+//     admission wait is measured and reported);
+//   * the shared worker pool — Config::pool_threads threads that execute
+//     Xchg plan fragments for every admitted query (Config::worker_pool
+//     points here so operators find it).
+//
+// Liveness: runner threads drive query roots and drain exchange queues but
+// never execute pool tasks, and pool tasks block only on exchange queues
+// that a runner is draining — so admitted queries always make progress no
+// matter how oversubscribed the pool is.
+//
+// Cancellation: each job owns the QueryContext its operators poll.
+// Cancelling a waiting job removes it from the queue and finishes it
+// immediately; cancelling a running one unwinds cooperatively within one
+// vector boundary.
+class QueryService {
+ public:
+  // Shared state of one submitted query, co-owned by the service (while
+  // queued/running) and the caller's QueryHandle. All members other than the
+  // context are managed by the service.
+  class Job {
+   public:
+    using RunFn = std::function<Result<QueryResult>(QueryContext*)>;
+
+    QueryContext* context() { return &ctx_; }
+
+    // Blocks until the query finishes, then moves the result out. Called
+    // once, by QueryHandle::Wait (which caches it).
+    Result<QueryResult> Take();
+
+    bool done() const;
+    // Queue time (admit - submit), for the concurrency bench and tests.
+    // Meaningful once the job has been admitted or finished.
+    int64_t admission_wait_ns() const;
+
+   private:
+    friend class QueryService;
+
+    QueryContext ctx_;
+    RunFn run_;
+    int priority_ = 0;
+    uint64_t seq_ = 0;  // FIFO order within a priority class
+    int64_t submit_ns_ = 0;
+    int64_t admit_ns_ = 0;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    bool done_ = false;
+    std::optional<Result<QueryResult>> result_;
+
+    void Finish(Result<QueryResult> result);
+  };
+
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t cancelled_in_queue = 0;
+  };
+
+  explicit QueryService(const Config& config);
+  // Cancels queued and running queries, then joins the runners. Callers that
+  // still hold QueryHandles observe Status::Cancelled.
+  ~QueryService();
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Enqueues `run`; a runner thread invokes it when a slot frees up (higher
+  // `priority` first, FIFO within a priority). `configure` (may be null)
+  // runs against the job's context before it becomes visible to any runner —
+  // the only race-free point to set a deadline or memory budget.
+  std::shared_ptr<Job> Submit(
+      Job::RunFn run, int priority,
+      const std::function<void(QueryContext*)>& configure = nullptr);
+
+  // Cancels the job's context and, if it is still waiting for admission,
+  // finishes it with Status::Cancelled right away (a busy service must not
+  // delay cancellation of queries it has not even started).
+  void Cancel(const std::shared_ptr<Job>& job);
+
+  WorkerPool* pool() { return &pool_; }
+  int max_concurrent() const { return static_cast<int>(runners_.size()); }
+  Stats stats() const;
+
+ private:
+  void RunnerLoop();
+  std::shared_ptr<Job> PopBestLocked();  // requires mu_ held, queue non-empty
+
+  WorkerPool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::vector<Job*> running_;  // for shutdown cancellation
+  bool stop_ = false;
+  uint64_t next_seq_ = 0;
+  Stats stats_;
+  std::vector<std::thread> runners_;
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_SERVICE_QUERY_SERVICE_H_

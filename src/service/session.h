@@ -1,0 +1,131 @@
+#ifndef VWISE_SERVICE_SESSION_H_
+#define VWISE_SERVICE_SESSION_H_
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "planner/plan_builder.h"
+#include "service/query_service.h"
+
+namespace vwise {
+
+class Database;
+
+// Per-execution knobs, fixed at Execute() time.
+struct QueryOptions {
+  // Admission ordering: higher-priority queries are admitted first; equal
+  // priorities admit FIFO.
+  int priority = 0;
+  // Wall-clock execution limit covering queue wait + run time; 0 = none. An
+  // expired query fails with Status::DeadlineExceeded within one vector.
+  std::chrono::nanoseconds timeout{0};
+  // Overrides Config::query_memory_budget_bytes for this execution when set
+  // (0 = unlimited).
+  std::optional<size_t> memory_budget_bytes;
+};
+
+// A running (or finished) query execution. Obtained from
+// PreparedQuery::Execute; joins the query service's runner result.
+class QueryHandle {
+ public:
+  // Blocks until the query finishes; idempotent (the result is cached, later
+  // calls return the same reference).
+  const Result<QueryResult>& Wait();
+  // Requests cooperative cancellation: a query still waiting for admission
+  // finishes immediately, a running one unwinds within one vector boundary.
+  // Wait() then returns Status::Cancelled (unless the query already won the
+  // race by completing).
+  void Cancel();
+  bool done() const;
+  // EXPLAIN ANALYZE text of the finished query (empty when the session's
+  // Config::profile is off or the query failed). Blocks like Wait().
+  const std::string& profile();
+  // Time this query spent waiting for an admission slot. Settles with Wait().
+  int64_t admission_wait_ns() const { return job_->admission_wait_ns(); }
+
+ private:
+  friend class PreparedQuery;
+  QueryHandle(QueryService* service, std::shared_ptr<QueryService::Job> job)
+      : service_(service), job_(std::move(job)) {}
+
+  QueryService* service_;
+  std::shared_ptr<QueryService::Job> job_;
+  std::optional<Result<QueryResult>> cached_;
+  std::string empty_profile_;
+};
+
+// A built, verified plan bound to its session, ready to execute through the
+// admission-controlled service. Re-executable, but one execution at a time:
+// the operator tree is stateful, so call Execute again only after the
+// previous handle finished.
+class PreparedQuery {
+ public:
+  std::unique_ptr<QueryHandle> Execute(const QueryOptions& options = {});
+
+  // Convenience: Execute + Wait.
+  Result<QueryResult> Run(const QueryOptions& options = {});
+
+  const std::vector<std::string>& column_names() const { return names_; }
+
+ private:
+  friend class Session;
+  PreparedQuery(QueryService* service, OperatorPtr root,
+                std::vector<std::string> names, const Config& config)
+      : service_(service),
+        root_(std::move(root)),
+        names_(std::move(names)),
+        config_(config) {}
+
+  QueryService* service_;
+  OperatorPtr root_;
+  std::vector<std::string> names_;
+  Config config_;
+};
+
+// One client connection to a Database (Database::Connect). Sessions are
+// cheap, independent, and individually single-threaded; concurrency comes
+// from multiple sessions executing at once, arbitrated by the shared
+// QueryService:
+//
+//   auto session = db->Connect();
+//   PlanBuilder q = session->NewPlan();
+//   ... build ...
+//   auto prepared = session->Prepare(&q, {"col_a", "col_b"});
+//   auto handle = (*prepared)->Execute();
+//   auto result = handle->Wait();
+class Session {
+ public:
+  // A plan builder against the database's latest committed snapshots.
+  PlanBuilder NewPlan() { return PlanBuilder(tm_, config_); }
+
+  // Builds + verifies the plan and binds it for execution.
+  Result<std::unique_ptr<PreparedQuery>> Prepare(
+      PlanBuilder* plan, std::vector<std::string> names = {});
+
+  // Binds an already-built operator tree (embedders constructing physical
+  // plans directly, e.g. the TPC-H driver). `root` must not be null.
+  std::unique_ptr<PreparedQuery> PrepareRoot(OperatorPtr root,
+                                             std::vector<std::string> names);
+
+  // Convenience: Prepare + Execute + Wait.
+  Result<QueryResult> Query(PlanBuilder* plan,
+                            std::vector<std::string> names = {});
+
+  const Config& config() const { return config_; }
+
+ private:
+  friend class Database;
+  Session(TransactionManager* tm, QueryService* service, const Config& config)
+      : tm_(tm), service_(service), config_(config) {}
+
+  TransactionManager* tm_;
+  QueryService* service_;
+  Config config_;
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_SERVICE_SESSION_H_

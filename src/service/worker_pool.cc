@@ -1,0 +1,126 @@
+#include "service/worker_pool.h"
+
+#include <algorithm>
+
+namespace vwise {
+
+namespace {
+
+int ResolveThreads(int threads) {
+  if (threads > 0) return threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 2u, 16u));
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(int threads) {
+  int n = ResolveThreads(threads);
+  deques_.resize(static_cast<size_t>(n));
+  threads_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; i++) {
+    threads_.emplace_back(
+        [this, i] { WorkerLoop(static_cast<size_t>(i)); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::Submit(const void* tag, Task fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Round-robin across deques; workers rebalance by stealing.
+    size_t d = next_deque_.fetch_add(1, std::memory_order_relaxed) %
+               deques_.size();
+    deques_[d].push_back(Item{tag, std::move(fn)});
+    stats_.submitted++;
+  }
+  cv_.notify_one();
+}
+
+bool WorkerPool::AnyQueued() const {
+  for (const auto& d : deques_) {
+    if (!d.empty()) return true;
+  }
+  return false;
+}
+
+bool WorkerPool::PopOrSteal(size_t self, Item* out) {
+  // Own deque first, newest task (LIFO).
+  if (!deques_[self].empty()) {
+    *out = std::move(deques_[self].back());
+    deques_[self].pop_back();
+    return true;
+  }
+  // Steal the oldest task of the next non-empty victim (FIFO).
+  for (size_t i = 1; i < deques_.size(); i++) {
+    size_t victim = (self + i) % deques_.size();
+    if (!deques_[victim].empty()) {
+      *out = std::move(deques_[victim].front());
+      deques_[victim].pop_front();
+      stats_.stolen++;
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkerPool::WorkerLoop(size_t self) {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || AnyQueued(); });
+      if (!PopOrSteal(self, &item)) {
+        // stop_ with every deque empty: shutdown complete for this worker.
+        return;
+      }
+      stats_.executed++;
+    }
+    item.fn();
+  }
+}
+
+bool WorkerPool::TryRunTagged(const void* tag) {
+  Item item;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool found = false;
+    for (auto& d : deques_) {
+      for (auto it = d.begin(); it != d.end(); ++it) {
+        if (it->tag == tag) {
+          item = std::move(*it);
+          d.erase(it);
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+    if (!found) return false;
+    stats_.executed++;
+  }
+  item.fn();
+  return true;
+}
+
+WorkerPool::Stats WorkerPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+WorkerPool* WorkerPool::Global() {
+  // Intentionally leaked: pool threads must not be torn down by static
+  // destruction order while late-exiting code still holds the pointer.
+  static WorkerPool* global = new WorkerPool(0);
+  return global;
+}
+
+}  // namespace vwise

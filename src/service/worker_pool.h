@@ -1,0 +1,88 @@
+#ifndef VWISE_SERVICE_WORKER_POOL_H_
+#define VWISE_SERVICE_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vwise {
+
+// The process-wide shared worker pool that executes plan-fragment tasks.
+// XchgOperator submits one task per fragment instead of spawning threads, so
+// N concurrent parallel queries share Config::pool_threads workers rather
+// than oversubscribing the machine with N * num_threads fresh threads.
+//
+// Structure: one deque per worker. A worker pops its own deque from the back
+// (LIFO — freshly pushed fragments are cache-warm) and steals from the front
+// of a victim's deque (FIFO — the oldest, largest-remaining work). Tasks are
+// coarse (a whole plan fragment, typically milliseconds of work), so a
+// single pool mutex guards all deques: contention at this granularity is
+// negligible and the locking stays obviously TSan-clean.
+//
+// Tasks carry an opaque owner tag. TryRunTagged(tag) lets an owner help-run
+// its own not-yet-started tasks inline — XchgOperator::Close() uses it to
+// drain cancelled fragments without waiting for a busy pool to schedule
+// them. Helping is deliberately restricted to the caller's own tag: running
+// an arbitrary query's fragment inline could block the helper on that
+// query's full exchange queue, which deadlocks when two consumers help each
+// other's producers.
+class WorkerPool {
+ public:
+  using Task = std::function<void()>;
+
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t executed = 0;
+    uint64_t stolen = 0;  // executed tasks taken from another worker's deque
+  };
+
+  // threads <= 0 resolves to the hardware default (see Config::pool_threads).
+  explicit WorkerPool(int threads);
+  // Drains: queued tasks still run (they observe their owners' cancellation
+  // tokens), then workers exit and join.
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Enqueues `fn` under `tag` (the owning operator/query, for TryRunTagged).
+  void Submit(const void* tag, Task fn);
+
+  // Runs one queued task with matching tag on the calling thread. Returns
+  // false when none is queued (matching tasks may still be running).
+  bool TryRunTagged(const void* tag);
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+  Stats stats() const;
+
+  // The process-wide fallback pool (plans executed without a Database /
+  // QueryService, e.g. unit tests driving operators directly). Created on
+  // first use with the hardware-default thread count and never destroyed.
+  static WorkerPool* Global();
+
+ private:
+  struct Item {
+    const void* tag;
+    Task fn;
+  };
+
+  void WorkerLoop(size_t self);
+  bool PopOrSteal(size_t self, Item* out);  // requires mu_ held
+  bool AnyQueued() const;                   // requires mu_ held
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::deque<Item>> deques_;
+  bool stop_ = false;
+  Stats stats_;
+  std::atomic<uint64_t> next_deque_{0};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_SERVICE_WORKER_POOL_H_

@@ -524,8 +524,8 @@ Result<QueryResult> RunQuery(int q, TransactionManager* mgr,
   if (!config.profile) {
     return CollectRows(plan.get(), config.vector_size, info.column_names);
   }
-  // Mirrors Database::Run: counters on for the pipeline, then EXPLAIN
-  // ANALYZE plus this query's primitive-counter delta.
+  // Mirrors the session RunPlan path: counters on for the pipeline, then
+  // EXPLAIN ANALYZE plus this query's primitive-counter delta.
   PrimitiveProfiler::ScopedEnable enable(true);
   std::vector<PrimitiveCounters> before = PrimitiveProfiler::Snapshot();
   VWISE_ASSIGN_OR_RETURN(
@@ -535,6 +535,21 @@ Result<QueryResult> RunQuery(int q, TransactionManager* mgr,
   result.profile =
       ExplainAnalyzePlan(*plan) + RenderPrimitiveProfile(before, after);
   return result;
+}
+
+Result<std::unique_ptr<PreparedQuery>> PrepareQuery(int q, Session* session,
+                                                    TransactionManager* mgr,
+                                                    const Config& config) {
+  QueryInfo info;
+  VWISE_ASSIGN_OR_RETURN(OperatorPtr plan, BuildQuery(q, mgr, config, &info));
+  return session->PrepareRoot(std::move(plan), info.column_names);
+}
+
+Result<QueryResult> RunQuery(int q, Session* session, TransactionManager* mgr,
+                             const Config& config) {
+  VWISE_ASSIGN_OR_RETURN(std::unique_ptr<PreparedQuery> prepared,
+                         PrepareQuery(q, session, mgr, config));
+  return prepared->Run();
 }
 
 }  // namespace vwise::tpch

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "exec/operator.h"
+#include "service/session.h"
 #include "txn/transaction_manager.h"
 
 namespace vwise::tpch {
@@ -28,8 +29,20 @@ struct QueryInfo {
 Result<OperatorPtr> BuildQuery(int q, TransactionManager* mgr,
                                const Config& config, QueryInfo* info = nullptr);
 
-// Convenience: build + run to completion.
+// Convenience: build + run to completion on the calling thread (fixtures
+// that drive a TransactionManager without a Database / query service).
 Result<QueryResult> RunQuery(int q, TransactionManager* mgr,
+                             const Config& config);
+
+// Session-API variants: the built plan is bound to `session` and executes
+// through the admission-controlled query service. `config` picks the build
+// knobs (threads, vector size) — pass the session's config unless a test
+// overrides it. The profiled path rides on Config::profile as before, with
+// the EXPLAIN ANALYZE text in QueryResult::profile / QueryHandle::profile().
+Result<std::unique_ptr<PreparedQuery>> PrepareQuery(int q, Session* session,
+                                                    TransactionManager* mgr,
+                                                    const Config& config);
+Result<QueryResult> RunQuery(int q, Session* session, TransactionManager* mgr,
                              const Config& config);
 
 }  // namespace vwise::tpch

@@ -44,17 +44,25 @@ TEST_F(DatabaseTest, EndToEndQuickstartFlow) {
     return Status::OK();
   }).ok());
 
-  // SELECT item, count(*), sum(amount) FROM sales WHERE amount >= 5 GROUP BY item.
-  PlanBuilder q = db_->NewPlan();
+  // SELECT item, count(*), sum(amount) FROM sales WHERE amount >= 5 GROUP BY
+  // item — through the full session lifecycle: Connect -> Prepare ->
+  // Execute -> Wait.
+  auto session = db_->Connect();
+  PlanBuilder q = session->NewPlan();
   ASSERT_TRUE(q.Scan("sales", {1, 2}).ok());
   q.Select(e::Ge(q.Col(1), e::Dec(5.0, 2)));
   q.Agg({0}, {AggSpec::CountStar(), AggSpec::Sum(1)},
         {DataType::Varchar(), DataType::Int64(), DataType::Decimal(2)});
   q.Sort({{0, true}});
-  auto result = db_->Run(&q, {"item", "n", "total"});
+  auto prepared = session->Prepare(&q, {"item", "n", "total"});
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto handle = (*prepared)->Execute();
+  const auto& result = handle->Wait();
   ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(handle->done());
   ASSERT_EQ(result->rows.size(), 3u);
   EXPECT_EQ(result->rows[0][0].AsString(), "apple");
+  EXPECT_EQ(result->column_names[0], "item");
   int64_t n = 0;
   for (const auto& row : result->rows) n += row[1].AsInt();
   // amounts are (100 + i%900) cents; >= 500 holds for i%900 in [400,900),
@@ -77,10 +85,11 @@ TEST_F(DatabaseTest, TransactionsVisibleThroughQueries) {
   ASSERT_TRUE(txn->Modify("t", 4, 1, Value::Int(99)).ok());
   ASSERT_TRUE(db_->Commit(txn.get()).ok());
 
-  PlanBuilder q = db_->NewPlan();
+  auto session = db_->Connect();
+  PlanBuilder q = session->NewPlan();
   ASSERT_TRUE(q.Scan("t", {0, 1}).ok());
   q.Select(e::Eq(q.Col(1), e::I64(99)));
-  auto result = db_->Run(&q);
+  auto result = session->Query(&q);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->rows.size(), 1u);
   EXPECT_EQ(result->rows[0][0].AsInt(), 4);

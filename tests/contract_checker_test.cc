@@ -28,7 +28,6 @@ class MalformedSource final : public Operator {
       : types_(std::move(types)), n_(n), corrupt_(std::move(corrupt)) {}
 
   const std::vector<TypeId>& OutputTypes() const override { return types_; }
-  Status Open() override { return Status::OK(); }
 
   Status Next(DataChunk* out) override {
     if (done_) {
@@ -49,6 +48,7 @@ class MalformedSource final : public Operator {
   void Close() override {}
 
  private:
+  Status OpenImpl() override { return Status::OK(); }
   std::vector<TypeId> types_;
   size_t n_;
   Corruptor corrupt_;

@@ -43,12 +43,12 @@ class ExecEdgeTest : public ::testing::Test {
   }
 
   OperatorPtr ScanT(std::vector<uint32_t> cols) {
-    auto snap = db_->txn_manager()->GetSnapshot("t");
+    auto snap = db_->Internals().tm->GetSnapshot("t");
     EXPECT_TRUE(snap.ok());
     return std::make_unique<ScanOperator>(*snap, std::move(cols), config_);
   }
   OperatorPtr ScanEmpty() {
-    auto snap = db_->txn_manager()->GetSnapshot("empty");
+    auto snap = db_->Internals().tm->GetSnapshot("empty");
     EXPECT_TRUE(snap.ok());
     return std::make_unique<ScanOperator>(*snap, std::vector<uint32_t>{0}, config_);
   }
@@ -164,7 +164,7 @@ TEST_F(ExecEdgeTest, LimitOffsetBeyondEnd) {
 TEST_F(ExecEdgeTest, AggManyGroupsForcesRehash) {
   // Group by a computed expression with ~300 distinct values through a
   // table that starts the agg at 1024 slots.
-  auto snap = db_->txn_manager()->GetSnapshot("t");
+  auto snap = db_->Internals().tm->GetSnapshot("t");
   ASSERT_TRUE(snap.ok());
   // Build a wider table inline: group keys 0..9999.
   TableSchema wide("wide", {ColumnDef("g", DataType::Int64())});
@@ -175,7 +175,7 @@ TEST_F(ExecEdgeTest, AggManyGroupsForcesRehash) {
     }
     return Status::OK();
   }).ok());
-  auto wsnap = db_->txn_manager()->GetSnapshot("wide");
+  auto wsnap = db_->Internals().tm->GetSnapshot("wide");
   auto scan = std::make_unique<ScanOperator>(*wsnap, std::vector<uint32_t>{0},
                                              config_);
   HashAggOperator agg(std::move(scan), {0}, {AggSpec::CountStar()}, config_);
@@ -219,13 +219,13 @@ TEST_F(ExecEdgeTest, TinyBufferPoolStillScans) {
   auto db = Database::Open(dir_, cfg);
   ASSERT_TRUE(db.ok());
   db_ = std::move(*db);
-  auto snap = db_->txn_manager()->GetSnapshot("t");
+  auto snap = db_->Internals().tm->GetSnapshot("t");
   ASSERT_TRUE(snap.ok());
   ScanOperator scan(*snap, {0, 1}, cfg);
   auto r = CollectRows(&scan, cfg.vector_size);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->rows.size(), 300u);
-  EXPECT_GT(db_->buffers()->stats().evictions, 0u);
+  EXPECT_GT(db_->Internals().buffers->stats().evictions, 0u);
 }
 
 TEST_F(ExecEdgeTest, SelectAllFilteredThenRefill) {

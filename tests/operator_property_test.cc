@@ -66,7 +66,7 @@ class OperatorPropertyTest : public ::testing::TestWithParam<Regime> {
   }
 
   OperatorPtr Scan(const char* table) {
-    auto snap = db_->txn_manager()->GetSnapshot(table);
+    auto snap = db_->Internals().tm->GetSnapshot(table);
     EXPECT_TRUE(snap.ok());
     return std::make_unique<ScanOperator>(*snap, std::vector<uint32_t>{0, 1},
                                           config_);

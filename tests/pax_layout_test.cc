@@ -67,9 +67,9 @@ class PaxLayoutTest : public ::testing::Test {
   // Q6 over the named layout; returns (revenue, device reads).
   std::pair<double, uint64_t> Q6On(const std::string& table) {
     using namespace tpch::col;
-    db_->buffers()->EvictAll();
-    db_->device()->stats().Reset();
-    auto snap = db_->txn_manager()->GetSnapshot(table);
+    db_->Internals().buffers->EvictAll();
+    db_->Internals().device->stats().Reset();
+    auto snap = db_->Internals().tm->GetSnapshot(table);
     EXPECT_TRUE(snap.ok());
     auto scan = std::make_unique<ScanOperator>(
         *snap,
@@ -92,7 +92,7 @@ class PaxLayoutTest : public ::testing::Test {
     HashAggOperator agg(std::move(proj), {}, {AggSpec::Sum(0)}, config_);
     auto r = CollectRows(&agg, config_.vector_size);
     EXPECT_TRUE(r.ok());
-    return {r->rows[0][0].AsDouble(), db_->device()->stats().reads.load()};
+    return {r->rows[0][0].AsDouble(), db_->Internals().device->stats().reads.load()};
   }
 
   Config config_;
@@ -138,8 +138,8 @@ TEST_F(PaxLayoutTest, UpdatesMergeUnderPax) {
                      })
                   .ok());
   ASSERT_TRUE(db_->Commit(txn.get()).ok());
-  auto snap_pax = db_->txn_manager()->GetSnapshot("li_pax");
-  auto snap_dsm = db_->txn_manager()->GetSnapshot("li_dsm");
+  auto snap_pax = db_->Internals().tm->GetSnapshot("li_pax");
+  auto snap_dsm = db_->Internals().tm->GetSnapshot("li_dsm");
   ASSERT_TRUE(snap_pax.ok() && snap_dsm.ok());
   EXPECT_NE(snap_pax->visible_rows(), snap_dsm->visible_rows());
   // The merged PAX scan must still produce a valid Q6 result.

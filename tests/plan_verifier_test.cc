@@ -265,7 +265,7 @@ class NullablePlanTest : public ::testing::Test {
 // Filtering on a NULLable column without the rewriter's decomposition is a
 // plan bug (primitives are NULL-oblivious, so NULL rows would qualify).
 TEST_F(NullablePlanTest, RejectsDirectFilterOnNullableColumn) {
-  PlanBuilder b(db_->txn_manager(), db_->config());
+  PlanBuilder b(db_->Internals().tm, db_->config());
   ASSERT_TRUE(b.Scan("t", {0, 1, 2}).ok());
   auto root = b.Select(e::Lt(b.Col(0), e::I64(50))).Build();
   ASSERT_FALSE(root.ok());
@@ -277,7 +277,7 @@ TEST_F(NullablePlanTest, RejectsDirectFilterOnNullableColumn) {
 // The same predicate with the indicator guard (the shape RewriteNullableCmp
 // emits) is accepted — and executes with SQL NULL semantics.
 TEST_F(NullablePlanTest, AcceptsDecomposedFilterAndExecutes) {
-  PlanBuilder b(db_->txn_manager(), db_->config());
+  PlanBuilder b(db_->Internals().tm, db_->config());
   ASSERT_TRUE(b.Scan("t", {0, 1, 2}).ok());
   rewriter::NullableRef x{0, 1, DataType::Int64()};
   auto root =
@@ -291,7 +291,7 @@ TEST_F(NullablePlanTest, AcceptsDecomposedFilterAndExecutes) {
 
 // Aggregating a NULLable column directly is rejected too.
 TEST_F(NullablePlanTest, RejectsAggOverNullableColumn) {
-  PlanBuilder b(db_->txn_manager(), db_->config());
+  PlanBuilder b(db_->Internals().tm, db_->config());
   ASSERT_TRUE(b.Scan("t", {0, 1, 2}).ok());
   auto root = b.Agg({}, {AggSpec::Sum(0)}, {DataType::Int64()}).Build();
   ASSERT_FALSE(root.ok());
@@ -330,7 +330,7 @@ class ParallelizeVerifierTest : public ::testing::Test {
 
   rewriter::ParallelAggSpec MakeSpec(const Config& cfg) {
     rewriter::ParallelAggSpec spec;
-    auto snap = db_->txn_manager()->GetSnapshot("t");
+    auto snap = db_->Internals().tm->GetSnapshot("t");
     EXPECT_TRUE(snap.ok());
     spec.snapshot = *snap;
     spec.scan_cols = {0, 1};

@@ -114,7 +114,7 @@ TEST_F(ParallelizeTest, ParallelMatchesSerialForAnyWorkerCount) {
   auto run = [&](int threads) {
     Config cfg = db_->config();
     cfg.num_threads = threads;
-    auto snap = db_->txn_manager()->GetSnapshot("t");
+    auto snap = db_->Internals().tm->GetSnapshot("t");
     EXPECT_TRUE(snap.ok());
     rewriter::ParallelAggSpec spec;
     spec.snapshot = *snap;

@@ -37,9 +37,9 @@ class CoopScanTest : public ::testing::Test {
   // Runs `n_scans` full scans round-robin, interleaved chunk by chunk, so
   // their stripe demands overlap in time; returns total cache misses.
   uint64_t InterleavedScans(ScanScheduler* sched, int n_scans) {
-    db_->buffers()->EvictAll();
-    db_->buffers()->ResetStats();
-    auto snap = db_->txn_manager()->GetSnapshot("t");
+    db_->Internals().buffers->EvictAll();
+    db_->Internals().buffers->ResetStats();
+    auto snap = db_->Internals().tm->GetSnapshot("t");
     EXPECT_TRUE(snap.ok());
     std::vector<std::unique_ptr<ScanOperator>> scans;
     std::vector<std::unique_ptr<DataChunk>> chunks;
@@ -74,7 +74,7 @@ class CoopScanTest : public ::testing::Test {
     // Correctness regardless of policy: every scan saw every row once.
     int64_t expect = 9999LL * 10000 / 2;
     for (int i = 0; i < n_scans; i++) EXPECT_EQ(sums[i], expect);
-    return db_->buffers()->stats().misses;
+    return db_->Internals().buffers->stats().misses;
   }
 
   Config config_;
@@ -83,8 +83,8 @@ class CoopScanTest : public ::testing::Test {
 };
 
 TEST_F(CoopScanTest, SingleScanIdenticalAcrossPolicies) {
-  ScanScheduler lru(ScanPolicy::kLru, db_->buffers());
-  ScanScheduler coop(ScanPolicy::kCooperative, db_->buffers());
+  ScanScheduler lru(ScanPolicy::kLru, db_->Internals().buffers);
+  ScanScheduler coop(ScanPolicy::kCooperative, db_->Internals().buffers);
   uint64_t m1 = InterleavedScans(&lru, 1);
   uint64_t m2 = InterleavedScans(&coop, 1);
   EXPECT_EQ(m1, 20u);  // every stripe loaded once
@@ -92,8 +92,8 @@ TEST_F(CoopScanTest, SingleScanIdenticalAcrossPolicies) {
 }
 
 TEST_F(CoopScanTest, CooperativeScansShareLoads) {
-  ScanScheduler lru(ScanPolicy::kLru, db_->buffers());
-  ScanScheduler coop(ScanPolicy::kCooperative, db_->buffers());
+  ScanScheduler lru(ScanPolicy::kLru, db_->Internals().buffers);
+  ScanScheduler coop(ScanPolicy::kCooperative, db_->Internals().buffers);
   // Interleaved concurrent scans under a tiny buffer pool: LRU scans march
   // in lockstep over the same stripes, but chunk-level interleave still
   // causes each to fault stripes in; cooperative scans prefer resident
@@ -106,8 +106,8 @@ TEST_F(CoopScanTest, CooperativeScansShareLoads) {
 }
 
 TEST_F(CoopScanTest, SchedulerDeliversEachStripeExactlyOnce) {
-  ScanScheduler coop(ScanPolicy::kCooperative, db_->buffers());
-  auto snap = db_->txn_manager()->GetSnapshot("t");
+  ScanScheduler coop(ScanPolicy::kCooperative, db_->Internals().buffers);
+  auto snap = db_->Internals().tm->GetSnapshot("t");
   ASSERT_TRUE(snap.ok());
   std::vector<size_t> stripes = {0, 1, 2, 3, 4};
   auto handle = coop.Register(snap->stable.get(), stripes);

@@ -29,11 +29,17 @@ Checks
    wrappers themselves (CheckedOperator, ProfiledOperator) are the only
    exemptions. The InterposeChild helper in exec/profile.cc must in turn
    route through both MaybeChecked and MaybeProfiled, checker outermost.
+4. Thread confinement: no std::thread under src/ outside src/service/.
+   Query parallelism goes through the shared WorkerPool (plan fragments)
+   and admission runners own their threads in the QueryService; ad-hoc
+   threads elsewhere bypass admission control, the memory budget, and
+   cooperative cancellation. (std::this_thread — sleeps, yields — is fine.)
 
 --self-test seeds deliberate violations (misnamed primitive, catalog /
 primitives.h mismatch, raw assert, a constructor that stores its child
-without InterposeChild, a helper that drops one wrapper) into a scratch
-copy and verifies the lint catches each one.
+without InterposeChild, a helper that drops one wrapper, a std::thread
+spawned outside src/service/) into a scratch copy and verifies the lint
+catches each one.
 """
 
 import argparse
@@ -236,7 +242,10 @@ class Lint:
     # -- operator-child wrapping --------------------------------------------
 
     # The wrappers themselves store the raw child; everything else must wrap.
-    CHECKED_EXEMPT = {"CheckedOperator", "ProfiledOperator"}
+    # PreparedQuery is the plan *owner*, not a plan operator: the root edge it
+    # holds was already interposed by PlanBuilder::Build ("plan.root") before
+    # it can reach a session, so wrapping again would double-count the root.
+    CHECKED_EXEMPT = {"CheckedOperator", "ProfiledOperator", "PreparedQuery"}
 
     @staticmethod
     def balanced_parens(text, open_idx):
@@ -388,6 +397,37 @@ class Lint:
                 if fn.endswith(".h"):
                     self.check_header_guard(path, rel, lines)
 
+    # -- thread confinement -------------------------------------------------
+
+    def check_thread_confinement(self, src_dir):
+        """std::thread is only allowed under src/service/.
+
+        Everything else must submit work to the shared WorkerPool (plan
+        fragments) or run on a QueryService admission runner — a raw thread
+        escapes admission control, the per-query memory budget, and
+        cooperative cancellation. std::this_thread (sleep/yield) does not
+        create threads and is not flagged.
+        """
+        thread_re = re.compile(r"\bstd::j?thread\b")
+        for root, _dirs, files in os.walk(src_dir):
+            for fn in sorted(files):
+                if not fn.endswith((".cc", ".h", ".inc")):
+                    continue
+                path = os.path.join(root, fn)
+                rel = os.path.relpath(path, src_dir)
+                if rel.split(os.sep)[0] == "service":
+                    continue
+                lines = open(path, encoding="utf-8").read().splitlines()
+                for lineno, line in enumerate(lines, 1):
+                    code = line.split("//", 1)[0]
+                    if thread_re.search(code):
+                        self.error(
+                            path, lineno,
+                            "std::thread outside src/service/ — submit "
+                            "fragments to the shared WorkerPool instead so "
+                            "the work stays under admission control, the "
+                            "memory budget, and cooperative cancellation")
+
     def check_header_guard(self, path, rel, lines):
         expected = "VWISE_" + re.sub(r"[/.]", "_", rel).upper() + "_"
         ifndef = define = None
@@ -423,6 +463,7 @@ def run_lint(repo):
     lint.check_repo_rules(src)
     lint.check_operator_children(src)
     lint.check_interpose_helper(src)
+    lint.check_thread_confinement(src)
     return lint.errors
 
 
@@ -485,6 +526,11 @@ def self_test(repo):
             "MaybeChecked(MaybeProfiled(std::move(op), config, label), "
             "config,\n                      label)",
             "MaybeChecked(std::move(op), config, label)"),
+        # A raw thread spawned outside src/service/ — bypasses the pool.
+        "thread outside service": lambda tmp: patch_file(
+            tmp, os.path.join("exec", "scan.cc"),
+            "namespace vwise {", "namespace vwise {\nstatic void "
+            "SelfTestSeed() { std::thread t; t.join(); }"),
     }
     for label, patch in cases.items():
         errs = seeded_errors(patch)
