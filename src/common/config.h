@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
+#include <string>
 
 namespace vwise {
 
@@ -117,6 +118,15 @@ struct Config {
   bool wal_sync_on_commit = false;
   // Consolidate committed PDT layers once this many stack on a table.
   size_t pdt_consolidate_threshold = 8;
+
+  // --- Fault injection ------------------------------------------------------
+  // Failpoint spec armed when the database opens (see common/failpoint.h for
+  // the grammar, e.g. "wal.append=torn:17;table.read=err:EIO,nth:3"). Arming
+  // is process-wide and additive; the VWISE_FAILPOINTS environment variable
+  // is also honored (parsed once per process). Empty = nothing armed; with
+  // no failpoints armed the entire injection cost is one relaxed atomic load
+  // per I/O operation.
+  std::string failpoints;
 };
 
 }  // namespace vwise

@@ -1,0 +1,298 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace vwise {
+namespace failpoint {
+
+namespace detail {
+std::atomic<int> g_armed{0};
+}  // namespace detail
+
+namespace {
+
+enum class Mode { kErr, kTorn, kShort, kCrash, kCorrupt, kDelay };
+
+struct Point {
+  Mode mode = Mode::kErr;
+  StatusCode code = StatusCode::kIOError;
+  uint64_t arg = 0;        // torn/short: bytes; delay: micros; corrupt: offset
+  bool has_arg = false;
+  uint64_t nth = 1;        // first evaluation that fires (1-based)
+  uint64_t count = UINT64_MAX;  // evaluations that fire before going dormant
+  uint64_t hits = 0;
+  uint64_t fired = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Point> points;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Status MakeStatus(StatusCode code, const std::string& site) {
+  std::string msg = "injected failure at failpoint " + site;
+  switch (code) {
+    case StatusCode::kCorruption:
+      return Status::Corruption(std::move(msg));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(msg));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(msg));
+    default:
+      return Status::IOError(std::move(msg));
+  }
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+// Parses one `site=mode[:arg][,opt...]` clause into (site, point).
+Status ParseArm(const std::string& clause, std::string* site, Point* point) {
+  size_t eq = clause.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("failpoint clause '" + clause +
+                                   "' is not site=mode[...]");
+  }
+  *site = clause.substr(0, eq);
+  std::string rest = clause.substr(eq + 1);
+
+  // Split on ',' — first token is the mode, the rest are options.
+  std::vector<std::string> tokens;
+  size_t pos = 0;
+  while (pos <= rest.size()) {
+    size_t comma = rest.find(',', pos);
+    if (comma == std::string::npos) comma = rest.size();
+    tokens.push_back(rest.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  if (tokens.empty() || tokens[0].empty()) {
+    return Status::InvalidArgument("failpoint '" + *site + "' has no mode");
+  }
+
+  auto split_colon = [](const std::string& tok, std::string* key,
+                        std::string* val) {
+    size_t colon = tok.find(':');
+    *key = tok.substr(0, colon == std::string::npos ? tok.size() : colon);
+    *val = colon == std::string::npos ? "" : tok.substr(colon + 1);
+  };
+
+  std::string mode, arg;
+  split_colon(tokens[0], &mode, &arg);
+  if (mode == "err") {
+    point->mode = Mode::kErr;
+    if (arg.empty() || arg == "EIO") {
+      point->code = StatusCode::kIOError;
+    } else if (arg == "CORRUPTION") {
+      point->code = StatusCode::kCorruption;
+    } else if (arg == "INTERNAL") {
+      point->code = StatusCode::kInternal;
+    } else if (arg == "RESOURCE_EXHAUSTED") {
+      point->code = StatusCode::kResourceExhausted;
+    } else {
+      return Status::InvalidArgument("failpoint '" + *site +
+                                     "': unknown error code '" + arg + "'");
+    }
+  } else if (mode == "torn" || mode == "short" || mode == "delay") {
+    point->mode = mode == "torn" ? Mode::kTorn
+                 : mode == "short" ? Mode::kShort
+                                   : Mode::kDelay;
+    if (!ParseU64(arg, &point->arg)) {
+      return Status::InvalidArgument("failpoint '" + *site + "': mode '" +
+                                     mode + "' needs a numeric argument");
+    }
+    point->has_arg = true;
+    if (point->mode == Mode::kShort && point->arg == 0) {
+      return Status::InvalidArgument("failpoint '" + *site +
+                                     "': short:0 would never make progress");
+    }
+  } else if (mode == "crash") {
+    point->mode = Mode::kCrash;
+  } else if (mode == "corrupt") {
+    point->mode = Mode::kCorrupt;
+    if (!arg.empty()) {
+      if (!ParseU64(arg, &point->arg)) {
+        return Status::InvalidArgument("failpoint '" + *site +
+                                       "': bad corrupt offset '" + arg + "'");
+      }
+      point->has_arg = true;
+    }
+  } else {
+    return Status::InvalidArgument("failpoint '" + *site +
+                                   "': unknown mode '" + mode + "'");
+  }
+
+  for (size_t i = 1; i < tokens.size(); i++) {
+    std::string key, val;
+    split_colon(tokens[i], &key, &val);
+    uint64_t v = 0;
+    if (!ParseU64(val, &v)) {
+      return Status::InvalidArgument("failpoint '" + *site + "': option '" +
+                                     tokens[i] + "' needs a numeric value");
+    }
+    if (key == "nth") {
+      if (v == 0) {
+        return Status::InvalidArgument("failpoint '" + *site +
+                                       "': nth is 1-based");
+      }
+      point->nth = v;
+    } else if (key == "count") {
+      point->count = v;
+    } else {
+      return Status::InvalidArgument("failpoint '" + *site +
+                                     "': unknown option '" + key + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Arm(const std::string& spec) {
+  if (spec.empty()) return Status::OK();
+  // Parse everything first so a bad spec arms nothing.
+  std::vector<std::pair<std::string, Point>> parsed;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t semi = spec.find(';', pos);
+    if (semi == std::string::npos) semi = spec.size();
+    std::string clause = spec.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (clause.empty()) continue;
+    std::string site;
+    Point point;
+    VWISE_RETURN_IF_ERROR(ParseArm(clause, &site, &point));
+    parsed.emplace_back(std::move(site), point);
+  }
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [site, point] : parsed) {
+    auto [it, inserted] = r.points.insert_or_assign(site, point);
+    (void)it;
+    if (inserted) detail::g_armed.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+void ArmFromEnv() {
+  static const bool once = [] {
+    const char* spec = std::getenv("VWISE_FAILPOINTS");
+    if (spec != nullptr && spec[0] != '\0') {
+      Status s = Arm(spec);
+      if (!s.ok()) {
+        std::fprintf(stderr, "vwise: bad VWISE_FAILPOINTS: %s\n",
+                     s.ToString().c_str());
+        std::abort();
+      }
+    }
+    return true;
+  }();
+  (void)once;
+}
+
+void Disarm(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.points.erase(site) > 0) {
+    detail::g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  detail::g_armed.fetch_sub(static_cast<int>(r.points.size()),
+                            std::memory_order_relaxed);
+  r.points.clear();
+}
+
+uint64_t Hits(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(site);
+  return it == r.points.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> ArmedSites() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> sites;
+  for (const auto& [site, point] : r.points) {
+    (void)point;
+    sites.push_back(site);
+  }
+  return sites;
+}
+
+Action Evaluate(const std::string& site) {
+  Point snapshot;
+  bool fire = false;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.points.find(site);
+    if (it == r.points.end()) return Action();
+    Point& p = it->second;
+    p.hits++;
+    fire = p.hits >= p.nth && p.fired < p.count;
+    if (fire) p.fired++;
+    snapshot = p;
+  }
+  if (!fire) return Action();
+
+  Action act;
+  switch (snapshot.mode) {
+    case Mode::kErr:
+      act.status = MakeStatus(snapshot.code, site);
+      break;
+    case Mode::kTorn:
+      act.torn = true;
+      act.torn_bytes = snapshot.arg;
+      act.status = MakeStatus(StatusCode::kIOError, site + " (torn write)");
+      break;
+    case Mode::kShort:
+      act.short_bytes = snapshot.arg;
+      break;
+    case Mode::kCrash:
+      throw SimulatedCrash(site);
+    case Mode::kCorrupt:
+      act.corrupt = true;
+      if (snapshot.has_arg) act.corrupt_at = snapshot.arg;
+      break;
+    case Mode::kDelay:
+      std::this_thread::sleep_for(std::chrono::microseconds(snapshot.arg));
+      break;
+  }
+  return act;
+}
+
+Status Check(const std::string& site) {
+  Action act = Evaluate(site);
+  if (act.torn || act.short_bytes > 0 || act.corrupt) {
+    return Status::InvalidArgument(
+        "failpoint " + site +
+        " armed with a transfer-shaping mode (torn/short/corrupt) at a "
+        "sequencing-only site");
+  }
+  return act.status;
+}
+
+}  // namespace failpoint
+}  // namespace vwise

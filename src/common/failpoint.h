@@ -1,0 +1,121 @@
+#ifndef VWISE_COMMON_FAILPOINT_H_
+#define VWISE_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace vwise {
+
+// Thrown by a failpoint armed in `crash` mode. The torture harness catches
+// it at the workload boundary and abandons the Database object without
+// running destructors — the process-crash simulation the recovery tests are
+// built on. Nothing inside src/ ever catches it: a crash site is a point of
+// no return for the storage state, exactly like SIGKILL.
+class SimulatedCrash {
+ public:
+  explicit SimulatedCrash(std::string site) : site_(std::move(site)) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+// Deterministic fault injection for the storage/txn/service stack.
+//
+// A *failpoint* is a named evaluation site (e.g. "wal.append",
+// "table.read", "ckpt.publish") compiled into the I/O and
+// commit/checkpoint paths. Disarmed — the only state production code ever
+// sees — a site costs one relaxed atomic load. Armed, the site consults the
+// registry and acts out the configured failure.
+//
+// Spec grammar (VWISE_FAILPOINTS / Config::failpoints / Arm()):
+//
+//   spec  := arm (';' arm)*
+//   arm   := site '=' mode (',' opt)*
+//   mode  := 'err' [':' code]        fail with a Status (default EIO)
+//          | 'torn' ':' bytes       write only `bytes`, then fail (torn write)
+//          | 'short' ':' bytes      cap each syscall transfer (no error; the
+//                                   partial-transfer loops must finish the op)
+//          | 'crash'                throw SimulatedCrash (process death)
+//          | 'corrupt' [':' offset]  flip one bit of the read buffer
+//          | 'delay' ':' micros     sleep (reorder/timing windows)
+//   code  := 'EIO' | 'CORRUPTION' | 'INTERNAL' | 'RESOURCE_EXHAUSTED'
+//   opt   := 'nth' ':' k            first fire at the k-th evaluation (1-based)
+//          | 'count' ':' n          fire at most n times, then lie dormant
+//
+// Examples:
+//   wal.append=torn:17                      tear the 1st WAL append after 17B
+//   table.read=err:EIO,nth:3                3rd table-file read returns EIO
+//   ckpt.publish=crash                      die between rename and catalog
+//   bufmgr.load=err:EIO,count:1             exactly one chunk load fails
+namespace failpoint {
+
+namespace detail {
+// Number of armed failpoints in the process. The inline fast path reads it
+// relaxed: arming happens-before the test's next operation through the test
+// harness's own synchronization, never through this counter.
+extern std::atomic<int> g_armed;
+}  // namespace detail
+
+// True if any failpoint is armed. This is the entire disarmed-path cost.
+inline bool Armed() {
+  return VWISE_UNLIKELY(detail::g_armed.load(std::memory_order_relaxed) > 0);
+}
+
+// What an armed site should do. Default-constructed = proceed normally.
+struct Action {
+  Status status;                      // non-OK: fail the operation with this
+  uint64_t torn_bytes = 0;            // valid when `torn`
+  bool torn = false;                  // transfer torn_bytes, then fail
+  uint64_t short_bytes = 0;           // >0: cap each syscall transfer
+  bool corrupt = false;               // flip a bit of the read buffer
+  uint64_t corrupt_at = UINT64_MAX;   // byte to flip (clamped; max = middle)
+};
+
+// Arms every failpoint in `spec` (replacing same-named ones and resetting
+// their hit counters). Empty spec is a no-op. Parse errors return
+// InvalidArgument and arm nothing.
+Status Arm(const std::string& spec);
+
+// Parses VWISE_FAILPOINTS once per process (first call wins); later calls
+// are no-ops. Bad env specs abort: a torture run with a misspelled spec
+// silently testing nothing is worse than no run.
+void ArmFromEnv();
+
+void Disarm(const std::string& site);
+void DisarmAll();
+
+// Evaluations of `site` so far (armed sites only; 0 if never armed).
+uint64_t Hits(const std::string& site);
+std::vector<std::string> ArmedSites();
+
+// Full evaluation of `site`. Call only behind Armed(). Counts the hit,
+// applies nth/count, sleeps for `delay`, throws SimulatedCrash for `crash`,
+// and returns the Action the I/O site must act out.
+Action Evaluate(const std::string& site);
+
+// Status-only evaluation for non-I/O sites (commit/checkpoint sequencing):
+// `err` returns the status, `crash` throws, `delay` sleeps; transfer-shaping
+// modes (torn/short/corrupt) are meaningless here and report InvalidArgument
+// so a misarmed spec fails loudly instead of silently not injecting.
+Status Check(const std::string& site);
+
+}  // namespace failpoint
+
+// Sequencing failpoint for Status-returning functions. Zero-cost unless a
+// failpoint is armed in the process.
+#define VWISE_FAILPOINT(site)                                  \
+  do {                                                         \
+    if (::vwise::failpoint::Armed()) {                         \
+      VWISE_RETURN_IF_ERROR(::vwise::failpoint::Check(site));  \
+    }                                                          \
+  } while (0)
+
+}  // namespace vwise
+
+#endif  // VWISE_COMMON_FAILPOINT_H_

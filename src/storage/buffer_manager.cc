@@ -1,10 +1,21 @@
 #include "storage/buffer_manager.h"
 
+#include <chrono>
+#include <thread>
+
+#include "common/crc32.h"
+#include "common/failpoint.h"
+
 namespace vwise {
 
-Result<std::shared_ptr<Buffer>> BufferManager::Fetch(IoFile* file,
-                                                     uint64_t offset,
-                                                     uint64_t size) {
+namespace {
+constexpr int kMaxReadAttempts = 3;
+constexpr uint64_t kRetryBackoffUs = 100;
+}  // namespace
+
+Result<std::shared_ptr<Buffer>> BufferManager::Fetch(
+    IoFile* file, uint64_t offset, uint64_t size,
+    const uint32_t* expected_crc) {
   Key key{file->id(), offset};
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -16,11 +27,40 @@ Result<std::shared_ptr<Buffer>> BufferManager::Fetch(IoFile* file,
     }
     stats_.misses++;
   }
+  if (failpoint::Armed()) {
+    VWISE_RETURN_IF_ERROR(failpoint::Check("bufmgr.load"));
+  }
   // Read outside the lock so a slow (simulated) device doesn't serialize
   // cache hits. A racing fetch of the same blob may duplicate the read;
   // the second insert wins harmlessly.
+  //
+  // Transient faults — an EIO that clears, a bit flip the next read doesn't
+  // repeat — are retried with a short backoff. A persistent fault surfaces
+  // to the caller as the query's error; nothing corrupt ever enters the
+  // cache.
   auto buffer = Buffer::Allocate(size);
-  VWISE_RETURN_IF_ERROR(file->Read(offset, size, buffer->data()));
+  Status read_status;
+  for (int attempt = 1; attempt <= kMaxReadAttempts; attempt++) {
+    if (attempt > 1) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.read_retries++;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(kRetryBackoffUs * (attempt - 1)));
+    }
+    read_status = file->Read(offset, size, buffer->data());
+    if (!read_status.ok()) continue;
+    if (expected_crc != nullptr &&
+        Crc32(buffer->data(), size) != *expected_crc) {
+      read_status = Status::Corruption(
+          "chunk checksum mismatch reading " + file->path() + " at offset " +
+          std::to_string(offset));
+      continue;
+    }
+    break;
+  }
+  VWISE_RETURN_IF_ERROR(read_status);
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);

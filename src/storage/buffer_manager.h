@@ -22,6 +22,7 @@ class BufferManager {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    uint64_t read_retries = 0;  // miss-path reads retried after an error
   };
 
   explicit BufferManager(size_t capacity_bytes)
@@ -31,8 +32,21 @@ class BufferManager {
   BufferManager& operator=(const BufferManager&) = delete;
 
   // Returns the blob at (file, offset, size), reading it if absent.
+  //
+  // When `expected_crc` is non-null, a freshly read blob is verified against
+  // it before entering the cache; a mismatch is retried (a re-read can heal a
+  // transient flip) and reported as Corruption if it persists. Verification
+  // happens on the miss path only — cache hits hand back already-verified
+  // bytes — so the steady-state scan cost is unchanged. Transient read
+  // errors on the miss path are retried a bounded number of times with
+  // backoff before the error is surfaced to the query.
+  //
+  // Failpoint: "bufmgr.load" is evaluated once per miss, *outside* the retry
+  // loop, so `bufmgr.load=err:EIO,count:1` fails exactly one chunk load no
+  // matter how forgiving the retry policy is.
   Result<std::shared_ptr<Buffer>> Fetch(IoFile* file, uint64_t offset,
-                                        uint64_t size);
+                                        uint64_t size,
+                                        const uint32_t* expected_crc = nullptr);
 
   // True if the blob is resident (used by scan scheduling policies).
   bool Cached(uint64_t file_id, uint64_t offset) const;

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/config.h"
+#include "common/failpoint.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -54,22 +55,38 @@ class IoDevice {
 };
 
 // A file opened for positional reads and appends.
+//
+// Every operation is a failpoint evaluation site named `<scope>.<op>`
+// (common/failpoint.h): callers pick the scope at open time so faults can be
+// aimed at one subsystem — the WAL opens its file with scope "wal"
+// (-> wal.append, wal.sync, ...), table version files use "table", the
+// catalog "catalog"; the default scope is "io". Disarmed cost per operation:
+// one relaxed atomic load.
+//
+// Partial transfers and EINTR are handled here, not by callers: Read and
+// Append loop until the full count moved (a short pread/pwrite is a retry,
+// not success or failure), and Sync/Truncate retry EINTR.
 class IoFile {
  public:
   static Result<std::unique_ptr<IoFile>> Create(const std::string& path,
-                                                IoDevice* device);
+                                                IoDevice* device,
+                                                const std::string& scope = "io");
   static Result<std::unique_ptr<IoFile>> OpenRead(const std::string& path,
-                                                  IoDevice* device);
+                                                  IoDevice* device,
+                                                  const std::string& scope = "io");
   // Opens read-write, positioned for appends at the current end (WAL reuse).
   static Result<std::unique_ptr<IoFile>> OpenAppend(const std::string& path,
-                                                    IoDevice* device);
+                                                    IoDevice* device,
+                                                    const std::string& scope = "io");
 
   ~IoFile();
   IoFile(const IoFile&) = delete;
   IoFile& operator=(const IoFile&) = delete;
 
   Status Read(uint64_t offset, uint64_t size, void* out);
-  // Appends `size` bytes; returns the offset they were written at.
+  // Appends `size` bytes; returns the offset they were written at. On
+  // failure the logical size is unchanged: a later Append overwrites any
+  // bytes a torn write left behind.
   Status Append(const void* data, uint64_t size, uint64_t* offset = nullptr);
   Status Sync();
   Status Truncate(uint64_t size);
@@ -78,15 +95,27 @@ class IoFile {
   const std::string& path() const { return path_; }
 
  private:
-  IoFile(int fd, std::string path, uint64_t size, IoDevice* device);
+  IoFile(int fd, std::string path, uint64_t size, IoDevice* device,
+         const std::string& scope);
 
   int fd_;
   std::string path_;
   uint64_t size_;
   IoDevice* device_;
   uint64_t id_;
+  // Precomputed failpoint site names, so the armed path does not concatenate
+  // strings per operation (the disarmed path never touches them).
+  std::string site_read_;
+  std::string site_append_;
+  std::string site_sync_;
+  std::string site_truncate_;
   static std::atomic<uint64_t> next_id_;
 };
+
+// fsyncs the directory itself, making preceding renames/creates in it
+// durable (POSIX: a rename is not guaranteed on disk until the parent
+// directory is synced).
+Status SyncDir(const std::string& dir);
 
 }  // namespace vwise
 

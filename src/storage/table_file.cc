@@ -11,7 +11,8 @@ namespace vwise {
 namespace {
 
 constexpr uint32_t kMagic = 0x56575442;  // "VWTB"
-constexpr uint32_t kFormatVersion = 1;
+// v2: per-group blob CRC32s in the footer, verified on buffer-manager miss.
+constexpr uint32_t kFormatVersion = 2;
 
 void PutBytes(std::vector<uint8_t>* out, const void* p, size_t n) {
   const uint8_t* b = static_cast<const uint8_t*>(p);
@@ -60,7 +61,7 @@ TableWriter::~TableWriter() = default;
 
 Status TableWriter::EnsureOpen() {
   if (file_ != nullptr) return Status::OK();
-  VWISE_ASSIGN_OR_RETURN(file_, IoFile::Create(path_, device_));
+  VWISE_ASSIGN_OR_RETURN(file_, IoFile::Create(path_, device_, "table"));
   uint32_t header[2] = {kMagic, kFormatVersion};
   return file_->Append(header, sizeof(header));
 }
@@ -178,6 +179,7 @@ Status TableWriter::FlushStripe() {
 
   stripe.group_offset.resize(groups_.groups.size());
   stripe.group_size.resize(groups_.groups.size());
+  stripe.group_crc.resize(groups_.groups.size());
   for (size_t g = 0; g < groups_.groups.size(); g++) {
     std::vector<uint8_t> blob;
     for (uint32_t c : groups_.groups[g]) {
@@ -188,6 +190,7 @@ Status TableWriter::FlushStripe() {
     VWISE_RETURN_IF_ERROR(file_->Append(blob.data(), blob.size(), &offset));
     stripe.group_offset[g] = offset;
     stripe.group_size[g] = blob.size();
+    stripe.group_crc[g] = Crc32(blob.data(), blob.size());
   }
 
   stripes_.push_back(std::move(stripe));
@@ -226,6 +229,7 @@ Status TableWriter::Finish() {
     for (size_t g = 0; g < groups_.groups.size(); g++) {
       Put<uint64_t>(&footer, s.group_offset[g]);
       Put<uint64_t>(&footer, s.group_size[g]);
+      Put<uint32_t>(&footer, s.group_crc[g]);
     }
     for (const auto& seg : s.segments) {
       Put<uint32_t>(&footer, seg.offset_in_blob);
@@ -258,8 +262,16 @@ Result<std::unique_ptr<TableFile>> TableFile::Open(const std::string& path,
                                                    const TableSchema& schema,
                                                    IoDevice* device,
                                                    BufferManager* buffers) {
-  VWISE_ASSIGN_OR_RETURN(auto file, IoFile::OpenRead(path, device));
+  VWISE_ASSIGN_OR_RETURN(auto file, IoFile::OpenRead(path, device, "table"));
   if (file->size() < 24) return Status::Corruption("table file too small");
+
+  uint32_t header[2];
+  VWISE_RETURN_IF_ERROR(file->Read(0, sizeof(header), header));
+  if (header[0] != kMagic) return Status::Corruption("bad table header magic");
+  if (header[1] != kFormatVersion) {
+    return Status::Corruption("unsupported table format version " +
+                              std::to_string(header[1]));
+  }
 
   uint8_t tail[16];
   VWISE_RETURN_IF_ERROR(file->Read(file->size() - 16, 16, tail));
@@ -332,9 +344,11 @@ Result<std::unique_ptr<TableFile>> TableFile::Open(const std::string& path,
     row_acc += stripe.rows;
     stripe.group_offset.resize(n_groups);
     stripe.group_size.resize(n_groups);
+    stripe.group_crc.resize(n_groups);
     for (uint32_t g = 0; g < n_groups; g++) {
       VWISE_RETURN_IF_ERROR(r.Get(&stripe.group_offset[g]));
       VWISE_RETURN_IF_ERROR(r.Get(&stripe.group_size[g]));
+      VWISE_RETURN_IF_ERROR(r.Get(&stripe.group_crc[g]));
     }
     stripe.segments.resize(n_cols);
     for (uint32_t c = 0; c < n_cols; c++) {
@@ -367,7 +381,7 @@ Status TableFile::ReadStripeColumn(size_t stripe, uint32_t col,
   uint32_t g = col_to_group_[col];
   VWISE_ASSIGN_OR_RETURN(
       auto blob, buffers_->Fetch(file_.get(), si.group_offset[g],
-                                 si.group_size[g]));
+                                 si.group_size[g], &si.group_crc[g]));
   if (seg.offset_in_blob + static_cast<uint64_t>(seg.size) > blob->capacity()) {
     return Status::Corruption("segment exceeds blob");
   }

@@ -41,6 +41,7 @@ struct StripeInfo {
   uint32_t rows = 0;
   std::vector<uint64_t> group_offset;  // per group: blob offset in file
   std::vector<uint64_t> group_size;    // per group: blob size
+  std::vector<uint32_t> group_crc;     // per group: CRC32 of the blob bytes
   std::vector<SegmentInfo> segments;   // per column
 };
 

@@ -1,5 +1,6 @@
 #include "txn/transaction_manager.h"
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -8,6 +9,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/failpoint.h"
 #include "common/serialize.h"
 
 namespace vwise {
@@ -163,6 +165,10 @@ std::string TransactionManager::WalPath() const { return dir_ + "/wal.log"; }
 Result<std::unique_ptr<TransactionManager>> TransactionManager::Open(
     const std::string& dir, const Config& config, IoDevice* device,
     BufferManager* buffers) {
+  failpoint::ArmFromEnv();
+  if (!config.failpoints.empty()) {
+    VWISE_RETURN_IF_ERROR(failpoint::Arm(config.failpoints));
+  }
   if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
     return Status::IOError("mkdir " + dir + ": " + std::strerror(errno));
   }
@@ -171,6 +177,7 @@ Result<std::unique_ptr<TransactionManager>> TransactionManager::Open(
   VWISE_RETURN_IF_ERROR(mgr->LoadCatalog());
   {
     std::lock_guard<std::mutex> lock(mgr->mu_);
+    VWISE_RETURN_IF_ERROR(mgr->CleanStaleFilesLocked());
     for (auto& [name, st] : mgr->tables_) {
       (void)name;
       VWISE_RETURN_IF_ERROR(mgr->OpenTableFileLocked(&st));
@@ -193,6 +200,7 @@ Status TransactionManager::OpenTableFileLocked(TableState* st) {
 Status TransactionManager::SaveCatalogLocked() {
   std::vector<uint8_t> buf;
   ser::Put<uint32_t>(&buf, kCatalogMagic);
+  ser::Put<uint64_t>(&buf, wal_epoch_);
   ser::Put<uint32_t>(&buf, static_cast<uint32_t>(tables_.size()));
   for (const auto& [name, st] : tables_) {
     ser::PutString(&buf, name);
@@ -212,26 +220,28 @@ Status TransactionManager::SaveCatalogLocked() {
   }
   std::string tmp = CatalogPath() + ".tmp";
   {
-    VWISE_ASSIGN_OR_RETURN(auto file, IoFile::Create(tmp, device_));
+    VWISE_ASSIGN_OR_RETURN(auto file, IoFile::Create(tmp, device_, "catalog"));
     VWISE_RETURN_IF_ERROR(file->Append(buf.data(), buf.size()));
     VWISE_RETURN_IF_ERROR(file->Sync());
   }
   if (::rename(tmp.c_str(), CatalogPath().c_str()) != 0) {
     return Status::IOError("rename catalog: " + std::string(std::strerror(errno)));
   }
-  return Status::OK();
+  return SyncDir(dir_);
 }
 
 Status TransactionManager::LoadCatalog() {
   struct stat st;
   if (::stat(CatalogPath().c_str(), &st) != 0) return Status::OK();  // fresh db
-  VWISE_ASSIGN_OR_RETURN(auto file, IoFile::OpenRead(CatalogPath(), device_));
+  VWISE_ASSIGN_OR_RETURN(auto file,
+                         IoFile::OpenRead(CatalogPath(), device_, "catalog"));
   std::vector<uint8_t> buf(file->size());
   VWISE_RETURN_IF_ERROR(file->Read(0, buf.size(), buf.data()));
   ser::Reader r(buf.data(), buf.size());
   uint32_t magic, n_tables;
   VWISE_RETURN_IF_ERROR(r.Get(&magic));
   if (magic != kCatalogMagic) return Status::Corruption("bad catalog magic");
+  VWISE_RETURN_IF_ERROR(r.Get(&wal_epoch_));
   VWISE_RETURN_IF_ERROR(r.Get(&n_tables));
   for (uint32_t t = 0; t < n_tables; t++) {
     std::string name;
@@ -270,7 +280,13 @@ Status TransactionManager::LoadCatalog() {
 
 Status TransactionManager::RecoverLocked() {
   VWISE_ASSIGN_OR_RETURN(auto commits, Wal::ReadAll(WalPath(), device_));
+  uint64_t max_txn_id = 0;
   for (const WalCommit& commit : commits) {
+    max_txn_id = std::max(max_txn_id, commit.txn_id);
+    // Records older than the catalog's epoch were merged into the published
+    // table files by a checkpoint that crashed before resetting the log;
+    // replaying them would apply those deltas twice.
+    if (commit.epoch < wal_epoch_) continue;
     for (const auto& [table, ops] : commit.ops) {
       auto it = tables_.find(table);
       if (it == tables_.end()) {
@@ -285,7 +301,43 @@ Status TransactionManager::RecoverLocked() {
       st.commit_version = ++next_commit_version_;
     }
   }
-  next_txn_id_ = commits.size() + 1;
+  next_txn_id_ = max_txn_id + 1;
+  return Status::OK();
+}
+
+Status TransactionManager::CleanStaleFilesLocked() {
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) {
+    return Status::IOError("opendir " + dir_ + ": " + std::strerror(errno));
+  }
+  std::vector<std::string> doomed;
+  while (struct dirent* e = ::readdir(d)) {
+    std::string fname = e->d_name;
+    if (fname == "." || fname == "..") continue;
+    if (fname.size() > 4 && fname.compare(fname.size() - 4, 4, ".tmp") == 0) {
+      doomed.push_back(fname);  // unfinished catalog/checkpoint/load temp
+      continue;
+    }
+    size_t dot = fname.rfind(".v");
+    if (dot == std::string::npos || dot == 0) continue;
+    std::string version_str = fname.substr(dot + 2);
+    if (version_str.empty() ||
+        version_str.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    uint64_t version = std::stoull(version_str);
+    auto it = tables_.find(fname.substr(0, dot));
+    // A version file the catalog doesn't reference is a checkpoint or bulk
+    // load that crashed before (new version) or after (old version)
+    // publishing the catalog.
+    if (it == tables_.end() || version != it->second.file_version) {
+      doomed.push_back(fname);
+    }
+  }
+  ::closedir(d);
+  for (const std::string& fname : doomed) {
+    ::unlink((dir_ + "/" + fname).c_str());
+  }
   return Status::OK();
 }
 
@@ -303,13 +355,34 @@ Status TransactionManager::CreateTable(const TableSchema& schema,
   st.schema = schema;
   st.groups = groups;
   st.file_version = 0;
-  // Write an empty initial version.
-  TableWriter writer(schema, groups, config_, TableFilePath(schema.name(), 0),
-                     device_);
-  VWISE_RETURN_IF_ERROR(writer.Finish());
+  // Write an empty initial version under a temp name, then rename: a version
+  // file under its final name is always complete.
+  std::string path = TableFilePath(schema.name(), 0);
+  std::string tmp = path + ".tmp";
+  {
+    TableWriter writer(schema, groups, config_, tmp, device_);
+    Status s = writer.Finish();
+    if (!s.ok()) {
+      ::unlink(tmp.c_str());
+      return s;
+    }
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status s = Status::IOError("rename " + tmp + ": " +
+                               std::string(std::strerror(errno)));
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  VWISE_RETURN_IF_ERROR(SyncDir(dir_));
   VWISE_RETURN_IF_ERROR(OpenTableFileLocked(&st));
   tables_.emplace(schema.name(), std::move(st));
-  return SaveCatalogLocked();
+  Status s = SaveCatalogLocked();
+  if (!s.ok()) {
+    // Roll back: the table never existed. The file is swept on reopen too.
+    tables_.erase(schema.name());
+    ::unlink(path.c_str());
+  }
+  return s;
 }
 
 Status TransactionManager::BulkLoad(
@@ -321,16 +394,39 @@ Status TransactionManager::BulkLoad(
   if (st.stable->row_count() > 0 || (st.committed && !st.committed->empty())) {
     return Status::InvalidArgument("bulk load requires an empty table");
   }
-  uint64_t new_version = st.file_version + 1;
+  uint64_t old_version = st.file_version;
+  uint64_t new_version = old_version + 1;
   std::string path = TableFilePath(table, new_version);
-  TableWriter writer(st.schema, st.groups, config_, path, device_);
-  VWISE_RETURN_IF_ERROR(fill(&writer));
-  VWISE_RETURN_IF_ERROR(writer.Finish());
-  std::string old_path = TableFilePath(table, st.file_version);
+  std::string tmp = path + ".tmp";
+  {
+    TableWriter writer(st.schema, st.groups, config_, tmp, device_);
+    Status s = fill(&writer);
+    if (s.ok()) s = writer.Finish();
+    if (!s.ok()) {
+      ::unlink(tmp.c_str());
+      return s;
+    }
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status s = Status::IOError("rename " + tmp + ": " +
+                               std::string(std::strerror(errno)));
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  VWISE_RETURN_IF_ERROR(SyncDir(dir_));
+  // Publish through the catalog before touching the old version: a crash on
+  // either side of the catalog rename leaves a catalog whose referenced file
+  // exists (the other version is swept on reopen).
   st.file_version = new_version;
+  Status s = SaveCatalogLocked();
+  if (!s.ok()) {
+    st.file_version = old_version;
+    ::unlink(path.c_str());
+    return s;
+  }
   VWISE_RETURN_IF_ERROR(OpenTableFileLocked(&st));
-  ::unlink(old_path.c_str());
-  return SaveCatalogLocked();
+  ::unlink(TableFilePath(table, old_version).c_str());
+  return Status::OK();
 }
 
 bool TransactionManager::HasTable(const std::string& name) const {
@@ -423,6 +519,7 @@ Status TransactionManager::Commit(Transaction* txn) {
   std::map<std::string, std::shared_ptr<const Pdt>> new_pdts;
   WalCommit wc;
   wc.txn_id = txn->id_;
+  wc.epoch = wal_epoch_;
   for (auto& [name, pt] : txn->tables_) {
     if (pt.ops.empty()) continue;
     TableState& st = tables_.at(name);
@@ -457,6 +554,9 @@ Status TransactionManager::Commit(Transaction* txn) {
 
   // --- WAL first, then publish. ----------------------------------------------
   VWISE_RETURN_IF_ERROR(wal_->AppendCommit(wc));
+  // Crash window: the commit is durable but not yet visible in memory.
+  // Recovery must resurrect it from the WAL record alone.
+  VWISE_FAILPOINT("commit.publish");
   uint64_t version = ++next_commit_version_;
   for (auto& [name, pt] : txn->tables_) {
     if (pt.ops.empty()) continue;
@@ -474,14 +574,8 @@ Status TransactionManager::Commit(Transaction* txn) {
 // Checkpoint
 // ---------------------------------------------------------------------------
 
-Status TransactionManager::CheckpointTableLocked(const std::string& name,
-                                                 TableState* st) {
-  if (!st->committed || st->committed->empty()) {
-    st->commit_log.clear();
-    return Status::OK();
-  }
-  uint64_t new_version = st->file_version + 1;
-  std::string path = TableFilePath(name, new_version);
+Status TransactionManager::WriteMergedTableLocked(TableState* st,
+                                                  const std::string& path) {
   TableWriter writer(st->schema, st->groups, config_, path, device_);
 
   // Stream the merge of stable + deltas into the new version, decoding the
@@ -537,24 +631,119 @@ Status TransactionManager::CheckpointTableLocked(const std::string& name,
         break;
     }
   }
-  VWISE_RETURN_IF_ERROR(writer.Finish());
-
-  std::string old_path = TableFilePath(name, st->file_version);
-  st->file_version = new_version;
-  VWISE_RETURN_IF_ERROR(OpenTableFileLocked(st));
-  st->committed = nullptr;
-  st->commit_log.clear();
-  ::unlink(old_path.c_str());
-  return Status::OK();
+  return writer.Finish();
 }
 
 Status TransactionManager::Checkpoint() {
   std::lock_guard<std::mutex> lock(mu_);
+  VWISE_FAILPOINT("ckpt.begin");
+
+  struct Pending {
+    std::string name;
+    TableState* st;
+    uint64_t old_version;
+    uint64_t new_version;
+  };
+  std::vector<Pending> pending;
   for (auto& [name, st] : tables_) {
-    VWISE_RETURN_IF_ERROR(CheckpointTableLocked(name, &st));
+    if (st.committed && !st.committed->empty()) {
+      pending.push_back(Pending{name, &st, st.file_version,
+                                st.file_version + 1});
+    }
   }
-  VWISE_RETURN_IF_ERROR(SaveCatalogLocked());
-  return wal_->Reset();
+
+  // Undo for the phases before the catalog publish: nothing published yet,
+  // so rollback is just deleting whatever new-version files exist (whether
+  // still temps or already renamed). A *crash* skips this — reopen sweeps
+  // the same files as stale.
+  std::vector<bool> renamed(pending.size(), false);
+  size_t written = 0;
+  auto unlink_new = [&]() {
+    for (size_t i = 0; i < written; i++) {
+      std::string path = TableFilePath(pending[i].name, pending[i].new_version);
+      ::unlink(renamed[i] ? path.c_str() : (path + ".tmp").c_str());
+    }
+  };
+
+  // Phase 1: merge each table's deltas into `<name>.v<N+1>.tmp`, synced.
+  for (Pending& p : pending) {
+    Status s;
+    if (failpoint::Armed()) s = failpoint::Check("ckpt.table");
+    std::string tmp = TableFilePath(p.name, p.new_version) + ".tmp";
+    if (s.ok()) {
+      written++;  // the writer may leave a partial temp behind on error
+      s = WriteMergedTableLocked(p.st, tmp);
+    }
+    if (!s.ok()) {
+      unlink_new();
+      return s;
+    }
+  }
+
+  // Phase 2: rename temps into place and make the renames durable.
+  for (size_t i = 0; i < pending.size(); i++) {
+    Status s;
+    if (failpoint::Armed()) s = failpoint::Check("ckpt.rename");
+    std::string path = TableFilePath(pending[i].name, pending[i].new_version);
+    std::string tmp = path + ".tmp";
+    if (s.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+      s = Status::IOError("rename " + tmp + ": " +
+                          std::string(std::strerror(errno)));
+    }
+    if (!s.ok()) {
+      unlink_new();
+      return s;
+    }
+    renamed[i] = true;
+  }
+  if (!pending.empty()) {
+    Status s = SyncDir(dir_);
+    if (!s.ok()) {
+      unlink_new();
+      return s;
+    }
+  }
+
+  // Phase 3: the commit point. Bumping the epoch and saving the catalog
+  // (itself tmp+rename) atomically switches recovery from "old files + full
+  // WAL replay" to "new files + skip old-epoch records".
+  {
+    Status s;
+    if (failpoint::Armed()) s = failpoint::Check("ckpt.publish");
+    if (s.ok()) {
+      for (Pending& p : pending) p.st->file_version = p.new_version;
+      wal_epoch_++;
+      s = SaveCatalogLocked();
+      if (!s.ok()) {
+        wal_epoch_--;
+        for (Pending& p : pending) p.st->file_version = p.old_version;
+      }
+    }
+    if (!s.ok()) {
+      unlink_new();
+      return s;
+    }
+  }
+
+  // Phase 4: swap the new versions in and drop what they absorbed. An open
+  // failure here leaves the old in-memory file + retained PDTs, which view
+  // to the same contents the new file holds — still consistent.
+  for (Pending& p : pending) {
+    VWISE_RETURN_IF_ERROR(OpenTableFileLocked(p.st));
+    p.st->committed = nullptr;
+    ::unlink(TableFilePath(p.name, p.old_version).c_str());
+  }
+  for (auto& [name, st] : tables_) {
+    (void)name;
+    st.commit_log.clear();
+  }
+
+  // Phase 5: the WAL's records are all pre-publish now; empty it. A failure
+  // or crash here only costs recovery the work of skipping them.
+  VWISE_FAILPOINT("ckpt.reset");
+  VWISE_RETURN_IF_ERROR(wal_->Reset());
+  VWISE_FAILPOINT("ckpt.done");
+  return Status::OK();
 }
 
 }  // namespace vwise

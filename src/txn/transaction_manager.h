@@ -110,6 +110,20 @@ class TransactionManager {
 
   // Merges every table's committed deltas into new version files, then
   // truncates the WAL.
+  //
+  // Crash-safe publication protocol (every step is a failpoint site):
+  //   1. ckpt.table    write each merged version to `<table>.v<N+1>.tmp`,
+  //                    synced (TableWriter::Finish)
+  //   2. ckpt.rename   atomically rename temps into place, fsync the dir
+  //   3. ckpt.publish  bump the WAL epoch and save the catalog (itself
+  //                    tmp+rename) — the single atomic commit point
+  //   4.               swap in new files, drop merged PDTs, unlink old
+  //                    versions
+  //   5. ckpt.reset    truncate the WAL; ckpt.done
+  // A crash before 3 recovers from the old catalog + full WAL replay (new
+  // files are swept as stale on reopen); a crash after 3 recovers from the
+  // new catalog, skipping the WAL's old-epoch records, whose deltas the new
+  // files already contain.
   Status Checkpoint();
 
   const Config& config() const { return config_; }
@@ -152,7 +166,12 @@ class TransactionManager {
   Status LoadCatalog();
   Status RecoverLocked();
   Status OpenTableFileLocked(TableState* st);
-  Status CheckpointTableLocked(const std::string& name, TableState* st);
+  // Streams the merge of stable + committed deltas into a new version file
+  // at `path` (synced on Finish); publication is the caller's job.
+  Status WriteMergedTableLocked(TableState* st, const std::string& path);
+  // Removes *.tmp litter and version files the catalog doesn't reference —
+  // what a crash mid-checkpoint/bulk-load leaves behind.
+  Status CleanStaleFilesLocked();
 
   std::string dir_;
   Config config_;
@@ -162,6 +181,9 @@ class TransactionManager {
 
   mutable std::mutex mu_;
   std::map<std::string, TableState> tables_;
+  // Checkpoint epoch, persisted in the catalog and stamped into every WAL
+  // record; recovery skips records older than the catalog's epoch.
+  uint64_t wal_epoch_ = 0;
   uint64_t next_txn_id_ = 1;
   uint64_t next_commit_version_ = 1;
   uint64_t n_commits_ = 0;

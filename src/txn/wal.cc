@@ -49,12 +49,13 @@ Status GetOp(ser::Reader* r, PdtLogOp* op) {
 
 Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
                                        IoDevice* device, bool sync_on_commit) {
-  VWISE_ASSIGN_OR_RETURN(auto file, IoFile::OpenAppend(path, device));
+  VWISE_ASSIGN_OR_RETURN(auto file, IoFile::OpenAppend(path, device, "wal"));
   return std::unique_ptr<Wal>(new Wal(std::move(file), sync_on_commit));
 }
 
 Status Wal::AppendCommit(const WalCommit& commit) {
   std::vector<uint8_t> payload;
+  ser::Put<uint64_t>(&payload, commit.epoch);
   ser::Put<uint64_t>(&payload, commit.txn_id);
   ser::Put<uint32_t>(&payload, static_cast<uint32_t>(commit.ops.size()));
   for (const auto& [table, ops] : commit.ops) {
@@ -67,8 +68,23 @@ Status Wal::AppendCommit(const WalCommit& commit) {
   ser::Put<uint32_t>(&record, static_cast<uint32_t>(payload.size()));
   ser::Put<uint32_t>(&record, Crc32(payload.data(), payload.size()));
   ser::PutBytes(&record, payload.data(), payload.size());
-  VWISE_RETURN_IF_ERROR(file_->Append(record.data(), record.size()));
-  if (sync_) return file_->Sync();
+  uint64_t pre_size = file_->size();
+  Status s = file_->Append(record.data(), record.size());
+  if (s.ok() && sync_) s = file_->Sync();
+  if (!s.ok()) {
+    // The failed record must not survive, for two reasons. A torn write
+    // leaves a partial record past the logical end; a later successful
+    // append of a *shorter* record would leave the remnant's tail as mid-log
+    // garbage, turning a recoverable torn tail into apparent interior
+    // corruption. Worse, a *complete* record whose sync failed would be
+    // replayed on reopen even though this process reported the commit failed
+    // and built every later commit on a state without it. Trim back to the
+    // pre-append size — best-effort: if the trim fails too, recovery still
+    // handles a torn tail, and a caller seeing the error should treat the
+    // log as doubtful and reopen.
+    (void)file_->Truncate(pre_size);
+    return s;
+  }
   return Status::OK();
 }
 
@@ -83,7 +99,7 @@ Result<std::vector<WalCommit>> Wal::ReadAll(const std::string& path,
   if (::stat(path.c_str(), &st) != 0) {
     return std::vector<WalCommit>{};  // no log, nothing to replay
   }
-  VWISE_ASSIGN_OR_RETURN(auto file, IoFile::OpenRead(path, device));
+  VWISE_ASSIGN_OR_RETURN(auto file, IoFile::OpenRead(path, device, "wal"));
   std::vector<uint8_t> bytes(file->size());
   if (!bytes.empty()) {
     VWISE_RETURN_IF_ERROR(file->Read(0, bytes.size(), bytes.data()));
@@ -96,13 +112,26 @@ Result<std::vector<WalCommit>> Wal::ReadAll(const std::string& path,
     std::memcpy(&len, bytes.data() + pos + 4, 4);
     std::memcpy(&crc, bytes.data() + pos + 8, 4);
     if (magic != kRecordMagic) {
-      return Status::Corruption("WAL record magic mismatch");
+      return Status::Corruption("WAL record magic mismatch at offset " +
+                                std::to_string(pos));
     }
     if (pos + 12 + len > bytes.size()) break;  // torn tail write: stop here
     const uint8_t* payload = bytes.data() + pos + 12;
-    if (Crc32(payload, len) != crc) break;  // torn/corrupt tail: stop here
+    if (Crc32(payload, len) != crc) {
+      // A record that ends exactly at EOF is the torn-tail signature (the
+      // header made it out, part of the payload did not): recover the valid
+      // prefix. A bad record with intact bytes *after* it cannot be a torn
+      // write — that is interior damage, and dropping the commits behind it
+      // would silently lose acknowledged transactions.
+      if (pos + 12 + len == bytes.size()) break;
+      return Status::Corruption(
+          "WAL record checksum mismatch at offset " + std::to_string(pos) +
+          " with " + std::to_string(bytes.size() - (pos + 12 + len)) +
+          " bytes following (interior corruption)");
+    }
     ser::Reader r(payload, len);
     WalCommit commit;
+    VWISE_RETURN_IF_ERROR(r.Get(&commit.epoch));
     VWISE_RETURN_IF_ERROR(r.Get(&commit.txn_id));
     uint32_t n_tables;
     VWISE_RETURN_IF_ERROR(r.Get(&n_tables));

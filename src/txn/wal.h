@@ -15,10 +15,19 @@ namespace vwise {
 // Write-ahead log of committed PDT deltas (paper Sec. I-B: "a Write Ahead
 // Log that logs PDTs as they are committed"). Each record is
 // length-prefixed and CRC-protected; recovery replays the longest valid
-// prefix, so torn tail writes are tolerated and interior corruption is
-// detected.
+// prefix, so torn tail writes are tolerated, while interior corruption —
+// a damaged record with intact records after it — is reported as
+// Corruption rather than silently dropping committed transactions.
+//
+// Every record carries the *checkpoint epoch* current at commit time. The
+// catalog stores the epoch too; a checkpoint publishes the new catalog
+// (epoch+1) before resetting the log, so a crash between the two leaves
+// old-epoch records in the WAL that recovery must skip (their deltas are
+// already merged into the published table files). See
+// TransactionManager::Checkpoint for the full ordering argument.
 struct WalCommit {
   uint64_t txn_id = 0;
+  uint64_t epoch = 0;
   // Per-table operation lists, in application order.
   std::map<std::string, std::vector<PdtLogOp>> ops;
 };

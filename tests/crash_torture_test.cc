@@ -1,0 +1,529 @@
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "storage/buffer_manager.h"
+#include "txn/transaction_manager.h"
+
+namespace vwise {
+namespace {
+
+// Crash-recovery torture suite. A seeded workload of PDT updates and
+// checkpoints runs against a real database directory while failpoints crash
+// the process (SimulatedCrash) at chosen points in the commit and checkpoint
+// sequences; the directory is then reopened and its recovered contents are
+// compared bit-for-bit against an in-memory shadow oracle.
+//
+// Two modes:
+//  - a deterministic sweep that crashes at *every* armed point in the
+//    commit/checkpoint protocol, one database per site;
+//  - a randomized monkey (VWISE_TORTURE_SEED / VWISE_TORTURE_ITERS) that
+//    interleaves transactions, checkpoints, reads, faults and crashes.
+// On a verification failure the database directory is copied to
+// VWISE_FAIL_ARTIFACT_DIR (if set) together with the seed for replay.
+
+using Rows = std::vector<std::pair<int64_t, int64_t>>;
+
+Config TortureConfig() {
+  Config cfg;
+  cfg.stripe_rows = 64;          // several stripes even for small tables
+  cfg.buffer_pool_bytes = 1 << 20;
+  cfg.wal_sync_on_commit = true; // commit durability is what's under test
+  return cfg;
+}
+
+struct Db {
+  std::unique_ptr<IoDevice> device;
+  std::unique_ptr<BufferManager> buffers;
+  std::unique_ptr<TransactionManager> mgr;
+};
+
+Status OpenDb(const std::string& dir, const Config& cfg, Db* db) {
+  db->mgr.reset();
+  db->buffers = std::make_unique<BufferManager>(cfg.buffer_pool_bytes);
+  if (!db->device) db->device = std::make_unique<IoDevice>(cfg);
+  auto mgr = TransactionManager::Open(dir, cfg, db->device.get(),
+                                      db->buffers.get());
+  if (!mgr.ok()) return mgr.status();
+  db->mgr = std::move(*mgr);
+  return Status::OK();
+}
+
+// Reads the full visible contents of table "t" (two int64 columns) through
+// the stable file + PDT merge path.
+Status Materialize(TransactionManager* mgr, Rows* out) {
+  auto snap = mgr->GetSnapshot("t");
+  if (!snap.ok()) return snap.status();
+  TableFile* tf = snap->stable.get();
+  Rows stable;
+  stable.reserve(tf->row_count());
+  for (size_t s = 0; s < tf->stripe_count(); s++) {
+    DecodedColumn id_col, val_col;
+    Status st = tf->ReadStripeColumn(s, 0, &id_col);
+    if (st.ok()) st = tf->ReadStripeColumn(s, 1, &val_col);
+    if (!st.ok()) return st;
+    for (uint32_t i = 0; i < tf->stripe(s).rows; i++) {
+      stable.emplace_back(id_col.Data<int64_t>()[i],
+                          val_col.Data<int64_t>()[i]);
+    }
+  }
+  out->clear();
+  Pdt empty;
+  const Pdt* pdt = snap->deltas ? snap->deltas.get() : &empty;
+  Pdt::MergeScanner scanner(*pdt, tf->row_count());
+  Pdt::MergeEvent ev;
+  while (scanner.Next(&ev, 4096)) {
+    switch (ev.kind) {
+      case Pdt::MergeEvent::kStableRun:
+        for (uint64_t i = 0; i < ev.count; i++) {
+          out->push_back(stable[ev.sid + i]);
+        }
+        break;
+      case Pdt::MergeEvent::kModifiedRow: {
+        auto row = stable[ev.sid];
+        for (const auto& [col, v] : ev.rec->mods) {
+          (col == 0 ? row.first : row.second) = v.AsInt();
+        }
+        out->push_back(row);
+        break;
+      }
+      case Pdt::MergeEvent::kDeletedRow:
+        break;
+      case Pdt::MergeEvent::kInsertedRow:
+        out->push_back({ev.rec->row[0].AsInt(), ev.rec->row[1].AsInt()});
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+std::string Describe(const Rows& rows, size_t limit = 6) {
+  std::string s = std::to_string(rows.size()) + " rows [";
+  for (size_t i = 0; i < rows.size() && i < limit; i++) {
+    s += "(" + std::to_string(rows[i].first) + "," +
+         std::to_string(rows[i].second) + ")";
+  }
+  if (rows.size() > limit) s += "...";
+  return s + "]";
+}
+
+void DumpArtifacts(const std::string& dbdir, const std::string& label,
+                   const std::string& info) {
+  const char* art = std::getenv("VWISE_FAIL_ARTIFACT_DIR");
+  if (art == nullptr || art[0] == '\0') return;
+  std::error_code ec;
+  std::string dst = std::string(art) + "/" + label;
+  std::filesystem::remove_all(dst, ec);
+  std::filesystem::create_directories(dst, ec);
+  std::filesystem::copy(dbdir, dst + "/db",
+                        std::filesystem::copy_options::recursive, ec);
+  std::ofstream(dst + "/info.txt") << info << "\n";
+}
+
+// --- Workload ---------------------------------------------------------------
+
+struct Op {
+  enum Kind { kAppend, kModify, kDelete } kind;
+  uint64_t rid = 0;
+  int64_t id = 0;
+  int64_t value = 0;
+};
+
+std::vector<Op> MakePlan(Rng* rng, size_t shadow_size, int64_t* id_counter) {
+  std::vector<Op> plan;
+  size_t size = shadow_size;
+  int n = 1 + static_cast<int>(rng->Next() % 3);
+  for (int i = 0; i < n; i++) {
+    Op op;
+    int kind = size == 0 ? 0 : static_cast<int>(rng->Next() % 3);
+    if (kind == 0) {
+      op.kind = Op::kAppend;
+      op.id = (*id_counter)++;
+      op.value = static_cast<int64_t>(rng->Next() % 1000000);
+      size++;
+    } else if (kind == 1) {
+      op.kind = Op::kModify;
+      op.rid = rng->Next() % size;
+      op.value = static_cast<int64_t>(rng->Next() % 1000000);
+    } else {
+      op.kind = Op::kDelete;
+      op.rid = rng->Next() % size;
+      size--;
+    }
+    plan.push_back(op);
+  }
+  return plan;
+}
+
+void ApplyToShadow(Rows* rows, const std::vector<Op>& plan) {
+  for (const Op& op : plan) {
+    switch (op.kind) {
+      case Op::kAppend:
+        rows->push_back({op.id, op.value});
+        break;
+      case Op::kModify:
+        (*rows)[op.rid].second = op.value;
+        break;
+      case Op::kDelete:
+        rows->erase(rows->begin() + static_cast<ptrdiff_t>(op.rid));
+        break;
+    }
+  }
+}
+
+// May throw SimulatedCrash from inside Commit when a crash failpoint is
+// armed on the commit path.
+Status ApplyToDb(TransactionManager* mgr, const std::vector<Op>& plan) {
+  auto txn = mgr->Begin();
+  for (const Op& op : plan) {
+    Status s;
+    switch (op.kind) {
+      case Op::kAppend:
+        s = txn->Append("t", {Value::Int(op.id), Value::Int(op.value)});
+        break;
+      case Op::kModify:
+        s = txn->Modify("t", op.rid, 1, Value::Int(op.value));
+        break;
+      case Op::kDelete:
+        s = txn->Delete("t", op.rid);
+        break;
+    }
+    if (!s.ok()) {
+      mgr->Abort(txn.get());
+      return s;
+    }
+  }
+  return mgr->Commit(txn.get());
+}
+
+// Creates table "t", bulk-loads `n` rows (id=i, val=i), seeds the shadow.
+Status SeedDb(TransactionManager* mgr, int n, Rows* shadow,
+              int64_t* id_counter) {
+  TableSchema t("t", {ColumnDef("id", DataType::Int64()),
+                      ColumnDef("val", DataType::Int64())});
+  Status s = mgr->CreateTable(t, ColumnGroups::Dsm(2));
+  if (!s.ok()) return s;
+  s = mgr->BulkLoad("t", [n](TableWriter* w) -> Status {
+    for (int i = 0; i < n; i++) {
+      Status st = w->AppendRow({Value::Int(i), Value::Int(i)});
+      if (!st.ok()) return st;
+    }
+    return Status::OK();
+  });
+  if (!s.ok()) return s;
+  shadow->clear();
+  for (int i = 0; i < n; i++) shadow->push_back({i, i});
+  *id_counter = n;
+  return Status::OK();
+}
+
+class CrashTortureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoint::DisarmAll();
+    dir_ = ::testing::TempDir() + "/vwise_torture_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    failpoint::DisarmAll();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string dir_;
+};
+
+// --- Deterministic crash-point sweep ----------------------------------------
+
+struct CrashSite {
+  const char* spec;    // failpoint arm spec, always a crash mode
+  bool via_commit;     // trigger with a commit (else with a checkpoint)
+};
+
+// Every armed point in the commit and checkpoint sequences. Commit crashes
+// may lose or keep the in-flight transaction (both are consistent states);
+// checkpoint crashes must be invisible — a checkpoint only reorganizes.
+const CrashSite kSweep[] = {
+    {"wal.append=crash", true},      // before the record is durable
+    {"wal.sync=crash", true},        // record written, not yet acknowledged
+    {"commit.publish=crash", true},  // durable but not yet visible
+    {"ckpt.begin=crash", false},
+    {"ckpt.table=crash", false},     // before a merged version is written
+    {"table.create=crash", false},   // creating the .tmp version file
+    {"table.append=crash", false},   // mid-write of the merged version
+    {"table.read=crash", false},     // reading the stable image to merge
+    {"table.sync=crash", false},     // syncing the merged version
+    {"ckpt.rename=crash", false},    // before temps move into place
+    {"catalog.create=crash", false}, // writing the new catalog temp
+    {"catalog.append=crash", false},
+    {"catalog.sync=crash", false},
+    {"ckpt.publish=crash", false},   // before the catalog commit point
+    {"ckpt.reset=crash", false},     // published, WAL not yet truncated
+    {"wal.truncate=crash", false},   // inside the WAL reset itself
+    {"ckpt.done=crash", false},      // fully complete
+};
+
+TEST_F(CrashTortureTest, SweepEveryCrashSiteRecoversBitIdentically) {
+  Config cfg = TortureConfig();
+  int case_idx = 0;
+  for (const CrashSite& site : kSweep) {
+    SCOPED_TRACE(site.spec);
+    std::string dbdir = dir_ + "/sweep" + std::to_string(case_idx);
+    Rng rng(1000 + static_cast<uint64_t>(case_idx));
+    case_idx++;
+
+    Rows shadow;
+    int64_t id_counter = 0;
+    Db db;
+    ASSERT_TRUE(OpenDb(dbdir, cfg, &db).ok());
+    ASSERT_TRUE(SeedDb(db.mgr.get(), 100, &shadow, &id_counter).ok());
+    // A few committed transactions, a clean checkpoint, then more commits,
+    // so the crash hits a state with merged history AND live WAL + deltas.
+    for (int i = 0; i < 3; i++) {
+      auto plan = MakePlan(&rng, shadow.size(), &id_counter);
+      ASSERT_TRUE(ApplyToDb(db.mgr.get(), plan).ok());
+      ApplyToShadow(&shadow, plan);
+    }
+    ASSERT_TRUE(db.mgr->Checkpoint().ok());
+    for (int i = 0; i < 3; i++) {
+      auto plan = MakePlan(&rng, shadow.size(), &id_counter);
+      ASSERT_TRUE(ApplyToDb(db.mgr.get(), plan).ok());
+      ApplyToShadow(&shadow, plan);
+    }
+
+    ASSERT_TRUE(failpoint::Arm(site.spec).ok());
+    std::vector<Op> crash_plan;
+    bool crashed = false;
+    try {
+      if (site.via_commit) {
+        crash_plan = MakePlan(&rng, shadow.size(), &id_counter);
+        (void)ApplyToDb(db.mgr.get(), crash_plan);
+      } else {
+        (void)db.mgr->Checkpoint();
+      }
+    } catch (const SimulatedCrash&) {
+      crashed = true;
+    }
+    EXPECT_TRUE(crashed) << "site never fired: " << site.spec;
+    failpoint::DisarmAll();
+    // Abandon the crashed instance. (Destroying it only closes file
+    // descriptors — no destructor repairs on-disk state, so the directory
+    // is exactly what the crash left behind.)
+    db.mgr.reset();
+
+    ASSERT_TRUE(OpenDb(dbdir, cfg, &db).ok()) << site.spec;
+    Rows recovered;
+    ASSERT_TRUE(Materialize(db.mgr.get(), &recovered).ok());
+
+    if (site.via_commit) {
+      // The in-flight transaction either fully survived or fully vanished.
+      Rows with = shadow;
+      ApplyToShadow(&with, crash_plan);
+      bool before = recovered == shadow;
+      bool after = recovered == with;
+      if (!before && !after) {
+        DumpArtifacts(dbdir, std::string("sweep-") + site.spec,
+                      std::string(site.spec) + "\nexpected " +
+                          Describe(shadow) + "\n or " + Describe(with) +
+                          "\n got " + Describe(recovered));
+      }
+      ASSERT_TRUE(before || after)
+          << site.spec << ": recovered " << Describe(recovered)
+          << ", expected " << Describe(shadow) << " or " << Describe(with);
+      if (after) shadow = with;
+    } else {
+      // A checkpoint is content-preserving: recovery must be exact.
+      if (recovered != shadow) {
+        DumpArtifacts(dbdir, std::string("sweep-") + site.spec,
+                      std::string(site.spec) + "\nexpected " +
+                          Describe(shadow) + "\n got " + Describe(recovered));
+      }
+      ASSERT_EQ(recovered, shadow)
+          << site.spec << ": recovered " << Describe(recovered)
+          << ", expected " << Describe(shadow);
+    }
+
+    // Liveness: the recovered database keeps accepting work.
+    auto plan = MakePlan(&rng, shadow.size(), &id_counter);
+    ASSERT_TRUE(ApplyToDb(db.mgr.get(), plan).ok()) << site.spec;
+    ApplyToShadow(&shadow, plan);
+    ASSERT_TRUE(db.mgr->Checkpoint().ok()) << site.spec;
+    ASSERT_TRUE(Materialize(db.mgr.get(), &recovered).ok());
+    ASSERT_EQ(recovered, shadow) << site.spec;
+  }
+}
+
+// --- Randomized monkey mode -------------------------------------------------
+
+// Faults the monkey may arm mid-workload. Crash faults end in recovery;
+// error faults must surface as a failed operation and nothing else.
+const char* kMonkeyFaults[] = {
+    "wal.append=err:EIO,count:1",
+    "wal.append=torn:9,count:1",
+    "wal.sync=err:EIO,count:1",
+    "wal.append=crash",
+    "commit.publish=crash",
+    "table.read=err:EIO,count:1",
+    "table.read=corrupt,count:1",
+    "bufmgr.load=err:EIO,count:1",
+    "table.append=err:EIO,count:1",
+    "table.sync=err:EIO,count:1",
+    "catalog.append=err:EIO,count:1",
+    "ckpt.table=err:INTERNAL,count:1",
+    "ckpt.rename=crash",
+    "ckpt.publish=crash",
+    "ckpt.reset=crash",
+    "wal.sync=delay:200,count:1",
+};
+
+uint64_t EnvU64(const char* name, uint64_t dflt) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return dflt;
+  return std::strtoull(v, nullptr, 10);
+}
+
+class Monkey {
+ public:
+  Monkey(std::string dbdir, uint64_t seed)
+      : dbdir_(std::move(dbdir)), seed_(seed), rng_(seed),
+        cfg_(TortureConfig()) {}
+
+  void Run() {
+    ASSERT_TRUE(OpenDb(dbdir_, cfg_, &db_).ok());
+    ASSERT_TRUE(SeedDb(db_.mgr.get(),
+                       50 + static_cast<int>(rng_.Next() % 100), &shadow_,
+                       &id_counter_).ok());
+    int steps = 30 + static_cast<int>(rng_.Next() % 20);
+    for (step_ = 0; step_ < steps; step_++) {
+      if (rng_.Next() % 100 < 30) {
+        const char* fault =
+            kMonkeyFaults[rng_.Next() %
+                          (sizeof(kMonkeyFaults) / sizeof(kMonkeyFaults[0]))];
+        ASSERT_TRUE(failpoint::Arm(fault).ok());
+        last_fault_ = fault;
+      }
+      uint64_t roll = rng_.Next() % 100;
+      try {
+        if (roll < 60) {
+          StepTxn();
+        } else if (roll < 75) {
+          (void)db_.mgr->Checkpoint();  // error allowed, corruption not
+        } else {
+          StepRead();
+        }
+      } catch (const SimulatedCrash&) {
+        Recover("crash");
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+    // Final verdict: disarm everything, reopen, compare against the oracle,
+    // then prove the database still takes commits and checkpoints.
+    Recover("final");
+    if (::testing::Test::HasFatalFailure()) return;
+    auto plan = MakePlan(&rng_, shadow_.size(), &id_counter_);
+    ASSERT_TRUE(ApplyToDb(db_.mgr.get(), plan).ok()) << "seed " << seed_;
+    ApplyToShadow(&shadow_, plan);
+    ASSERT_TRUE(db_.mgr->Checkpoint().ok()) << "seed " << seed_;
+    Rows rows;
+    ASSERT_TRUE(Materialize(db_.mgr.get(), &rows).ok()) << "seed " << seed_;
+    VerifyRows(rows, "post-recovery");
+  }
+
+ private:
+  void StepTxn() {
+    auto plan = MakePlan(&rng_, shadow_.size(), &id_counter_);
+    // Register the would-be state *before* attempting the commit: a commit
+    // that fails or crashes mid-protocol may or may not have reached the WAL
+    // durably (e.g. a crash after the record is written but before the
+    // in-memory publish), so until recovery looks at the disk, both states
+    // are acceptable.
+    pending_ = shadow_;
+    ApplyToShadow(&*pending_, plan);
+    Status s = ApplyToDb(db_.mgr.get(), plan);  // may throw SimulatedCrash
+    if (s.ok()) {
+      shadow_ = std::move(*pending_);
+      pending_.reset();
+    } else {
+      // Resolve the ambiguity now, the way an operator would: restart and
+      // look at what recovery produces.
+      Recover("failed-commit");
+    }
+  }
+
+  void StepRead() {
+    Rows rows;
+    Status s = Materialize(db_.mgr.get(), &rows);  // may throw
+    // Injected read errors surface as a failed operation; a *successful*
+    // read must be exact (checksums turn silent flips into errors).
+    if (s.ok()) VerifyRows(rows, "live read");
+  }
+
+  // Disarm, reopen, and check the recovered contents against the oracle
+  // (or the two acceptable states while a commit's fate is ambiguous).
+  void Recover(const std::string& why) {
+    failpoint::DisarmAll();
+    db_.mgr.reset();
+    ASSERT_TRUE(OpenDb(dbdir_, cfg_, &db_).ok())
+        << "seed " << seed_ << " step " << step_ << " (" << why << ")";
+    Rows rows;
+    ASSERT_TRUE(Materialize(db_.mgr.get(), &rows).ok())
+        << "seed " << seed_ << " step " << step_ << " (" << why << ")";
+    if (pending_ && rows == *pending_) {
+      shadow_ = std::move(*pending_);
+      pending_.reset();
+      return;
+    }
+    pending_.reset();
+    VerifyRows(rows, "recovery (" + why + ")");
+  }
+
+  void VerifyRows(const Rows& rows, const std::string& what) {
+    if (rows == shadow_) return;
+    std::string info = "seed " + std::to_string(seed_) + " step " +
+                       std::to_string(step_) + " " + what +
+                       (last_fault_ ? std::string("\nlast fault: ") + last_fault_
+                                    : std::string()) +
+                       "\nexpected " + Describe(shadow_) + "\n got " +
+                       Describe(rows);
+    DumpArtifacts(dbdir_, "monkey-seed-" + std::to_string(seed_), info);
+    FAIL() << info << "\nreplay: VWISE_TORTURE_SEED=" << seed_
+           << " VWISE_TORTURE_ITERS=1";
+  }
+
+  std::string dbdir_;
+  uint64_t seed_;
+  Rng rng_;
+  Config cfg_;
+  Db db_;
+  Rows shadow_;
+  std::optional<Rows> pending_;
+  int64_t id_counter_ = 0;
+  int step_ = 0;
+  const char* last_fault_ = nullptr;
+};
+
+TEST_F(CrashTortureTest, MonkeyRandomizedFaultInjection) {
+  uint64_t base_seed = EnvU64("VWISE_TORTURE_SEED", 20260806);
+  uint64_t iters = EnvU64("VWISE_TORTURE_ITERS", 25);
+  for (uint64_t i = 0; i < iters; i++) {
+    uint64_t seed = base_seed + i;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::string dbdir = dir_ + "/monkey" + std::to_string(i);
+    Monkey monkey(dbdir, seed);
+    monkey.Run();
+    if (::testing::Test::HasFatalFailure()) return;
+    failpoint::DisarmAll();
+    std::filesystem::remove_all(dbdir);
+  }
+}
+
+}  // namespace
+}  // namespace vwise

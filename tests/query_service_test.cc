@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "api/database.h"
+#include "common/failpoint.h"
 #include "exec/hash_agg.h"
 #include "exec/scan.h"
 #include "exec/sort.h"
@@ -486,6 +487,68 @@ TEST(QueryServiceProfiledTest, ProfiledConcurrentSessionsStayBitIdentical) {
   for (int i = 0; i < kClients; i++) {
     EXPECT_EQ(outs[i], expected) << "client " << i << " diverged";
     EXPECT_TRUE(profiled[i]) << "client " << i << " lost its profile";
+  }
+  db->reset();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(QueryServiceFaultTest, InjectedChunkLoadErrorFailsOnlyTheOwningQuery) {
+  // An I/O error injected into a buffer-manager chunk load must surface as
+  // that one query's non-OK Status — concurrent sessions sharing the pool
+  // (and the same cold cache) keep running, and the service keeps accepting
+  // queries afterwards.
+  failpoint::DisarmAll();
+  std::string dir = ::testing::TempDir() + "/vwise_qsvc_fault";
+  std::filesystem::remove_all(dir);
+  Config cfg;
+  cfg.num_threads = 2;
+  cfg.pool_threads = 4;
+  auto db = Database::Open(dir, cfg);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  LoadSmallTable(db->get());
+
+  // The cache is cold, so the first chunk load of the race below hits the
+  // armed site; count:1 fails exactly one load, i.e. exactly one query.
+  ASSERT_TRUE(failpoint::Arm("bufmgr.load=err:EIO,count:1").ok());
+
+  constexpr int kClients = 8;
+  std::vector<Status> statuses(kClients, Status::OK());
+  std::vector<std::string> outs(kClients);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; i++) {
+    clients.emplace_back([&, i] {
+      auto session = (*db)->Connect();
+      Result<QueryResult> r = GroupedQuery(session.get());
+      if (r.ok()) {
+        outs[i] = r->ToString(kSmallRows);
+      } else {
+        statuses[i] = r.status();
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  EXPECT_GE(failpoint::Hits("bufmgr.load"), 1u);
+  failpoint::DisarmAll();
+
+  int failures = 0;
+  for (int i = 0; i < kClients; i++) {
+    if (!statuses[i].ok()) {
+      failures++;
+      EXPECT_EQ(statuses[i].code(), StatusCode::kIOError)
+          << statuses[i].ToString();
+    }
+  }
+  EXPECT_EQ(failures, 1);
+
+  // Every surviving client produced the same answer as a clean rerun, and
+  // the service still takes new queries (including the failed one's plan).
+  Result<QueryResult> ref = GroupedQuery((*db)->Connect().get());
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  const std::string expected = ref->ToString(kSmallRows);
+  for (int i = 0; i < kClients; i++) {
+    if (statuses[i].ok()) {
+      EXPECT_EQ(outs[i], expected) << "client " << i << " diverged";
+    }
   }
   db->reset();
   std::filesystem::remove_all(dir);

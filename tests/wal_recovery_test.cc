@@ -1,5 +1,6 @@
 #include <filesystem>
 
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "gtest/gtest.h"
 #include "txn/transaction_manager.h"
@@ -14,13 +15,17 @@ namespace {
 class WalFuzzTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    failpoint::DisarmAll();
     dir_ = ::testing::TempDir() + "/vwise_walfuzz_" +
            std::to_string(reinterpret_cast<uintptr_t>(this));
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
     device_ = std::make_unique<IoDevice>(config_);
   }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
+  void TearDown() override {
+    failpoint::DisarmAll();
+    std::filesystem::remove_all(dir_);
+  }
 
   std::string WalPath() { return dir_ + "/wal.log"; }
 
@@ -98,6 +103,105 @@ TEST_F(WalFuzzTest, InteriorCorruptionStopsAtTheDamage) {
       EXPECT_TRUE(commits.status().IsCorruption());
     }
   }
+}
+
+// A torn append — power lost mid-write — leaves a partial record at the tail.
+// The writer's own repair (truncate back to the pre-append size) is defeated
+// with a second failpoint so the torn bytes stay on disk, exactly as they
+// would after a real crash. Recovery must return the longest valid prefix.
+TEST_F(WalFuzzTest, FailpointTornTailRecoversPrefix) {
+  WriteCommits(7);
+  uint64_t intact_size = std::filesystem::file_size(WalPath());
+  ASSERT_TRUE(failpoint::Arm("wal.append=torn:17;wal.truncate=err:EIO").ok());
+  {
+    auto wal = Wal::Open(WalPath(), device_.get(), false);
+    ASSERT_TRUE(wal.ok());
+    WalCommit c;
+    c.txn_id = 99;
+    PdtLogOp op;
+    op.kind = PdtOpKind::kMod;
+    op.rid = 99;
+    op.col = 0;
+    op.value = Value::Int(99);
+    c.ops["t"].push_back(op);
+    Status s = (*wal)->AppendCommit(c);
+    EXPECT_EQ(s.code(), StatusCode::kIOError);
+  }
+  failpoint::DisarmAll();
+  // Full record header (12 bytes) plus 5 payload bytes made it to disk.
+  EXPECT_EQ(std::filesystem::file_size(WalPath()), intact_size + 17);
+
+  auto commits = Wal::ReadAll(WalPath(), device_.get());
+  ASSERT_TRUE(commits.ok()) << commits.status().ToString();
+  ASSERT_EQ(commits->size(), 7u);
+  for (size_t i = 0; i < commits->size(); i++) {
+    EXPECT_EQ((*commits)[i].txn_id, i + 1);
+  }
+}
+
+// A bit flip in the *interior* of the log (a record with intact records after
+// it) cannot be a torn write: silently dropping everything behind it would
+// lose acknowledged commits, so recovery must refuse with Corruption.
+TEST_F(WalFuzzTest, FailpointInteriorCorruptionIsAnError) {
+  WriteCommits(8);
+  // Offset 40 lands inside the first record's payload: CRC breaks there
+  // while seven valid records follow.
+  ASSERT_TRUE(failpoint::Arm("wal.read=corrupt:40").ok());
+  auto commits = Wal::ReadAll(WalPath(), device_.get());
+  ASSERT_FALSE(commits.ok());
+  EXPECT_TRUE(commits.status().IsCorruption()) << commits.status().ToString();
+  EXPECT_NE(commits.status().ToString().find("interior"), std::string::npos)
+      << commits.status().ToString();
+
+  // The same file reads back clean once the fault is gone: the damage was
+  // injected on the read path, not on disk.
+  failpoint::DisarmAll();
+  auto clean = Wal::ReadAll(WalPath(), device_.get());
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->size(), 8u);
+}
+
+// The same bit flip in the *last* record is indistinguishable from a torn
+// tail write, so recovery keeps the valid prefix instead of failing.
+TEST_F(WalFuzzTest, FailpointTailCorruptionRecoversPrefix) {
+  WriteCommits(8);
+  uint64_t size = std::filesystem::file_size(WalPath());
+  ASSERT_TRUE(
+      failpoint::Arm("wal.read=corrupt:" + std::to_string(size - 3)).ok());
+  auto commits = Wal::ReadAll(WalPath(), device_.get());
+  ASSERT_TRUE(commits.ok()) << commits.status().ToString();
+  ASSERT_EQ(commits->size(), 7u);
+  for (size_t i = 0; i < commits->size(); i++) {
+    EXPECT_EQ((*commits)[i].txn_id, i + 1);
+  }
+}
+
+// The checkpoint epoch rides in every record so recovery can skip commits
+// that an earlier checkpoint already merged into the stable files.
+TEST_F(WalFuzzTest, EpochRoundTrips) {
+  {
+    auto wal = Wal::Open(WalPath(), device_.get(), false);
+    ASSERT_TRUE(wal.ok());
+    for (uint64_t e : {0ull, 3ull, 3ull, 7ull}) {
+      WalCommit c;
+      c.txn_id = e + 1;
+      c.epoch = e;
+      PdtLogOp op;
+      op.kind = PdtOpKind::kMod;
+      op.rid = 0;
+      op.col = 0;
+      op.value = Value::Int(static_cast<int64_t>(e));
+      c.ops["t"].push_back(op);
+      ASSERT_TRUE((*wal)->AppendCommit(c).ok());
+    }
+  }
+  auto commits = Wal::ReadAll(WalPath(), device_.get());
+  ASSERT_TRUE(commits.ok());
+  ASSERT_EQ(commits->size(), 4u);
+  EXPECT_EQ((*commits)[0].epoch, 0u);
+  EXPECT_EQ((*commits)[1].epoch, 3u);
+  EXPECT_EQ((*commits)[2].epoch, 3u);
+  EXPECT_EQ((*commits)[3].epoch, 7u);
 }
 
 TEST_F(WalFuzzTest, ResetEmptiesTheLog) {

@@ -34,12 +34,18 @@ Checks
    and admission runners own their threads in the QueryService; ad-hoc
    threads elsewhere bypass admission control, the memory budget, and
    cooperative cancellation. (std::this_thread — sleeps, yields — is fine.)
+5. Discarded Status/Result returns in src/storage, src/txn, src/pdt: a
+   bare `file->Sync();` statement silently swallows an I/O error on the
+   durability path. Every such call must be checked, propagated
+   (VWISE_RETURN_IF_ERROR), or explicitly waived with `(void)`. Names that
+   are also declared with a void return somewhere (e.g. Reset) are skipped
+   — by-name matching cannot tell the overloads apart.
 
 --self-test seeds deliberate violations (misnamed primitive, catalog /
 primitives.h mismatch, raw assert, a constructor that stores its child
 without InterposeChild, a helper that drops one wrapper, a std::thread
-spawned outside src/service/) into a scratch copy and verifies the lint
-catches each one.
+spawned outside src/service/, a discarded Status return on the WAL path)
+into a scratch copy and verifies the lint catches each one.
 """
 
 import argparse
@@ -428,6 +434,80 @@ class Lint:
                             "the work stays under admission control, the "
                             "memory budget, and cooperative cancellation")
 
+    # -- discarded Status/Result returns --------------------------------------
+
+    STATUS_DECL_RE = re.compile(
+        r"\b(?:Status|Result<[^;{}()]{1,80}>)\s+(?:[A-Z]\w*::)?"
+        r"([A-Za-z_]\w*)\s*\(")
+    VOID_DECL_RE = re.compile(r"\bvoid\s+(?:[A-Z]\w*::)?([A-Za-z_]\w*)\s*\(")
+    CALL_STMT_RE = re.compile(
+        r"^\s*(?:[A-Za-z_]\w*(?:\.|->|::))*([A-Za-z_]\w*)\s*\(")
+    CONTROL_KEYWORDS = {"if", "for", "while", "switch", "return", "case",
+                        "else", "do", "sizeof", "catch", "delete", "new"}
+
+    def collect_status_names(self, src_dir):
+        """Names declared anywhere in src/ with a Status or Result return."""
+        status_names, void_names = set(), set()
+        for root, _dirs, files in os.walk(src_dir):
+            for fn in files:
+                if not fn.endswith((".cc", ".h")):
+                    continue
+                text = open(os.path.join(root, fn), encoding="utf-8").read()
+                status_names.update(self.STATUS_DECL_RE.findall(text))
+                void_names.update(self.VOID_DECL_RE.findall(text))
+        # A name that is void in one class and Status in another (Reset:
+        # DataChunk vs Wal) cannot be judged by name alone — skip it.
+        return status_names - void_names
+
+    def check_discarded_status(self, src_dir):
+        """Expression-statement calls that drop a Status/Result return.
+
+        Scoped to the durability-critical trees (storage, txn, pdt) where a
+        swallowed error means silent data loss rather than a wrong answer.
+        """
+        names = self.collect_status_names(src_dir)
+        for sub in ("storage", "txn", "pdt"):
+            tdir = os.path.join(src_dir, sub)
+            for root, _dirs, files in os.walk(tdir):
+                for fn in sorted(files):
+                    if not fn.endswith((".cc", ".h")):
+                        continue
+                    path = os.path.join(root, fn)
+                    lines = open(path, encoding="utf-8").read().splitlines()
+                    prev_code = ""
+                    for lineno, line in enumerate(lines, 1):
+                        code = line.split("//", 1)[0].rstrip()
+                        prev, prev_code = prev_code, code or prev_code
+                        if not code:
+                            continue
+                        # Only statement starts: the previous code line must
+                        # have closed a statement or opened a block, so that
+                        # continuation lines of a multi-line call (which can
+                        # themselves look like `foo->Read(...)`) are skipped.
+                        if prev and not prev.endswith(("{", "}", ";", ":")):
+                            continue
+                        if "=" in code or "(void)" in code:
+                            continue
+                        m = self.CALL_STMT_RE.match(code)
+                        if not m:
+                            continue
+                        name = m.group(1)
+                        first = code.lstrip().split("(")[0].split("::")[0]
+                        first = first.split("->")[0].split(".")[0].strip()
+                        if first in self.CONTROL_KEYWORDS or \
+                                first.startswith("VWISE_"):
+                            continue
+                        if name in self.CONTROL_KEYWORDS or \
+                                name.startswith("VWISE_"):
+                            continue
+                        if name in names:
+                            self.error(
+                                path, lineno,
+                                f"call to {name}() discards its Status/"
+                                "Result — check it, propagate it with "
+                                "VWISE_RETURN_IF_ERROR, or waive it "
+                                "explicitly with (void)")
+
     def check_header_guard(self, path, rel, lines):
         expected = "VWISE_" + re.sub(r"[/.]", "_", rel).upper() + "_"
         ifndef = define = None
@@ -464,6 +544,7 @@ def run_lint(repo):
     lint.check_operator_children(src)
     lint.check_interpose_helper(src)
     lint.check_thread_confinement(src)
+    lint.check_discarded_status(src)
     return lint.errors
 
 
@@ -531,6 +612,12 @@ def self_test(repo):
             tmp, os.path.join("exec", "scan.cc"),
             "namespace vwise {", "namespace vwise {\nstatic void "
             "SelfTestSeed() { std::thread t; t.join(); }"),
+        # A dropped Status on the WAL durability path: the sync error would
+        # be swallowed and the commit acknowledged anyway.
+        "discarded Status return": lambda tmp: patch_file(
+            tmp, os.path.join("txn", "wal.cc"),
+            "  VWISE_RETURN_IF_ERROR(file_->Truncate(0));",
+            "  file_->Sync();\n  VWISE_RETURN_IF_ERROR(file_->Truncate(0));"),
     }
     for label, patch in cases.items():
         errs = seeded_errors(patch)
