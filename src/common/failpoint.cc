@@ -4,8 +4,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <thread>
+
+#include "common/thread_annotations.h"
 
 namespace vwise {
 namespace failpoint {
@@ -30,8 +31,8 @@ struct Point {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, Point> points;
+  Mutex mu;
+  std::map<std::string, Point> points VWISE_GUARDED_BY(mu);
 };
 
 Registry& registry() {
@@ -182,7 +183,7 @@ Status Arm(const std::string& spec) {
     parsed.emplace_back(std::move(site), point);
   }
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(&r.mu);
   for (auto& [site, point] : parsed) {
     auto [it, inserted] = r.points.insert_or_assign(site, point);
     (void)it;
@@ -209,7 +210,7 @@ void ArmFromEnv() {
 
 void Disarm(const std::string& site) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(&r.mu);
   if (r.points.erase(site) > 0) {
     detail::g_armed.fetch_sub(1, std::memory_order_relaxed);
   }
@@ -217,7 +218,7 @@ void Disarm(const std::string& site) {
 
 void DisarmAll() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(&r.mu);
   detail::g_armed.fetch_sub(static_cast<int>(r.points.size()),
                             std::memory_order_relaxed);
   r.points.clear();
@@ -225,14 +226,14 @@ void DisarmAll() {
 
 uint64_t Hits(const std::string& site) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(&r.mu);
   auto it = r.points.find(site);
   return it == r.points.end() ? 0 : it->second.hits;
 }
 
 std::vector<std::string> ArmedSites() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(&r.mu);
   std::vector<std::string> sites;
   for (const auto& [site, point] : r.points) {
     (void)point;
@@ -246,7 +247,7 @@ Action Evaluate(const std::string& site) {
   bool fire = false;
   {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(&r.mu);
     auto it = r.points.find(site);
     if (it == r.points.end()) return Action();
     Point& p = it->second;

@@ -10,8 +10,10 @@
 namespace vwise {
 
 // A value of type T or an error Status. Mirrors absl::StatusOr / arrow::Result.
+// [[nodiscard]] for the same reason as Status: discarding one swallows the
+// error (and throws away the value the callee computed).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from value and from Status keeps call sites terse:
   //   Result<int> F() { if (bad) return Status::IOError("..."); return 42; }

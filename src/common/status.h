@@ -28,7 +28,14 @@ enum class StatusCode : int {
 const char* StatusCodeToString(StatusCode code);
 
 // A cheap, copyable success-or-error value. OK status carries no allocation.
-class Status {
+//
+// [[nodiscard]]: a discarded Status is a swallowed error (on the durability
+// path, silent data loss), so every function returning one must have its
+// result checked, propagated (VWISE_RETURN_IF_ERROR), or explicitly waived
+// with `(void)` plus a rationale. The attribute makes the compiler enforce
+// what tools/vwise_lint.py's textual pass can only approximate — including
+// through templates, lambdas, and overloads.
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
   Status(StatusCode code, std::string message)

@@ -16,10 +16,11 @@ XchgOperator::XchgOperator(FragmentFactory factory, int num_workers,
 XchgOperator::~XchgOperator() { Close(); }
 
 Status XchgOperator::OpenImpl() {
-  pool_ = config_.worker_pool != nullptr ? config_.worker_pool
-                                         : WorkerPool::Global();
+  WorkerPool* pool = config_.worker_pool != nullptr ? config_.worker_pool
+                                                    : WorkerPool::Global();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
+    pool_ = pool;  // published under mu_: Close() reads it under the lock
     cancelled_ = false;
     first_error_ = Status::OK();
     producers_running_ = num_workers_;
@@ -27,38 +28,38 @@ Status XchgOperator::OpenImpl() {
   // One pool task per fragment, tagged with this operator so Close() can
   // help-run not-yet-scheduled fragments inline.
   for (int w = 0; w < num_workers_; w++) {
-    pool_->Submit(this, [this, w] { ProducerLoop(w); });
+    pool->Submit(this, [this, w] { ProducerLoop(w); });
   }
   return Status::OK();
 }
 
 void XchgOperator::PushChunk(DataChunk chunk) {
   size_t bytes = EstimateChunkBytes(chunk);
-  std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock, [this] {
-    return queue_.size() < config_.xchg_queue_capacity || cancelled_;
-  });
+  MutexLock lock(&mu_);
+  while (queue_.size() >= config_.xchg_queue_capacity && !cancelled_) {
+    not_full_.Wait(&mu_);
+  }
   if (cancelled_) return;
   Status reserve = ctx()->Reserve(bytes, "exchange queue");
   if (!reserve.ok()) {
     // Budget overshoot fails the query: record it and cancel the siblings.
     if (first_error_.ok()) first_error_ = reserve;
     cancelled_ = true;
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.SignalAll();
+    not_empty_.SignalAll();
     return;
   }
   queue_.push_back(QueuedChunk{std::move(chunk), bytes});
-  not_empty_.notify_one();
+  not_empty_.Signal();
 }
 
 void XchgOperator::ProducerLoop(int worker) {
-  auto finish = [this](const Status& status) {
-    std::lock_guard<std::mutex> lock(mu_);
+  auto finish = [this](const Status& status) VWISE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (!status.ok() && first_error_.ok()) first_error_ = status;
     producers_running_--;
-    not_empty_.notify_all();
-    if (producers_running_ == 0) producers_done_.notify_all();
+    not_empty_.SignalAll();
+    if (producers_running_ == 0) producers_done_.SignalAll();
   };
 
   // Cancelled before the pool scheduled us (or Close() is help-running the
@@ -99,28 +100,33 @@ void XchgOperator::ProducerLoop(int worker) {
 
 Status XchgOperator::Next(DataChunk* out) {
   VWISE_RETURN_IF_ERROR(ctx()->Check());
-  std::unique_lock<std::mutex> lock(mu_);
-  not_empty_.wait(lock, [this] {
-    return !queue_.empty() || producers_running_ == 0 || cancelled_;
-  });
-  if (!queue_.empty()) {
-    QueuedChunk qc = std::move(queue_.front());
-    queue_.pop_front();
-    not_full_.notify_one();
-    lock.unlock();
-    ctx()->Release(qc.bytes);
-    // Move the producer's columns into the caller's chunk by reference.
-    size_t n = qc.chunk.ActiveCount();
-    for (size_t c = 0; c < qc.chunk.num_columns(); c++) {
-      out->column(c).Reference(qc.chunk.column(c));
+  QueuedChunk qc;
+  {
+    MutexLock lock(&mu_);
+    while (queue_.empty() && producers_running_ > 0 && !cancelled_) {
+      not_empty_.Wait(&mu_);
     }
-    out->SetCount(n);
-    return Status::OK();
+    if (queue_.empty()) {
+      // All producers done (or the operator was cancelled under us); report
+      // the first producer error, still under mu_.
+      VWISE_RETURN_IF_ERROR(first_error_);
+      out->SetCount(0);
+      return Status::OK();
+    }
+    qc = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.Signal();
   }
-  // All producers done (or the operator was cancelled under us); report the
-  // first producer error, still under mu_.
-  VWISE_RETURN_IF_ERROR(first_error_);
-  out->SetCount(0);
+  // Budget release and the column handoff run outside the lock: neither
+  // touches shared state, and a stalled consumer must not serialize the
+  // producers behind it.
+  ctx()->Release(qc.bytes);
+  // Move the producer's columns into the caller's chunk by reference.
+  size_t n = qc.chunk.ActiveCount();
+  for (size_t c = 0; c < qc.chunk.num_columns(); c++) {
+    out->column(c).Reference(qc.chunk.column(c));
+  }
+  out->SetCount(n);
   return Status::OK();
 }
 
@@ -132,17 +138,21 @@ void XchgOperator::Close() {
   // is what makes Close() deadlock-free even with a saturated pool and a
   // full 1-slot queue), then wait for running fragments to retire (they
   // observe cancelled_ within one vector).
+  WorkerPool* pool;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (pool_ == nullptr) return;  // never opened
+    pool = pool_;
     cancelled_ = true;
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.SignalAll();
+    not_empty_.SignalAll();
   }
-  while (pool_->TryRunTagged(this)) {
+  // Help-run outside mu_: the drained fragments call back into finish(),
+  // which takes mu_ — holding it here would self-deadlock.
+  while (pool->TryRunTagged(this)) {
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  producers_done_.wait(lock, [this] { return producers_running_ == 0; });
+  MutexLock lock(&mu_);
+  while (producers_running_ > 0) producers_done_.Wait(&mu_);
   for (QueuedChunk& qc : queue_) ctx()->Release(qc.bytes);
   queue_.clear();
 }

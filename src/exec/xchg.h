@@ -2,13 +2,12 @@
 #define VWISE_EXEC_XCHG_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "exec/operator.h"
 
 namespace vwise {
@@ -39,8 +38,8 @@ class XchgOperator final : public Operator {
   ~XchgOperator() override;
 
   const std::vector<TypeId>& OutputTypes() const override { return types_; }
-  Status Next(DataChunk* out) override;
-  void Close() override;
+  Status Next(DataChunk* out) override VWISE_EXCLUDES(mu_);
+  void Close() override VWISE_EXCLUDES(mu_);
 
   // Static-analysis surface (plan verifier): the verifier instantiates
   // fragments through the factory (construction only, no Open) to check
@@ -49,9 +48,9 @@ class XchgOperator final : public Operator {
   int num_workers() const { return num_workers_; }
 
  private:
-  Status OpenImpl() override;
-  void ProducerLoop(int worker);
-  void PushChunk(DataChunk chunk);
+  Status OpenImpl() override VWISE_EXCLUDES(mu_);
+  void ProducerLoop(int worker) VWISE_EXCLUDES(mu_);
+  void PushChunk(DataChunk chunk) VWISE_EXCLUDES(mu_);
 
   FragmentFactory factory_;
   int num_workers_;
@@ -59,21 +58,22 @@ class XchgOperator final : public Operator {
   Config config_;
 
   // mu_ guards every piece of shared producer/consumer state
-  // (first_error_, producers_running_, queue_); cancelled_ is additionally
-  // atomic because producer loops poll it outside the lock.
-  std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::condition_variable producers_done_;
+  // (first_error_, producers_running_, queue_, pool_); cancelled_ is
+  // additionally atomic because producer loops poll it outside the lock.
+  Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  CondVar producers_done_;
   struct QueuedChunk {
     DataChunk chunk;
     size_t bytes = 0;  // reserved against the query budget while queued
   };
-  std::deque<QueuedChunk> queue_;
-  int producers_running_ = 0;
+  std::deque<QueuedChunk> queue_ VWISE_GUARDED_BY(mu_);
+  int producers_running_ VWISE_GUARDED_BY(mu_) = 0;
   std::atomic<bool> cancelled_{false};
-  Status first_error_;
-  WorkerPool* pool_ = nullptr;  // bound at Open; needed by Close to help-run
+  Status first_error_ VWISE_GUARDED_BY(mu_);
+  // Bound at Open; needed by Close to help-run. nullptr = never opened.
+  WorkerPool* pool_ VWISE_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace vwise

@@ -9,13 +9,13 @@ std::unique_ptr<ScanScheduler::Handle> ScanScheduler::Register(
   auto handle = std::make_unique<Handle>();
   handle->file = file;
   handle->remaining = std::move(stripes);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   active_.push_back(handle.get());
   return handle;
 }
 
 void ScanScheduler::Finish(Handle* handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   active_.erase(std::remove(active_.begin(), active_.end(), handle),
                 active_.end());
 }
@@ -47,7 +47,7 @@ size_t ScanScheduler::SharedDemand(const Handle* self, const TableFile* file,
 }
 
 std::optional<size_t> ScanScheduler::Next(Handle* handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (handle->remaining.empty()) return std::nullopt;
 
   size_t chosen_idx = 0;

@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "storage/buffer_manager.h"
 #include "storage/table_file.h"
 
@@ -30,7 +30,10 @@ class ScanScheduler {
   ScanScheduler(ScanPolicy policy, BufferManager* buffers)
       : policy_(policy), buffers_(buffers) {}
 
-  // Opaque per-scan registration.
+  // Opaque per-scan registration. A Handle's fields are written before the
+  // handle is published into active_ (under mu_) and mutated only by
+  // Next()/Finish() with mu_ held — the scheduler lock is the capability
+  // that guards every registered handle.
   class Handle {
    private:
     friend class ScanScheduler;
@@ -42,24 +45,29 @@ class ScanScheduler {
   // Registers a scan over `stripes` of `file`. `group` is the column group
   // whose blob residency is checked (scans key their I/O on it).
   std::unique_ptr<Handle> Register(const TableFile* file,
-                                   std::vector<size_t> stripes);
+                                   std::vector<size_t> stripes)
+      VWISE_EXCLUDES(mu_);
 
   // Picks the stripe this scan should process next (and removes it from the
   // scan's remaining set). nullopt when the scan is done.
-  std::optional<size_t> Next(Handle* handle);
+  std::optional<size_t> Next(Handle* handle) VWISE_EXCLUDES(mu_);
 
-  void Finish(Handle* handle);
+  void Finish(Handle* handle) VWISE_EXCLUDES(mu_);
 
  private:
-  bool StripeResident(const TableFile* file, size_t stripe) const;
+  // Both helpers walk active_ (and peek into the buffer manager, which takes
+  // its own lock — ordering is always scheduler -> buffer manager, never the
+  // reverse, so the hierarchy is acyclic).
+  bool StripeResident(const TableFile* file, size_t stripe) const
+      VWISE_REQUIRES(mu_);
   // Number of *other* active scans of `file` still needing `stripe`.
   size_t SharedDemand(const Handle* self, const TableFile* file,
-                      size_t stripe) const;
+                      size_t stripe) const VWISE_REQUIRES(mu_);
 
   ScanPolicy policy_;
   BufferManager* buffers_;
-  mutable std::mutex mu_;
-  std::vector<Handle*> active_;
+  mutable Mutex mu_;
+  std::vector<Handle*> active_ VWISE_GUARDED_BY(mu_);
 };
 
 }  // namespace vwise

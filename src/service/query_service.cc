@@ -16,28 +16,28 @@ int64_t NowNs() {
 }  // namespace
 
 Result<QueryResult> QueryService::Job::Take() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return done_; });
+  MutexLock lock(&mu_);
+  while (!done_) cv_.Wait(&mu_);
   Result<QueryResult> result = std::move(*result_);
   result_.reset();
   return result;
 }
 
 bool QueryService::Job::done() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return done_;
 }
 
 int64_t QueryService::Job::admission_wait_ns() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return admit_ns_ == 0 ? 0 : admit_ns_ - submit_ns_;
 }
 
 void QueryService::Job::Finish(Result<QueryResult> result) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   result_ = std::move(result);
   done_ = true;
-  cv_.notify_all();
+  cv_.SignalAll();
 }
 
 QueryService::QueryService(const Config& config) : pool_(config.pool_threads) {
@@ -51,14 +51,14 @@ QueryService::QueryService(const Config& config) : pool_(config.pool_threads) {
 QueryService::~QueryService() {
   std::deque<std::shared_ptr<Job>> orphaned;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
     orphaned.swap(queue_);
     // Running queries unwind cooperatively; their runners then observe
     // stop_ and exit.
     for (Job* job : running_) job->ctx_.Cancel();
   }
-  cv_.notify_all();
+  cv_.SignalAll();
   for (auto& job : orphaned) {
     job->ctx_.Cancel();
     job->Finish(Status::Cancelled("query service shutting down"));
@@ -75,7 +75,7 @@ std::shared_ptr<QueryService::Job> QueryService::Submit(
   job->submit_ns_ = NowNs();
   if (configure) configure(&job->ctx_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stop_) {
       job->Finish(Status::Cancelled("query service shutting down"));
       return job;
@@ -84,7 +84,7 @@ std::shared_ptr<QueryService::Job> QueryService::Submit(
     queue_.push_back(job);
     stats_.submitted++;
   }
-  cv_.notify_one();
+  cv_.Signal();
   return job;
 }
 
@@ -92,7 +92,7 @@ void QueryService::Cancel(const std::shared_ptr<Job>& job) {
   job->ctx_.Cancel();
   bool dequeued = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = std::find(queue_.begin(), queue_.end(), job);
     if (it != queue_.end()) {
       queue_.erase(it);
@@ -123,14 +123,14 @@ void QueryService::RunnerLoop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(&mu_);
       if (queue_.empty()) return;  // stop_ with nothing left to admit
       job = PopBestLocked();
       running_.push_back(job.get());
     }
     {
-      std::lock_guard<std::mutex> lock(job->mu_);
+      MutexLock lock(&job->mu_);
       job->admit_ns_ = NowNs();
     }
     // A job cancelled (or expired) while waiting fails without running.
@@ -138,7 +138,7 @@ void QueryService::RunnerLoop() {
     Result<QueryResult> result =
         pre.ok() ? job->run_(&job->ctx_) : Result<QueryResult>(pre);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       running_.erase(std::find(running_.begin(), running_.end(), job.get()));
       stats_.completed++;
     }
@@ -147,7 +147,7 @@ void QueryService::RunnerLoop() {
 }
 
 QueryService::Stats QueryService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 

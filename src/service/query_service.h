@@ -1,17 +1,16 @@
 #ifndef VWISE_SERVICE_QUERY_SERVICE_H_
 #define VWISE_SERVICE_QUERY_SERVICE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
 #include "common/config.h"
+#include "common/thread_annotations.h"
 #include "exec/operator.h"
 #include "service/query_context.h"
 #include "service/worker_pool.h"
@@ -51,29 +50,32 @@ class QueryService {
 
     // Blocks until the query finishes, then moves the result out. Called
     // once, by QueryHandle::Wait (which caches it).
-    Result<QueryResult> Take();
+    Result<QueryResult> Take() VWISE_EXCLUDES(mu_);
 
-    bool done() const;
+    bool done() const VWISE_EXCLUDES(mu_);
     // Queue time (admit - submit), for the concurrency bench and tests.
     // Meaningful once the job has been admitted or finished.
-    int64_t admission_wait_ns() const;
+    int64_t admission_wait_ns() const VWISE_EXCLUDES(mu_);
 
    private:
     friend class QueryService;
 
     QueryContext ctx_;
+    // run_/priority_/seq_/submit_ns_ are written before the job is published
+    // into the service queue (seq_ under the service's mu_) and never again;
+    // the queue mutex orders those writes before any runner's reads.
     RunFn run_;
     int priority_ = 0;
     uint64_t seq_ = 0;  // FIFO order within a priority class
     int64_t submit_ns_ = 0;
-    int64_t admit_ns_ = 0;
 
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
-    bool done_ = false;
-    std::optional<Result<QueryResult>> result_;
+    mutable Mutex mu_;
+    CondVar cv_;
+    int64_t admit_ns_ VWISE_GUARDED_BY(mu_) = 0;
+    bool done_ VWISE_GUARDED_BY(mu_) = false;
+    std::optional<Result<QueryResult>> result_ VWISE_GUARDED_BY(mu_);
 
-    void Finish(Result<QueryResult> result);
+    void Finish(Result<QueryResult> result) VWISE_EXCLUDES(mu_);
   };
 
   struct Stats {
@@ -95,31 +97,34 @@ class QueryService {
   // the only race-free point to set a deadline or memory budget.
   std::shared_ptr<Job> Submit(
       Job::RunFn run, int priority,
-      const std::function<void(QueryContext*)>& configure = nullptr);
+      const std::function<void(QueryContext*)>& configure = nullptr)
+      VWISE_EXCLUDES(mu_);
 
   // Cancels the job's context and, if it is still waiting for admission,
   // finishes it with Status::Cancelled right away (a busy service must not
   // delay cancellation of queries it has not even started).
-  void Cancel(const std::shared_ptr<Job>& job);
+  void Cancel(const std::shared_ptr<Job>& job) VWISE_EXCLUDES(mu_);
 
   WorkerPool* pool() { return &pool_; }
   int max_concurrent() const { return static_cast<int>(runners_.size()); }
-  Stats stats() const;
+  Stats stats() const VWISE_EXCLUDES(mu_);
 
  private:
-  void RunnerLoop();
-  std::shared_ptr<Job> PopBestLocked();  // requires mu_ held, queue non-empty
+  void RunnerLoop() VWISE_EXCLUDES(mu_);
+  // Requires the queue to be non-empty.
+  std::shared_ptr<Job> PopBestLocked() VWISE_REQUIRES(mu_);
 
   WorkerPool pool_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<Job>> queue_;
-  std::vector<Job*> running_;  // for shutdown cancellation
-  bool stop_ = false;
-  uint64_t next_seq_ = 0;
-  Stats stats_;
-  std::vector<std::thread> runners_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::shared_ptr<Job>> queue_ VWISE_GUARDED_BY(mu_);
+  // For shutdown cancellation.
+  std::vector<Job*> running_ VWISE_GUARDED_BY(mu_);
+  bool stop_ VWISE_GUARDED_BY(mu_) = false;
+  uint64_t next_seq_ VWISE_GUARDED_BY(mu_) = 0;
+  Stats stats_ VWISE_GUARDED_BY(mu_);
+  std::vector<std::thread> runners_;  // created in the ctor, joined in dtor
 };
 
 }  // namespace vwise

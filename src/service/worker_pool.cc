@@ -26,23 +26,23 @@ WorkerPool::WorkerPool(int threads) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.SignalAll();
   for (auto& t : threads_) t.join();
 }
 
 void WorkerPool::Submit(const void* tag, Task fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // Round-robin across deques; workers rebalance by stealing.
     size_t d = next_deque_.fetch_add(1, std::memory_order_relaxed) %
                deques_.size();
     deques_[d].push_back(Item{tag, std::move(fn)});
     stats_.submitted++;
   }
-  cv_.notify_one();
+  cv_.Signal();
 }
 
 bool WorkerPool::AnyQueued() const {
@@ -76,8 +76,8 @@ void WorkerPool::WorkerLoop(size_t self) {
   for (;;) {
     Item item;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || AnyQueued(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && !AnyQueued()) cv_.Wait(&mu_);
       if (!PopOrSteal(self, &item)) {
         // stop_ with every deque empty: shutdown complete for this worker.
         return;
@@ -91,7 +91,7 @@ void WorkerPool::WorkerLoop(size_t self) {
 bool WorkerPool::TryRunTagged(const void* tag) {
   Item item;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     bool found = false;
     for (auto& d : deques_) {
       for (auto it = d.begin(); it != d.end(); ++it) {
@@ -112,7 +112,7 @@ bool WorkerPool::TryRunTagged(const void* tag) {
 }
 
 WorkerPool::Stats WorkerPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 

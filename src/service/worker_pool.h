@@ -2,13 +2,13 @@
 #define VWISE_SERVICE_WORKER_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace vwise {
 
@@ -50,14 +50,14 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   // Enqueues `fn` under `tag` (the owning operator/query, for TryRunTagged).
-  void Submit(const void* tag, Task fn);
+  void Submit(const void* tag, Task fn) VWISE_EXCLUDES(mu_);
 
   // Runs one queued task with matching tag on the calling thread. Returns
   // false when none is queued (matching tasks may still be running).
-  bool TryRunTagged(const void* tag);
+  bool TryRunTagged(const void* tag) VWISE_EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
-  Stats stats() const;
+  Stats stats() const VWISE_EXCLUDES(mu_);
 
   // The process-wide fallback pool (plans executed without a Database /
   // QueryService, e.g. unit tests driving operators directly). Created on
@@ -70,17 +70,17 @@ class WorkerPool {
     Task fn;
   };
 
-  void WorkerLoop(size_t self);
-  bool PopOrSteal(size_t self, Item* out);  // requires mu_ held
-  bool AnyQueued() const;                   // requires mu_ held
+  void WorkerLoop(size_t self) VWISE_EXCLUDES(mu_);
+  bool PopOrSteal(size_t self, Item* out) VWISE_REQUIRES(mu_);
+  bool AnyQueued() const VWISE_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<std::deque<Item>> deques_;
-  bool stop_ = false;
-  Stats stats_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::vector<std::deque<Item>> deques_ VWISE_GUARDED_BY(mu_);
+  bool stop_ VWISE_GUARDED_BY(mu_) = false;
+  Stats stats_ VWISE_GUARDED_BY(mu_);
   std::atomic<uint64_t> next_deque_{0};
-  std::vector<std::thread> threads_;
+  std::vector<std::thread> threads_;  // created in the ctor, joined in dtor
 };
 
 }  // namespace vwise

@@ -18,7 +18,7 @@ Result<std::shared_ptr<Buffer>> BufferManager::Fetch(
     const uint32_t* expected_crc) {
   Key key{file->id(), offset};
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       stats_.hits++;
@@ -43,7 +43,7 @@ Result<std::shared_ptr<Buffer>> BufferManager::Fetch(
   for (int attempt = 1; attempt <= kMaxReadAttempts; attempt++) {
     if (attempt > 1) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         stats_.read_retries++;
       }
       std::this_thread::sleep_for(
@@ -62,7 +62,7 @@ Result<std::shared_ptr<Buffer>> BufferManager::Fetch(
   }
   VWISE_RETURN_IF_ERROR(read_status);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = entries_.find(key);
     if (it == entries_.end()) {
       lru_.push_front(key);
@@ -75,7 +75,7 @@ Result<std::shared_ptr<Buffer>> BufferManager::Fetch(
 }
 
 bool BufferManager::Cached(uint64_t file_id, uint64_t offset) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_.count(Key{file_id, offset}) > 0;
 }
 
@@ -101,7 +101,7 @@ void BufferManager::EvictLocked() {
 }
 
 void BufferManager::EvictAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     auto eit = entries_.find(*it);
     if (eit->second.buffer.use_count() > 1) {

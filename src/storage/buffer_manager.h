@@ -3,11 +3,11 @@
 
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/buffer.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "storage/io_file.h"
 
 namespace vwise {
@@ -46,26 +46,27 @@ class BufferManager {
   // matter how forgiving the retry policy is.
   Result<std::shared_ptr<Buffer>> Fetch(IoFile* file, uint64_t offset,
                                         uint64_t size,
-                                        const uint32_t* expected_crc = nullptr);
+                                        const uint32_t* expected_crc = nullptr)
+      VWISE_EXCLUDES(mu_);
 
   // True if the blob is resident (used by scan scheduling policies).
-  bool Cached(uint64_t file_id, uint64_t offset) const;
+  bool Cached(uint64_t file_id, uint64_t offset) const VWISE_EXCLUDES(mu_);
 
-  Stats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  Stats stats() const VWISE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return stats_;
   }
-  size_t bytes_cached() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes_cached() const VWISE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return bytes_cached_;
   }
-  void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void ResetStats() VWISE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     stats_ = Stats();
   }
 
   // Drops every unpinned entry (tests, table drops).
-  void EvictAll();
+  void EvictAll() VWISE_EXCLUDES(mu_);
 
  private:
   struct Key {
@@ -85,15 +86,15 @@ class BufferManager {
     std::list<Key>::iterator lru_it;
   };
 
-  // Evicts unpinned LRU entries until under budget. Caller holds mu_.
-  void EvictLocked();
+  // Evicts unpinned LRU entries until under budget.
+  void EvictLocked() VWISE_REQUIRES(mu_);
 
   size_t capacity_bytes_;
-  mutable std::mutex mu_;
-  std::unordered_map<Key, Entry, KeyHash> entries_;
-  std::list<Key> lru_;  // front = most recent
-  size_t bytes_cached_ = 0;
-  Stats stats_;
+  mutable Mutex mu_;
+  std::unordered_map<Key, Entry, KeyHash> entries_ VWISE_GUARDED_BY(mu_);
+  std::list<Key> lru_ VWISE_GUARDED_BY(mu_);  // front = most recent
+  size_t bytes_cached_ VWISE_GUARDED_BY(mu_) = 0;
+  Stats stats_ VWISE_GUARDED_BY(mu_);
 };
 
 }  // namespace vwise

@@ -21,7 +21,7 @@ void IoDevice::ChargeRead(uint64_t bytes) {
   if (bandwidth_ == 0 && seek_us_ == 0) return;
   // Hold the device mutex while "transferring": concurrent readers queue,
   // which is exactly the contention Cooperative Scans exploit.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t us = seek_us_;
   if (bandwidth_ > 0) us += bytes * 1000000 / bandwidth_;
   if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));

@@ -4,13 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/config.h"
 #include "common/failpoint.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace vwise {
 
@@ -42,7 +42,7 @@ class IoDevice {
         seek_us_(config.sim_io_seek_us) {}
 
   // Accounts (and possibly sleeps for) a read of `bytes`.
-  void ChargeRead(uint64_t bytes);
+  void ChargeRead(uint64_t bytes) VWISE_EXCLUDES(mu_);
   void ChargeWrite(uint64_t bytes);
 
   IoStats& stats() { return stats_; }
@@ -50,7 +50,12 @@ class IoDevice {
  private:
   uint64_t bandwidth_;
   uint64_t seek_us_;
-  std::mutex mu_;  // a disk serves one request at a time
+  // A disk serves one request at a time: the bandwidth/seek model holds mu_
+  // for the simulated transfer so concurrent readers queue. stats_ members
+  // are atomics and are deliberately NOT guarded — counting must not
+  // serialize the unsimulated (bandwidth_ == 0) fast path.
+  Mutex mu_;
+  // vwise-lint: allow(unguarded-member): IoStats fields are atomics
   IoStats stats_;
 };
 

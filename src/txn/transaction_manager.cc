@@ -174,18 +174,18 @@ Result<std::unique_ptr<TransactionManager>> TransactionManager::Open(
   }
   auto mgr = std::unique_ptr<TransactionManager>(
       new TransactionManager(dir, config, device, buffers));
-  VWISE_RETURN_IF_ERROR(mgr->LoadCatalog());
   {
-    std::lock_guard<std::mutex> lock(mgr->mu_);
+    MutexLock lock(&mgr->mu_);
+    VWISE_RETURN_IF_ERROR(mgr->LoadCatalogLocked());
     VWISE_RETURN_IF_ERROR(mgr->CleanStaleFilesLocked());
     for (auto& [name, st] : mgr->tables_) {
       (void)name;
       VWISE_RETURN_IF_ERROR(mgr->OpenTableFileLocked(&st));
     }
     VWISE_RETURN_IF_ERROR(mgr->RecoverLocked());
+    VWISE_ASSIGN_OR_RETURN(mgr->wal_, Wal::Open(mgr->WalPath(), device,
+                                                config.wal_sync_on_commit));
   }
-  VWISE_ASSIGN_OR_RETURN(
-      mgr->wal_, Wal::Open(mgr->WalPath(), device, config.wal_sync_on_commit));
   return mgr;
 }
 
@@ -230,7 +230,7 @@ Status TransactionManager::SaveCatalogLocked() {
   return SyncDir(dir_);
 }
 
-Status TransactionManager::LoadCatalog() {
+Status TransactionManager::LoadCatalogLocked() {
   struct stat st;
   if (::stat(CatalogPath().c_str(), &st) != 0) return Status::OK();  // fresh db
   VWISE_ASSIGN_OR_RETURN(auto file,
@@ -347,7 +347,7 @@ Status TransactionManager::CleanStaleFilesLocked() {
 
 Status TransactionManager::CreateTable(const TableSchema& schema,
                                        const ColumnGroups& groups) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (tables_.count(schema.name()) > 0) {
     return Status::AlreadyExists("table " + schema.name());
   }
@@ -387,7 +387,7 @@ Status TransactionManager::CreateTable(const TableSchema& schema,
 
 Status TransactionManager::BulkLoad(
     const std::string& table, const std::function<Status(TableWriter*)>& fill) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("table " + table);
   TableState& st = it->second;
@@ -430,18 +430,18 @@ Status TransactionManager::BulkLoad(
 }
 
 bool TransactionManager::HasTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return tables_.count(name) > 0;
 }
 
 const TableSchema* TransactionManager::GetSchema(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : &it->second.schema;
 }
 
 std::vector<std::string> TransactionManager::TableNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   for (const auto& [name, st] : tables_) {
     (void)st;
@@ -452,7 +452,7 @@ std::vector<std::string> TransactionManager::TableNames() const {
 
 Result<TableSnapshot> TransactionManager::GetSnapshot(
     const std::string& table) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("table " + table);
   const TableState& st = it->second;
@@ -469,20 +469,20 @@ Result<TableSnapshot> TransactionManager::GetSnapshot(
 // ---------------------------------------------------------------------------
 
 std::unique_ptr<Transaction> TransactionManager::Begin() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return std::unique_ptr<Transaction>(new Transaction(this, next_txn_id_++));
 }
 
 void TransactionManager::Abort(Transaction* txn) {
   txn->finished_ = true;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   n_aborts_++;
 }
 
 Status TransactionManager::Commit(Transaction* txn) {
   VWISE_CHECK_MSG(!txn->finished_, "transaction already finished");
   txn->finished_ = true;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
 
   // Read-only transactions commit trivially.
   bool has_writes = false;
@@ -635,7 +635,7 @@ Status TransactionManager::WriteMergedTableLocked(TableState* st,
 }
 
 Status TransactionManager::Checkpoint() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   VWISE_FAILPOINT("ckpt.begin");
 
   struct Pending {

@@ -4,9 +4,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 #include "catalog/schema.h"
 #include "common/config.h"
@@ -88,25 +89,29 @@ class TransactionManager {
   ~TransactionManager();
 
   // Creates an empty table (durably recorded in the catalog).
-  Status CreateTable(const TableSchema& schema, const ColumnGroups& groups);
+  Status CreateTable(const TableSchema& schema, const ColumnGroups& groups)
+      VWISE_EXCLUDES(mu_);
 
   // Bulk-loads the initial version of `table` by streaming rows into the
   // provided writer callback. Only valid while the table is empty.
   Status BulkLoad(const std::string& table,
-                  const std::function<Status(TableWriter*)>& fill);
+                  const std::function<Status(TableWriter*)>& fill)
+      VWISE_EXCLUDES(mu_);
 
-  bool HasTable(const std::string& name) const;
-  const TableSchema* GetSchema(const std::string& name) const;
-  std::vector<std::string> TableNames() const;
+  bool HasTable(const std::string& name) const VWISE_EXCLUDES(mu_);
+  const TableSchema* GetSchema(const std::string& name) const
+      VWISE_EXCLUDES(mu_);
+  std::vector<std::string> TableNames() const VWISE_EXCLUDES(mu_);
 
   // Latest committed snapshot (auto-commit reads).
-  Result<TableSnapshot> GetSnapshot(const std::string& table) const;
+  Result<TableSnapshot> GetSnapshot(const std::string& table) const
+      VWISE_EXCLUDES(mu_);
 
-  std::unique_ptr<Transaction> Begin();
+  std::unique_ptr<Transaction> Begin() VWISE_EXCLUDES(mu_);
   // Validates and applies the transaction. On kTransactionConflict the
   // transaction is rolled back and may be retried by the caller.
-  Status Commit(Transaction* txn);
-  void Abort(Transaction* txn);
+  Status Commit(Transaction* txn) VWISE_EXCLUDES(mu_);
+  void Abort(Transaction* txn) VWISE_EXCLUDES(mu_);
 
   // Merges every table's committed deltas into new version files, then
   // truncates the WAL.
@@ -124,15 +129,23 @@ class TransactionManager {
   // files are swept as stale on reopen); a crash after 3 recovers from the
   // new catalog, skipping the WAL's old-epoch records, whose deltas the new
   // files already contain.
-  Status Checkpoint();
+  Status Checkpoint() VWISE_EXCLUDES(mu_);
 
   const Config& config() const { return config_; }
   IoDevice* device() { return device_; }
   BufferManager* buffers() { return buffers_; }
 
-  // Counters for benches/tests.
-  uint64_t commits() const { return n_commits_; }
-  uint64_t aborts() const { return n_aborts_; }
+  // Counters for benches/tests. Locked: concurrent sessions commit while
+  // benches read these (the unlocked originals were a data race the
+  // thread-safety annotation sweep flushed out).
+  uint64_t commits() const VWISE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return n_commits_;
+  }
+  uint64_t aborts() const VWISE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return n_aborts_;
+  }
 
  private:
   friend class Transaction;
@@ -162,32 +175,33 @@ class TransactionManager {
   std::string CatalogPath() const;
   std::string WalPath() const;
 
-  Status SaveCatalogLocked();
-  Status LoadCatalog();
-  Status RecoverLocked();
-  Status OpenTableFileLocked(TableState* st);
+  Status SaveCatalogLocked() VWISE_REQUIRES(mu_);
+  Status LoadCatalogLocked() VWISE_REQUIRES(mu_);
+  Status RecoverLocked() VWISE_REQUIRES(mu_);
+  Status OpenTableFileLocked(TableState* st) VWISE_REQUIRES(mu_);
   // Streams the merge of stable + committed deltas into a new version file
   // at `path` (synced on Finish); publication is the caller's job.
-  Status WriteMergedTableLocked(TableState* st, const std::string& path);
+  Status WriteMergedTableLocked(TableState* st, const std::string& path)
+      VWISE_REQUIRES(mu_);
   // Removes *.tmp litter and version files the catalog doesn't reference —
   // what a crash mid-checkpoint/bulk-load leaves behind.
-  Status CleanStaleFilesLocked();
+  Status CleanStaleFilesLocked() VWISE_REQUIRES(mu_);
 
   std::string dir_;
   Config config_;
   IoDevice* device_;
   BufferManager* buffers_;
-  std::unique_ptr<Wal> wal_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, TableState> tables_;
+  mutable Mutex mu_;
+  std::unique_ptr<Wal> wal_ VWISE_GUARDED_BY(mu_);
+  std::map<std::string, TableState> tables_ VWISE_GUARDED_BY(mu_);
   // Checkpoint epoch, persisted in the catalog and stamped into every WAL
   // record; recovery skips records older than the catalog's epoch.
-  uint64_t wal_epoch_ = 0;
-  uint64_t next_txn_id_ = 1;
-  uint64_t next_commit_version_ = 1;
-  uint64_t n_commits_ = 0;
-  uint64_t n_aborts_ = 0;
+  uint64_t wal_epoch_ VWISE_GUARDED_BY(mu_) = 0;
+  uint64_t next_txn_id_ VWISE_GUARDED_BY(mu_) = 1;
+  uint64_t next_commit_version_ VWISE_GUARDED_BY(mu_) = 1;
+  uint64_t n_commits_ VWISE_GUARDED_BY(mu_) = 0;
+  uint64_t n_aborts_ VWISE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace vwise

@@ -1,0 +1,30 @@
+// Negative compile check: discarding a Status or Result<T> must NOT build.
+//
+// tools/check_compile_fail.py compiles this file twice: once without
+// VWISE_COMPILE_FAIL (the control — must succeed, proving the snippet is
+// otherwise well-formed and the include paths work) and once with it (must
+// fail under -Werror=unused-result, proving the class-level [[nodiscard]] on
+// Status/Result actually rejects swallowed errors). Works under gcc and
+// clang — ctest target: compile_fail_nodiscard.
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace vwise {
+
+Status Flush() { return Status::OK(); }
+Result<int> Compute() { return 7; }
+
+int Use() {
+#ifdef VWISE_COMPILE_FAIL
+  Flush();    // discarded Status: must be a compile error
+  Compute();  // discarded Result<int>: must be a compile error
+#endif
+  Status checked = Flush();
+  if (!checked.ok()) return -1;
+  (void)Flush();  // explicit waiver compiles
+  Result<int> r = Compute();
+  return r.ok() ? *r : 0;
+}
+
+}  // namespace vwise

@@ -1,0 +1,56 @@
+// Negative compile check: touching a VWISE_GUARDED_BY member without its
+// mutex, or calling a VWISE_REQUIRES helper unlocked, must NOT build under
+// clang -Wthread-safety (-Werror=thread-safety, the VWISE_THREAD_SAFETY
+// configuration).
+//
+// tools/check_compile_fail.py compiles this twice: the control (no
+// VWISE_COMPILE_FAIL) must succeed, the seeded variant must fail. The check
+// only proves something under clang — under gcc the annotations expand to
+// nothing, so the runner reports SKIP (ctest SKIP_RETURN_CODE 77) instead of
+// a vacuous pass. ctest target: compile_fail_thread_safety.
+
+#include "common/thread_annotations.h"
+
+namespace vwise {
+
+class Account {
+ public:
+  void Deposit(long amount) VWISE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    balance_ += amount;
+  }
+
+  long Balance() VWISE_EXCLUDES(mu_) {
+#ifdef VWISE_COMPILE_FAIL
+    return balance_;  // guarded read without mu_: must be a compile error
+#else
+    MutexLock lock(&mu_);
+    return balance_;
+#endif
+  }
+
+  void Reconcile() VWISE_EXCLUDES(mu_) {
+#ifdef VWISE_COMPILE_FAIL
+    AuditLocked();  // VWISE_REQUIRES helper, lock not held: compile error
+#else
+    MutexLock lock(&mu_);
+    AuditLocked();
+#endif
+  }
+
+ private:
+  void AuditLocked() VWISE_REQUIRES(mu_) { balance_ = balance_ < 0 ? 0 : balance_; }
+
+  Mutex mu_;
+  long balance_ VWISE_GUARDED_BY(mu_) = 0;
+};
+
+// Anchor so the class is used; the checks above are purely compile-time.
+long Touch() {
+  Account a;
+  a.Deposit(1);
+  a.Reconcile();
+  return a.Balance();
+}
+
+}  // namespace vwise

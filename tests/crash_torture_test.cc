@@ -107,8 +107,11 @@ Status Materialize(TransactionManager* mgr, Rows* out) {
 std::string Describe(const Rows& rows, size_t limit = 6) {
   std::string s = std::to_string(rows.size()) + " rows [";
   for (size_t i = 0; i < rows.size() && i < limit; i++) {
-    s += "(" + std::to_string(rows[i].first) + "," +
-         std::to_string(rows[i].second) + ")";
+    s += "(";
+    s += std::to_string(rows[i].first);
+    s += ",";
+    s += std::to_string(rows[i].second);
+    s += ")";
   }
   if (rows.size() > limit) s += "...";
   return s + "]";

@@ -558,7 +558,7 @@ class DifferentialOracleTest : public ::testing::Test {
     if (s.has_agg) {
       std::vector<TupleAgg::Spec> aggs;
       for (const AggItemSpec& a : s.aggs) {
-        TupleAgg::Fn fn;
+        TupleAgg::Fn fn = TupleAgg::Fn::kCount;
         switch (a.fn) {
           case AggSpec::Fn::kSum: fn = TupleAgg::Fn::kSumI64; break;
           case AggSpec::Fn::kMin: fn = TupleAgg::Fn::kMin; break;

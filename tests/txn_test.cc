@@ -1,6 +1,8 @@
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -205,6 +207,45 @@ TEST_F(TxnTest, DisjointConcurrentCommitsBothApply) {
   ASSERT_EQ(rows.size(), 5u);
   EXPECT_EQ(rows[1][1].AsInt(), 11);
   EXPECT_EQ(rows[4][1].AsInt(), 44);
+}
+
+// Regression: commits() / aborts() used to read their counters without
+// taking mu_, racing with the counter increments inside Commit(). The reads
+// are now locked (TransactionManager::commits/aborts take a MutexLock);
+// under TSan the old code makes this test fail.
+TEST_F(TxnTest, CommitCounterReadsDoNotRaceWithCommits) {
+  constexpr int kWriters = 4;
+  constexpr int kCommitsEach = 25;
+  CreateAccounts(kWriters * kCommitsEach);
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    uint64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      uint64_t now = mgr_->commits() + mgr_->aborts();
+      EXPECT_GE(now, last);  // monotonic under concurrent committers
+      last = now;
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; w++) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kCommitsEach; i++) {
+        auto txn = mgr_->Begin();
+        // Disjoint row ranges: every commit must succeed.
+        int64_t row = w * kCommitsEach + i;
+        ASSERT_TRUE(txn->Modify("accounts", row, 1, Value::Int(row)).ok());
+        ASSERT_TRUE(mgr_->Commit(txn.get()).ok());
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(mgr_->commits(), static_cast<uint64_t>(kWriters) * kCommitsEach);
+  EXPECT_EQ(mgr_->aborts(), 0u);
 }
 
 TEST_F(TxnTest, ConcurrentAppendsBothSurvive) {

@@ -34,18 +34,38 @@ Checks
    and admission runners own their threads in the QueryService; ad-hoc
    threads elsewhere bypass admission control, the memory budget, and
    cooperative cancellation. (std::this_thread — sleeps, yields — is fine.)
-5. Discarded Status/Result returns in src/storage, src/txn, src/pdt: a
-   bare `file->Sync();` statement silently swallows an I/O error on the
-   durability path. Every such call must be checked, propagated
-   (VWISE_RETURN_IF_ERROR), or explicitly waived with `(void)`. Names that
-   are also declared with a void return somewhere (e.g. Reset) are skipped
-   — by-name matching cannot tell the overloads apart.
+5. Discarded Status/Result returns in src/storage, src/txn, src/pdt, and
+   repo-wide in tests/ and bench/: a bare `file->Sync();` statement
+   silently swallows an I/O error on the durability path (and in a test,
+   silently stops testing the thing it claims to test). Every such call
+   must be checked, propagated (VWISE_RETURN_IF_ERROR), or explicitly
+   waived with `(void)`. Names that are also declared with a void return
+   somewhere (e.g. Reset) are skipped — by-name matching cannot tell the
+   overloads apart. This textual pass backstops the compiler-enforced
+   [[nodiscard]] on Status/Result (common/status.h) for compilers/flags
+   where -Wunused-result is off.
+6. Raw synchronization primitives: std::mutex, std::lock_guard,
+   std::unique_lock, std::scoped_lock, std::condition_variable, etc. are
+   forbidden under src/ outside common/thread_annotations.h. Locking must
+   go through the annotated vwise::Mutex / MutexLock / CondVar wrappers so
+   Clang Thread Safety Analysis (-Wthread-safety, the VWISE_THREAD_SAFETY
+   CMake option) sees every acquisition. Escape hatch for the rare
+   legitimate exception: `// vwise-lint: allow(raw-mutex): <rationale>` on
+   the same or preceding line — the rationale is mandatory.
+7. Guarded members: in a header class that has a vwise::Mutex member,
+   every data member declared after it (our convention puts the mutex
+   first, then the state it protects) must carry VWISE_GUARDED_BY /
+   VWISE_PT_GUARDED_BY. Atomics, CondVars, further Mutexes, and thread
+   handles are exempt; anything else needs the annotation or
+   `// vwise-lint: allow(unguarded-member): <rationale>`.
 
 --self-test seeds deliberate violations (misnamed primitive, catalog /
 primitives.h mismatch, raw assert, a constructor that stores its child
 without InterposeChild, a helper that drops one wrapper, a std::thread
-spawned outside src/service/, a discarded Status return on the WAL path)
-into a scratch copy and verifies the lint catches each one.
+spawned outside src/service/, discarded Status returns on the WAL path and
+in a test, a raw std::mutex, an allow() escape with no rationale, a
+guarded member stripped of its VWISE_GUARDED_BY) into a scratch copy and
+verifies the lint reports the specific expected diagnostic for each.
 """
 
 import argparse
@@ -434,41 +454,174 @@ class Lint:
                             "the work stays under admission control, the "
                             "memory budget, and cooperative cancellation")
 
+    # -- thread-safety annotations -------------------------------------------
+
+    RAW_MUTEX_RE = re.compile(
+        r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+        r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+        r"shared_lock|condition_variable(?:_any)?)\b")
+    ALLOW_RE = re.compile(
+        r"//\s*vwise-lint:\s*allow\((?P<tag>[\w-]+)\)(?::\s*(?P<why>\S.*))?")
+    MUTEX_MEMBER_RE = re.compile(r"^\s*(?:mutable\s+)?Mutex\s+\w+\s*;")
+    # A single-line data-member declaration: type tokens, then a name ending
+    # in '_' (the member-naming convention), optional brace-or-= initializer.
+    MEMBER_RE = re.compile(
+        r"^\s*(?:mutable\s+)?[A-Za-z_][\w:]*(?:<[^;]*>)?[\s&*]+(\w+_)\s*"
+        r"(?:\{[^{}]*\})?\s*(?:=[^;]*)?;")
+    # Member types that legitimately live unguarded next to a Mutex.
+    UNGUARDED_OK_RE = re.compile(
+        r"std::atomic|CondVar|Mutex|std::thread|std::jthread")
+
+    def allowed(self, path, lines, lineno, tag):
+        """True if line `lineno` (1-based) or the one above carries
+        `// vwise-lint: allow(<tag>): rationale`. An allow() without a
+        rationale suppresses the finding but is itself an error — an
+        unexplained escape is indistinguishable from a silenced bug."""
+        for ln in (lineno, lineno - 1):
+            if not 1 <= ln <= len(lines):
+                continue
+            m = self.ALLOW_RE.search(lines[ln - 1])
+            if m and m.group("tag") == tag:
+                if not m.group("why"):
+                    self.error(path, ln,
+                               f"vwise-lint: allow({tag}) needs a rationale: "
+                               f"`// vwise-lint: allow({tag}): <why>`")
+                return True
+        return False
+
+    def check_raw_mutex(self, src_dir):
+        """Raw std:: synchronization primitives are confined to the wrapper
+        header. Everywhere else they would be invisible to Clang Thread
+        Safety Analysis: a std::lock_guard acquisition proves nothing to
+        the checker, so every guarded member it protects would need a
+        bogus annotation or an analysis hole."""
+        wrapper = os.path.join("common", "thread_annotations.h")
+        for root, _dirs, files in os.walk(src_dir):
+            for fn in sorted(files):
+                if not fn.endswith((".cc", ".h", ".inc")):
+                    continue
+                path = os.path.join(root, fn)
+                if os.path.relpath(path, src_dir) == wrapper:
+                    continue
+                lines = open(path, encoding="utf-8").read().splitlines()
+                for lineno, line in enumerate(lines, 1):
+                    code = line.split("//", 1)[0]
+                    m = self.RAW_MUTEX_RE.search(code)
+                    if not m:
+                        continue
+                    if self.allowed(path, lines, lineno, "raw-mutex"):
+                        continue
+                    self.error(
+                        path, lineno,
+                        f"raw {m.group(0)} in src/ — use the annotated "
+                        "vwise::Mutex / MutexLock / CondVar wrappers "
+                        "(common/thread_annotations.h) so clang "
+                        "-Wthread-safety sees the acquisition; if a raw "
+                        "primitive is genuinely required, waive with "
+                        "`// vwise-lint: allow(raw-mutex): <why>`")
+
+    def check_guarded_members(self, src_dir):
+        """Data members declared after a Mutex member in a header class must
+        carry VWISE_GUARDED_BY. Our convention places the mutex first and
+        the state it protects below it, so an unannotated member there is
+        either shared state the analysis cannot check (annotate it) or
+        genuinely lock-free state (atomic, or waive with a rationale).
+        Brace-depth tracking keeps nested structs (their members live at a
+        deeper depth) out of the enclosing class's mutex scope."""
+        for root, _dirs, files in os.walk(src_dir):
+            for fn in sorted(files):
+                if not fn.endswith(".h"):
+                    continue
+                path = os.path.join(root, fn)
+                if os.path.relpath(path, src_dir) == os.path.join(
+                        "common", "thread_annotations.h"):
+                    continue
+                lines = open(path, encoding="utf-8").read().splitlines()
+                depth = 0
+                mutex_depths = []  # brace depths that contain a Mutex member
+                for lineno, line in enumerate(lines, 1):
+                    code = line.split("//", 1)[0]
+                    while mutex_depths and depth < mutex_depths[-1]:
+                        mutex_depths.pop()
+                    in_scope = bool(mutex_depths) and depth == mutex_depths[-1]
+                    if self.MUTEX_MEMBER_RE.match(code):
+                        if not in_scope:
+                            mutex_depths.append(depth)
+                    elif in_scope and \
+                            "VWISE_GUARDED_BY" not in code and \
+                            "VWISE_PT_GUARDED_BY" not in code and \
+                            "(" not in code and \
+                            not self.UNGUARDED_OK_RE.search(code):
+                        m = self.MEMBER_RE.match(code)
+                        if m and not self.allowed(path, lines, lineno,
+                                                  "unguarded-member"):
+                            self.error(
+                                path, lineno,
+                                f"member '{m.group(1)}' is declared after a "
+                                "Mutex but carries no VWISE_GUARDED_BY — "
+                                "annotate it with the mutex that protects "
+                                "it, or waive with `// vwise-lint: "
+                                "allow(unguarded-member): <why>`")
+                    depth += code.count("{") - code.count("}")
+
     # -- discarded Status/Result returns --------------------------------------
 
     STATUS_DECL_RE = re.compile(
         r"\b(?:Status|Result<[^;{}()]{1,80}>)\s+(?:[A-Z]\w*::)?"
         r"([A-Za-z_]\w*)\s*\(")
     VOID_DECL_RE = re.compile(r"\bvoid\s+(?:[A-Z]\w*::)?([A-Za-z_]\w*)\s*\(")
+    # Builder-style members returning a reference (PlanBuilder& Select,
+    # Json& Append): discarding the reference is fine, and the name can
+    # collide with a Status-returning declaration elsewhere.
+    REF_DECL_RE = re.compile(
+        r"\b[A-Za-z_][\w:<>]*&\s+(?:[A-Z]\w*::)?([A-Za-z_]\w*)\s*\(")
     CALL_STMT_RE = re.compile(
         r"^\s*(?:[A-Za-z_]\w*(?:\.|->|::))*([A-Za-z_]\w*)\s*\(")
     CONTROL_KEYWORDS = {"if", "for", "while", "switch", "return", "case",
                         "else", "do", "sizeof", "catch", "delete", "new"}
 
-    def collect_status_names(self, src_dir):
-        """Names declared anywhere in src/ with a Status or Result return."""
-        status_names, void_names = set(), set()
-        for root, _dirs, files in os.walk(src_dir):
-            for fn in files:
-                if not fn.endswith((".cc", ".h")):
-                    continue
-                text = open(os.path.join(root, fn), encoding="utf-8").read()
-                status_names.update(self.STATUS_DECL_RE.findall(text))
-                void_names.update(self.VOID_DECL_RE.findall(text))
-        # A name that is void in one class and Status in another (Reset:
-        # DataChunk vs Wal) cannot be judged by name alone — skip it.
-        return status_names - void_names
+    def collect_status_names(self, roots):
+        """Names declared under `roots` with a Status or Result return."""
+        status_names, other_names = set(), set()
+        for top in roots:
+            for root, _dirs, files in os.walk(top):
+                for fn in files:
+                    if not fn.endswith((".cc", ".h")):
+                        continue
+                    text = open(os.path.join(root, fn),
+                                encoding="utf-8").read()
+                    status_names.update(self.STATUS_DECL_RE.findall(text))
+                    other_names.update(self.VOID_DECL_RE.findall(text))
+                    other_names.update(self.REF_DECL_RE.findall(text))
+        # A name that is void (or a discardable builder reference) in one
+        # class and Status in another (Reset: DataChunk vs Wal; Select:
+        # PlanBuilder vs Filter) cannot be judged by name alone — skip it.
+        return status_names - other_names
 
-    def check_discarded_status(self, src_dir):
+    def check_discarded_status(self, repo):
         """Expression-statement calls that drop a Status/Result return.
 
-        Scoped to the durability-critical trees (storage, txn, pdt) where a
-        swallowed error means silent data loss rather than a wrong answer.
+        In src/, scoped to the durability-critical trees (storage, txn,
+        pdt) where a swallowed error means silent data loss rather than a
+        wrong answer. tests/ and bench/ are scanned in full: a test that
+        drops a setup Status keeps passing after the thing it exercises
+        breaks, and a bench that drops one measures a failed run.
         """
-        names = self.collect_status_names(src_dir)
-        for sub in ("storage", "txn", "pdt"):
-            tdir = os.path.join(src_dir, sub)
-            for root, _dirs, files in os.walk(tdir):
+        src = os.path.join(repo, "src")
+        scan_roots = [os.path.join(src, sub)
+                      for sub in ("storage", "txn", "pdt")]
+        decl_roots = [src]
+        for extra in ("tests", "bench"):
+            d = os.path.join(repo, extra)
+            if os.path.isdir(d):  # the self-test scratch may omit them
+                scan_roots.append(d)
+                decl_roots.append(d)
+        names = self.collect_status_names(decl_roots)
+        for tdir in scan_roots:
+            for root, dirs, files in os.walk(tdir):
+                # tests/compile_fail/ holds *deliberate* violations — the
+                # negative compile checks prove the compiler rejects them.
+                dirs[:] = [d for d in dirs if d != "compile_fail"]
                 for fn in sorted(files):
                     if not fn.endswith((".cc", ".h")):
                         continue
@@ -544,85 +697,128 @@ def run_lint(repo):
     lint.check_operator_children(src)
     lint.check_interpose_helper(src)
     lint.check_thread_confinement(src)
-    lint.check_discarded_status(src)
+    lint.check_raw_mutex(src)
+    lint.check_guarded_members(src)
+    lint.check_discarded_status(repo)
     return lint.errors
 
 
 def self_test(repo):
-    """Seeds violations into a scratch copy; the lint must flag each."""
+    """Seeds violations into a scratch copy; the lint must report the
+    expected diagnostic for each (substring match — 'some error appeared'
+    is not enough, since an unrelated pass could mask a broken one)."""
     failures = []
 
     def seeded_errors(patch):
         with tempfile.TemporaryDirectory(prefix="vwise_lint_") as tmp:
-            shutil.copytree(os.path.join(repo, "src"),
-                            os.path.join(tmp, "src"))
+            for sub in ("src", "tests", "bench"):
+                d = os.path.join(repo, sub)
+                if os.path.isdir(d):
+                    shutil.copytree(d, os.path.join(tmp, sub))
             patch(tmp)
             return run_lint(tmp)
 
     def patch_file(tmp, rel, old, new):
-        path = os.path.join(tmp, "src", rel)
+        path = os.path.join(tmp, rel)
         text = open(path, encoding="utf-8").read()
         if old not in text:
             raise RuntimeError(f"self-test patch anchor missing in {rel}")
         open(path, "w", encoding="utf-8").write(text.replace(old, new, 1))
 
+    # label -> (patch, substring the diagnostics must contain)
     cases = {
         # Misnamed primitive: type tokens disagree.
-        "misnamed primitive": lambda tmp: patch_file(
-            tmp, os.path.join("expr", "primitive_catalog.inc"),
+        "misnamed primitive": (lambda tmp: patch_file(
+            tmp, os.path.join("src", "expr", "primitive_catalog.inc"),
             "VWISE_MAP_PRIMITIVE(map_add_i64_col_i64_col, int64_t, "
             "MapColCol, OpAdd)",
             "VWISE_MAP_PRIMITIVE(map_add_i64_col_f64_col, int64_t, "
-            "MapColCol, OpAdd)"),
+            "MapColCol, OpAdd)"), "type tokens differ"),
         # Grammar violation: op token not in the grammar.
-        "unknown op token": lambda tmp: patch_file(
-            tmp, os.path.join("expr", "primitive_catalog.inc"),
+        "unknown op token": (lambda tmp: patch_file(
+            tmp, os.path.join("src", "expr", "primitive_catalog.inc"),
             "VWISE_SEL_PRIMITIVE(sel_eq_u8_col_u8_val, uint8_t, "
             "SelColVal, OpEq)",
             "VWISE_SEL_PRIMITIVE(sel_equals_u8_col_u8_val, uint8_t, "
-            "SelColVal, OpEq)"),
+            "SelColVal, OpEq)"), "unknown op token"),
         # primitives.h / catalog drift: a functor disappears.
-        "catalog/primitives.h mismatch": lambda tmp: patch_file(
-            tmp, os.path.join("expr", "primitives.h"),
-            "struct OpAdd", "struct OpAddRenamed"),
+        "catalog/primitives.h mismatch": (lambda tmp: patch_file(
+            tmp, os.path.join("src", "expr", "primitives.h"),
+            "struct OpAdd", "struct OpAddRenamed"), "does not declare"),
         # Repo rule: raw assert in src/.
-        "raw assert": lambda tmp: patch_file(
-            tmp, os.path.join("vector", "chunk.cc"),
+        "raw assert": (lambda tmp: patch_file(
+            tmp, os.path.join("src", "vector", "chunk.cc"),
             "namespace vwise {", "namespace vwise {\nstatic void "
-            "SelfTestSeed() { assert(1 == 1); }"),
+            "SelfTestSeed() { assert(1 == 1); }"), "raw assert"),
         # Repo rule: broken header guard.
-        "wrong header guard": lambda tmp: patch_file(
-            tmp, os.path.join("common", "config.h"),
+        "wrong header guard": (lambda tmp: patch_file(
+            tmp, os.path.join("src", "common", "config.h"),
             "#ifndef VWISE_COMMON_CONFIG_H_",
-            "#ifndef VWISE_CONFIG_H_"),
+            "#ifndef VWISE_CONFIG_H_"), "include guard"),
         # Operator child stored without the interposition helper.
-        "unwrapped operator child": lambda tmp: patch_file(
-            tmp, os.path.join("exec", "select.cc"),
+        "unwrapped operator child": (lambda tmp: patch_file(
+            tmp, os.path.join("src", "exec", "select.cc"),
             'InterposeChild(std::move(child), config, "select.child")',
-            "std::move(child)"),
+            "std::move(child)"), "InterposeChild"),
         # Helper silently drops the profiler wrapper: every call site still
         # lints clean, so only the helper check can catch this.
-        "interpose helper drops profiler": lambda tmp: patch_file(
-            tmp, os.path.join("exec", "profile.cc"),
+        "interpose helper drops profiler": (lambda tmp: patch_file(
+            tmp, os.path.join("src", "exec", "profile.cc"),
             "MaybeChecked(MaybeProfiled(std::move(op), config, label), "
             "config,\n                      label)",
-            "MaybeChecked(std::move(op), config, label)"),
+            "MaybeChecked(std::move(op), config, label)"), "MaybeProfiled"),
         # A raw thread spawned outside src/service/ — bypasses the pool.
-        "thread outside service": lambda tmp: patch_file(
-            tmp, os.path.join("exec", "scan.cc"),
+        "thread outside service": (lambda tmp: patch_file(
+            tmp, os.path.join("src", "exec", "scan.cc"),
             "namespace vwise {", "namespace vwise {\nstatic void "
             "SelfTestSeed() { std::thread t; t.join(); }"),
+            "std::thread outside src/service/"),
         # A dropped Status on the WAL durability path: the sync error would
         # be swallowed and the commit acknowledged anyway.
-        "discarded Status return": lambda tmp: patch_file(
-            tmp, os.path.join("txn", "wal.cc"),
+        "discarded Status return": (lambda tmp: patch_file(
+            tmp, os.path.join("src", "txn", "wal.cc"),
             "  VWISE_RETURN_IF_ERROR(file_->Truncate(0));",
             "  file_->Sync();\n  VWISE_RETURN_IF_ERROR(file_->Truncate(0));"),
+            "discards its Status"),
+        # A dropped Status in a test: the test keeps passing after the
+        # checkpoint it claims to exercise starts failing.
+        "discarded Status in tests": (lambda tmp: patch_file(
+            tmp, os.path.join("tests", "txn_test.cc"),
+            "namespace {", "namespace {\nvoid SelfTestSeed(Wal* wal) "
+            "{\n  wal->Sync();\n}"), "discards its Status"),
+        # A raw std::mutex in src/: invisible to clang -Wthread-safety.
+        "raw std::mutex": (lambda tmp: patch_file(
+            tmp, os.path.join("src", "storage", "buffer_manager.h"),
+            "mutable Mutex mu_;", "mutable std::mutex mu_;"),
+            "raw std::mutex"),
+        # A raw lock over the wrapper's own mutex in a .cc file.
+        "raw std::lock_guard": (lambda tmp: patch_file(
+            tmp, os.path.join("src", "storage", "buffer_manager.cc"),
+            "  MutexLock lock(&mu_);",
+            "  std::lock_guard<std::mutex> lock(raw_mu_);"),
+            "raw std::lock_guard"),
+        # An allow() escape with no rationale: suppresses the raw-mutex
+        # finding but must itself be flagged.
+        "allow() without rationale": (lambda tmp: patch_file(
+            tmp, os.path.join("src", "storage", "buffer_manager.h"),
+            "mutable Mutex mu_;",
+            "mutable Mutex mu_;\n  // vwise-lint: allow(raw-mutex)\n"
+            "  std::mutex extra_mu_;"), "needs a rationale"),
+        # A member after the Mutex stripped of its guard annotation.
+        "unguarded member after Mutex": (lambda tmp: patch_file(
+            tmp, os.path.join("src", "storage", "buffer_manager.h"),
+            "size_t bytes_cached_ VWISE_GUARDED_BY(mu_) = 0;",
+            "size_t bytes_cached_ = 0;"), "no VWISE_GUARDED_BY"),
     }
-    for label, patch in cases.items():
+    for label, (patch, expect) in cases.items():
         errs = seeded_errors(patch)
-        if errs:
-            print(f"self-test [{label}]: caught ({errs[0]})")
+        hits = [e for e in errs if expect in e]
+        if hits:
+            print(f"self-test [{label}]: caught ({hits[0]})")
+        elif errs:
+            failures.append(label)
+            print(f"self-test [{label}]: wrong diagnostic (wanted "
+                  f"'{expect}', got: {errs[0]})")
         else:
             failures.append(label)
             print(f"self-test [{label}]: NOT caught")
