@@ -8,6 +8,16 @@
 #define VWISE_LIKELY(x) __builtin_expect(!!(x), 1)
 #define VWISE_UNLIKELY(x) __builtin_expect(!!(x), 0)
 
+// Marks a function as part of the per-vector hot path. Two effects:
+//   * the compiler places it in the .text.hot section and optimizes it more
+//     aggressively (__attribute__((hot)));
+//   * tools/vwise_hotpath.py treats it as an analysis root: the function and
+//     its entire static call closure must stay free of heap allocation, lock
+//     acquisition, I/O, and success-path Status formatting (DESIGN.md §9).
+// Primitive kernels and Operator::Next are roots implicitly; use this for
+// additional helpers that must hold the same contract.
+#define VWISE_HOT __attribute__((hot))
+
 // Always-on invariant check. Used for cheap checks guarding memory safety;
 // failures indicate a bug in vwise itself, never bad user input (user input
 // errors are reported through Status).

@@ -348,7 +348,7 @@ Status DecodePfor(Codec codec, TypeId type, uint32_t count, Reader& r,
       StoreInt(type, out, i, static_cast<uint64_t>(cur));
     }
   } else {
-    int64_t base;
+    int64_t base = 0;
     VWISE_RETURN_IF_ERROR(r.Get(&base));
     VWISE_RETURN_IF_ERROR(DecodePforCore(&r, n, work.data()));
     for (size_t i = 0; i < n; i++) {

@@ -13,6 +13,9 @@ Status Violation(const std::string& context, const std::string& what) {
 
 }  // namespace
 
+// vwise-hotpath: allow(alloc): violation messages are formatted only after a
+// contract check has failed — the query is already being torn down, and the
+// success path touches nothing but the chunk metadata
 Status ChunkValidator::Validate(const DataChunk& chunk,
                                 const std::vector<TypeId>& expected_types,
                                 const std::string& context) {
@@ -98,6 +101,7 @@ Status ChunkValidator::Validate(const DataChunk& chunk,
   return Status::OK();
 }
 
+// vwise-hotpath: allow(alloc): same as Validate — formatting on failure only
 Status ChunkValidator::ValidateReset(const DataChunk& chunk,
                                      const std::string& context) {
   if (chunk.count() != 0 || chunk.has_selection()) {

@@ -146,8 +146,9 @@ Status HashAggOperator::OpenImpl() {
   group_hashes_.clear();
   consumed_ = false;
   emit_cursor_ = 0;
-  hash_scratch_.resize(config_.vector_size);
-  group_idx_.resize(config_.vector_size);
+  hash_scratch_ = ctx()->scratch()->AcquireArray<uint64_t>(config_.vector_size);
+  group_idx_ = ctx()->scratch()->AcquireArray<uint32_t>(config_.vector_size);
+  emit_idx_ = ctx()->scratch()->AcquireArray<uint32_t>(config_.vector_size);
   return Status::OK();
 }
 
@@ -182,8 +183,11 @@ uint32_t HashAggOperator::FindOrCreateGroup(const DataChunk& chunk, sel_t pos,
   // New group.
   uint32_t g = static_cast<uint32_t>(n_groups_++);
   slots_[s] = g;
+  // vwise-hotpath: allow(alloc): group-state growth happens once per new
+  // group (warm-up); a stabilized group set never re-enters this tail
   group_hashes_.push_back(hash);
   for (size_t k = 0; k < group_cols_.size(); k++) {
+    // vwise-hotpath: allow(cold-call): per-new-group key copy, warm-up only
     key_stores_[k].AppendOne(chunk.column(group_cols_[k]), pos);
   }
   for (size_t i = 0; i < aggs_.size(); i++) {
@@ -191,52 +195,66 @@ uint32_t HashAggOperator::FindOrCreateGroup(const DataChunk& chunk, sel_t pos,
     switch (aggs_[i].fn) {
       case AggSpec::Fn::kSum:
         if (IntFamily(st.in_type)) {
+          // vwise-hotpath: allow(alloc): per-new-group state, warm-up only
           st.i64.push_back(0);
         } else {
+          // vwise-hotpath: allow(alloc): per-new-group state, warm-up only
           st.f64.push_back(0);
         }
         break;
       case AggSpec::Fn::kMin:
       case AggSpec::Fn::kMax:
         if (st.in_type == TypeId::kF64) {
+          // vwise-hotpath: allow(alloc): per-new-group state, warm-up only
           st.f64.push_back(0);
         } else {
+          // vwise-hotpath: allow(alloc): per-new-group state, warm-up only
           st.i64.push_back(0);
         }
+        // vwise-hotpath: allow(alloc): per-new-group state, warm-up only
         st.count.push_back(0);  // first-touch marker
         break;
       case AggSpec::Fn::kCount:
       case AggSpec::Fn::kCountStar:
+        // vwise-hotpath: allow(alloc): per-new-group state, warm-up only
         st.i64.push_back(0);
         break;
       case AggSpec::Fn::kAvg:
+        // vwise-hotpath: allow(alloc): per-new-group state, warm-up only
         st.f64.push_back(0);
+        // vwise-hotpath: allow(alloc): per-new-group state, warm-up only
         st.count.push_back(0);
         break;
     }
   }
   if (n_groups_ * 10 > slots_.size() * 7) {
+    // vwise-hotpath: allow(cold-call): table doubling, amortized O(1)
     ResizeTable(slots_.size() * 2);
   }
   return g;
 }
 
-Status HashAggOperator::ProcessChunk(const DataChunk& chunk) {
+// VWISE_HOT: the per-chunk aggregation core — hashed, resolved and updated
+// without leaving the arena-leased scratch (group creation is the annotated
+// warm-up tail in FindOrCreateGroup).
+VWISE_HOT Status HashAggOperator::ProcessChunk(const DataChunk& chunk) {
   size_t n = chunk.ActiveCount();
   const sel_t* sel = chunk.sel();
+  uint64_t* hashes = hash_scratch_.data<uint64_t>();
+  uint32_t* groups = group_idx_.data<uint32_t>();
   // 1. Hash the group keys, a column at a time.
-  std::fill(hash_scratch_.begin(), hash_scratch_.begin() + n, 0);
+  std::fill(hashes, hashes + n, 0);
   for (size_t k = 0; k < group_cols_.size(); k++) {
     const Vector& key = chunk.column(group_cols_[k]);
     for (size_t i = 0; i < n; i++) {
       sel_t pos = sel ? sel[i] : static_cast<sel_t>(i);
-      hash_scratch_[i] = HashCombine(hash_scratch_[i], HashAt(key, pos));
+      hashes[i] = HashCombine(hashes[i], HashAt(key, pos));
     }
   }
   // 2. Resolve group indices.
   for (size_t i = 0; i < n; i++) {
     sel_t pos = sel ? sel[i] : static_cast<sel_t>(i);
-    group_idx_[i] = FindOrCreateGroup(chunk, pos, hash_scratch_[i]);
+    groups[i] = FindOrCreateGroup(chunk, pos, hashes[i]);
   }
   // 3. Per-aggregate update loops.
   for (size_t a = 0; a < aggs_.size(); a++) {
@@ -248,13 +266,13 @@ Status HashAggOperator::ProcessChunk(const DataChunk& chunk) {
           const Vector& in = chunk.column(spec.col);
           for (size_t i = 0; i < n; i++) {
             sel_t pos = sel ? sel[i] : static_cast<sel_t>(i);
-            st.i64[group_idx_[i]] += I64At(in, pos);
+            st.i64[groups[i]] += I64At(in, pos);
           }
         } else {
           const Vector& in = chunk.column(spec.col);
           for (size_t i = 0; i < n; i++) {
             sel_t pos = sel ? sel[i] : static_cast<sel_t>(i);
-            st.f64[group_idx_[i]] += F64At(in, pos);
+            st.f64[groups[i]] += F64At(in, pos);
           }
         }
         break;
@@ -264,7 +282,7 @@ Status HashAggOperator::ProcessChunk(const DataChunk& chunk) {
         bool is_min = spec.fn == AggSpec::Fn::kMin;
         for (size_t i = 0; i < n; i++) {
           sel_t pos = sel ? sel[i] : static_cast<sel_t>(i);
-          uint32_t g = group_idx_[i];
+          uint32_t g = groups[i];
           if (st.in_type == TypeId::kF64) {
             double v = F64At(in, pos);
             if (!st.count[g] || (is_min ? v < st.f64[g] : v > st.f64[g])) {
@@ -282,13 +300,13 @@ Status HashAggOperator::ProcessChunk(const DataChunk& chunk) {
       }
       case AggSpec::Fn::kCount:
       case AggSpec::Fn::kCountStar:
-        for (size_t i = 0; i < n; i++) st.i64[group_idx_[i]]++;
+        for (size_t i = 0; i < n; i++) st.i64[groups[i]]++;
         break;
       case AggSpec::Fn::kAvg: {
         const Vector& in = chunk.column(spec.col);
         for (size_t i = 0; i < n; i++) {
           sel_t pos = sel ? sel[i] : static_cast<sel_t>(i);
-          uint32_t g = group_idx_[i];
+          uint32_t g = groups[i];
           st.f64[g] += F64At(in, pos);
           st.count[g]++;
         }
@@ -359,19 +377,24 @@ Status HashAggOperator::ConsumeInput() {
 
 Status HashAggOperator::Next(DataChunk* out) {
   if (!consumed_) {
+    // vwise-hotpath: allow(cold-call): consumes the whole input once per
+    // query; the per-chunk work inside is ProcessChunk, a root of its own
     VWISE_RETURN_IF_ERROR(ConsumeInput());
     consumed_ = true;
     emit_cursor_ = 0;
   }
   size_t batch = std::min(out->capacity(), n_groups_ - emit_cursor_);
+  // The emit gather runs through the arena-leased index array, so cap the
+  // batch at its size (out may be larger than one vector).
+  batch = std::min(batch, config_.vector_size);
   if (batch == 0) {
     out->SetCount(0);
     return Status::OK();
   }
-  std::vector<uint32_t> idx(batch);
+  uint32_t* idx = emit_idx_.data<uint32_t>();
   for (size_t i = 0; i < batch; i++) idx[i] = static_cast<uint32_t>(emit_cursor_ + i);
   for (size_t k = 0; k < group_cols_.size(); k++) {
-    key_stores_[k].Gather(idx.data(), batch, &out->column(k));
+    key_stores_[k].Gather(idx, batch, &out->column(k));
   }
   for (size_t a = 0; a < aggs_.size(); a++) {
     Vector& dst = out->column(group_cols_.size() + a);
@@ -420,6 +443,9 @@ void HashAggOperator::Close() {
   key_stores_.clear();
   states_.clear();
   slots_.clear();
+  hash_scratch_.Release();
+  group_idx_.Release();
+  emit_idx_.Release();
   mem_.ReleaseAll();
   reserved_groups_ = 0;
 }

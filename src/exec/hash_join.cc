@@ -67,28 +67,27 @@ bool ValueEquals(const Vector& vec, sel_t pos, const ColumnStore& col,
 }
 
 // Gathers probe-side column values at pair positions into `out`.
-void GatherProbe(const Vector& src, const std::vector<sel_t>& positions,
+void GatherProbe(const Vector& src, const sel_t* positions, size_t n,
                  Vector* out) {
-  size_t n = positions.size();
   switch (src.type()) {
     case TypeId::kU8:
-      prim::Gather<uint8_t>(src.Data<uint8_t>(), positions.data(), n,
+      prim::Gather<uint8_t>(src.Data<uint8_t>(), positions, n,
                             out->Data<uint8_t>());
       break;
     case TypeId::kI32:
-      prim::Gather<int32_t>(src.Data<int32_t>(), positions.data(), n,
+      prim::Gather<int32_t>(src.Data<int32_t>(), positions, n,
                             out->Data<int32_t>());
       break;
     case TypeId::kI64:
-      prim::Gather<int64_t>(src.Data<int64_t>(), positions.data(), n,
+      prim::Gather<int64_t>(src.Data<int64_t>(), positions, n,
                             out->Data<int64_t>());
       break;
     case TypeId::kF64:
-      prim::Gather<double>(src.Data<double>(), positions.data(), n,
+      prim::Gather<double>(src.Data<double>(), positions, n,
                            out->Data<double>());
       break;
     case TypeId::kStr:
-      prim::Gather<StringVal>(src.Data<StringVal>(), positions.data(), n,
+      prim::Gather<StringVal>(src.Data<StringVal>(), positions, n,
                               out->Data<StringVal>());
       out->AddHeapsFrom(src);
       break;
@@ -149,6 +148,10 @@ Status HashJoinOperator::OpenImpl() {
   input_exhausted_ = false;
   pair_cursor_ = 0;
   pairs_.clear();
+  probe_pos_ = ctx()->scratch()->AcquireArray<sel_t>(config_.vector_size);
+  build_row_idx_ =
+      ctx()->scratch()->AcquireArray<uint32_t>(config_.vector_size);
+  residual_sel_ = ctx()->scratch()->AcquireArray<sel_t>(config_.vector_size);
   if (spec_.residual) {
     VWISE_RETURN_IF_ERROR(spec_.residual->Prepare(config_.vector_size));
     // The residual sees [probe columns..., build payload...].
@@ -227,50 +230,60 @@ Status HashJoinOperator::ProcessProbeChunk() {
   pair_cursor_ = 0;
   size_t n = input_.ActiveCount();
   const sel_t* sel = input_.sel();
+  // vwise-hotpath: allow(alloc): capacity stabilizes at one vector after the
+  // first full chunk; assign then only zero-fills
   probe_match_.assign(input_.count(), 0);
 
-  // 1. Candidate pairs by hash + key equality.
-  std::vector<Pair> candidates;
+  // 1. Candidate pairs by hash + key equality. candidates_ keeps its
+  // capacity across chunks, so growth stops once the noisiest chunk has
+  // been seen.
+  candidates_.clear();
   for (size_t i = 0; i < n; i++) {
     sel_t pos = sel ? sel[i] : static_cast<sel_t>(i);
     if (build_rows_ > 0) {
       uint64_t h = HashProbeRow(input_, pos) & bucket_mask_;
       for (uint32_t row = bucket_heads_[h]; row != kNoRow; row = chain_next_[row]) {
-        if (KeysEqual(input_, pos, row)) candidates.push_back(Pair{pos, row});
+        // vwise-hotpath: allow(alloc): amortized growth, capacity persists
+        // across probe chunks
+        if (KeysEqual(input_, pos, row)) candidates_.push_back(Pair{pos, row});
       }
     }
   }
 
   // 2. Residual predicate over the combined pair rows, in vector batches.
-  if (spec_.residual && !candidates.empty()) {
+  if (spec_.residual && !candidates_.empty()) {
     size_t n_probe_cols = input_.num_columns();
-    std::vector<sel_t> probe_pos;
-    std::vector<uint32_t> build_rows;
-    std::vector<sel_t> out_sel(config_.vector_size);
-    for (size_t base = 0; base < candidates.size(); base += config_.vector_size) {
-      size_t batch = std::min(config_.vector_size, candidates.size() - base);
-      probe_pos.clear();
-      build_rows.clear();
+    sel_t* probe_pos = probe_pos_.data<sel_t>();
+    uint32_t* build_rows = build_row_idx_.data<uint32_t>();
+    sel_t* out_sel = residual_sel_.data<sel_t>();
+    for (size_t base = 0; base < candidates_.size(); base += config_.vector_size) {
+      size_t batch = std::min(config_.vector_size, candidates_.size() - base);
       for (size_t i = 0; i < batch; i++) {
-        probe_pos.push_back(candidates[base + i].probe_pos);
-        build_rows.push_back(candidates[base + i].build_row);
+        probe_pos[i] = candidates_[base + i].probe_pos;
+        build_rows[i] = candidates_[base + i].build_row;
       }
       residual_scratch_.Reset();
       for (size_t c = 0; c < n_probe_cols; c++) {
-        GatherProbe(input_.column(c), probe_pos, &residual_scratch_.column(c));
+        GatherProbe(input_.column(c), probe_pos, batch,
+                    &residual_scratch_.column(c));
       }
       for (size_t k = 0; k < build_payload_cols_.size(); k++) {
-        build_payload_cols_[k].Gather(build_rows.data(), batch,
+        build_payload_cols_[k].Gather(build_rows, batch,
                                       &residual_scratch_.column(n_probe_cols + k));
       }
       residual_scratch_.SetCount(batch);
       size_t kept = 0;
+      // vwise-hotpath: allow(virtual-in-loop): loop is over candidate
+      // batches of vector_size — one Select dispatch per batch
       VWISE_RETURN_IF_ERROR(spec_.residual->Select(residual_scratch_, nullptr,
-                                                   batch, out_sel.data(), &kept));
-      for (size_t i = 0; i < kept; i++) pairs_.push_back(candidates[base + out_sel[i]]);
+                                                   batch, out_sel, &kept));
+      for (size_t i = 0; i < kept; i++) {
+        // vwise-hotpath: allow(alloc): amortized growth, capacity persists
+        pairs_.push_back(candidates_[base + out_sel[i]]);
+      }
     }
   } else {
-    pairs_ = std::move(candidates);
+    std::swap(pairs_, candidates_);
   }
 
   for (const Pair& p : pairs_) probe_match_[p.probe_pos] = 1;
@@ -287,6 +300,7 @@ Status HashJoinOperator::ProcessProbeChunk() {
   if (spec_.type == JoinType::kLeftOuter) {
     for (size_t i = 0; i < n; i++) {
       sel_t pos = sel ? sel[i] : static_cast<sel_t>(i);
+      // vwise-hotpath: allow(alloc): amortized growth, capacity persists
       if (!probe_match_[pos]) pairs_.push_back(Pair{pos, kNoRow});
     }
   }
@@ -295,8 +309,11 @@ Status HashJoinOperator::ProcessProbeChunk() {
 
 void HashJoinOperator::EmitPairs(DataChunk* out) {
   size_t batch = std::min(out->capacity(), pairs_.size() - pair_cursor_);
-  std::vector<sel_t> probe_pos(batch);
-  std::vector<uint32_t> build_rows(batch);
+  // The gather runs through the arena-leased index arrays, so cap the batch
+  // at one vector (out may be larger).
+  batch = std::min(batch, config_.vector_size);
+  sel_t* probe_pos = probe_pos_.data<sel_t>();
+  uint32_t* build_rows = build_row_idx_.data<uint32_t>();
   for (size_t i = 0; i < batch; i++) {
     probe_pos[i] = pairs_[pair_cursor_ + i].probe_pos;
     build_rows[i] = pairs_[pair_cursor_ + i].build_row;
@@ -304,15 +321,15 @@ void HashJoinOperator::EmitPairs(DataChunk* out) {
   pair_cursor_ += batch;
   size_t n_probe_cols = input_.num_columns();
   for (size_t c = 0; c < n_probe_cols; c++) {
-    GatherProbe(input_.column(c), probe_pos, &out->column(c));
+    GatherProbe(input_.column(c), probe_pos, batch, &out->column(c));
   }
   // Payload: sentinel rows (unmatched outer) get zero/empty values.
   bool has_sentinel = false;
-  for (uint32_t r : build_rows) has_sentinel |= (r == kNoRow);
+  for (size_t i = 0; i < batch; i++) has_sentinel |= (build_rows[i] == kNoRow);
   for (size_t k = 0; k < build_payload_cols_.size(); k++) {
     Vector& dst = out->column(n_probe_cols + k);
     if (!has_sentinel) {
-      build_payload_cols_[k].Gather(build_rows.data(), batch, &dst);
+      build_payload_cols_[k].Gather(build_rows, batch, &dst);
     } else {
       const ColumnStore& store = build_payload_cols_[k];
       for (size_t i = 0; i < batch; i++) {
@@ -401,6 +418,9 @@ void HashJoinOperator::Close() {
   build_payload_cols_.clear();
   bucket_heads_.clear();
   chain_next_.clear();
+  probe_pos_.Release();
+  build_row_idx_.Release();
+  residual_sel_.Release();
   mem_.ReleaseAll();
 }
 

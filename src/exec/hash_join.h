@@ -85,9 +85,15 @@ class HashJoinOperator final : public Operator {
     uint32_t build_row;
   };
   std::vector<Pair> pairs_;        // surviving pairs for current input chunk
+  std::vector<Pair> candidates_;   // pre-residual pairs (capacity persists)
   size_t pair_cursor_ = 0;
   std::vector<uint8_t> probe_match_;  // per probe position: any match
   DataChunk residual_scratch_;
+  // Emit/residual gather arrays, leased from the query's VectorScratch arena
+  // in OpenImpl — the per-chunk emit and residual loops allocate nothing.
+  ScratchHandle probe_pos_;      // sel_t[vector_size]
+  ScratchHandle build_row_idx_;  // uint32_t[vector_size]
+  ScratchHandle residual_sel_;   // sel_t[vector_size]
 
   // Per-query memory budget accounting for the owned build side + table.
   MemoryReservation mem_;

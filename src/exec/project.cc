@@ -33,6 +33,8 @@ Status ProjectOperator::Next(DataChunk* out) {
   }
   for (size_t i = 0; i < exprs_.size(); i++) {
     Vector* result = nullptr;
+    // vwise-hotpath: allow(virtual-in-loop): the loop is over output
+    // columns, not tuples — one Eval dispatch evaluates a full vector
     VWISE_RETURN_IF_ERROR(exprs_[i]->Eval(input_, input_.sel(), n, &result));
     out->column(i).Reference(*result);
   }

@@ -148,12 +148,19 @@ Status ScanOperator::Next(DataChunk* out) {
   // Next() emits at most one vector, so a cancel unwinds the plan within one
   // vector boundary.
   VWISE_RETURN_IF_ERROR(ctx()->Check());
+  // Rewind the delta-string arena for this chunk when no consumer still
+  // references the previous chunk's bytes (the chunk data contract: vectors
+  // are valid only until the next Next()). A scan over a delta-heavy table
+  // then reuses one buffer instead of growing without bound.
+  if (insert_heap_.use_count() == 1) insert_heap_->Reset();
   size_t cap = out->capacity();
   size_t filled = 0;
   while (true) {
     if (!in_stripe_) {
       if (filled > 0) break;  // never mix stripes in one chunk
       bool done = false;
+      // vwise-hotpath: allow(cold-call): stripe boundary — decode I/O and
+      // merge-scanner setup run once per stripe, not per vector
       VWISE_RETURN_IF_ERROR(AdvanceStripe(&done));
       if (done) break;
     }

@@ -99,6 +99,8 @@ Status SortOperator::ConsumeAndSort() {
 }
 
 Status SortOperator::Next(DataChunk* out) {
+  // vwise-hotpath: allow(cold-call): materialize-and-sort runs once per
+  // query before the first emitted vector
   if (!sorted_) VWISE_RETURN_IF_ERROR(ConsumeAndSort());
   size_t end = order_.size();
   if (limit_ != SIZE_MAX) end = std::min(end, offset_ + limit_);

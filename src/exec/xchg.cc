@@ -102,8 +102,12 @@ Status XchgOperator::Next(DataChunk* out) {
   VWISE_RETURN_IF_ERROR(ctx()->Check());
   QueuedChunk qc;
   {
+    // vwise-hotpath: allow(lock): the exchange operator IS the pipeline's
+    // synchronization point — one acquisition per chunk, never per tuple
     MutexLock lock(&mu_);
     while (queue_.empty() && producers_running_ > 0 && !cancelled_) {
+      // vwise-hotpath: allow(lock): consumer blocks until a producer fills
+      // the queue; by design, not a hot-loop stall
       not_empty_.Wait(&mu_);
     }
     if (queue_.empty()) {
@@ -115,6 +119,7 @@ Status XchgOperator::Next(DataChunk* out) {
     }
     qc = std::move(queue_.front());
     queue_.pop_front();
+    // vwise-hotpath: allow(lock): wakes one blocked producer; per chunk
     not_full_.Signal();
   }
   // Budget release and the column handoff run outside the lock: neither

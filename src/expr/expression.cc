@@ -334,6 +334,10 @@ Status SubstrExpr::Prepare(size_t capacity) {
 }
 
 Status SubstrExpr::Eval(DataChunk& in, const sel_t* sel, size_t n, Vector** out) {
+  // Drop the previous chunk's heap references first — the result only needs
+  // this chunk's input alive, and carrying old refs across chunks would pin
+  // every heap the scan ever produced.
+  scratch_.ClearHeapRefs();
   Vector* iv = nullptr;
   VWISE_RETURN_IF_ERROR(input_->Eval(in, sel, n, &iv));
   const StringVal* src = iv->Data<StringVal>();
@@ -426,6 +430,9 @@ void CopyAtPositionsDispatch(const Vector& src, Vector* dst, const sel_t* sel,
 }  // namespace
 
 Status CaseExpr::Eval(DataChunk& in, const sel_t* sel, size_t n, Vector** out) {
+  // Drop last chunk's heap references so the string branch below reuses the
+  // scratch vector's own heap (Reset) instead of growing it every vector.
+  scratch_.ClearHeapRefs();
   // 1. ELSE branch everywhere active.
   Vector* ev = nullptr;
   VWISE_RETURN_IF_ERROR(else_->Eval(in, sel, n, &ev));
@@ -625,6 +632,8 @@ Status AndFilter::Select(DataChunk& in, const sel_t* sel, size_t n,
   int idx = (children_.size() % 2 == 0) ? 0 : 1;
   for (auto& c : children_) {
     size_t k = 0;
+    // vwise-hotpath: allow(virtual-in-loop): loop over conjuncts, not
+    // tuples — each Select filters a full vector
     VWISE_RETURN_IF_ERROR(c->Select(in, cur_sel, cur_n, bufs[idx], &k));
     cur_sel = bufs[idx];
     cur_n = k;
@@ -646,6 +655,7 @@ OrFilter::OrFilter(std::vector<FilterPtr> children)
 Status OrFilter::Prepare(size_t capacity) {
   VWISE_RETURN_IF_ERROR(Filter::Prepare(capacity));
   for (auto& c : children_) VWISE_RETURN_IF_ERROR(c->Prepare(capacity));
+  merge_buf_ = Buffer::Allocate(capacity * sizeof(sel_t));
   return Status::OK();
 }
 
@@ -657,28 +667,32 @@ Status OrFilter::Select(DataChunk& in, const sel_t* sel, size_t n,
   sel_t* child_buf = tmp_sel_b_->As<sel_t>();
   size_t acc_n = 0;
   VWISE_RETURN_IF_ERROR(children_[0]->Select(in, sel, n, acc, &acc_n));
-  std::vector<sel_t> merged;  // reused across children via assign
+  // The union of two ascending position lists has at most n entries (both
+  // draw from the same (sel, n) active set), so the Prepare-sized merge
+  // buffer always fits and Select allocates nothing.
+  sel_t* merged = merge_buf_->As<sel_t>();
   for (size_t ci = 1; ci < children_.size(); ci++) {
     size_t k = 0;
+    // vwise-hotpath: allow(virtual-in-loop): loop over disjuncts, not
+    // tuples — each Select filters a full vector
     VWISE_RETURN_IF_ERROR(children_[ci]->Select(in, sel, n, child_buf, &k));
-    merged.clear();
-    merged.reserve(acc_n + k);
+    size_t m = 0;
     size_t i = 0, j = 0;
     while (i < acc_n && j < k) {
       if (acc[i] < child_buf[j]) {
-        merged.push_back(acc[i++]);
+        merged[m++] = acc[i++];
       } else if (acc[i] > child_buf[j]) {
-        merged.push_back(child_buf[j++]);
+        merged[m++] = child_buf[j++];
       } else {
-        merged.push_back(acc[i]);
+        merged[m++] = acc[i];
         i++;
         j++;
       }
     }
-    while (i < acc_n) merged.push_back(acc[i++]);
-    while (j < k) merged.push_back(child_buf[j++]);
-    acc_n = merged.size();
-    if (acc_n != 0) std::memcpy(acc, merged.data(), acc_n * sizeof(sel_t));
+    while (i < acc_n) merged[m++] = acc[i++];
+    while (j < k) merged[m++] = child_buf[j++];
+    acc_n = m;
+    if (acc_n != 0) std::memcpy(acc, merged, acc_n * sizeof(sel_t));
   }
   if (acc_n != 0) std::memcpy(out_sel, acc, acc_n * sizeof(sel_t));
   *out_n = acc_n;

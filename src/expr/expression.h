@@ -231,6 +231,9 @@ class OrFilter final : public Filter {
 
  private:
   std::vector<FilterPtr> children_;
+  // Merge target for the ascending-union step, sized at Prepare so Select
+  // stays allocation-free.
+  std::shared_ptr<Buffer> merge_buf_;
 };
 
 // Complement of the child filter within the active positions.

@@ -4,6 +4,26 @@
 
 namespace vwise {
 
+namespace {
+
+// Out-of-line so Reserve's success path stays allocation-free: the message
+// is built only when the budget check has already failed.
+std::string BudgetError(const char* what, size_t bytes, int64_t reserved,
+                        int64_t budget) {
+  std::string msg = "query memory budget exceeded: ";
+  msg += what;
+  msg += " needs ";
+  msg += std::to_string(bytes);
+  msg += " more bytes, ";
+  msg += std::to_string(reserved);
+  msg += " of ";
+  msg += std::to_string(budget);
+  msg += " already reserved";
+  return msg;
+}
+
+}  // namespace
+
 QueryContext* QueryContext::Background() {
   // Never destroyed: operators bound to it may outlive any static-teardown
   // ordering (worker-pool threads drain during process exit).
@@ -17,16 +37,8 @@ Status QueryContext::Reserve(size_t bytes, const char* what) {
       reserved_.fetch_add(delta, std::memory_order_relaxed) + delta;
   if (budget_bytes_ != 0 && now > budget_bytes_) {
     reserved_.fetch_sub(delta, std::memory_order_relaxed);
-    std::string msg = "query memory budget exceeded: ";
-    msg += what;
-    msg += " needs ";
-    msg += std::to_string(bytes);
-    msg += " more bytes, ";
-    msg += std::to_string(now - delta);
-    msg += " of ";
-    msg += std::to_string(budget_bytes_);
-    msg += " already reserved";
-    return Status::ResourceExhausted(std::move(msg));
+    return Status::ResourceExhausted(
+        BudgetError(what, bytes, now - delta, budget_bytes_));
   }
   return Status::OK();
 }

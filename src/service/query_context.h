@@ -8,6 +8,7 @@
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "vector/vector_scratch.h"
 
 namespace vwise {
 
@@ -84,6 +85,13 @@ class QueryContext {
                         std::memory_order_relaxed);
   }
 
+  // --- scratch memory -------------------------------------------------------
+  // The query's scratch arena: operators lease their per-vector working
+  // arrays here in OpenImpl (ScratchHandle members) so steady-state Next()
+  // performs no allocations, and re-execution of a prepared query reuses the
+  // same buffers. Thread-safe (fragments open on pool threads).
+  VectorScratch* scratch() { return &scratch_; }
+
  private:
   static int64_t NowNs() {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -95,6 +103,7 @@ class QueryContext {
   int64_t deadline_ns_ = 0;  // steady_clock ns since epoch; 0 = none
   int64_t budget_bytes_ = 0;  // 0 = unlimited
   std::atomic<int64_t> reserved_{0};
+  VectorScratch scratch_;
 };
 
 // One operator's growing share of the query budget. Bound in OpenImpl (when

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/buffer.h"
+#include "common/macros.h"
 #include "vector/types.h"
 
 namespace vwise {
@@ -14,6 +15,12 @@ namespace vwise {
 // Arena for string bytes produced during execution (concatenation, substring,
 // decompression of string columns, ...). Vectors holding StringVals into a
 // heap keep a shared_ptr to it so the bytes outlive the producing operator.
+//
+// Hot-path contract: steady-state production reuses the buffers already
+// owned by the heap — the producing operator calls Reset() once per vector
+// (when it is the sole owner, see Vector::GetStringHeap) and Reserve()'s
+// fast path is then pure pointer arithmetic. Allocation happens only during
+// warm-up or when a chunk's string volume outgrows every previous chunk.
 class StringHeap {
  public:
   static constexpr size_t kChunkSize = 64 * 1024;
@@ -31,15 +38,35 @@ class StringHeap {
 
   // Reserves `n` writable bytes in the arena.
   char* Reserve(size_t n) {
-    if (used_ + n > cap_) {
-      size_t size = n > kChunkSize ? n : kChunkSize;
-      chunks_.push_back(Buffer::Allocate(size));
-      cap_ = size;
-      used_ = 0;
+    if (VWISE_UNLIKELY(used_ + n > cap_)) {
+      Grow(n);
     }
     char* p = chunks_.back()->As<char>() + used_;
     used_ += n;
     return p;
+  }
+
+  // Rewinds the arena so subsequent Add/Reserve calls reuse the owned
+  // buffers instead of allocating. Invalidates every StringVal previously
+  // handed out — callers must hold the heap uniquely (use_count() == 1; the
+  // chunk data contract makes outputs valid only until the next Next()).
+  //
+  // A heap that has sprawled over several chunks is coalesced into a single
+  // buffer sized for everything it held, so a workload whose per-vector
+  // string volume has stabilized performs zero allocations from the second
+  // vector on.
+  void Reset() {
+    if (chunks_.size() > 1) {
+      size_t total = bytes_used();
+      size_t size = total > kChunkSize ? total : kChunkSize;
+      chunks_.clear();
+      // vwise-hotpath: allow(alloc): coalescing runs only after the previous
+      // vector overflowed into extra chunks; the single right-sized buffer
+      // makes every later Reset allocation-free
+      chunks_.push_back(Buffer::Allocate(size));
+      cap_ = size;
+    }
+    used_ = 0;
   }
 
   // Total bytes handed out; used by execution statistics.
@@ -49,7 +76,25 @@ class StringHeap {
     return total;
   }
 
+  // Buffers currently owned (tests: Reset must not shed capacity).
+  size_t chunk_count() const { return chunks_.size(); }
+  size_t capacity() const {
+    size_t total = 0;
+    for (const auto& c : chunks_) total += c->capacity();
+    return total;
+  }
+
  private:
+  // Slow path of Reserve: opens a fresh chunk able to hold `n` bytes.
+  void Grow(size_t n) {
+    size_t size = n > kChunkSize ? n : kChunkSize;
+    // vwise-hotpath: allow(alloc): warm-up growth; Reset() reuses the arena so
+    // a stabilized workload never re-enters this path
+    chunks_.push_back(Buffer::Allocate(size));
+    cap_ = size;
+    used_ = 0;
+  }
+
   std::vector<std::shared_ptr<Buffer>> chunks_;
   size_t used_ = 0;
   size_t cap_ = 0;

@@ -65,8 +65,25 @@ class Vector {
 
   // Returns a lazily-created heap for computed string values; the heap is
   // kept alive as long as this vector (or anything referencing it) lives.
+  //
+  // The heap is cached across ClearHeapRefs() cycles: when no downstream
+  // reference survives (use_count() == 1 — the chunk data contract makes
+  // outputs valid only until the next Next()), the owned heap is Reset() and
+  // reused, so steady-state string production allocates nothing. A consumer
+  // still holding the previous chunk's heap forces one fresh allocation.
   StringHeap* GetStringHeap() {
-    if (heaps_.empty()) heaps_.push_back(std::make_shared<StringHeap>());
+    if (heaps_.empty()) {
+      if (own_heap_ != nullptr && own_heap_.use_count() == 1) {
+        own_heap_->Reset();
+      } else {
+        // vwise-hotpath: allow(alloc): first use, or the previous heap is
+        // still referenced downstream; steady state reuses own_heap_
+        own_heap_ = std::make_shared<StringHeap>();
+      }
+      // vwise-hotpath: allow(alloc): heaps_ capacity survives ClearHeapRefs
+      // (clear() keeps it), so the steady-state push_back reuses it
+      heaps_.push_back(own_heap_);
+    }
     return heaps_.front().get();
   }
 
@@ -84,6 +101,8 @@ class Vector {
     for (const auto& h : heaps_) {
       if (h == heap) return;
     }
+    // vwise-hotpath: allow(alloc): bounded by the number of heap sources per
+    // chunk (typically <= 2); capacity survives ClearHeapRefs and is reused
     heaps_.push_back(std::move(heap));
   }
   // Carries every heap reference of `other` over to this vector.
@@ -104,6 +123,9 @@ class Vector {
   std::shared_ptr<Buffer> buffer_;
   std::shared_ptr<const void> keepalive_;
   std::vector<std::shared_ptr<StringHeap>> heaps_;
+  // Cached owned heap, reused across ClearHeapRefs() cycles once downstream
+  // references drain (see GetStringHeap).
+  std::shared_ptr<StringHeap> own_heap_;
 };
 
 }  // namespace vwise

@@ -1,0 +1,72 @@
+#include "vector/vector_scratch.h"
+
+#include "common/bitutil.h"
+
+namespace vwise {
+
+namespace {
+
+size_t SizeClass(size_t bytes) {
+  size_t size = bit::NextPowerOfTwo(bytes < 64 ? 64 : bytes);
+  size_t log2 = 0;
+  while ((size_t{1} << log2) < size) log2++;
+  return log2;
+}
+
+}  // namespace
+
+ScratchHandle VectorScratch::Acquire(size_t min_bytes) {
+  size_t cls = SizeClass(min_bytes);
+  {
+    // vwise-hotpath: allow(lock): Acquire runs in OpenImpl, once per query,
+    // never inside Next()
+    MutexLock lock(&mu_);
+    if (cls < free_.size() && !free_[cls].empty()) {
+      std::shared_ptr<Buffer> buf = std::move(free_[cls].back());
+      free_[cls].pop_back();
+      reuse_hits_++;
+      return ScratchHandle(this, std::move(buf));
+    }
+    allocated_bytes_ += size_t{1} << cls;
+  }
+  return ScratchHandle(this, Buffer::Allocate(size_t{1} << cls));
+}
+
+// vwise-hotpath: allow(lock): Recycle runs from Close/teardown, never
+// inside Next()
+// vwise-hotpath: allow(alloc): the free-list push is bounded by the number
+// of handles a query ever held; it runs at operator Close, off the per-
+// vector path
+void VectorScratch::Recycle(std::shared_ptr<Buffer> buf) {
+  size_t cls = SizeClass(buf->capacity());
+  MutexLock lock(&mu_);
+  if (free_.size() <= cls) free_.resize(cls + 1);
+  free_[cls].push_back(std::move(buf));
+}
+
+size_t VectorScratch::allocated_bytes() const {
+  MutexLock lock(&mu_);
+  return allocated_bytes_;
+}
+
+size_t VectorScratch::reuse_hits() const {
+  MutexLock lock(&mu_);
+  return reuse_hits_;
+}
+
+size_t VectorScratch::pooled_buffers() const {
+  MutexLock lock(&mu_);
+  size_t n = 0;
+  for (const auto& cls : free_) n += cls.size();
+  return n;
+}
+
+void ScratchHandle::Release() {
+  if (arena_ != nullptr && buf_ != nullptr) {
+    arena_->Recycle(std::move(buf_));
+  }
+  arena_ = nullptr;
+  buf_ = nullptr;
+}
+
+}  // namespace vwise

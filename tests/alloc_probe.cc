@@ -1,0 +1,125 @@
+// Counting replacement for the global allocation functions ([new.delete]).
+// Linked ONLY into test binaries that want allocation accounting (see
+// tests/CMakeLists.txt); the library itself never references these symbols.
+//
+// All sixteen usual-deallocation/allocation signatures are replaced so that
+// the pairing rules hold no matter which form the standard library picks
+// (sized delete, aligned new from over-aligned types, nothrow forms in
+// container internals).
+
+#include "alloc_probe.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<uint64_t> g_frees{0};
+std::atomic<uint64_t> g_bytes{0};
+
+void* CountedAlloc(std::size_t size, std::size_t align) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  if (align <= alignof(std::max_align_t)) return std::malloc(size);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size) != 0) return nullptr;
+  return p;
+}
+
+void CountedFree(void* p) noexcept {
+  if (p == nullptr) return;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+namespace vwise::test {
+
+AllocSnapshot TakeAllocSnapshot() {
+  AllocSnapshot s;
+  s.allocs = g_allocs.load(std::memory_order_relaxed);
+  s.frees = g_frees.load(std::memory_order_relaxed);
+  s.bytes = g_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+uint64_t AllocsBetween(const AllocSnapshot& before, const AllocSnapshot& after) {
+  return after.allocs - before.allocs;
+}
+
+uint64_t BytesBetween(const AllocSnapshot& before, const AllocSnapshot& after) {
+  return after.bytes - before.bytes;
+}
+
+}  // namespace vwise::test
+
+// ---------------------------------------------------------------------------
+// Global replacements
+// ---------------------------------------------------------------------------
+
+void* operator new(std::size_t size) {
+  if (void* p = CountedAlloc(size, 0)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  if (void* p = CountedAlloc(size, 0)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size, 0);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size, 0);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p = CountedAlloc(size, static_cast<std::size_t>(align))) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  if (void* p = CountedAlloc(size, static_cast<std::size_t>(align))) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return CountedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return CountedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { CountedFree(p); }
+void operator delete[](void* p) noexcept { CountedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { CountedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { CountedFree(p); }
+void operator delete(void* p, std::align_val_t) noexcept { CountedFree(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { CountedFree(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  CountedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  CountedFree(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { CountedFree(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  CountedFree(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  CountedFree(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  CountedFree(p);
+}

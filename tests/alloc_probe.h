@@ -1,0 +1,33 @@
+#ifndef VWISE_TESTS_ALLOC_PROBE_H_
+#define VWISE_TESTS_ALLOC_PROBE_H_
+
+#include <cstdint>
+
+namespace vwise::test {
+
+// Process-wide allocation counters, maintained by the counting global
+// operator new/delete replacement in alloc_probe.cc. Linking alloc_probe.cc
+// into a test binary routes EVERY C++ heap allocation in the process through
+// the counters — no sampling, so a hidden std::make_unique or std::vector
+// growth in a per-vector loop cannot slip past.
+//
+// Intended use is differential: take a snapshot, run the region under test,
+// take another, assert on the delta. The counters are monotonically
+// increasing relaxed atomics; taking a snapshot allocates nothing. The
+// counters are process-global, so run the measured region single-threaded —
+// traffic from concurrent threads would be attributed to the region.
+struct AllocSnapshot {
+  uint64_t allocs;  // operator new / new[] calls, all variants
+  uint64_t frees;   // operator delete / delete[] calls, all variants
+  uint64_t bytes;   // sum of sizes requested from operator new
+};
+
+AllocSnapshot TakeAllocSnapshot();
+
+// Deltas between two snapshots (after - before).
+uint64_t AllocsBetween(const AllocSnapshot& before, const AllocSnapshot& after);
+uint64_t BytesBetween(const AllocSnapshot& before, const AllocSnapshot& after);
+
+}  // namespace vwise::test
+
+#endif  // VWISE_TESTS_ALLOC_PROBE_H_

@@ -1,0 +1,43 @@
+// Negative hot-path check: a primitive kernel that hides a std::vector
+// push_back behind a helper call must be rejected by tools/vwise_hotpath.py.
+//
+// tools/check_compile_fail.py runs this twice (mode hotpath-alloc): the
+// control (no VWISE_COMPILE_FAIL) must pass the analyzer — proving the clean
+// kernel shape is accepted — and the seeded variant must fail with an
+// 'alloc' diagnostic, proving the call-graph closure actually descends into
+// helpers instead of only pattern-matching the kernel body. Both variants
+// must also compile as plain C++ (the violation is semantic, not
+// syntactic). ctest target: compile_fail_hotpath_alloc.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace vwise {
+
+#ifdef VWISE_COMPILE_FAIL
+// The hidden allocation: one innocent-looking call away from the kernel.
+inline void RecordSample(long v) {
+  static std::vector<long> sink;
+  sink.push_back(v);
+}
+#endif
+
+// A catalog-style map kernel: tight per-vector loop, no state.
+template <typename T>
+VWISE_HOT void MapAddDemo(const T* a, const T* b, T* out, size_t n) {
+  for (size_t i = 0; i < n; i++) {
+    out[i] = a[i] + b[i];
+#ifdef VWISE_COMPILE_FAIL
+    RecordSample(static_cast<long>(out[i]));
+#endif
+  }
+}
+
+// Anchor an instantiation so the control build exercises the template.
+inline void UseDemo(const long* a, const long* b, long* out, size_t n) {
+  MapAddDemo<long>(a, b, out, n);
+}
+
+}  // namespace vwise

@@ -140,5 +140,93 @@ TEST_F(ChunkTest, GetValueRendersDates) {
   EXPECT_EQ(c.GetValue(0, 0, &date).AsString(), "1970-01-01");
 }
 
+// --- hot-path reuse regressions (DESIGN.md §9) -----------------------------
+// Steady-state string production must reuse the buffers already owned by the
+// heap/vector; these pin the Reset()/GetStringHeap() contract the hot-path
+// analyzer's allow(alloc) escapes rely on.
+
+TEST(StringHeapTest, ResetReusesSingleChunk) {
+  StringHeap heap;
+  StringVal first = heap.Add("steady");
+  size_t cap = heap.capacity();
+  ASSERT_EQ(heap.chunk_count(), 1u);
+  heap.Reset();
+  // Same buffer, rewound: the next Add lands on the same address and no
+  // capacity is shed or acquired.
+  StringVal again = heap.Add("state!");
+  EXPECT_EQ(again.ptr, first.ptr);
+  EXPECT_EQ(heap.capacity(), cap);
+  EXPECT_EQ(heap.chunk_count(), 1u);
+  EXPECT_EQ(again.ToString(), "state!");
+}
+
+TEST(StringHeapTest, ResetCoalescesSprawledChunks) {
+  StringHeap heap;
+  // Three 40KB strings overflow the 64KB chunks — the heap sprawls.
+  std::string s(40 * 1024, 'a');
+  for (int i = 0; i < 3; i++) heap.Add(s);
+  size_t sprawled = heap.bytes_used();
+  ASSERT_GT(heap.chunk_count(), 1u);
+  heap.Reset();
+  // Coalesced into ONE buffer sized for everything the heap held, so the
+  // same per-vector volume now fits without touching the allocator again.
+  EXPECT_EQ(heap.chunk_count(), 1u);
+  EXPECT_GE(heap.capacity(), sprawled);
+  size_t cap = heap.capacity();
+  for (int i = 0; i < 3; i++) heap.Add(s);
+  EXPECT_EQ(heap.chunk_count(), 1u);
+  EXPECT_EQ(heap.capacity(), cap);
+  heap.Reset();
+  EXPECT_EQ(heap.chunk_count(), 1u);
+  EXPECT_EQ(heap.capacity(), cap);
+}
+
+TEST(VectorTest, OwnHeapReusedAcrossClearHeapRefs) {
+  Vector v(TypeId::kStr, 16);
+  StringHeap* h1 = v.GetStringHeap();
+  StringVal sv1 = h1->Add("chunk-1 payload");
+  // Next fill cycle, no downstream reference: the SAME heap object comes
+  // back, Reset() — the new bytes land on the old address.
+  v.ClearHeapRefs();
+  StringHeap* h2 = v.GetStringHeap();
+  EXPECT_EQ(h2, h1);
+  StringVal sv2 = h2->Add("chunk-2 payload");
+  EXPECT_EQ(sv2.ptr, sv1.ptr);
+}
+
+TEST(VectorTest, OwnHeapNotResetWhileReferencedDownstream) {
+  Vector v(TypeId::kStr, 16);
+  StringHeap* h1 = v.GetStringHeap();
+  StringVal sv1 = h1->Add("buffered by a blocking operator");
+  // A consumer (join build, sort run) still holds the previous chunk's
+  // heap: the vector must NOT rewind it under the consumer's feet.
+  std::shared_ptr<StringHeap> downstream = v.string_heap();
+  ASSERT_NE(downstream, nullptr);
+  v.ClearHeapRefs();
+  StringHeap* h2 = v.GetStringHeap();
+  EXPECT_NE(h2, h1);
+  EXPECT_EQ(sv1.ToString(), "buffered by a blocking operator");
+  // Once the downstream reference drains, the replacement heap is the one
+  // that gets cached and reused.
+  downstream.reset();
+  v.ClearHeapRefs();
+  EXPECT_EQ(v.GetStringHeap(), h2);
+}
+
+TEST(VectorTest, HeapRefVectorKeepsCapacityAcrossClear) {
+  Vector v(TypeId::kStr, 16);
+  auto extra = std::make_shared<StringHeap>();
+  v.GetStringHeap();
+  v.AddStringHeapRef(extra);
+  EXPECT_EQ(v.heaps().size(), 2u);
+  // Registering the same heap again is a no-op (scan chunks carry at most a
+  // couple of distinct heap sources).
+  v.AddStringHeapRef(extra);
+  EXPECT_EQ(v.heaps().size(), 2u);
+  v.ClearHeapRefs();
+  EXPECT_TRUE(v.heaps().empty());
+  EXPECT_GE(v.heaps().capacity(), 2u);  // clear() keeps the capacity
+}
+
 }  // namespace
 }  // namespace vwise

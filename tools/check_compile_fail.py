@@ -22,11 +22,20 @@ Modes
                  analysis only exists in clang, so under any other compiler
                  the runner exits 77 (ctest SKIP_RETURN_CODE) rather than
                  reporting a vacuous pass.
+  hotpath-*      analyzer-backed: the "compiler" for the seeded violation is
+                 tools/vwise_hotpath.py in --src mode. Both variants must
+                 still compile as plain C++ (the violation is semantic, not
+                 syntactic); then the analyzer must accept the control and
+                 reject the seeded variant with the expected diagnostic.
+                   hotpath-alloc   hidden std::vector growth in a kernel
+                   hotpath-lock    mutex acquisition inside Next()
+                   hotpath-escape  allow() escape without a rationale
 
 Exit codes: 0 = gate holds, 1 = gate broken, 77 = skipped (wrong compiler).
 """
 
 import argparse
+import os
 import subprocess
 import sys
 
@@ -47,7 +56,36 @@ MODES = {
         # "calling function 'AuditLocked' requires holding mutex 'mu_'".
         "markers": ["requires holding", "-Wthread-safety"],
     },
+    "hotpath-alloc": {
+        "flags": [],
+        "clang_only": False,
+        "analyzer": True,
+        "markers": ["alloc:"],
+    },
+    "hotpath-lock": {
+        "flags": [],
+        "clang_only": False,
+        "analyzer": True,
+        "markers": ["lock:"],
+    },
+    "hotpath-escape": {
+        "flags": [],
+        "clang_only": False,
+        "analyzer": True,
+        "markers": ["needs a rationale"],
+    },
 }
+
+HOTPATH_TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "vwise_hotpath.py")
+
+
+def analyze_once(src, define):
+    cmd = [sys.executable, HOTPATH_TOOL, "--src", src]
+    if define:
+        cmd += ["--define", "VWISE_COMPILE_FAIL"]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+    return proc.returncode, proc.stdout + proc.stderr
 
 
 def is_clang(cxx):
@@ -96,6 +134,40 @@ def main():
               "the seeded violation, so the negative check proves nothing:")
         print(out)
         return 1
+
+    if mode.get("analyzer"):
+        # The seeded variant must still be valid C++ — the violation is
+        # semantic (purity), not syntactic.
+        rc, out = compile_once(args.cxx, args.src, args.includes,
+                               mode["flags"], define=True)
+        if rc != 0:
+            print(f"check_compile_fail[{args.mode}]: seeded variant of "
+                  f"{args.src} does not compile as C++ — the snippet must be "
+                  "well-formed so only the analyzer rejects it:")
+            print(out)
+            return 1
+        rc, out = analyze_once(args.src, define=False)
+        if rc != 0:
+            print(f"check_compile_fail[{args.mode}]: analyzer rejected the "
+                  f"CONTROL variant of {args.src} — the clean shape must "
+                  "pass, so the negative check proves nothing:")
+            print(out)
+            return 1
+        rc, out = analyze_once(args.src, define=True)
+        if rc == 0:
+            print(f"check_compile_fail[{args.mode}]: GATE BROKEN — the "
+                  f"seeded violation in {args.src} passed "
+                  "tools/vwise_hotpath.py cleanly.")
+            return 1
+        if not any(m in out for m in mode["markers"]):
+            print(f"check_compile_fail[{args.mode}]: analyzer rejected the "
+                  f"seeded variant but for the wrong reason (none of "
+                  f"{mode['markers']} in the diagnostics):")
+            print(out)
+            return 1
+        print(f"check_compile_fail[{args.mode}]: OK — control passes the "
+              "analyzer, seeded violation is rejected")
+        return 0
 
     rc, out = compile_once(args.cxx, args.src, args.includes,
                            mode["flags"], define=True)

@@ -423,6 +423,44 @@ class Lint:
                 if fn.endswith(".h"):
                     self.check_header_guard(path, rel, lines)
 
+    # -- kernel growth -------------------------------------------------------
+
+    # Container-growth member calls that are never acceptable inside a
+    # primitive kernel: kernels run once per vector over preallocated
+    # columns, so any growth call is either a hidden per-vector allocation
+    # or state smuggled into what must be a pure function.
+    KERNEL_GROWTH_RE = re.compile(
+        r"\.\s*(push_back|emplace_back|resize|reserve)\s*\(")
+
+    def check_kernel_growth(self, src_dir):
+        """The kernel-catalog files (src/expr/primitives.h and the catalog
+        itself) must not grow containers. The deep call-graph closure lives
+        in tools/vwise_hotpath.py; this is the shallow always-on backstop
+        that keeps the kernel source itself clean even when the analyzer is
+        not run. Waive with `// vwise-lint: allow(kernel-growth): <why>`."""
+        kernel_files = (
+            os.path.join(src_dir, "expr", "primitives.h"),
+            os.path.join(src_dir, "expr", "primitive_catalog.inc"),
+        )
+        for path in kernel_files:
+            if not os.path.isfile(path):
+                continue
+            lines = open(path, encoding="utf-8").read().splitlines()
+            for lineno, line in enumerate(lines, 1):
+                code = line.split("//", 1)[0]
+                m = self.KERNEL_GROWTH_RE.search(code)
+                if not m:
+                    continue
+                if self.allowed(path, lines, lineno, "kernel-growth"):
+                    continue
+                self.error(
+                    path, lineno,
+                    f"container growth ({m.group(1)}) in a kernel-catalog "
+                    "file — primitive kernels write into preallocated "
+                    "vectors and must not allocate; hoist the state to the "
+                    "operator, or waive with "
+                    "`// vwise-lint: allow(kernel-growth): <why>`")
+
     # -- thread confinement -------------------------------------------------
 
     def check_thread_confinement(self, src_dir):
@@ -694,6 +732,7 @@ def run_lint(repo):
         registry_path=os.path.join(src, "expr", "primitive_registry.cc"),
         src_dir=src)
     lint.check_repo_rules(src)
+    lint.check_kernel_growth(src)
     lint.check_operator_children(src)
     lint.check_interpose_helper(src)
     lint.check_thread_confinement(src)
@@ -786,6 +825,13 @@ def self_test(repo):
             tmp, os.path.join("tests", "txn_test.cc"),
             "namespace {", "namespace {\nvoid SelfTestSeed(Wal* wal) "
             "{\n  wal->Sync();\n}"), "discards its Status"),
+        # A kernel-catalog file growing a container: the shallow always-on
+        # backstop behind tools/vwise_hotpath.py's call-graph closure.
+        "container growth in kernel file": (lambda tmp: patch_file(
+            tmp, os.path.join("src", "expr", "primitives.h"),
+            "struct OpAdd",
+            "inline void SeedGrow(std::vector<int>& v) { v.push_back(1); }\n"
+            "struct OpAdd"), "container growth"),
         # A raw std::mutex in src/: invisible to clang -Wthread-safety.
         "raw std::mutex": (lambda tmp: patch_file(
             tmp, os.path.join("src", "storage", "buffer_manager.h"),
