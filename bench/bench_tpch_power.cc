@@ -22,6 +22,30 @@
 namespace vwise::bench {
 namespace {
 
+// Result comparison for the out-of-core rerun. Spilled aggregation merges
+// per-partition partial states, so double accumulations can differ from the
+// streaming in-memory order in the last bits; everything else must match
+// exactly.
+bool RowsEquivalent(const std::vector<std::vector<Value>>& a,
+                    const std::vector<std::vector<Value>>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); i++) {
+    if (a[i].size() != b[i].size()) return false;
+    for (size_t c = 0; c < a[i].size(); c++) {
+      const Value& x = a[i][c];
+      const Value& y = b[i][c];
+      if (x.kind() == Value::Kind::kDouble && y.kind() == Value::Kind::kDouble) {
+        double dx = x.AsDouble(), dy = y.AsDouble();
+        double scale = std::max({std::fabs(dx), std::fabs(dy), 1.0});
+        if (std::fabs(dx - dy) > 1e-9 * scale) return false;
+      } else if (!(x == y)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 double PowerMetric(const std::vector<double>& secs, double sf) {
   // TPC-H Power ~ 3600 * SF / geomean(times). Refresh functions are
   // benchmarked separately (bench_pdt), so this is the query-only geomean.
@@ -92,6 +116,60 @@ void RunPower(double sf, BenchReport* report) {
   report->SetMetric(key, Json::Double(pv));
   std::snprintf(key, sizeof(key), "power_sf%.3g_tuple", sf);
   report->SetMetric(key, Json::Double(pt));
+
+  // Out-of-core rerun: representative breaker shapes (Q1 aggregation, Q3
+  // join+agg+sort, Q6 selection+scalar agg) under a per-query memory budget
+  // of a quarter of their unbudgeted reservation peak. Breakers whose state
+  // exceeds the budget degrade to spilling; results must stay bit-identical.
+  std::printf("%5s %15s %11s %12s\n", "query", "out-of-core(s)", "budget(KB)",
+              "spilled(KB)");
+  uint64_t total_spilled = 0;
+  for (int q : {1, 3, 6}) {
+    auto prepared =
+        tpch::PrepareQuery(q, session.get(), db->Internals().tm, vectorized);
+    VWISE_CHECK_MSG(prepared.ok(), prepared.status().ToString().c_str());
+    auto base = (*prepared)->Run();
+    VWISE_CHECK_MSG(base.ok(), base.status().ToString().c_str());
+    size_t budget =
+        std::max<size_t>(base->peak_reserved_bytes / 4, size_t{96} << 10);
+    QueryOptions opt;
+    opt.memory_budget_bytes = budget;
+    uint64_t spilled = 0, read_back = 0;
+    size_t rows = 0, peak = 0;
+    double t = TimeSec([&] {
+      auto r = (*prepared)->Run(opt);
+      VWISE_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+      spilled = r->spill_bytes_written;
+      read_back = r->spill_bytes_read;
+      rows = r->rows.size();
+      peak = r->peak_reserved_bytes;
+      VWISE_CHECK_MSG(RowsEquivalent(r->rows, base->rows),
+                      "out-of-core result diverged from the in-memory run");
+    });
+    // If the unbudgeted peak exceeded the budget, some breaker must have
+    // degraded to disk rather than thrashing or failing.
+    VWISE_CHECK_MSG(spilled > 0 || base->peak_reserved_bytes <= budget,
+                    "budget below the in-memory peak yet nothing spilled");
+    total_spilled += spilled;
+    std::printf("%5d %15.4f %11zu %12.1f\n", q, t, budget >> 10,
+                static_cast<double>(spilled) / 1024.0);
+
+    Json entry = Json::Object();
+    entry.Set("query", Json::Int(q));
+    entry.Set("sf", Json::Double(sf));
+    entry.Set("mode", Json::Str("out_of_core"));
+    entry.Set("wall_ms_out_of_core", Json::Double(t * 1e3));
+    entry.Set("rows", Json::Int(static_cast<int64_t>(rows)));
+    entry.Set("memory_budget_bytes", Json::Int(static_cast<int64_t>(budget)));
+    entry.Set("peak_reserved_bytes", Json::Int(static_cast<int64_t>(peak)));
+    entry.Set("spill_bytes_written", Json::Int(static_cast<int64_t>(spilled)));
+    entry.Set("spill_bytes_read", Json::Int(static_cast<int64_t>(read_back)));
+    entry.Set("config", ConfigJson(vectorized));
+    report->AddEntry(std::move(entry));
+  }
+  std::snprintf(key, sizeof(key), "outofcore_sf%.3g_spill_mb", sf);
+  report->SetMetric(key,
+                    Json::Double(static_cast<double>(total_spilled) / 1048576.0));
 }
 
 std::vector<double> ScaleFactors() {

@@ -1,6 +1,9 @@
 #include "api/database.h"
 
+#include <cstdlib>
+
 #include "service/query_service.h"
+#include "storage/spill_file.h"
 
 namespace vwise {
 
@@ -10,6 +13,17 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
                                                  const Config& config) {
   auto db = std::unique_ptr<Database>(new Database());
   db->config_ = config;
+  // Resolve the spill base for every query of this database: explicit config,
+  // then $VWISE_SPILL_DIR, then a directory next to the data. Whatever it
+  // resolves to is swept now — per-query subdirectories that survived a crash
+  // are dead scratch (the queries that wrote them are gone).
+  if (db->config_.spill_dir.empty()) {
+    const char* env = std::getenv("VWISE_SPILL_DIR");
+    db->config_.spill_dir = (env != nullptr && env[0] != '\0')
+                                ? std::string(env)
+                                : dir + "/spill";
+  }
+  SweepSpillDir(db->config_.spill_dir);
   db->device_ = std::make_unique<IoDevice>(config);
   db->buffers_ = std::make_unique<BufferManager>(config.buffer_pool_bytes);
   db->scheduler_ = std::make_unique<ScanScheduler>(ScanPolicy::kCooperative,

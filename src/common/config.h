@@ -73,9 +73,28 @@ struct Config {
   int max_concurrent_queries = 4;
   // Per-query budget for the memory the pipeline breakers materialize (hash
   // join build side, aggregation groups, sort runs, exchange queues).
-  // Exceeding it fails the query with Status::ResourceExhausted rather than
-  // OOMing the process. 0 = unlimited.
+  // Exceeding it makes the breakers spill to disk (see enable_spill); only
+  // when spilling is disabled or cannot make progress does the query fail
+  // with Status::ResourceExhausted rather than OOMing the process.
+  // 0 = unlimited.
   size_t query_memory_budget_bytes = 0;
+  // Graceful degradation under the memory budget: when a Reserve would
+  // overshoot, hash join and hash aggregation switch to radix-partitioned
+  // spilling and sort becomes an external sort (runs + k-way merge) instead
+  // of failing the query. Off = the pre-spill behavior (hard
+  // ResourceExhausted), which the budget-exhaustion tests rely on.
+  bool enable_spill = true;
+  // Radix partitions (fan-out) for spilled hash join/aggregation. Rounded to
+  // a power of two in [2, 256]; each spilled partition must individually fit
+  // in the budget when it is reloaded.
+  size_t spill_partitions = 8;
+  // Base directory for spill temp files. Resolution order: this field, then
+  // $VWISE_SPILL_DIR, then "<db dir>/spill" for queries running through a
+  // Database (stale per-query dirs in it are swept at Open — crash
+  // recovery), then the system temp dir for embedded contexts. Each query
+  // gets its own subdirectory, removed when the query's context is
+  // destroyed.
+  std::string spill_dir;
   // Interpose a CheckedOperator between every parent/child operator pair,
   // validating the X100 chunk invariants (see vector/chunk.h) after every
   // Next(). Debug tooling: on in all tests, off in benchmarks.

@@ -1,11 +1,15 @@
 #include "exec/hash_agg.h"
 
 #include <algorithm>
+#include <cstring>
+#include <filesystem>
 #include <limits>
+#include <system_error>
 
 #include "common/bitutil.h"
 #include "common/hash.h"
 #include "exec/profile.h"
+#include "storage/spill_file.h"
 
 namespace vwise {
 
@@ -120,6 +124,8 @@ HashAggOperator::HashAggOperator(OperatorPtr child,
   }
 }
 
+HashAggOperator::~HashAggOperator() { DropPartitions(); }
+
 Status HashAggOperator::OpenImpl() {
   VWISE_RETURN_IF_ERROR(child_->Open(ctx()));
   const auto& in_types = child_->OutputTypes();
@@ -141,11 +147,20 @@ Status HashAggOperator::OpenImpl() {
     states_[i].in_type =
         aggs_[i].fn == AggSpec::Fn::kCountStar ? TypeId::kI64 : in_types[aggs_[i].col];
   }
-  ResizeTable(1024);
+  // Reset the group count and hashes from a previous execution of a prepared
+  // plan BEFORE rebuilding the slot table: ResizeTable re-inserts the first
+  // n_groups_ entries of group_hashes_, so stale values would repopulate the
+  // fresh table with dangling group indices (and loop forever once the stale
+  // count exceeds the bucket count).
   n_groups_ = 0;
   group_hashes_.clear();
+  ResizeTable(1024);
   consumed_ = false;
   emit_cursor_ = 0;
+  spilled_ = false;
+  DropPartitions();
+  next_partition_ = 0;
+  spill_partitions_stat_ = 0;
   hash_scratch_ = ctx()->scratch()->AcquireArray<uint64_t>(config_.vector_size);
   group_idx_ = ctx()->scratch()->AcquireArray<uint32_t>(config_.vector_size);
   emit_idx_ = ctx()->scratch()->AcquireArray<uint32_t>(config_.vector_size);
@@ -163,7 +178,8 @@ void HashAggOperator::ResizeTable(size_t buckets) {
 }
 
 uint32_t HashAggOperator::FindOrCreateGroup(const DataChunk& chunk, sel_t pos,
-                                            uint64_t hash) {
+                                            uint64_t hash,
+                                            const size_t* key_cols) {
   uint64_t s = hash & slot_mask_;
   while (true) {
     uint32_t g = slots_[s];
@@ -171,7 +187,7 @@ uint32_t HashAggOperator::FindOrCreateGroup(const DataChunk& chunk, sel_t pos,
     if (group_hashes_[g] == hash) {
       bool equal = true;
       for (size_t k = 0; k < group_cols_.size(); k++) {
-        if (!KeyEquals(chunk.column(group_cols_[k]), pos, key_stores_[k], g)) {
+        if (!KeyEquals(chunk.column(key_cols[k]), pos, key_stores_[k], g)) {
           equal = false;
           break;
         }
@@ -188,7 +204,7 @@ uint32_t HashAggOperator::FindOrCreateGroup(const DataChunk& chunk, sel_t pos,
   group_hashes_.push_back(hash);
   for (size_t k = 0; k < group_cols_.size(); k++) {
     // vwise-hotpath: allow(cold-call): per-new-group key copy, warm-up only
-    key_stores_[k].AppendOne(chunk.column(group_cols_[k]), pos);
+    key_stores_[k].AppendOne(chunk.column(key_cols[k]), pos);
   }
   for (size_t i = 0; i < aggs_.size(); i++) {
     AggState& st = states_[i];
@@ -254,7 +270,7 @@ VWISE_HOT Status HashAggOperator::ProcessChunk(const DataChunk& chunk) {
   // 2. Resolve group indices.
   for (size_t i = 0; i < n; i++) {
     sel_t pos = sel ? sel[i] : static_cast<sel_t>(i);
-    groups[i] = FindOrCreateGroup(chunk, pos, hashes[i]);
+    groups[i] = FindOrCreateGroup(chunk, pos, hashes[i], group_cols_.data());
   }
   // 3. Per-aggregate update loops.
   for (size_t a = 0; a < aggs_.size(); a++) {
@@ -320,19 +336,83 @@ VWISE_HOT Status HashAggOperator::ProcessChunk(const DataChunk& chunk) {
 Status HashAggOperator::ConsumeInput() {
   DataChunk chunk;
   chunk.Init(child_->OutputTypes(), config_.vector_size);
+  std::vector<sel_t> orig_sel;  // snapshot of active positions when slicing
   while (true) {
     VWISE_RETURN_IF_ERROR(ctx()->Check());
     chunk.Reset();
     VWISE_RETURN_IF_ERROR(child_->Next(&chunk));
-    if (chunk.ActiveCount() == 0) break;
-    VWISE_RETURN_IF_ERROR(ProcessChunk(chunk));
-    if (n_groups_ > reserved_groups_) {
-      VWISE_RETURN_IF_ERROR(
-          mem_.Grow((n_groups_ - reserved_groups_) * per_group_bytes_));
+    size_t n = chunk.ActiveCount();
+    if (n == 0) break;
+    // Budget-accounting fix: reserve a worst-case bound (every incoming row
+    // a fresh group) BEFORE ProcessChunk inserts anything, then trim the
+    // reservation to the groups actually created. The old reserve-after-
+    // insert let a single chunk of fresh groups overshoot the budget — and
+    // the spill trigger below must fire before allocation to help at all.
+    size_t done = 0;
+    bool sliced = false;
+    while (done < n) {
+      size_t slice = n - done;
+      while (true) {
+        Status grown = mem_.Grow(slice * per_group_bytes_);
+        if (grown.ok()) break;
+        if (grown.code() != StatusCode::kResourceExhausted ||
+            !config_.enable_spill) {
+          return grown;
+        }
+        if (n_groups_ > 0) {
+          // Flush the table to the radix partitions and retry with the
+          // budget freed up.
+          VWISE_RETURN_IF_ERROR(SpillGroups());
+          continue;
+        }
+        if (slice > 1) {
+          // Empty table and still over budget: the worst-case bound for the
+          // whole slice is what does not fit — narrow the slice instead of
+          // failing (the real group count is usually far below worst case).
+          slice = (slice + 1) / 2;
+          continue;
+        }
+        return grown;  // budget cannot hold even one group
+      }
+      if (slice < n) {
+        // Narrow the chunk to the active-position window [done, done+slice).
+        if (!sliced) {
+          orig_sel.resize(n);
+          if (chunk.has_selection()) {
+            std::memcpy(orig_sel.data(), chunk.sel(), n * sizeof(sel_t));
+          } else {
+            for (size_t i = 0; i < n; i++) orig_sel[i] = static_cast<sel_t>(i);
+          }
+          sliced = true;
+        }
+        std::memcpy(chunk.MutableSel(), orig_sel.data() + done,
+                    slice * sizeof(sel_t));
+        chunk.SetSelection(slice);
+      }
+      size_t before = n_groups_;
+      VWISE_RETURN_IF_ERROR(ProcessChunk(chunk));
+      mem_.Shrink((slice - (n_groups_ - before)) * per_group_bytes_);
       reserved_groups_ = n_groups_;
+      done += slice;
+    }
+    // Coexistence cap: flush the table once it holds more than half the
+    // budget so a downstream breaker (e.g. a Sort consuming our output)
+    // is not starved of reservation headroom — and vice versa, our own
+    // partition reloads still fit next to a capped downstream buffer.
+    if (config_.enable_spill && ctx()->memory_budget() > 0 && n_groups_ > 0 &&
+        mem_.bytes() > ctx()->memory_budget() / 2) {
+      VWISE_RETURN_IF_ERROR(SpillGroups());
     }
   }
   child_->Close();
+  if (spilled_) {
+    // Flush the tail so every group lives in exactly one partition, then
+    // close the writers; emission reloads partitions one at a time.
+    VWISE_RETURN_IF_ERROR(SpillGroups());
+    writers_.clear();
+    next_partition_ = 0;
+    return Status::OK();
+  }
   // An ungrouped aggregate always emits one row, even on empty input.
   if (group_cols_.empty() && n_groups_ == 0) {
     DataChunk empty;
@@ -375,6 +455,228 @@ Status HashAggOperator::ConsumeInput() {
   return Status::OK();
 }
 
+void HashAggOperator::BuildStateSchema() {
+  const auto& in_types = child_->OutputTypes();
+  state_types_.clear();
+  lanes_.clear();
+  identity_cols_.clear();
+  for (size_t k = 0; k < group_cols_.size(); k++) {
+    state_types_.push_back(in_types[group_cols_[k]]);
+    identity_cols_.push_back(k);
+  }
+  for (size_t a = 0; a < aggs_.size(); a++) {
+    const AggState& st = states_[a];
+    bool is_i64 = false;
+    bool has_count = false;
+    switch (aggs_[a].fn) {
+      case AggSpec::Fn::kSum:
+        is_i64 = IntFamily(st.in_type);
+        break;
+      case AggSpec::Fn::kMin:
+      case AggSpec::Fn::kMax:
+        is_i64 = st.in_type != TypeId::kF64;
+        has_count = true;
+        break;
+      case AggSpec::Fn::kCount:
+      case AggSpec::Fn::kCountStar:
+        is_i64 = true;
+        break;
+      case AggSpec::Fn::kAvg:
+        is_i64 = false;
+        has_count = true;
+        break;
+    }
+    StateLane lane{state_types_.size(), SIZE_MAX, is_i64};
+    state_types_.push_back(is_i64 ? TypeId::kI64 : TypeId::kF64);
+    if (has_count) {
+      lane.count_col = state_types_.size();
+      state_types_.push_back(TypeId::kI64);
+    }
+    lanes_.push_back(lane);
+  }
+}
+
+void HashAggOperator::ClearTable() {
+  n_groups_ = 0;
+  group_hashes_.clear();
+  const auto& in_types = child_->OutputTypes();
+  key_stores_.clear();
+  for (size_t c : group_cols_) key_stores_.emplace_back(in_types[c]);
+  for (AggState& st : states_) {
+    st.i64.clear();
+    st.f64.clear();
+    st.count.clear();
+  }
+  ResizeTable(1024);
+  mem_.Shrink(reserved_groups_ * per_group_bytes_);
+  reserved_groups_ = 0;
+}
+
+Status HashAggOperator::SpillGroups() {
+  if (n_groups_ == 0) return Status::OK();
+  if (writers_.empty()) {
+    spilled_ = true;
+    n_partitions_ = SpillPartitionCount(config_.spill_partitions);
+    spill_partitions_stat_ = n_partitions_;
+    BuildStateSchema();
+    for (size_t p = 0; p < n_partitions_; p++) {
+      std::string path;
+      VWISE_ASSIGN_OR_RETURN(path, ctx()->NewSpillPath("agg_part"));
+      partition_paths_.push_back(path);
+      std::unique_ptr<SpillWriter> writer;
+      VWISE_ASSIGN_OR_RETURN(writer,
+                             SpillWriter::Create(path, state_types_,
+                                                 &ctx()->spill_counters()));
+      writers_.push_back(std::move(writer));
+    }
+  }
+  // Partition on HIGH hash bits: the group table (and a downstream reload's
+  // table) masks the low bits, so low-bit partitioning would put every group
+  // of a partition in the same few buckets.
+  std::vector<std::vector<uint32_t>> buckets(n_partitions_);
+  for (uint32_t g = 0; g < n_groups_; g++) {
+    buckets[(group_hashes_[g] >> 56) & (n_partitions_ - 1)].push_back(g);
+  }
+  DataChunk scratch;
+  scratch.Init(state_types_, config_.vector_size);
+  for (size_t p = 0; p < n_partitions_; p++) {
+    const std::vector<uint32_t>& ids = buckets[p];
+    for (size_t i = 0; i < ids.size(); i += scratch.capacity()) {
+      VWISE_RETURN_IF_ERROR(ctx()->Check());
+      size_t batch = std::min(scratch.capacity(), ids.size() - i);
+      scratch.Reset();
+      for (size_t k = 0; k < group_cols_.size(); k++) {
+        key_stores_[k].Gather(ids.data() + i, batch, &scratch.column(k));
+      }
+      for (size_t a = 0; a < aggs_.size(); a++) {
+        const AggState& st = states_[a];
+        const StateLane& lane = lanes_[a];
+        Vector& value = scratch.column(lane.value_col);
+        for (size_t j = 0; j < batch; j++) {
+          uint32_t g = ids[i + j];
+          if (lane.is_i64) {
+            value.Data<int64_t>()[j] = st.i64[g];
+          } else {
+            value.Data<double>()[j] = st.f64[g];
+          }
+          if (lane.count_col != SIZE_MAX) {
+            scratch.column(lane.count_col).Data<int64_t>()[j] = st.count[g];
+          }
+        }
+      }
+      scratch.SetCount(batch);
+      VWISE_RETURN_IF_ERROR(writers_[p]->Append(scratch));
+    }
+  }
+  ClearTable();
+  return Status::OK();
+}
+
+Status HashAggOperator::ProcessStateChunk(const DataChunk& chunk) {
+  size_t n = chunk.count();  // state chunks are dense
+  uint64_t* hashes = hash_scratch_.data<uint64_t>();
+  uint32_t* groups = group_idx_.data<uint32_t>();
+  std::fill(hashes, hashes + n, 0);
+  for (size_t k = 0; k < group_cols_.size(); k++) {
+    const Vector& key = chunk.column(k);
+    for (size_t i = 0; i < n; i++) {
+      hashes[i] = HashCombine(hashes[i], HashAt(key, static_cast<sel_t>(i)));
+    }
+  }
+  for (size_t i = 0; i < n; i++) {
+    groups[i] = FindOrCreateGroup(chunk, static_cast<sel_t>(i), hashes[i],
+                                  identity_cols_.data());
+  }
+  // Merge the partial states: sums/counts add, min/max compare (their count
+  // lane is the first-touch marker), avg adds both lanes.
+  for (size_t a = 0; a < aggs_.size(); a++) {
+    AggState& st = states_[a];
+    const StateLane& lane = lanes_[a];
+    const Vector& value = chunk.column(lane.value_col);
+    switch (aggs_[a].fn) {
+      case AggSpec::Fn::kSum:
+      case AggSpec::Fn::kCount:
+      case AggSpec::Fn::kCountStar:
+        for (size_t i = 0; i < n; i++) {
+          if (lane.is_i64) {
+            st.i64[groups[i]] += value.Data<int64_t>()[i];
+          } else {
+            st.f64[groups[i]] += value.Data<double>()[i];
+          }
+        }
+        break;
+      case AggSpec::Fn::kMin:
+      case AggSpec::Fn::kMax: {
+        const Vector& cnt = chunk.column(lane.count_col);
+        bool is_min = aggs_[a].fn == AggSpec::Fn::kMin;
+        for (size_t i = 0; i < n; i++) {
+          if (cnt.Data<int64_t>()[i] == 0) continue;  // no-data partial
+          uint32_t g = groups[i];
+          if (lane.is_i64) {
+            int64_t v = value.Data<int64_t>()[i];
+            if (!st.count[g] || (is_min ? v < st.i64[g] : v > st.i64[g])) {
+              st.i64[g] = v;
+            }
+          } else {
+            double v = value.Data<double>()[i];
+            if (!st.count[g] || (is_min ? v < st.f64[g] : v > st.f64[g])) {
+              st.f64[g] = v;
+            }
+          }
+          st.count[g] = 1;
+        }
+        break;
+      }
+      case AggSpec::Fn::kAvg: {
+        const Vector& cnt = chunk.column(lane.count_col);
+        for (size_t i = 0; i < n; i++) {
+          uint32_t g = groups[i];
+          st.f64[g] += value.Data<double>()[i];
+          st.count[g] += cnt.Data<int64_t>()[i];
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status HashAggOperator::LoadPartition(size_t p) {
+  ClearTable();
+  std::unique_ptr<SpillReader> reader;
+  VWISE_ASSIGN_OR_RETURN(reader,
+                         SpillReader::Open(partition_paths_[p], state_types_,
+                                           &ctx()->spill_counters()));
+  DataChunk chunk;
+  chunk.Init(state_types_, config_.vector_size);
+  while (true) {
+    VWISE_RETURN_IF_ERROR(ctx()->Check());
+    bool more = false;
+    VWISE_ASSIGN_OR_RETURN(more, reader->Next(&chunk));
+    if (!more) break;
+    size_t n = chunk.count();
+    // Same reserve-before-insert protocol as the consume path. Failure here
+    // means one partition's groups alone exceed the budget — single-level
+    // partitioning cannot subdivide further, so the query fails.
+    VWISE_RETURN_IF_ERROR(mem_.Grow(n * per_group_bytes_));
+    size_t before = n_groups_;
+    VWISE_RETURN_IF_ERROR(ProcessStateChunk(chunk));
+    mem_.Shrink((n - (n_groups_ - before)) * per_group_bytes_);
+    reserved_groups_ = n_groups_;
+  }
+  return Status::OK();
+}
+
+void HashAggOperator::DropPartitions() {
+  writers_.clear();
+  for (const std::string& path : partition_paths_) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);  // best effort; ctx dir is the backstop
+  }
+  partition_paths_.clear();
+  n_partitions_ = 0;
+}
+
 Status HashAggOperator::Next(DataChunk* out) {
   if (!consumed_) {
     // vwise-hotpath: allow(cold-call): consumes the whole input once per
@@ -382,6 +684,20 @@ Status HashAggOperator::Next(DataChunk* out) {
     VWISE_RETURN_IF_ERROR(ConsumeInput());
     consumed_ = true;
     emit_cursor_ = 0;
+  }
+  if (spilled_) {
+    // Partition-at-a-time emission: when the resident table is drained,
+    // reload and merge the next partition (skipping empty ones).
+    while (emit_cursor_ >= n_groups_) {
+      if (next_partition_ >= partition_paths_.size()) {
+        out->SetCount(0);
+        return Status::OK();
+      }
+      // vwise-hotpath: allow(cold-call): partition reload runs only after
+      // the aggregation degraded to disk under a memory budget
+      VWISE_RETURN_IF_ERROR(LoadPartition(next_partition_++));
+      emit_cursor_ = 0;
+    }
   }
   size_t batch = std::min(out->capacity(), n_groups_ - emit_cursor_);
   // The emit gather runs through the arena-leased index array, so cap the
@@ -443,6 +759,9 @@ void HashAggOperator::Close() {
   key_stores_.clear();
   states_.clear();
   slots_.clear();
+  DropPartitions();
+  spilled_ = false;
+  next_partition_ = 0;
   hash_scratch_.Release();
   group_idx_.Release();
   emit_idx_.Release();

@@ -10,6 +10,8 @@
 
 namespace vwise {
 
+class SpillWriter;  // storage/spill_file.h
+
 // One aggregate function over an input column.
 struct AggSpec {
   enum class Fn : uint8_t { kSum, kMin, kMax, kCount, kCountStar, kAvg };
@@ -32,10 +34,20 @@ struct AggSpec {
 // Output: group columns, then one column per aggregate (sum keeps the input
 // physical type for i64, widens to f64 otherwise; count is i64; avg is f64;
 // min/max keep the input type).
+//
+// When the group table overruns the query's memory budget (and
+// Config::enable_spill is on), the operator degrades to radix-partitioned
+// spilling: the table is flushed to disk as mergeable "state rows" (keys +
+// per-aggregate state lanes), partitioned by the high bits of the group
+// hash, and cleared; at emit time the partitions are reloaded one at a time
+// and merge-aggregated, so every partition needs only its own share of the
+// budget. Spilling changes the group output order (partition-major instead
+// of first-appearance) but not the set of rows.
 class HashAggOperator final : public Operator {
  public:
   HashAggOperator(OperatorPtr child, std::vector<size_t> group_cols,
                   std::vector<AggSpec> aggs, const Config& config);
+  ~HashAggOperator() override;
 
   const std::vector<TypeId>& OutputTypes() const override { return out_types_; }
   Status Next(DataChunk* out) override;
@@ -47,13 +59,31 @@ class HashAggOperator final : public Operator {
   const Operator& child() const { return *child_; }
   const std::vector<size_t>& group_cols() const { return group_cols_; }
   const std::vector<AggSpec>& aggs() const { return aggs_; }
+  // Spill telemetry (EXPLAIN ANALYZE): radix partitions written, if any.
+  // Survives Close() — the profile is rendered after the tree is closed —
+  // and resets on the next Open.
+  size_t spill_partitions() const { return spill_partitions_stat_; }
 
  private:
   Status OpenImpl() override;
   Status ConsumeInput();
   Status ProcessChunk(const DataChunk& chunk);
   void ResizeTable(size_t buckets);
-  uint32_t FindOrCreateGroup(const DataChunk& chunk, sel_t pos, uint64_t hash);
+  uint32_t FindOrCreateGroup(const DataChunk& chunk, sel_t pos, uint64_t hash,
+                             const size_t* key_cols);
+  // Lays out the spill "state row" schema: key columns first, then one value
+  // lane per aggregate (i64 or f64) plus a count lane for min/max/avg.
+  void BuildStateSchema();
+  // Flushes the whole group table to the partition writers (creating them on
+  // first use) and clears it, giving its reservation back.
+  Status SpillGroups();
+  // Re-aggregates one spilled partition into the (empty) in-memory table.
+  Status LoadPartition(size_t p);
+  // Merge-aggregates a chunk of state rows (the spill-side ProcessChunk).
+  Status ProcessStateChunk(const DataChunk& chunk);
+  // Resets the group table and returns its budget reservation.
+  void ClearTable();
+  void DropPartitions();
 
   OperatorPtr child_;
   std::vector<size_t> group_cols_;
@@ -86,11 +116,28 @@ class HashAggOperator final : public Operator {
   bool consumed_ = false;
   size_t emit_cursor_ = 0;
 
-  // Per-query memory budget accounting: grown by the estimated per-group
-  // footprint as groups are created, released in Close().
+  // Per-query memory budget accounting: a worst-case bound (every row of the
+  // incoming slice a fresh group) is reserved BEFORE insertion and trimmed to
+  // the groups actually created afterwards, released in Close().
   MemoryReservation mem_;
   size_t per_group_bytes_ = 0;
   size_t reserved_groups_ = 0;
+
+  // Radix-spill state; empty unless the budget forced a flush.
+  struct StateLane {
+    size_t value_col;  // state-row column of the value lane
+    size_t count_col;  // count lane (min/max/avg), SIZE_MAX otherwise
+    bool is_i64;       // physical type of the value lane
+  };
+  bool spilled_ = false;
+  size_t n_partitions_ = 0;
+  std::vector<TypeId> state_types_;
+  std::vector<StateLane> lanes_;
+  std::vector<size_t> identity_cols_;  // 0..n_keys-1: key cols of a state row
+  std::vector<std::string> partition_paths_;
+  std::vector<std::unique_ptr<SpillWriter>> writers_;
+  size_t next_partition_ = 0;  // emit phase: next partition to reload
+  size_t spill_partitions_stat_ = 0;  // telemetry; outlives Close()
 };
 
 }  // namespace vwise

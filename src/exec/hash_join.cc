@@ -1,11 +1,14 @@
 #include "exec/hash_join.h"
 
 #include <cstring>
+#include <filesystem>
+#include <system_error>
 
 #include "common/bitutil.h"
 #include "common/hash.h"
 #include "exec/profile.h"
 #include "expr/primitives.h"
+#include "storage/spill_file.h"
 
 namespace vwise {
 
@@ -114,6 +117,17 @@ void ZeroFill(Vector* out, size_t i) {
   }
 }
 
+// Hash of the listed key columns at one chunk position — the shared key
+// hash for table lookup and radix partitioning (both sides must agree).
+uint64_t HashChunkKeys(const DataChunk& chunk, sel_t pos,
+                       const std::vector<size_t>& keys) {
+  uint64_t h = 0;
+  for (size_t c : keys) {
+    h = HashCombine(h, HashVectorValue(chunk.column(c), pos));
+  }
+  return h;
+}
+
 }  // namespace
 
 HashJoinOperator::HashJoinOperator(OperatorPtr probe, OperatorPtr build,
@@ -131,12 +145,26 @@ HashJoinOperator::HashJoinOperator(OperatorPtr probe, OperatorPtr build,
   }
 }
 
-HashJoinOperator::~HashJoinOperator() = default;
+HashJoinOperator::~HashJoinOperator() { DropSpillFiles(); }
 
 Status HashJoinOperator::OpenImpl() {
   VWISE_RETURN_IF_ERROR(probe_->Open(ctx()));
   VWISE_RETURN_IF_ERROR(build_->Open(ctx()));
   mem_.Bind(ctx(), "hash join build side");
+  // Reset pipeline-breaker state from a previous execution of a prepared
+  // plan: build_rows_ in particular survives Close(), and a stale count
+  // would make BuildTable() index past the freshly rebuilt stores.
+  build_key_cols_.clear();
+  build_payload_cols_.clear();
+  build_rows_ = 0;
+  build_bytes_ = 0;
+  bucket_heads_.clear();
+  chain_next_.clear();
+  spilled_ = false;
+  probe_partitioned_ = false;
+  cur_partition_ = 0;
+  spill_partitions_stat_ = 0;
+  DropSpillFiles();
   for (size_t c : spec_.build_keys) {
     build_key_cols_.emplace_back(build_->OutputTypes()[c]);
   }
@@ -171,7 +199,25 @@ Status HashJoinOperator::ConsumeBuildSide() {
     VWISE_RETURN_IF_ERROR(build_->Next(&chunk));
     size_t n = chunk.ActiveCount();
     if (n == 0) break;
-    VWISE_RETURN_IF_ERROR(mem_.Grow(EstimateChunkBytes(chunk)));
+    if (spilled_) {
+      // Already degraded: route the chunk straight to the partition files.
+      VWISE_RETURN_IF_ERROR(PartitionBuildChunk(chunk));
+      continue;
+    }
+    size_t grow = EstimateChunkBytes(chunk);
+    Status reserve = mem_.Grow(grow);
+    if (!reserve.ok()) {
+      if (reserve.code() != StatusCode::kResourceExhausted ||
+          !config_.enable_spill) {
+        return reserve;
+      }
+      // Budget hit: flush the buffered rows to radix partitions (returns
+      // their reservation) and stream the rest of the build side to disk.
+      VWISE_RETURN_IF_ERROR(SpillBuildRows());
+      VWISE_RETURN_IF_ERROR(PartitionBuildChunk(chunk));
+      continue;
+    }
+    build_bytes_ += grow;
     const sel_t* sel = chunk.sel();
     for (size_t k = 0; k < spec_.build_keys.size(); k++) {
       build_key_cols_[k].AppendFrom(chunk.column(spec_.build_keys[k]), sel, n);
@@ -180,12 +226,30 @@ Status HashJoinOperator::ConsumeBuildSide() {
       build_payload_cols_[k].AppendFrom(chunk.column(spec_.build_payload[k]), sel, n);
     }
     build_rows_ += n;
+    // Coexistence cap: cap the in-memory build side at half the budget so
+    // other pipeline breakers in the same query (aggregations, sorts) keep
+    // enough headroom for their own buffers and partition reloads.
+    if (config_.enable_spill && ctx()->memory_budget() > 0 &&
+        mem_.bytes() > ctx()->memory_budget() / 2) {
+      VWISE_RETURN_IF_ERROR(SpillBuildRows());
+    }
   }
   build_->Close();
+  if (spilled_) {
+    // Close the partition files; tables are built per partition at probe
+    // time (LoadBuildPartition).
+    build_writers_.clear();
+    return Status::OK();
+  }
+  return BuildTable();
+}
+
+Status HashJoinOperator::BuildTable() {
   // Chained hash table over the stored rows.
   size_t buckets = bit::NextPowerOfTwo(build_rows_ * 2 + 1);
-  VWISE_RETURN_IF_ERROR(
-      mem_.Grow(buckets * sizeof(uint32_t) + build_rows_ * sizeof(uint32_t)));
+  size_t table_bytes = buckets * sizeof(uint32_t) + build_rows_ * sizeof(uint32_t);
+  VWISE_RETURN_IF_ERROR(mem_.Grow(table_bytes));
+  build_bytes_ += table_bytes;
   bucket_heads_.assign(buckets, kNoRow);
   bucket_mask_ = buckets - 1;
   chain_next_.assign(build_rows_, kNoRow);
@@ -195,6 +259,225 @@ Status HashJoinOperator::ConsumeBuildSide() {
     bucket_heads_[h] = static_cast<uint32_t>(row);
   }
   return Status::OK();
+}
+
+Status HashJoinOperator::SpillBuildRows() {
+  if (build_writers_.empty()) {
+    spilled_ = true;
+    n_partitions_ = SpillPartitionCount(config_.spill_partitions);
+    spill_partitions_stat_ = n_partitions_;
+    // Spill rows keep only the columns the join retains: keys then payload.
+    spill_types_.clear();
+    for (size_t c : spec_.build_keys) {
+      spill_types_.push_back(build_->OutputTypes()[c]);
+    }
+    for (size_t c : spec_.build_payload) {
+      spill_types_.push_back(build_->OutputTypes()[c]);
+    }
+    for (size_t p = 0; p < n_partitions_; p++) {
+      std::string path;
+      VWISE_ASSIGN_OR_RETURN(path, ctx()->NewSpillPath("join_build"));
+      build_paths_.push_back(path);
+      std::unique_ptr<SpillWriter> writer;
+      VWISE_ASSIGN_OR_RETURN(writer,
+                             SpillWriter::Create(path, spill_types_,
+                                                 &ctx()->spill_counters()));
+      build_writers_.push_back(std::move(writer));
+    }
+    build_view_.Init(spill_types_, 1);
+    part_rows_.assign(n_partitions_, {});
+  }
+  // Partition on HIGH hash bits; the per-partition table masks the low bits,
+  // so low-bit partitioning would collapse each partition into few buckets.
+  for (auto& rows : part_rows_) rows.clear();
+  for (uint32_t row = 0; row < build_rows_; row++) {
+    part_rows_[(HashBuildRow(row) >> 56) & (n_partitions_ - 1)].push_back(row);
+  }
+  DataChunk scratch;
+  scratch.Init(spill_types_, config_.vector_size);
+  size_t n_keys = spec_.build_keys.size();
+  for (size_t p = 0; p < n_partitions_; p++) {
+    const std::vector<sel_t>& ids = part_rows_[p];
+    for (size_t i = 0; i < ids.size(); i += scratch.capacity()) {
+      VWISE_RETURN_IF_ERROR(ctx()->Check());
+      size_t batch = std::min(scratch.capacity(), ids.size() - i);
+      scratch.Reset();
+      for (size_t k = 0; k < n_keys; k++) {
+        build_key_cols_[k].Gather(ids.data() + i, batch, &scratch.column(k));
+      }
+      for (size_t k = 0; k < build_payload_cols_.size(); k++) {
+        build_payload_cols_[k].Gather(ids.data() + i, batch,
+                                      &scratch.column(n_keys + k));
+      }
+      scratch.SetCount(batch);
+      VWISE_RETURN_IF_ERROR(build_writers_[p]->Append(scratch));
+    }
+  }
+  // Rebuild empty stores and give back the reservation the rows held.
+  build_key_cols_.clear();
+  build_payload_cols_.clear();
+  for (size_t c : spec_.build_keys) {
+    build_key_cols_.emplace_back(build_->OutputTypes()[c]);
+  }
+  for (size_t c : spec_.build_payload) {
+    build_payload_cols_.emplace_back(build_->OutputTypes()[c]);
+  }
+  build_rows_ = 0;
+  mem_.Shrink(build_bytes_);
+  build_bytes_ = 0;
+  return Status::OK();
+}
+
+Status HashJoinOperator::PartitionBuildChunk(const DataChunk& chunk) {
+  size_t n = chunk.ActiveCount();
+  const sel_t* sel = chunk.sel();
+  for (auto& rows : part_rows_) rows.clear();
+  for (size_t i = 0; i < n; i++) {
+    sel_t pos = sel ? sel[i] : static_cast<sel_t>(i);
+    uint64_t h = HashChunkKeys(chunk, pos, spec_.build_keys);
+    part_rows_[(h >> 56) & (n_partitions_ - 1)].push_back(pos);
+  }
+  // View the chunk through the spill schema (keys then payload) so the
+  // writers see matching column lists; Reference shares the buffers.
+  size_t n_keys = spec_.build_keys.size();
+  for (size_t k = 0; k < n_keys; k++) {
+    build_view_.column(k).Reference(chunk.column(spec_.build_keys[k]));
+  }
+  for (size_t k = 0; k < spec_.build_payload.size(); k++) {
+    build_view_.column(n_keys + k).Reference(
+        chunk.column(spec_.build_payload[k]));
+  }
+  for (size_t p = 0; p < n_partitions_; p++) {
+    VWISE_RETURN_IF_ERROR(build_writers_[p]->AppendRows(
+        build_view_, part_rows_[p].data(), part_rows_[p].size()));
+  }
+  return Status::OK();
+}
+
+Status HashJoinOperator::PartitionProbeSide() {
+  for (size_t p = 0; p < n_partitions_; p++) {
+    std::string path;
+    VWISE_ASSIGN_OR_RETURN(path, ctx()->NewSpillPath("join_probe"));
+    probe_paths_.push_back(path);
+    std::unique_ptr<SpillWriter> writer;
+    VWISE_ASSIGN_OR_RETURN(writer,
+                           SpillWriter::Create(path, probe_->OutputTypes(),
+                                               &ctx()->spill_counters()));
+    probe_writers_.push_back(std::move(writer));
+  }
+  while (true) {
+    VWISE_RETURN_IF_ERROR(ctx()->Check());
+    input_.Reset();
+    VWISE_RETURN_IF_ERROR(probe_->Next(&input_));
+    size_t n = input_.ActiveCount();
+    if (n == 0) break;
+    const sel_t* sel = input_.sel();
+    for (auto& rows : part_rows_) rows.clear();
+    for (size_t i = 0; i < n; i++) {
+      sel_t pos = sel ? sel[i] : static_cast<sel_t>(i);
+      uint64_t h = HashProbeRow(input_, pos);
+      part_rows_[(h >> 56) & (n_partitions_ - 1)].push_back(pos);
+    }
+    for (size_t p = 0; p < n_partitions_; p++) {
+      VWISE_RETURN_IF_ERROR(probe_writers_[p]->AppendRows(
+          input_, part_rows_[p].data(), part_rows_[p].size()));
+    }
+  }
+  probe_->Close();
+  probe_writers_.clear();  // close the files; readers reopen them
+  return Status::OK();
+}
+
+Status HashJoinOperator::LoadBuildPartition(size_t p) {
+  // Swap out the previous partition's rows + table and their reservation.
+  mem_.Shrink(build_bytes_);
+  build_bytes_ = 0;
+  build_key_cols_.clear();
+  build_payload_cols_.clear();
+  for (size_t c : spec_.build_keys) {
+    build_key_cols_.emplace_back(build_->OutputTypes()[c]);
+  }
+  for (size_t c : spec_.build_payload) {
+    build_payload_cols_.emplace_back(build_->OutputTypes()[c]);
+  }
+  build_rows_ = 0;
+  std::unique_ptr<SpillReader> reader;
+  VWISE_ASSIGN_OR_RETURN(reader,
+                         SpillReader::Open(build_paths_[p], spill_types_,
+                                           &ctx()->spill_counters()));
+  DataChunk chunk;
+  chunk.Init(spill_types_, config_.vector_size);
+  size_t n_keys = spec_.build_keys.size();
+  while (true) {
+    VWISE_RETURN_IF_ERROR(ctx()->Check());
+    bool more = false;
+    VWISE_ASSIGN_OR_RETURN(more, reader->Next(&chunk));
+    if (!more) break;
+    size_t n = chunk.count();  // spill chunks are dense
+    // Failure here means one partition alone exceeds the budget —
+    // single-level partitioning cannot subdivide further, so the query
+    // fails rather than thrash.
+    size_t grow = EstimateChunkBytes(chunk);
+    VWISE_RETURN_IF_ERROR(mem_.Grow(grow));
+    build_bytes_ += grow;
+    for (size_t k = 0; k < n_keys; k++) {
+      build_key_cols_[k].AppendFrom(chunk.column(k), nullptr, n);
+    }
+    for (size_t k = 0; k < build_payload_cols_.size(); k++) {
+      build_payload_cols_[k].AppendFrom(chunk.column(n_keys + k), nullptr, n);
+    }
+    build_rows_ += n;
+  }
+  return BuildTable();
+}
+
+Status HashJoinOperator::FetchProbeChunk() {
+  if (!spilled_) return probe_->Next(&input_);
+  if (!probe_partitioned_) {
+    VWISE_RETURN_IF_ERROR(PartitionProbeSide());
+    probe_partitioned_ = true;
+  }
+  while (true) {
+    if (probe_reader_) {
+      bool more = false;
+      VWISE_ASSIGN_OR_RETURN(more, probe_reader_->Next(&input_));
+      if (more) return Status::OK();
+      probe_reader_.reset();  // partition drained
+    }
+    if (cur_partition_ >= n_partitions_) return Status::OK();  // input_ empty
+    size_t p = cur_partition_++;
+    // Peek the probe partition first: if it is empty there is nothing to
+    // join (or, for outer joins, to pad), so skip loading its build rows.
+    std::unique_ptr<SpillReader> reader;
+    VWISE_ASSIGN_OR_RETURN(reader,
+                           SpillReader::Open(probe_paths_[p],
+                                             probe_->OutputTypes(),
+                                             &ctx()->spill_counters()));
+    bool more = false;
+    VWISE_ASSIGN_OR_RETURN(more, reader->Next(&input_));
+    if (!more) continue;
+    VWISE_RETURN_IF_ERROR(LoadBuildPartition(p));
+    probe_reader_ = std::move(reader);
+    return Status::OK();
+  }
+}
+
+void HashJoinOperator::DropSpillFiles() {
+  build_writers_.clear();
+  probe_writers_.clear();
+  probe_reader_.reset();
+  for (const std::string& path : build_paths_) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);  // best effort; ctx dir is the backstop
+  }
+  for (const std::string& path : probe_paths_) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+  build_paths_.clear();
+  probe_paths_.clear();
+  part_rows_.clear();
+  n_partitions_ = 0;
 }
 
 uint64_t HashJoinOperator::HashBuildRow(size_t row) const {
@@ -395,7 +678,9 @@ Status HashJoinOperator::Next(DataChunk* out) {
       return Status::OK();
     }
     input_.Reset();
-    VWISE_RETURN_IF_ERROR(probe_->Next(&input_));
+    // vwise-hotpath: allow(cold-call): delegates to probe_->Next() in the
+    // common case; the spill branch runs only after a budget-forced flush
+    VWISE_RETURN_IF_ERROR(FetchProbeChunk());
     if (input_.ActiveCount() == 0) {
       input_exhausted_ = true;
       continue;
@@ -418,6 +703,11 @@ void HashJoinOperator::Close() {
   build_payload_cols_.clear();
   bucket_heads_.clear();
   chain_next_.clear();
+  DropSpillFiles();
+  spilled_ = false;
+  probe_partitioned_ = false;
+  cur_partition_ = 0;
+  build_bytes_ = 0;
   probe_pos_.Release();
   build_row_idx_.Release();
   residual_sel_.Release();

@@ -11,6 +11,9 @@
 
 namespace vwise {
 
+class SpillWriter;  // storage/spill_file.h
+class SpillReader;
+
 enum class JoinType : uint8_t {
   kInner = 0,
   kLeftSemi = 1,   // emit probe rows with >= 1 match
@@ -27,6 +30,16 @@ enum class JoinType : uint8_t {
 // additionally appends a u8 "matched" flag column (1 for joined rows, 0 for
 // padded unmatched probe rows whose payload is zero/empty). The residual
 // filter is evaluated against that combined layout.
+//
+// When the build side overruns the query's memory budget (and
+// Config::enable_spill is on), the operator degrades to a Grace hash join:
+// buffered and remaining build rows are radix-partitioned to disk by the
+// high bits of the key hash, the probe side is partitioned the same way,
+// and partitions are then joined one at a time (load build partition, build
+// its table, stream its probe file). Equal keys hash identically, so every
+// probe row still sees all of its potential matches — inner/semi/anti/outer
+// semantics are unchanged. Output order becomes partition-major, but within
+// a partition probe order is preserved.
 class HashJoinOperator final : public Operator {
  public:
   struct Spec {
@@ -51,13 +64,32 @@ class HashJoinOperator final : public Operator {
   const Operator& probe() const { return *probe_; }
   const Operator& build() const { return *build_; }
   const Spec& spec() const { return spec_; }
+  // Spill telemetry (EXPLAIN ANALYZE): radix partitions written, if any.
+  // Survives Close() — the profile is rendered after the tree is closed —
+  // and resets on the next Open.
+  size_t spill_partitions() const { return spill_partitions_stat_; }
 
  private:
   Status OpenImpl() override;
   Status ConsumeBuildSide();
+  Status BuildTable();  // chained hash table over the stored build rows
   Status ProcessProbeChunk();  // fills pairs_ / probe_match_ for input_
   void EmitPairs(DataChunk* out);
   Status EmitSemiAnti(DataChunk* out);
+
+  // Spill path (Grace hash join). SpillBuildRows flushes the buffered build
+  // rows to the radix partition writers (creating them on first use) and
+  // returns their reservation; PartitionBuildChunk routes a streamed build
+  // chunk straight to the writers; PartitionProbeSide drains the probe child
+  // into per-partition probe files; LoadBuildPartition reloads one build
+  // partition and rebuilds its table; FetchProbeChunk fills input_ from the
+  // probe child (in-memory) or the current partition's probe file (spilled).
+  Status SpillBuildRows();
+  Status PartitionBuildChunk(const DataChunk& chunk);
+  Status PartitionProbeSide();
+  Status LoadBuildPartition(size_t p);
+  Status FetchProbeChunk();
+  void DropSpillFiles();
 
   uint64_t HashBuildRow(size_t row) const;
   uint64_t HashProbeRow(const DataChunk& chunk, sel_t pos) const;
@@ -96,7 +128,27 @@ class HashJoinOperator final : public Operator {
   ScratchHandle residual_sel_;   // sel_t[vector_size]
 
   // Per-query memory budget accounting for the owned build side + table.
+  // build_bytes_ tracks the reservation held for the currently resident
+  // build rows + table so a spill flush / partition swap can return it.
   MemoryReservation mem_;
+  size_t build_bytes_ = 0;
+
+  // Radix-spill state; empty unless the budget forced a flush. Spill rows
+  // carry [build keys..., build payload...]; probe partitions carry full
+  // probe rows.
+  bool spilled_ = false;
+  bool probe_partitioned_ = false;
+  size_t n_partitions_ = 0;
+  size_t cur_partition_ = 0;  // next partition to join
+  std::vector<TypeId> spill_types_;
+  std::vector<std::string> build_paths_;
+  std::vector<std::string> probe_paths_;
+  std::vector<std::unique_ptr<SpillWriter>> build_writers_;
+  std::vector<std::unique_ptr<SpillWriter>> probe_writers_;
+  std::unique_ptr<SpillReader> probe_reader_;  // current partition's probe
+  DataChunk build_view_;  // spill-schema view over a streamed build chunk
+  std::vector<std::vector<sel_t>> part_rows_;  // per-chunk radix buckets
+  size_t spill_partitions_stat_ = 0;  // telemetry; outlives Close()
 };
 
 }  // namespace vwise

@@ -82,6 +82,13 @@ struct QueryResult {
   // per-primitive counter section). Filled by Database::Run when
   // Config::profile is set; empty otherwise.
   std::string profile;
+  // Memory-budget telemetry of the execution (filled by the query service's
+  // RunPlan; zero for embedded CollectRows callers). peak_reserved_bytes is
+  // the high-water mark of budget reservations; the spill counters are
+  // nonzero iff any pipeline breaker degraded to disk.
+  size_t peak_reserved_bytes = 0;
+  uint64_t spill_bytes_written = 0;
+  uint64_t spill_bytes_read = 0;
 
   std::string ToString(size_t max_rows = 25) const;
 };

@@ -2,11 +2,35 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <numeric>
+#include <system_error>
 
 #include "exec/profile.h"
+#include "storage/spill_file.h"
 
 namespace vwise {
+
+namespace {
+
+// Saturating offset+limit: the raw sum wraps size_t for a large non-SIZE_MAX
+// limit with a nonzero offset, collapsing the emit window and silently
+// dropping rows.
+size_t SatAdd(size_t a, size_t b) {
+  size_t sum = a + b;
+  return sum < a ? SIZE_MAX : sum;
+}
+
+}  // namespace
+
+// One spilled run during the merge phase: its reader, the block currently in
+// memory, and the cursor into it.
+struct SortOperator::SortRun {
+  std::unique_ptr<SpillReader> reader;
+  DataChunk chunk;
+  size_t pos = 0;
+  bool done = false;
+};
 
 SortOperator::SortOperator(OperatorPtr child, std::vector<SortKey> keys,
                            const Config& config, size_t limit, size_t offset)
@@ -16,6 +40,8 @@ SortOperator::SortOperator(OperatorPtr child, std::vector<SortKey> keys,
       limit_(limit),
       offset_(offset) {}
 
+SortOperator::~SortOperator() { DropRuns(); }
+
 Status SortOperator::OpenImpl() {
   VWISE_RETURN_IF_ERROR(child_->Open(ctx()));
   mem_.Bind(ctx(), "sort materialization");
@@ -24,6 +50,10 @@ Status SortOperator::OpenImpl() {
   order_.clear();
   cursor_ = 0;
   sorted_ = false;
+  DropRuns();
+  merge_skipped_ = 0;
+  merge_emitted_ = 0;
+  spill_runs_stat_ = 0;
   return Status::OK();
 }
 
@@ -73,20 +103,48 @@ Status SortOperator::ConsumeAndSort() {
     VWISE_RETURN_IF_ERROR(child_->Next(&chunk));
     size_t n = chunk.ActiveCount();
     if (n == 0) break;
-    VWISE_RETURN_IF_ERROR(mem_.Grow(EstimateChunkBytes(chunk)));
+    // The chunk's share of the budget covers both the copied rows and their
+    // slots in the sort index.
+    size_t grow = EstimateChunkBytes(chunk) + n * sizeof(uint32_t);
+    Status grown = mem_.Grow(grow);
+    if (!grown.ok()) {
+      if (grown.code() != StatusCode::kResourceExhausted ||
+          !config_.enable_spill) {
+        return grown;
+      }
+      // Budget full: turn the buffered rows into a spill run, then retry.
+      // A second failure means even one chunk exceeds the budget — spilling
+      // cannot make progress, so surface the original error.
+      VWISE_RETURN_IF_ERROR(SpillRun());
+      VWISE_RETURN_IF_ERROR(mem_.Grow(grow));
+    }
+    buffered_bytes_ += grow;
     const sel_t* sel = chunk.sel();
     for (size_t c = 0; c < chunk.num_columns(); c++) {
       data_[c].AppendFrom(chunk.column(c), sel, n);
     }
+    // Coexistence cap: with several pipeline breakers sharing one budget, a
+    // breaker that grows until its own Grow fails saturates the budget and
+    // starves the upstream breaker's partition reloads (which cannot wait
+    // for this operator to flush). Cap the standing buffer at half the
+    // budget so stacked breakers always leave headroom for each other.
+    if (config_.enable_spill && ctx()->memory_budget() > 0 &&
+        mem_.bytes() > ctx()->memory_budget() / 2) {
+      VWISE_RETURN_IF_ERROR(SpillRun());
+    }
   }
   child_->Close();
+  if (!run_paths_.empty()) {
+    VWISE_RETURN_IF_ERROR(SpillRun());  // flush the in-memory tail
+    VWISE_RETURN_IF_ERROR(OpenMerge());
+    sorted_ = true;
+    return Status::OK();
+  }
   size_t rows = data_.empty() ? 0 : data_[0].size();
-  VWISE_RETURN_IF_ERROR(mem_.Grow(rows * sizeof(uint32_t)));
   order_.resize(rows);
   std::iota(order_.begin(), order_.end(), 0);
   auto less = [this](uint32_t a, uint32_t b) { return RowLess(a, b); };
-  size_t want = limit_ == SIZE_MAX ? rows
-                                   : std::min(rows, offset_ + limit_);
+  size_t want = std::min(rows, SatAdd(offset_, limit_));
   if (want < rows) {
     std::partial_sort(order_.begin(), order_.begin() + want, order_.end(), less);
     order_.resize(want);
@@ -98,12 +156,184 @@ Status SortOperator::ConsumeAndSort() {
   return Status::OK();
 }
 
+Status SortOperator::SpillRun() {
+  size_t rows = data_.empty() ? 0 : data_[0].size();
+  if (rows == 0) return Status::OK();
+  order_.resize(rows);
+  std::iota(order_.begin(), order_.end(), 0);
+  auto less = [this](uint32_t a, uint32_t b) { return RowLess(a, b); };
+  // A run only needs its own top offset+limit rows: anything deeper can
+  // never reach the global top-K the merge emits.
+  size_t want = std::min(rows, SatAdd(offset_, limit_));
+  if (want < rows) {
+    std::partial_sort(order_.begin(), order_.begin() + want, order_.end(), less);
+    order_.resize(want);
+  } else {
+    std::sort(order_.begin(), order_.end(), less);
+  }
+  std::string path;
+  VWISE_ASSIGN_OR_RETURN(path, ctx()->NewSpillPath("sort_run"));
+  // Registered before writing so Close removes even a half-written file.
+  run_paths_.push_back(path);
+  spill_runs_stat_ = run_paths_.size();
+  std::unique_ptr<SpillWriter> writer;
+  VWISE_ASSIGN_OR_RETURN(writer,
+                         SpillWriter::Create(path, child_->OutputTypes(),
+                                             &ctx()->spill_counters()));
+  DataChunk scratch;
+  scratch.Init(child_->OutputTypes(), config_.vector_size);
+  for (size_t i = 0; i < order_.size(); i += scratch.capacity()) {
+    VWISE_RETURN_IF_ERROR(ctx()->Check());
+    size_t batch = std::min(scratch.capacity(), order_.size() - i);
+    scratch.Reset();
+    for (size_t c = 0; c < data_.size(); c++) {
+      data_[c].Gather(order_.data() + i, batch, &scratch.column(c));
+    }
+    scratch.SetCount(batch);
+    VWISE_RETURN_IF_ERROR(writer->Append(scratch));
+  }
+  data_.clear();
+  for (TypeId t : child_->OutputTypes()) data_.emplace_back(t);
+  order_.clear();
+  mem_.Shrink(buffered_bytes_);
+  buffered_bytes_ = 0;
+  return Status::OK();
+}
+
+Status SortOperator::OpenMerge() {
+  // The merge working set is one resident block per run; reserve it so a
+  // budget too small to even merge fails loudly instead of oversubscribing.
+  size_t row_fixed = 0;
+  for (TypeId t : child_->OutputTypes()) row_fixed += TypeWidth(t);
+  VWISE_RETURN_IF_ERROR(
+      mem_.Grow(run_paths_.size() * config_.vector_size * row_fixed));
+  for (const std::string& path : run_paths_) {
+    auto run = std::make_unique<SortRun>();
+    run->chunk.Init(child_->OutputTypes(), config_.vector_size);
+    VWISE_ASSIGN_OR_RETURN(run->reader,
+                           SpillReader::Open(path, child_->OutputTypes(),
+                                             &ctx()->spill_counters()));
+    bool more = false;
+    VWISE_ASSIGN_OR_RETURN(more, run->reader->Next(&run->chunk));
+    run->done = !more;
+    runs_.push_back(std::move(run));
+  }
+  merge_skipped_ = 0;
+  merge_emitted_ = 0;
+  return Status::OK();
+}
+
+int SortOperator::CompareRunRows(const SortRun& a, const SortRun& b) const {
+  for (const SortKey& key : keys_) {
+    const Vector& va = a.chunk.column(key.col);
+    const Vector& vb = b.chunk.column(key.col);
+    int cmp = 0;
+    switch (va.type()) {
+      case TypeId::kU8: {
+        auto x = va.Data<uint8_t>()[a.pos], y = vb.Data<uint8_t>()[b.pos];
+        cmp = x < y ? -1 : x > y ? 1 : 0;
+        break;
+      }
+      case TypeId::kI32: {
+        auto x = va.Data<int32_t>()[a.pos], y = vb.Data<int32_t>()[b.pos];
+        cmp = x < y ? -1 : x > y ? 1 : 0;
+        break;
+      }
+      case TypeId::kI64: {
+        auto x = va.Data<int64_t>()[a.pos], y = vb.Data<int64_t>()[b.pos];
+        cmp = x < y ? -1 : x > y ? 1 : 0;
+        break;
+      }
+      case TypeId::kF64: {
+        auto x = va.Data<double>()[a.pos], y = vb.Data<double>()[b.pos];
+        cmp = x < y ? -1 : x > y ? 1 : 0;
+        break;
+      }
+      case TypeId::kStr: {
+        const StringVal& x = va.Data<StringVal>()[a.pos];
+        const StringVal& y = vb.Data<StringVal>()[b.pos];
+        cmp = x < y ? -1 : y < x ? 1 : 0;
+        break;
+      }
+    }
+    if (cmp != 0) return key.ascending ? cmp : -cmp;
+  }
+  return 0;
+}
+
+Status SortOperator::AdvanceRun(SortRun* run) {
+  run->pos++;
+  if (run->pos < run->chunk.count()) return Status::OK();
+  run->pos = 0;
+  bool more = false;
+  VWISE_ASSIGN_OR_RETURN(more, run->reader->Next(&run->chunk));
+  if (!more) run->done = true;
+  return Status::OK();
+}
+
+Status SortOperator::MergeNext(DataChunk* out) {
+  VWISE_RETURN_IF_ERROR(ctx()->Check());
+  size_t cap = out->capacity();
+  size_t n = 0;
+  while (n < cap) {
+    if (limit_ != SIZE_MAX && merge_emitted_ >= limit_) break;
+    // Lowest-index run wins ties: runs are written in input order and each
+    // run is internally input-order-stable, so this reproduces the total
+    // order of the in-memory comparator (keys, then input position).
+    SortRun* best = nullptr;
+    for (const auto& run : runs_) {
+      if (run->done) continue;
+      if (best == nullptr || CompareRunRows(*run, *best) < 0) best = run.get();
+    }
+    if (best == nullptr) break;
+    if (merge_skipped_ < offset_) {
+      merge_skipped_++;
+      VWISE_RETURN_IF_ERROR(AdvanceRun(best));
+      continue;
+    }
+    for (size_t c = 0; c < out->num_columns(); c++) {
+      const Vector& src = best->chunk.column(c);
+      Vector& dst = out->column(c);
+      switch (src.type()) {
+        case TypeId::kU8:
+          dst.Data<uint8_t>()[n] = src.Data<uint8_t>()[best->pos];
+          break;
+        case TypeId::kI32:
+          dst.Data<int32_t>()[n] = src.Data<int32_t>()[best->pos];
+          break;
+        case TypeId::kI64:
+          dst.Data<int64_t>()[n] = src.Data<int64_t>()[best->pos];
+          break;
+        case TypeId::kF64:
+          dst.Data<double>()[n] = src.Data<double>()[best->pos];
+          break;
+        case TypeId::kStr: {
+          // Deep copy: the source block is replaced mid-fill when a run's
+          // chunk drains, so emitted strings must own their bytes.
+          const StringVal& sv = src.Data<StringVal>()[best->pos];
+          dst.Data<StringVal>()[n] = dst.GetStringHeap()->Add(sv.view());
+          break;
+        }
+      }
+    }
+    n++;
+    merge_emitted_++;
+    VWISE_RETURN_IF_ERROR(AdvanceRun(best));
+  }
+  out->SetCount(n);
+  return Status::OK();
+}
+
 Status SortOperator::Next(DataChunk* out) {
   // vwise-hotpath: allow(cold-call): materialize-and-sort runs once per
   // query before the first emitted vector
   if (!sorted_) VWISE_RETURN_IF_ERROR(ConsumeAndSort());
-  size_t end = order_.size();
-  if (limit_ != SIZE_MAX) end = std::min(end, offset_ + limit_);
+  if (!runs_.empty()) {
+    // vwise-hotpath: allow(cold-call): external-merge emission runs only
+    // after the sort degraded to disk under a memory budget
+    return MergeNext(out);
+  }
+  size_t end = std::min(order_.size(), SatAdd(offset_, limit_));
   size_t batch = cursor_ < end ? std::min(out->capacity(), end - cursor_) : 0;
   if (batch == 0) {
     out->SetCount(0);
@@ -117,12 +347,23 @@ Status SortOperator::Next(DataChunk* out) {
   return Status::OK();
 }
 
+void SortOperator::DropRuns() {
+  runs_.clear();
+  for (const std::string& path : run_paths_) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);  // best effort; ctx dir is the backstop
+  }
+  run_paths_.clear();
+  buffered_bytes_ = 0;
+}
+
 void SortOperator::Close() {
   // Normally closed at the end of ConsumeAndSort; close again (idempotent)
   // so an error/cancel unwind still reaches fragments below.
   child_->Close();
   data_.clear();
   order_.clear();
+  DropRuns();
   mem_.ReleaseAll();
 }
 

@@ -19,11 +19,21 @@ struct SortKey {
 // ORDER BY [LIMIT/OFFSET]: materializes the child, sorts an index array with
 // a multi-key comparator, and emits gathered chunks. With a limit, only the
 // top offset+limit rows are ordered (partial sort — the TopN of X100 plans).
+//
+// When the materialization overruns the query's memory budget (and
+// Config::enable_spill is on), the operator degrades to an external sort:
+// the rows buffered so far are sorted and written to a spill run (pruned to
+// the top offset+limit when a limit is set — rows past a run's own top-K can
+// never reach the global top-K), the buffer is released, and consumption
+// continues. Emission then k-way-merges the runs. The comparator is a total
+// order (input-position tie-break), so external and in-memory executions
+// produce bit-identical output.
 class SortOperator final : public Operator {
  public:
   SortOperator(OperatorPtr child, std::vector<SortKey> keys,
                const Config& config, size_t limit = SIZE_MAX,
                size_t offset = 0);
+  ~SortOperator() override;
 
   const std::vector<TypeId>& OutputTypes() const override {
     return child_->OutputTypes();
@@ -36,11 +46,29 @@ class SortOperator final : public Operator {
   const std::vector<SortKey>& keys() const { return keys_; }
   size_t limit() const { return limit_; }
   size_t offset() const { return offset_; }
+  // Spill telemetry (EXPLAIN ANALYZE): runs written during the consume
+  // phase. Survives Close() — the profile is rendered after the tree is
+  // closed — and resets on the next Open.
+  size_t spill_runs() const { return spill_runs_stat_; }
 
  private:
+  struct SortRun;  // merge-side state of one spilled run (sort.cc)
+
   Status OpenImpl() override;
   Status ConsumeAndSort();
   bool RowLess(uint32_t a, uint32_t b) const;
+  // Sorts and writes the buffered rows as one spill run, then resets the
+  // buffer and gives its reservation back.
+  Status SpillRun();
+  // Opens every run for reading and primes the merge cursors.
+  Status OpenMerge();
+  Status MergeNext(DataChunk* out);
+  // keys_-compare of run a's current row vs run b's (no tie-break; the
+  // caller's lowest-run-index-wins scan supplies it).
+  int CompareRunRows(const SortRun& a, const SortRun& b) const;
+  // Moves `run` past its current row, refilling its chunk from disk.
+  Status AdvanceRun(SortRun* run);
+  void DropRuns();
 
   OperatorPtr child_;
   std::vector<SortKey> keys_;
@@ -52,6 +80,14 @@ class SortOperator final : public Operator {
   std::vector<uint32_t> order_;
   size_t cursor_ = 0;
   bool sorted_ = false;
+
+  // External-sort state; empty when the input fit in budget.
+  std::vector<std::string> run_paths_;
+  std::vector<std::unique_ptr<SortRun>> runs_;
+  size_t buffered_bytes_ = 0;   // reservation attributable to data_/order_
+  size_t merge_skipped_ = 0;    // rows dropped toward offset_
+  size_t merge_emitted_ = 0;    // rows emitted toward limit_
+  size_t spill_runs_stat_ = 0;  // telemetry; outlives Close()
 
   // Per-query memory budget accounting for the materialized input + index.
   MemoryReservation mem_;

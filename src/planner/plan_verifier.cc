@@ -347,6 +347,7 @@ size_t WalkNode(const Operator& op, size_t depth, const ProfiledOperator* prof,
     return WalkNode(pf->child(), depth, pf, out);
   }
   std::string line;
+  std::string spill_note;  // EXPLAIN ANALYZE-only spill telemetry
   const Operator* child0 = nullptr;
   const Operator* child1 = nullptr;
   if (auto* s = dynamic_cast<const ScanOperator*>(&op)) {
@@ -395,6 +396,9 @@ size_t WalkNode(const Operator& op, size_t depth, const ProfiledOperator* prof,
       }
     }
     line += "]";
+    if (agg->spill_partitions() > 0) {
+      spill_note = " spill_partitions=" + std::to_string(agg->spill_partitions());
+    }
     child0 = &agg->child();
   } else if (auto* j = dynamic_cast<const HashJoinOperator*>(&op)) {
     line += "HashJoin ";
@@ -419,6 +423,9 @@ size_t WalkNode(const Operator& op, size_t depth, const ProfiledOperator* prof,
       line += " residual=";
       line += ExplainFilter(*j->spec().residual);
     }
+    if (j->spill_partitions() > 0) {
+      spill_note = " spill_partitions=" + std::to_string(j->spill_partitions());
+    }
     child0 = &j->probe();
     child1 = &j->build();
   } else if (auto* so = dynamic_cast<const SortOperator*>(&op)) {
@@ -434,6 +441,9 @@ size_t WalkNode(const Operator& op, size_t depth, const ProfiledOperator* prof,
       line += std::to_string(so->limit());
       line += " offset=";
       line += std::to_string(so->offset());
+    }
+    if (so->spill_runs() > 0) {
+      spill_note = " spill_runs=" + std::to_string(so->spill_runs());
     }
     child0 = &so->child();
   } else if (auto* lim = dynamic_cast<const LimitOperator*>(&op)) {
@@ -482,6 +492,7 @@ size_t WalkNode(const Operator& op, size_t depth, const ProfiledOperator* prof,
   PlanNodeProfile e;
   e.op = std::move(line);
   e.depth = depth;
+  e.spill = std::move(spill_note);
   if (prof != nullptr) {
     const OperatorStats& st = prof->stats();
     e.profiled = true;
@@ -538,6 +549,7 @@ std::string ExplainAnalyzePlan(const Operator& root) {
                     n.next_ms);
       out += ann;
     }
+    out += n.spill;
     out += "\n";
   }
   return out;

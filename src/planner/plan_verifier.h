@@ -137,6 +137,11 @@ struct PlanNodeProfile {
   uint64_t rows_in = 0;     // sum of profiled immediate children's rows_out
   double open_ms = 0.0;
   double next_ms = 0.0;
+  // Spill telemetry ("spill_runs=3" / "spill_partitions=8"), filled for
+  // pipeline breakers that degraded to disk. Rendered by ExplainAnalyzePlan
+  // only — plain ExplainPlan stays byte-identical whether or not the plan
+  // has run.
+  std::string spill;
 };
 
 // Walks the plan (seeing through Checked/Profiled wrappers, descending into

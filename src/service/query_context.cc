@@ -1,6 +1,11 @@
 #include "service/query_context.h"
 
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
 #include <string>
+#include <system_error>
 
 namespace vwise {
 
@@ -40,7 +45,59 @@ Status QueryContext::Reserve(size_t bytes, const char* what) {
     return Status::ResourceExhausted(
         BudgetError(what, bytes, now - delta, budget_bytes_));
   }
+  int64_t peak = peak_reserved_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_reserved_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
   return Status::OK();
+}
+
+Result<std::string> QueryContext::NewSpillPath(const char* tag) {
+  namespace fs = std::filesystem;
+  MutexLock lock(&spill_mu_);
+  if (spill_dir_.empty()) {
+    fs::path base;
+    if (!spill_base_.empty()) {
+      base = spill_base_;
+    } else if (const char* env = std::getenv("VWISE_SPILL_DIR");
+               env != nullptr && env[0] != '\0') {
+      base = env;
+    } else {
+      std::error_code ec;
+      base = fs::temp_directory_path(ec);
+      if (ec) base = ".";
+      base /= "vwise-spill";
+    }
+    // q<pid>-<address> is unique per live context: two queries in one process
+    // have distinct contexts, two processes have distinct pids, and a crashed
+    // process's leftovers are swept by SweepSpillDir at the next Open.
+    fs::path dir = base / ("q" + std::to_string(::getpid()) + "-" +
+                           std::to_string(reinterpret_cast<uintptr_t>(this)));
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+      return Status::IOError("cannot create spill directory " + dir.string() +
+                             ": " + ec.message());
+    }
+    spill_dir_ = dir.string();
+  }
+  std::string path = spill_dir_ + "/" + tag + "-" +
+                     std::to_string(spill_seq_++) + ".spill";
+  spill_counters_.files_created.fetch_add(1, std::memory_order_relaxed);
+  return path;
+}
+
+void QueryContext::CleanupSpillDir() {
+  std::string dir;
+  {
+    MutexLock lock(&spill_mu_);
+    dir.swap(spill_dir_);
+  }
+  if (dir.empty()) return;
+  // Best effort: a failure here leaks temp files, never query correctness;
+  // the next Database::Open sweeps stragglers.
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
 }
 
 }  // namespace vwise

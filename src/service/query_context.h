@@ -5,9 +5,12 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "common/macros.h"
+#include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "vector/vector_scratch.h"
 
 namespace vwise {
@@ -32,7 +35,18 @@ namespace vwise {
 // set_memory_budget are configuration and must happen before Open().
 class QueryContext {
  public:
+  // Spill I/O accounting for the query: bytes moved through SpillWriter /
+  // SpillReader and temp files created, surfaced via QueryResult and the
+  // out-of-core bench. Atomics: breakers of one query may run on different
+  // threads (Xchg fragments).
+  struct SpillCounters {
+    std::atomic<uint64_t> bytes_written{0};
+    std::atomic<uint64_t> bytes_read{0};
+    std::atomic<uint64_t> files_created{0};
+  };
+
   QueryContext() = default;
+  ~QueryContext() { CleanupSpillDir(); }
   QueryContext(const QueryContext&) = delete;
   QueryContext& operator=(const QueryContext&) = delete;
 
@@ -75,6 +89,12 @@ class QueryContext {
   size_t reserved_bytes() const {
     return static_cast<size_t>(reserved_.load(std::memory_order_relaxed));
   }
+  // High-water mark of reserved_bytes() over the query's lifetime — what the
+  // query would need to run fully in memory. Tests and the out-of-core bench
+  // size spill budgets from it.
+  size_t peak_reserved_bytes() const {
+    return static_cast<size_t>(peak_reserved_.load(std::memory_order_relaxed));
+  }
 
   // Reserves `bytes` more against the budget; ResourceExhausted (and no
   // reservation) when it would overshoot. `what` names the reserving
@@ -92,6 +112,25 @@ class QueryContext {
   // same buffers. Thread-safe (fragments open on pool threads).
   VectorScratch* scratch() { return &scratch_; }
 
+  // --- spilling -------------------------------------------------------------
+  // Base directory for this query's spill files; configuration, set before
+  // Open() (PreparedQuery::Execute points it at the database's swept spill
+  // base). Empty = fall back to "<system tmp>/vwise-spill".
+  void set_spill_dir(std::string base) { spill_base_ = std::move(base); }
+  const std::string& spill_dir_base() const { return spill_base_; }
+
+  // Returns a unique path for a new spill file, creating the per-query
+  // directory on first use. `tag` names the operator for debuggability
+  // ("sort_run", "join_build", ...). Thread-safe.
+  Result<std::string> NewSpillPath(const char* tag) VWISE_EXCLUDES(spill_mu_);
+
+  // Removes the per-query spill directory and everything in it. Runs in the
+  // destructor; idempotent. Safe to call while no spill readers/writers are
+  // open (operators close theirs in Close()).
+  void CleanupSpillDir() VWISE_EXCLUDES(spill_mu_);
+
+  SpillCounters& spill_counters() { return spill_counters_; }
+
  private:
   static int64_t NowNs() {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -103,7 +142,15 @@ class QueryContext {
   int64_t deadline_ns_ = 0;  // steady_clock ns since epoch; 0 = none
   int64_t budget_bytes_ = 0;  // 0 = unlimited
   std::atomic<int64_t> reserved_{0};
+  std::atomic<int64_t> peak_reserved_{0};
   VectorScratch scratch_;
+
+  std::string spill_base_;  // configuration, written before Open()
+  Mutex spill_mu_;
+  std::string spill_dir_ VWISE_GUARDED_BY(spill_mu_);  // "" until first spill
+  uint64_t spill_seq_ VWISE_GUARDED_BY(spill_mu_) = 0;
+  // vwise-lint: allow(unguarded-member): SpillCounters fields are atomics
+  SpillCounters spill_counters_;
 };
 
 // One operator's growing share of the query budget. Bound in OpenImpl (when
@@ -130,6 +177,14 @@ class MemoryReservation {
   void ReleaseAll() {
     if (ctx_ != nullptr && bytes_ > 0) ctx_->Release(bytes_);
     bytes_ = 0;
+  }
+  // Gives back part of the reservation — a spilling breaker releases the
+  // bytes of a partition it just flushed, and the aggregation trims its
+  // worst-case pre-reserve down to what the chunk actually created.
+  void Shrink(size_t bytes) {
+    if (bytes > bytes_) bytes = bytes_;
+    if (ctx_ != nullptr && bytes > 0) ctx_->Release(bytes);
+    bytes_ -= bytes;
   }
   size_t bytes() const { return bytes_; }
 

@@ -7,6 +7,15 @@ namespace vwise {
 
 namespace {
 
+// Copies the context's budget/spill telemetry into the finished result.
+void FillBudgetStats(QueryContext* ctx, QueryResult* result) {
+  result->peak_reserved_bytes = ctx->peak_reserved_bytes();
+  result->spill_bytes_written =
+      ctx->spill_counters().bytes_written.load(std::memory_order_relaxed);
+  result->spill_bytes_read =
+      ctx->spill_counters().bytes_read.load(std::memory_order_relaxed);
+}
+
 // The one place a query's operator tree actually runs (on a service runner
 // thread, under the job's context). Owns the profiled-run choreography that
 // used to live in Database::Run: enable the per-primitive counters for the
@@ -16,15 +25,25 @@ Result<QueryResult> RunPlan(Operator* root, QueryContext* ctx,
                             const Config& config,
                             const std::vector<std::string>& names) {
   if (!config.profile) {
-    return CollectRows(root, ctx, config.vector_size, names);
+    VWISE_ASSIGN_OR_RETURN(QueryResult result,
+                           CollectRows(root, ctx, config.vector_size, names));
+    FillBudgetStats(ctx, &result);
+    return result;
   }
   PrimitiveProfiler::ScopedEnable enable(true);
   std::vector<PrimitiveCounters> before = PrimitiveProfiler::Snapshot();
   VWISE_ASSIGN_OR_RETURN(QueryResult result,
                          CollectRows(root, ctx, config.vector_size, names));
   std::vector<PrimitiveCounters> after = PrimitiveProfiler::Snapshot();
-  result.profile =
-      ExplainAnalyzePlan(*root) + RenderPrimitiveProfile(before, after);
+  FillBudgetStats(ctx, &result);
+  std::string spill_line;
+  if (result.spill_bytes_written > 0 || result.spill_bytes_read > 0) {
+    spill_line = "spill: bytes_written=" +
+                 std::to_string(result.spill_bytes_written) + " bytes_read=" +
+                 std::to_string(result.spill_bytes_read) + "\n";
+  }
+  result.profile = ExplainAnalyzePlan(*root) + spill_line +
+                   RenderPrimitiveProfile(before, after);
   return result;
 }
 
@@ -54,8 +73,9 @@ std::unique_ptr<QueryHandle> PreparedQuery::Execute(
         return RunPlan(root_.get(), ctx, config_, names_);
       },
       options.priority,
-      [&options, budget](QueryContext* ctx) {
+      [&options, budget, this](QueryContext* ctx) {
         ctx->set_memory_budget(budget);
+        ctx->set_spill_dir(config_.spill_dir);
         if (options.timeout.count() > 0) {
           ctx->set_deadline(std::chrono::steady_clock::now() + options.timeout);
         }

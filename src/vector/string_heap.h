@@ -32,13 +32,18 @@ class StringHeap {
   // Copies `sv` into the arena and returns a StringVal pointing at the copy.
   StringVal Add(std::string_view sv) {
     char* dst = Reserve(sv.size());
-    std::memcpy(dst, sv.data(), sv.size());
+    // Empty views may carry a null data() (e.g. zero-filled padding values
+    // from outer joins); memcpy requires non-null sources even for n == 0.
+    if (!sv.empty()) std::memcpy(dst, sv.data(), sv.size());
     return StringVal(dst, static_cast<uint32_t>(sv.size()));
   }
 
   // Reserves `n` writable bytes in the arena.
   char* Reserve(size_t n) {
-    if (VWISE_UNLIKELY(used_ + n > cap_)) {
+    // chunks_.empty() guards the fresh arena: a first reservation of zero
+    // bytes satisfies used_ + n <= cap_ (all zero) yet has no chunk to
+    // point into.
+    if (VWISE_UNLIKELY(chunks_.empty() || used_ + n > cap_)) {
       Grow(n);
     }
     char* p = chunks_.back()->As<char>() + used_;

@@ -6,9 +6,13 @@
 #include <utility>
 #include <vector>
 
+#include "api/database.h"
 #include "common/failpoint.h"
 #include "common/rng.h"
+#include "exec/scan.h"
+#include "exec/sort.h"
 #include "gtest/gtest.h"
+#include "service/session.h"
 #include "storage/buffer_manager.h"
 #include "txn/transaction_manager.h"
 
@@ -512,6 +516,127 @@ class Monkey {
   int step_ = 0;
   const char* last_fault_ = nullptr;
 };
+
+// --- spill scratch crash sweep ----------------------------------------------
+
+// Parks deliberately-abandoned objects in a static sink so LeakSanitizer
+// sees them as reachable: a simulated crash must run no destructors (that is
+// what the recovery assertions are about), but the bytes are not "lost".
+void AbandonAfterSimulatedCrash(void* p) {
+  static std::vector<void*>* sink = new std::vector<void*>();
+  sink->push_back(p);
+}
+
+// Counts regular files under `base`, recursively; 0 for a missing dir.
+size_t CountFilesUnder(const std::string& base) {
+  std::error_code ec;
+  size_t n = 0;
+  std::filesystem::recursive_directory_iterator it(base, ec), end;
+  if (ec) return 0;
+  for (; it != end; ++it) {
+    if (it->is_regular_file()) n++;
+  }
+  return n;
+}
+
+struct SpillCrashSite {
+  const char* spec;   // failpoint arm spec, always a crash mode
+  const char* site;   // expected SimulatedCrash::site()
+  bool leaves_files;  // scratch files already on disk when the crash fires
+};
+
+// Every spill I/O site, crashed while a budgeted external sort is mid-spill.
+// A killed process leaks its per-query scratch by design (no destructors run
+// across SIGKILL); the next Database::Open must sweep the spill base and the
+// same query must then run to completion, bit-identical to an unbudgeted run.
+const SpillCrashSite kSpillSweep[] = {
+    {"spill.create=crash", "spill.create", false},  // before the file exists
+    {"spill.append=crash", "spill.append", true},   // mid-write of a run
+    {"spill.open=crash", "spill.open", true},       // reopening runs to merge
+    {"spill.read=crash", "spill.read", true},       // mid-merge of the runs
+};
+
+TEST_F(CrashTortureTest, SweepSpillSitesScratchIsSweptOnReopen) {
+  int case_idx = 0;
+  for (const SpillCrashSite& site : kSpillSweep) {
+    SCOPED_TRACE(site.spec);
+    std::string dbdir = dir_ + "/spill" + std::to_string(case_idx++);
+    Config cfg;
+    cfg.vector_size = 64;  // many chunks so the sort spills several runs
+    cfg.stripe_rows = 512;
+    cfg.spill_dir = dbdir + "/spill";
+    auto db = Database::Open(dbdir, cfg);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    TableSchema t("t", {ColumnDef("k", DataType::Int64()),
+                        ColumnDef("v", DataType::Int64())});
+    ASSERT_TRUE((*db)->CreateTable(t).ok());
+    ASSERT_TRUE((*db)
+                    ->BulkLoad("t",
+                               [](TableWriter* w) -> Status {
+                                 for (int64_t i = 0; i < 4000; i++) {
+                                   VWISE_RETURN_IF_ERROR(w->AppendRow(
+                                       {Value::Int((i * 2654435761) % 4096),
+                                        Value::Int(i)}));
+                                 }
+                                 return Status::OK();
+                               })
+                    .ok());
+    auto snap = (*db)->Internals().tm->GetSnapshot("t");
+    ASSERT_TRUE(snap.ok());
+
+    ASSERT_TRUE(failpoint::Arm(site.spec).ok());
+    // Heap-allocate and leak the context and plan: a real crash runs no
+    // destructors, so recovery must not depend on their cleanup.
+    auto* ctx = new QueryContext();
+    ctx->set_memory_budget(24 << 10);
+    ctx->set_spill_dir(cfg.spill_dir);
+    auto* sort = new SortOperator(
+        std::make_unique<ScanOperator>(*snap, std::vector<uint32_t>{0, 1},
+                                       cfg),
+        std::vector<SortKey>{SortKey{0, true}}, cfg);
+    bool crashed = false;
+    try {
+      (void)CollectRows(sort, ctx, cfg.vector_size);
+    } catch (const SimulatedCrash& c) {
+      crashed = true;
+      EXPECT_EQ(c.site(), site.site);
+    }
+    EXPECT_TRUE(crashed) << "site never fired: " << site.spec;
+    AbandonAfterSimulatedCrash(ctx);
+    AbandonAfterSimulatedCrash(sort);
+    failpoint::DisarmAll();
+    if (site.leaves_files) {
+      EXPECT_GT(CountFilesUnder(cfg.spill_dir), 0u)
+          << "crash left no scratch — the site never spilled";
+    }
+
+    // Reopen: Database::Open sweeps the spill base clean, and the query
+    // that "died" now answers, matching an unbudgeted run bit-for-bit.
+    db->reset();
+    db = Database::Open(dbdir, cfg);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    EXPECT_EQ(CountFilesUnder(cfg.spill_dir), 0u);
+    auto session = (*db)->Connect();
+    PlanBuilder q = session->NewPlan();
+    ASSERT_TRUE(q.Scan("t", {0, 1}).ok());
+    q.Sort({SortKey{0, true}, SortKey{1, true}});
+    auto prepared = session->Prepare(&q);
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    Result<QueryResult> clean = (*prepared)->Run();
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+    QueryOptions opt;
+    opt.memory_budget_bytes = 24 << 10;
+    Result<QueryResult> budgeted = (*prepared)->Run(opt);
+    ASSERT_TRUE(budgeted.ok()) << budgeted.status().ToString();
+    ASSERT_EQ(budgeted->rows.size(), 4000u);
+    EXPECT_EQ(clean->rows, budgeted->rows);
+    EXPECT_GT(budgeted->spill_bytes_written, 0u);
+    EXPECT_EQ(CountFilesUnder(cfg.spill_dir), 0u);  // scratch reclaimed
+    session.reset();
+    db->reset();
+    std::filesystem::remove_all(dbdir);
+  }
+}
 
 TEST_F(CrashTortureTest, MonkeyRandomizedFaultInjection) {
   uint64_t base_seed = EnvU64("VWISE_TORTURE_SEED", 20260806);

@@ -1,0 +1,761 @@
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "common/failpoint.h"
+#include "exec/hash_agg.h"
+#include "exec/hash_join.h"
+#include "exec/scan.h"
+#include "exec/sort.h"
+#include "exec/xchg.h"
+#include "gtest/gtest.h"
+#include "service/session.h"
+#include "storage/spill_file.h"
+
+namespace vwise {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Spill-to-disk coverage: pipeline breakers degrading gracefully under
+// per-query memory budgets (external sort, radix-partitioned hash join and
+// aggregation), the budget-accounting regressions that rode along
+// (offset+limit size_t wrap in Sort, reserve-after-insert in HashAgg,
+// build_rows_ surviving re-execution in HashJoin), spill failpoint
+// injection, and temp-file lifecycle.
+
+// Parks deliberately-abandoned objects in a static sink so LeakSanitizer
+// sees them as reachable: a simulated crash must run no destructors (that is
+// what the recovery assertions are about), but the bytes are not "lost".
+void AbandonAfterSimulatedCrash(void* p) {
+  static std::vector<void*>* sink = new std::vector<void*>();
+  sink->push_back(p);
+}
+
+// Counts regular files under `base`, recursively. 0 for a missing dir.
+size_t CountSpillFiles(const std::string& base) {
+  std::error_code ec;
+  size_t n = 0;
+  fs::recursive_directory_iterator it(base, ec), end;
+  if (ec) return 0;
+  for (; it != end; ++it) {
+    if (it->is_regular_file()) n++;
+  }
+  return n;
+}
+
+class SpillTest : public ::testing::Test {
+ protected:
+  static constexpr int64_t kLRows = 4000;
+  static constexpr int64_t kORows = 1200;
+
+  void SetUp() override {
+    failpoint::DisarmAll();
+    dir_ = ::testing::TempDir() + "/vwise_spill_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    fs::remove_all(dir_);
+    config_.vector_size = 64;
+    config_.stripe_rows = 512;
+    auto db = Database::Open(dir_, config_);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+    // "l": lineitem-shaped. l_key unique (join/build key and a unique sort
+    // tiebreaker), l_grp a low-cardinality string, l_qty / l_price numeric.
+    TableSchema l("l", {ColumnDef("l_key", DataType::Int64()),
+                        ColumnDef("l_grp", DataType::Varchar()),
+                        ColumnDef("l_qty", DataType::Int64()),
+                        ColumnDef("l_price", DataType::Double())});
+    ASSERT_TRUE(db_->CreateTable(l).ok());
+    ASSERT_TRUE(db_->BulkLoad("l", [](TableWriter* w) -> Status {
+      for (int64_t i = 0; i < kLRows; i++) {
+        VWISE_RETURN_IF_ERROR(w->AppendRow(
+            {Value::Int(i), Value::String("g" + std::to_string(i % 7)),
+             Value::Int(i % 50),
+             Value::Double(static_cast<double>(i % 97) * 1.5)}));
+      }
+      return Status::OK();
+    }).ok());
+    // "o": orders-shaped probe side; keys stride past kLRows so outer and
+    // anti joins see both matched and unmatched probe rows.
+    TableSchema o("o", {ColumnDef("o_key", DataType::Int64()),
+                        ColumnDef("o_prio", DataType::Int64())});
+    ASSERT_TRUE(db_->CreateTable(o).ok());
+    ASSERT_TRUE(db_->BulkLoad("o", [](TableWriter* w) -> Status {
+      for (int64_t i = 0; i < kORows; i++) {
+        VWISE_RETURN_IF_ERROR(
+            w->AppendRow({Value::Int(i * 5), Value::Int(i % 3)}));
+      }
+      return Status::OK();
+    }).ok());
+  }
+
+  void TearDown() override {
+    failpoint::DisarmAll();
+    db_.reset();
+    fs::remove_all(dir_);
+  }
+
+  std::string SpillBase() const { return dir_ + "/spill"; }
+
+  // Runs `build` twice through one session: unlimited budget (baseline) and
+  // under `budget`. Asserts the budgeted run spilled, stayed within budget,
+  // and produced bit-identical rows; returns the budgeted result.
+  QueryResult RunAndCompare(PlanBuilder* plan, Session* session,
+                            size_t budget) {
+    auto prepared = session->Prepare(plan);
+    EXPECT_TRUE(prepared.ok()) << prepared.status().ToString();
+    Result<QueryResult> base = (*prepared)->Run();
+    EXPECT_TRUE(base.ok()) << base.status().ToString();
+    EXPECT_EQ(base->spill_bytes_written, 0u)
+        << "baseline run must stay in memory — lower the working set";
+    QueryOptions opt;
+    opt.memory_budget_bytes = budget;
+    Result<QueryResult> budgeted = (*prepared)->Run(opt);
+    EXPECT_TRUE(budgeted.ok()) << budgeted.status().ToString();
+    if (!base.ok() || !budgeted.ok()) return {};
+    EXPECT_GT(budgeted->spill_bytes_written, 0u)
+        << "budget " << budget << " did not force a spill";
+    EXPECT_LE(budgeted->peak_reserved_bytes, budget);
+    EXPECT_EQ(base->rows.size(), budgeted->rows.size());
+    if (base->rows.size() == budgeted->rows.size()) {
+      for (size_t i = 0; i < base->rows.size(); i++) {
+        EXPECT_EQ(base->rows[i], budgeted->rows[i]) << "row " << i;
+      }
+    }
+    // Spill scratch is torn down eagerly when the breakers close.
+    EXPECT_EQ(CountSpillFiles(SpillBase()), 0u);
+    return std::move(*budgeted);
+  }
+
+  Config config_;
+  std::string dir_;
+  std::unique_ptr<Database> db_;
+};
+
+// --- accounting-bug regressions ---------------------------------------------
+
+// offset_ + limit_ used to be added raw in ConsumeAndSort ("want") and
+// Next ("end"); with limit near SIZE_MAX and a nonzero offset the sum
+// wrapped to a tiny value and the sort silently emitted nothing.
+TEST_F(SpillTest, SortOffsetPlusLimitDoesNotWrap) {
+  auto session = db_->Connect();
+  PlanBuilder q = session->NewPlan();
+  ASSERT_TRUE(q.Scan("l", {0}).ok());
+  q.Sort({SortKey{0, true}}, /*limit=*/SIZE_MAX - 2, /*offset=*/5);
+  auto r = session->Query(&q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), static_cast<size_t>(kLRows - 5));
+  EXPECT_EQ(r->rows.front()[0].AsInt(), 5);
+  EXPECT_EQ(r->rows.back()[0].AsInt(), kLRows - 1);
+}
+
+// HashAgg used to reserve group memory only AFTER ProcessChunk had already
+// inserted the groups, so the table could overrun the budget untracked.
+// With the worst-case pre-reserve the overrun is caught up front and turns
+// into a spill: total spilled state far exceeds the budget while the
+// reservation high-water mark never does.
+TEST_F(SpillTest, AggReservesWorstCaseBeforeInsertion) {
+  auto session = db_->Connect();
+  PlanBuilder q = session->NewPlan();
+  ASSERT_TRUE(q.Scan("l", {0, 2}).ok());
+  q.Agg({0}, {AggSpec::Sum(1)}, {DataType::Int64(), DataType::Int64()});
+  q.Sort({SortKey{0, true}});
+  constexpr size_t kBudget = 64 << 10;
+  QueryResult r = RunAndCompare(&q, session.get(), kBudget);
+  // ~4000 groups of state on disk: the table contents alone exceeded the
+  // budget, which only a reserve-before-insert protocol can catch in time.
+  EXPECT_GT(r.spill_bytes_written, kBudget);
+}
+
+// build_rows_ survived Close() and was never reset by OpenImpl, so the
+// second execution of a prepared join indexed a rebuilt (smaller) build
+// store with the stale doubled row count.
+TEST_F(SpillTest, PreparedJoinReExecutesBitIdentically) {
+  auto session = db_->Connect();
+  PlanBuilder q = session->NewPlan();
+  ASSERT_TRUE(q.Scan("o", {0, 1}).ok());
+  PlanBuilder build = session->NewPlan();
+  ASSERT_TRUE(build.Scan("l", {0, 2}).ok());
+  q.Join(std::move(build), JoinType::kInner, {0}, {0}, {1});
+  q.Sort({SortKey{0, true}});
+  auto prepared = session->Prepare(&q);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  Result<QueryResult> first = (*prepared)->Run();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(first->rows.size(), 800u);  // o keys 0,5,..,3995 hit l's 0..3999
+  Result<QueryResult> second = (*prepared)->Run();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_EQ(first->rows.size(), second->rows.size());
+  for (size_t i = 0; i < first->rows.size(); i++) {
+    EXPECT_EQ(first->rows[i], second->rows[i]) << "row " << i;
+  }
+}
+
+TEST_F(SpillTest, PreparedSortWithLimitReExecutesBitIdentically) {
+  auto session = db_->Connect();
+  PlanBuilder q = session->NewPlan();
+  ASSERT_TRUE(q.Scan("l", {2, 0}).ok());
+  q.Sort({SortKey{0, false}, SortKey{1, true}}, /*limit=*/50, /*offset=*/10);
+  auto prepared = session->Prepare(&q);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  Result<QueryResult> first = (*prepared)->Run();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(first->rows.size(), 50u);
+  Result<QueryResult> second = (*prepared)->Run();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  for (size_t i = 0; i < first->rows.size(); i++) {
+    EXPECT_EQ(first->rows[i], second->rows[i]) << "row " << i;
+  }
+}
+
+// --- spill-path bit-identity (TPC-H-shaped plans) ----------------------------
+
+// Q1 shape: scan -> filter -> grouped aggregation (string group key, sum /
+// avg / min / max / count) -> sort. Budget ~1/8 of the in-memory working
+// set: the agg radix-spills, the sort runs externally, and the final rows
+// must come out bit-identical (the sort key is a unique total order).
+TEST_F(SpillTest, Q1ShapeBitIdenticalUnderBudget) {
+  auto session = db_->Connect();
+  PlanBuilder q = session->NewPlan();
+  ASSERT_TRUE(q.Scan("l", {1, 0, 2, 3}).ok());
+  q.Select(e::Lt(q.Col(2), e::I64(48)));
+  // Group by (l_grp, l_key): 7 * kLRows-ish distinct groups, string keys.
+  q.Agg({0, 1},
+        {AggSpec::Sum(2), AggSpec::Avg(3), AggSpec::Min(3), AggSpec::Max(2),
+         AggSpec::CountStar()},
+        {DataType::Varchar(), DataType::Int64(), DataType::Int64(),
+         DataType::Double(), DataType::Double(), DataType::Int64(),
+         DataType::Int64()});
+  q.Sort({SortKey{0, true}, SortKey{1, true}});
+  // ~1/8 of the in-memory working set (the agg state alone is ~360KB), but
+  // enough headroom for one reloaded radix partition plus its table.
+  RunAndCompare(&q, session.get(), /*budget=*/128 << 10);
+}
+
+// Q6 shape: scan -> filter -> ungrouped aggregation. The global aggregate
+// never spills (one group), so this pins the budget path around it: the
+// f64 sum must be bit-identical because input order never changes.
+TEST_F(SpillTest, Q6ShapeBitIdenticalUnderBudget) {
+  auto session = db_->Connect();
+  PlanBuilder q = session->NewPlan();
+  ASSERT_TRUE(q.Scan("l", {2, 3, 0}).ok());
+  q.Select(e::Lt(q.Col(0), e::I64(25)));
+  q.Agg({}, {AggSpec::Sum(1), AggSpec::CountStar()},
+        {DataType::Double(), DataType::Int64()});
+  // An ungrouped agg under any budget stays in memory; drive the spill from
+  // a sort below it instead to keep the shape end-to-end spilling.
+  auto prepared = session->Prepare(&q);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  Result<QueryResult> base = (*prepared)->Run();
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  QueryOptions opt;
+  opt.memory_budget_bytes = 16 << 10;
+  Result<QueryResult> budgeted = (*prepared)->Run(opt);
+  ASSERT_TRUE(budgeted.ok()) << budgeted.status().ToString();
+  ASSERT_EQ(base->rows.size(), 1u);
+  ASSERT_EQ(budgeted->rows.size(), 1u);
+  EXPECT_EQ(base->rows[0], budgeted->rows[0]);
+}
+
+// Q3 shape: join -> grouped aggregation -> sort, everything under budget at
+// once. Join partitions preserve within-partition probe order and a group's
+// rows never straddle partitions (same key => same hash => same partition),
+// so the f64 aggregate of every group adds in the same order and the final
+// sorted rows are bit-identical.
+TEST_F(SpillTest, Q3ShapeBitIdenticalUnderBudget) {
+  auto session = db_->Connect();
+  PlanBuilder q = session->NewPlan();
+  ASSERT_TRUE(q.Scan("o", {0, 1}).ok());
+  PlanBuilder build = session->NewPlan();
+  ASSERT_TRUE(build.Scan("l", {0, 3}).ok());
+  q.Join(std::move(build), JoinType::kInner, {0}, {0}, {1});
+  q.Agg({0, 1}, {AggSpec::Sum(2), AggSpec::CountStar()},
+        {DataType::Int64(), DataType::Int64(), DataType::Double(),
+         DataType::Int64()});
+  q.Sort({SortKey{0, true}, SortKey{1, true}});
+  // Three stacked breakers share this budget; the join's partition reload
+  // needs headroom next to the capped agg and sort buffers.
+  RunAndCompare(&q, session.get(), /*budget=*/48 << 10);
+}
+
+// The join's own spill: inner join with string payload under a budget far
+// below the build side. Sorted by the unique probe key, the spilled run
+// must match the in-memory run row for row.
+TEST_F(SpillTest, JoinSpillBitIdentical) {
+  auto session = db_->Connect();
+  PlanBuilder q = session->NewPlan();
+  ASSERT_TRUE(q.Scan("o", {0, 1}).ok());
+  PlanBuilder build = session->NewPlan();
+  ASSERT_TRUE(build.Scan("l", {0, 1, 3}).ok());
+  q.Join(std::move(build), JoinType::kInner, {0}, {0}, {1, 2});
+  q.Sort({SortKey{0, true}});
+  RunAndCompare(&q, session.get(), /*budget=*/64 << 10);
+}
+
+TEST_F(SpillTest, LeftOuterJoinSpillBitIdentical) {
+  auto session = db_->Connect();
+  PlanBuilder q = session->NewPlan();
+  ASSERT_TRUE(q.Scan("o", {0, 1}).ok());
+  PlanBuilder build = session->NewPlan();
+  ASSERT_TRUE(build.Scan("l", {0, 1}).ok());
+  q.Join(std::move(build), JoinType::kLeftOuter, {0}, {0}, {1});
+  q.Sort({SortKey{0, true}});
+  QueryResult r = RunAndCompare(&q, session.get(), /*budget=*/40 << 10);
+  // Probe keys stride to 5995; l stops at 3999, so the tail rows are
+  // unmatched and zero-padded with the match flag down.
+  ASSERT_EQ(r.rows.size(), static_cast<size_t>(kORows));
+}
+
+TEST_F(SpillTest, SemiAndAntiJoinSpillBitIdentical) {
+  auto session = db_->Connect();
+  for (JoinType type : {JoinType::kLeftSemi, JoinType::kLeftAnti}) {
+    SCOPED_TRACE(static_cast<int>(type));
+    PlanBuilder q = session->NewPlan();
+    ASSERT_TRUE(q.Scan("o", {0, 1}).ok());
+    PlanBuilder build = session->NewPlan();
+    ASSERT_TRUE(build.Scan("l", {0}).ok());
+    q.Join(std::move(build), type, {0}, {0});
+    q.Sort({SortKey{0, true}});
+    QueryResult r = RunAndCompare(&q, session.get(), /*budget=*/24 << 10);
+    // o keys 0,5,...: 800 land inside l's 0..3999, 400 beyond it.
+    ASSERT_EQ(r.rows.size(), type == JoinType::kLeftSemi ? 800u : 400u);
+  }
+}
+
+// The external sort alone, with a string column in flight and a unique
+// total order.
+TEST_F(SpillTest, ExternalSortBitIdentical) {
+  auto session = db_->Connect();
+  PlanBuilder q = session->NewPlan();
+  ASSERT_TRUE(q.Scan("l", {2, 1, 0}).ok());
+  q.Sort({SortKey{0, false}, SortKey{2, true}});
+  RunAndCompare(&q, session.get(), /*budget=*/24 << 10);
+}
+
+TEST_F(SpillTest, ExternalSortHonorsLimitAndOffset) {
+  auto session = db_->Connect();
+  PlanBuilder q = session->NewPlan();
+  ASSERT_TRUE(q.Scan("l", {2, 0}).ok());
+  q.Sort({SortKey{0, true}, SortKey{1, false}}, /*limit=*/100, /*offset=*/37);
+  QueryResult r = RunAndCompare(&q, session.get(), /*budget=*/24 << 10);
+  ASSERT_EQ(r.rows.size(), 100u);
+}
+
+// EXPLAIN ANALYZE surfaces the degradation: per-node spill annotations plus
+// the query-level byte totals.
+TEST_F(SpillTest, ExplainAnalyzeShowsSpill) {
+  Config cfg = config_;
+  cfg.profile = true;
+  auto db = Database::Open(dir_ + "_prof", cfg);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  TableSchema t("t", {ColumnDef("k", DataType::Int64()),
+                      ColumnDef("v", DataType::Int64())});
+  ASSERT_TRUE((*db)->CreateTable(t).ok());
+  ASSERT_TRUE((*db)->BulkLoad("t", [](TableWriter* w) -> Status {
+    for (int64_t i = 0; i < 4000; i++) {
+      VWISE_RETURN_IF_ERROR(w->AppendRow({Value::Int(i), Value::Int(i % 9)}));
+    }
+    return Status::OK();
+  }).ok());
+  auto session = (*db)->Connect();
+  PlanBuilder q = session->NewPlan();
+  ASSERT_TRUE(q.Scan("t", {0, 1}).ok());
+  q.Agg({0}, {AggSpec::Sum(1)}, {DataType::Int64(), DataType::Int64()});
+  q.Sort({SortKey{0, true}});
+  auto prepared = session->Prepare(&q);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  QueryOptions opt;
+  // Half of this budget must cover one reloaded agg partition (~24KB for
+  // 4000 unique groups over 8 partitions) beside the capped sort buffer.
+  opt.memory_budget_bytes = 64 << 10;
+  auto handle = (*prepared)->Execute(opt);
+  const Result<QueryResult>& r = handle->Wait();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->spill_bytes_written, 0u);
+  const std::string& profile = handle->profile();
+  EXPECT_NE(profile.find("spill_partitions="), std::string::npos) << profile;
+  EXPECT_NE(profile.find("spill_runs="), std::string::npos) << profile;
+  EXPECT_NE(profile.find("spill: bytes_written="), std::string::npos)
+      << profile;
+  // Unbudgeted, the same plan reports no spill lines.
+  auto clean = (*prepared)->Execute();
+  ASSERT_TRUE(clean->Wait().ok());
+  EXPECT_EQ(clean->profile().find("spill"), std::string::npos)
+      << clean->profile();
+  session.reset();
+  db->reset();
+  fs::remove_all(dir_ + "_prof");
+}
+
+// --- budget exhaustion with spilling disabled --------------------------------
+
+// Every breaker's Grow/Reserve site fails cleanly when spilling is off: the
+// query reports ResourceExhausted, the context drains to zero reserved
+// bytes, and the tree can be re-run within the same process.
+TEST_F(SpillTest, BudgetExhaustionSweepFailsCleanWithoutSpill) {
+  Config cfg = config_;
+  cfg.enable_spill = false;
+  auto snap_l = db_->Internals().tm->GetSnapshot("l");
+  ASSERT_TRUE(snap_l.ok());
+  auto snap_o = db_->Internals().tm->GetSnapshot("o");
+  ASSERT_TRUE(snap_o.ok());
+
+  struct Case {
+    const char* name;
+    size_t budget;
+    std::function<OperatorPtr()> make;
+  };
+  const Case cases[] = {
+      {"join build", 2048,
+       [&]() -> OperatorPtr {
+         HashJoinOperator::Spec spec;
+         spec.probe_keys = {0};
+         spec.build_keys = {0};
+         spec.build_payload = {1};
+         return std::make_unique<HashJoinOperator>(
+             std::make_unique<ScanOperator>(*snap_o,
+                                            std::vector<uint32_t>{0}, cfg),
+             std::make_unique<ScanOperator>(
+                 *snap_l, std::vector<uint32_t>{0, 2}, cfg),
+             std::move(spec), cfg);
+       }},
+      {"agg groups", 2048,
+       [&]() -> OperatorPtr {
+         return std::make_unique<HashAggOperator>(
+             std::make_unique<ScanOperator>(*snap_l,
+                                            std::vector<uint32_t>{0, 2}, cfg),
+             std::vector<size_t>{0},
+             std::vector<AggSpec>{AggSpec::Sum(1)}, cfg);
+       }},
+      {"sort buffer", 2048,
+       [&]() -> OperatorPtr {
+         return std::make_unique<SortOperator>(
+             std::make_unique<ScanOperator>(*snap_l,
+                                            std::vector<uint32_t>{0, 2}, cfg),
+             std::vector<SortKey>{SortKey{0, false}}, cfg);
+       }},
+      // Below one chunk's footprint: the very first PushChunk reservation
+      // fails regardless of how fast the consumer drains the queue.
+      {"xchg queue", 256,
+       [&]() -> OperatorPtr {
+         auto factory = [snap = *snap_l, cfg](int, int) -> Result<OperatorPtr> {
+           return OperatorPtr(std::make_unique<ScanOperator>(
+               snap, std::vector<uint32_t>{0}, cfg));
+         };
+         return std::make_unique<XchgOperator>(
+             factory, 2, std::vector<TypeId>{TypeId::kI64}, cfg);
+       }},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    QueryContext ctx;
+    ctx.set_memory_budget(c.budget);
+    ctx.set_spill_dir(SpillBase());
+    OperatorPtr op = c.make();
+    Result<QueryResult> r = CollectRows(op.get(), &ctx, cfg.vector_size);
+    ASSERT_FALSE(r.ok()) << c.name << " finished under a tiny budget";
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+        << r.status().ToString();
+    EXPECT_EQ(ctx.reserved_bytes(), 0u)
+        << c.name << " leaked reservation on unwind";
+    // Spilling was off: nothing may have touched disk.
+    EXPECT_EQ(ctx.spill_counters().bytes_written.load(), 0u);
+    // The same tree runs to completion once the budget pressure is gone.
+    QueryContext roomy;
+    Result<QueryResult> ok = CollectRows(op.get(), &roomy, cfg.vector_size);
+    EXPECT_TRUE(ok.ok()) << c.name << ": " << ok.status().ToString();
+  }
+  // A budget-failed query never poisons its session either.
+  auto session = db_->Connect();
+  PlanBuilder q = session->NewPlan();
+  ASSERT_TRUE(q.Scan("l", {0}).ok());
+  q.Sort({SortKey{0, true}});
+  auto r = session->Query(&q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), static_cast<size_t>(kLRows));
+}
+
+// Even with spilling ON, a budget too small for a single partition /
+// vector's worth of state must fail with ResourceExhausted — and still
+// unwind clean, deleting whatever scratch it had created.
+TEST_F(SpillTest, ImpossiblyTightBudgetFailsCleanEvenWithSpill) {
+  QueryContext ctx;
+  ctx.set_memory_budget(256);  // below one chunk of sort input
+  ctx.set_spill_dir(SpillBase());
+  auto snap = db_->Internals().tm->GetSnapshot("l");
+  ASSERT_TRUE(snap.ok());
+  SortOperator sort(std::make_unique<ScanOperator>(
+                        *snap, std::vector<uint32_t>{0, 1}, config_),
+                    {SortKey{0, true}}, config_);
+  Result<QueryResult> r = CollectRows(&sort, &ctx, config_.vector_size);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+      << r.status().ToString();
+  EXPECT_EQ(ctx.reserved_bytes(), 0u);
+  EXPECT_EQ(CountSpillFiles(SpillBase()), 0u);
+}
+
+// --- spill file format + failpoints ------------------------------------------
+
+TEST_F(SpillTest, SpillPartitionCountClampsToPowerOfTwo) {
+  EXPECT_EQ(SpillPartitionCount(0), 2u);
+  EXPECT_EQ(SpillPartitionCount(1), 2u);
+  EXPECT_EQ(SpillPartitionCount(2), 2u);
+  EXPECT_EQ(SpillPartitionCount(3), 4u);
+  EXPECT_EQ(SpillPartitionCount(8), 8u);
+  EXPECT_EQ(SpillPartitionCount(100), 128u);
+  EXPECT_EQ(SpillPartitionCount(100000), 256u);
+}
+
+TEST_F(SpillTest, WriterReaderRoundTripsSelectionsAndStrings) {
+  fs::create_directories(SpillBase());
+  std::string path = SpillBase() + "/unit-0.spill";
+  std::vector<TypeId> types = {TypeId::kI64, TypeId::kStr, TypeId::kF64};
+  QueryContext::SpillCounters counters;
+  auto writer = SpillWriter::Create(path, types, &counters);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  DataChunk chunk;
+  chunk.Init(types, 8);
+  StringHeap* heap = chunk.column(1).GetStringHeap();
+  for (size_t i = 0; i < 8; i++) {
+    chunk.column(0).Data<int64_t>()[i] = static_cast<int64_t>(i) * 11;
+    chunk.column(1).Data<StringVal>()[i] =
+        heap->Add("row" + std::to_string(i));
+    chunk.column(2).Data<double>()[i] = static_cast<double>(i) * 0.25;
+  }
+  chunk.SetCount(8);
+  // Block 1: dense. Block 2: every other row via the selection vector.
+  ASSERT_TRUE((*writer)->Append(chunk).ok());
+  sel_t* sel = chunk.MutableSel();
+  for (size_t i = 0; i < 4; i++) sel[i] = static_cast<sel_t>(i * 2);
+  chunk.SetSelection(4);
+  ASSERT_TRUE((*writer)->Append(chunk).ok());
+  EXPECT_EQ((*writer)->rows_written(), 12u);
+  writer->reset();  // close before reading
+
+  auto reader = SpillReader::Open(path, types, &counters);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  DataChunk out;
+  out.Init(types, 8);
+  auto more = (*reader)->Next(&out);
+  ASSERT_TRUE(more.ok() && *more);
+  ASSERT_EQ(out.count(), 8u);
+  for (size_t i = 0; i < 8; i++) {
+    EXPECT_EQ(out.column(0).Data<int64_t>()[i], static_cast<int64_t>(i) * 11);
+    EXPECT_EQ(out.column(1).Data<StringVal>()[i].view(),
+              "row" + std::to_string(i));
+    EXPECT_EQ(out.column(2).Data<double>()[i], static_cast<double>(i) * 0.25);
+  }
+  more = (*reader)->Next(&out);
+  ASSERT_TRUE(more.ok() && *more);
+  ASSERT_EQ(out.count(), 4u);
+  for (size_t i = 0; i < 4; i++) {
+    EXPECT_EQ(out.column(0).Data<int64_t>()[i],
+              static_cast<int64_t>(i) * 22);
+    EXPECT_EQ(out.column(1).Data<StringVal>()[i].view(),
+              "row" + std::to_string(i * 2));
+  }
+  more = (*reader)->Next(&out);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);  // EOF
+  EXPECT_GT(counters.bytes_written.load(), 0u);
+  EXPECT_GT(counters.bytes_read.load(), 0u);
+}
+
+TEST_F(SpillTest, ReaderRejectsFlippedBytes) {
+  fs::create_directories(SpillBase());
+  std::string path = SpillBase() + "/corrupt-0.spill";
+  std::vector<TypeId> types = {TypeId::kI64};
+  auto writer = SpillWriter::Create(path, types, nullptr);
+  ASSERT_TRUE(writer.ok());
+  DataChunk chunk;
+  chunk.Init(types, 4);
+  for (size_t i = 0; i < 4; i++) {
+    chunk.column(0).Data<int64_t>()[i] = static_cast<int64_t>(i);
+  }
+  chunk.SetCount(4);
+  ASSERT_TRUE((*writer)->Append(chunk).ok());
+  writer->reset();
+  // Flip one payload byte on disk; the block CRC must catch it.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-6, std::ios::end);
+    char b;
+    f.seekg(-6, std::ios::end);
+    f.get(b);
+    f.seekp(-6, std::ios::end);
+    f.put(static_cast<char>(b ^ 0x40));
+  }
+  auto reader = SpillReader::Open(path, types, nullptr);
+  ASSERT_TRUE(reader.ok());
+  DataChunk out;
+  out.Init(types, 4);
+  auto more = (*reader)->Next(&out);
+  ASSERT_FALSE(more.ok());
+  EXPECT_EQ(more.status().code(), StatusCode::kCorruption)
+      << more.status().ToString();
+}
+
+// Deterministic fault sweep over the spill I/O sites: every injected error
+// surfaces as a clean query failure (no crash, no leaked reservation), and
+// the scratch files disappear with the query context.
+TEST_F(SpillTest, FailpointSweepOverSpillSites) {
+  auto snap = db_->Internals().tm->GetSnapshot("l");
+  ASSERT_TRUE(snap.ok());
+  struct Fault {
+    const char* spec;
+    StatusCode expect;
+  };
+  const Fault faults[] = {
+      {"spill.create=err", StatusCode::kIOError},
+      {"spill.append=err", StatusCode::kIOError},
+      {"spill.append=torn:7,nth:3", StatusCode::kIOError},
+      {"spill.open=err", StatusCode::kIOError},
+      {"spill.read=err", StatusCode::kIOError},
+      {"spill.read=corrupt,nth:2", StatusCode::kCorruption},
+  };
+  for (const Fault& f : faults) {
+    SCOPED_TRACE(f.spec);
+    ASSERT_TRUE(failpoint::Arm(f.spec).ok());
+    {
+      QueryContext ctx;
+      ctx.set_memory_budget(24 << 10);
+      ctx.set_spill_dir(SpillBase());
+      SortOperator sort(std::make_unique<ScanOperator>(
+                            *snap, std::vector<uint32_t>{0, 1}, config_),
+                        {SortKey{0, true}}, config_);
+      Result<QueryResult> r = CollectRows(&sort, &ctx, config_.vector_size);
+      ASSERT_FALSE(r.ok()) << f.spec << " did not fire";
+      EXPECT_EQ(r.status().code(), f.expect) << r.status().ToString();
+      EXPECT_EQ(ctx.reserved_bytes(), 0u);
+    }
+    failpoint::DisarmAll();
+    // ~QueryContext removed the per-query scratch directory.
+    EXPECT_EQ(CountSpillFiles(SpillBase()), 0u);
+  }
+  // Short transfers are absorbed by the I/O retry loops: the spilled query
+  // must still succeed, bit-identically.
+  ASSERT_TRUE(failpoint::Arm("spill.read=short:5;spill.append=short:5").ok());
+  {
+    QueryContext ctx;
+    ctx.set_memory_budget(24 << 10);
+    ctx.set_spill_dir(SpillBase());
+    SortOperator sort(std::make_unique<ScanOperator>(
+                          *snap, std::vector<uint32_t>{0, 1}, config_),
+                      {SortKey{0, true}}, config_);
+    Result<QueryResult> r = CollectRows(&sort, &ctx, config_.vector_size);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->rows.size(), static_cast<size_t>(kLRows));
+    EXPECT_GT(ctx.spill_counters().bytes_written.load(), 0u);
+  }
+  failpoint::DisarmAll();
+}
+
+// --- temp-file lifecycle ------------------------------------------------------
+
+// A crash mid-spill leaks the per-query scratch (by design: nothing runs
+// after SIGKILL); the next Database::Open sweeps the spill base clean.
+TEST_F(SpillTest, CrashMidSpillIsSweptOnReopen) {
+  auto snap = db_->Internals().tm->GetSnapshot("l");
+  ASSERT_TRUE(snap.ok());
+  ASSERT_TRUE(failpoint::Arm("spill.read=crash").ok());
+  // Heap-allocate and abandon both the context and the plan: destructors do
+  // not run across a process death, so their cleanup must not either.
+  auto* ctx = new QueryContext();
+  ctx->set_memory_budget(24 << 10);
+  ctx->set_spill_dir(SpillBase());
+  auto* sort = new SortOperator(
+      std::make_unique<ScanOperator>(*snap, std::vector<uint32_t>{0, 1},
+                                     config_),
+      std::vector<SortKey>{SortKey{0, true}}, config_);
+  bool crashed = false;
+  try {
+    Result<QueryResult> r = CollectRows(sort, ctx, config_.vector_size);
+    (void)r;
+  } catch (const SimulatedCrash& c) {
+    crashed = true;
+    EXPECT_EQ(c.site(), "spill.read");
+  }
+  ASSERT_TRUE(crashed);
+  AbandonAfterSimulatedCrash(ctx);
+  AbandonAfterSimulatedCrash(sort);
+  failpoint::DisarmAll();
+  EXPECT_GT(CountSpillFiles(SpillBase()), 0u) << "crash left no scratch — "
+                                                 "the site never spilled";
+  // Recovery: reopening the database sweeps the orphaned scratch.
+  db_.reset();
+  auto db = Database::Open(dir_, config_);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  db_ = std::move(*db);
+  EXPECT_EQ(CountSpillFiles(SpillBase()), 0u);
+  // And the reopened database still answers the query that "died".
+  auto session = db_->Connect();
+  PlanBuilder q = session->NewPlan();
+  ASSERT_TRUE(q.Scan("l", {0, 1}).ok());
+  q.Sort({SortKey{0, true}});
+  QueryOptions opt;
+  opt.memory_budget_bytes = 24 << 10;
+  auto prepared = session->Prepare(&q);
+  ASSERT_TRUE(prepared.ok());
+  Result<QueryResult> r = (*prepared)->Run(opt);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), static_cast<size_t>(kLRows));
+}
+
+// Cancellation mid-spill unwinds through Close and leaves no scratch.
+TEST_F(SpillTest, CancelMidSpillLeavesNoScratch) {
+  auto snap = db_->Internals().tm->GetSnapshot("l");
+  ASSERT_TRUE(snap.ok());
+  QueryContext ctx;
+  ctx.set_memory_budget(24 << 10);
+  ctx.set_spill_dir(SpillBase());
+  SortOperator sort(std::make_unique<ScanOperator>(
+                        *snap, std::vector<uint32_t>{0, 1}, config_),
+                    {SortKey{0, true}}, config_);
+  ASSERT_TRUE(sort.Open(&ctx).ok());
+  DataChunk out;
+  out.Init(sort.OutputTypes(), config_.vector_size);
+  // First Next() consumes the input and spills runs; cancel right after it.
+  ASSERT_TRUE(sort.Next(&out).ok());
+  EXPECT_GT(sort.spill_runs(), 0u);
+  ctx.Cancel();
+  Status s = sort.Next(&out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCancelled()) << s.ToString();
+  sort.Close();
+  EXPECT_EQ(ctx.reserved_bytes(), 0u);
+  EXPECT_EQ(CountSpillFiles(SpillBase()), 0u);
+}
+
+TEST_F(SpillTest, VwiseSpillDirEnvOverridesDefault) {
+  // Resolution order is Config::spill_dir, then $VWISE_SPILL_DIR, then the
+  // per-database default. The context-level resolution is what embedded
+  // (CollectRows) callers hit.
+  std::string env_dir = dir_ + "/env_spill";
+  ::setenv("VWISE_SPILL_DIR", env_dir.c_str(), 1);
+  auto snap = db_->Internals().tm->GetSnapshot("l");
+  ASSERT_TRUE(snap.ok());
+  {
+    QueryContext ctx;  // no set_spill_dir: falls through to the env var
+    ctx.set_memory_budget(24 << 10);
+    SortOperator sort(std::make_unique<ScanOperator>(
+                          *snap, std::vector<uint32_t>{0, 1}, config_),
+                      {SortKey{0, true}}, config_);
+    DataChunk out;
+    out.Init(sort.OutputTypes(), config_.vector_size);
+    ASSERT_TRUE(sort.Open(&ctx).ok());
+    ASSERT_TRUE(sort.Next(&out).ok());
+    EXPECT_GT(sort.spill_runs(), 0u);
+    EXPECT_GT(CountSpillFiles(env_dir), 0u);
+    sort.Close();
+  }
+  ::unsetenv("VWISE_SPILL_DIR");
+  EXPECT_EQ(CountSpillFiles(env_dir), 0u);
+  fs::remove_all(env_dir);
+}
+
+}  // namespace
+}  // namespace vwise

@@ -44,6 +44,18 @@ TEST(StringHeapTest, AddCopiesBytes) {
   EXPECT_EQ(sv.ToString(), "hello world");
 }
 
+TEST(StringHeapTest, EmptyFirstAddOnFreshArena) {
+  // Regression: a fresh arena has no chunk, and a zero-byte reservation used
+  // to skip Grow (0 + 0 > 0 is false) and dereference chunks_.back() on an
+  // empty vector. Outer joins feed such empty, null-data StringVals as
+  // zero-filled padding for unmatched rows.
+  StringHeap heap;
+  StringVal sv = heap.Add(std::string_view());
+  EXPECT_EQ(sv.len, 0u);
+  StringVal after = heap.Add("tail");
+  EXPECT_EQ(after.ToString(), "tail");
+}
+
 TEST(StringHeapTest, LargeStringsSpanChunks) {
   StringHeap heap;
   std::string big(200000, 'z');
