@@ -4,6 +4,7 @@
 // the point of PFOR). Reported per real TPC-H lineitem column and per
 // synthetic distribution: chosen codec, ratio, decode GB/s.
 
+#include <cstring>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -16,14 +17,17 @@ namespace {
 
 void Report(const char* name, TypeId type, const void* data, size_t n) {
   size_t raw = n * TypeWidth(type);
-  auto seg = compression::EncodeBest(type, data, n);
+  Vector values(type, n);
+  std::memcpy(values.raw(), data, raw);
+  auto best = compression::EncodeBest(values, n);
+  VWISE_CHECK(best.ok());
+  const CompressedSegment& seg = *best;
   // Decode repeatedly for a stable bandwidth number.
-  std::vector<uint8_t> out(n * TypeWidth(type));
-  StringHeap heap;
+  Vector out(type, n);
   int reps = 10;
   double secs = TimeSec([&] {
     for (int i = 0; i < reps; i++) {
-      Status s = compression::Decode(seg, out.data(), &heap);
+      Status s = compression::DecodeInto(seg, &out);
       VWISE_CHECK(s.ok());
     }
   });

@@ -42,6 +42,18 @@ inline bool EnvProfile() {
   }();
   return enabled;
 }
+
+// Default for Config::enable_encoded_exec. Unlike the debug knobs above this
+// one defaults ON; VWISE_ENCODED_EXEC=0 forces the pre-PR-9 eager-decode
+// behavior (the differential oracle runs every plan both ways).
+inline bool EnvEncodedExec() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("VWISE_ENCODED_EXEC");
+    if (v == nullptr || v[0] == '\0') return true;
+    return v[0] != '0';
+  }();
+  return enabled;
+}
 }  // namespace detail
 
 class WorkerPool;  // service/worker_pool.h
@@ -122,6 +134,13 @@ struct Config {
   bool enable_compression = true;
   // Use min-max sparse indexes to skip stripes during scans.
   bool enable_minmax_skipping = true;
+  // Compressed execution (DESIGN.md §12): the scan adopts PDICT/RLE segments
+  // in their storage encoding and publishes encoded vectors; primitives with
+  // a matching capability (catalog caps column) run directly on codes/runs,
+  // everything else decodes on demand at the Normalize() boundary. Only
+  // applies to stripes without pending deltas; VWISE_ENCODED_EXEC=0 turns it
+  // off process-wide.
+  bool enable_encoded_exec = detail::EnvEncodedExec();
 
   // --- Simulated I/O device -------------------------------------------------
   // When >0, block reads sleep to model a device with this bandwidth, making

@@ -395,10 +395,10 @@ Status DecodePdict(uint32_t count, Reader& r, void* out, StringHeap* heap) {
   return Status::OK();
 }
 
-}  // namespace
-
-Result<CompressedSegment> Encode(Codec codec, TypeId type, const void* values,
-                                 size_t n) {
+// Codec dispatch over raw values — internal only; the public surface takes
+// Vectors so every call site shares one typed entry point.
+Result<CompressedSegment> EncodeValues(Codec codec, TypeId type,
+                                       const void* values, size_t n) {
   switch (codec) {
     case Codec::kPlain:
       return EncodePlain(type, values, n);
@@ -414,31 +414,51 @@ Result<CompressedSegment> Encode(Codec codec, TypeId type, const void* values,
   return Status::InvalidArgument("unknown codec");
 }
 
-CompressedSegment EncodeBest(TypeId type, const void* values, size_t n) {
-  auto best = EncodePlain(type, values, n);
-  VWISE_CHECK(best.ok());
-  CompressedSegment result = std::move(best).value();
-  auto consider = [&](Codec c) {
-    auto seg = Encode(c, type, values, n);
-    if (seg.ok() && seg->data.size() < result.data.size()) {
-      result = std::move(*seg);
-    }
+}  // namespace
+
+Result<CompressedSegment> Encode(Codec codec, const Vector& values, size_t n) {
+  VWISE_CHECK_MSG(!values.IsEncoded(), "Encode requires a flat vector");
+  VWISE_CHECK(n <= values.capacity());
+  return EncodeValues(codec, values.type(), values.raw(), n);
+}
+
+Result<CompressedSegment> EncodeBest(const Vector& values, size_t n) {
+  VWISE_CHECK_MSG(!values.IsEncoded(), "EncodeBest requires a flat vector");
+  VWISE_CHECK(n <= values.capacity());
+  TypeId type = values.type();
+  const void* raw = values.raw();
+  VWISE_ASSIGN_OR_RETURN(CompressedSegment result,
+                         EncodeValues(Codec::kPlain, type, raw, n));
+  // Each candidate below is type-gated, so an error is an internal encoder
+  // failure: propagate it instead of silently shipping the plain fallback.
+  auto consider = [&](Codec c) -> Status {
+    VWISE_ASSIGN_OR_RETURN(CompressedSegment seg, EncodeValues(c, type, raw, n));
+    if (seg.data.size() < result.data.size()) result = std::move(seg);
+    return Status::OK();
   };
   if (IsIntType(type)) {
-    consider(Codec::kPfor);
-    consider(Codec::kPforDelta);
-    consider(Codec::kRle);
+    VWISE_RETURN_IF_ERROR(consider(Codec::kPfor));
+    VWISE_RETURN_IF_ERROR(consider(Codec::kPforDelta));
+    VWISE_RETURN_IF_ERROR(consider(Codec::kRle));
   } else if (type == TypeId::kF64) {
-    consider(Codec::kRle);
+    VWISE_RETURN_IF_ERROR(consider(Codec::kRle));
   } else if (type == TypeId::kStr) {
-    consider(Codec::kPdict);
+    VWISE_RETURN_IF_ERROR(consider(Codec::kPdict));
   }
   return result;
 }
 
-Status Decode(const CompressedSegment& seg, void* out, StringHeap* heap) {
+Status DecodeInto(const CompressedSegment& seg, Vector* out) {
+  if (out->type() != seg.type) {
+    return Status::InvalidArgument("DecodeInto type mismatch");
+  }
+  VWISE_CHECK(out->capacity() >= seg.count);
+  out->ResetEncoding();
+  out->ClearHeapRefs();  // reuse the owned heap when nothing references it
+  StringHeap* heap =
+      seg.type == TypeId::kStr ? out->GetStringHeap() : nullptr;
   return DecodeRaw(seg.codec, seg.type, seg.count, seg.data.data(),
-                   seg.data.size(), out, heap);
+                   seg.data.size(), out->raw(), heap);
 }
 
 Status DecodeRaw(Codec codec, TypeId type, uint32_t count, const uint8_t* data,
@@ -456,6 +476,72 @@ Status DecodeRaw(Codec codec, TypeId type, uint32_t count, const uint8_t* data,
       return DecodePdict(count, r, out, heap);
   }
   return Status::Corruption("unknown codec");
+}
+
+Status DecodeDictRaw(TypeId type, uint32_t count, const uint8_t* data,
+                     size_t size, uint32_t* codes,
+                     std::vector<StringVal>* dict_vals, StringHeap* heap) {
+  if (type != TypeId::kStr) {
+    return Status::InvalidArgument("PDICT adoption requires strings");
+  }
+  if (heap == nullptr) {
+    return Status::InvalidArgument("string decode needs a heap");
+  }
+  Reader r(data, size);
+  uint32_t dict_n;
+  VWISE_RETURN_IF_ERROR(r.Get(&dict_n));
+  std::vector<uint32_t> offsets(static_cast<size_t>(dict_n) + 1);
+  VWISE_RETURN_IF_ERROR(
+      r.GetBytes(offsets.data(), (static_cast<size_t>(dict_n) + 1) * 4));
+  uint32_t total = offsets[dict_n];
+  char* bytes = heap->Reserve(total);
+  VWISE_RETURN_IF_ERROR(r.GetBytes(bytes, total));
+  dict_vals->clear();
+  dict_vals->reserve(dict_n);
+  for (uint32_t i = 0; i < dict_n; i++) {
+    if (offsets[i] > offsets[i + 1] || offsets[i + 1] > total) {
+      return Status::Corruption("PDICT offsets not ascending");
+    }
+    dict_vals->emplace_back(bytes + offsets[i], offsets[i + 1] - offsets[i]);
+  }
+  std::vector<uint64_t> work(count);
+  VWISE_RETURN_IF_ERROR(DecodePforCore(&r, count, work.data()));
+  for (uint32_t i = 0; i < count; i++) {
+    if (work[i] >= dict_n) return Status::Corruption("PDICT code out of range");
+    codes[i] = static_cast<uint32_t>(work[i]);
+  }
+  return Status::OK();
+}
+
+Status DecodeRleRuns(TypeId type, uint32_t count, const uint8_t* data,
+                     size_t size, std::vector<uint8_t>* run_values,
+                     std::vector<uint32_t>* run_starts) {
+  if (type == TypeId::kStr) {
+    return Status::InvalidArgument("RLE adoption requires a fixed-width type");
+  }
+  Reader r(data, size);
+  uint32_t n_runs;
+  VWISE_RETURN_IF_ERROR(r.Get(&n_runs));
+  size_t w = FixedWidth(type);
+  run_values->clear();
+  run_values->resize(static_cast<size_t>(n_runs) * w);
+  run_starts->clear();
+  run_starts->reserve(static_cast<size_t>(n_runs) + 1);
+  uint32_t row = 0;
+  for (uint32_t run = 0; run < n_runs; run++) {
+    uint64_t v;
+    uint32_t len;
+    VWISE_RETURN_IF_ERROR(r.Get(&v));
+    VWISE_RETURN_IF_ERROR(r.Get(&len));
+    if (len == 0) return Status::Corruption("empty RLE run");
+    if (len > count - row) return Status::Corruption("RLE overflow");
+    StoreInt(type, run_values->data(), run, v);
+    run_starts->push_back(row);
+    row += len;
+  }
+  if (row != count) return Status::Corruption("RLE underflow");
+  run_starts->push_back(row);
+  return Status::OK();
 }
 
 }  // namespace vwise::compression

@@ -89,6 +89,41 @@ bool IntFamily(TypeId t) {
   return t == TypeId::kU8 || t == TypeId::kI32 || t == TypeId::kI64;
 }
 
+// Run-value readers over an RLE vector (compressed execution): the global-
+// aggregate fast path folds value x run_length per run instead of touching
+// every tuple.
+int64_t RleRunI64(const Vector& v, uint32_t r) {
+  switch (v.type()) {
+    case TypeId::kU8:
+      return v.rle_values<uint8_t>()[r];
+    case TypeId::kI32:
+      return v.rle_values<int32_t>()[r];
+    case TypeId::kI64:
+      return v.rle_values<int64_t>()[r];
+    case TypeId::kF64:
+      return static_cast<int64_t>(v.rle_values<double>()[r]);
+    case TypeId::kStr:
+      break;
+  }
+  return 0;
+}
+
+double RleRunF64(const Vector& v, uint32_t r) {
+  switch (v.type()) {
+    case TypeId::kU8:
+      return v.rle_values<uint8_t>()[r];
+    case TypeId::kI32:
+      return v.rle_values<int32_t>()[r];
+    case TypeId::kI64:
+      return static_cast<double>(v.rle_values<int64_t>()[r]);
+    case TypeId::kF64:
+      return v.rle_values<double>()[r];
+    case TypeId::kStr:
+      break;
+  }
+  return 0;
+}
+
 }  // namespace
 
 HashAggOperator::HashAggOperator(OperatorPtr child,
@@ -253,9 +288,32 @@ uint32_t HashAggOperator::FindOrCreateGroup(const DataChunk& chunk, sel_t pos,
 // VWISE_HOT: the per-chunk aggregation core — hashed, resolved and updated
 // without leaving the arena-leased scratch (group creation is the annotated
 // warm-up tail in FindOrCreateGroup).
-VWISE_HOT Status HashAggOperator::ProcessChunk(const DataChunk& chunk) {
+VWISE_HOT Status HashAggOperator::ProcessChunk(DataChunk& chunk) {
   size_t n = chunk.ActiveCount();
   const sel_t* sel = chunk.sel();
+  // Compressed execution: group keys are hashed and compared value-at-a-time
+  // below, so they always decode; aggregate inputs decode only when the
+  // per-run RLE fast path (global aggregate, no selection) does not apply.
+  for (size_t k = 0; k < group_cols_.size(); k++) {
+    Vector& key = chunk.column(group_cols_[k]);
+    if (key.IsEncoded()) {
+      // vwise-hotpath: allow(cold-call): per-chunk decode boundary
+      key.Normalize(chunk.count());
+    }
+  }
+  for (size_t a = 0; a < aggs_.size(); a++) {
+    const AggSpec& spec = aggs_[a];
+    if (spec.fn == AggSpec::Fn::kCount || spec.fn == AggSpec::Fn::kCountStar) {
+      continue;  // counting never reads the input values
+    }
+    Vector& agg_in = chunk.column(spec.col);
+    bool rle_fast = group_cols_.empty() && sel == nullptr &&
+                    agg_in.repr() == VectorRepr::kRle;
+    if (agg_in.IsEncoded() && !rle_fast) {
+      // vwise-hotpath: allow(cold-call): per-chunk decode boundary
+      agg_in.Normalize(chunk.count());
+    }
+  }
   uint64_t* hashes = hash_scratch_.data<uint64_t>();
   uint32_t* groups = group_idx_.data<uint32_t>();
   // 1. Hash the group keys, a column at a time.
@@ -277,25 +335,62 @@ VWISE_HOT Status HashAggOperator::ProcessChunk(const DataChunk& chunk) {
     AggState& st = states_[a];
     const AggSpec& spec = aggs_[a];
     switch (spec.fn) {
-      case AggSpec::Fn::kSum:
+      case AggSpec::Fn::kSum: {
+        const Vector& in = chunk.column(spec.col);
+        if (in.repr() == VectorRepr::kRle) {
+          // Per-run fold: every row is in the single global group (the
+          // normalize pass above leaves RLE in place only then).
+          uint32_t g = groups[0];
+          const uint32_t* starts = in.rle_starts();
+          uint32_t m = in.rle_runs();
+          if (IntFamily(st.in_type)) {
+            for (uint32_t r = 0; r < m; r++) {
+              st.i64[g] += RleRunI64(in, r) *
+                           static_cast<int64_t>(starts[r + 1] - starts[r]);
+            }
+          } else {
+            for (uint32_t r = 0; r < m; r++) {
+              st.f64[g] += RleRunF64(in, r) * (starts[r + 1] - starts[r]);
+            }
+          }
+          break;
+        }
         if (IntFamily(st.in_type)) {
-          const Vector& in = chunk.column(spec.col);
           for (size_t i = 0; i < n; i++) {
             sel_t pos = sel ? sel[i] : static_cast<sel_t>(i);
             st.i64[groups[i]] += I64At(in, pos);
           }
         } else {
-          const Vector& in = chunk.column(spec.col);
           for (size_t i = 0; i < n; i++) {
             sel_t pos = sel ? sel[i] : static_cast<sel_t>(i);
             st.f64[groups[i]] += F64At(in, pos);
           }
         }
         break;
+      }
       case AggSpec::Fn::kMin:
       case AggSpec::Fn::kMax: {
         const Vector& in = chunk.column(spec.col);
         bool is_min = spec.fn == AggSpec::Fn::kMin;
+        if (in.repr() == VectorRepr::kRle) {
+          uint32_t g = groups[0];
+          uint32_t m = in.rle_runs();
+          for (uint32_t r = 0; r < m; r++) {
+            if (st.in_type == TypeId::kF64) {
+              double v = RleRunF64(in, r);
+              if (!st.count[g] || (is_min ? v < st.f64[g] : v > st.f64[g])) {
+                st.f64[g] = v;
+              }
+            } else {
+              int64_t v = RleRunI64(in, r);
+              if (!st.count[g] || (is_min ? v < st.i64[g] : v > st.i64[g])) {
+                st.i64[g] = v;
+              }
+            }
+            st.count[g] = 1;
+          }
+          break;
+        }
         for (size_t i = 0; i < n; i++) {
           sel_t pos = sel ? sel[i] : static_cast<sel_t>(i);
           uint32_t g = groups[i];
@@ -320,6 +415,16 @@ VWISE_HOT Status HashAggOperator::ProcessChunk(const DataChunk& chunk) {
         break;
       case AggSpec::Fn::kAvg: {
         const Vector& in = chunk.column(spec.col);
+        if (in.repr() == VectorRepr::kRle) {
+          uint32_t g = groups[0];
+          const uint32_t* starts = in.rle_starts();
+          uint32_t m = in.rle_runs();
+          for (uint32_t r = 0; r < m; r++) {
+            st.f64[g] += RleRunF64(in, r) * (starts[r + 1] - starts[r]);
+          }
+          st.count[g] += n;
+          break;
+        }
         for (size_t i = 0; i < n; i++) {
           sel_t pos = sel ? sel[i] : static_cast<sel_t>(i);
           uint32_t g = groups[i];

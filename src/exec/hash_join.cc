@@ -199,6 +199,9 @@ Status HashJoinOperator::ConsumeBuildSide() {
     VWISE_RETURN_IF_ERROR(build_->Next(&chunk));
     size_t n = chunk.ActiveCount();
     if (n == 0) break;
+    // Key hashing, the column-store copies, and the spill writers all read
+    // values positionally; decode any encoded columns first.
+    chunk.NormalizeColumns();
     if (spilled_) {
       // Already degraded: route the chunk straight to the partition files.
       VWISE_RETURN_IF_ERROR(PartitionBuildChunk(chunk));
@@ -371,6 +374,7 @@ Status HashJoinOperator::PartitionProbeSide() {
     VWISE_RETURN_IF_ERROR(probe_->Next(&input_));
     size_t n = input_.ActiveCount();
     if (n == 0) break;
+    input_.NormalizeColumns();
     const sel_t* sel = input_.sel();
     for (auto& rows : part_rows_) rows.clear();
     for (size_t i = 0; i < n; i++) {
@@ -685,6 +689,9 @@ Status HashJoinOperator::Next(DataChunk* out) {
       input_exhausted_ = true;
       continue;
     }
+    // Probe hashing, residual gathers, and pair emission read the probe
+    // columns positionally; decode any encoded columns first.
+    input_.NormalizeColumns();
     VWISE_RETURN_IF_ERROR(ProcessProbeChunk());
     if (spec_.type == JoinType::kLeftSemi || spec_.type == JoinType::kLeftAnti) {
       VWISE_RETURN_IF_ERROR(EmitSemiAnti(out));

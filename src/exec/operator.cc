@@ -19,6 +19,9 @@ void DeepCopyChunk(const DataChunk& src, DataChunk* dst) {
   const sel_t* sel = src.sel();
   for (size_t c = 0; c < src.num_columns(); c++) {
     const Vector& in = src.column(c);
+    // Callers normalize before copying: the value arrays below are live only
+    // for flat vectors.
+    VWISE_DCHECK(!in.IsEncoded());
     Vector& out = dst->column(c);
     switch (in.type()) {
       case TypeId::kU8: {
@@ -65,12 +68,24 @@ size_t EstimateChunkBytes(const DataChunk& chunk) {
   for (size_t c = 0; c < chunk.num_columns(); c++) {
     const Vector& col = chunk.column(c);
     if (col.type() == TypeId::kStr) {
-      const StringVal* s = col.Data<StringVal>();
       bytes += n * sizeof(StringVal);
-      for (size_t i = 0; i < n; i++) {
-        bytes += s[sel ? sel[i] : i].view().size();
+      if (col.repr() == VectorRepr::kDict) {
+        // Estimate the decoded footprint through the dictionary — whoever
+        // buffers this chunk normalizes it first, and the flat value array
+        // is not live while the vector is encoded.
+        const uint32_t* codes = col.dict_codes();
+        const StringDict* d = col.dict();
+        for (size_t i = 0; i < n; i++) {
+          bytes += d->values[codes[sel ? sel[i] : i]].view().size();
+        }
+      } else {
+        const StringVal* s = col.Data<StringVal>();
+        for (size_t i = 0; i < n; i++) {
+          bytes += s[sel ? sel[i] : i].view().size();
+        }
       }
     } else {
+      // RLE numeric columns estimate at their decoded width.
       bytes += n * TypeWidth(col.type());
     }
   }

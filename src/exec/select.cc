@@ -26,16 +26,18 @@ Status SelectOperator::Next(DataChunk* out) {
       out->SetCount(0);
       return Status::OK();
     }
-    // Reference the child's columns; write the narrowed selection into the
-    // output chunk's own selection buffer.
-    for (size_t c = 0; c < input_.num_columns(); c++) {
-      out->column(c).Reference(input_.column(c));
-    }
-    out->SetCount(input_.count());
+    // Run the filter first, then reference the child's columns: a filter
+    // without an encoded kernel normalizes its input column in place, and
+    // referencing afterwards hands the (possibly decoded) final form
+    // downstream instead of a stale encoded view that would decode twice.
     size_t k = 0;
     VWISE_RETURN_IF_ERROR(
         filter_->Select(input_, input_.sel(), n, out->MutableSel(), &k));
     if (k == 0) continue;  // fully filtered chunk: pull the next one
+    for (size_t c = 0; c < input_.num_columns(); c++) {
+      out->column(c).Reference(input_.column(c));
+    }
+    out->SetCount(input_.count());
     out->SetSelection(k);
     return Status::OK();
   }

@@ -103,6 +103,9 @@ Status SortOperator::ConsumeAndSort() {
     VWISE_RETURN_IF_ERROR(child_->Next(&chunk));
     size_t n = chunk.ActiveCount();
     if (n == 0) break;
+    // The row comparator and the column-store copies below read values
+    // positionally; decode any encoded columns first.
+    chunk.NormalizeColumns();
     // The chunk's share of the budget covers both the copied rows and their
     // slots in the sort index.
     size_t grow = EstimateChunkBytes(chunk) + n * sizeof(uint32_t);
@@ -388,7 +391,19 @@ Status LimitOperator::Next(DataChunk* out) {
       for (size_t i = 0; i < take; i++) sel[i] = static_cast<sel_t>(skip + i);
       out->SetSelection(take);
     } else {
-      // Dense prefix: simply shrink the count.
+      // Dense prefix: simply shrink the count. An RLE view's runs must close
+      // exactly at the chunk count, so a truncated chunk decodes its kept
+      // prefix first (dict views are per-row and survive the shrink).
+      if (take < n) {
+        for (size_t c = 0; c < out->num_columns(); c++) {
+          Vector& col = out->column(c);
+          if (col.repr() == VectorRepr::kRle) {
+            // vwise-hotpath: allow(cold-call): runs at most once per query —
+            // the chunk that crosses the limit boundary
+            col.Normalize(take);
+          }
+        }
+      }
       out->SetCount(take);
     }
     emitted_ += take;

@@ -1,10 +1,12 @@
 #include "expr/expression.h"
 
 #include <cstring>
+#include <string_view>
 
 #include "common/date.h"
 #include "expr/primitive_profiler.h"
 #include "expr/primitives.h"
+#include "vector/representation.h"
 
 namespace vwise {
 
@@ -34,10 +36,22 @@ Status ColRefExpr::Eval(DataChunk& in, const sel_t* sel, size_t n,
   if (index_ >= in.num_columns()) {
     return Status::Internal("column reference out of range");
   }
-  if (in.column(index_).type() != physical()) {
+  Vector& col = in.column(index_);
+  if (col.type() != physical()) {
     return Status::Internal("column reference type mismatch");
   }
-  *out = &in.column(index_);
+  // Decode-on-demand boundary (DESIGN.md §12): a consumer reaching a column
+  // through a plain reference expects flat data. Encoding-aware consumers
+  // (CmpFilter's dict/RLE fast paths) inspect the representation *before*
+  // Eval, so an encoded vector that survives to this point has no encoded
+  // kernel and is normalized in place — the chunk's other readers then see
+  // the flat form too.
+  if (col.IsEncoded()) {
+    // vwise-hotpath: allow(cold-call): decode runs once per chunk, only when
+    // no encoded kernel claimed the column — never per tuple
+    col.Normalize(in.count());
+  }
+  *out = &col;
   return Status::OK();
 }
 
@@ -566,7 +580,103 @@ CmpOp MirrorOp(CmpOp op) {
   }
 }
 
+// sel_<eq|ne>_str_dict_str_val: integer compare over the code array — no
+// string bytes touched on the hot path.
+size_t DictSelKernel(CmpOp op, const uint32_t* codes, uint32_t code,
+                     const sel_t* sel, size_t n, sel_t* out_sel) {
+  PrimProfileScope prof(DictSelPrimId(static_cast<int>(op)), n);
+  if (op == CmpOp::kEq) {
+    return prim::SelectDictVal<prim::OpEq>(codes, code, sel, n, out_sel);
+  }
+  return prim::SelectDictVal<prim::OpNe>(codes, code, sel, n, out_sel);
+}
+
+// sel_<cmp>_<ty>_rle_<ty>_val: one compare per run instead of per tuple.
+template <typename T, typename OP>
+size_t RleSelKernel(CmpOp op, const Vector& col, T val, const sel_t* sel,
+                    size_t n, sel_t* out_sel) {
+  PrimProfileScope prof(RleSelPrimId(static_cast<int>(op), PhysOf<T>::value),
+                        n);
+  return prim::SelectRleVal<T, OP>(col.rle_values<T>(), col.rle_starts(),
+                                   col.rle_runs(), val, sel, n, out_sel);
+}
+
+template <typename T>
+size_t RleSelDispatchOp(CmpOp op, const Vector& col, const Expr* r,
+                        const sel_t* sel, size_t n, sel_t* out_sel) {
+  T val = ConstCmpScalar<T>(r);
+  switch (op) {
+    case CmpOp::kEq:
+      return RleSelKernel<T, prim::OpEq>(op, col, val, sel, n, out_sel);
+    case CmpOp::kNe:
+      return RleSelKernel<T, prim::OpNe>(op, col, val, sel, n, out_sel);
+    case CmpOp::kLt:
+      return RleSelKernel<T, prim::OpLt>(op, col, val, sel, n, out_sel);
+    case CmpOp::kLe:
+      return RleSelKernel<T, prim::OpLe>(op, col, val, sel, n, out_sel);
+    case CmpOp::kGt:
+      return RleSelKernel<T, prim::OpGt>(op, col, val, sel, n, out_sel);
+    case CmpOp::kGe:
+      return RleSelKernel<T, prim::OpGe>(op, col, val, sel, n, out_sel);
+  }
+  return 0;
+}
+
 }  // namespace
+
+bool CmpFilter::TryEncodedSelect(DataChunk& in, Expr* l, Expr* r, CmpOp op,
+                                 const sel_t* sel, size_t n, sel_t* out_sel,
+                                 size_t* out_n) {
+  if (!r->IsConstant()) return false;
+  auto* colref = dynamic_cast<ColRefExpr*>(l);
+  if (colref == nullptr || colref->index() >= in.num_columns()) return false;
+  Vector& col = in.column(colref->index());
+  if (col.type() != l->physical()) return false;
+  if (col.repr() == VectorRepr::kDict) {
+    // Caps: the dict twins exist only for string eq/ne (ordering compares
+    // would need the dictionary's sort order, which PDICT does not promise).
+    if (op != CmpOp::kEq && op != CmpOp::kNe) return false;
+    const StringDict* d = col.dict();
+    if (d != cached_dict_.get()) {
+      // vwise-hotpath: allow(cold-call): constant→code translation runs once
+      // per dictionary (i.e. per storage segment), not per chunk or tuple.
+      // Holding the shared_ptr pins the dictionary: without it a freed
+      // dictionary's address can be recycled by the next stripe's dictionary
+      // and the identity check would keep a stale code.
+      cached_dict_ = col.dict_ref();
+      cached_code_ = kDictCodeNotFound;
+      std::string_view needle =
+          static_cast<const ConstExpr*>(r)->value().AsString();
+      for (uint32_t c = 0; c < d->size; c++) {
+        if (d->values[c].view() == needle) {
+          cached_code_ = c;
+          break;
+        }
+      }
+    }
+    *out_n = DictSelKernel(op, col.dict_codes(), cached_code_, sel, n, out_sel);
+    return true;
+  }
+  if (col.repr() == VectorRepr::kRle) {
+    switch (col.type()) {
+      case TypeId::kU8:
+        *out_n = RleSelDispatchOp<uint8_t>(op, col, r, sel, n, out_sel);
+        return true;
+      case TypeId::kI32:
+        *out_n = RleSelDispatchOp<int32_t>(op, col, r, sel, n, out_sel);
+        return true;
+      case TypeId::kI64:
+        *out_n = RleSelDispatchOp<int64_t>(op, col, r, sel, n, out_sel);
+        return true;
+      case TypeId::kF64:
+        *out_n = RleSelDispatchOp<double>(op, col, r, sel, n, out_sel);
+        return true;
+      case TypeId::kStr:
+        return false;  // string RLE never reaches execution (codec gates it)
+    }
+  }
+  return false;
+}
 
 Status CmpFilter::Select(DataChunk& in, const sel_t* sel, size_t n,
                          sel_t* out_sel, size_t* out_n) {
@@ -578,6 +688,13 @@ Status CmpFilter::Select(DataChunk& in, const sel_t* sel, size_t n,
   if (l->IsConstant() && !r->IsConstant()) {
     std::swap(l, r);
     op = MirrorOp(op);
+  }
+  // Compressed execution: if the left column arrives encoded and an encoded
+  // twin of this select exists, run it on the codes/runs directly — the
+  // Eval below would otherwise normalize the vector (ColRefExpr's
+  // decode-on-demand boundary).
+  if (TryEncodedSelect(in, l, r, op, sel, n, out_sel, out_n)) {
+    return Status::OK();
   }
   // Evaluate the left side unconditionally: for a (rare) constant left with
   // constant right, ConstExpr's pre-filled scratch serves as the "column".

@@ -201,8 +201,20 @@ class CmpFilter final : public Filter {
   const Expr& right() const { return *right_; }
 
  private:
+  // Encoded fast path (compressed execution): when the left side is a direct
+  // column reference whose vector arrives dict- or RLE-encoded and the right
+  // side is a constant, Select compares codes/runs without normalizing. The
+  // dict constant is translated to a code once per dictionary and cached
+  // here; the cache holds the dictionary itself (not a raw pointer) so the
+  // identity check cannot alias a recycled allocation.
+  bool TryEncodedSelect(DataChunk& in, Expr* l, Expr* r, CmpOp op,
+                        const sel_t* sel, size_t n, sel_t* out_sel,
+                        size_t* out_n);
+
   CmpOp op_;
   ExprPtr left_, right_;
+  std::shared_ptr<const StringDict> cached_dict_;
+  uint32_t cached_code_ = 0;
 };
 
 // Conjunction: filters applied in order, each narrowing the selection.

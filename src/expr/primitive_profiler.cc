@@ -13,11 +13,13 @@ namespace {
 // Catalog names in id order, generated from the same X-macro list as the
 // PrimitiveId enum.
 const char* const kPrimitiveNames[] = {
-#define VWISE_MAP_PRIMITIVE(name, ctype, adapter, functor) #name,
-#define VWISE_SEL_PRIMITIVE(name, ctype, adapter, functor) #name,
+#define VWISE_MAP_PRIMITIVE(name, ctype, adapter, functor, caps) #name,
+#define VWISE_SEL_PRIMITIVE(name, ctype, adapter, functor, caps) #name,
+#define VWISE_ENC_PRIMITIVE(name, ctype, adapter, functor, repr) #name,
 #include "expr/primitive_catalog.inc"
 #undef VWISE_MAP_PRIMITIVE
 #undef VWISE_SEL_PRIMITIVE
+#undef VWISE_ENC_PRIMITIVE
 };
 static_assert(sizeof(kPrimitiveNames) / sizeof(kPrimitiveNames[0]) ==
                   kNumPrimitives,
@@ -79,6 +81,26 @@ void ValidateLayout() {
       }
     }
   }
+  for (int op = 0; op < 2; op++) {
+    std::string want =
+        std::string("sel_") + kSelOps[op] + "_str_dict_str_val";
+    VWISE_CHECK_MSG(want == kPrimitiveNames[DictSelPrimId(op)],
+                    "primitive_catalog.inc layout drifted from "
+                    "DictSelPrimId; fix the mapping in primitive_profiler");
+  }
+  static const TypeId kRleTys[] = {TypeId::kU8, TypeId::kI32, TypeId::kI64,
+                                   TypeId::kF64};
+  for (int ty = 0; ty < 4; ty++) {
+    for (int op = 0; op < 6; op++) {
+      const char* tok = MapTypeToken(kRleTys[ty]);
+      std::string want = std::string("sel_") + kSelOps[op] + "_" + tok +
+                         "_rle_" + tok + "_val";
+      PrimitiveId id = RleSelPrimId(op, kRleTys[ty]);
+      VWISE_CHECK_MSG(want == kPrimitiveNames[id],
+                      "primitive_catalog.inc layout drifted from "
+                      "RleSelPrimId; fix the mapping in primitive_profiler");
+    }
+  }
 }
 
 }  // namespace
@@ -118,6 +140,36 @@ PrimitiveId SelPrimId(int cmp, TypeId ty, bool rhs_val) {
   }
   return static_cast<PrimitiveId>(kPrim_sel_eq_u8_col_u8_val + ty_block * 12 +
                                   cmp * 2 + (rhs_val ? 0 : 1));
+}
+
+PrimitiveId DictSelPrimId(int cmp) {
+  // Encoded-twin layout: the two dict selects (eq then ne) open the section.
+  return static_cast<PrimitiveId>(kPrim_sel_eq_str_dict_str_val + cmp);
+}
+
+PrimitiveId RleSelPrimId(int cmp, TypeId ty) {
+  // Encoded-twin layout: after the dict pair, one block per numeric type
+  // (u8, i32, i64, f64), each eq/ne/lt/le/gt/ge.
+  int ty_block;
+  switch (ty) {
+    case TypeId::kU8:
+      ty_block = 0;
+      break;
+    case TypeId::kI32:
+      ty_block = 1;
+      break;
+    case TypeId::kI64:
+      ty_block = 2;
+      break;
+    case TypeId::kF64:
+      ty_block = 3;
+      break;
+    default:
+      ty_block = 0;
+      break;
+  }
+  return static_cast<PrimitiveId>(kPrim_sel_eq_u8_rle_u8_val + ty_block * 6 +
+                                  cmp);
 }
 
 std::atomic<bool> PrimitiveProfiler::enabled_{false};

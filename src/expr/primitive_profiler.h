@@ -24,11 +24,13 @@ namespace vwise {
 // enabled.
 
 enum PrimitiveId : uint16_t {
-#define VWISE_MAP_PRIMITIVE(name, ctype, adapter, functor) kPrim_##name,
-#define VWISE_SEL_PRIMITIVE(name, ctype, adapter, functor) kPrim_##name,
+#define VWISE_MAP_PRIMITIVE(name, ctype, adapter, functor, caps) kPrim_##name,
+#define VWISE_SEL_PRIMITIVE(name, ctype, adapter, functor, caps) kPrim_##name,
+#define VWISE_ENC_PRIMITIVE(name, ctype, adapter, functor, repr) kPrim_##name,
 #include "expr/primitive_catalog.inc"
 #undef VWISE_MAP_PRIMITIVE
 #undef VWISE_SEL_PRIMITIVE
+#undef VWISE_ENC_PRIMITIVE
   kNumPrimitives,
 };
 
@@ -44,6 +46,12 @@ PrimitiveId MapPrimId(int op, TypeId ty, MapKind kind);
 // the integer value of CmpOp (eq=0, ne, lt, le, gt, ge); `rhs_val` selects
 // the col x val variant.
 PrimitiveId SelPrimId(int cmp, TypeId ty, bool rhs_val);
+
+// Encoded twins (compressed execution). DictSelPrimId: the dict-code select
+// for CmpOp eq (0) or ne (1). RleSelPrimId: the per-run select for any
+// CmpOp and a numeric physical type.
+PrimitiveId DictSelPrimId(int cmp);
+PrimitiveId RleSelPrimId(int cmp, TypeId ty);
 
 // ---------------------------------------------------------------------------
 // Cycle counter

@@ -1,6 +1,9 @@
 #include "expr/primitive_registry.h"
 
+#include <type_traits>
+
 #include "expr/primitives.h"
+#include "vector/representation.h"
 
 namespace vwise {
 
@@ -48,19 +51,46 @@ size_t SelColCol(const void* a, const void* b, const sel_t* sel, size_t n,
                                       out_sel);
 }
 
+// Encoded twins. The dict select's column operand is the uint32 code array
+// (T is pinned to uint32_t by the catalog); the RLE select's is an
+// RleColView describing the runs.
+template <typename T, typename OP>
+size_t EncSelDictVal(const void* a, const void* b, const sel_t* sel, size_t n,
+                     sel_t* out_sel) {
+  static_assert(std::is_same_v<T, uint32_t>, "dict codes are uint32");
+  return prim::SelectDictVal<OP>(static_cast<const uint32_t*>(a),
+                                 *static_cast<const uint32_t*>(b), sel, n,
+                                 out_sel);
+}
+
+template <typename T, typename OP>
+size_t EncSelRleVal(const void* a, const void* b, const sel_t* sel, size_t n,
+                    sel_t* out_sel) {
+  const auto* view = static_cast<const RleColView*>(a);
+  return prim::SelectRleVal<T, OP>(static_cast<const T*>(view->run_values),
+                                   view->run_starts, view->n_runs,
+                                   *static_cast<const T*>(b), sel, n, out_sel);
+}
+
 }  // namespace
 
 PrimitiveRegistry::PrimitiveRegistry() {
   // The catalog is a flat, explicit list — one line per primitive — so the
   // lint pass (tools/vwise_lint.py) can statically cross-check every entry
   // against the kernels and functors in expr/primitives.h.
-#define VWISE_MAP_PRIMITIVE(name, ctype, adapter, functor) \
-  maps_[#name] = &adapter<ctype, prim::functor>;
-#define VWISE_SEL_PRIMITIVE(name, ctype, adapter, functor) \
-  selects_[#name] = &adapter<ctype, prim::functor>;
+#define VWISE_MAP_PRIMITIVE(name, ctype, adapter, functor, caps) \
+  maps_[#name] = &adapter<ctype, prim::functor>;                 \
+  caps_[#name] = static_cast<uint8_t>(caps);
+#define VWISE_SEL_PRIMITIVE(name, ctype, adapter, functor, caps) \
+  selects_[#name] = &adapter<ctype, prim::functor>;              \
+  caps_[#name] = static_cast<uint8_t>(caps);
+#define VWISE_ENC_PRIMITIVE(name, ctype, adapter, functor, repr) \
+  enc_selects_[#name] = &adapter<ctype, prim::functor>;          \
+  caps_[#name] = static_cast<uint8_t>(repr);
 #include "expr/primitive_catalog.inc"
 #undef VWISE_MAP_PRIMITIVE
 #undef VWISE_SEL_PRIMITIVE
+#undef VWISE_ENC_PRIMITIVE
 }
 
 const PrimitiveRegistry& PrimitiveRegistry::Instance() {
@@ -80,6 +110,17 @@ PrimitiveRegistry::SelectFn PrimitiveRegistry::FindSelect(
   return it == selects_.end() ? nullptr : it->second;
 }
 
+PrimitiveRegistry::SelectFn PrimitiveRegistry::FindEncSelect(
+    const std::string& name) const {
+  auto it = enc_selects_.find(name);
+  return it == enc_selects_.end() ? nullptr : it->second;
+}
+
+uint8_t PrimitiveRegistry::Caps(const std::string& name) const {
+  auto it = caps_.find(name);
+  return it == caps_.end() ? kReprFlat : it->second;
+}
+
 std::vector<std::string> PrimitiveRegistry::Names() const {
   std::vector<std::string> out;
   out.reserve(size());
@@ -88,6 +129,10 @@ std::vector<std::string> PrimitiveRegistry::Names() const {
     out.push_back(name);
   }
   for (const auto& [name, fn] : selects_) {
+    (void)fn;
+    out.push_back(name);
+  }
+  for (const auto& [name, fn] : enc_selects_) {
     (void)fn;
     out.push_back(name);
   }

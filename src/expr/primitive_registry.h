@@ -1,6 +1,7 @@
 #ifndef VWISE_EXPR_PRIMITIVE_REGISTRY_H_
 #define VWISE_EXPR_PRIMITIVE_REGISTRY_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -20,6 +21,18 @@ namespace vwise {
 // Signatures are type-erased: operands are raw column pointers (or a
 // pointer to a single value for `val` kinds), results are written at the
 // active positions, following the engine-wide selection-vector discipline.
+//
+// Compressed execution adds *encoded twins* (sel_<cmp>_<ty>_{dict,rle}_...)
+// whose column operand arrives in its storage encoding; the catalog's caps
+// column records which representations each logical primitive accepts.
+
+// Operand view for the sel_*_rle_* encoded selects through the erased
+// interface: `a` points at one of these instead of a value array.
+struct RleColView {
+  const void* run_values = nullptr;     // n_runs values, TypeWidth each
+  const uint32_t* run_starts = nullptr; // n_runs + 1; [0]=0, [n_runs]=n
+  uint32_t n_runs = 0;
+};
 
 class PrimitiveRegistry {
  public:
@@ -35,16 +48,30 @@ class PrimitiveRegistry {
   // nullptr if the name is not registered.
   MapBinaryFn FindMap(const std::string& name) const;
   SelectFn FindSelect(const std::string& name) const;
+  // Encoded twins only (sel_*_dict_* / sel_*_rle_*). Dict selects take the
+  // uint32 code array as `a` and a pointer to the translated code as `b`;
+  // RLE selects take a pointer to an RleColView as `a`.
+  SelectFn FindEncSelect(const std::string& name) const;
 
-  // All registered primitive names, sorted (map_* then sel_*).
+  // Representation-capability mask of a named primitive (kRepr* bits,
+  // vector/representation.h). kReprFlat for unknown names: a primitive that
+  // is not in the catalog certainly consumes only normalized vectors.
+  uint8_t Caps(const std::string& name) const;
+
+  // All registered primitive names, sorted (map_* then sel_*, encoded twins
+  // included).
   std::vector<std::string> Names() const;
-  size_t size() const { return maps_.size() + selects_.size(); }
+  size_t size() const {
+    return maps_.size() + selects_.size() + enc_selects_.size();
+  }
 
  private:
   PrimitiveRegistry();
 
   std::map<std::string, MapBinaryFn> maps_;
   std::map<std::string, SelectFn> selects_;
+  std::map<std::string, SelectFn> enc_selects_;
+  std::map<std::string, uint8_t> caps_;
 };
 
 }  // namespace vwise

@@ -35,6 +35,11 @@ namespace vwise {
 //   * partitioning — how many interleaved producer streams feed the
 //     operator (1 below an Xchg, num_workers above it until a blocking
 //     operator re-serializes).
+//   * representation — per column, the set of physical representations
+//     (VectorRepr masks) chunks on this edge may carry under compressed
+//     execution. Scans derive the set from the stored segment codecs;
+//     Select and Limit pass encoded columns through; every other operator
+//     normalizes at its input boundary, so its output resets to flat.
 //
 // The verifier sees through CheckedOperator/ProfiledOperator wrappers, and
 // descends into
@@ -52,6 +57,10 @@ struct PlanProperties {
   std::vector<SortKey> ordering;
   // Number of interleaved producer partitions feeding downstream.
   int partitions = 1;
+  // Per column: bitmask of representations (kReprFlat | kReprDict | kReprRle)
+  // chunks on this edge may carry. Always includes kReprFlat; empty means
+  // the node predates representation tracking (treated as all-flat).
+  std::vector<uint8_t> reprs;
 };
 
 class PlanVerifier {
@@ -88,6 +97,15 @@ Result<TypeId> InferExprType(const Expr& e, const std::vector<TypeId>& input,
 // check itself).
 Status VerifyFilterTree(const Filter& f, const std::vector<TypeId>& input,
                         const std::vector<bool>* nullable = nullptr);
+
+// Checks a column layout's representation masks (PlanProperties::reprs) for
+// internal consistency: one mask per column, every mask includes kReprFlat
+// (Normalize() is always a legal landing), kReprDict only on string columns
+// (PDICT covers strings), kReprRle never on string columns (string runs
+// decode at the scan). Used by the verifier after deriving scan masks and
+// exposed for tests.
+Status VerifyReprPropagation(const std::vector<TypeId>& types,
+                             const std::vector<uint8_t>& reprs);
 
 // ---------------------------------------------------------------------------
 // Rewriter-rule postconditions
@@ -142,6 +160,10 @@ struct PlanNodeProfile {
   // only — plain ExplainPlan stays byte-identical whether or not the plan
   // has run.
   std::string spill;
+  // Compressed-execution telemetry (" repr=dict:N/rle:N/flat:N"), filled for
+  // scans that have emitted chunks: how many column instances were published
+  // per representation. Rendered by ExplainAnalyzePlan only.
+  std::string repr;
 };
 
 // Walks the plan (seeing through Checked/Profiled wrappers, descending into

@@ -68,6 +68,10 @@ Status TableWriter::EnsureOpen() {
 
 Status TableWriter::Append(const DataChunk& chunk) {
   VWISE_CHECK_MSG(!chunk.has_selection(), "TableWriter needs dense chunks");
+  for (size_t c = 0; c < chunk.num_columns(); c++) {
+    VWISE_CHECK_MSG(!chunk.column(c).IsEncoded(),
+                    "TableWriter needs flat chunks: NormalizeColumns first");
+  }
   if (chunk.num_columns() != schema_.num_columns()) {
     return Status::InvalidArgument("chunk arity mismatch");
   }
@@ -141,21 +145,25 @@ Status TableWriter::FlushStripe() {
   std::vector<CompressedSegment> segs(schema_.num_columns());
   for (size_t c = 0; c < schema_.num_columns(); c++) {
     TypeId t = schema_.column(c).type.physical();
-    const void* values = nullptr;
-    std::vector<StringVal> svs;
+    // The encoder surface is Vector-typed: wrap the staged bytes in a
+    // stripe-sized vector. Strings reference the staged std::strings, which
+    // stay alive for the synchronous encode below.
+    Vector values(t, stage_rows_);
     if (t == TypeId::kStr) {
-      svs.reserve(stage_rows_);
-      for (const auto& s : stage_[c].strings) svs.emplace_back(s);
-      values = svs.data();
+      StringVal* sv = values.Data<StringVal>();
+      for (size_t i = 0; i < stage_rows_; i++) {
+        sv[i] = StringVal(stage_[c].strings[i]);
+      }
     } else {
-      values = stage_[c].fixed.data();
+      std::memcpy(values.raw(), stage_[c].fixed.data(),
+                  stage_rows_ * TypeWidth(t));
     }
     if (config_.enable_compression) {
-      segs[c] = compression::EncodeBest(t, values, stage_rows_);
+      VWISE_ASSIGN_OR_RETURN(segs[c],
+                             compression::EncodeBest(values, stage_rows_));
     } else {
-      auto seg = compression::Encode(Codec::kPlain, t, values, stage_rows_);
-      VWISE_RETURN_IF_ERROR(seg.status());
-      segs[c] = std::move(*seg);
+      VWISE_ASSIGN_OR_RETURN(
+          segs[c], compression::Encode(Codec::kPlain, values, stage_rows_));
     }
     SegmentInfo& info = stripe.segments[c];
     info.codec = segs[c].codec;
@@ -372,7 +380,7 @@ Result<std::unique_ptr<TableFile>> TableFile::Open(const std::string& path,
 }
 
 Status TableFile::ReadStripeColumn(size_t stripe, uint32_t col,
-                                   DecodedColumn* out) {
+                                   DecodedColumn* out, bool allow_encoded) {
   if (stripe >= stripes_.size() || col >= schema_.num_columns()) {
     return Status::InvalidArgument("stripe/column out of range");
   }
@@ -388,10 +396,43 @@ Status TableFile::ReadStripeColumn(size_t stripe, uint32_t col,
   TypeId t = schema_.column(col).type.physical();
   out->type = t;
   out->count = seg.count;
+  out->values.reset();
+  out->heap.reset();
+  out->repr = VectorRepr::kFlat;
+  out->dict_codes.reset();
+  out->dict.reset();
+  out->rle_values.reset();
+  out->rle_starts.reset();
+  const uint8_t* data = blob->data() + seg.offset_in_blob;
+
+  if (allow_encoded && seg.codec == Codec::kPdict) {
+    out->repr = VectorRepr::kDict;
+    out->dict_codes = Buffer::Allocate(static_cast<size_t>(seg.count) * 4);
+    out->heap = std::make_shared<StringHeap>();
+    auto dict_vals = std::make_shared<std::vector<StringVal>>();
+    VWISE_RETURN_IF_ERROR(compression::DecodeDictRaw(
+        t, seg.count, data, seg.size, out->dict_codes->As<uint32_t>(),
+        dict_vals.get(), out->heap.get()));
+    auto dict = std::make_shared<StringDict>();
+    dict->values = dict_vals->data();
+    dict->size = static_cast<uint32_t>(dict_vals->size());
+    dict->heap = out->heap;
+    dict->keepalive = dict_vals;
+    out->dict = dict;
+    return Status::OK();
+  }
+  if (allow_encoded && seg.codec == Codec::kRle) {
+    out->repr = VectorRepr::kRle;
+    out->rle_values = std::make_shared<std::vector<uint8_t>>();
+    out->rle_starts = std::make_shared<std::vector<uint32_t>>();
+    return compression::DecodeRleRuns(t, seg.count, data, seg.size,
+                                      out->rle_values.get(),
+                                      out->rle_starts.get());
+  }
+
   out->values = Buffer::Allocate(static_cast<size_t>(seg.count) * TypeWidth(t));
   out->heap = t == TypeId::kStr ? std::make_shared<StringHeap>() : nullptr;
-  return compression::DecodeRaw(seg.codec, t, seg.count,
-                                blob->data() + seg.offset_in_blob, seg.size,
+  return compression::DecodeRaw(seg.codec, t, seg.count, data, seg.size,
                                 out->values->data(), out->heap.get());
 }
 

@@ -24,6 +24,7 @@ void CompactColumn(Vector* col, const sel_t* sel, size_t n, size_t capacity) {
 }  // namespace
 
 void DataChunk::Flatten() {
+  NormalizeColumns();
   if (!has_sel_) return;
   const sel_t* s = sel();
   for (Vector& col : columns_) {
@@ -53,6 +54,36 @@ Value DataChunk::GetValue(size_t col, size_t row, const DataType* type) const {
   VWISE_CHECK(col < columns_.size() && row < ActiveCount());
   size_t pos = has_sel_ ? sel()[row] : row;
   const Vector& v = columns_[col];
+  // Encoded views are readable without mutating the (const) chunk.
+  if (v.repr() == VectorRepr::kDict) {
+    const StringDict* d = v.dict();
+    uint32_t code = v.dict_codes()[pos];
+    VWISE_CHECK(d != nullptr && code < d->size);
+    return Value::String(d->values[code].ToString());
+  }
+  if (v.repr() == VectorRepr::kRle) {
+    const uint32_t* starts = v.rle_starts();
+    uint32_t run = 0;
+    while (run + 1 < v.rle_runs() && starts[run + 1] <= pos) run++;
+    switch (v.type()) {
+      case TypeId::kU8:
+        return Value::Int(v.rle_values<uint8_t>()[run]);
+      case TypeId::kI32: {
+        int32_t x = v.rle_values<int32_t>()[run];
+        if (type != nullptr && type->kind == LType::kDate) {
+          return Value::String(date::ToString(x));
+        }
+        return Value::Int(x);
+      }
+      case TypeId::kI64:
+        return Value::Int(v.rle_values<int64_t>()[run]);
+      case TypeId::kF64:
+        return Value::Double(v.rle_values<double>()[run]);
+      case TypeId::kStr:
+        break;  // unreachable: RLE is numeric-only
+    }
+    return Value::Null();
+  }
   switch (v.type()) {
     case TypeId::kU8:
       return Value::Int(v.Data<uint8_t>()[pos]);

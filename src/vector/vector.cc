@@ -1,0 +1,101 @@
+#include "vector/vector.h"
+
+#include <cstring>
+
+#include "vector/representation.h"
+
+namespace vwise {
+
+const char* VectorReprToString(VectorRepr r) {
+  switch (r) {
+    case VectorRepr::kFlat:
+      return "flat";
+    case VectorRepr::kDict:
+      return "dict";
+    case VectorRepr::kRle:
+      return "rle";
+  }
+  return "?";
+}
+
+std::string ReprMaskToString(uint8_t mask) {
+  std::string out;
+  auto add = [&out](const char* name) {
+    if (!out.empty()) out += "|";
+    out += name;
+  };
+  if (mask & kReprFlat) add("flat");
+  if (mask & kReprDict) add("dict");
+  if (mask & kReprRle) add("rle");
+  if (out.empty()) out = "none";
+  return out;
+}
+
+namespace {
+
+template <typename T>
+void ExpandRuns(const T* run_vals, const uint32_t* starts, uint32_t n_runs,
+                size_t n, T* out) {
+  for (uint32_t r = 0; r < n_runs; r++) {
+    T v = run_vals[r];
+    size_t end = starts[r + 1] < n ? starts[r + 1] : n;
+    for (size_t i = starts[r]; i < end; i++) out[i] = v;
+  }
+}
+
+}  // namespace
+
+void Vector::Normalize(size_t n) {
+  switch (repr_) {
+    case VectorRepr::kFlat:
+      return;
+    case VectorRepr::kDict: {
+      VWISE_DCHECK(n <= capacity_);
+      const StringDict* d = dict_.get();
+      VWISE_DCHECK(d != nullptr && dict_codes_ != nullptr);
+      StringVal* out = buffer_->As<StringVal>();
+      for (size_t i = 0; i < n; i++) {
+        VWISE_DCHECK(dict_codes_[i] < d->size);
+        out[i] = d->values[dict_codes_[i]];
+      }
+      // The materialized StringVals point into the dictionary heap; pin it
+      // like any other string source so the bytes outlive the dict view.
+      if (d->heap != nullptr) AddStringHeapRef(d->heap);
+      break;
+    }
+    case VectorRepr::kRle: {
+      VWISE_DCHECK(n <= capacity_);
+      VWISE_DCHECK(rle_values_ != nullptr && rle_starts_ != nullptr);
+      switch (type_) {
+        case TypeId::kU8:
+          ExpandRuns(rle_values<uint8_t>(), rle_starts_, rle_runs_, n,
+                     buffer_->As<uint8_t>());
+          break;
+        case TypeId::kI32:
+          ExpandRuns(rle_values<int32_t>(), rle_starts_, rle_runs_, n,
+                     buffer_->As<int32_t>());
+          break;
+        case TypeId::kI64:
+          ExpandRuns(rle_values<int64_t>(), rle_starts_, rle_runs_, n,
+                     buffer_->As<int64_t>());
+          break;
+        case TypeId::kF64:
+          ExpandRuns(rle_values<double>(), rle_starts_, rle_runs_, n,
+                     buffer_->As<double>());
+          break;
+        case TypeId::kStr:
+          VWISE_CHECK_MSG(false, "RLE representation on a string vector");
+      }
+      break;
+    }
+  }
+  repr_ = VectorRepr::kFlat;
+  dict_codes_ = nullptr;
+  dict_.reset();
+  rle_values_ = nullptr;
+  rle_starts_ = nullptr;
+  rle_runs_ = 0;
+  enc_keepalive_.reset();
+}
+
+}  // namespace vwise

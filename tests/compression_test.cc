@@ -1,3 +1,5 @@
+#include <algorithm>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -10,15 +12,36 @@ namespace {
 
 // --- round-trip helpers -----------------------------------------------------
 
+// The codec surface is Vector-typed (DESIGN.md §12): wrap plain std::vectors
+// for the property tests.
+template <typename T>
+Vector ToVector(TypeId type, const std::vector<T>& in) {
+  Vector v(type, std::max<size_t>(in.size(), 1));
+  std::memcpy(v.raw(), in.data(), in.size() * sizeof(T));
+  return v;
+}
+
+template <typename T>
+std::vector<T> FromVector(const Vector& v, size_t n) {
+  std::vector<T> out(n);
+  std::memcpy(out.data(), v.raw(), n * sizeof(T));
+  return out;
+}
+
+template <typename T>
+Result<CompressedSegment> EncodeVec(Codec codec, TypeId type,
+                                    const std::vector<T>& in) {
+  return compression::Encode(codec, ToVector(type, in), in.size());
+}
+
 template <typename T>
 std::vector<T> RoundTrip(Codec codec, TypeId type, const std::vector<T>& in) {
-  auto seg = compression::Encode(codec, type, in.data(), in.size());
+  auto seg = EncodeVec(codec, type, in);
   EXPECT_TRUE(seg.ok()) << seg.status().ToString();
-  std::vector<T> out(in.size());
-  StringHeap heap;
-  Status s = compression::Decode(*seg, out.data(), &heap);
+  Vector out(type, std::max<size_t>(in.size(), 1));
+  Status s = compression::DecodeInto(*seg, &out);
   EXPECT_TRUE(s.ok()) << s.ToString();
-  return out;
+  return FromVector<T>(out, in.size());
 }
 
 TEST(PforTest, RoundTripSmallRange) {
@@ -61,15 +84,16 @@ TEST(PforTest, CompressesUniformSmallDomain) {
   std::vector<int64_t> in(10000);
   Rng rng(4);
   for (auto& v : in) v = rng.Uniform(0, 15);  // 4 bits
-  auto seg = compression::Encode(Codec::kPfor, TypeId::kI64, in.data(), in.size());
+  auto seg = EncodeVec(Codec::kPfor, TypeId::kI64, in);
   ASSERT_TRUE(seg.ok());
   // 4 bits/value vs 64 bits/value -> better than 8x counting headers.
   EXPECT_LT(seg->data.size(), in.size() * 8 / 8);
 }
 
 TEST(PforTest, RejectsStrings) {
-  StringVal sv;
-  EXPECT_FALSE(compression::Encode(Codec::kPfor, TypeId::kStr, &sv, 1).ok());
+  Vector sv(TypeId::kStr, 1);
+  sv.Data<StringVal>()[0] = StringVal("x", 1);
+  EXPECT_FALSE(compression::Encode(Codec::kPfor, sv, 1).ok());
 }
 
 TEST(PforDeltaTest, RoundTripSorted) {
@@ -91,8 +115,8 @@ TEST(PforDeltaTest, BeatsPforOnSortedKeys) {
   // Dense ascending keys: deltas are tiny, absolute values are wide.
   std::vector<int64_t> in;
   for (int64_t i = 0; i < 10000; i++) in.push_back(1000000000 + i * 4);
-  auto pfor = compression::Encode(Codec::kPfor, TypeId::kI64, in.data(), in.size());
-  auto pford = compression::Encode(Codec::kPforDelta, TypeId::kI64, in.data(), in.size());
+  auto pfor = EncodeVec(Codec::kPfor, TypeId::kI64, in);
+  auto pford = EncodeVec(Codec::kPforDelta, TypeId::kI64, in);
   ASSERT_TRUE(pfor.ok() && pford.ok());
   EXPECT_LT(pford->data.size(), pfor->data.size());
 }
@@ -103,7 +127,7 @@ TEST(RleTest, RoundTripRuns) {
     for (int k = 0; k < 100; k++) in.push_back(r % 3);
   }
   EXPECT_EQ(RoundTrip(Codec::kRle, TypeId::kI64, in), in);
-  auto seg = compression::Encode(Codec::kRle, TypeId::kI64, in.data(), in.size());
+  auto seg = EncodeVec(Codec::kRle, TypeId::kI64, in);
   EXPECT_LT(seg->data.size(), 50u * 12u + 16u);
 }
 
@@ -127,88 +151,149 @@ std::vector<std::string> MakeStrings(size_t n, int distinct, uint64_t seed) {
   return out;
 }
 
+Vector ToStringVector(const std::vector<std::string>& strs) {
+  Vector v(TypeId::kStr, std::max<size_t>(strs.size(), 1));
+  StringVal* sv = v.Data<StringVal>();
+  for (size_t i = 0; i < strs.size(); i++) sv[i] = StringVal(strs[i]);
+  return v;
+}
+
 TEST(PdictTest, RoundTripLowCardinality) {
   auto strs = MakeStrings(5000, 7, 42);
-  std::vector<StringVal> in;
-  for (const auto& s : strs) in.emplace_back(s);
-  auto seg = compression::Encode(Codec::kPdict, TypeId::kStr, in.data(), in.size());
+  Vector in = ToStringVector(strs);
+  auto seg = compression::Encode(Codec::kPdict, in, strs.size());
   ASSERT_TRUE(seg.ok());
-  std::vector<StringVal> out(in.size());
-  StringHeap heap;
-  ASSERT_TRUE(compression::Decode(*seg, out.data(), &heap).ok());
-  for (size_t i = 0; i < in.size(); i++) EXPECT_EQ(out[i].ToString(), strs[i]);
+  Vector out(TypeId::kStr, strs.size());
+  ASSERT_TRUE(compression::DecodeInto(*seg, &out).ok());
+  for (size_t i = 0; i < strs.size(); i++) {
+    EXPECT_EQ(out.Data<StringVal>()[i].ToString(), strs[i]);
+  }
 }
 
 TEST(PdictTest, CompressesLowCardinality) {
   auto strs = MakeStrings(5000, 4, 43);
-  std::vector<StringVal> in;
   size_t raw = 0;
-  for (const auto& s : strs) {
-    in.emplace_back(s);
-    raw += s.size();
-  }
-  auto pdict = compression::Encode(Codec::kPdict, TypeId::kStr, in.data(), in.size());
+  for (const auto& s : strs) raw += s.size();
+  Vector in = ToStringVector(strs);
+  auto pdict = compression::Encode(Codec::kPdict, in, strs.size());
   ASSERT_TRUE(pdict.ok());
   EXPECT_LT(pdict->data.size(), raw / 4);
 }
 
+TEST(PdictTest, CodesOnlyAdoptionMatchesFlatDecode) {
+  // DecodeDictRaw surfaces codes + dictionary without per-row StringVals:
+  // reassembling through the dictionary must equal the flat decode.
+  auto strs = MakeStrings(3000, 5, 45);
+  Vector in = ToStringVector(strs);
+  auto seg = compression::Encode(Codec::kPdict, in, strs.size());
+  ASSERT_TRUE(seg.ok());
+  std::vector<uint32_t> codes(strs.size());
+  std::vector<StringVal> dict_vals;
+  StringHeap heap;
+  ASSERT_TRUE(compression::DecodeDictRaw(TypeId::kStr, seg->count,
+                                         seg->data.data(), seg->data.size(),
+                                         codes.data(), &dict_vals, &heap)
+                  .ok());
+  EXPECT_EQ(dict_vals.size(), 5u);
+  for (size_t i = 0; i < strs.size(); i++) {
+    ASSERT_LT(codes[i], dict_vals.size());
+    EXPECT_EQ(dict_vals[codes[i]].ToString(), strs[i]);
+  }
+}
+
+TEST(RleTest, RunsOnlyAdoptionMatchesFlatDecode) {
+  std::vector<int64_t> in;
+  for (int r = 0; r < 40; r++) {
+    for (int k = 0; k < 64; k++) in.push_back(r / 4);
+  }
+  auto seg = EncodeVec(Codec::kRle, TypeId::kI64, in);
+  ASSERT_TRUE(seg.ok());
+  std::vector<uint8_t> run_values;
+  std::vector<uint32_t> run_starts;
+  ASSERT_TRUE(compression::DecodeRleRuns(TypeId::kI64, seg->count,
+                                         seg->data.data(), seg->data.size(),
+                                         &run_values, &run_starts)
+                  .ok());
+  ASSERT_EQ(run_starts.size(), run_values.size() / 8 + 1);
+  EXPECT_EQ(run_starts.front(), 0u);
+  EXPECT_EQ(run_starts.back(), in.size());
+  const int64_t* vals = reinterpret_cast<const int64_t*>(run_values.data());
+  for (size_t r = 0; r + 1 < run_starts.size(); r++) {
+    for (uint32_t i = run_starts[r]; i < run_starts[r + 1]; i++) {
+      EXPECT_EQ(vals[r], in[i]);
+    }
+  }
+}
+
 TEST(PlainTest, RoundTripStrings) {
   std::vector<std::string> strs = {"", "a", "hello world", std::string(1000, 'x')};
-  std::vector<StringVal> in;
-  for (const auto& s : strs) in.emplace_back(s);
-  auto seg = compression::Encode(Codec::kPlain, TypeId::kStr, in.data(), in.size());
+  Vector in = ToStringVector(strs);
+  auto seg = compression::Encode(Codec::kPlain, in, strs.size());
   ASSERT_TRUE(seg.ok());
-  std::vector<StringVal> out(in.size());
-  StringHeap heap;
-  ASSERT_TRUE(compression::Decode(*seg, out.data(), &heap).ok());
-  for (size_t i = 0; i < in.size(); i++) EXPECT_EQ(out[i].ToString(), strs[i]);
+  Vector out(TypeId::kStr, strs.size());
+  ASSERT_TRUE(compression::DecodeInto(*seg, &out).ok());
+  for (size_t i = 0; i < strs.size(); i++) {
+    EXPECT_EQ(out.Data<StringVal>()[i].ToString(), strs[i]);
+  }
 }
 
 TEST(EncodeBestTest, PicksDeltaForSorted) {
   std::vector<int64_t> in;
   for (int64_t i = 0; i < 5000; i++) in.push_back(7000000 + i);
-  auto seg = compression::EncodeBest(TypeId::kI64, in.data(), in.size());
-  EXPECT_EQ(seg.codec, Codec::kPforDelta);
+  auto seg = compression::EncodeBest(ToVector(TypeId::kI64, in), in.size());
+  ASSERT_TRUE(seg.ok());
+  EXPECT_EQ(seg->codec, Codec::kPforDelta);
 }
 
 TEST(EncodeBestTest, ConstantCompressesToNearNothing) {
   std::vector<int64_t> in(5000, 99);
-  auto seg = compression::EncodeBest(TypeId::kI64, in.data(), in.size());
+  auto seg = compression::EncodeBest(ToVector(TypeId::kI64, in), in.size());
+  ASSERT_TRUE(seg.ok());
   // Width-0 PFOR and RLE both collapse a constant column; either must win
   // and shrink 40KB to a few dozen bytes.
-  EXPECT_TRUE(seg.codec == Codec::kPfor || seg.codec == Codec::kRle);
-  EXPECT_LT(seg.data.size(), 64u);
+  EXPECT_TRUE(seg->codec == Codec::kPfor || seg->codec == Codec::kRle);
+  EXPECT_LT(seg->data.size(), 64u);
 }
 
 TEST(EncodeBestTest, PicksDictForStrings) {
   auto strs = MakeStrings(2000, 3, 44);
-  std::vector<StringVal> in;
-  for (const auto& s : strs) in.emplace_back(s);
-  auto seg = compression::EncodeBest(TypeId::kStr, in.data(), in.size());
-  EXPECT_EQ(seg.codec, Codec::kPdict);
+  auto seg = compression::EncodeBest(ToStringVector(strs), strs.size());
+  ASSERT_TRUE(seg.ok());
+  EXPECT_EQ(seg->codec, Codec::kPdict);
 }
 
 TEST(EncodeBestTest, FallsBackToPlainForRandomDoubles) {
   std::vector<double> in;
   Rng rng(7);
   for (int i = 0; i < 1000; i++) in.push_back(rng.NextDouble());
-  auto seg = compression::EncodeBest(TypeId::kF64, in.data(), in.size());
-  EXPECT_EQ(seg.codec, Codec::kPlain);
-  std::vector<double> out(in.size());
-  StringHeap heap;
-  ASSERT_TRUE(compression::Decode(seg, out.data(), &heap).ok());
-  EXPECT_EQ(out, in);
+  auto seg = compression::EncodeBest(ToVector(TypeId::kF64, in), in.size());
+  ASSERT_TRUE(seg.ok());
+  EXPECT_EQ(seg->codec, Codec::kPlain);
+  Vector out(TypeId::kF64, in.size());
+  ASSERT_TRUE(compression::DecodeInto(*seg, &out).ok());
+  EXPECT_EQ(FromVector<double>(out, in.size()), in);
+}
+
+TEST(SegmentTest, ByteSizeCountsTheSerializedFooterRecord) {
+  // byte_size() = blob + the footer record the writer emits per segment
+  // (storage/table_file.cc, TableWriter::Finish): u32 offset + u32 size +
+  // u8 codec + u32 count + u8 has_minmax + i64 min + i64 max.
+  EXPECT_EQ(CompressedSegment::kFooterRecordBytes, 4u + 4u + 1u + 4u + 1u + 8u + 8u);
+  std::vector<int64_t> in(100, 5);
+  auto seg = EncodeVec(Codec::kPfor, TypeId::kI64, in);
+  ASSERT_TRUE(seg.ok());
+  EXPECT_EQ(seg->byte_size(),
+            seg->data.size() + CompressedSegment::kFooterRecordBytes);
 }
 
 TEST(CorruptionTest, TruncatedSegmentFails) {
   std::vector<int64_t> in(100, 5);
-  auto seg = compression::Encode(Codec::kPfor, TypeId::kI64, in.data(), in.size());
+  auto seg = EncodeVec(Codec::kPfor, TypeId::kI64, in);
   ASSERT_TRUE(seg.ok());
   CompressedSegment bad = *seg;
   bad.data.resize(bad.data.size() / 2);
-  std::vector<int64_t> out(100);
-  StringHeap heap;
-  EXPECT_FALSE(compression::Decode(bad, out.data(), &heap).ok());
+  Vector out(TypeId::kI64, in.size());
+  EXPECT_FALSE(compression::DecodeInto(bad, &out).ok());
 }
 
 // --- property sweep: every integer codec round-trips on varied distributions
@@ -239,11 +324,12 @@ TEST_P(CodecPropertyTest, AllIntCodecsRoundTrip) {
     EXPECT_EQ(RoundTrip(c, TypeId::kI64, in), in) << CodecToString(c) << " on " << d.name;
   }
   // And the chooser's pick must round-trip too.
-  auto best = compression::EncodeBest(TypeId::kI64, in.data(), in.size());
-  std::vector<int64_t> out(in.size());
-  StringHeap heap;
-  ASSERT_TRUE(compression::Decode(best, out.data(), &heap).ok());
-  EXPECT_EQ(out, in) << "EncodeBest chose " << CodecToString(best.codec);
+  auto best = compression::EncodeBest(ToVector(TypeId::kI64, in), in.size());
+  ASSERT_TRUE(best.ok());
+  Vector out(TypeId::kI64, in.size());
+  ASSERT_TRUE(compression::DecodeInto(*best, &out).ok());
+  EXPECT_EQ(FromVector<int64_t>(out, in.size()), in)
+      << "EncodeBest chose " << CodecToString(best->codec);
 }
 
 INSTANTIATE_TEST_SUITE_P(

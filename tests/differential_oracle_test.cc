@@ -408,10 +408,12 @@ class DifferentialOracleTest : public ::testing::Test {
   }
 
   static Result<std::vector<Row>> RunVectorized(const PlanSpec& s,
-                                                std::string* explain) {
+                                                std::string* explain,
+                                                bool encoded_exec) {
     Config cfg = *config_;
     cfg.verify_plans = true;
     cfg.vector_size = s.vector_size;
+    cfg.enable_encoded_exec = encoded_exec;
     const OracleTable& pt = (*tables_)[s.table];
     PlanBuilder b(mgr_, cfg);
     std::vector<uint32_t> cat;
@@ -822,9 +824,27 @@ TEST_F(DifferentialOracleTest, RandomPlansAgreeAcrossThreeEngines) {
     const uint64_t seed = base_seed + i;
     const PlanSpec spec = GenPlan(seed);
     std::string explain;
-    auto vec = RunVectorized(spec, &explain);
+    auto vec = RunVectorized(spec, &explain, /*encoded_exec=*/true);
     ASSERT_TRUE(vec.ok()) << "seed=" << seed << "\n"
                           << vec.status().ToString();
+    // Compressed execution must be invisible: the same plan with encoded
+    // adoption off yields row-for-row identical output (pre-canonicalization
+    // — even the emission order may not change).
+    std::string explain_off;
+    auto vec_off = RunVectorized(spec, &explain_off, /*encoded_exec=*/false);
+    ASSERT_TRUE(vec_off.ok()) << "seed=" << seed << "\n"
+                              << vec_off.status().ToString();
+    std::string why_enc;
+    if (!Identical(*vec, *vec_off, &why_enc)) {
+      const std::string path = WriteArtifact(
+          seed, "encoded/flat divergence\nseed=" + std::to_string(seed) +
+                    "\n" + why_enc + "\nplan:\n" + explain +
+                    "\nencoded result:\n" + DumpRows(*vec, 50) +
+                    "\nflat result:\n" + DumpRows(*vec_off, 50));
+      FAIL() << "encoded execution diverges from flat; seed=" << seed
+             << "\nartifact: " << path << "\n"
+             << why_enc << "\nplan:\n" << explain;
+    }
     std::vector<Row> tup = RunTuple(spec);
     std::vector<Row> col = RunColumn(spec);
     Canonicalize(&*vec);

@@ -226,6 +226,94 @@ TEST(NullRewriteVerification, RejectsPairThatDropsAnIndicatorColumn) {
       << st.ToString();
 }
 
+// --- representation propagation (compressed execution) -----------------------
+
+TEST(ReprPropagationVerification, AcceptsConsistentMasks) {
+  std::vector<TypeId> types = {TypeId::kStr, TypeId::kI64, TypeId::kF64};
+  std::vector<uint8_t> reprs = {kReprFlat | kReprDict, kReprFlat | kReprRle,
+                                kReprFlat};
+  EXPECT_TRUE(VerifyReprPropagation(types, reprs).ok());
+}
+
+// The masks are per-column claims about what chunks may carry; a dict claim
+// on a non-string column contradicts PDICT (strings only) and must reject.
+TEST(ReprPropagationVerification, RejectsDictOnNonString) {
+  std::vector<TypeId> types = {TypeId::kI64};
+  std::vector<uint8_t> reprs = {kReprFlat | kReprDict};
+  Status st = VerifyReprPropagation(types, reprs);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("strings only"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(ReprPropagationVerification, RejectsRleOnString) {
+  std::vector<TypeId> types = {TypeId::kStr};
+  std::vector<uint8_t> reprs = {kReprFlat | kReprRle};
+  Status st = VerifyReprPropagation(types, reprs);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("RLE"), std::string::npos) << st.ToString();
+}
+
+// Every mask must include flat: Normalize() is the universal landing, and a
+// mask excluding it would promise an encoding the executor cannot guarantee.
+TEST(ReprPropagationVerification, RejectsMaskWithoutFlat) {
+  std::vector<TypeId> types = {TypeId::kStr};
+  std::vector<uint8_t> reprs = {kReprDict};
+  Status st = VerifyReprPropagation(types, reprs);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("flat"), std::string::npos) << st.ToString();
+}
+
+TEST(ReprPropagationVerification, RejectsCountMismatch) {
+  std::vector<TypeId> types = {TypeId::kI64, TypeId::kI64};
+  std::vector<uint8_t> reprs = {kReprFlat};
+  EXPECT_FALSE(VerifyReprPropagation(types, reprs).ok());
+}
+
+// Scans over delta-free PDICT segments advertise the dict representation,
+// Select passes the masks through (encoded filter kernels keep the encoding),
+// and aggregation — which normalizes at its input boundary — resets to flat.
+TEST_F(PlanVerifierTpchTest, PropagatesRepresentationMasks) {
+  using namespace tpch::col;
+  if (!config_->enable_encoded_exec) {
+    GTEST_SKIP() << "compressed execution disabled (VWISE_ENCODED_EXEC=0)";
+  }
+  PlanBuilder b(mgr_, *config_);
+  ASSERT_TRUE(b.Scan("lineitem", {l::kReturnflag, l::kQuantity}).ok());
+  auto scan_root = b.Build();
+  ASSERT_TRUE(scan_root.ok()) << scan_root.status().ToString();
+  PlanProperties props;
+  ASSERT_TRUE(PlanVerifier(*config_).Verify(**scan_root, &props).ok());
+  ASSERT_EQ(props.reprs.size(), 2u);
+  EXPECT_TRUE(VerifyReprPropagation(props.types, props.reprs).ok());
+  // l_returnflag (three distinct one-char values) stores as PDICT, so the
+  // scan edge advertises dict; l_quantity is integer-typed and can never
+  // carry the dict representation.
+  EXPECT_NE(props.reprs[0] & kReprDict, 0);
+  EXPECT_EQ(props.reprs[1] & kReprDict, 0);
+
+  PlanBuilder s(mgr_, *config_);
+  ASSERT_TRUE(s.Scan("lineitem", {l::kReturnflag, l::kQuantity}).ok());
+  auto sel_root =
+      s.Select(e::Eq(e::Col(0, DataType::Varchar()), e::Str("R"))).Build();
+  ASSERT_TRUE(sel_root.ok()) << sel_root.status().ToString();
+  PlanProperties sel_props;
+  ASSERT_TRUE(PlanVerifier(*config_).Verify(**sel_root, &sel_props).ok());
+  EXPECT_EQ(sel_props.reprs, props.reprs);
+
+  PlanBuilder a(mgr_, *config_);
+  ASSERT_TRUE(a.Scan("lineitem", {l::kReturnflag, l::kQuantity}).ok());
+  auto agg_root = a.Agg({0}, {AggSpec::Sum(1)},
+                        {DataType::Varchar(), DataType::Int64()})
+                      .Build();
+  ASSERT_TRUE(agg_root.ok()) << agg_root.status().ToString();
+  PlanProperties agg_props;
+  ASSERT_TRUE(PlanVerifier(*config_).Verify(**agg_root, &agg_props).ok());
+  ASSERT_EQ(agg_props.reprs.size(), 2u);
+  EXPECT_EQ(agg_props.reprs[0], kReprFlat);
+  EXPECT_EQ(agg_props.reprs[1], kReprFlat);
+}
+
 // --- nullability as a plan property ------------------------------------------
 
 class NullablePlanTest : public ::testing::Test {

@@ -1,16 +1,19 @@
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "expr/primitive_registry.h"
 #include "gtest/gtest.h"
+#include "vector/representation.h"
 
 namespace vwise {
 namespace {
 
 TEST(PrimitiveRegistryTest, CatalogSizeAndNaming) {
   const auto& reg = PrimitiveRegistry::Instance();
-  // 4 ops x 2 types x 3 kinds = 24 maps; 6 cmps x 5 types x 2 kinds = 60 sels.
-  EXPECT_EQ(reg.size(), 24u + 60u);
+  // 4 ops x 2 types x 3 kinds = 24 maps; 6 cmps x 5 types x 2 kinds = 60
+  // sels; 2 dict + 6 cmps x 4 numeric types rle = 26 encoded twins.
+  EXPECT_EQ(reg.size(), 24u + 60u + 26u);
   auto names = reg.Names();
   EXPECT_EQ(names.size(), reg.size());
   for (const auto& n : names) {
@@ -27,6 +30,74 @@ TEST(PrimitiveRegistryTest, LookupKnownAndUnknown) {
   EXPECT_EQ(reg.FindMap("map_add_str_col_str_col"), nullptr);  // no string math
   EXPECT_EQ(reg.FindSelect("sel_like_str_col_str_val"), nullptr);
   EXPECT_EQ(reg.FindMap("nonsense"), nullptr);
+  // Encoded twins live in their own namespace: visible through
+  // FindEncSelect only, never through the flat select lookup.
+  EXPECT_NE(reg.FindEncSelect("sel_eq_str_dict_str_val"), nullptr);
+  EXPECT_NE(reg.FindEncSelect("sel_ge_i64_rle_i64_val"), nullptr);
+  EXPECT_EQ(reg.FindSelect("sel_eq_str_dict_str_val"), nullptr);
+  EXPECT_EQ(reg.FindEncSelect("sel_eq_str_col_str_val"), nullptr);
+}
+
+TEST(PrimitiveRegistryTest, CapsColumnMatchesEncodedTwins) {
+  const auto& reg = PrimitiveRegistry::Instance();
+  EXPECT_EQ(reg.Caps("map_add_i64_col_i64_col"), kReprFlat);
+  EXPECT_EQ(reg.Caps("sel_eq_str_col_str_val"), kReprFlat | kReprDict);
+  EXPECT_EQ(reg.Caps("sel_eq_str_col_str_col"), kReprFlat);
+  EXPECT_EQ(reg.Caps("sel_lt_i64_col_i64_val"), kReprFlat | kReprRle);
+  EXPECT_EQ(reg.Caps("sel_lt_str_col_str_val"), kReprFlat);
+  EXPECT_EQ(reg.Caps("sel_eq_str_dict_str_val"), kReprDict);
+  EXPECT_EQ(reg.Caps("sel_lt_f64_rle_f64_val"), kReprRle);
+  EXPECT_EQ(reg.Caps("unknown_primitive"), kReprFlat);
+  // Every granted dict/rle capability has its encoded twin registered under
+  // the name with the column's `col` token swapped for the representation.
+  for (const auto& name : reg.Names()) {
+    if (name.find("_col_") == std::string::npos) continue;  // the twins
+    uint8_t caps = reg.Caps(name);
+    if (caps & kReprDict) {
+      std::string twin = name;
+      twin.replace(twin.find("_col_"), 5, "_dict_");
+      EXPECT_NE(reg.FindEncSelect(twin), nullptr) << name;
+    }
+    if (caps & kReprRle) {
+      std::string twin = name;
+      twin.replace(twin.find("_col_"), 5, "_rle_");
+      EXPECT_NE(reg.FindEncSelect(twin), nullptr) << name;
+    }
+  }
+}
+
+TEST(PrimitiveRegistryTest, DictSelectComparesCodes) {
+  const auto& reg = PrimitiveRegistry::Instance();
+  auto fn = reg.FindEncSelect("sel_eq_str_dict_str_val");
+  ASSERT_NE(fn, nullptr);
+  std::vector<uint32_t> codes = {2, 0, 2, 1, 2};
+  uint32_t needle = 2;
+  std::vector<sel_t> out(codes.size());
+  size_t n = fn(codes.data(), &needle, nullptr, codes.size(), out.data());
+  ASSERT_EQ(n, 3u);
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], 2u);
+  EXPECT_EQ(out[2], 4u);
+}
+
+TEST(PrimitiveRegistryTest, RleSelectMatchesScalarReference) {
+  const auto& reg = PrimitiveRegistry::Instance();
+  auto fn = reg.FindEncSelect("sel_ge_i64_rle_i64_val");
+  ASSERT_NE(fn, nullptr);
+  // Runs: 4x10, 3x-5, 2x10, 1x99 -> 10 values.
+  std::vector<int64_t> run_vals = {10, -5, 10, 99};
+  std::vector<uint32_t> starts = {0, 4, 7, 9, 10};
+  RleColView view{run_vals.data(), starts.data(), 4};
+  int64_t pivot = 10;
+  std::vector<sel_t> out(10);
+  size_t n = fn(&view, &pivot, nullptr, 10, out.data());
+  std::vector<sel_t> got(out.begin(), out.begin() + n);
+  EXPECT_EQ(got, (std::vector<sel_t>{0, 1, 2, 3, 7, 8, 9}));
+  // Same predicate through an input selection vector.
+  sel_t sel[5] = {1, 4, 6, 8, 9};
+  n = fn(&view, &pivot, sel, 5, out.data());
+  got.assign(out.begin(), out.begin() + n);
+  EXPECT_EQ(got, (std::vector<sel_t>{1, 8, 9}));
 }
 
 TEST(PrimitiveRegistryTest, MapKernelComputesThroughErasedSignature) {
@@ -89,7 +160,7 @@ TEST(PrimitiveRegistryTest, StringSelectThroughRegistry) {
 
 TEST(PrimitiveRegistryTest, EveryRegisteredMapRunsWithoutCrashing) {
   const auto& reg = PrimitiveRegistry::Instance();
-  // Smoke-drive all 84 primitives through the erased interface with benign
+  // Smoke-drive all 110 primitives through the erased interface with benign
   // operands (value 1 avoids div-by-zero).
   std::vector<int64_t> i64a(64, 6), i64b(64, 1), i64o(64);
   std::vector<double> f64a(64, 6.0), f64b(64, 1.0), f64o(64);
@@ -98,7 +169,39 @@ TEST(PrimitiveRegistryTest, EveryRegisteredMapRunsWithoutCrashing) {
   std::string s = "x";
   std::vector<StringVal> stra(64, StringVal(s)), strb(64, StringVal(s));
   std::vector<sel_t> out_sel(64);
+  std::vector<uint32_t> codes(64, 1);
+  uint32_t code_val = 1;
+  std::vector<uint32_t> run_starts = {0, 32, 64};
   for (const auto& name : reg.Names()) {
+    if (name.find("_dict_") != std::string::npos) {
+      auto fn = reg.FindEncSelect(name);
+      ASSERT_NE(fn, nullptr) << name;
+      size_t n = fn(codes.data(), &code_val, nullptr, 64, out_sel.data());
+      EXPECT_LE(n, 64u) << name;
+      continue;
+    }
+    if (name.find("_rle_") != std::string::npos) {
+      auto fn = reg.FindEncSelect(name);
+      ASSERT_NE(fn, nullptr) << name;
+      RleColView view{nullptr, run_starts.data(), 2};
+      const void* b = nullptr;
+      if (name.find("_u8_") != std::string::npos) {
+        view.run_values = u8a.data();
+        b = u8b.data();
+      } else if (name.find("_i32_") != std::string::npos) {
+        view.run_values = i32a.data();
+        b = i32b.data();
+      } else if (name.find("_i64_") != std::string::npos) {
+        view.run_values = i64a.data();
+        b = i64b.data();
+      } else {
+        view.run_values = f64a.data();
+        b = f64b.data();
+      }
+      size_t n = fn(&view, b, nullptr, 64, out_sel.data());
+      EXPECT_LE(n, 64u) << name;
+      continue;
+    }
     if (name.rfind("map_", 0) == 0) {
       auto fn = reg.FindMap(name);
       ASSERT_NE(fn, nullptr) << name;

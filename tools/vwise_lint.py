@@ -7,9 +7,21 @@ Checks
    * every entry obeys the naming grammar
        map_<op>_<ty>_{col_<ty>_{col,val} | val_<ty>_col}
        sel_<cmp>_<ty>_col_<ty>_{col,val}
+       sel_<cmp>_<ty>_{dict,rle}_<ty>_val        (VWISE_ENC_PRIMITIVE)
      with both type tokens equal and matching the entry's C++ type;
    * the operand-kind suffix matches the registered adapter kernel, and the
      op token matches the operator functor;
+   * the caps column is a '|' of kRepr* tokens that always includes
+     kReprFlat; kReprDict appears only on string sel col/val entries
+     (PDICT is a string encoding) and kReprRle only on non-string sel
+     col/val entries (string runs decode at the scan);
+   * caps and encoded twins are 1:1 — every kReprDict / kReprRle bit
+     promises a VWISE_ENC_PRIMITIVE entry whose name swaps the column's
+     'col' token for 'dict' / 'rle', and every encoded entry's flat base
+     must grant the matching bit;
+   * encoded entries use the matching EncSel* adapter, a uint32_t code
+     type for dict (codes, not strings), and declare exactly their own
+     representation bit;
    * no duplicate names; every (op x type) block is a complete kind grid;
    * 1:1 consistency with src/expr/primitives.h: each Op* functor declared
      there is used by the catalog and vice versa; every kernel the catalog
@@ -60,7 +72,8 @@ Checks
    `// vwise-lint: allow(unguarded-member): <rationale>`.
 
 --self-test seeds deliberate violations (misnamed primitive, catalog /
-primitives.h mismatch, raw assert, a constructor that stores its child
+primitives.h mismatch, caps bits without encoded twins and vice versa,
+dict caps on integer columns, raw assert, a constructor that stores its child
 without InterposeChild, a helper that drops one wrapper, a std::thread
 spawned outside src/service/, discarded Status returns on the WAL path and
 in a test, a raw std::mutex, an allow() escape with no rationale, a
@@ -98,17 +111,27 @@ ADAPTER_TO_KERNEL = {
     "MapValCol": "MapValCol",
     "SelColVal": "SelectColVal",
     "SelColCol": "SelectColCol",
+    "EncSelDictVal": "SelectDictVal",
+    "EncSelRleVal": "SelectRleVal",
 }
+# representation-capability tokens (vector/representation.h)
+REPR_TOKENS = {"kReprFlat", "kReprDict", "kReprRle"}
+# encoding token -> (required adapter, repr bit it implements)
+ENC_ADAPTERS = {"dict": "EncSelDictVal", "rle": "EncSelRleVal"}
+ENC_REPR = {"dict": "kReprDict", "rle": "kReprRle"}
 
 ENTRY_RE = re.compile(
-    r"^VWISE_(MAP|SEL)_PRIMITIVE\(\s*(\w+)\s*,\s*([\w:]+)\s*,"
-    r"\s*(\w+)\s*,\s*(\w+)\s*\)\s*$")
+    r"^VWISE_(MAP|SEL|ENC)_PRIMITIVE\(\s*(\w+)\s*,\s*([\w:]+)\s*,"
+    r"\s*(\w+)\s*,\s*(\w+)\s*,\s*([\w |]+?)\s*\)\s*$")
 MAP_NAME_RE = re.compile(
     r"^map_(?P<op>[a-z]+)_(?P<ty1>[a-z0-9]+)_"
     r"(?:col_(?P<ty2c>[a-z0-9]+)_(?P<rhs>col|val)|val_(?P<ty2v>[a-z0-9]+)_col)$")
 SEL_NAME_RE = re.compile(
     r"^sel_(?P<op>[a-z]+)_(?P<ty1>[a-z0-9]+)_col_(?P<ty2>[a-z0-9]+)_"
     r"(?P<rhs>col|val)$")
+ENC_NAME_RE = re.compile(
+    r"^sel_(?P<op>[a-z]+)_(?P<ty1>[a-z0-9]+)_(?P<enc>dict|rle)_"
+    r"(?P<ty2>[a-z0-9]+)_val$")
 
 
 class Lint:
@@ -130,10 +153,12 @@ class Lint:
                     continue
                 m = ENTRY_RE.match(line)
                 if not m:
-                    self.error(path, lineno, f"unparseable catalog line: {line}")
+                    self.error(path, lineno,
+                               f"unparseable catalog line (expected "
+                               f"name, ctype, adapter, functor, caps): {line}")
                     continue
                 entries.append((lineno, m.group(1), m.group(2), m.group(3),
-                                m.group(4), m.group(5)))
+                                m.group(4), m.group(5), m.group(6)))
         return entries
 
     def check_catalog(self, catalog_path, primitives_path, registry_path,
@@ -148,12 +173,21 @@ class Lint:
         used_functors = set()
         used_kernels = set()
         grid = {}
-        for lineno, family, name, ctype, adapter, functor in entries:
+        # flat entries eligible to grant encoded caps: name -> (lineno, bits)
+        flat_caps = {}
+        enc_entries = {}  # encoded-twin name -> lineno
+        for lineno, family, name, ctype, adapter, functor, caps in entries:
             if name in seen_names:
                 self.error(catalog_path, lineno, f"duplicate primitive {name}")
                 continue
             seen_names.add(name)
             used_functors.add(functor)
+
+            if family == "ENC":
+                self.check_enc_entry(catalog_path, lineno, name, ctype,
+                                     adapter, functor, caps, enc_entries)
+                used_kernels.add(adapter)
+                continue
 
             name_re = MAP_NAME_RE if family == "MAP" else SEL_NAME_RE
             ops = MAP_OPS if family == "MAP" else SEL_OPS
@@ -204,6 +238,68 @@ class Lint:
             used_kernels.add(adapter)
             grid.setdefault((family, op, ty1), set()).add(kind_fmt)
 
+            # Caps column: '|' of kRepr* tokens, kReprFlat always present,
+            # encoded bits only where an encoded kernel can actually run.
+            bits = [t.strip() for t in caps.split("|")]
+            bad = [t for t in bits if t not in REPR_TOKENS]
+            for t in bad:
+                self.error(catalog_path, lineno,
+                           f"'{name}': unknown caps token '{t}' (caps is a "
+                           "'|' of kReprFlat/kReprDict/kReprRle)")
+            if bad:
+                continue
+            if "kReprFlat" not in bits:
+                self.error(catalog_path, lineno,
+                           f"'{name}': caps must include kReprFlat — "
+                           "Normalize() must always leave a runnable "
+                           "representation")
+                continue
+            enc_ok = family == "SEL" and kind_fmt == "col_%s_val"
+            placed_ok = True
+            if "kReprDict" in bits and not (enc_ok and ty1 == "str"):
+                placed_ok = False
+                self.error(catalog_path, lineno,
+                           f"'{name}': kReprDict cap is only valid on "
+                           "sel_*_str_col_str_val — PDICT covers strings "
+                           "only, and only the col/val shape can translate "
+                           "the constant to a code up front")
+            if "kReprRle" in bits and not (enc_ok and ty1 != "str"):
+                placed_ok = False
+                self.error(catalog_path, lineno,
+                           f"'{name}': kReprRle cap is only valid on "
+                           "non-string sel_*_col_*_val — string runs decode "
+                           "at the scan, and col/col operands break the "
+                           "per-run shortcut")
+            if placed_ok:
+                flat_caps[name] = (lineno, set(bits))
+
+        # Caps <-> encoded-twin 1:1: every encoded bit promises a twin whose
+        # name swaps the column's 'col' token for the encoding, and every
+        # twin's flat base must grant the matching bit (an orphan twin is
+        # unreachable: FindEncSelect consults the flat entry's caps).
+        for name, (lineno, bits) in sorted(flat_caps.items()):
+            for enc, bit in sorted(ENC_REPR.items(), key=lambda kv: kv[1]):
+                if bit not in bits:
+                    continue
+                twin = name.replace("_col_", f"_{enc}_", 1)
+                if twin not in enc_entries:
+                    self.error(catalog_path, lineno,
+                               f"'{name}' grants {bit} but the catalog has "
+                               f"no encoded twin '{twin}'")
+        for name, lineno in sorted(enc_entries.items()):
+            enc = "dict" if "_dict_" in name else "rle"
+            flat = name.replace(f"_{enc}_", "_col_", 1)
+            bit = ENC_REPR[enc]
+            if flat not in flat_caps:
+                self.error(catalog_path, lineno,
+                           f"encoded twin '{name}' has no flat base entry "
+                           f"'{flat}'")
+            elif bit not in flat_caps[flat][1]:
+                self.error(catalog_path, lineno,
+                           f"encoded twin '{name}' exists but its flat base "
+                           f"'{flat}' does not grant the {bit} cap, so the "
+                           "registry can never dispatch to it")
+
         # Grid completeness: every (op, type) block lists every operand kind.
         for (family, op, ty), kinds_seen in sorted(grid.items()):
             want = set(MAP_KINDS if family == "MAP" else SEL_KINDS)
@@ -251,6 +347,59 @@ class Lint:
                        "primitive_registry.cc does not include "
                        "expr/primitive_catalog.inc — registry and catalog "
                        "can drift")
+
+    def check_enc_entry(self, catalog_path, lineno, name, ctype, adapter,
+                        functor, repr_arg, enc_entries):
+        """One VWISE_ENC_PRIMITIVE line: an encoded twin that consumes the
+        column operand in its storage encoding (dict codes / RLE runs)."""
+        m = ENC_NAME_RE.match(name)
+        if not m:
+            self.error(catalog_path, lineno,
+                       f"encoded primitive name '{name}' violates the "
+                       "naming grammar sel_<cmp>_<ty>_{dict,rle}_<ty>_val")
+            return
+        op, ty1, enc, ty2 = (m.group("op"), m.group("ty1"), m.group("enc"),
+                             m.group("ty2"))
+        if op not in SEL_OPS:
+            self.error(catalog_path, lineno,
+                       f"'{name}': unknown op token '{op}'")
+            return
+        if ty1 not in TYPE_TOKENS:
+            self.error(catalog_path, lineno,
+                       f"'{name}': unknown type token '{ty1}'")
+            return
+        if ty1 != ty2:
+            self.error(catalog_path, lineno,
+                       f"'{name}': operand type tokens differ ({ty1} vs "
+                       f"{ty2}); mixed-type primitives are not in the "
+                       "catalog grammar")
+        if enc == "dict" and ty1 != "str":
+            self.error(catalog_path, lineno,
+                       f"'{name}': dict encoding over '{ty1}' — PDICT "
+                       "covers strings only")
+        if enc == "rle" and ty1 == "str":
+            self.error(catalog_path, lineno,
+                       f"'{name}': RLE encoding over strings — string runs "
+                       "decode at the scan")
+        # Dict kernels compare uint32 codes, never the decoded strings.
+        expected_ctype = "uint32_t" if enc == "dict" else TYPE_TOKENS[ty1]
+        if ctype != expected_ctype:
+            self.error(catalog_path, lineno,
+                       f"'{name}': C++ type {ctype} does not match the "
+                       f"{enc} encoding (expected {expected_ctype})")
+        if adapter != ENC_ADAPTERS[enc]:
+            self.error(catalog_path, lineno,
+                       f"'{name}': {enc} encoding requires adapter "
+                       f"{ENC_ADAPTERS[enc]}, catalog says {adapter}")
+        if SEL_OPS[op] != functor:
+            self.error(catalog_path, lineno,
+                       f"'{name}': functor {functor} does not match op "
+                       f"token '{op}' (expected {SEL_OPS[op]})")
+        if repr_arg.strip() != ENC_REPR[enc]:
+            self.error(catalog_path, lineno,
+                       f"'{name}': repr column must be exactly "
+                       f"{ENC_REPR[enc]}, catalog says '{repr_arg.strip()}'")
+        enc_entries[name] = lineno
 
     def kernel_used_in_src(self, kernel, src_dir, primitives_path):
         pat = re.compile(r"\b(?:prim::)?" + re.escape(kernel) + r"\s*<")
@@ -770,16 +919,55 @@ def self_test(repo):
         "misnamed primitive": (lambda tmp: patch_file(
             tmp, os.path.join("src", "expr", "primitive_catalog.inc"),
             "VWISE_MAP_PRIMITIVE(map_add_i64_col_i64_col, int64_t, "
-            "MapColCol, OpAdd)",
+            "MapColCol, OpAdd, kReprFlat)",
             "VWISE_MAP_PRIMITIVE(map_add_i64_col_f64_col, int64_t, "
-            "MapColCol, OpAdd)"), "type tokens differ"),
+            "MapColCol, OpAdd, kReprFlat)"), "type tokens differ"),
         # Grammar violation: op token not in the grammar.
         "unknown op token": (lambda tmp: patch_file(
             tmp, os.path.join("src", "expr", "primitive_catalog.inc"),
             "VWISE_SEL_PRIMITIVE(sel_eq_u8_col_u8_val, uint8_t, "
-            "SelColVal, OpEq)",
+            "SelColVal, OpEq, kReprFlat | kReprRle)",
             "VWISE_SEL_PRIMITIVE(sel_equals_u8_col_u8_val, uint8_t, "
-            "SelColVal, OpEq)"), "unknown op token"),
+            "SelColVal, OpEq, kReprFlat | kReprRle)"), "unknown op token"),
+        # Caps granted with no encoded twin behind it: the registry would
+        # route dict chunks to a kernel that does not exist.
+        "caps bit without encoded twin": (lambda tmp: patch_file(
+            tmp, os.path.join("src", "expr", "primitive_catalog.inc"),
+            "VWISE_SEL_PRIMITIVE(sel_lt_str_col_str_val, StringVal, "
+            "SelColVal, OpLt, kReprFlat)",
+            "VWISE_SEL_PRIMITIVE(sel_lt_str_col_str_val, StringVal, "
+            "SelColVal, OpLt, kReprFlat | kReprDict)"), "no encoded twin"),
+        # Dict cap on an integer column: PDICT only encodes strings.
+        "dict cap on non-string": (lambda tmp: patch_file(
+            tmp, os.path.join("src", "expr", "primitive_catalog.inc"),
+            "VWISE_SEL_PRIMITIVE(sel_eq_i64_col_i64_val, int64_t, "
+            "SelColVal, OpEq, kReprFlat | kReprRle)",
+            "VWISE_SEL_PRIMITIVE(sel_eq_i64_col_i64_val, int64_t, "
+            "SelColVal, OpEq, kReprFlat | kReprDict)"),
+            "PDICT covers strings only"),
+        # Encoded twin whose flat base dropped the cap: the twin becomes
+        # dead code the registry can never dispatch to.
+        "encoded twin without caps bit": (lambda tmp: patch_file(
+            tmp, os.path.join("src", "expr", "primitive_catalog.inc"),
+            "VWISE_SEL_PRIMITIVE(sel_eq_str_col_str_val, StringVal, "
+            "SelColVal, OpEq, kReprFlat | kReprDict)",
+            "VWISE_SEL_PRIMITIVE(sel_eq_str_col_str_val, StringVal, "
+            "SelColVal, OpEq, kReprFlat)"), "does not grant the kReprDict"),
+        # Caps without kReprFlat: Normalize() would have nowhere to land.
+        "caps excludes flat": (lambda tmp: patch_file(
+            tmp, os.path.join("src", "expr", "primitive_catalog.inc"),
+            "VWISE_MAP_PRIMITIVE(map_sub_i64_col_i64_col, int64_t, "
+            "MapColCol, OpSub, kReprFlat)",
+            "VWISE_MAP_PRIMITIVE(map_sub_i64_col_i64_col, int64_t, "
+            "MapColCol, OpSub, kReprRle)"), "must include kReprFlat"),
+        # Encoded twin registered with the string type instead of codes.
+        "dict twin with string ctype": (lambda tmp: patch_file(
+            tmp, os.path.join("src", "expr", "primitive_catalog.inc"),
+            "VWISE_ENC_PRIMITIVE(sel_eq_str_dict_str_val, uint32_t, "
+            "EncSelDictVal, OpEq, kReprDict)",
+            "VWISE_ENC_PRIMITIVE(sel_eq_str_dict_str_val, StringVal, "
+            "EncSelDictVal, OpEq, kReprDict)"),
+            "does not match the dict encoding"),
         # primitives.h / catalog drift: a functor disappears.
         "catalog/primitives.h mismatch": (lambda tmp: patch_file(
             tmp, os.path.join("src", "expr", "primitives.h"),
