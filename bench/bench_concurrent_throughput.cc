@@ -14,6 +14,7 @@
 // Results append to BENCH_concurrent_throughput.json (BenchReport schema v1).
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <iterator>
 #include <mutex>
@@ -156,6 +157,82 @@ int main() {
     char key[48];
     std::snprintf(key, sizeof(key), "qps_%d_clients", clients);
     report.SetMetric(key, Json::Double(qps));
+  }
+
+  // Overload: the same 8-client mix against a database whose global memory
+  // budget admits only ~2 declared budgets at a time. The governor queues the
+  // rest (admission waits grow), pressure-spills running breakers, and must
+  // complete every query — shed stays 0; the entry records the governor
+  // counters so a regression in graceful degradation shows up in the report.
+  {
+    constexpr size_t kDeclared = size_t{16} << 20;
+    Config ocfg;
+    ocfg.max_concurrent_queries = kAdmissionSlots;
+    ocfg.total_memory_budget_bytes = 2 * kDeclared;
+    ocfg.admission_retry_limit = 1 << 20;  // the bench asserts zero shed
+    TempDb odb("concurrent_overload", ocfg);
+    LoadTpch(odb.get(), sf);
+    QueryService* svc = odb.get()->query_service();
+    const QueryService::Stats before = svc->stats();
+
+    constexpr int kOverloadClients = 8;
+    std::vector<std::thread> threads;
+    std::atomic<int64_t> rows{0};
+    double elapsed = TimeSec([&] {
+      for (int c = 0; c < kOverloadClients; c++) {
+        threads.emplace_back([&] {
+          auto session = odb.get()->Connect();
+          QueryOptions opt;
+          opt.memory_budget_bytes = kDeclared;
+          for (int q : kQueryMix) {
+            auto prepared = tpch::PrepareQuery(q, session.get(),
+                                               odb.get()->Internals().tm,
+                                               session->config());
+            VWISE_CHECK_MSG(prepared.ok(),
+                            prepared.status().ToString().c_str());
+            auto r = (*prepared)->Run(opt);
+            VWISE_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+            rows.fetch_add(static_cast<int64_t>(r->rows.size()));
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+    });
+    const QueryService::Stats after = svc->stats();
+    const uint64_t shed = after.shed - before.shed;
+    VWISE_CHECK_MSG(shed == 0, "governor shed a query under overload");
+    double qps =
+        kOverloadClients * static_cast<int>(std::size(kQueryMix)) / elapsed;
+    std::printf("\noverload (global %zu MB, declared %zu MB): %.1f q/s, "
+                "granted=%llu queued=%llu shed=%llu pressure_spills=%llu\n",
+                ocfg.total_memory_budget_bytes >> 20, kDeclared >> 20, qps,
+                static_cast<unsigned long long>(after.granted - before.granted),
+                static_cast<unsigned long long>(after.queued - before.queued),
+                static_cast<unsigned long long>(shed),
+                static_cast<unsigned long long>(after.pressure_spills -
+                                                before.pressure_spills));
+    Json ov = Json::Object();
+    ov.Set("experiment", Json::Str("overload_governed_mix"));
+    ov.Set("clients", Json::Int(kOverloadClients));
+    ov.Set("sf", Json::Double(sf));
+    ov.Set("rows", Json::Int(rows.load()));
+    ov.Set("global_budget_bytes",
+           Json::Int(static_cast<int64_t>(ocfg.total_memory_budget_bytes)));
+    ov.Set("declared_budget_bytes", Json::Int(static_cast<int64_t>(kDeclared)));
+    ov.Set("wall_ms_total", Json::Double(elapsed * 1e3));
+    ov.Set("queries_per_sec", Json::Double(qps));
+    ov.Set("governor_granted",
+           Json::Int(static_cast<int64_t>(after.granted - before.granted)));
+    ov.Set("governor_queued",
+           Json::Int(static_cast<int64_t>(after.queued - before.queued)));
+    ov.Set("governor_shed", Json::Int(static_cast<int64_t>(shed)));
+    ov.Set("governor_pressure_spills",
+           Json::Int(static_cast<int64_t>(after.pressure_spills -
+                                          before.pressure_spills)));
+    ov.Set("config", ConfigJson(odb.get()->config()));
+    report.AddEntry(std::move(ov));
+    report.SetMetric("overload_qps", Json::Double(qps));
+    report.SetMetric("overload_shed", Json::Double(static_cast<double>(shed)));
   }
 
   // Headline: 8 concurrent Q6 sessions vs the same 8 Q6 sequentially.

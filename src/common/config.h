@@ -54,6 +54,28 @@ inline bool EnvEncodedExec() {
   }();
   return enabled;
 }
+
+// Default for Config::total_memory_budget_bytes: VWISE_TOTAL_MEMORY_BUDGET
+// sizes the process-wide governor budget every query's reservations draw
+// from. Accepts plain bytes or a k/m/g suffix ("256m"). Empty/0 = unlimited
+// (the governor admits everything, preserving pre-governor behavior).
+inline size_t EnvTotalMemoryBudget() {
+  static const size_t bytes = [] {
+    const char* v = std::getenv("VWISE_TOTAL_MEMORY_BUDGET");
+    if (v == nullptr || v[0] == '\0') return size_t{0};
+    char* end = nullptr;
+    unsigned long long n = std::strtoull(v, &end, 10);
+    if (end == v) return size_t{0};
+    switch (*end) {
+      case 'k': case 'K': n <<= 10; break;
+      case 'm': case 'M': n <<= 20; break;
+      case 'g': case 'G': n <<= 30; break;
+      default: break;
+    }
+    return static_cast<size_t>(n);
+  }();
+  return bytes;
+}
 }  // namespace detail
 
 class WorkerPool;  // service/worker_pool.h
@@ -90,6 +112,28 @@ struct Config {
   // with Status::ResourceExhausted rather than OOMing the process.
   // 0 = unlimited.
   size_t query_memory_budget_bytes = 0;
+  // Process-wide memory budget owned by the MemoryGovernor
+  // (service/memory_governor.h): the single pool every query's Reserve ledger
+  // draws from. Admission gates each query's declared budget against it;
+  // queries that do not fit queue (with backoff) instead of failing, and
+  // running breakers see a pressure signal asking them to spill proactively.
+  // 0 = unlimited (admission always grants, reservations are unbounded
+  // globally — per-query budgets still apply).
+  size_t total_memory_budget_bytes = detail::EnvTotalMemoryBudget();
+  // Admission retry budget: a query that cannot be admitted is re-queued with
+  // jittered exponential backoff at most this many times before the service
+  // sheds it (ResourceExhausted with a retry-after hint). Deadlines shed
+  // sooner.
+  int admission_retry_limit = 64;
+  // Base/backoff cap for admission retries, microseconds. The n-th retry
+  // waits ~base * 2^n (jittered, capped) before the runner reconsiders the
+  // query, giving running queries time to finish or pressure-spill.
+  uint64_t admission_backoff_base_us = 200;
+  uint64_t admission_backoff_max_us = 50000;
+  // Pressure-spill floor: a breaker polled under governor pressure spills
+  // proactively only once it holds at least this many reserved bytes, so
+  // tiny operators don't thrash the spill path to free negligible memory.
+  size_t pressure_spill_min_bytes = 256 << 10;
   // Graceful degradation under the memory budget: when a Reserve would
   // overshoot, hash join and hash aggregation switch to radix-partitioned
   // spilling and sort becomes an external sort (runs + k-way merge) instead
@@ -100,6 +144,12 @@ struct Config {
   // a power of two in [2, 256]; each spilled partition must individually fit
   // in the budget when it is reloaded.
   size_t spill_partitions = 8;
+  // Recursive repartitioning bound: a spilled partition that alone exceeds
+  // the budget when reloaded is re-partitioned on a fresh radix level (the
+  // next hash byte) up to this many levels deep before the query fails.
+  // Each level consumes 8 independent hash bits, so values beyond 6 add no
+  // discrimination power.
+  size_t spill_max_repartition_depth = 4;
   // Base directory for spill temp files. Resolution order: this field, then
   // $VWISE_SPILL_DIR, then "<db dir>/spill" for queries running through a
   // Database (stale per-query dirs in it are swept at Open — crash

@@ -7,6 +7,7 @@
 #include <system_error>
 
 #include "common/bitutil.h"
+#include "common/failpoint.h"
 #include "common/hash.h"
 #include "exec/profile.h"
 #include "storage/spill_file.h"
@@ -194,8 +195,9 @@ Status HashAggOperator::OpenImpl() {
   emit_cursor_ = 0;
   spilled_ = false;
   DropPartitions();
-  next_partition_ = 0;
   spill_partitions_stat_ = 0;
+  spill_repartitions_stat_ = 0;
+  spill_depth_stat_ = 0;
   hash_scratch_ = ctx()->scratch()->AcquireArray<uint64_t>(config_.vector_size);
   group_idx_ = ctx()->scratch()->AcquireArray<uint32_t>(config_.vector_size);
   emit_idx_ = ctx()->scratch()->AcquireArray<uint32_t>(config_.vector_size);
@@ -500,6 +502,16 @@ Status HashAggOperator::ConsumeInput() {
       reserved_groups_ = n_groups_;
       done += slice;
     }
+    // Governor pressure signal (polled alongside ctx()->Check() above):
+    // queries are waiting for global memory, so proactively flush the group
+    // table and shrink this reservation instead of holding it.
+    if (config_.enable_spill && n_groups_ > 0 &&
+        mem_.bytes() >= config_.pressure_spill_min_bytes &&
+        ctx()->MemoryPressure()) {
+      VWISE_RETURN_IF_ERROR(SpillGroups());
+      ctx()->NotePressureSpill();
+      continue;
+    }
     // Coexistence cap: flush the table once it holds more than half the
     // budget so a downstream breaker (e.g. a Sort consuming our output)
     // is not starved of reservation headroom — and vice versa, our own
@@ -515,7 +527,11 @@ Status HashAggOperator::ConsumeInput() {
     // close the writers; emission reloads partitions one at a time.
     VWISE_RETURN_IF_ERROR(SpillGroups());
     writers_.clear();
-    next_partition_ = 0;
+    pending_.clear();
+    for (const std::string& path : partition_paths_) {
+      pending_.push_back({path, 0});
+    }
+    partition_paths_.clear();
     return Status::OK();
   }
   // An ungrouped aggregate always emits one row, even on empty input.
@@ -746,11 +762,11 @@ Status HashAggOperator::ProcessStateChunk(const DataChunk& chunk) {
   return Status::OK();
 }
 
-Status HashAggOperator::LoadPartition(size_t p) {
+Status HashAggOperator::LoadPartition(const std::string& path) {
   ClearTable();
   std::unique_ptr<SpillReader> reader;
   VWISE_ASSIGN_OR_RETURN(reader,
-                         SpillReader::Open(partition_paths_[p], state_types_,
+                         SpillReader::Open(path, state_types_,
                                            &ctx()->spill_counters()));
   DataChunk chunk;
   chunk.Init(state_types_, config_.vector_size);
@@ -760,15 +776,106 @@ Status HashAggOperator::LoadPartition(size_t p) {
     VWISE_ASSIGN_OR_RETURN(more, reader->Next(&chunk));
     if (!more) break;
     size_t n = chunk.count();
-    // Same reserve-before-insert protocol as the consume path. Failure here
-    // means one partition's groups alone exceed the budget — single-level
-    // partitioning cannot subdivide further, so the query fails.
+    // Same reserve-before-insert protocol as the consume path.
+    // ResourceExhausted here means one partition's groups alone exceed the
+    // budget; the caller re-partitions it onto a fresh radix level (bounded
+    // by Config::spill_max_repartition_depth) instead of failing the query.
     VWISE_RETURN_IF_ERROR(mem_.Grow(n * per_group_bytes_));
     size_t before = n_groups_;
     VWISE_RETURN_IF_ERROR(ProcessStateChunk(chunk));
     mem_.Shrink((n - (n_groups_ - before)) * per_group_bytes_);
     reserved_groups_ = n_groups_;
   }
+  return Status::OK();
+}
+
+size_t HashAggOperator::RepartitionFanout(uint64_t part_bytes) const {
+  // Aim each child at a fraction of the budget: serialized state rows
+  // understate resident group bytes (per_group_bytes_ covers table slots and
+  // hash entries too).
+  size_t budget = ctx()->memory_budget();
+  uint64_t target = budget > 0 ? static_cast<uint64_t>(budget) / 4
+                               : (32ull << 20);
+  if (target == 0) target = 1;
+  uint64_t need = part_bytes / target + 2;
+  size_t fanout =
+      SpillPartitionCount(static_cast<size_t>(need > 256 ? 256 : need));
+  // Capped at the configured partition count: each child holds an open
+  // writer with its own buffers, so one level never fans wider than the
+  // initial flush; depth supplies the remaining capacity (fanout^depth).
+  size_t cap = SpillPartitionCount(config_.spill_partitions);
+  return fanout > cap ? cap : fanout;
+}
+
+Status HashAggOperator::RepartitionPartition(const PendingPartition& part) {
+  VWISE_FAILPOINT("spill.repartition");
+  // Drop the partially merged groups the failed load left behind.
+  ClearTable();
+  size_t level = part.level + 1;
+  // A fresh radix byte per level: level L routes on group-hash bits
+  // [56 - 8L, 64 - 8L), so children split what their parent could not.
+  // Identical-key groups can never be split (they were already merged into
+  // one state row per flush anyway); the depth bound fails such floods
+  // cleanly.
+  size_t shift = 56 - 8 * (level <= 7 ? level : 7);
+  std::error_code ec;
+  uint64_t part_bytes = std::filesystem::file_size(part.path, ec);
+  if (ec) part_bytes = 0;
+  size_t fanout = RepartitionFanout(part_bytes);
+  spill_repartitions_stat_++;
+  if (level > spill_depth_stat_) spill_depth_stat_ = level;
+  spill_partitions_stat_ += fanout;
+
+  std::vector<PendingPartition> children(fanout);
+  std::vector<std::unique_ptr<SpillWriter>> cw(fanout);
+  for (size_t f = 0; f < fanout; f++) {
+    children[f].level = level;
+    VWISE_ASSIGN_OR_RETURN(children[f].path,
+                           ctx()->NewSpillPath("agg_part_r"));
+    VWISE_ASSIGN_OR_RETURN(cw[f],
+                           SpillWriter::Create(children[f].path, state_types_,
+                                               &ctx()->spill_counters()));
+  }
+  // Stream the parent's state rows to the children, routing on the same
+  // group-key hash the table and the level-0 flush used. State chunks are
+  // dense; keys sit at columns [0, n_keys).
+  std::unique_ptr<SpillReader> reader;
+  VWISE_ASSIGN_OR_RETURN(reader,
+                         SpillReader::Open(part.path, state_types_,
+                                           &ctx()->spill_counters()));
+  DataChunk chunk;
+  chunk.Init(state_types_, config_.vector_size);
+  std::vector<std::vector<sel_t>> buckets(fanout);
+  uint64_t* hashes = hash_scratch_.data<uint64_t>();
+  while (true) {
+    VWISE_RETURN_IF_ERROR(ctx()->Check());
+    bool more = false;
+    VWISE_ASSIGN_OR_RETURN(more, reader->Next(&chunk));
+    if (!more) break;
+    size_t n = chunk.count();
+    std::fill(hashes, hashes + n, 0);
+    for (size_t k = 0; k < group_cols_.size(); k++) {
+      const Vector& key = chunk.column(k);
+      for (size_t i = 0; i < n; i++) {
+        hashes[i] = HashCombine(hashes[i], HashAt(key, static_cast<sel_t>(i)));
+      }
+    }
+    for (auto& rows : buckets) rows.clear();
+    for (size_t i = 0; i < n; i++) {
+      buckets[(hashes[i] >> shift) & (fanout - 1)].push_back(
+          static_cast<sel_t>(i));
+    }
+    for (size_t f = 0; f < fanout; f++) {
+      VWISE_RETURN_IF_ERROR(
+          cw[f]->AppendRows(chunk, buckets[f].data(), buckets[f].size()));
+    }
+  }
+  reader.reset();
+  cw.clear();  // close the children before the parent is unlinked
+  std::filesystem::remove(part.path, ec);
+  // Depth-first: merging (or further splitting) the fresh children first
+  // bounds live spill disk to one lineage per level.
+  pending_.insert(pending_.begin(), children.begin(), children.end());
   return Status::OK();
 }
 
@@ -779,6 +886,11 @@ void HashAggOperator::DropPartitions() {
     std::filesystem::remove(path, ec);  // best effort; ctx dir is the backstop
   }
   partition_paths_.clear();
+  for (const PendingPartition& part : pending_) {
+    std::error_code ec;
+    std::filesystem::remove(part.path, ec);
+  }
+  pending_.clear();
   n_partitions_ = 0;
 }
 
@@ -792,15 +904,30 @@ Status HashAggOperator::Next(DataChunk* out) {
   }
   if (spilled_) {
     // Partition-at-a-time emission: when the resident table is drained,
-    // reload and merge the next partition (skipping empty ones).
+    // reload and merge the next pending partition (skipping empty ones). A
+    // partition whose groups alone overflow the budget is split onto the
+    // next radix level and its children retried, up to the depth bound.
     while (emit_cursor_ >= n_groups_) {
-      if (next_partition_ >= partition_paths_.size()) {
+      if (pending_.empty()) {
         out->SetCount(0);
         return Status::OK();
       }
+      PendingPartition part = std::move(pending_.front());
+      pending_.pop_front();
       // vwise-hotpath: allow(cold-call): partition reload runs only after
       // the aggregation degraded to disk under a memory budget
-      VWISE_RETURN_IF_ERROR(LoadPartition(next_partition_++));
+      Status load = LoadPartition(part.path);
+      if (!load.ok()) {
+        if (load.code() != StatusCode::kResourceExhausted ||
+            part.level >= config_.spill_max_repartition_depth) {
+          return load;
+        }
+        // vwise-hotpath: allow(cold-call): budget-driven degradation path
+        VWISE_RETURN_IF_ERROR(RepartitionPartition(part));
+        continue;
+      }
+      std::error_code ec;
+      std::filesystem::remove(part.path, ec);  // merged; file no longer needed
       emit_cursor_ = 0;
     }
   }
@@ -866,7 +993,6 @@ void HashAggOperator::Close() {
   slots_.clear();
   DropPartitions();
   spilled_ = false;
-  next_partition_ = 0;
   hash_scratch_.Release();
   group_idx_.Release();
   emit_idx_.Release();

@@ -1,7 +1,9 @@
 #ifndef VWISE_EXEC_HASH_AGG_H_
 #define VWISE_EXEC_HASH_AGG_H_
 
+#include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "exec/column_store.h"
@@ -63,6 +65,11 @@ class HashAggOperator final : public Operator {
   // Survives Close() — the profile is rendered after the tree is closed —
   // and resets on the next Open.
   size_t spill_partitions() const { return spill_partitions_stat_; }
+  // Recursive-repartition telemetry: oversized partitions split onto a
+  // fresh radix level, and the deepest level reached (0 = initial flush
+  // sufficed). Survive Close() like spill_partitions().
+  size_t spill_repartitions() const { return spill_repartitions_stat_; }
+  size_t spill_repartition_depth() const { return spill_depth_stat_; }
 
  private:
   Status OpenImpl() override;
@@ -77,11 +84,23 @@ class HashAggOperator final : public Operator {
   // Lays out the spill "state row" schema: key columns first, then one value
   // lane per aggregate (i64 or f64) plus a count lane for min/max/avg.
   void BuildStateSchema();
+  // One spilled partition of state rows awaiting its merge pass. Level 0
+  // partitions come from the consume-phase flushes; deeper levels are
+  // created by recursive repartitioning when one partition's groups alone
+  // exceed the budget — each level routes on a fresh byte of the group hash.
+  struct PendingPartition {
+    std::string path;
+    size_t level = 0;
+  };
+
   // Flushes the whole group table to the partition writers (creating them on
   // first use) and clears it, giving its reservation back.
   Status SpillGroups();
   // Re-aggregates one spilled partition into the (empty) in-memory table.
-  Status LoadPartition(size_t p);
+  Status LoadPartition(const std::string& path);
+  // Splits an oversized partition onto the next radix level.
+  Status RepartitionPartition(const PendingPartition& part);
+  size_t RepartitionFanout(uint64_t part_bytes) const;
   // Merge-aggregates a chunk of state rows (the spill-side ProcessChunk).
   Status ProcessStateChunk(const DataChunk& chunk);
   // Resets the group table and returns its budget reservation.
@@ -139,8 +158,10 @@ class HashAggOperator final : public Operator {
   std::vector<size_t> identity_cols_;  // 0..n_keys-1: key cols of a state row
   std::vector<std::string> partition_paths_;
   std::vector<std::unique_ptr<SpillWriter>> writers_;
-  size_t next_partition_ = 0;  // emit phase: next partition to reload
+  std::deque<PendingPartition> pending_;  // emit phase: partitions to merge
   size_t spill_partitions_stat_ = 0;  // telemetry; outlives Close()
+  size_t spill_repartitions_stat_ = 0;
+  size_t spill_depth_stat_ = 0;
 };
 
 }  // namespace vwise

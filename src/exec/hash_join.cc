@@ -5,6 +5,7 @@
 #include <system_error>
 
 #include "common/bitutil.h"
+#include "common/failpoint.h"
 #include "common/hash.h"
 #include "exec/profile.h"
 #include "expr/primitives.h"
@@ -162,8 +163,9 @@ Status HashJoinOperator::OpenImpl() {
   chain_next_.clear();
   spilled_ = false;
   probe_partitioned_ = false;
-  cur_partition_ = 0;
   spill_partitions_stat_ = 0;
+  spill_repartitions_stat_ = 0;
+  spill_depth_stat_ = 0;
   DropSpillFiles();
   for (size_t c : spec_.build_keys) {
     build_key_cols_.emplace_back(build_->OutputTypes()[c]);
@@ -229,6 +231,16 @@ Status HashJoinOperator::ConsumeBuildSide() {
       build_payload_cols_[k].AppendFrom(chunk.column(spec_.build_payload[k]), sel, n);
     }
     build_rows_ += n;
+    // Governor pressure signal (polled alongside ctx()->Check() above):
+    // queries are waiting for global memory, so proactively flush the
+    // buffered rows and shrink this reservation instead of holding it until
+    // the budget forces the issue.
+    if (config_.enable_spill && mem_.bytes() >= config_.pressure_spill_min_bytes &&
+        ctx()->MemoryPressure()) {
+      VWISE_RETURN_IF_ERROR(SpillBuildRows());
+      ctx()->NotePressureSpill();
+      continue;
+    }
     // Coexistence cap: cap the in-memory build side at half the budget so
     // other pipeline breakers in the same query (aggregations, sorts) keep
     // enough headroom for their own buffers and partition reloads.
@@ -392,8 +404,8 @@ Status HashJoinOperator::PartitionProbeSide() {
   return Status::OK();
 }
 
-Status HashJoinOperator::LoadBuildPartition(size_t p) {
-  // Swap out the previous partition's rows + table and their reservation.
+void HashJoinOperator::ReleaseBuildSide() {
+  // Swap out the resident partition's rows + table and their reservation.
   mem_.Shrink(build_bytes_);
   build_bytes_ = 0;
   build_key_cols_.clear();
@@ -405,9 +417,15 @@ Status HashJoinOperator::LoadBuildPartition(size_t p) {
     build_payload_cols_.emplace_back(build_->OutputTypes()[c]);
   }
   build_rows_ = 0;
+  bucket_heads_.clear();
+  chain_next_.clear();
+}
+
+Status HashJoinOperator::LoadBuildPartition(const std::string& path) {
+  ReleaseBuildSide();
   std::unique_ptr<SpillReader> reader;
   VWISE_ASSIGN_OR_RETURN(reader,
-                         SpillReader::Open(build_paths_[p], spill_types_,
+                         SpillReader::Open(path, spill_types_,
                                            &ctx()->spill_counters()));
   DataChunk chunk;
   chunk.Init(spill_types_, config_.vector_size);
@@ -418,9 +436,9 @@ Status HashJoinOperator::LoadBuildPartition(size_t p) {
     VWISE_ASSIGN_OR_RETURN(more, reader->Next(&chunk));
     if (!more) break;
     size_t n = chunk.count();  // spill chunks are dense
-    // Failure here means one partition alone exceeds the budget —
-    // single-level partitioning cannot subdivide further, so the query
-    // fails rather than thrash.
+    // ResourceExhausted here means this partition alone exceeds the budget;
+    // the caller re-partitions it onto a fresh radix level (bounded by
+    // Config::spill_max_repartition_depth) instead of failing the query.
     size_t grow = EstimateChunkBytes(chunk);
     VWISE_RETURN_IF_ERROR(mem_.Grow(grow));
     build_bytes_ += grow;
@@ -435,35 +453,195 @@ Status HashJoinOperator::LoadBuildPartition(size_t p) {
   return BuildTable();
 }
 
+size_t HashJoinOperator::RepartitionFanout(uint64_t part_bytes) const {
+  // Aim each child at a fraction of the budget: serialized spill bytes
+  // understate resident bytes (string headers, table overhead), and the
+  // reload must coexist with the probe stream. Per-level fanout is capped at
+  // the configured partition count — every child holds an open writer pair
+  // with its own buffers, so one level never fans wider than the initial
+  // flush did; depth supplies the remaining capacity (fanout^depth).
+  size_t budget = ctx()->memory_budget();
+  uint64_t target = budget > 0 ? static_cast<uint64_t>(budget) / 4
+                               : (32ull << 20);
+  if (target == 0) target = 1;
+  uint64_t need = part_bytes / target + 2;
+  size_t fanout =
+      SpillPartitionCount(static_cast<size_t>(need > 256 ? 256 : need));
+  size_t cap = SpillPartitionCount(config_.spill_partitions);
+  return fanout > cap ? cap : fanout;
+}
+
+Status HashJoinOperator::RepartitionPartition(const SpillPartition& part) {
+  VWISE_FAILPOINT("spill.repartition");
+  // Drop whatever the failed load left resident before touching disk.
+  ReleaseBuildSide();
+  size_t level = part.level + 1;
+  // A fresh radix byte per level: level L routes on hash bits
+  // [56 - 8L, 64 - 8L). Level 0 used the top byte, so children split what
+  // their parent could not. Depth is bounded by spill_max_repartition_depth
+  // (and usefully by the 8 hash bytes); duplicate-key floods that no byte
+  // can split exhaust the bound and fail cleanly.
+  size_t shift = 56 - 8 * (level <= 7 ? level : 7);
+  std::error_code ec;
+  uint64_t build_bytes = std::filesystem::file_size(part.build_path, ec);
+  if (ec) build_bytes = 0;
+  size_t fanout = RepartitionFanout(build_bytes);
+  spill_repartitions_stat_++;
+  if (level > spill_depth_stat_) spill_depth_stat_ = level;
+  spill_partitions_stat_ += fanout;
+
+  std::vector<SpillPartition> children(fanout);
+  std::vector<std::unique_ptr<SpillWriter>> bw(fanout);
+  std::vector<std::unique_ptr<SpillWriter>> pw(fanout);
+  for (size_t f = 0; f < fanout; f++) {
+    children[f].level = level;
+    VWISE_ASSIGN_OR_RETURN(children[f].build_path,
+                           ctx()->NewSpillPath("join_build_r"));
+    VWISE_ASSIGN_OR_RETURN(bw[f],
+                           SpillWriter::Create(children[f].build_path,
+                                               spill_types_,
+                                               &ctx()->spill_counters()));
+    VWISE_ASSIGN_OR_RETURN(children[f].probe_path,
+                           ctx()->NewSpillPath("join_probe_r"));
+    VWISE_ASSIGN_OR_RETURN(pw[f],
+                           SpillWriter::Create(children[f].probe_path,
+                                               probe_->OutputTypes(),
+                                               &ctx()->spill_counters()));
+  }
+
+  // Stream the parent build file into the children. Spill chunks are dense;
+  // keys sit at columns [0, n_keys) of the spill schema.
+  std::vector<size_t> spill_keys(spec_.build_keys.size());
+  for (size_t k = 0; k < spill_keys.size(); k++) spill_keys[k] = k;
+  part_rows_.assign(fanout, {});
+  {
+    std::unique_ptr<SpillReader> reader;
+    VWISE_ASSIGN_OR_RETURN(reader,
+                           SpillReader::Open(part.build_path, spill_types_,
+                                             &ctx()->spill_counters()));
+    DataChunk chunk;
+    chunk.Init(spill_types_, config_.vector_size);
+    while (true) {
+      VWISE_RETURN_IF_ERROR(ctx()->Check());
+      bool more = false;
+      VWISE_ASSIGN_OR_RETURN(more, reader->Next(&chunk));
+      if (!more) break;
+      size_t n = chunk.count();
+      for (auto& rows : part_rows_) rows.clear();
+      for (size_t i = 0; i < n; i++) {
+        uint64_t h = HashChunkKeys(chunk, static_cast<sel_t>(i), spill_keys);
+        part_rows_[(h >> shift) & (fanout - 1)].push_back(
+            static_cast<sel_t>(i));
+      }
+      for (size_t f = 0; f < fanout; f++) {
+        VWISE_RETURN_IF_ERROR(
+            bw[f]->AppendRows(chunk, part_rows_[f].data(),
+                              part_rows_[f].size()));
+      }
+    }
+  }
+  // And the parent probe file, routed by the same hash bits of the same key
+  // hash — matching rows land in matching children.
+  {
+    std::unique_ptr<SpillReader> reader;
+    VWISE_ASSIGN_OR_RETURN(reader,
+                           SpillReader::Open(part.probe_path,
+                                             probe_->OutputTypes(),
+                                             &ctx()->spill_counters()));
+    DataChunk chunk;
+    chunk.Init(probe_->OutputTypes(), config_.vector_size);
+    while (true) {
+      VWISE_RETURN_IF_ERROR(ctx()->Check());
+      bool more = false;
+      VWISE_ASSIGN_OR_RETURN(more, reader->Next(&chunk));
+      if (!more) break;
+      size_t n = chunk.count();
+      for (auto& rows : part_rows_) rows.clear();
+      for (size_t i = 0; i < n; i++) {
+        uint64_t h = HashProbeRow(chunk, static_cast<sel_t>(i));
+        part_rows_[(h >> shift) & (fanout - 1)].push_back(
+            static_cast<sel_t>(i));
+      }
+      for (size_t f = 0; f < fanout; f++) {
+        VWISE_RETURN_IF_ERROR(
+            pw[f]->AppendRows(chunk, part_rows_[f].data(),
+                              part_rows_[f].size()));
+      }
+    }
+  }
+  bw.clear();  // close the children before the parents are unlinked
+  pw.clear();
+  std::filesystem::remove(part.build_path, ec);
+  std::filesystem::remove(part.probe_path, ec);
+  // Depth-first: joining (or further splitting) the fresh children before
+  // their siblings bounds live spill disk to one lineage per level.
+  pending_.insert(pending_.begin(), children.begin(), children.end());
+  return Status::OK();
+}
+
 Status HashJoinOperator::FetchProbeChunk() {
   if (!spilled_) return probe_->Next(&input_);
   if (!probe_partitioned_) {
     VWISE_RETURN_IF_ERROR(PartitionProbeSide());
     probe_partitioned_ = true;
+    for (size_t p = 0; p < n_partitions_; p++) {
+      pending_.push_back({build_paths_[p], probe_paths_[p], 0});
+    }
+    build_paths_.clear();
+    probe_paths_.clear();
   }
   while (true) {
     if (probe_reader_) {
       bool more = false;
       VWISE_ASSIGN_OR_RETURN(more, probe_reader_->Next(&input_));
       if (more) return Status::OK();
-      probe_reader_.reset();  // partition drained
+      probe_reader_.reset();       // pair fully joined
+      RemovePartitionFiles(&cur_);
     }
-    if (cur_partition_ >= n_partitions_) return Status::OK();  // input_ empty
-    size_t p = cur_partition_++;
+    if (pending_.empty()) return Status::OK();  // input_ empty
+    cur_ = pending_.front();
+    pending_.pop_front();
     // Peek the probe partition first: if it is empty there is nothing to
     // join (or, for outer joins, to pad), so skip loading its build rows.
     std::unique_ptr<SpillReader> reader;
     VWISE_ASSIGN_OR_RETURN(reader,
-                           SpillReader::Open(probe_paths_[p],
+                           SpillReader::Open(cur_.probe_path,
                                              probe_->OutputTypes(),
                                              &ctx()->spill_counters()));
     bool more = false;
     VWISE_ASSIGN_OR_RETURN(more, reader->Next(&input_));
-    if (!more) continue;
-    VWISE_RETURN_IF_ERROR(LoadBuildPartition(p));
+    if (!more) {
+      RemovePartitionFiles(&cur_);
+      continue;
+    }
+    Status load = LoadBuildPartition(cur_.build_path);
+    if (!load.ok()) {
+      if (load.code() != StatusCode::kResourceExhausted ||
+          cur_.level >= config_.spill_max_repartition_depth) {
+        return load;
+      }
+      // This partition alone exceeds the budget: split it onto the next
+      // radix level and retry with its children. The peeked probe chunk is
+      // re-read from the file by the repartition pass.
+      reader.reset();
+      VWISE_RETURN_IF_ERROR(RepartitionPartition(cur_));
+      cur_ = SpillPartition();
+      continue;
+    }
     probe_reader_ = std::move(reader);
     return Status::OK();
   }
+}
+
+void HashJoinOperator::RemovePartitionFiles(SpillPartition* part) {
+  std::error_code ec;
+  if (!part->build_path.empty()) {
+    std::filesystem::remove(part->build_path, ec);  // best effort
+  }
+  if (!part->probe_path.empty()) {
+    std::filesystem::remove(part->probe_path, ec);
+  }
+  *part = SpillPartition();
 }
 
 void HashJoinOperator::DropSpillFiles() {
@@ -480,6 +658,9 @@ void HashJoinOperator::DropSpillFiles() {
   }
   build_paths_.clear();
   probe_paths_.clear();
+  for (SpillPartition& part : pending_) RemovePartitionFiles(&part);
+  pending_.clear();
+  RemovePartitionFiles(&cur_);
   part_rows_.clear();
   n_partitions_ = 0;
 }
@@ -713,7 +894,6 @@ void HashJoinOperator::Close() {
   DropSpillFiles();
   spilled_ = false;
   probe_partitioned_ = false;
-  cur_partition_ = 0;
   build_bytes_ = 0;
   probe_pos_.Release();
   build_row_idx_.Release();

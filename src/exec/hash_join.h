@@ -1,7 +1,9 @@
 #ifndef VWISE_EXEC_HASH_JOIN_H_
 #define VWISE_EXEC_HASH_JOIN_H_
 
+#include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "exec/column_store.h"
@@ -68,6 +70,11 @@ class HashJoinOperator final : public Operator {
   // Survives Close() — the profile is rendered after the tree is closed —
   // and resets on the next Open.
   size_t spill_partitions() const { return spill_partitions_stat_; }
+  // Recursive-repartition telemetry: how many oversized partitions were
+  // split onto a fresh radix level, and the deepest level reached (0 = the
+  // initial flush sufficed). Survive Close() like spill_partitions().
+  size_t spill_repartitions() const { return spill_repartitions_stat_; }
+  size_t spill_repartition_depth() const { return spill_depth_stat_; }
 
  private:
   Status OpenImpl() override;
@@ -77,18 +84,34 @@ class HashJoinOperator final : public Operator {
   void EmitPairs(DataChunk* out);
   Status EmitSemiAnti(DataChunk* out);
 
+  // One spilled (build, probe) partition pair awaiting its join pass.
+  // Level 0 pairs come from the initial flush; deeper levels are created by
+  // recursive repartitioning when a pair's build side alone exceeds the
+  // budget — each level consumes a fresh byte of the same key hash.
+  struct SpillPartition {
+    std::string build_path;
+    std::string probe_path;
+    size_t level = 0;
+  };
+
   // Spill path (Grace hash join). SpillBuildRows flushes the buffered build
   // rows to the radix partition writers (creating them on first use) and
   // returns their reservation; PartitionBuildChunk routes a streamed build
   // chunk straight to the writers; PartitionProbeSide drains the probe child
   // into per-partition probe files; LoadBuildPartition reloads one build
-  // partition and rebuilds its table; FetchProbeChunk fills input_ from the
-  // probe child (in-memory) or the current partition's probe file (spilled).
+  // partition and rebuilds its table; RepartitionPartition splits an
+  // oversized pair onto the next radix level; FetchProbeChunk fills input_
+  // from the probe child (in-memory) or the current pair's probe file.
   Status SpillBuildRows();
   Status PartitionBuildChunk(const DataChunk& chunk);
   Status PartitionProbeSide();
-  Status LoadBuildPartition(size_t p);
+  Status LoadBuildPartition(const std::string& path);
+  Status RepartitionPartition(const SpillPartition& part);
+  size_t RepartitionFanout(uint64_t part_bytes) const;
   Status FetchProbeChunk();
+  // Resets the resident build rows/table and returns their reservation.
+  void ReleaseBuildSide();
+  void RemovePartitionFiles(SpillPartition* part);
   void DropSpillFiles();
 
   uint64_t HashBuildRow(size_t row) const;
@@ -139,16 +162,19 @@ class HashJoinOperator final : public Operator {
   bool spilled_ = false;
   bool probe_partitioned_ = false;
   size_t n_partitions_ = 0;
-  size_t cur_partition_ = 0;  // next partition to join
   std::vector<TypeId> spill_types_;
   std::vector<std::string> build_paths_;
   std::vector<std::string> probe_paths_;
   std::vector<std::unique_ptr<SpillWriter>> build_writers_;
   std::vector<std::unique_ptr<SpillWriter>> probe_writers_;
+  std::deque<SpillPartition> pending_;  // pairs not yet joined
+  SpillPartition cur_;                  // pair probe_reader_ is draining
   std::unique_ptr<SpillReader> probe_reader_;  // current partition's probe
   DataChunk build_view_;  // spill-schema view over a streamed build chunk
   std::vector<std::vector<sel_t>> part_rows_;  // per-chunk radix buckets
   size_t spill_partitions_stat_ = 0;  // telemetry; outlives Close()
+  size_t spill_repartitions_stat_ = 0;
+  size_t spill_depth_stat_ = 0;
 };
 
 }  // namespace vwise

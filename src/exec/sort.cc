@@ -126,6 +126,16 @@ Status SortOperator::ConsumeAndSort() {
     for (size_t c = 0; c < chunk.num_columns(); c++) {
       data_[c].AppendFrom(chunk.column(c), sel, n);
     }
+    // Global memory pressure: queued queries are waiting on the governor's
+    // ledger. Flush the buffered rows early (once they are worth a run) so
+    // the reservation shrinks and waiters can admit.
+    if (config_.enable_spill &&
+        buffered_bytes_ >= config_.pressure_spill_min_bytes &&
+        ctx()->MemoryPressure()) {
+      VWISE_RETURN_IF_ERROR(SpillRun());
+      ctx()->NotePressureSpill();
+      continue;
+    }
     // Coexistence cap: with several pipeline breakers sharing one budget, a
     // breaker that grows until its own Grow fails saturates the budget and
     // starves the upstream breaker's partition reloads (which cannot wait

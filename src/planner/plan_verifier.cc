@@ -405,6 +405,11 @@ size_t WalkNode(const Operator& op, size_t depth, const ProfiledOperator* prof,
     line += "]";
     if (agg->spill_partitions() > 0) {
       spill_note = " spill_partitions=" + std::to_string(agg->spill_partitions());
+      if (agg->spill_repartitions() > 0) {
+        spill_note += " repartitions=" +
+                      std::to_string(agg->spill_repartitions()) + " depth=" +
+                      std::to_string(agg->spill_repartition_depth());
+      }
     }
     child0 = &agg->child();
   } else if (auto* j = dynamic_cast<const HashJoinOperator*>(&op)) {
@@ -432,6 +437,11 @@ size_t WalkNode(const Operator& op, size_t depth, const ProfiledOperator* prof,
     }
     if (j->spill_partitions() > 0) {
       spill_note = " spill_partitions=" + std::to_string(j->spill_partitions());
+      if (j->spill_repartitions() > 0) {
+        spill_note += " repartitions=" +
+                      std::to_string(j->spill_repartitions()) + " depth=" +
+                      std::to_string(j->spill_repartition_depth());
+      }
     }
     child0 = &j->probe();
     child1 = &j->build();

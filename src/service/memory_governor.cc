@@ -1,0 +1,49 @@
+#include "service/memory_governor.h"
+
+#include "common/failpoint.h"
+
+namespace vwise {
+
+Result<MemoryGovernor::Admission> MemoryGovernor::TryAdmit(
+    size_t declared_bytes) {
+  VWISE_FAILPOINT("governor.admit");
+  if (total_ == 0) {
+    MutexLock lock(&mu_);
+    stats_.granted++;
+    return Admission::kGranted;
+  }
+  if (declared_bytes > total_) return Admission::kImpossible;
+  if (declared_bytes == 0) {
+    // No declared budget: nothing to hold, admit while any headroom remains.
+    // The query's reservations draw the ledger directly as they happen — a
+    // pressure-spill elsewhere frees bytes such a query can use immediately.
+    if (available_bytes() == 0) return Admission::kQueued;
+  } else if (!TryReserve(declared_bytes)) {
+    // The declared budget is held for the query's whole run (ReleaseGrant
+    // pairs with this): admitting on momentary low usage would let peers
+    // ramp up later and fail this query's reservations mid-flight.
+    return Admission::kQueued;
+  }
+  MutexLock lock(&mu_);
+  stats_.granted++;
+  return Admission::kGranted;
+}
+
+Status MemoryGovernor::NoteRequeue() {
+  VWISE_FAILPOINT("governor.requeue");
+  MutexLock lock(&mu_);
+  stats_.queued++;
+  return Status::OK();
+}
+
+void MemoryGovernor::NoteShed() {
+  MutexLock lock(&mu_);
+  stats_.shed++;
+}
+
+void MemoryGovernor::NotePressureSpill() {
+  MutexLock lock(&mu_);
+  stats_.pressure_spills++;
+}
+
+}  // namespace vwise

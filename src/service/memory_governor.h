@@ -1,0 +1,143 @@
+#ifndef VWISE_SERVICE_MEMORY_GOVERNOR_H_
+#define VWISE_SERVICE_MEMORY_GOVERNOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace vwise {
+
+// Process-wide memory governor (DESIGN.md §13): owns the global memory
+// budget (Config::total_memory_budget_bytes, env VWISE_TOTAL_MEMORY_BUDGET)
+// that every QueryContext::Reserve ledger draws from, and the admission gate
+// the QueryService consults before running a query. Three cooperating
+// degradation layers replace hard failure under memory pressure:
+//
+//   1. admission — TryAdmit() grants a query's declared budget only when it
+//      fits in what is globally unreserved, and *holds* the declared bytes in
+//      the ledger for the query's lifetime (released via ReleaseGrant when it
+//      finishes); otherwise the query stays in the service queue and is
+//      retried with jittered backoff. Holding the grant makes admission a
+//      guarantee, not a bet: an admitted query can never lose its memory to a
+//      later admission, so its reservations (bounded by the declared budget)
+//      cannot fail against the global ledger mid-run;
+//   2. pressure — while any query waits for admission, UnderPressure() turns
+//      true and running pipeline breakers (which poll it alongside
+//      ctx()->Check()) proactively spill and shrink their reservations so
+//      the waiters can be admitted;
+//   3. shedding — only when a waiter's deadline or retry budget is exhausted
+//      does the service fail it, recording the shed here.
+//
+// Thread safety: the reservation ledger and pressure signal are lock-free
+// atomics — TryReserve/ReleaseGlobal sit on the (cold half of the) operator
+// Reserve path and must not take locks. The stats block is guarded by mu_;
+// it is touched only at admission/requeue/shed/spill frequency, never per
+// vector. Lock ordering: mu_ is a leaf — no other lock is ever acquired
+// while holding it (see DESIGN.md §13).
+class MemoryGovernor {
+ public:
+  // Running totals surfaced through QueryService::Stats. All counters are
+  // monotone non-decreasing over the governor's lifetime.
+  struct Stats {
+    uint64_t granted = 0;          // admissions granted
+    uint64_t queued = 0;           // admission attempts that had to requeue
+    uint64_t shed = 0;             // queries failed after retries/deadline
+    uint64_t pressure_spills = 0;  // breaker spills triggered by pressure
+  };
+
+  // Admission verdict for one TryAdmit call.
+  enum class Admission {
+    kGranted,     // run now; the grant was counted
+    kQueued,      // does not fit right now; requeue with backoff
+    kImpossible,  // declared budget exceeds the total: waiting cannot help
+  };
+
+  // total_bytes == 0 means unlimited: every admission is granted and the
+  // global ledger never rejects (per-query budgets still apply).
+  explicit MemoryGovernor(size_t total_bytes) : total_(total_bytes) {}
+  MemoryGovernor(const MemoryGovernor&) = delete;
+  MemoryGovernor& operator=(const MemoryGovernor&) = delete;
+
+  size_t total_bytes() const { return total_; }
+  size_t reserved_bytes() const {
+    int64_t r = reserved_.load(std::memory_order_relaxed);
+    return r > 0 ? static_cast<size_t>(r) : 0;
+  }
+  // Globally unreserved bytes; SIZE_MAX when unlimited.
+  size_t available_bytes() const {
+    if (total_ == 0) return SIZE_MAX;
+    size_t r = reserved_bytes();
+    return r >= total_ ? 0 : total_ - r;
+  }
+
+  // --- admission (QueryService, under its own mu_) ---------------------------
+  // May a query declaring `declared_bytes` start now? kGranted reserves the
+  // declared bytes in the ledger up front — the caller owns the grant and
+  // must pair it with ReleaseGrant(declared_bytes) when the query finishes.
+  // Because the sum of outstanding grants never exceeds the total, a granted
+  // query's own reservations (capped by its per-query budget == the grant)
+  // can never fail globally mid-run. Queries declaring 0 (no per-query
+  // budget) take no grant and draw the ledger directly through
+  // QueryContext::Reserve; those direct draws are what pressure-spills
+  // shrink to unblock the queue. Failpoint site: "governor.admit".
+  Result<Admission> TryAdmit(size_t declared_bytes);
+
+  // Returns an admission grant to the ledger. Pass the same declared_bytes
+  // the kGranted TryAdmit was called with (no-op for declared 0).
+  void ReleaseGrant(size_t declared_bytes) { ReleaseGlobal(declared_bytes); }
+
+  // Records that an unadmitted query went back to the queue; sets the
+  // pressure signal via the waiter count the service maintains with
+  // BeginMemoryWait/EndMemoryWait. Failpoint site: "governor.requeue".
+  Status NoteRequeue();
+  void NoteShed();
+  void NotePressureSpill();
+
+  // The service brackets every memory-waiting job with these; breakers poll
+  // UnderPressure() (one relaxed load) once per input chunk.
+  void BeginMemoryWait() { waiters_.fetch_add(1, std::memory_order_relaxed); }
+  void EndMemoryWait() { waiters_.fetch_sub(1, std::memory_order_relaxed); }
+  bool UnderPressure() const {
+    return waiters_.load(std::memory_order_relaxed) > 0;
+  }
+
+  // --- global ledger (QueryContext::Reserve/Release, any thread) -------------
+  // Lock-free; false = would overshoot the total (and nothing was reserved).
+  // The caller (QueryContext) formats the attributed error.
+  bool TryReserve(size_t bytes) {
+    if (total_ == 0) return true;
+    int64_t delta = static_cast<int64_t>(bytes);
+    int64_t now = reserved_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    if (now > static_cast<int64_t>(total_)) {
+      reserved_.fetch_sub(delta, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+  void ReleaseGlobal(size_t bytes) {
+    if (total_ == 0) return;
+    reserved_.fetch_sub(static_cast<int64_t>(bytes),
+                        std::memory_order_relaxed);
+  }
+
+  Stats stats() const VWISE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
+
+ private:
+  const size_t total_;
+  std::atomic<int64_t> reserved_{0};
+  std::atomic<int> waiters_{0};
+
+  mutable Mutex mu_;
+  Stats stats_ VWISE_GUARDED_BY(mu_);
+};
+
+}  // namespace vwise
+
+#endif  // VWISE_SERVICE_MEMORY_GOVERNOR_H_

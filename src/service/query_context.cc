@@ -11,19 +11,54 @@ namespace vwise {
 
 namespace {
 
-// Out-of-line so Reserve's success path stays allocation-free: the message
-// is built only when the budget check has already failed.
-std::string BudgetError(const char* what, size_t bytes, int64_t reserved,
-                        int64_t budget) {
-  std::string msg = "query memory budget exceeded: ";
+// Out-of-line so Reserve's success path stays allocation-free: the messages
+// are built only when a budget check has already failed. Both carry the
+// query id and requested vs. reserved vs. available bytes so a
+// multi-session OOM can be attributed without guesswork.
+std::string BudgetError(uint64_t query_id, const char* what, size_t bytes,
+                        int64_t reserved, int64_t budget,
+                        const MemoryGovernor* governor) {
+  std::string msg = "query ";
+  msg += std::to_string(query_id);
+  msg += ": memory budget exceeded: ";
   msg += what;
-  msg += " needs ";
+  msg += " requested ";
   msg += std::to_string(bytes);
   msg += " more bytes, ";
   msg += std::to_string(reserved);
   msg += " of ";
   msg += std::to_string(budget);
   msg += " already reserved";
+  if (governor != nullptr && governor->total_bytes() != 0) {
+    msg += ", ";
+    msg += std::to_string(governor->available_bytes());
+    msg += " available globally of ";
+    msg += std::to_string(governor->total_bytes());
+  }
+  return msg;
+}
+
+std::string GlobalBudgetError(uint64_t query_id, const char* what,
+                              size_t bytes, int64_t reserved,
+                              int64_t budget,
+                              const MemoryGovernor* governor) {
+  std::string msg = "query ";
+  msg += std::to_string(query_id);
+  msg += ": global memory budget exceeded: ";
+  msg += what;
+  msg += " requested ";
+  msg += std::to_string(bytes);
+  msg += " more bytes, query has ";
+  msg += std::to_string(reserved);
+  msg += " reserved";
+  if (budget != 0) {
+    msg += " of ";
+    msg += std::to_string(budget);
+  }
+  msg += ", ";
+  msg += std::to_string(governor->available_bytes());
+  msg += " available globally of ";
+  msg += std::to_string(governor->total_bytes());
   return msg;
 }
 
@@ -42,8 +77,20 @@ Status QueryContext::Reserve(size_t bytes, const char* what) {
       reserved_.fetch_add(delta, std::memory_order_relaxed) + delta;
   if (budget_bytes_ != 0 && now > budget_bytes_) {
     reserved_.fetch_sub(delta, std::memory_order_relaxed);
-    return Status::ResourceExhausted(
-        BudgetError(what, bytes, now - delta, budget_bytes_));
+    return Status::ResourceExhausted(BudgetError(
+        query_id_, what, bytes, now - delta, budget_bytes_, governor_));
+  }
+  // An admission grant already holds this query's declared budget in the
+  // global ledger; the per-query check above (budget == grant) is then the
+  // whole story. Only ungranted contexts draw the ledger per reservation.
+  if (governor_ != nullptr && !admission_granted_ &&
+      !governor_->TryReserve(bytes)) {
+    // Global exhaustion looks exactly like per-query exhaustion to the
+    // breakers (kResourceExhausted), so their spill-and-retry path composes:
+    // a breaker that spills under global pressure shrinks both ledgers.
+    reserved_.fetch_sub(delta, std::memory_order_relaxed);
+    return Status::ResourceExhausted(GlobalBudgetError(
+        query_id_, what, bytes, now - delta, budget_bytes_, governor_));
   }
   int64_t peak = peak_reserved_.load(std::memory_order_relaxed);
   while (now > peak && !peak_reserved_.compare_exchange_weak(

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "service/memory_governor.h"
 #include "vector/vector_scratch.h"
 
 namespace vwise {
@@ -66,6 +67,9 @@ class QueryContext {
                        .count();
   }
   bool has_deadline() const { return deadline_ns_ != 0; }
+  // steady_clock ns since epoch; 0 = none. The admission loop caps a queued
+  // query's retry backoff at its deadline so expiry sheds it promptly.
+  int64_t deadline_ns() const { return deadline_ns_; }
 
   // The per-vector poll: OK while the query may keep running, otherwise
   // Status::Cancelled or Status::DeadlineExceeded. Cheap when no deadline is
@@ -96,13 +100,46 @@ class QueryContext {
     return static_cast<size_t>(peak_reserved_.load(std::memory_order_relaxed));
   }
 
-  // Reserves `bytes` more against the budget; ResourceExhausted (and no
-  // reservation) when it would overshoot. `what` names the reserving
-  // operator for the error message.
+  // Reserves `bytes` more against the per-query budget and, when a governor
+  // is bound, the process-wide budget; ResourceExhausted (and no
+  // reservation anywhere) when either would overshoot. `what` names the
+  // reserving operator; the message carries the query id plus
+  // requested/reserved/global-available bytes for multi-session triage.
   Status Reserve(size_t bytes, const char* what);
   void Release(size_t bytes) {
     reserved_.fetch_sub(static_cast<int64_t>(bytes),
                         std::memory_order_relaxed);
+    if (governor_ != nullptr && !admission_granted_) {
+      governor_->ReleaseGlobal(bytes);
+    }
+  }
+
+  // --- memory governor ------------------------------------------------------
+  // Binds the process-wide governor (configuration: the service sets it in
+  // Submit, before the job is visible to any runner). Reservations above then
+  // draw from the global budget, and MemoryPressure() reflects queued demand.
+  void BindGovernor(MemoryGovernor* governor) { governor_ = governor; }
+  MemoryGovernor* governor() const { return governor_; }
+  // Marks that admission already holds this query's declared budget in the
+  // global ledger (QueryService sets it between TryAdmit == kGranted and the
+  // run). Reservations then check only the per-query budget — which equals
+  // the held grant — instead of double-charging the ledger.
+  void set_admission_granted(bool granted) { admission_granted_ = granted; }
+  bool admission_granted() const { return admission_granted_; }
+  void set_query_id(uint64_t id) { query_id_ = id; }
+  uint64_t query_id() const { return query_id_; }
+
+  // The cooperative pressure signal: true while some submitted query cannot
+  // be admitted for lack of global memory. Pipeline breakers poll this
+  // alongside Check() (one relaxed load) and proactively spill + shrink
+  // their reservations so the waiters can start.
+  bool MemoryPressure() const {
+    return governor_ != nullptr && governor_->UnderPressure();
+  }
+  // Records a pressure-triggered spill in the governor stats; called by the
+  // breaker that spilled (cold path).
+  void NotePressureSpill() {
+    if (governor_ != nullptr) governor_->NotePressureSpill();
   }
 
   // --- scratch memory -------------------------------------------------------
@@ -141,6 +178,11 @@ class QueryContext {
   std::atomic<bool> cancelled_{false};
   int64_t deadline_ns_ = 0;  // steady_clock ns since epoch; 0 = none
   int64_t budget_bytes_ = 0;  // 0 = unlimited
+  // Configuration, written before Open() (see BindGovernor): the global
+  // ledger Reserve draws through, and this query's id for error attribution.
+  MemoryGovernor* governor_ = nullptr;
+  bool admission_granted_ = false;  // configuration, written before Open()
+  uint64_t query_id_ = 0;
   std::atomic<int64_t> reserved_{0};
   std::atomic<int64_t> peak_reserved_{0};
   VectorScratch scratch_;

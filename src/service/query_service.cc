@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
 namespace vwise {
 
@@ -11,6 +12,35 @@ int64_t NowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+// Load-shedding status (the governor's last resort): tells the client *why*
+// and *when to come back*, plus the global state needed for capacity triage.
+Status ShedStatus(uint64_t query_id, size_t declared, int attempts,
+                  int64_t retry_after_ns, const MemoryGovernor& governor) {
+  std::string msg = "query ";
+  msg += std::to_string(query_id);
+  msg += " shed by memory admission";
+  if (declared > governor.total_bytes()) {
+    msg += ": declared budget ";
+    msg += std::to_string(declared);
+    msg += " bytes exceeds the global memory budget ";
+    msg += std::to_string(governor.total_bytes());
+    msg += "; lower the declared budget";
+    return Status::ResourceExhausted(msg);
+  }
+  msg += " after ";
+  msg += std::to_string(attempts);
+  msg += " attempts: declared ";
+  msg += std::to_string(declared);
+  msg += " bytes, ";
+  msg += std::to_string(governor.available_bytes());
+  msg += " available of ";
+  msg += std::to_string(governor.total_bytes());
+  msg += " globally; retry after ";
+  msg += std::to_string(retry_after_ns / 1000000);
+  msg += "ms";
+  return Status::ResourceExhausted(msg);
 }
 
 }  // namespace
@@ -40,7 +70,14 @@ void QueryService::Job::Finish(Result<QueryResult> result) {
   cv_.SignalAll();
 }
 
-QueryService::QueryService(const Config& config) : pool_(config.pool_threads) {
+QueryService::QueryService(const Config& config)
+    : pool_(config.pool_threads),
+      governor_(config.total_memory_budget_bytes),
+      admission_retry_limit_(std::max(1, config.admission_retry_limit)),
+      backoff_base_us_(std::max<uint64_t>(1, config.admission_backoff_base_us)),
+      backoff_max_us_(
+          std::max(config.admission_backoff_base_us,
+                   config.admission_backoff_max_us)) {
   int n = std::max(1, config.max_concurrent_queries);
   runners_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; i++) {
@@ -54,6 +91,7 @@ QueryService::~QueryService() {
     MutexLock lock(&mu_);
     stop_ = true;
     orphaned.swap(queue_);
+    for (auto& job : orphaned) EndMemoryWaitLocked(job.get());
     // Running queries unwind cooperatively; their runners then observe
     // stop_ and exit.
     for (Job* job : running_) job->ctx_.Cancel();
@@ -81,6 +119,11 @@ std::shared_ptr<QueryService::Job> QueryService::Submit(
       return job;
     }
     job->seq_ = next_seq_++;
+    // The seq doubles as the query id in budget-error attribution, and the
+    // governor binding routes the query's reservations through the global
+    // ledger. Written before the job is visible to any runner (this mu_).
+    job->ctx_.set_query_id(job->seq_);
+    job->ctx_.BindGovernor(&governor_);
     queue_.push_back(job);
     stats_.submitted++;
   }
@@ -95,6 +138,7 @@ void QueryService::Cancel(const std::shared_ptr<Job>& job) {
     MutexLock lock(&mu_);
     auto it = std::find(queue_.begin(), queue_.end(), job);
     if (it != queue_.end()) {
+      EndMemoryWaitLocked(job.get());
       queue_.erase(it);
       stats_.cancelled_in_queue++;
       dequeued = true;
@@ -105,50 +149,210 @@ void QueryService::Cancel(const std::shared_ptr<Job>& job) {
   if (dequeued) job->Finish(Status::Cancelled("query cancelled"));
 }
 
-std::shared_ptr<QueryService::Job> QueryService::PopBestLocked() {
-  auto best = queue_.begin();
-  for (auto it = std::next(best); it != queue_.end(); ++it) {
-    if ((*it)->priority_ > (*best)->priority_ ||
-        ((*it)->priority_ == (*best)->priority_ &&
-         (*it)->seq_ < (*best)->seq_)) {
-      best = it;
+void QueryService::EndMemoryWaitLocked(Job* job) {
+  if (job->memory_waiting_) {
+    job->memory_waiting_ = false;
+    governor_.EndMemoryWait();
+  }
+}
+
+int64_t QueryService::BackoffNs(int attempt, uint64_t seq) const {
+  uint64_t us = backoff_base_us_;
+  for (int i = 1; i < attempt && us < backoff_max_us_; i++) us *= 2;
+  if (us > backoff_max_us_) us = backoff_max_us_;
+  // Deterministic jitter (splitmix-style hash of seq/attempt) decorrelates
+  // waiters so they don't reattempt admission in lockstep.
+  uint64_t h = seq * 0x9E3779B97F4A7C15ull + static_cast<uint64_t>(attempt);
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  uint64_t jitter_us = h % (us / 2 + 1);
+  return static_cast<int64_t>((us + jitter_us) * 1000);
+}
+
+std::shared_ptr<QueryService::Job> QueryService::NextRunnableLocked(
+    int64_t now, int64_t* wake_ns, std::vector<ShedJob>* shed) {
+  *wake_ns = 0;
+  auto note_wake = [wake_ns](int64_t at) {
+    if (*wake_ns == 0 || at < *wake_ns) *wake_ns = at;
+  };
+  for (;;) {
+    // Best-priority-then-FIFO among jobs whose backoff gate has passed.
+    // Jobs this scan rejects get a future gate, so the loop converges.
+    auto best = queue_.end();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if ((*it)->next_attempt_ns_ > now) {
+        note_wake((*it)->next_attempt_ns_);
+        continue;
+      }
+      if (best == queue_.end() || (*it)->priority_ > (*best)->priority_ ||
+          ((*it)->priority_ == (*best)->priority_ &&
+           (*it)->seq_ < (*best)->seq_)) {
+        best = it;
+      }
+    }
+    if (best == queue_.end()) return nullptr;
+    std::shared_ptr<Job> job = *best;
+
+    // Cancelled or deadline-expired while waiting: fail without running.
+    Status pre = job->ctx_.Check();
+    if (!pre.ok()) {
+      bool was_memory_wait = job->memory_waiting_;
+      EndMemoryWaitLocked(job.get());
+      queue_.erase(best);
+      if (pre.code() == StatusCode::kCancelled) {
+        stats_.cancelled_in_queue++;
+      } else if (was_memory_wait) {
+        // The deadline ran out while the query waited for memory: that is a
+        // shed (overload outcome), not a client timeout mid-run.
+        governor_.NoteShed();
+        pre = ShedStatus(job->seq_, job->ctx_.memory_budget(),
+                         job->admission_attempts_,
+                         BackoffNs(job->admission_attempts_ + 1, job->seq_),
+                         governor_);
+      }
+      shed->push_back({std::move(job), std::move(pre)});
+      continue;
+    }
+
+    size_t declared = job->ctx_.memory_budget();
+    Result<MemoryGovernor::Admission> adm = governor_.TryAdmit(declared);
+    if (!adm.ok()) {
+      // Injected admission fault (failpoint "governor.admit"): shed.
+      EndMemoryWaitLocked(job.get());
+      queue_.erase(best);
+      governor_.NoteShed();
+      shed->push_back({std::move(job), adm.status()});
+      continue;
+    }
+    switch (*adm) {
+      case MemoryGovernor::Admission::kGranted:
+        // The grant holds `declared` in the global ledger until the run
+        // finishes (released in RunnerLoop); the context's own reservations
+        // are covered by it, so they check only the per-query budget.
+        job->granted_bytes_ = declared;
+        job->ctx_.set_admission_granted(declared > 0);
+        EndMemoryWaitLocked(job.get());
+        queue_.erase(best);
+        return job;
+      case MemoryGovernor::Admission::kImpossible: {
+        // No amount of waiting or peer spilling can fit this declaration.
+        EndMemoryWaitLocked(job.get());
+        queue_.erase(best);
+        governor_.NoteShed();
+        Status st = ShedStatus(job->seq_, declared, 0, 0, governor_);
+        shed->push_back({std::move(job), std::move(st)});
+        continue;
+      }
+      case MemoryGovernor::Admission::kQueued: {
+        job->admission_attempts_++;
+        int64_t backoff = BackoffNs(job->admission_attempts_, job->seq_);
+        if (job->admission_attempts_ > admission_retry_limit_) {
+          // Retry budget exhausted: load-shed as the last resort.
+          EndMemoryWaitLocked(job.get());
+          queue_.erase(best);
+          governor_.NoteShed();
+          Status st = ShedStatus(job->seq_, declared,
+                                 job->admission_attempts_ - 1, backoff,
+                                 governor_);
+          shed->push_back({std::move(job), std::move(st)});
+          continue;
+        }
+        Status requeue = governor_.NoteRequeue();
+        if (!requeue.ok()) {
+          // Injected requeue fault (failpoint "governor.requeue"): shed.
+          EndMemoryWaitLocked(job.get());
+          queue_.erase(best);
+          governor_.NoteShed();
+          shed->push_back({std::move(job), std::move(requeue)});
+          continue;
+        }
+        if (!job->memory_waiting_) {
+          job->memory_waiting_ = true;
+          governor_.BeginMemoryWait();
+        }
+        int64_t gate = now + backoff;
+        // Deadline-aware: never sleep past the queued query's deadline —
+        // the next scan at that instant sheds it promptly.
+        if (job->ctx_.has_deadline() && job->ctx_.deadline_ns() < gate) {
+          gate = job->ctx_.deadline_ns();
+          if (gate <= now) gate = now + 1;
+        }
+        job->next_attempt_ns_ = gate;
+        note_wake(gate);
+        continue;  // consider the next-best waiter
+      }
     }
   }
-  std::shared_ptr<Job> job = std::move(*best);
-  queue_.erase(best);
-  return job;
 }
 
 void QueryService::RunnerLoop() {
   for (;;) {
     std::shared_ptr<Job> job;
+    std::vector<ShedJob> shed;
     {
       MutexLock lock(&mu_);
-      while (!stop_ && queue_.empty()) cv_.Wait(&mu_);
-      if (queue_.empty()) return;  // stop_ with nothing left to admit
-      job = PopBestLocked();
-      running_.push_back(job.get());
+      for (;;) {
+        if (stop_) return;  // the dtor orphans the queue itself
+        int64_t now = NowNs();
+        int64_t wake_ns = 0;
+        job = NextRunnableLocked(now, &wake_ns, &shed);
+        if (job != nullptr || !shed.empty()) break;
+        if (wake_ns == 0) {
+          cv_.Wait(&mu_);
+        } else {
+          // Everything queued is in admission backoff: sleep until the
+          // earliest retry gate or a completion/submit/cancel signal.
+          int64_t wait = wake_ns - NowNs();
+          if (wait < 1000000) wait = 1000000;  // 1ms floor vs. busy-spin
+          cv_.WaitFor(&mu_, std::chrono::nanoseconds(wait));
+        }
+      }
+      if (job != nullptr) running_.push_back(job.get());
     }
+    // Finish shed jobs outside mu_ (Finish takes the job's own mutex).
+    for (ShedJob& s : shed) s.job->Finish(std::move(s.status));
+    if (job == nullptr) continue;
     {
       MutexLock lock(&job->mu_);
       job->admit_ns_ = NowNs();
     }
-    // A job cancelled (or expired) while waiting fails without running.
+    // A job cancelled (or expired) between admission and here fails without
+    // running.
     Status pre = job->ctx_.Check();
     Result<QueryResult> result =
         pre.ok() ? job->run_(&job->ctx_) : Result<QueryResult>(pre);
+    // Return the admission grant before waking waiters so the very next
+    // admission scan sees the freed bytes.
+    if (job->granted_bytes_ > 0) {
+      governor_.ReleaseGrant(job->granted_bytes_);
+    }
     {
       MutexLock lock(&mu_);
       running_.erase(std::find(running_.begin(), running_.end(), job.get()));
       stats_.completed++;
+      // The finished query released its reservations: clear every waiter's
+      // backoff gate so the freed memory is reconsidered immediately rather
+      // than after the remaining backoff.
+      for (auto& waiter : queue_) waiter->next_attempt_ns_ = 0;
     }
+    cv_.SignalAll();
     job->Finish(std::move(result));
   }
 }
 
 QueryService::Stats QueryService::stats() const {
-  MutexLock lock(&mu_);
-  return stats_;
+  Stats s;
+  {
+    MutexLock lock(&mu_);
+    s = stats_;
+  }
+  MemoryGovernor::Stats g = governor_.stats();
+  s.granted = g.granted;
+  s.queued = g.queued;
+  s.shed = g.shed;
+  s.pressure_spills = g.pressure_spills;
+  return s;
 }
 
 }  // namespace vwise

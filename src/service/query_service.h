@@ -12,6 +12,7 @@
 #include "common/config.h"
 #include "common/thread_annotations.h"
 #include "exec/operator.h"
+#include "service/memory_governor.h"
 #include "service/query_context.h"
 #include "service/worker_pool.h"
 
@@ -66,8 +67,14 @@ class QueryService {
     // the queue mutex orders those writes before any runner's reads.
     RunFn run_;
     int priority_ = 0;
-    uint64_t seq_ = 0;  // FIFO order within a priority class
+    uint64_t seq_ = 0;  // FIFO order within a priority class; the query id
     int64_t submit_ns_ = 0;
+    // Admission bookkeeping, read and written only under the service's mu_
+    // (per-instance mutexes cannot be expressed to the static analysis).
+    int admission_attempts_ = 0;   // TryAdmit rejections so far
+    int64_t next_attempt_ns_ = 0;  // backoff gate; 0 = eligible now
+    bool memory_waiting_ = false;  // counted in the governor's waiter set
+    size_t granted_bytes_ = 0;     // admission grant held in the global ledger
 
     mutable Mutex mu_;
     CondVar cv_;
@@ -82,6 +89,12 @@ class QueryService {
     uint64_t submitted = 0;
     uint64_t completed = 0;
     uint64_t cancelled_in_queue = 0;
+    // Governor view (memory admission; see service/memory_governor.h). All
+    // monotone non-decreasing.
+    uint64_t granted = 0;          // memory admissions granted
+    uint64_t queued = 0;           // admission attempts that had to requeue
+    uint64_t shed = 0;             // queries failed as overload last resort
+    uint64_t pressure_spills = 0;  // breaker spills triggered by pressure
   };
 
   explicit QueryService(const Config& config);
@@ -107,14 +120,37 @@ class QueryService {
 
   WorkerPool* pool() { return &pool_; }
   int max_concurrent() const { return static_cast<int>(runners_.size()); }
+  // Service counters merged with the governor's admission stats.
   Stats stats() const VWISE_EXCLUDES(mu_);
+  MemoryGovernor* governor() { return &governor_; }
 
  private:
+  // A job the admission scan decided to fail, finished outside mu_ (Finish
+  // takes the job's own mutex; mu_ must stay a leaf above it).
+  struct ShedJob {
+    std::shared_ptr<Job> job;
+    Status status;
+  };
+
   void RunnerLoop() VWISE_EXCLUDES(mu_);
-  // Requires the queue to be non-empty.
-  std::shared_ptr<Job> PopBestLocked() VWISE_REQUIRES(mu_);
+  // The admission scan: returns the best-priority job the governor admits
+  // right now, or nullptr. Jobs whose backoff gate is in the future are
+  // skipped (*wake_ns = earliest gate); jobs that are cancelled, expired,
+  // inadmissible forever, or out of retries are moved to *shed. Rejected
+  // jobs get their backoff armed and the governor's waiter count bumped.
+  std::shared_ptr<Job> NextRunnableLocked(int64_t now, int64_t* wake_ns,
+                                          std::vector<ShedJob>* shed)
+      VWISE_REQUIRES(mu_);
+  // Drops the job's membership in the governor waiter set, if any.
+  void EndMemoryWaitLocked(Job* job) VWISE_REQUIRES(mu_);
+  // Jittered exponential backoff for the attempt-th admission retry, ns.
+  int64_t BackoffNs(int attempt, uint64_t seq) const;
 
   WorkerPool pool_;
+  MemoryGovernor governor_;
+  const int admission_retry_limit_;
+  const uint64_t backoff_base_us_;
+  const uint64_t backoff_max_us_;
 
   mutable Mutex mu_;
   CondVar cv_;

@@ -208,6 +208,7 @@ Result<bool> SpillReader::Next(DataChunk* out) {
   }
   offset_ += sizeof(header) + payload_bytes + 4;
   out->SetCount(rows);
+  rows_read_ += rows;
   if (counters_ != nullptr) {
     counters_->bytes_read.fetch_add(sizeof(header) + payload_bytes + 4,
                                     std::memory_order_relaxed);

@@ -86,6 +86,10 @@ class SpillReader {
   // writer's chunk capacity) with the next block. Returns false at EOF.
   Result<bool> Next(DataChunk* out);
 
+  // Rows decoded so far — the recursive-repartition tests assert a
+  // re-partitioned level actually re-read its parent's rows.
+  uint64_t rows_read() const { return rows_read_; }
+
  private:
   SpillReader(std::unique_ptr<IoFile> file, std::vector<TypeId> types,
               uint64_t offset, QueryContext::SpillCounters* counters)
@@ -99,6 +103,7 @@ class SpillReader {
   uint64_t offset_;  // next unread byte
   QueryContext::SpillCounters* counters_;
   std::vector<uint8_t> buf_;  // payload buffer, reused across blocks
+  uint64_t rows_read_ = 0;
 };
 
 // Clamps Config::spill_partitions to the power of two in [2, 256] the radix

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -9,9 +10,11 @@
 #include "api/database.h"
 #include "common/failpoint.h"
 #include "common/rng.h"
+#include "exec/hash_agg.h"
 #include "exec/scan.h"
 #include "exec/sort.h"
 #include "gtest/gtest.h"
+#include "service/memory_governor.h"
 #include "service/session.h"
 #include "storage/buffer_manager.h"
 #include "txn/transaction_manager.h"
@@ -635,6 +638,149 @@ TEST_F(CrashTortureTest, SweepSpillSitesScratchIsSweptOnReopen) {
     session.reset();
     db->reset();
     std::filesystem::remove_all(dbdir);
+  }
+}
+
+// The recursive-repartition site ("spill.repartition"), crashed and errored
+// while an aggregation is splitting an oversized partition onto a deeper
+// radix level. Config forces real recursion: 2-way partitioning and a budget
+// no level-0 partition fits in.
+TEST_F(CrashTortureTest, RepartitionCrashAndErrorLeaveNoDebtAfterReopen) {
+  std::string dbdir = dir_ + "/repart";
+  Config cfg;
+  cfg.vector_size = 64;
+  cfg.stripe_rows = 512;
+  cfg.spill_partitions = 2;
+  cfg.spill_max_repartition_depth = 6;
+  cfg.spill_dir = dbdir + "/spill";
+  auto db = Database::Open(dbdir, cfg);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  TableSchema t("t", {ColumnDef("k", DataType::Int64()),
+                      ColumnDef("v", DataType::Int64())});
+  ASSERT_TRUE((*db)->CreateTable(t).ok());
+  ASSERT_TRUE((*db)->BulkLoad("t", [](TableWriter* w) -> Status {
+    for (int64_t i = 0; i < 4000; i++) {
+      VWISE_RETURN_IF_ERROR(w->AppendRow({Value::Int(i), Value::Int(i % 97)}));
+    }
+    return Status::OK();
+  }).ok());
+  auto snap = (*db)->Internals().tm->GetSnapshot("t");
+  ASSERT_TRUE(snap.ok());
+  auto make_agg = [&]() {
+    return new HashAggOperator(
+        std::make_unique<ScanOperator>(*snap, std::vector<uint32_t>{0, 1},
+                                       cfg),
+        std::vector<size_t>{0}, std::vector<AggSpec>{AggSpec::Sum(1)}, cfg);
+  };
+
+  // Error mode: the injected fault surfaces as the query's clean failure —
+  // reservations drained, scratch removed with the context.
+  {
+    ASSERT_TRUE(failpoint::Arm("spill.repartition=err").ok());
+    QueryContext ctx;
+    ctx.set_memory_budget(8 << 10);
+    ctx.set_spill_dir(cfg.spill_dir);
+    std::unique_ptr<HashAggOperator> agg(make_agg());
+    Result<QueryResult> r = CollectRows(agg.get(), &ctx, cfg.vector_size);
+    ASSERT_FALSE(r.ok()) << "spill.repartition=err never fired";
+    EXPECT_EQ(r.status().code(), StatusCode::kIOError)
+        << r.status().ToString();
+    EXPECT_EQ(ctx.reserved_bytes(), 0u);
+    failpoint::DisarmAll();
+  }
+  EXPECT_EQ(CountFilesUnder(cfg.spill_dir), 0u);
+
+  // Crash mode: scratch leaks by design, the next Open sweeps it, and the
+  // same query then completes under the same recursion-forcing budget.
+  ASSERT_TRUE(failpoint::Arm("spill.repartition=crash").ok());
+  auto* ctx = new QueryContext();
+  ctx->set_memory_budget(8 << 10);
+  ctx->set_spill_dir(cfg.spill_dir);
+  auto* agg = make_agg();
+  bool crashed = false;
+  try {
+    (void)CollectRows(agg, ctx, cfg.vector_size);
+  } catch (const SimulatedCrash& c) {
+    crashed = true;
+    EXPECT_EQ(c.site(), "spill.repartition");
+  }
+  ASSERT_TRUE(crashed) << "spill.repartition=crash never fired";
+  AbandonAfterSimulatedCrash(ctx);
+  AbandonAfterSimulatedCrash(agg);
+  failpoint::DisarmAll();
+  EXPECT_GT(CountFilesUnder(cfg.spill_dir), 0u)
+      << "crash left no scratch — repartitioning never started";
+
+  db->reset();
+  db = Database::Open(dbdir, cfg);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(CountFilesUnder(cfg.spill_dir), 0u);
+  // No Sort on top: sorting would materialize all 4000 result rows, which
+  // can never fit the recursion-forcing 8 KB budget. Canonicalize the
+  // (partition-major vs. hash-order) outputs client-side instead.
+  auto session = (*db)->Connect();
+  PlanBuilder q = session->NewPlan();
+  ASSERT_TRUE(q.Scan("t", {0, 1}).ok());
+  q.Agg({0}, {AggSpec::Sum(1)}, {DataType::Int64(), DataType::Int64()});
+  auto prepared = session->Prepare(&q);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto by_key = [](const std::vector<Value>& a, const std::vector<Value>& b) {
+    return a[0].AsInt() < b[0].AsInt();
+  };
+  Result<QueryResult> clean = (*prepared)->Run();
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  std::sort(clean->rows.begin(), clean->rows.end(), by_key);
+  QueryOptions opt;
+  opt.memory_budget_bytes = 8 << 10;
+  Result<QueryResult> budgeted = (*prepared)->Run(opt);
+  ASSERT_TRUE(budgeted.ok()) << budgeted.status().ToString();
+  ASSERT_EQ(budgeted->rows.size(), 4000u);
+  std::sort(budgeted->rows.begin(), budgeted->rows.end(), by_key);
+  EXPECT_EQ(clean->rows, budgeted->rows);
+  EXPECT_EQ(CountFilesUnder(cfg.spill_dir), 0u);
+  session.reset();
+  db->reset();
+  std::filesystem::remove_all(dbdir);
+}
+
+// Governor admission sites crash-tested on the calling thread. (Through a
+// live QueryService these sites run on runner threads, where a SimulatedCrash
+// would std::terminate — err mode covers that path in overload_soak_test.)
+TEST_F(CrashTortureTest, GovernorSitesCrashOnCallingThread) {
+  {
+    ASSERT_TRUE(failpoint::Arm("governor.admit=crash").ok());
+    MemoryGovernor gov(64 << 10);
+    bool crashed = false;
+    try {
+      (void)gov.TryAdmit(16 << 10);
+    } catch (const SimulatedCrash& c) {
+      crashed = true;
+      EXPECT_EQ(c.site(), "governor.admit");
+    }
+    EXPECT_TRUE(crashed);
+    failpoint::DisarmAll();
+    // The crash fired before any accounting: stats are untouched and the
+    // governor keeps admitting.
+    EXPECT_EQ(gov.stats().granted, 0u);
+    auto adm = gov.TryAdmit(16 << 10);
+    ASSERT_TRUE(adm.ok());
+    EXPECT_TRUE(*adm == MemoryGovernor::Admission::kGranted);
+  }
+  {
+    ASSERT_TRUE(failpoint::Arm("governor.requeue=crash").ok());
+    MemoryGovernor gov(64 << 10);
+    bool crashed = false;
+    try {
+      (void)gov.NoteRequeue();
+    } catch (const SimulatedCrash& c) {
+      crashed = true;
+      EXPECT_EQ(c.site(), "governor.requeue");
+    }
+    EXPECT_TRUE(crashed);
+    failpoint::DisarmAll();
+    EXPECT_EQ(gov.stats().queued, 0u);
+    EXPECT_TRUE(gov.NoteRequeue().ok());
+    EXPECT_EQ(gov.stats().queued, 1u);
   }
 }
 

@@ -287,7 +287,12 @@ TEST_F(QueryServiceDbTest, MemoryBudgetFailsQueryWithResourceExhausted) {
   auto session = db_->Connect();
   auto prepared = PrepareHeavyAgg(session.get());
   QueryOptions opt;
-  opt.memory_budget_bytes = size_t{1} << 20;  // 1 MiB << ~kBigRows groups
+  // Below ONE group's state (~48 bytes): recursive repartitioning rescues
+  // any budget that holds at least a vector of groups (even 8 KB now
+  // completes this 2M-group query, slowly), so a budget that cannot hold a
+  // single group is what must still fail — cleanly, promptly, and without
+  // poisoning the session.
+  opt.memory_budget_bytes = 32;
   Result<QueryResult> r = prepared->Run(opt);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -388,6 +389,155 @@ TEST_F(SpillTest, ExplainAnalyzeShowsSpill) {
   session.reset();
   db->reset();
   fs::remove_all(dir_ + "_prof");
+}
+
+// --- recursive repartitioning -----------------------------------------------
+
+// Sorts rows by their (unique, integer) first column: spilled output is
+// partition-major, so comparisons against an in-memory baseline need a
+// canonical order that doesn't depend on partitioning shape.
+void SortRowsByFirstCol(std::vector<std::vector<Value>>* rows) {
+  std::sort(rows->begin(), rows->end(),
+            [](const std::vector<Value>& a, const std::vector<Value>& b) {
+              return a[0].AsInt() < b[0].AsInt();
+            });
+}
+
+// A budget small enough that a level-0 partition's build side alone overruns
+// it forces the join to re-partition recursively. With spill_partitions=2
+// every level halves the partition, so the first one or two halvings still
+// do not fit and the join must go depth >= 2 — exactly the shape that used
+// to die with ResourceExhausted when one grace level was all there was.
+TEST_F(SpillTest, JoinRepartitionsOversizedPartitionBeyondDepth2) {
+  Config cfg = config_;
+  cfg.spill_partitions = 2;
+  cfg.spill_max_repartition_depth = 6;
+  auto snap_l = db_->Internals().tm->GetSnapshot("l");
+  ASSERT_TRUE(snap_l.ok());
+  auto snap_o = db_->Internals().tm->GetSnapshot("o");
+  ASSERT_TRUE(snap_o.ok());
+  auto make_join = [&]() -> OperatorPtr {
+    HashJoinOperator::Spec spec;
+    spec.probe_keys = {0};
+    spec.build_keys = {0};
+    spec.build_payload = {1};
+    return std::make_unique<HashJoinOperator>(
+        std::make_unique<ScanOperator>(*snap_o, std::vector<uint32_t>{0, 1},
+                                       cfg),
+        std::make_unique<ScanOperator>(*snap_l, std::vector<uint32_t>{0, 2},
+                                       cfg),
+        std::move(spec), cfg);
+  };
+  // Baseline: unconstrained, in memory.
+  OperatorPtr base_op = make_join();
+  QueryContext base_ctx;
+  Result<QueryResult> base = CollectRows(base_op.get(), &base_ctx,
+                                         cfg.vector_size);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  ASSERT_EQ(base->rows.size(), 800u);
+
+  OperatorPtr op = make_join();
+  auto* join = static_cast<HashJoinOperator*>(op.get());
+  QueryContext ctx;
+  ctx.set_memory_budget(8 << 10);  // far below one half of the build side
+  ctx.set_spill_dir(SpillBase());
+  Result<QueryResult> r = CollectRows(op.get(), &ctx, cfg.vector_size);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GE(join->spill_repartition_depth(), 2u)
+      << "budget fit after " << join->spill_repartitions()
+      << " repartitions — tighten it";
+  EXPECT_GE(join->spill_repartitions(), 2u);
+  SortRowsByFirstCol(&base->rows);
+  SortRowsByFirstCol(&r->rows);
+  ASSERT_EQ(base->rows.size(), r->rows.size());
+  for (size_t i = 0; i < base->rows.size(); i++) {
+    EXPECT_EQ(base->rows[i], r->rows[i]) << "row " << i;
+  }
+  op->Close();
+  EXPECT_EQ(ctx.reserved_bytes(), 0u);
+  EXPECT_EQ(CountSpillFiles(SpillBase()), 0u);
+}
+
+// The aggregation-side twin: one partition's merged groups alone exceed the
+// budget, so the emit phase splits it onto fresh radix levels until each
+// child's group set fits.
+TEST_F(SpillTest, AggRepartitionsOversizedPartitionBeyondDepth2) {
+  Config cfg = config_;
+  cfg.spill_partitions = 2;
+  cfg.spill_max_repartition_depth = 6;
+  auto snap = db_->Internals().tm->GetSnapshot("l");
+  ASSERT_TRUE(snap.ok());
+  auto make_agg = [&]() -> OperatorPtr {
+    return std::make_unique<HashAggOperator>(
+        std::make_unique<ScanOperator>(*snap, std::vector<uint32_t>{0, 2},
+                                       cfg),
+        std::vector<size_t>{0}, std::vector<AggSpec>{AggSpec::Sum(1)}, cfg);
+  };
+  OperatorPtr base_op = make_agg();
+  QueryContext base_ctx;
+  Result<QueryResult> base = CollectRows(base_op.get(), &base_ctx,
+                                         cfg.vector_size);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  ASSERT_EQ(base->rows.size(), static_cast<size_t>(kLRows));
+
+  OperatorPtr op = make_agg();
+  auto* agg = static_cast<HashAggOperator*>(op.get());
+  QueryContext ctx;
+  ctx.set_memory_budget(8 << 10);  // ~2000 groups per level-0 partition
+  ctx.set_spill_dir(SpillBase());
+  Result<QueryResult> r = CollectRows(op.get(), &ctx, cfg.vector_size);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GE(agg->spill_repartition_depth(), 2u)
+      << "budget fit after " << agg->spill_repartitions()
+      << " repartitions — tighten it";
+  SortRowsByFirstCol(&base->rows);
+  SortRowsByFirstCol(&r->rows);
+  ASSERT_EQ(base->rows.size(), r->rows.size());
+  for (size_t i = 0; i < base->rows.size(); i++) {
+    EXPECT_EQ(base->rows[i], r->rows[i]) << "row " << i;
+  }
+  op->Close();
+  EXPECT_EQ(ctx.reserved_bytes(), 0u);
+  EXPECT_EQ(CountSpillFiles(SpillBase()), 0u);
+}
+
+// The depth bound is a real guard: identical keys hash identically at every
+// level, so no amount of re-partitioning can split a one-key flood. The
+// query must fail with ResourceExhausted once the bound is hit — not loop.
+TEST_F(SpillTest, DuplicateKeyFloodExhaustsDepthBoundCleanly) {
+  Config cfg = config_;
+  cfg.spill_partitions = 2;
+  cfg.spill_max_repartition_depth = 2;
+  TableSchema dup("dup", {ColumnDef("k", DataType::Int64()),
+                          ColumnDef("v", DataType::Int64())});
+  ASSERT_TRUE(db_->CreateTable(dup).ok());
+  ASSERT_TRUE(db_->BulkLoad("dup", [](TableWriter* w) -> Status {
+    for (int64_t i = 0; i < 4000; i++) {
+      VWISE_RETURN_IF_ERROR(w->AppendRow({Value::Int(7), Value::Int(i)}));
+    }
+    return Status::OK();
+  }).ok());
+  auto snap = db_->Internals().tm->GetSnapshot("dup");
+  ASSERT_TRUE(snap.ok());
+  HashJoinOperator::Spec spec;
+  spec.probe_keys = {0};
+  spec.build_keys = {0};
+  spec.build_payload = {1};
+  HashJoinOperator join(
+      std::make_unique<ScanOperator>(*snap, std::vector<uint32_t>{0}, cfg),
+      std::make_unique<ScanOperator>(*snap, std::vector<uint32_t>{0, 1}, cfg),
+      std::move(spec), cfg);
+  QueryContext ctx;
+  ctx.set_memory_budget(8 << 10);
+  ctx.set_spill_dir(SpillBase());
+  Result<QueryResult> r = CollectRows(&join, &ctx, cfg.vector_size);
+  ASSERT_FALSE(r.ok()) << "a 4000^2-row one-key join fit in 8KB?";
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+      << r.status().ToString();
+  EXPECT_EQ(join.spill_repartition_depth(), 2u);  // bound reached, then fail
+  join.Close();
+  EXPECT_EQ(ctx.reserved_bytes(), 0u);
+  EXPECT_EQ(CountSpillFiles(SpillBase()), 0u);
 }
 
 // --- budget exhaustion with spilling disabled --------------------------------

@@ -1043,6 +1043,19 @@ def self_test(repo):
             tmp, os.path.join("src", "storage", "buffer_manager.h"),
             "size_t bytes_cached_ VWISE_GUARDED_BY(mu_) = 0;",
             "size_t bytes_cached_ = 0;"), "no VWISE_GUARDED_BY"),
+        # The memory governor regressing to a raw mutex: its stats lock is a
+        # documented leaf in the service lock order, which only holds if the
+        # annotated wrapper keeps it visible to -Wthread-safety.
+        "raw mutex in memory governor": (lambda tmp: patch_file(
+            tmp, os.path.join("src", "service", "memory_governor.h"),
+            "mutable Mutex mu_;", "mutable std::mutex mu_;"),
+            "raw std::mutex"),
+        # Governor stats losing their guard: admission/shed counters are
+        # updated from every runner thread.
+        "unguarded governor stats": (lambda tmp: patch_file(
+            tmp, os.path.join("src", "service", "memory_governor.h"),
+            "Stats stats_ VWISE_GUARDED_BY(mu_);",
+            "Stats stats_;"), "no VWISE_GUARDED_BY"),
     }
     for label, (patch, expect) in cases.items():
         errs = seeded_errors(patch)
